@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the full Tarjan–Vishkin biconnectivity
+//! extension: parallel auxiliary-graph labeling vs the sequential
+//! Hopcroft–Tarjan oracle, on a low-diameter and a high-diameter family.
+
+use bridges::{bcc_sequential, bcc_tv};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Device;
+use graph_core::Csr;
+use graphgen::{kronecker_graph, largest_connected_component, road_grid};
+
+fn bench_bcc(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("bcc");
+    group.sample_size(10);
+    let instances = [
+        ("kron15", largest_connected_component(&kronecker_graph(15, 16, 3)).0),
+        ("road180", largest_connected_component(&road_grid(180, 180, 0.75, 4)).0),
+    ];
+    for (name, graph) in &instances {
+        let csr = Csr::from_edge_list(graph);
+        group.throughput(Throughput::Elements(graph.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("tv_device", name), name, |b, _| {
+            b.iter(|| bcc_tv(&device, graph, &csr).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("hopcroft_tarjan", name), name, |b, _| {
+            b.iter(|| bcc_sequential(graph, &csr));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcc);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the bridge-finding algorithms on a Kronecker
+//! (small-diameter) and a road-like (large-diameter) instance.
+
+use bridges::{bridges_ck_device, bridges_ck_rayon, bridges_dfs, bridges_hybrid, bridges_tv};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Device;
+use graph_core::{Csr, EdgeList};
+use graphgen::{kronecker_graph, largest_connected_component, road_grid};
+
+fn instances() -> Vec<(&'static str, EdgeList)> {
+    let (kron, _) = largest_connected_component(&kronecker_graph(14, 16, 3));
+    let (road, _) = largest_connected_component(&road_grid(300, 300, 0.62, 4));
+    vec![("kron_logn14", kron), ("road_300x300", road)]
+}
+
+fn bench_bridges(c: &mut Criterion) {
+    let device = Device::new();
+    for (name, graph) in instances() {
+        let csr = Csr::from_edge_list(&graph);
+        let mut group = c.benchmark_group(format!("bridges_{name}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(graph.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("cpu_dfs", name), &0, |b, _| {
+            b.iter(|| bridges_dfs(&graph, &csr));
+        });
+        group.bench_with_input(BenchmarkId::new("multicore_ck", name), &0, |b, _| {
+            b.iter(|| bridges_ck_rayon(&graph, &csr).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_ck", name), &0, |b, _| {
+            b.iter(|| bridges_ck_device(&device, &graph, &csr).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_tv", name), &0, |b, _| {
+            b.iter(|| bridges_tv(&device, &graph, &csr).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_hybrid", name), &0, |b, _| {
+            b.iter(|| bridges_hybrid(&device, &graph, &csr).unwrap());
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_bridges);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the dynamic Euler-tour forest
+//! (link/cut/connectivity, the Tarjan \[57\] extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use euler_tour::EulerTourForest;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a random spanning forest with `n - 1` links (one tree).
+fn build_random_tree(n: usize, seed: u64) -> EulerTourForest {
+    let mut f = EulerTourForest::new(n);
+    let mut s = seed;
+    for v in 1..n as u64 {
+        let p = splitmix(&mut s) % v;
+        f.link(p as u32, v as u32).unwrap();
+    }
+    f
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ett_link");
+    group.sample_size(10);
+    for n in [1usize << 14, 1 << 17] {
+        group.throughput(Throughput::Elements(n as u64 - 1));
+        group.bench_with_input(BenchmarkId::new("random_tree", n), &n, |b, &n| {
+            b.iter(|| build_random_tree(n, 42));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cut_relink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ett_cut_relink");
+    group.sample_size(10);
+    let n = 1usize << 16;
+    // Path forest: cutting and relinking interior edges exercises the
+    // worst-case reroot distances.
+    let mut f = EulerTourForest::new(n);
+    for v in 1..n as u32 {
+        f.link(v - 1, v).unwrap();
+    }
+    let ops = 10_000u64;
+    group.throughput(Throughput::Elements(2 * ops));
+    group.bench_function("path_interior", |b| {
+        b.iter(|| {
+            let mut s = 7u64;
+            for _ in 0..ops {
+                let v = 1 + (splitmix(&mut s) % (n as u64 - 1)) as u32;
+                f.cut(v - 1, v).unwrap();
+                f.link(v - 1, v).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ett_connected");
+    group.sample_size(10);
+    let n = 1usize << 17;
+    let f = build_random_tree(n, 99);
+    let ops = 100_000u64;
+    group.throughput(Throughput::Elements(ops));
+    group.bench_function("same_tree", |b| {
+        b.iter(|| {
+            let mut s = 3u64;
+            let mut yes = 0usize;
+            for _ in 0..ops {
+                let u = (splitmix(&mut s) % n as u64) as u32;
+                let v = (splitmix(&mut s) % n as u64) as u32;
+                yes += f.connected(u, v) as usize;
+            }
+            yes
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_link, bench_cut_relink, bench_connectivity);
+criterion_main!(benches);

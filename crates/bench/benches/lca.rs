@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the four LCA algorithms (preprocessing and
+//! batched queries, shallow and deep trees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Device;
+use graphgen::{random_queries, random_tree};
+use lca::{GpuInlabelLca, LcaAlgorithm, MulticoreInlabelLca, NaiveGpuLca, SequentialInlabelLca};
+
+const N: usize = 1 << 18;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let device = Device::new();
+    let tree = random_tree(N, None, 5);
+    let mut group = c.benchmark_group("lca_preprocess");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("seq_inlabel", |b| {
+        b.iter(|| SequentialInlabelLca::preprocess(&tree));
+    });
+    group.bench_function("multicore_inlabel", |b| {
+        b.iter(|| MulticoreInlabelLca::preprocess(&device, &tree).unwrap());
+    });
+    group.bench_function("gpu_naive", |b| {
+        b.iter(|| NaiveGpuLca::preprocess(&device, &tree));
+    });
+    group.bench_function("gpu_inlabel", |b| {
+        b.iter(|| GpuInlabelLca::preprocess(&device, &tree).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("lca_queries");
+    group.sample_size(10);
+    for (shape, grasp) in [("shallow", None), ("deep", Some(64u64))] {
+        let tree = random_tree(N, grasp, 6);
+        let queries = random_queries(N, N, 7);
+        let mut out = vec![0u32; N];
+        group.throughput(Throughput::Elements(N as u64));
+
+        let seq = SequentialInlabelLca::preprocess(&tree);
+        group.bench_with_input(BenchmarkId::new("seq_inlabel", shape), &0, |b, _| {
+            b.iter(|| seq.query_batch(&queries, &mut out));
+        });
+        let gpu = GpuInlabelLca::preprocess(&device, &tree).unwrap();
+        group.bench_with_input(BenchmarkId::new("gpu_inlabel", shape), &0, |b, _| {
+            b.iter(|| gpu.query_batch(&queries, &mut out));
+        });
+        let naive = NaiveGpuLca::preprocess(&device, &tree);
+        group.bench_with_input(BenchmarkId::new("gpu_naive", shape), &0, |b, _| {
+            b.iter(|| naive.query_batch(&queries, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_jumps_ablation(c: &mut Criterion) {
+    // The paper's §3.1 optimization: "five jumps for each pointer in
+    // parallel, before synchronizing the threads globally, as this
+    // empirically proves to be faster than synchronizing after each
+    // parallel pointer jump". Compare 1 vs 5 vs 16 jumps per sync.
+    let device = Device::new();
+    let tree = random_tree(N, Some(256), 8); // deep-ish tree stresses rounds
+    let mut group = c.benchmark_group("naive_levels_jumps_per_sync");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for jumps in [1usize, 5, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(jumps), &jumps, |b, &j| {
+            b.iter(|| NaiveGpuLca::preprocess_with_jumps(&device, &tree, j));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess, bench_queries, bench_jumps_ablation);
+criterion_main!(benches);

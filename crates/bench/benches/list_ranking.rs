@@ -1,0 +1,63 @@
+//! Criterion comparison of the three list-ranking algorithms — the §2.2
+//! motivation: Wei–JáJá (O(n) work) versus Wyllie pointer jumping
+//! (O(n log n)) versus the sequential walk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use euler_tour::dcel::Dcel;
+use euler_tour::list::EulerList;
+use euler_tour::ranking;
+use gpu_sim::Device;
+
+fn build_list(device: &Device, n: usize) -> EulerList {
+    let mut state = 42u64;
+    let mut step = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        state >> 33
+    };
+    let edges: Vec<(u32, u32)> = (1..n as u64)
+        .map(|v| ((step() % v) as u32, v as u32))
+        .collect();
+    let dcel = Dcel::build(device, n, &edges);
+    EulerList::build(device, &dcel, 0)
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("list_ranking");
+    group.sample_size(10);
+    for n in [1usize << 16, 1 << 19] {
+        let list = build_list(&device, n);
+        group.throughput(Throughput::Elements(list.len() as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| ranking::rank_sequential(&list));
+        });
+        group.bench_with_input(BenchmarkId::new("wyllie", n), &n, |b, _| {
+            b.iter(|| ranking::rank_wyllie(&device, &list));
+        });
+        group.bench_with_input(BenchmarkId::new("wei_jaja", n), &n, |b, _| {
+            b.iter(|| ranking::rank_wei_jaja(&device, &list));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sublist_sweep(c: &mut Criterion) {
+    // The Wei–JáJá tuning knob: too few sublists starve the workers, too
+    // many push work into the sequential phase 2. The default heuristic
+    // (clamp(n/64, workers·8, 64K)) should sit near the sweet spot.
+    let device = Device::new();
+    let mut group = c.benchmark_group("wei_jaja_sublists");
+    group.sample_size(10);
+    let n = 1usize << 19;
+    let list = build_list(&device, n);
+    group.throughput(Throughput::Elements(list.len() as u64));
+    for s in [16usize, 256, 4096, 65_536, 262_144] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| ranking::rank_wei_jaja_with_sublists(&device, &list, s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking, bench_sublist_sweep);
+criterion_main!(benches);

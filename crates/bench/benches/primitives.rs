@@ -1,0 +1,195 @@
+//! Criterion microbenchmarks for the gpu-sim primitives (the moderngpu
+//! substitutes): scan, radix sort, segmented reduce, compaction, merge,
+//! mergesort, load-balanced search, reduce-by-key and histograms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Device;
+
+fn pseudo_random(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(10);
+    for n in [1usize << 16, 1 << 20] {
+        let data = pseudo_random(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("inclusive_u64", n), &n, |b, _| {
+            b.iter(|| device.add_scan_inclusive_u64(&data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("radix_sort");
+    group.sample_size(10);
+    for n in [1usize << 16, 1 << 20] {
+        let data = pseudo_random(n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pairs_u64_u32", n), &n, |b, _| {
+            b.iter(|| {
+                let mut keys = data.clone();
+                let mut vals: Vec<u32> = (0..n as u32).collect();
+                device.sort_pairs_u64_u32(&mut keys, &mut vals);
+                keys
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_segreduce(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("segreduce");
+    group.sample_size(10);
+    let n = 1usize << 20;
+    let values: Vec<u32> = pseudo_random(n, 3).iter().map(|&v| v as u32).collect();
+    let seg = 64;
+    let offsets: Vec<u32> = (0..=(n / seg) as u32).map(|s| s * seg as u32).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("min_u32_1M_seg64", |b| {
+        b.iter(|| device.segmented_min_u32(&values, &offsets));
+    });
+    group.finish();
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("compact");
+    group.sample_size(10);
+    let n = 1usize << 20;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("half_survive_1M", |b| {
+        b.iter(|| device.compact_indices(n, |i| i % 2 == 0));
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(10);
+    let n = 1usize << 20;
+    let mut a = pseudo_random(n / 2, 4);
+    let mut b2 = pseudo_random(n / 2, 5);
+    a.sort_unstable();
+    b2.sort_unstable();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("two_halves_1M", |b| {
+        b.iter(|| device.merge(&a, &b2));
+    });
+    group.finish();
+}
+
+fn bench_mergesort_vs_radix(c: &mut Criterion) {
+    // Ablation: comparison mergesort vs LSD radix on the same u64 keys.
+    // Radix should win by a wide margin — the reason DCEL construction
+    // packs endpoints into radix-sortable u64 keys.
+    let device = Device::new();
+    let mut group = c.benchmark_group("mergesort_vs_radix");
+    group.sample_size(10);
+    let n = 1usize << 19;
+    let data = pseudo_random(n, 6);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("merge_sort", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            device.merge_sort(&mut d);
+            d
+        });
+    });
+    group.bench_function("radix_sort", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            device.sort_u64(&mut d);
+            d
+        });
+    });
+    group.finish();
+}
+
+fn bench_lbs(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("load_balanced_search");
+    group.sample_size(10);
+    // Power-law-ish segment sizes: a few giant segments among many tiny
+    // ones — the shape LBS exists to handle.
+    let segments = 1usize << 16;
+    let mut offsets = vec![0u32];
+    for s in 0..segments {
+        let size = if s % 1024 == 0 { 4096 } else { 12 };
+        offsets.push(offsets.last().unwrap() + size);
+    }
+    let total = *offsets.last().unwrap() as u64;
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("skewed_64Kseg", |b| {
+        b.iter(|| device.load_balanced_search(&offsets));
+    });
+    group.finish();
+}
+
+fn bench_reduce_by_key(c: &mut Criterion) {
+    let device = Device::new();
+    let mut group = c.benchmark_group("reduce_by_key");
+    group.sample_size(10);
+    let n = 1usize << 20;
+    let keys: Vec<u32> = (0..n).map(|i| (i / 16) as u32).collect();
+    let vals: Vec<u64> = pseudo_random(n, 7);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("run16_1M", |b| {
+        b.iter(|| device.reduce_by_key(&keys, &vals, 0u64, |x, y| x + y));
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    // Ablation: shared-atomic vs privatized accumulation, uniform (cold
+    // bins) and single-hot-bin (max contention) distributions.
+    let device = Device::new();
+    let mut group = c.benchmark_group("histogram");
+    group.sample_size(10);
+    let n = 1usize << 20;
+    let bins = 256;
+    let uniform: Vec<u32> = pseudo_random(n, 8).iter().map(|&v| (v % 256) as u32).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("atomic_uniform", |b| {
+        b.iter(|| device.histogram_atomic(n, bins, |i| uniform[i] as usize));
+    });
+    group.bench_function("privatized_uniform", |b| {
+        b.iter(|| device.histogram_privatized(n, bins, |i| uniform[i] as usize));
+    });
+    group.bench_function("atomic_hot", |b| {
+        b.iter(|| device.histogram_atomic(n, bins, |_| 0));
+    });
+    group.bench_function("privatized_hot", |b| {
+        b.iter(|| device.histogram_privatized(n, bins, |_| 0));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan,
+    bench_sort,
+    bench_segreduce,
+    bench_compact,
+    bench_merge,
+    bench_mergesort_vs_radix,
+    bench_lbs,
+    bench_reduce_by_key,
+    bench_histogram
+);
+criterion_main!(benches);

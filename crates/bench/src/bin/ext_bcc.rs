@@ -1,0 +1,5 @@
+//! Regenerates the biconnectivity extension experiment (see DESIGN.md).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::ext_bcc::run(&cfg);
+}

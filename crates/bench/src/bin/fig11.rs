@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 11 (see DESIGN.md experiment index).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::fig11::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 4 (see DESIGN.md experiment index).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::fig4::run(&cfg);
+}

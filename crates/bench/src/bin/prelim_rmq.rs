@@ -1,0 +1,5 @@
+//! Regenerates the paper's prelim_rmq (see DESIGN.md experiment index).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::prelim_rmq::run(&cfg);
+}

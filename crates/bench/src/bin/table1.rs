@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 (see DESIGN.md experiment index).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::table1::run(&cfg);
+}

@@ -1,0 +1,90 @@
+//! Experiment configuration and command-line parsing.
+
+use std::path::PathBuf;
+
+/// Shared experiment knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Divisor applied to the paper's instance sizes (paper = 1; default 16).
+    pub scale: usize,
+    /// Instances × runs per data point (the paper uses 5 × 5; default 2).
+    pub repeats: usize,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            scale: 16,
+            repeats: 2,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Config {
+    /// Parses `--scale N`, `--repeats N`, `--out DIR` from `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    cfg.scale = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a positive integer");
+                    i += 2;
+                }
+                "--repeats" => {
+                    cfg.repeats = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--repeats needs a positive integer");
+                    i += 2;
+                }
+                "--out" => {
+                    cfg.out_dir = args
+                        .get(i + 1)
+                        .map(PathBuf::from)
+                        .expect("--out needs a directory");
+                    i += 2;
+                }
+                other => panic!("unknown argument: {other} (use --scale / --repeats / --out)"),
+            }
+        }
+        assert!(cfg.scale >= 1, "--scale must be >= 1");
+        assert!(cfg.repeats >= 1, "--repeats must be >= 1");
+        cfg
+    }
+
+    /// A paper-sized node count divided by the scale (at least 1024).
+    pub fn nodes(&self, paper_size: usize) -> usize {
+        (paper_size / self.scale).max(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_divides() {
+        let cfg = Config::default();
+        assert_eq!(cfg.nodes(16_000_000), 1_000_000);
+    }
+
+    #[test]
+    fn tiny_sizes_clamped() {
+        let cfg = Config {
+            scale: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(cfg.nodes(1_000_000), 1024);
+    }
+}

@@ -1,0 +1,105 @@
+//! The bridge-experiment dataset suite (§4.2 / Table 1), synthesized to
+//! match the statistical profile of the paper's three graph categories.
+
+use graph_core::EdgeList;
+use graphgen::{kronecker_graph, largest_connected_component, road_grid, web_graph};
+
+/// A named dataset (already reduced to its largest connected component).
+pub struct Dataset {
+    /// Display name, mirroring the paper's Table 1 rows.
+    pub name: String,
+    /// The LCC of the generated graph.
+    pub graph: EdgeList,
+}
+
+/// The Kronecker family of Figure 9: `kron_g500-logn{k}`-like graphs.
+/// `scales` lists the log₂ node counts to generate.
+pub fn kronecker_suite(scales: &[u32], edge_factor: usize, seed: u64) -> Vec<Dataset> {
+    scales
+        .iter()
+        .map(|&s| {
+            let raw = kronecker_graph(s, edge_factor, seed ^ s as u64);
+            let (graph, _) = largest_connected_component(&raw);
+            Dataset {
+                name: format!("kron-logn{s}"),
+                graph,
+            }
+        })
+        .collect()
+}
+
+/// The "real-world-like" suite of Figure 10 / Table 1: web, citation,
+/// social and road graphs with the paper's statistical signatures.
+/// `scale` divides the node counts (paper sizes at `scale = 1`).
+pub fn realworld_suite(scale: usize, seed: u64) -> Vec<Dataset> {
+    let sz = |paper: usize| (paper / scale).max(4096);
+    let mut out = vec![
+        // web-wikipedia2009-like: small diameter, ~15% bridges.
+        named("web-wikipedia-like", web_graph(sz(1_800_000), 3, 0.62, seed ^ 1)),
+        // cit-Patents-like: denser preferential attachment, moderate bridges.
+        named("cit-patents-like", web_graph(sz(3_700_000), 9, 0.45, seed ^ 2)),
+        // socfb-like: dense social graph, few bridges.
+        named("socfb-like", graphgen::ba_graph(sz(3_000_000), 16, seed ^ 3)),
+        // soc-LiveJournal-like.
+        named("soc-livejournal-like", web_graph(sz(4_800_000), 18, 0.35, seed ^ 4)),
+        // ca-hollywood-like: very dense collaboration graph, almost no bridges.
+        named("ca-hollywood-like", graphgen::ba_graph(sz(1_000_000), 64, seed ^ 5)),
+    ];
+    // Road graphs: USA-road-d.{E,W}, great-britain, CTR, USA — increasing
+    // sizes, all percolated grids.
+    for (name, paper_n) in [
+        ("usa-road-e-like", 3_500_000usize),
+        ("usa-road-w-like", 6_200_000),
+        ("gb-osm-like", 7_700_000),
+        ("usa-road-ctr-like", 14_000_000),
+        ("usa-road-usa-like", 23_000_000),
+    ] {
+        let n = sz(paper_n);
+        let side = (n as f64).sqrt().ceil() as usize;
+        out.push(named(
+            name,
+            road_grid(side, side, graphgen::road::DEFAULT_KEEP_PROB, seed ^ paper_n as u64),
+        ));
+    }
+    out
+}
+
+fn named(name: &str, raw: EdgeList) -> Dataset {
+    let (graph, _) = largest_connected_component(&raw);
+    Dataset {
+        name: name.to_string(),
+        graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kronecker_suite_sizes_grow() {
+        let suite = kronecker_suite(&[8, 9, 10], 8, 1);
+        assert_eq!(suite.len(), 3);
+        assert!(suite[0].graph.num_nodes() < suite[2].graph.num_nodes());
+    }
+
+    #[test]
+    fn realworld_suite_has_ten_datasets() {
+        let suite = realworld_suite(512, 7);
+        assert_eq!(suite.len(), 10);
+        for d in &suite {
+            assert!(d.graph.num_nodes() > 0, "{} empty", d.name);
+            assert!(d.graph.num_edges() > 0, "{} edgeless", d.name);
+        }
+    }
+
+    #[test]
+    fn road_datasets_are_sparse_social_dense() {
+        let suite = realworld_suite(512, 7);
+        let deg = |d: &Dataset| 2.0 * d.graph.num_edges() as f64 / d.graph.num_nodes() as f64;
+        let road = suite.iter().find(|d| d.name == "usa-road-e-like").unwrap();
+        let social = suite.iter().find(|d| d.name == "socfb-like").unwrap();
+        assert!(deg(road) < 4.0, "road avg degree {}", deg(road));
+        assert!(deg(social) > 10.0, "social avg degree {}", deg(social));
+    }
+}

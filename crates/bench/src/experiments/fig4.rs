@@ -1,0 +1,64 @@
+//! Figure 4 — total time (preprocessing + queries) of the two GPU
+//! algorithms as the queries-to-nodes ratio sweeps 0.125…16 on a shallow
+//! 8M-node tree (divided by `--scale`). The paper's crossover sits near
+//! ratio 4.
+
+use crate::config::Config;
+use crate::harness::{bench_mean, fmt_secs, time, Table};
+use gpu_sim::Device;
+use graphgen::{random_queries, random_tree};
+use lca::{GpuInlabelLca, LcaAlgorithm, NaiveGpuLca};
+
+const RATIOS: [f64; 8] = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Runs the queries-to-nodes sweep.
+pub fn run(cfg: &Config) {
+    let device = Device::new();
+    let n = cfg.nodes(8_000_000);
+    let mut table = Table::new(
+        &format!("Figure 4: total time vs queries-to-nodes ratio (n = {n}, shallow)"),
+        &["ratio", "queries", "gpu-naive", "gpu-inlabel"],
+    );
+
+    let mut crossover: Option<f64> = None;
+    for ratio in RATIOS {
+        let q = (n as f64 * ratio) as usize;
+        let naive_s = bench_mean(cfg.repeats, || {
+            let tree = random_tree(n, None, 0x4A);
+            let queries = random_queries(n, q, 0x4B);
+            let mut out = vec![0u32; q];
+            let (_, total) = time(|| {
+                let algo = NaiveGpuLca::preprocess(&device, &tree);
+                algo.query_batch(&queries, &mut out);
+            });
+            total
+        });
+        let inlabel_s = bench_mean(cfg.repeats, || {
+            let tree = random_tree(n, None, 0x4A);
+            let queries = random_queries(n, q, 0x4B);
+            let mut out = vec![0u32; q];
+            let (_, total) = time(|| {
+                let algo = GpuInlabelLca::preprocess(&device, &tree).unwrap();
+                algo.query_batch(&queries, &mut out);
+            });
+            total
+        });
+        if crossover.is_none() && inlabel_s < naive_s {
+            crossover = Some(ratio);
+        }
+        table.row(vec![
+            format!("{ratio}"),
+            q.to_string(),
+            fmt_secs(naive_s),
+            fmt_secs(inlabel_s),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "fig4");
+    match crossover {
+        Some(r) => println!(
+            "inlabel overtakes naive at ratio ≈ {r} (paper: ≈ 4 on a GTX 980)\n"
+        ),
+        None => println!("no crossover in the swept range on this machine\n"),
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 6 — query throughput versus batch size for the three Inlabel
+//! backends (n = 8M, 10M queries at paper scale; divided by `--scale`).
+//! The paper: multicore beats single-core past ~10 queries per batch, the
+//! GPU past ~100, with plateaus at 10³–10⁴.
+//!
+//! Extension: a fourth reference line for Tarjan's *offline* algorithm,
+//! which sees all queries at once (the opposite end of the online/batched
+//! spectrum the paper's experiment explores) and pays no preprocessing.
+
+use crate::config::Config;
+use crate::harness::{fmt_rate, time, Table};
+use gpu_sim::Device;
+use graphgen::{random_queries, random_tree};
+use lca::batch::BatchRunner;
+use lca::{offline_tarjan_lca, GpuInlabelLca, MulticoreInlabelLca, SequentialInlabelLca};
+
+/// Runs the batch-size sweep.
+pub fn run(cfg: &Config) {
+    let device = Device::new();
+    let n = cfg.nodes(8_000_000);
+    let total_queries = cfg.nodes(10_000_000);
+
+    let tree = random_tree(n, None, 0x6A);
+    let stream = random_queries(n, total_queries, 0x6B);
+    let mut out = vec![0u32; stream.len()];
+
+    let seq = SequentialInlabelLca::preprocess(&tree);
+    let par = MulticoreInlabelLca::preprocess(&device, &tree).unwrap();
+    let gpu = GpuInlabelLca::preprocess(&device, &tree).unwrap();
+
+    let mut table = Table::new(
+        &format!(
+            "Figure 6: query throughput vs batch size (n = {n}, {total_queries} queries)"
+        ),
+        &["batch", "seq-cpu-inlabel", "multicore-inlabel", "gpu-inlabel"],
+    );
+
+    let batches: Vec<usize> = [1usize, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+        .into_iter()
+        .filter(|&b| b <= total_queries)
+        .collect();
+    for batch in batches {
+        // Averages over cfg.repeats full passes through the stream.
+        let mut rates = [0.0f64; 3];
+        for _ in 0..cfg.repeats {
+            rates[0] += BatchRunner::new(&seq).run(&stream, &mut out, batch).throughput();
+            rates[1] += BatchRunner::new(&par).run(&stream, &mut out, batch).throughput();
+            rates[2] += BatchRunner::new(&gpu).run(&stream, &mut out, batch).throughput();
+        }
+        let r = cfg.repeats as f64;
+        table.row(vec![
+            batch.to_string(),
+            fmt_rate(rates[0] / r),
+            fmt_rate(rates[1] / r),
+            fmt_rate(rates[2] / r),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "fig6");
+
+    // Offline reference: the whole stream in one union-find DFS.
+    let offline = crate::harness::bench_mean(cfg.repeats, || {
+        time(|| offline_tarjan_lca(&tree, &stream)).1
+    });
+    println!(
+        "offline Tarjan (all {total_queries} queries known up front, zero \
+         preprocessing): {} — the single-core bound the parallel online \
+         backends must beat once batches are large enough",
+        fmt_rate(total_queries as f64 / offline)
+    );
+    println!(
+        "expected shape: parallel backends approach peak throughput as batches\n\
+         grow and plateau; the sequential baseline is flat (paper Figure 6).\n"
+    );
+}

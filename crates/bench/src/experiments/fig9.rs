@@ -1,0 +1,52 @@
+//! Figure 9 — bridge-finding total time on the Kronecker family
+//! (`kron_g500-logn16…21` at paper scale; log₂(scale) subtracted here).
+
+use crate::config::Config;
+use crate::datasets::kronecker_suite;
+use crate::harness::{bench_mean, fmt_secs, time, Table};
+use bridges::{bridges_ck_device, bridges_ck_rayon, bridges_dfs, bridges_tv};
+use gpu_sim::Device;
+use graph_core::Csr;
+
+/// Runs the Kronecker sweep.
+pub fn run(cfg: &Config) {
+    let device = Device::new();
+    let shift = cfg.scale.next_power_of_two().trailing_zeros();
+    let scales: Vec<u32> = (16..=21)
+        .map(|s| (s as u32).saturating_sub(shift).max(10))
+        .collect();
+    let suite = kronecker_suite(&scales, 16, 0x916);
+
+    let mut table = Table::new(
+        "Figure 9: bridge finding on Kronecker graphs [total time]",
+        &["graph", "nodes", "edges", "cpu-dfs", "multicore-ck", "gpu-ck", "gpu-tv"],
+    );
+    for ds in &suite {
+        let csr = Csr::from_edge_list(&ds.graph);
+        let dfs_s = bench_mean(cfg.repeats, || time(|| bridges_dfs(&ds.graph, &csr)).1);
+        let ck_ray_s = bench_mean(cfg.repeats, || {
+            time(|| bridges_ck_rayon(&ds.graph, &csr).unwrap()).1
+        });
+        let ck_dev_s = bench_mean(cfg.repeats, || {
+            time(|| bridges_ck_device(&device, &ds.graph, &csr).unwrap()).1
+        });
+        let tv_s = bench_mean(cfg.repeats, || {
+            time(|| bridges_tv(&device, &ds.graph, &csr).unwrap()).1
+        });
+        table.row(vec![
+            ds.name.clone(),
+            ds.graph.num_nodes().to_string(),
+            ds.graph.num_edges().to_string(),
+            fmt_secs(dfs_s),
+            fmt_secs(ck_ray_s),
+            fmt_secs(ck_dev_s),
+            fmt_secs(tv_s),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "fig9");
+    println!(
+        "expected shape: TV ahead of CK on all but the smallest instance\n\
+         (paper Figure 9; both well ahead of the sequential DFS).\n"
+    );
+}

@@ -1,0 +1,82 @@
+//! Shared measurement driver for the LCA experiments (Figures 3, 7, 8).
+
+use crate::harness::time;
+use gpu_sim::Device;
+use graph_core::Tree;
+use lca::{
+    GpuInlabelLca, LcaAlgorithm, MulticoreInlabelLca, NaiveGpuLca, SequentialInlabelLca,
+};
+
+/// One algorithm's preprocessing + query timing on one instance.
+#[derive(Debug, Clone)]
+pub struct LcaSample {
+    /// Algorithm display name (paper legend).
+    pub name: &'static str,
+    /// Preprocessing seconds.
+    pub prep_s: f64,
+    /// Whole-batch query seconds.
+    pub query_s: f64,
+}
+
+/// Runs all four paper algorithms on one tree + query set.
+pub fn measure_all(device: &Device, tree: &Tree, queries: &[(u32, u32)]) -> Vec<LcaSample> {
+    let mut out_buf = vec![0u32; queries.len()];
+    let mut samples = Vec::with_capacity(4);
+
+    {
+        let (algo, prep) = time(|| SequentialInlabelLca::preprocess(tree));
+        let (_, q) = time(|| algo.query_batch(queries, &mut out_buf));
+        samples.push(LcaSample {
+            name: "seq-cpu-inlabel",
+            prep_s: prep.as_secs_f64(),
+            query_s: q.as_secs_f64(),
+        });
+    }
+    {
+        let (algo, prep) = time(|| MulticoreInlabelLca::preprocess(device, tree).unwrap());
+        let (_, q) = time(|| algo.query_batch(queries, &mut out_buf));
+        samples.push(LcaSample {
+            name: "multicore-inlabel",
+            prep_s: prep.as_secs_f64(),
+            query_s: q.as_secs_f64(),
+        });
+    }
+    {
+        let (algo, prep) = time(|| NaiveGpuLca::preprocess(device, tree));
+        let (_, q) = time(|| algo.query_batch(queries, &mut out_buf));
+        samples.push(LcaSample {
+            name: "gpu-naive",
+            prep_s: prep.as_secs_f64(),
+            query_s: q.as_secs_f64(),
+        });
+    }
+    {
+        let (algo, prep) = time(|| GpuInlabelLca::preprocess(device, tree).unwrap());
+        let (_, q) = time(|| algo.query_batch(queries, &mut out_buf));
+        samples.push(LcaSample {
+            name: "gpu-inlabel",
+            prep_s: prep.as_secs_f64(),
+            query_s: q.as_secs_f64(),
+        });
+    }
+    samples
+}
+
+/// Averages repeated samples per algorithm name (instance seeds vary
+/// outside this helper).
+pub fn average(runs: &[Vec<LcaSample>]) -> Vec<LcaSample> {
+    let count = runs.len().max(1) as f64;
+    let mut acc: Vec<LcaSample> = runs[0].clone();
+    for sample in acc.iter_mut() {
+        sample.prep_s = 0.0;
+        sample.query_s = 0.0;
+    }
+    for run in runs {
+        for (slot, s) in acc.iter_mut().zip(run) {
+            assert_eq!(slot.name, s.name);
+            slot.prep_s += s.prep_s / count;
+            slot.query_s += s.query_s / count;
+        }
+    }
+    acc
+}

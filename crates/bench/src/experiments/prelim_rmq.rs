@@ -1,0 +1,108 @@
+//! The §3.1 preliminary experiment: sequential Inlabel versus the
+//! RMQ/segment-tree LCA. The paper: "the RMQ-based algorithm has a faster
+//! preprocessing, by a factor of two, and the Inlabel algorithm answers
+//! queries faster, by a factor of three. When the number of queries equals
+//! the number of nodes, the two algorithms perform on par with each other."
+
+//!
+//! Extension beyond the paper: the same sweep over the *full*
+//! Bender–Farach-Colton design space the paper's variant deliberately
+//! trimmed — a sparse table (O(n log n)/O(1)), the block-decomposed ±1 RMQ
+//! with lookup tables (O(n)/O(1)), and a device-parallel sparse-table RMQ
+//! (the Soman et al. \[55\] role, with the missing Euler-tour preprocessing
+//! supplied).
+
+use crate::config::Config;
+use crate::harness::{bench_mean, fmt_secs, time, Table};
+use gpu_sim::Device;
+use graphgen::{random_queries, random_tree};
+use lca::{BlockRmqLca, GpuRmqLca, LcaAlgorithm, RmqLca, SequentialInlabelLca, SparseRmqLca};
+
+/// Runs the preliminary comparison.
+pub fn run(cfg: &Config) {
+    let n = cfg.nodes(8_000_000);
+    let tree = random_tree(n, None, 0x3131);
+    let queries = random_queries(n, n, 0x3232);
+    let mut out = vec![0u32; n];
+
+    let inlabel_prep = bench_mean(cfg.repeats, || {
+        time(|| SequentialInlabelLca::preprocess(&tree)).1
+    });
+    let rmq_prep = bench_mean(cfg.repeats, || time(|| RmqLca::preprocess(&tree)).1);
+
+    let inlabel = SequentialInlabelLca::preprocess(&tree);
+    let rmq = RmqLca::preprocess(&tree);
+    let inlabel_query = bench_mean(cfg.repeats, || {
+        time(|| inlabel.query_batch(&queries, &mut out)).1
+    });
+    let rmq_query = bench_mean(cfg.repeats, || time(|| rmq.query_batch(&queries, &mut out)).1);
+
+    let mut table = Table::new(
+        &format!("§3.1 preliminary: sequential Inlabel vs RMQ (n = q = {n})"),
+        &["algorithm", "preprocess", "queries", "total"],
+    );
+    table.row(vec![
+        "seq-cpu-inlabel".into(),
+        fmt_secs(inlabel_prep),
+        fmt_secs(inlabel_query),
+        fmt_secs(inlabel_prep + inlabel_query),
+    ]);
+    table.row(vec![
+        "seq-cpu-rmq".into(),
+        fmt_secs(rmq_prep),
+        fmt_secs(rmq_query),
+        fmt_secs(rmq_prep + rmq_query),
+    ]);
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "prelim_rmq");
+    println!(
+        "prep ratio (inlabel/rmq):   {:.2} (paper ≈ 2)\n\
+         query ratio (rmq/inlabel):  {:.2} (paper ≈ 3)\n",
+        inlabel_prep / rmq_prep,
+        rmq_query / inlabel_query
+    );
+
+    // Extension: the rest of the RMQ design space (not in the paper).
+    let device = Device::new();
+    let mut ext = Table::new(
+        &format!("extension: full RMQ design space (n = q = {n})"),
+        &["algorithm", "preprocess", "queries", "total"],
+    );
+    {
+        let prep = bench_mean(cfg.repeats, || time(|| SparseRmqLca::preprocess(&tree)).1);
+        let alg = SparseRmqLca::preprocess(&tree);
+        let query = bench_mean(cfg.repeats, || time(|| alg.query_batch(&queries, &mut out)).1);
+        ext.row(vec![
+            "seq-cpu-sparse-rmq".into(),
+            fmt_secs(prep),
+            fmt_secs(query),
+            fmt_secs(prep + query),
+        ]);
+    }
+    {
+        let prep = bench_mean(cfg.repeats, || time(|| BlockRmqLca::preprocess(&tree)).1);
+        let alg = BlockRmqLca::preprocess(&tree);
+        let query = bench_mean(cfg.repeats, || time(|| alg.query_batch(&queries, &mut out)).1);
+        ext.row(vec![
+            "seq-cpu-block-rmq".into(),
+            fmt_secs(prep),
+            fmt_secs(query),
+            fmt_secs(prep + query),
+        ]);
+    }
+    {
+        let prep = bench_mean(cfg.repeats, || {
+            time(|| GpuRmqLca::preprocess(&device, &tree).unwrap()).1
+        });
+        let alg = GpuRmqLca::preprocess(&device, &tree).unwrap();
+        let query = bench_mean(cfg.repeats, || time(|| alg.query_batch(&queries, &mut out)).1);
+        ext.row(vec![
+            "gpu-sparse-rmq".into(),
+            fmt_secs(prep),
+            fmt_secs(query),
+            fmt_secs(prep + query),
+        ]);
+    }
+    ext.print();
+    let _ = ext.write_csv(&cfg.out_dir, "prelim_rmq_ext");
+}

@@ -1,0 +1,19 @@
+//! # euler-bench — the paper's evaluation, regenerated
+//!
+//! One experiment module per table/figure of the paper (see the experiment
+//! index in `DESIGN.md`). Binaries under `src/bin/` are thin wrappers; the
+//! `all_experiments` binary runs the full evaluation and writes CSVs under
+//! `results/`.
+//!
+//! Paper sizes are divided by [`Config::scale`] (default 16) so the whole
+//! evaluation completes on a laptop-class machine; pass `--scale 1` to run
+//! the original sizes given enough memory and patience.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod datasets;
+pub mod experiments;
+pub mod harness;
+
+pub use config::Config;

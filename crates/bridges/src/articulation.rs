@@ -1,0 +1,193 @@
+//! Articulation points (cut vertices) — the vertex analogue of bridges the
+//! paper's §4 introduction places in the same family: "closely related
+//! notions of an articulation point and a 2-vertex-connected component are
+//! defined similarly for vertices".
+//!
+//! Only the sequential Hopcroft–Tarjan low-link algorithm is provided. A
+//! parallel equivalent cannot reuse the bridge predicate: whether removing
+//! `v` separates a child subtree depends on how *groups* of child subtrees
+//! interconnect, which is exactly the auxiliary-graph construction of the
+//! full Tarjan–Vishkin biconnectivity algorithm. The paper makes the same
+//! scoping decision ("for the sake of simplicity, in this paper we focus on
+//! the following problem: determine for each edge whether it is a bridge");
+//! the auxiliary graph is the natural next extension on top of this crate's
+//! spanning-tree + Euler-tour + RMQ building blocks.
+
+use graph_core::bitset::BitSet;
+use graph_core::{Csr, EdgeList};
+
+/// Sequential articulation points by iterative DFS low-link. Handles
+/// disconnected graphs, multi-edges and self-loops.
+pub fn articulation_points_dfs(graph: &EdgeList, csr: &Csr) -> BitSet {
+    let n = graph.num_nodes();
+    let mut is_cut = BitSet::new(n);
+    const UNSET: u32 = u32::MAX;
+    let mut disc = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut timer = 0u32;
+    let mut stack: Vec<(u32, u32, u32)> = Vec::new(); // (node, enter edge, idx)
+
+    for s in 0..n as u32 {
+        if disc[s as usize] != UNSET {
+            continue;
+        }
+        disc[s as usize] = timer;
+        low[s as usize] = timer;
+        timer += 1;
+        let mut root_children = 0u32;
+        stack.push((s, u32::MAX, 0));
+        while let Some(&mut (v, enter_edge, ref mut idx)) = stack.last_mut() {
+            let nbs = csr.neighbors(v);
+            let eids = csr.edge_ids(v);
+            if (*idx as usize) < nbs.len() {
+                let w = nbs[*idx as usize];
+                let eid = eids[*idx as usize];
+                *idx += 1;
+                if eid == enter_edge {
+                    continue;
+                }
+                if disc[w as usize] == UNSET {
+                    if v == s {
+                        root_children += 1;
+                    }
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, eid, 0));
+                } else {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    // Non-root p is a cut vertex if some child's subtree
+                    // cannot reach above p.
+                    if p != s && low[v as usize] >= disc[p as usize] {
+                        is_cut.set(p as usize, true);
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut.set(s as usize, true);
+        }
+    }
+    is_cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cuts(edges: Vec<(u32, u32)>, n: usize) -> Vec<usize> {
+        let graph = EdgeList::new(n, edges);
+        let csr = Csr::from_edge_list(&graph);
+        articulation_points_dfs(&graph, &csr).iter_ones().collect()
+    }
+
+    #[test]
+    fn path_interior_nodes_are_cuts() {
+        assert_eq!(cuts(vec![(0, 1), (1, 2), (2, 3)], 4), vec![1, 2]);
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        assert!(cuts(vec![(0, 1), (1, 2), (2, 3), (3, 0)], 4).is_empty());
+    }
+
+    #[test]
+    fn barbell_joint_nodes_are_cuts() {
+        assert_eq!(
+            cuts(
+                vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+                6,
+            ),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn star_center_is_cut() {
+        assert_eq!(cuts(vec![(0, 1), (0, 2), (0, 3)], 4), vec![0]);
+    }
+
+    #[test]
+    fn grouped_child_subtrees_are_not_separated() {
+        // From root 0 the tree edges are 0-1, 1-3, 0-2, 2-4 and the
+        // non-tree edge 3-4 joins the two child subtrees — the whole graph
+        // is the 5-cycle 0-1-3-4-2-0, so nothing is a cut vertex. This is
+        // the configuration where a naive per-child "confined subtree"
+        // test (the bridge predicate transplanted to vertices) would
+        // wrongly flag node 0; the grouping matters.
+        assert!(cuts(vec![(0, 1), (1, 3), (0, 2), (2, 4), (3, 4)], 5).is_empty());
+    }
+
+    #[test]
+    fn brute_force_cross_check_on_random_graphs() {
+        // v is a cut vertex iff removing it increases the component count
+        // among the remaining nodes.
+        let mut state = 4242u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..15 {
+            let n = 10 + (step() % 40) as usize;
+            let mut edges: Vec<(u32, u32)> = (1..n as u64)
+                .map(|v| ((step() % v) as u32, v as u32))
+                .collect();
+            for _ in 0..(step() % (n as u64)) {
+                let u = (step() % n as u64) as u32;
+                let v = (step() % n as u64) as u32;
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+            let graph = EdgeList::new(n, edges.clone());
+            let csr = Csr::from_edge_list(&graph);
+            let got = articulation_points_dfs(&graph, &csr);
+
+            for cut in 0..n as u32 {
+                let mut seen = vec![false; n];
+                seen[cut as usize] = true;
+                let mut comps = 0;
+                for s in 0..n as u32 {
+                    if seen[s as usize] {
+                        continue;
+                    }
+                    comps += 1;
+                    let mut stack = vec![s];
+                    seen[s as usize] = true;
+                    while let Some(x) = stack.pop() {
+                        for &w in csr.neighbors(x) {
+                            if w != cut && !seen[w as usize] {
+                                seen[w as usize] = true;
+                                stack.push(w);
+                            }
+                        }
+                    }
+                }
+                assert_eq!(got.get(cut as usize), comps > 1, "node {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn bridges_endpoints_relationship() {
+        // Every bridge endpoint with degree > 1 is a cut vertex.
+        let edges = vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)];
+        let graph = EdgeList::new(6, edges);
+        let csr = Csr::from_edge_list(&graph);
+        let cuts = articulation_points_dfs(&graph, &csr);
+        let bridges = crate::dfs::bridges_dfs(&graph, &csr);
+        for e in bridges.bridge_ids() {
+            let (u, v) = graph.edges()[e as usize];
+            for x in [u, v] {
+                if csr.degree(x) > 1 {
+                    assert!(cuts.get(x as usize), "bridge endpoint {x}");
+                }
+            }
+        }
+    }
+}

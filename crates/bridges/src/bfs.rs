@@ -1,0 +1,345 @@
+//! Level-synchronous parallel breadth-first search.
+//!
+//! The CK algorithm's first phase (paper §4.1): "a parallel BFS is used in
+//! most implementations; the choice of BFS guarantees that the spanning
+//! tree depth is at most a factor of two from the minimum". This module
+//! follows the frontier-expansion structure of Merrill et al. \[39\]: each
+//! round expands the current frontier, claims unvisited neighbors with
+//! atomic CAS, and compacts the winners into the next frontier.
+
+use gpu_sim::device::SharedSlice;
+use gpu_sim::Device;
+use graph_core::ids::{EdgeId, NodeId, INVALID_NODE};
+use graph_core::Csr;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// A rooted BFS spanning tree (of the root's component).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsTree {
+    /// BFS parent of each node; `INVALID_NODE` for the root and for nodes
+    /// outside the root's component.
+    pub parent: Vec<NodeId>,
+    /// BFS level; `u32::MAX` for unreached nodes.
+    pub level: Vec<u32>,
+    /// Edge id connecting each node to its parent; `u32::MAX` where absent.
+    pub parent_edge: Vec<EdgeId>,
+    /// The BFS root.
+    pub root: NodeId,
+    /// Number of levels (max level + 1) over reached nodes.
+    pub num_levels: u32,
+}
+
+impl BfsTree {
+    /// Number of nodes reached (including the root).
+    pub fn reached(&self) -> usize {
+        self.level.iter().filter(|&&l| l != u32::MAX).count()
+    }
+
+    /// Whether the BFS reached every node.
+    pub fn spans(&self) -> bool {
+        self.level.iter().all(|&l| l != u32::MAX)
+    }
+}
+
+/// Sequential BFS — baseline and oracle.
+pub fn bfs_sequential(csr: &Csr, root: NodeId) -> BfsTree {
+    let n = csr.num_nodes();
+    let mut parent = vec![INVALID_NODE; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut level = vec![u32::MAX; n];
+    level[root as usize] = 0;
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    queue.push_back(root);
+    let mut max_level = 0;
+    while let Some(u) = queue.pop_front() {
+        let l = level[u as usize];
+        for (w, eid) in csr.incident(u) {
+            if level[w as usize] == u32::MAX {
+                level[w as usize] = l + 1;
+                parent[w as usize] = u;
+                parent_edge[w as usize] = eid;
+                max_level = max_level.max(l + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsTree {
+        parent,
+        level,
+        parent_edge,
+        root,
+        num_levels: max_level + 1,
+    }
+}
+
+/// Packs `(parent, edge)` claims into one atomic word so a winner writes
+/// both consistently.
+#[inline]
+fn pack_claim(parent: NodeId, edge: EdgeId) -> u64 {
+    ((parent as u64) << 32) | edge as u64
+}
+
+/// Device (GPU-sim) BFS.
+pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
+    let n = csr.num_nodes();
+    let claims: Vec<std::sync::atomic::AtomicU64> =
+        (0..n).map(|_| std::sync::atomic::AtomicU64::new(u64::MAX)).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    levels[root as usize].store(0, Ordering::Relaxed);
+    claims[root as usize].store(pack_claim(INVALID_NODE, u32::MAX), Ordering::Relaxed);
+
+    let mut frontier = vec![root];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        // Upper bound on next frontier size: sum of degrees of the frontier.
+        let degree_sum: usize = frontier.iter().map(|&u| csr.degree(u)).sum();
+        let mut next = vec![0 as NodeId; degree_sum];
+        let count = AtomicUsize::new(0);
+        {
+            let next_shared = SharedSlice::new(&mut next);
+            let frontier_ref = &frontier;
+            let claims_ref = &claims;
+            let levels_ref = &levels;
+            let count_ref = &count;
+            device.for_each(frontier.len(), |i| {
+                let u = frontier_ref[i];
+                for (w, eid) in csr.incident(u) {
+                    if levels_ref[w as usize].load(Ordering::Relaxed) != u32::MAX {
+                        continue;
+                    }
+                    if claims_ref[w as usize]
+                        .compare_exchange(
+                            u64::MAX,
+                            pack_claim(u, eid),
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        levels_ref[w as usize].store(depth, Ordering::Relaxed);
+                        let pos = count_ref.fetch_add(1, Ordering::Relaxed);
+                        // SAFETY: fetch_add hands out unique slots; capacity
+                        // bounds by the degree sum.
+                        unsafe { next_shared.write(pos, w) };
+                    }
+                }
+            });
+        }
+        next.truncate(count.load(Ordering::Relaxed));
+        frontier = next;
+    }
+
+    let mut parent = vec![INVALID_NODE; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut level = vec![u32::MAX; n];
+    device.map(&mut level, |v| levels[v].load(Ordering::Relaxed));
+    {
+        let parent_shared = SharedSlice::new(&mut parent);
+        let pe_shared = SharedSlice::new(&mut parent_edge);
+        let claims_ref = &claims;
+        let level_ref = &level;
+        device.for_each(n, |v| {
+            if level_ref[v] != u32::MAX && v != root as usize {
+                let c = claims_ref[v].load(Ordering::Relaxed);
+                // SAFETY: one write per node.
+                unsafe {
+                    parent_shared.write(v, (c >> 32) as NodeId);
+                    pe_shared.write(v, c as EdgeId);
+                }
+            }
+        });
+    }
+    let num_levels = level
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0)
+        + 1;
+    BfsTree {
+        parent,
+        level,
+        parent_edge,
+        root,
+        num_levels,
+    }
+}
+
+/// Multicore (rayon) BFS — the OpenMP-style variant used by multicore CK.
+pub fn bfs_rayon(csr: &Csr, root: NodeId) -> BfsTree {
+    let n = csr.num_nodes();
+    let claims: Vec<std::sync::atomic::AtomicU64> =
+        (0..n).map(|_| std::sync::atomic::AtomicU64::new(u64::MAX)).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    levels[root as usize].store(0, Ordering::Relaxed);
+    claims[root as usize].store(pack_claim(INVALID_NODE, u32::MAX), Ordering::Relaxed);
+
+    let mut frontier = vec![root];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let levels_ref = &levels;
+        let claims_ref = &claims;
+        let next: Vec<NodeId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                csr.incident(u).filter_map(move |(w, eid)| {
+                    if levels_ref[w as usize].load(Ordering::Relaxed) != u32::MAX {
+                        return None;
+                    }
+                    claims_ref[w as usize]
+                        .compare_exchange(
+                            u64::MAX,
+                            pack_claim(u, eid),
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .ok()
+                        .map(|_| {
+                            levels_ref[w as usize].store(depth, Ordering::Relaxed);
+                            w
+                        })
+                })
+            })
+            .collect();
+        frontier = next;
+    }
+
+    let parent: Vec<NodeId> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            if v == root as usize || levels[v].load(Ordering::Relaxed) == u32::MAX {
+                INVALID_NODE
+            } else {
+                (claims[v].load(Ordering::Relaxed) >> 32) as NodeId
+            }
+        })
+        .collect();
+    let parent_edge: Vec<EdgeId> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            if v == root as usize || levels[v].load(Ordering::Relaxed) == u32::MAX {
+                u32::MAX
+            } else {
+                claims[v].load(Ordering::Relaxed) as EdgeId
+            }
+        })
+        .collect();
+    let level: Vec<u32> = levels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
+    let num_levels = level
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0)
+        + 1;
+    BfsTree {
+        parent,
+        level,
+        parent_edge,
+        root,
+        num_levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_core::EdgeList;
+
+    fn grid(w: usize, h: usize) -> (EdgeList, Csr) {
+        let n = w * h;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let v = (y * w + x) as u32;
+                if x + 1 < w {
+                    edges.push((v, v + 1));
+                }
+                if y + 1 < h {
+                    edges.push((v, v + w as u32));
+                }
+            }
+        }
+        let el = EdgeList::new(n, edges);
+        let csr = Csr::from_edge_list(&el);
+        (el, csr)
+    }
+
+    #[test]
+    fn levels_match_sequential_on_grid() {
+        let device = Device::new();
+        let (_, csr) = grid(50, 40);
+        let seq = bfs_sequential(&csr, 0);
+        let dev = bfs_device(&device, &csr, 0);
+        let ray = bfs_rayon(&csr, 0);
+        assert_eq!(seq.level, dev.level);
+        assert_eq!(seq.level, ray.level);
+        assert_eq!(seq.num_levels, dev.num_levels);
+    }
+
+    #[test]
+    fn parents_are_one_level_up() {
+        let device = Device::new();
+        let (_, csr) = grid(30, 30);
+        let t = bfs_device(&device, &csr, 17);
+        for v in 0..csr.num_nodes() as u32 {
+            if v == 17 {
+                assert_eq!(t.parent[v as usize], INVALID_NODE);
+                continue;
+            }
+            let p = t.parent[v as usize];
+            assert_ne!(p, INVALID_NODE);
+            assert_eq!(t.level[v as usize], t.level[p as usize] + 1);
+            // parent_edge really connects v and p.
+            assert!(csr
+                .incident(v)
+                .any(|(w, e)| w == p && e == t.parent_edge[v as usize]));
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let device = Device::new();
+        let el = EdgeList::new(5, vec![(0, 1), (2, 3)]);
+        let csr = Csr::from_edge_list(&el);
+        let t = bfs_device(&device, &csr, 0);
+        assert_eq!(t.reached(), 2);
+        assert!(!t.spans());
+        assert_eq!(t.level[4], u32::MAX);
+        assert_eq!(t.parent[2], INVALID_NODE);
+    }
+
+    #[test]
+    fn path_graph_depth() {
+        let device = Device::new();
+        let n = 2000;
+        let el = EdgeList::new(n, (1..n as u32).map(|v| (v - 1, v)).collect());
+        let csr = Csr::from_edge_list(&el);
+        let t = bfs_device(&device, &csr, 0);
+        assert_eq!(t.num_levels, n as u32);
+        assert!(t.spans());
+    }
+
+    #[test]
+    fn single_node() {
+        let device = Device::new();
+        let el = EdgeList::new(1, vec![]);
+        let csr = Csr::from_edge_list(&el);
+        let t = bfs_device(&device, &csr, 0);
+        assert!(t.spans());
+        assert_eq!(t.num_levels, 1);
+    }
+
+    #[test]
+    fn multi_edges_and_loops_ok() {
+        let device = Device::new();
+        let el = EdgeList::new(3, vec![(0, 1), (0, 1), (1, 1), (1, 2)]);
+        let csr = Csr::from_edge_list(&el);
+        let t = bfs_device(&device, &csr, 0);
+        assert!(t.spans());
+        assert_eq!(t.level[2], 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Sequential bridge finding via depth-first search (Hopcroft–Tarjan
+//! low-link) — the paper's single-core CPU baseline and the workspace's
+//! test oracle.
+
+use crate::result::BridgesResult;
+use graph_core::bitset::BitSet;
+use graph_core::{Csr, EdgeList};
+use std::time::Instant;
+
+/// Finds all bridges with one iterative DFS. Handles disconnected graphs,
+/// multi-edges (a doubled edge is never a bridge) and self-loops.
+pub fn bridges_dfs(graph: &EdgeList, csr: &Csr) -> BridgesResult {
+    let start = Instant::now();
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let mut is_bridge = BitSet::new(m);
+
+    const UNSET: u32 = u32::MAX;
+    let mut disc = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut timer = 0u32;
+
+    // Frame: (node, edge id used to enter, index into adjacency).
+    let mut stack: Vec<(u32, u32, u32)> = Vec::new();
+    for s in 0..n as u32 {
+        if disc[s as usize] != UNSET {
+            continue;
+        }
+        disc[s as usize] = timer;
+        low[s as usize] = timer;
+        timer += 1;
+        stack.push((s, u32::MAX, 0));
+        while let Some(&mut (v, enter_edge, ref mut idx)) = stack.last_mut() {
+            let nbs = csr.neighbors(v);
+            let eids = csr.edge_ids(v);
+            if (*idx as usize) < nbs.len() {
+                let w = nbs[*idx as usize];
+                let eid = eids[*idx as usize];
+                *idx += 1;
+                if eid == enter_edge {
+                    continue; // the tree edge we arrived on (skip one copy only)
+                }
+                if disc[w as usize] == UNSET {
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, eid, 0));
+                } else {
+                    // Back or forward edge (or a parallel copy of the tree
+                    // edge, or a self-loop) — all update low.
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] > disc[p as usize] {
+                        is_bridge.set(enter_edge as usize, true);
+                    }
+                }
+            }
+        }
+    }
+
+    BridgesResult {
+        is_bridge,
+        phases: vec![("dfs".to_string(), start.elapsed())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(edges: Vec<(u32, u32)>, n: usize) -> Vec<u32> {
+        let graph = EdgeList::new(n, edges);
+        let csr = Csr::from_edge_list(&graph);
+        bridges_dfs(&graph, &csr).bridge_ids()
+    }
+
+    #[test]
+    fn tree_edges_are_all_bridges() {
+        let bridges = find(vec![(0, 1), (1, 2), (1, 3), (3, 4)], 5);
+        assert_eq!(bridges, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let bridges = find(vec![(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        assert!(bridges.is_empty());
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let bridges = find(vec![(0, 1), (1, 2), (2, 0), (2, 3)], 4);
+        assert_eq!(bridges, vec![3]);
+    }
+
+    #[test]
+    fn two_triangles_joined_by_edge() {
+        // Classic barbell: the middle edge is the only bridge.
+        let bridges = find(
+            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+            6,
+        );
+        assert_eq!(bridges, vec![6]);
+    }
+
+    #[test]
+    fn parallel_edges_are_never_bridges() {
+        let bridges = find(vec![(0, 1), (0, 1), (1, 2)], 3);
+        assert_eq!(bridges, vec![2]);
+    }
+
+    #[test]
+    fn self_loops_are_never_bridges() {
+        let bridges = find(vec![(0, 0), (0, 1)], 2);
+        assert_eq!(bridges, vec![1]);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let bridges = find(vec![(0, 1), (2, 3), (3, 4), (4, 2)], 5);
+        assert_eq!(bridges, vec![0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let bridges = find(vec![], 3);
+        assert!(bridges.is_empty());
+    }
+
+    #[test]
+    fn deep_path_no_stack_overflow() {
+        let n = 300_000;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+        let graph = EdgeList::new(n, edges);
+        let csr = Csr::from_edge_list(&graph);
+        let r = bridges_dfs(&graph, &csr);
+        assert_eq!(r.num_bridges(), n - 1);
+    }
+
+    #[test]
+    fn phase_recorded() {
+        let graph = EdgeList::new(2, vec![(0, 1)]);
+        let csr = Csr::from_edge_list(&graph);
+        let r = bridges_dfs(&graph, &csr);
+        assert!(r.phase("dfs").is_some());
+    }
+}

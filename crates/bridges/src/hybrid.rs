@@ -1,0 +1,212 @@
+//! The hybrid bridge-finding algorithm the paper proposes in §4.3:
+//! replace CK's BFS with the (faster, diameter-insensitive) connected-
+//! components spanning tree, then recover the parents and levels that the
+//! marking phase needs **via the Euler tour technique**.
+//!
+//! Phases match Figure 11's hybrid row: `spanning_tree`, `euler_tour`,
+//! `levels_parents`, `mark`.
+
+use crate::bfs::BfsTree;
+use crate::cc::connected_components;
+use crate::ck;
+use crate::result::{BridgesError, BridgesResult};
+use euler_tour::{EulerTour, TreeStats};
+use gpu_sim::device::SharedSlice;
+use gpu_sim::Device;
+use graph_core::bitset::{AtomicBitSet, BitSet};
+use graph_core::{Csr, EdgeList};
+use std::time::Instant;
+
+/// Finds bridges with the hybrid algorithm (CC tree + Euler-tour
+/// levels/parents + CK marking).
+///
+/// The CSR parameter keeps the signature interchangeable with
+/// [`crate::bridges_tv`] / [`crate::bridges_ck_device`]; the hybrid itself
+/// walks parent pointers and never consults the adjacency.
+///
+/// # Errors
+/// [`BridgesError::Empty`] / [`BridgesError::Disconnected`] as for TV.
+pub fn bridges_hybrid(
+    device: &Device,
+    graph: &EdgeList,
+    _csr: &Csr,
+) -> Result<BridgesResult, BridgesError> {
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    if n == 0 {
+        return Err(BridgesError::Empty);
+    }
+    let mut phases = Vec::new();
+
+    // Phase 1: unrooted spanning tree from connected components.
+    let t0 = Instant::now();
+    let cc = connected_components(device, graph);
+    if !cc.is_connected() {
+        return Err(BridgesError::Disconnected);
+    }
+    let tree_edge_ids = cc.tree_edges;
+    let mut is_tree = vec![false; m];
+    {
+        let tree_shared = SharedSlice::new(&mut is_tree);
+        let ids = &tree_edge_ids;
+        device.for_each(ids.len(), |i| {
+            // SAFETY: distinct edge ids.
+            unsafe { tree_shared.write(ids[i] as usize, true) };
+        });
+    }
+    phases.push(("spanning_tree".to_string(), t0.elapsed()));
+
+    // Phase 2: Euler tour of the spanning tree.
+    let t1 = Instant::now();
+    let tree_pairs: Vec<(u32, u32)> = tree_edge_ids
+        .iter()
+        .map(|&e| graph.edges()[e as usize])
+        .collect();
+    let tour = EulerTour::build_from_edges(device, n, &tree_pairs, 0)
+        .map_err(|_| BridgesError::Disconnected)?;
+    phases.push(("euler_tour".to_string(), t1.elapsed()));
+
+    // Phase 3: levels and parents from the tour ("it is important to note
+    // that this algorithm outputs an unrooted spanning tree, but the marking
+    // phase requires a rooted tree ... we compute both parents and levels
+    // using the Euler tour technique").
+    let t2 = Instant::now();
+    let stats = TreeStats::compute(device, &tour);
+    phases.push(("levels_parents".to_string(), t2.elapsed()));
+
+    // Phase 4: CK marking on the CC tree.
+    let t3 = Instant::now();
+    // Adapt the stats into the BfsTree shape the marking walk consumes.
+    // parent_edge is only needed for bridge collection; recover it per tree
+    // edge id below instead.
+    let walk_tree = BfsTree {
+        parent: stats.parent.clone(),
+        level: stats.level.clone(),
+        parent_edge: vec![u32::MAX; n],
+        root: 0,
+        num_levels: 0,
+    };
+    let marked = AtomicBitSet::new(n);
+    {
+        let edges = graph.edges();
+        let walk_ref = &walk_tree;
+        let marked_ref = &marked;
+        let is_tree_ref = &is_tree;
+        device.for_each(m, |e| {
+            if is_tree_ref[e] {
+                return;
+            }
+            let (u, v) = edges[e];
+            if u == v {
+                return;
+            }
+            ck::mark_walk(walk_ref, marked_ref, u, v);
+        });
+    }
+    // Tree edge {x, y} with child c is a bridge iff c's upward edge was
+    // never marked.
+    let mut bridge_flags = vec![false; m];
+    {
+        let flags_shared = SharedSlice::new(&mut bridge_flags);
+        let ids = &tree_edge_ids;
+        let parent = &stats.parent;
+        let edges = graph.edges();
+        let marked_ref = &marked;
+        device.for_each(ids.len(), |i| {
+            let e = ids[i];
+            let (x, y) = edges[e as usize];
+            let c = if parent[x as usize] == y { x } else { y };
+            // SAFETY: distinct edge ids.
+            unsafe { flags_shared.write(e as usize, !marked_ref.get(c as usize)) };
+        });
+    }
+    let is_bridge: BitSet = bridge_flags.iter().copied().collect();
+    phases.push(("mark".to_string(), t3.elapsed()));
+
+    Ok(BridgesResult { is_bridge, phases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::bridges_dfs;
+
+    fn check(edges: Vec<(u32, u32)>, n: usize) {
+        let device = Device::new();
+        let graph = EdgeList::new(n, edges);
+        let csr = Csr::from_edge_list(&graph);
+        let expected = bridges_dfs(&graph, &csr).bridge_ids();
+        let got = bridges_hybrid(&device, &graph, &csr).unwrap();
+        assert_eq!(got.bridge_ids(), expected);
+    }
+
+    #[test]
+    fn tree_all_bridges() {
+        check(vec![(0, 1), (1, 2), (1, 3), (3, 4)], 5);
+    }
+
+    #[test]
+    fn cycle_no_bridges() {
+        check(vec![(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+    }
+
+    #[test]
+    fn barbell() {
+        check(
+            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+            6,
+        );
+    }
+
+    #[test]
+    fn multi_edges_and_loops() {
+        check(vec![(0, 1), (0, 1), (1, 1), (1, 2), (2, 3), (3, 1)], 4);
+    }
+
+    #[test]
+    fn random_graphs_match_dfs() {
+        let mut state = 4242u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..15 {
+            let n = 40 + (step() % 250) as usize;
+            let mut edges: Vec<(u32, u32)> = (1..n as u64)
+                .map(|v| ((step() % v) as u32, v as u32))
+                .collect();
+            for _ in 0..(step() % (n as u64 * 2)) {
+                let u = (step() % n as u64) as u32;
+                let v = (step() % n as u64) as u32;
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+            check(edges, n);
+        }
+    }
+
+    #[test]
+    fn phases_match_figure_11_hybrid_row() {
+        let device = Device::new();
+        let graph = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let csr = Csr::from_edge_list(&graph);
+        let r = bridges_hybrid(&device, &graph, &csr).unwrap();
+        let names: Vec<&str> = r.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["spanning_tree", "euler_tour", "levels_parents", "mark"]
+        );
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let device = Device::new();
+        let graph = EdgeList::new(4, vec![(0, 1), (2, 3)]);
+        let csr = Csr::from_edge_list(&graph);
+        assert_eq!(
+            bridges_hybrid(&device, &graph, &csr).unwrap_err(),
+            BridgesError::Disconnected
+        );
+    }
+}

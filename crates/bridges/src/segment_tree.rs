@@ -1,0 +1,210 @@
+//! Segment tree for range-minimum / range-maximum queries.
+//!
+//! Tarjan–Vishkin needs, per node `v`, the min and max of per-node values
+//! over the preorder interval of `v`'s subtree ("that task boils down to
+//! solving the range minimum query problem, which we do using the segment
+//! tree data structure" — §4.1). The tree is built level-by-level with one
+//! kernel per level, and queried by any number of threads concurrently.
+
+use gpu_sim::Device;
+
+/// Whether a [`SegmentTree`] answers minimum or maximum queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegOp {
+    /// Range minimum; identity `u32::MAX`.
+    Min,
+    /// Range maximum; identity `0`.
+    Max,
+}
+
+impl SegOp {
+    #[inline]
+    fn identity(self) -> u32 {
+        match self {
+            SegOp::Min => u32::MAX,
+            SegOp::Max => 0,
+        }
+    }
+
+    #[inline]
+    fn combine(self, a: u32, b: u32) -> u32 {
+        match self {
+            SegOp::Min => a.min(b),
+            SegOp::Max => a.max(b),
+        }
+    }
+}
+
+/// A static segment tree over `u32` values (1-indexed flat layout).
+#[derive(Debug, Clone)]
+pub struct SegmentTree {
+    data: Vec<u32>,
+    len: usize,
+    op: SegOp,
+}
+
+impl SegmentTree {
+    /// Builds the tree on the device, one kernel per level.
+    pub fn build(device: &Device, values: &[u32], op: SegOp) -> Self {
+        let len = values.len();
+        if len == 0 {
+            return Self {
+                data: Vec::new(),
+                len: 0,
+                op,
+            };
+        }
+        let mut data = vec![op.identity(); 2 * len];
+        data[len..].copy_from_slice(values);
+        // Internal nodes level by level: node i covers children 2i, 2i+1.
+        // Process ranges [len/2, len), [len/4, len/2) ... each as a kernel.
+        let mut hi = len; // exclusive
+        while hi > 1 {
+            let lo = hi.div_ceil(2);
+            // Compute nodes [lo, hi) — but only those with children below
+            // 2*len; in the iterative layout all of [1, len) are internal.
+            let (upper, lower) = data.split_at_mut(hi);
+            let lower_base = hi;
+            let target = &mut upper[lo..];
+            device.map(target, |j| {
+                let i = lo + j;
+                let l = 2 * i;
+                let r = 2 * i + 1;
+                let lv = if l >= lower_base {
+                    lower[l - lower_base]
+                } else {
+                    // Child still inside `upper` — can't happen: children of
+                    // [lo, hi) live in [2lo, 2hi) ⊇ [hi, ...).
+                    unreachable!()
+                };
+                let rv = if r >= lower_base { lower[r - lower_base] } else { unreachable!() };
+                op.combine(lv, rv)
+            });
+            hi = lo;
+        }
+        Self { data, len, op }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Query over the inclusive range `[l, r]`. Returns the identity for
+    /// inverted ranges.
+    #[inline]
+    pub fn query(&self, l: usize, r: usize) -> u32 {
+        if l > r || self.len == 0 {
+            return self.op.identity();
+        }
+        debug_assert!(r < self.len);
+        let mut acc = self.op.identity();
+        let mut lo = l + self.len;
+        let mut hi = r + self.len + 1;
+        while lo < hi {
+            if lo & 1 == 1 {
+                acc = self.op.combine(acc, self.data[lo]);
+                lo += 1;
+            }
+            if hi & 1 == 1 {
+                hi -= 1;
+                acc = self.op.combine(acc, self.data[hi]);
+            }
+            lo /= 2;
+            hi /= 2;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(values: &[u32], l: usize, r: usize, op: SegOp) -> u32 {
+        values[l..=r]
+            .iter()
+            .copied()
+            .fold(op.identity(), |a, b| op.combine(a, b))
+    }
+
+    #[test]
+    fn matches_naive_on_random_data() {
+        let device = Device::new();
+        let mut state = 77u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for n in [1usize, 2, 3, 7, 64, 1000, 30_000] {
+            let values: Vec<u32> = (0..n).map(|_| step() % 1_000_000).collect();
+            let min_tree = SegmentTree::build(&device, &values, SegOp::Min);
+            let max_tree = SegmentTree::build(&device, &values, SegOp::Max);
+            for trial in 0..200 {
+                let a = step() as usize % n;
+                let b = step() as usize % n;
+                let (l, r) = (a.min(b), a.max(b));
+                assert_eq!(
+                    min_tree.query(l, r),
+                    naive(&values, l, r, SegOp::Min),
+                    "min n={n} trial={trial} [{l},{r}]"
+                );
+                assert_eq!(
+                    max_tree.query(l, r),
+                    naive(&values, l, r, SegOp::Max),
+                    "max n={n} trial={trial} [{l},{r}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_element_ranges() {
+        let device = Device::new();
+        let values: Vec<u32> = (0..100).map(|i| 99 - i).collect();
+        let t = SegmentTree::build(&device, &values, SegOp::Min);
+        for i in 0..100 {
+            assert_eq!(t.query(i, i), values[i]);
+        }
+    }
+
+    #[test]
+    fn full_range() {
+        let device = Device::new();
+        let values = vec![5u32, 2, 9, 7];
+        let min_t = SegmentTree::build(&device, &values, SegOp::Min);
+        let max_t = SegmentTree::build(&device, &values, SegOp::Max);
+        assert_eq!(min_t.query(0, 3), 2);
+        assert_eq!(max_t.query(0, 3), 9);
+    }
+
+    #[test]
+    fn inverted_range_yields_identity() {
+        let device = Device::new();
+        let t = SegmentTree::build(&device, &[1, 2, 3], SegOp::Min);
+        assert_eq!(t.query(2, 1), u32::MAX);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let device = Device::new();
+        let t = SegmentTree::build(&device, &[], SegOp::Max);
+        assert!(t.is_empty());
+        assert_eq!(t.query(0, 0), 0);
+    }
+
+    #[test]
+    fn identities_survive_in_leaves() {
+        // u32::MAX leaves (empty segreduce results) must not break queries.
+        let device = Device::new();
+        let values = vec![u32::MAX, 4, u32::MAX];
+        let t = SegmentTree::build(&device, &values, SegOp::Min);
+        assert_eq!(t.query(0, 2), 4);
+        assert_eq!(t.query(0, 0), u32::MAX);
+    }
+}

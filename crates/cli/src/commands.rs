@@ -1,0 +1,327 @@
+//! The `emg` subcommands. Each returns its report as a `String` so the
+//! integration tests can assert on output without spawning processes.
+
+use crate::args::Args;
+use bridges::{
+    articulation_points_from_bcc, bcc_tv, bridges_ck_device, bridges_ck_rayon, bridges_dfs,
+    bridges_hybrid, bridges_tv, BridgesResult,
+};
+use gpu_sim::Device;
+use graph_core::{Csr, EdgeList, Tree};
+use graph_io::{detect_format, parse_as, Format, ParsedGraph};
+use graphgen::{
+    ba_graph, diameter_estimate, kronecker_graph, largest_connected_component, random_queries,
+    random_tree, road_grid, web_graph,
+};
+use lca::{
+    BlockRmqLca, GpuInlabelLca, GpuRmqLca, LcaAlgorithm, MulticoreInlabelLca, NaiveGpuLca, RmqLca,
+    SequentialInlabelLca, SparseRmqLca,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn load(path: &str, take_lcc: bool) -> Result<EdgeList, String> {
+    let parsed: ParsedGraph = graph_io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let graph = parsed.graph;
+    if take_lcc {
+        let (lcc, _) = largest_connected_component(&graph);
+        Ok(lcc)
+    } else {
+        Ok(graph)
+    }
+}
+
+fn run_bridge_alg(
+    name: &str,
+    device: &Device,
+    graph: &EdgeList,
+    csr: &Csr,
+) -> Result<BridgesResult, String> {
+    match name {
+        "dfs" => Ok(bridges_dfs(graph, csr)),
+        "tv" => bridges_tv(device, graph, csr).map_err(|e| e.to_string()),
+        "ck" => bridges_ck_device(device, graph, csr).map_err(|e| e.to_string()),
+        "ck-cpu" => bridges_ck_rayon(graph, csr).map_err(|e| e.to_string()),
+        "hybrid" => bridges_hybrid(device, graph, csr).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unknown algorithm {other:?} (expected dfs|tv|ck|ck-cpu|hybrid|all)"
+        )),
+    }
+}
+
+/// `emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all] [--lcc] [--list]`
+pub fn cmd_bridges(args: &Args) -> Result<String, String> {
+    let path = args.require_pos(0, "graph-file")?;
+    let alg = args.opt("alg").unwrap_or("tv");
+    let graph = load(path, args.flag("lcc"))?;
+    let csr = Csr::from_edge_list(&graph);
+    let device = Device::new();
+    let mut out = String::new();
+    let algs: Vec<&str> = if alg == "all" {
+        vec!["dfs", "tv", "ck", "ck-cpu", "hybrid"]
+    } else {
+        vec![alg]
+    };
+    writeln!(
+        out,
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )
+    .unwrap();
+    let mut first_ids: Option<Vec<u32>> = None;
+    for a in algs {
+        let t = Instant::now();
+        let r = run_bridge_alg(a, &device, &graph, &csr)?;
+        let elapsed = t.elapsed();
+        writeln!(
+            out,
+            "{a:>8}: {} bridges in {:.1?}",
+            r.num_bridges(),
+            elapsed
+        )
+        .unwrap();
+        match &first_ids {
+            None => first_ids = Some(r.bridge_ids()),
+            Some(ids) => {
+                if ids != &r.bridge_ids() {
+                    return Err(format!("algorithm {a} disagrees with the first result"));
+                }
+            }
+        }
+        if args.flag("list") {
+            for e in r.bridge_ids() {
+                let (u, v) = graph.edges()[e as usize];
+                writeln!(out, "  bridge {e}: {u} -- {v}").unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `emg bcc <file> [--lcc]` — biconnected components + articulation points.
+pub fn cmd_bcc(args: &Args) -> Result<String, String> {
+    let path = args.require_pos(0, "graph-file")?;
+    let graph = load(path, args.flag("lcc"))?;
+    let csr = Csr::from_edge_list(&graph);
+    let device = Device::new();
+    let t = Instant::now();
+    let bcc = bcc_tv(&device, &graph, &csr).map_err(|e| e.to_string())?;
+    let cuts = articulation_points_from_bcc(&graph, &csr, &bcc);
+    let elapsed = t.elapsed();
+    let mut sizes = vec![0usize; bcc.num_components];
+    for &c in &bcc.component {
+        sizes[c as usize] += 1;
+    }
+    let largest = sizes.iter().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )
+    .unwrap();
+    writeln!(out, "biconnected components: {}", bcc.num_components).unwrap();
+    writeln!(out, "largest component: {largest} edges").unwrap();
+    writeln!(out, "articulation points: {}", cuts.count_ones()).unwrap();
+    writeln!(out, "time: {elapsed:.1?}").unwrap();
+    Ok(out)
+}
+
+/// `emg lca <tree-file> [--alg ...] [--queries N] [--seed S] [--root R]`
+pub fn cmd_lca(args: &Args) -> Result<String, String> {
+    let path = args.require_pos(0, "tree-file")?;
+    let alg = args.opt("alg").unwrap_or("gpu");
+    let q: usize = args.opt_parse("queries", 1000usize)?;
+    let seed: u64 = args.opt_parse("seed", 42u64)?;
+    let root: u32 = args.opt_parse("root", 0u32)?;
+    let graph = load(path, false)?;
+    let n = graph.num_nodes();
+    if graph.num_edges() + 1 != n {
+        return Err(format!(
+            "not a tree: {n} nodes need {} edges, file has {}",
+            n - 1,
+            graph.num_edges()
+        ));
+    }
+    let tree = Tree::from_edges(n, graph.edges(), root).map_err(|e| format!("{e:?}"))?;
+    let queries = random_queries(n, q, seed);
+    let mut answers = vec![0u32; q];
+    let device = Device::new();
+
+    let t = Instant::now();
+    let algorithm: Box<dyn LcaAlgorithm> = match alg {
+        "seq" => Box::new(SequentialInlabelLca::preprocess(&tree)),
+        "par" => Box::new(MulticoreInlabelLca::preprocess(&device, &tree).map_err(|e| format!("{e:?}"))?),
+        "gpu" => Box::new(GpuInlabelLca::preprocess(&device, &tree).map_err(|e| format!("{e:?}"))?),
+        "naive" => Box::new(NaiveGpuLca::preprocess(&device, &tree)),
+        "rmq" => Box::new(RmqLca::preprocess(&tree)),
+        "sparse-rmq" => Box::new(SparseRmqLca::preprocess(&tree)),
+        "block-rmq" => Box::new(BlockRmqLca::preprocess(&tree)),
+        "gpu-rmq" => Box::new(GpuRmqLca::preprocess(&device, &tree).map_err(|e| format!("{e:?}"))?),
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?} (expected seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq)"
+            ))
+        }
+    };
+    let prep = t.elapsed();
+    let t = Instant::now();
+    algorithm.query_batch(&queries, &mut answers);
+    let query_time = t.elapsed();
+
+    // Order-independent digest so runs are comparable across algorithms.
+    let checksum = answers
+        .iter()
+        .fold(0u64, |acc, &a| acc ^ (a as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut out = String::new();
+    writeln!(out, "tree: {n} nodes, root {root}").unwrap();
+    writeln!(out, "algorithm: {}", algorithm.name()).unwrap();
+    writeln!(out, "preprocess: {prep:.1?}").unwrap();
+    writeln!(
+        out,
+        "queries: {q} in {query_time:.1?} ({:.0} q/s)",
+        q as f64 / query_time.as_secs_f64().max(1e-9)
+    )
+    .unwrap();
+    writeln!(out, "checksum: {checksum:016x}").unwrap();
+    Ok(out)
+}
+
+/// `emg stats <file> [--lcc]` — the Table-1 row for a graph file.
+pub fn cmd_stats(args: &Args) -> Result<String, String> {
+    let path = args.require_pos(0, "graph-file")?;
+    let graph = load(path, false)?;
+    let (lcc, _) = largest_connected_component(&graph);
+    let use_graph = if args.flag("lcc") { &lcc } else { &graph };
+    let csr = Csr::from_edge_list(use_graph);
+    let bridges = bridges_dfs(use_graph, &csr);
+    let diameter = diameter_estimate(&csr, 4);
+    let max_deg = (0..use_graph.num_nodes() as u32)
+        .map(|v| csr.degree(v))
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "file nodes: {}, file edges: {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "lcc nodes: {}, lcc edges: {}",
+        lcc.num_nodes(),
+        lcc.num_edges()
+    )
+    .unwrap();
+    writeln!(out, "bridges: {}", bridges.num_bridges()).unwrap();
+    writeln!(out, "diameter (double-sweep lower bound): {diameter}").unwrap();
+    writeln!(out, "max degree: {max_deg}").unwrap();
+    writeln!(
+        out,
+        "avg degree: {:.2}",
+        2.0 * use_graph.num_edges() as f64 / use_graph.num_nodes().max(1) as f64
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn write_graph(path: &str, graph: &EdgeList, format: &str) -> Result<(), String> {
+    let mut buf: Vec<u8> = Vec::new();
+    match format {
+        "snap" => graph_io::snap::write(&mut buf, graph),
+        "dimacs" => graph_io::dimacs::write(&mut buf, graph),
+        "metis" => graph_io::metis::write(&mut buf, graph),
+        other => return Err(format!("unknown format {other:?} (snap|dimacs|metis)")),
+    }
+    .map_err(|e| e.to_string())?;
+    std::fs::write(path, buf).map_err(|e| e.to_string())
+}
+
+/// `emg gen <family> --out <file> [--format snap|dimacs|metis] [params]`
+///
+/// Families: `kron` (`--scale`, `--edge-factor`), `road` (`--width`,
+/// `--height`, `--keep`), `web` (`--nodes`, `--edges`, `--leaf-prob`),
+/// `ba` (`--nodes`, `--degree`), `tree` (`--nodes`, `--grasp`).
+pub fn cmd_gen(args: &Args) -> Result<String, String> {
+    let family = args.require_pos(0, "family")?;
+    let out_path = args
+        .opt("out")
+        .ok_or_else(|| "missing --out <file>".to_string())?;
+    let format = args.opt("format").unwrap_or("snap");
+    let seed: u64 = args.opt_parse("seed", 1u64)?;
+    let graph = match family {
+        "kron" => {
+            let scale: u32 = args.opt_parse("scale", 12u32)?;
+            let ef: usize = args.opt_parse("edge-factor", 16usize)?;
+            kronecker_graph(scale, ef, seed)
+        }
+        "road" => {
+            let w: usize = args.opt_parse("width", 128usize)?;
+            let h: usize = args.opt_parse("height", 128usize)?;
+            let keep: f64 = args.opt_parse("keep", 0.75f64)?;
+            road_grid(w, h, keep, seed)
+        }
+        "web" => {
+            let n: usize = args.opt_parse("nodes", 10_000usize)?;
+            let m: usize = args.opt_parse("edges", 30_000usize)?;
+            let leaf: f64 = args.opt_parse("leaf-prob", 0.3f64)?;
+            web_graph(n, m, leaf, seed)
+        }
+        "ba" => {
+            let n: usize = args.opt_parse("nodes", 10_000usize)?;
+            let d: usize = args.opt_parse("degree", 4usize)?;
+            ba_graph(n, d, seed)
+        }
+        "tree" => {
+            let n: usize = args.opt_parse("nodes", 10_000usize)?;
+            let grasp: u64 = args.opt_parse("grasp", 0u64)?;
+            let tree = random_tree(n, if grasp == 0 { None } else { Some(grasp) }, seed);
+            EdgeList::new(n, tree.edges())
+        }
+        other => {
+            return Err(format!(
+                "unknown family {other:?} (kron|road|web|ba|tree)"
+            ))
+        }
+    };
+    write_graph(out_path, &graph, format)?;
+    Ok(format!(
+        "wrote {} nodes, {} edges to {out_path} ({format})\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    ))
+}
+
+/// `emg convert <in> <out> --to snap|dimacs|metis`
+pub fn cmd_convert(args: &Args) -> Result<String, String> {
+    let input = args.require_pos(0, "input")?;
+    let output = args.require_pos(1, "output")?;
+    let to = args
+        .opt("to")
+        .ok_or_else(|| "missing --to <format>".to_string())?;
+    let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
+    let from = detect_format(&text).ok_or_else(|| format!("cannot detect format of {input}"))?;
+    let parsed = parse_as(&text, from).map_err(|e| e.to_string())?;
+    write_graph(output, &parsed.graph, to)?;
+    Ok(format!(
+        "converted {input} ({from:?}) -> {output} ({to}): {} nodes, {} edges\n",
+        parsed.graph.num_nodes(),
+        parsed.graph.num_edges()
+    ))
+}
+
+/// Detects the format of a file (`emg detect <file>`).
+pub fn cmd_detect(args: &Args) -> Result<String, String> {
+    let input = args.require_pos(0, "input")?;
+    let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
+    match detect_format(&text) {
+        Some(Format::Dimacs) => Ok("dimacs\n".into()),
+        Some(Format::Snap) => Ok("snap\n".into()),
+        Some(Format::Metis) => Ok("metis\n".into()),
+        None => Err("unknown format".into()),
+    }
+}

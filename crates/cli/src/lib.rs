@@ -1,0 +1,68 @@
+//! # emg-cli — command-line frontend for the euler-meets-gpu workspace
+//!
+//! One binary, `emg`, exposing the library over graph files in the formats
+//! the paper's datasets ship in (auto-detected DIMACS/SNAP/METIS):
+//!
+//! ```text
+//! emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all] [--lcc] [--list]
+//! emg bcc     <file> [--lcc]
+//! emg lca     <tree-file> [--alg seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq]
+//!                         [--queries N] [--seed S] [--root R]
+//! emg stats   <file> [--lcc]
+//! emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis] [params]
+//! emg convert <in> <out> --to <format>
+//! emg detect  <file>
+//! ```
+//!
+//! The command implementations live in [`commands`] and return their
+//! reports as strings, so the test suite drives them directly.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+
+/// Usage text printed on `--help` or errors.
+pub const USAGE: &str = "\
+emg — Euler-meets-GPU command line
+
+USAGE:
+  emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all] [--lcc] [--list]
+  emg bcc     <file> [--lcc]
+  emg lca     <tree-file> [--alg seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq]
+                          [--queries N] [--seed S] [--root R]
+  emg stats   <file> [--lcc]
+  emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis] [--seed S] [params]
+  emg convert <in> <out> --to snap|dimacs|metis
+  emg detect  <file>
+
+Graph files are auto-detected DIMACS (.gr / p edge), SNAP edge lists, or
+METIS adjacency. --lcc restricts to the largest connected component
+(the paper's preprocessing).";
+
+/// Dispatches a full command line (without the program name).
+///
+/// # Errors
+/// Returns the error/usage message to print to stderr.
+pub fn dispatch(mut argv: Vec<String>) -> Result<String, String> {
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        return Ok(format!("{USAGE}\n"));
+    }
+    let sub = argv.remove(0);
+    let args = Args::parse(argv)?;
+    if args.flag("help") {
+        return Ok(format!("{USAGE}\n"));
+    }
+    match sub.as_str() {
+        "bridges" => commands::cmd_bridges(&args),
+        "bcc" => commands::cmd_bcc(&args),
+        "lca" => commands::cmd_lca(&args),
+        "stats" => commands::cmd_stats(&args),
+        "gen" => commands::cmd_gen(&args),
+        "convert" => commands::cmd_convert(&args),
+        "detect" => commands::cmd_detect(&args),
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    }
+}

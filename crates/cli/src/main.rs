@@ -1,0 +1,12 @@
+//! The `emg` binary: thin wrapper around [`emg_cli::dispatch`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match emg_cli::dispatch(argv) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end tests for the `emg` subcommands: generate files, run every
+//! command against them, and check the reports and round-trips.
+
+use emg_cli::dispatch;
+use std::path::PathBuf;
+
+fn run(line: &str) -> Result<String, String> {
+    dispatch(line.split_whitespace().map(String::from).collect())
+}
+
+/// Fresh temp file path (test-unique names, cleaned up by the OS).
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("emg_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_is_printed() {
+    let out = run("--help").unwrap();
+    assert!(out.contains("USAGE"));
+    assert!(out.contains("bridges"));
+    let out = dispatch(vec![]).unwrap();
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_errors_with_usage() {
+    let err = run("frobnicate x").unwrap_err();
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn gen_then_stats_then_bridges_agree() {
+    let path = tmp("road.txt");
+    let out = run(&format!(
+        "gen road --width 20 --height 20 --keep 0.8 --seed 3 --out {}",
+        path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("wrote"));
+
+    let stats = run(&format!("stats {} --lcc", path.display())).unwrap();
+    assert!(stats.contains("bridges:"));
+    assert!(stats.contains("diameter"));
+
+    // All algorithms agree on the LCC (the `all` path cross-checks ids
+    // internally and errors on any disagreement).
+    let bridges = run(&format!("bridges {} --lcc --alg all", path.display())).unwrap();
+    assert!(bridges.contains("dfs"));
+    assert!(bridges.contains("hybrid"));
+}
+
+#[test]
+fn gen_tree_then_lca_checksums_match_across_algorithms() {
+    let path = tmp("tree.txt");
+    run(&format!(
+        "gen tree --nodes 2000 --seed 9 --out {}",
+        path.display()
+    ))
+    .unwrap();
+    let mut checksums = Vec::new();
+    for alg in ["seq", "gpu", "naive", "rmq", "sparse-rmq", "block-rmq", "gpu-rmq"] {
+        let out = run(&format!(
+            "lca {} --alg {alg} --queries 500 --seed 11",
+            path.display()
+        ))
+        .unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("checksum:"))
+            .unwrap()
+            .to_string();
+        checksums.push(line);
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "checksums differ: {checksums:?}"
+    );
+}
+
+#[test]
+fn lca_rejects_non_tree() {
+    let path = tmp("cycle.txt");
+    std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+    let err = run(&format!("lca {}", path.display())).unwrap_err();
+    assert!(err.contains("not a tree"));
+}
+
+#[test]
+fn bcc_reports_components() {
+    let path = tmp("barbell.txt");
+    // Two triangles joined by a bridge.
+    std::fs::write(&path, "0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n2 3\n").unwrap();
+    let out = run(&format!("bcc {}", path.display())).unwrap();
+    assert!(out.contains("biconnected components: 3"));
+    assert!(out.contains("articulation points: 2"));
+}
+
+#[test]
+fn convert_between_all_formats_preserves_graph() {
+    let snap = tmp("conv.txt");
+    run(&format!(
+        "gen web --nodes 300 --edges 900 --seed 5 --out {}",
+        snap.display()
+    ))
+    .unwrap();
+    let gr = tmp("conv.gr");
+    let metis = tmp("conv.graph");
+    let back = tmp("conv_back.txt");
+    run(&format!("convert {} {} --to dimacs", snap.display(), gr.display())).unwrap();
+    assert_eq!(run(&format!("detect {}", gr.display())).unwrap(), "dimacs\n");
+    run(&format!("convert {} {} --to metis", gr.display(), metis.display())).unwrap();
+    run(&format!("convert {} {} --to snap", metis.display(), back.display())).unwrap();
+
+    // Node/edge counts survive the round trip (METIS merges directions, so
+    // compare canonical undirected simple forms via stats).
+    let a = run(&format!("stats {} --lcc", snap.display())).unwrap();
+    let b = run(&format!("stats {} --lcc", back.display())).unwrap();
+    let pick = |s: &str, key: &str| -> String {
+        s.lines().find(|l| l.starts_with(key)).unwrap().to_string()
+    };
+    assert_eq!(pick(&a, "lcc nodes"), pick(&b, "lcc nodes"));
+    assert_eq!(pick(&a, "bridges"), pick(&b, "bridges"));
+}
+
+#[test]
+fn gen_kron_and_ba_families_produce_graphs() {
+    for (family, extra) in [("kron", "--scale 8 --edge-factor 8"), ("ba", "--nodes 500 --degree 3")] {
+        let path = tmp(&format!("{family}.txt"));
+        let out = run(&format!(
+            "gen {family} {extra} --seed 2 --out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("wrote"), "{family}: {out}");
+        let stats = run(&format!("stats {}", path.display())).unwrap();
+        assert!(stats.contains("file nodes"), "{family}");
+    }
+}
+
+#[test]
+fn gen_rejects_unknown_family_and_format() {
+    let path = tmp("never.txt");
+    assert!(run(&format!("gen nonsense --out {}", path.display()))
+        .unwrap_err()
+        .contains("unknown family"));
+    assert!(run(&format!(
+        "gen ba --nodes 10 --degree 2 --out {} --format xml",
+        path.display()
+    ))
+    .unwrap_err()
+    .contains("unknown format"));
+}
+
+#[test]
+fn missing_files_error_cleanly() {
+    assert!(run("bridges /nonexistent/graph.txt").is_err());
+    assert!(run("stats /nonexistent/graph.txt").is_err());
+    assert!(run("detect /nonexistent/graph.txt").is_err());
+}

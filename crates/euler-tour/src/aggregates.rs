@@ -1,0 +1,318 @@
+//! Generic subtree aggregation over the Euler tour — the §2 motivation:
+//! "every subtree corresponds to an interval in the list; hence many node
+//! statistics can be easily calculated as prefix sums or range queries."
+//!
+//! [`SubtreeAggregator`] materializes the tour-order position of every node
+//! once, then answers whole-tree aggregations by one scan (+ one gather)
+//! each:
+//!
+//! * [`SubtreeAggregator::subtree_sums`] — Σ of arbitrary per-node values
+//!   over every subtree (one prefix sum over the tour);
+//! * [`SubtreeAggregator::count_descendants_where`] — predicate counting;
+//! * [`SubtreeAggregator::is_ancestor`] — O(1) ancestry tests from
+//!   preorder intervals;
+//! * [`SubtreeAggregator::root_path_sums`] — Σ of per-node values along
+//!   every root path (the ±value trick the paper uses for levels).
+
+use crate::stats::TreeStats;
+use crate::tour::EulerTour;
+use gpu_sim::device::SharedSlice;
+use gpu_sim::Device;
+use graph_core::ids::NodeId;
+
+/// Precomputed tour positions enabling O(scan)-cost whole-tree aggregates.
+#[derive(Debug, Clone)]
+pub struct SubtreeAggregator {
+    /// Tour position of the down-edge into each node (root: 0 sentinel —
+    /// conceptually "before the tour").
+    enter: Vec<u32>,
+    /// Tour position of the up-edge out of each node (root: tour length).
+    exit: Vec<u32>,
+    /// 1-based preorder (for ancestry tests).
+    preorder: Vec<u32>,
+    /// Subtree sizes (for ancestry tests).
+    subtree_size: Vec<u32>,
+    root: NodeId,
+    tour_len: usize,
+}
+
+impl SubtreeAggregator {
+    /// Builds the position tables from a tour and its statistics.
+    pub fn new(device: &Device, tour: &EulerTour, stats: &TreeStats) -> Self {
+        let n = tour.num_nodes();
+        let h = tour.len();
+        let mut enter = vec![0u32; n];
+        let mut exit = vec![h as u32; n];
+        if h > 0 {
+            let enter_shared = SharedSlice::new(&mut enter);
+            let exit_shared = SharedSlice::new(&mut exit);
+            let dcel = tour.dcel();
+            let order = tour.order();
+            let rank = tour.rank();
+            device.for_each(h, |p| {
+                let e = order[p];
+                if tour.is_down(e) {
+                    let v = dcel.heads[e as usize] as usize;
+                    let q = rank[crate::dcel::twin(e) as usize];
+                    // SAFETY: one down-edge per node.
+                    unsafe {
+                        enter_shared.write(v, p as u32);
+                        exit_shared.write(v, q);
+                    }
+                }
+            });
+        }
+        Self {
+            enter,
+            exit,
+            preorder: stats.preorder.clone(),
+            subtree_size: stats.subtree_size.clone(),
+            root: tour.root(),
+            tour_len: h,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.enter.len()
+    }
+
+    /// O(1): is `a` an ancestor of `b` (inclusive: every node is its own
+    /// ancestor)? Uses the preorder-interval characterization.
+    #[inline]
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let pa = self.preorder[a as usize];
+        let pb = self.preorder[b as usize];
+        pb >= pa && pb < pa + self.subtree_size[a as usize]
+    }
+
+    /// Σ `values[u]` over every subtree: `out[v] = Σ_{u in subtree(v)}
+    /// values[u]`. One scan over the tour.
+    pub fn subtree_sums(&self, device: &Device, values: &[u64]) -> Vec<u64> {
+        let n = self.num_nodes();
+        assert_eq!(values.len(), n, "one value per node required");
+        if self.tour_len == 0 {
+            return vec![values[0]; 1];
+        }
+        // Weight each down-edge with the value of the node it enters; the
+        // subtree sum of v is then (prefix at exit) − (prefix at enter) +
+        // value(v)'s own down edge — handled by using inclusive prefixes of
+        // down-edge weights: sum over positions [enter(v), exit(v)].
+        let mut weights = vec![0u64; self.tour_len];
+        {
+            let enter = &self.enter;
+            let root = self.root;
+            let weights_shared = SharedSlice::new(&mut weights);
+            device.for_each(n, |v| {
+                if v as NodeId != root {
+                    // SAFETY: enter positions are distinct per node.
+                    unsafe { weights_shared.write(enter[v] as usize, values[v]) };
+                }
+            });
+        }
+        let prefix = device.add_scan_inclusive_u64(&weights);
+        let mut out = vec![0u64; n];
+        let prefix_ref = &prefix;
+        device.map(&mut out, |v| {
+            if v as NodeId == self.root {
+                // Every node's enter weight lies on the tour except the
+                // root's, which has no down-edge.
+                return *prefix_ref.last().unwrap() + values[v];
+            }
+            // Inclusive range sum [enter, exit]: v's own weight sits at the
+            // enter position, descendants' weights strictly inside.
+            let lo = self.enter[v] as usize;
+            let hi = self.exit[v] as usize;
+            let before = if lo == 0 { 0 } else { prefix_ref[lo - 1] };
+            prefix_ref[hi] - before
+        });
+        out
+    }
+
+    /// Counts, for every node, the descendants (inclusive) satisfying
+    /// `pred`.
+    pub fn count_descendants_where(
+        &self,
+        device: &Device,
+        pred: impl Fn(NodeId) -> bool + Sync,
+    ) -> Vec<u64> {
+        let n = self.num_nodes();
+        let mut values = vec![0u64; n];
+        device.map(&mut values, |v| u64::from(pred(v as NodeId)));
+        self.subtree_sums(device, &values)
+    }
+
+    /// Σ `values[u]` along the root path of every node (inclusive):
+    /// `out[v] = Σ_{u ancestor of v} values[u]` — the paper's ±weight trick
+    /// (down-edges add the entered node's value, up-edges subtract it).
+    pub fn root_path_sums(&self, device: &Device, values: &[i64]) -> Vec<i64> {
+        let n = self.num_nodes();
+        assert_eq!(values.len(), n, "one value per node required");
+        if self.tour_len == 0 {
+            return vec![values[0]; 1];
+        }
+        let mut weights = vec![0i64; self.tour_len];
+        {
+            let weights_shared = SharedSlice::new(&mut weights);
+            let enter = &self.enter;
+            let exit = &self.exit;
+            let root = self.root;
+            device.for_each(n, |v| {
+                if v as NodeId != root {
+                    // SAFETY: enter/exit positions are distinct across nodes
+                    // (each position hosts exactly one half-edge).
+                    unsafe {
+                        weights_shared.write(enter[v] as usize, values[v]);
+                        weights_shared.write(exit[v] as usize, -values[v]);
+                    }
+                }
+            });
+        }
+        let prefix = device.scan_inclusive(&weights, 0i64, |a, b| a + b);
+        let root_value = values[self.root as usize];
+        let prefix_ref = &prefix;
+        let mut out = vec![0i64; n];
+        device.map(&mut out, |v| {
+            if v as NodeId == self.root {
+                root_value
+            } else {
+                prefix_ref[self.enter[v] as usize] + root_value
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_core::ids::INVALID_NODE;
+    use graph_core::Tree;
+
+    fn build(parents: Vec<u32>) -> (Device, EulerTour, TreeStats, SubtreeAggregator, Tree) {
+        let device = Device::new();
+        let tree = Tree::from_parent_array(parents, 0).unwrap();
+        let tour = EulerTour::build(&device, &tree).unwrap();
+        let stats = TreeStats::compute(&device, &tour);
+        let agg = SubtreeAggregator::new(&device, &tour, &stats);
+        (device, tour, stats, agg, tree)
+    }
+
+    fn paper_parents() -> Vec<u32> {
+        vec![INVALID_NODE, 2, 0, 0, 0, 2]
+    }
+
+    #[test]
+    fn subtree_sums_of_ones_are_sizes() {
+        let (device, _, stats, agg, _) = build(paper_parents());
+        let ones = vec![1u64; 6];
+        let sums = agg.subtree_sums(&device, &ones);
+        let sizes: Vec<u64> = stats.subtree_size.iter().map(|&s| s as u64).collect();
+        assert_eq!(sums, sizes);
+    }
+
+    #[test]
+    fn subtree_sums_of_arbitrary_values() {
+        let (device, _, _, agg, tree) = build(paper_parents());
+        let values: Vec<u64> = vec![10, 20, 30, 40, 50, 60];
+        let sums = agg.subtree_sums(&device, &values);
+        // Brute force per node.
+        for v in 0..6u32 {
+            let expect: u64 = (0..6u32)
+                .filter(|&u| {
+                    let mut cur = u;
+                    loop {
+                        if cur == v {
+                            return true;
+                        }
+                        match tree.parent(cur) {
+                            Some(p) => cur = p,
+                            None => return false,
+                        }
+                    }
+                })
+                .map(|u| values[u as usize])
+                .sum();
+            assert_eq!(sums[v as usize], expect, "node {v}");
+        }
+    }
+
+    #[test]
+    fn root_path_sums_of_ones_are_depths_plus_one() {
+        let (device, _, stats, agg, _) = build(paper_parents());
+        let ones = vec![1i64; 6];
+        let sums = agg.root_path_sums(&device, &ones);
+        for v in 0..6 {
+            assert_eq!(sums[v], stats.level[v] as i64 + 1, "node {v}");
+        }
+    }
+
+    #[test]
+    fn ancestry_tests() {
+        let (_, _, _, agg, _) = build(paper_parents());
+        assert!(agg.is_ancestor(0, 5));
+        assert!(agg.is_ancestor(2, 1));
+        assert!(agg.is_ancestor(2, 2));
+        assert!(!agg.is_ancestor(1, 2));
+        assert!(!agg.is_ancestor(3, 4));
+    }
+
+    #[test]
+    fn count_descendants_with_predicate() {
+        let (device, _, _, agg, _) = build(paper_parents());
+        // Count even-id descendants.
+        let counts = agg.count_descendants_where(&device, |v| v % 2 == 0);
+        // Subtree of 0 = {0,1,2,3,4,5} → evens {0,2,4} = 3.
+        assert_eq!(counts[0], 3);
+        // Subtree of 2 = {2,1,5} → evens {2} = 1.
+        assert_eq!(counts[2], 1);
+        // Leaves.
+        assert_eq!(counts[4], 1);
+        assert_eq!(counts[5], 0);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let (device, _, _, agg, _) = build(vec![INVALID_NODE]);
+        assert_eq!(agg.subtree_sums(&device, &[7]), vec![7]);
+        assert_eq!(agg.root_path_sums(&device, &[9]), vec![9]);
+        assert!(agg.is_ancestor(0, 0));
+    }
+
+    #[test]
+    fn random_tree_matches_brute_force() {
+        let n = 500usize;
+        let mut state = 31u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut parents = vec![INVALID_NODE; n];
+        for v in 1..n {
+            parents[v] = (step() % v as u64) as u32;
+        }
+        let (device, _, _, agg, tree) = build(parents);
+        let values: Vec<u64> = (0..n as u64).map(|v| v * 3 + 1).collect();
+        let sums = agg.subtree_sums(&device, &values);
+
+        // Brute-force subtree sums by upward accumulation.
+        let mut expect = values.clone();
+        // Process nodes in decreasing depth order.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(tree.depth_of(v)));
+        for &v in &order {
+            if let Some(p) = tree.parent(v) {
+                expect[p as usize] += expect[v as usize];
+            }
+        }
+        assert_eq!(sums, expect);
+
+        // Path sums spot-check.
+        let ivalues: Vec<i64> = (0..n as i64).collect();
+        let paths = agg.root_path_sums(&device, &ivalues);
+        for v in (0..n as u32).step_by(37) {
+            let expect: i64 = tree.path_to_root(v).iter().map(|&u| ivalues[u as usize]).sum();
+            assert_eq!(paths[v as usize], expect, "node {v}");
+        }
+    }
+}

@@ -1,0 +1,764 @@
+//! Dynamic trees as Euler tours — link/cut forests with subtree aggregates.
+//!
+//! The paper's related work points at Euler tours beyond PRAM: "dynamic
+//! problems \[28, 41, 57\]", reference \[57\] being Tarjan's *Dynamic trees as
+//! search trees via Euler tours*. This module implements that data
+//! structure: a forest under edge insertions (`link`) and deletions
+//! (`cut`), with connectivity queries, component vertex counts and
+//! value sums, and rooted subtree sums — all in O(log n) expected time.
+//!
+//! The representation is the same object the static pipeline builds in
+//! [`crate::tour`]: an Euler circuit over directed arcs. Here the circuit
+//! is kept in a balanced search tree (a treap ordered by implicit tour
+//! position) instead of an array, so it can be split and concatenated:
+//!
+//! * every vertex `v` owns a permanent *loop node* `(v, v)`;
+//! * every forest edge `{u, v}` owns two *arc nodes* `(u, v)` and `(v, u)`;
+//! * `link` reroots both tours (a rotation of the circular sequence) and
+//!   concatenates `tour(u) · (u,v) · tour(v) · (v,u)`;
+//! * `cut` splits around the two arcs; the inner part is one new tree, the
+//!   outer concatenation the other.
+//!
+//! Treap nodes carry subtree counts and value sums over loop nodes, which
+//! is what makes the aggregate queries logarithmic.
+
+use std::collections::HashMap;
+
+/// Vertex identifier (same convention as the rest of the workspace).
+pub type Vertex = u32;
+
+const NIL: u32 = u32::MAX;
+
+/// Errors from [`EulerTourForest`] mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForestError {
+    /// `link` endpoints are already in the same tree (would close a cycle).
+    AlreadyConnected,
+    /// `cut` edge is not currently in the forest.
+    NoSuchEdge,
+    /// A vertex id is out of range.
+    VertexOutOfRange,
+    /// `link`/`cut` endpoints are the same vertex.
+    SelfLoop,
+}
+
+impl std::fmt::Display for ForestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForestError::AlreadyConnected => write!(f, "endpoints already connected"),
+            ForestError::NoSuchEdge => write!(f, "no such forest edge"),
+            ForestError::VertexOutOfRange => write!(f, "vertex id out of range"),
+            ForestError::SelfLoop => write!(f, "self-loops are not tree edges"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+/// One treap node: a loop `(v, v)` or an arc `(u, v)` of the Euler circuit.
+#[derive(Debug, Clone)]
+struct Node {
+    left: u32,
+    right: u32,
+    parent: u32,
+    /// Deterministic pseudo-random heap priority.
+    priority: u64,
+    /// Nodes in this treap subtree (for order statistics).
+    count: u32,
+    /// Loop value if this is a loop node, 0 for arcs.
+    value: i64,
+    /// Sum of loop values over this treap subtree.
+    sum: i64,
+    /// Loop nodes in this treap subtree (= vertices of the segment).
+    loops: u32,
+    /// 1 for loop nodes, 0 for arcs (own contribution to `loops`).
+    is_loop: bool,
+}
+
+/// A dynamic forest of Euler-tour trees.
+///
+/// ```
+/// use euler_tour::dynamic::EulerTourForest;
+///
+/// let mut f = EulerTourForest::new(5);
+/// f.link(0, 1).unwrap();
+/// f.link(1, 2).unwrap();
+/// assert!(f.connected(0, 2));
+/// assert_eq!(f.component_size(0), 3);
+/// f.cut(0, 1).unwrap();
+/// assert!(!f.connected(0, 2));
+/// assert_eq!(f.component_size(0), 1);
+/// ```
+pub struct EulerTourForest {
+    nodes: Vec<Node>,
+    /// Loop node of each vertex is node id `v` (never freed).
+    num_vertices: usize,
+    /// Arc nodes of live edges: `(min, max) -> (arc min→max, arc max→min)`.
+    edges: HashMap<(Vertex, Vertex), (u32, u32)>,
+    /// Free list of recycled arc node slots.
+    free: Vec<u32>,
+    /// SplitMix64 state for priorities.
+    rng: u64,
+}
+
+impl EulerTourForest {
+    /// Creates a forest of `n` isolated vertices, all values zero.
+    pub fn new(n: usize) -> Self {
+        let mut forest = Self {
+            nodes: Vec::with_capacity(2 * n),
+            num_vertices: n,
+            edges: HashMap::new(),
+            free: Vec::new(),
+            rng: 0x9E3779B97F4A7C15,
+        };
+        for _ in 0..n {
+            let pr = forest.next_priority();
+            forest.nodes.push(Node {
+                left: NIL,
+                right: NIL,
+                parent: NIL,
+                priority: pr,
+                count: 1,
+                value: 0,
+                sum: 0,
+                loops: 1,
+                is_loop: true,
+            });
+        }
+        forest
+    }
+
+    /// Number of vertices the forest was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges currently in the forest.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    // ----- treap plumbing -------------------------------------------------
+
+    fn pull(&mut self, x: u32) {
+        let (l, r) = (self.nodes[x as usize].left, self.nodes[x as usize].right);
+        let mut count = 1;
+        let mut sum = self.nodes[x as usize].value;
+        let mut loops = self.nodes[x as usize].is_loop as u32;
+        for c in [l, r] {
+            if c != NIL {
+                count += self.nodes[c as usize].count;
+                sum += self.nodes[c as usize].sum;
+                loops += self.nodes[c as usize].loops;
+                self.nodes[c as usize].parent = x;
+            }
+        }
+        let n = &mut self.nodes[x as usize];
+        n.count = count;
+        n.sum = sum;
+        n.loops = loops;
+    }
+
+    /// Treap root of the sequence containing `x`.
+    fn tree_root(&self, mut x: u32) -> u32 {
+        while self.nodes[x as usize].parent != NIL {
+            x = self.nodes[x as usize].parent;
+        }
+        x
+    }
+
+    /// 0-based position of `x` in its sequence.
+    fn position(&self, x: u32) -> usize {
+        let mut pos = match self.nodes[x as usize].left {
+            NIL => 0,
+            l => self.nodes[l as usize].count as usize,
+        };
+        let mut cur = x;
+        loop {
+            let p = self.nodes[cur as usize].parent;
+            if p == NIL {
+                return pos;
+            }
+            if self.nodes[p as usize].right == cur {
+                pos += 1;
+                if self.nodes[p as usize].left != NIL {
+                    pos += self.nodes[self.nodes[p as usize].left as usize].count as usize;
+                }
+            }
+            cur = p;
+        }
+    }
+
+    /// Merges two treaps (all of `a` before all of `b`). Either may be NIL.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            if b != NIL {
+                self.nodes[b as usize].parent = NIL;
+            }
+            return b;
+        }
+        if b == NIL {
+            self.nodes[a as usize].parent = NIL;
+            return a;
+        }
+        if self.nodes[a as usize].priority >= self.nodes[b as usize].priority {
+            let ar = self.nodes[a as usize].right;
+            let nr = self.merge(ar, b);
+            self.nodes[a as usize].right = nr;
+            self.pull(a);
+            self.nodes[a as usize].parent = NIL;
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let nl = self.merge(a, bl);
+            self.nodes[b as usize].left = nl;
+            self.pull(b);
+            self.nodes[b as usize].parent = NIL;
+            b
+        }
+    }
+
+    /// Splits `t` into (first `k` nodes, rest).
+    fn split(&mut self, t: u32, k: usize) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        let left = self.nodes[t as usize].left;
+        let left_count = if left == NIL {
+            0
+        } else {
+            self.nodes[left as usize].count as usize
+        };
+        if k <= left_count {
+            let (a, b) = self.split(left, k);
+            self.nodes[t as usize].left = b;
+            self.pull(t);
+            self.nodes[t as usize].parent = NIL;
+            if a != NIL {
+                self.nodes[a as usize].parent = NIL;
+            }
+            (a, t)
+        } else {
+            let right = self.nodes[t as usize].right;
+            let (a, b) = self.split(right, k - left_count - 1);
+            self.nodes[t as usize].right = a;
+            self.pull(t);
+            self.nodes[t as usize].parent = NIL;
+            if b != NIL {
+                self.nodes[b as usize].parent = NIL;
+            }
+            (t, b)
+        }
+    }
+
+    fn alloc_arc(&mut self) -> u32 {
+        let pr = self.next_priority();
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = Node {
+                left: NIL,
+                right: NIL,
+                parent: NIL,
+                priority: pr,
+                count: 1,
+                value: 0,
+                sum: 0,
+                loops: 0,
+                is_loop: false,
+            };
+            id
+        } else {
+            self.nodes.push(Node {
+                left: NIL,
+                right: NIL,
+                parent: NIL,
+                priority: pr,
+                count: 1,
+                value: 0,
+                sum: 0,
+                loops: 0,
+                is_loop: false,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Rotates the circular tour of `v`'s tree so it starts at loop `v`;
+    /// returns the new treap root.
+    fn reroot(&mut self, v: Vertex) -> u32 {
+        let root = self.tree_root(v);
+        let pos = self.position(v);
+        if pos == 0 {
+            return root;
+        }
+        let (a, b) = self.split(root, pos);
+        self.merge(b, a)
+    }
+
+    fn check_vertex(&self, v: Vertex) -> Result<(), ForestError> {
+        if (v as usize) < self.num_vertices {
+            Ok(())
+        } else {
+            Err(ForestError::VertexOutOfRange)
+        }
+    }
+
+    // ----- public operations ----------------------------------------------
+
+    /// Whether `u` and `v` are in the same tree.
+    ///
+    /// # Panics
+    /// Panics if a vertex id is out of range.
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        assert!((u as usize) < self.num_vertices, "vertex out of range");
+        assert!((v as usize) < self.num_vertices, "vertex out of range");
+        u == v || self.tree_root(u) == self.tree_root(v)
+    }
+
+    /// Adds edge `{u, v}`, joining two trees.
+    ///
+    /// # Errors
+    /// [`ForestError::AlreadyConnected`] if it would close a cycle,
+    /// [`ForestError::SelfLoop`] / [`ForestError::VertexOutOfRange`] on bad
+    /// arguments.
+    pub fn link(&mut self, u: Vertex, v: Vertex) -> Result<(), ForestError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if u == v {
+            return Err(ForestError::SelfLoop);
+        }
+        if self.connected(u, v) {
+            return Err(ForestError::AlreadyConnected);
+        }
+        let tu = self.reroot(u);
+        let tv = self.reroot(v);
+        let uv = self.alloc_arc();
+        let vu = self.alloc_arc();
+        let a = self.merge(tu, uv);
+        let b = self.merge(a, tv);
+        self.merge(b, vu);
+        self.edges.insert((u.min(v), u.max(v)), if u < v { (uv, vu) } else { (vu, uv) });
+        Ok(())
+    }
+
+    /// Removes edge `{u, v}`, splitting its tree in two.
+    ///
+    /// # Errors
+    /// [`ForestError::NoSuchEdge`] if the edge is not in the forest.
+    pub fn cut(&mut self, u: Vertex, v: Vertex) -> Result<(), ForestError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if u == v {
+            return Err(ForestError::SelfLoop);
+        }
+        let key = (u.min(v), u.max(v));
+        let (a1, a2) = self.edges.remove(&key).ok_or(ForestError::NoSuchEdge)?;
+        let root = self.tree_root(a1);
+        let (p1, p2) = (self.position(a1), self.position(a2));
+        let (first, second, pa, pb) = if p1 < p2 {
+            (a1, a2, p1, p2)
+        } else {
+            (a2, a1, p2, p1)
+        };
+        // [.. pa) | [pa] | (pa .. pb) | [pb] | (pb ..]
+        let (x, rest) = self.split(root, pa);
+        let (arc_a, rest) = self.split(rest, 1);
+        let (inner, rest) = self.split(rest, pb - pa - 1);
+        let (arc_b, z) = self.split(rest, 1);
+        debug_assert_eq!(arc_a, first);
+        debug_assert_eq!(arc_b, second);
+        self.merge(x, z);
+        if inner != NIL {
+            self.nodes[inner as usize].parent = NIL;
+        }
+        self.free.push(a1);
+        self.free.push(a2);
+        Ok(())
+    }
+
+    /// Number of vertices in `v`'s tree.
+    pub fn component_size(&self, v: Vertex) -> usize {
+        assert!((v as usize) < self.num_vertices, "vertex out of range");
+        self.nodes[self.tree_root(v) as usize].loops as usize
+    }
+
+    /// The value stored at vertex `v`.
+    pub fn value(&self, v: Vertex) -> i64 {
+        assert!((v as usize) < self.num_vertices, "vertex out of range");
+        self.nodes[v as usize].value
+    }
+
+    /// Sets the value stored at vertex `v` (O(log n): updates sums upward).
+    pub fn set_value(&mut self, v: Vertex, value: i64) {
+        assert!((v as usize) < self.num_vertices, "vertex out of range");
+        let delta = value - self.nodes[v as usize].value;
+        self.nodes[v as usize].value = value;
+        let mut x = v;
+        while x != NIL {
+            self.nodes[x as usize].sum += delta;
+            x = self.nodes[x as usize].parent;
+        }
+    }
+
+    /// Sum of values over `v`'s whole tree.
+    pub fn component_sum(&self, v: Vertex) -> i64 {
+        assert!((v as usize) < self.num_vertices, "vertex out of range");
+        self.nodes[self.tree_root(v) as usize].sum
+    }
+
+    /// Sum of values over the subtree of `v` when its tree is rooted at the
+    /// far side of edge `{parent, v}` — i.e. the component of `v` that
+    /// cutting `{parent, v}` would produce, computed without mutating.
+    ///
+    /// # Errors
+    /// [`ForestError::NoSuchEdge`] if `{parent, v}` is not a forest edge.
+    pub fn subtree_sum(&mut self, v: Vertex, parent: Vertex) -> Result<i64, ForestError> {
+        self.check_vertex(v)?;
+        self.check_vertex(parent)?;
+        if v == parent {
+            return Err(ForestError::SelfLoop);
+        }
+        let key = (v.min(parent), v.max(parent));
+        let &(a_small, a_big) = self.edges.get(&key).ok_or(ForestError::NoSuchEdge)?;
+        // Arc parent→v opens the subtree segment, arc v→parent closes it.
+        let (open, close) = if parent < v {
+            (a_small, a_big)
+        } else {
+            (a_big, a_small)
+        };
+        // Rotate so the tour starts at the parent: the open arc is then
+        // guaranteed to precede the close arc.
+        self.reroot(parent);
+        let (po, pc) = (self.position(open), self.position(close));
+        debug_assert!(po < pc);
+        let root = self.tree_root(open);
+        let (head, rest) = self.split(root, po + 1);
+        let (mid, tail) = self.split(rest, pc - po - 1);
+        let sum = if mid == NIL {
+            0
+        } else {
+            self.nodes[mid as usize].sum
+        };
+        let a = self.merge(head, mid);
+        self.merge(a, tail);
+        Ok(sum)
+    }
+
+    /// Vertices of `v`'s tree in tour order (O(size); for tests and debug).
+    pub fn component_vertices(&self, v: Vertex) -> Vec<Vertex> {
+        assert!((v as usize) < self.num_vertices, "vertex out of range");
+        let mut out = Vec::new();
+        let mut stack = vec![self.tree_root(v)];
+        // Iterative in-order traversal collecting loop nodes.
+        let mut cur = stack.pop().unwrap();
+        let mut path = Vec::new();
+        loop {
+            while cur != NIL {
+                path.push(cur);
+                cur = self.nodes[cur as usize].left;
+            }
+            match path.pop() {
+                None => break,
+                Some(x) => {
+                    if self.nodes[x as usize].is_loop {
+                        out.push(x);
+                    }
+                    cur = self.nodes[x as usize].right;
+                }
+            }
+        }
+        let _ = stack;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive oracle: adjacency sets + BFS.
+    struct Oracle {
+        adj: Vec<Vec<u32>>,
+        values: Vec<i64>,
+    }
+
+    impl Oracle {
+        fn new(n: usize) -> Self {
+            Self {
+                adj: vec![Vec::new(); n],
+                values: vec![0; n],
+            }
+        }
+        fn link(&mut self, u: u32, v: u32) {
+            self.adj[u as usize].push(v);
+            self.adj[v as usize].push(u);
+        }
+        fn cut(&mut self, u: u32, v: u32) {
+            self.adj[u as usize].retain(|&w| w != v);
+            self.adj[v as usize].retain(|&w| w != u);
+        }
+        fn component(&self, s: u32) -> Vec<u32> {
+            let mut seen = vec![false; self.adj.len()];
+            let mut stack = vec![s];
+            seen[s as usize] = true;
+            let mut out = vec![s];
+            while let Some(x) = stack.pop() {
+                for &w in &self.adj[x as usize] {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        out.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            out
+        }
+        fn connected(&self, u: u32, v: u32) -> bool {
+            self.component(u).contains(&v)
+        }
+        fn component_sum(&self, v: u32) -> i64 {
+            self.component(v).iter().map(|&x| self.values[x as usize]).sum()
+        }
+        fn subtree_sum(&mut self, v: u32, p: u32) -> i64 {
+            self.cut(v, p);
+            let s = self.component_sum(v);
+            self.link(v, p);
+            s
+        }
+    }
+
+    #[test]
+    fn fresh_forest_is_disconnected() {
+        let f = EulerTourForest::new(4);
+        assert!(!f.connected(0, 1));
+        assert!(f.connected(2, 2));
+        assert_eq!(f.component_size(3), 1);
+        assert_eq!(f.num_edges(), 0);
+    }
+
+    #[test]
+    fn link_connects_and_cut_disconnects() {
+        let mut f = EulerTourForest::new(6);
+        f.link(0, 1).unwrap();
+        f.link(2, 3).unwrap();
+        assert!(f.connected(0, 1));
+        assert!(!f.connected(1, 2));
+        f.link(1, 2).unwrap();
+        assert!(f.connected(0, 3));
+        assert_eq!(f.component_size(0), 4);
+        f.cut(1, 2).unwrap();
+        assert!(!f.connected(0, 3));
+        assert_eq!(f.component_size(0), 2);
+        assert_eq!(f.component_size(2), 2);
+    }
+
+    #[test]
+    fn link_errors() {
+        let mut f = EulerTourForest::new(3);
+        assert_eq!(f.link(0, 0).unwrap_err(), ForestError::SelfLoop);
+        assert_eq!(f.link(0, 7).unwrap_err(), ForestError::VertexOutOfRange);
+        f.link(0, 1).unwrap();
+        f.link(1, 2).unwrap();
+        assert_eq!(f.link(0, 2).unwrap_err(), ForestError::AlreadyConnected);
+    }
+
+    #[test]
+    fn cut_errors() {
+        let mut f = EulerTourForest::new(3);
+        f.link(0, 1).unwrap();
+        assert_eq!(f.cut(1, 2).unwrap_err(), ForestError::NoSuchEdge);
+        assert_eq!(f.cut(2, 2).unwrap_err(), ForestError::SelfLoop);
+        f.cut(0, 1).unwrap();
+        assert_eq!(f.cut(0, 1).unwrap_err(), ForestError::NoSuchEdge);
+    }
+
+    #[test]
+    fn values_and_component_sums() {
+        let mut f = EulerTourForest::new(5);
+        for v in 0..5 {
+            f.set_value(v, (v as i64 + 1) * 10);
+        }
+        f.link(0, 1).unwrap();
+        f.link(1, 2).unwrap();
+        assert_eq!(f.component_sum(2), 10 + 20 + 30);
+        assert_eq!(f.component_sum(3), 40);
+        f.set_value(1, -20);
+        assert_eq!(f.component_sum(0), 10 - 20 + 30);
+        assert_eq!(f.value(1), -20);
+    }
+
+    #[test]
+    fn subtree_sums_on_a_path() {
+        // 0 - 1 - 2 - 3, values 1, 2, 4, 8.
+        let mut f = EulerTourForest::new(4);
+        for v in 0..4u32 {
+            f.set_value(v, 1 << v);
+            if v > 0 {
+                f.link(v - 1, v).unwrap();
+            }
+        }
+        assert_eq!(f.subtree_sum(2, 1).unwrap(), 4 + 8);
+        assert_eq!(f.subtree_sum(1, 2).unwrap(), 1 + 2);
+        assert_eq!(f.subtree_sum(3, 2).unwrap(), 8);
+        assert_eq!(f.subtree_sum(0, 1).unwrap(), 1);
+        // Querying does not mutate: repeat.
+        assert_eq!(f.subtree_sum(2, 1).unwrap(), 12);
+        assert_eq!(f.subtree_sum(3, 0).unwrap_err(), ForestError::NoSuchEdge);
+    }
+
+    #[test]
+    fn component_vertices_tracks_membership() {
+        let mut f = EulerTourForest::new(6);
+        f.link(0, 2).unwrap();
+        f.link(2, 4).unwrap();
+        let mut c = f.component_vertices(4);
+        c.sort_unstable();
+        assert_eq!(c, [0, 2, 4]);
+        f.cut(2, 4).unwrap();
+        assert_eq!(f.component_vertices(4), [4]);
+    }
+
+    #[test]
+    fn star_center_cuts() {
+        let n = 50;
+        let mut f = EulerTourForest::new(n);
+        for v in 1..n as u32 {
+            f.link(0, v).unwrap();
+        }
+        assert_eq!(f.component_size(0), n);
+        // Cut every other spoke.
+        for v in (1..n as u32).step_by(2) {
+            f.cut(0, v).unwrap();
+        }
+        assert_eq!(f.component_size(0), 1 + (n - 1) / 2);
+        for v in (1..n as u32).step_by(2) {
+            assert_eq!(f.component_size(v), 1);
+        }
+    }
+
+    #[test]
+    fn relink_after_cut_reuses_arcs() {
+        let mut f = EulerTourForest::new(2);
+        for _ in 0..100 {
+            f.link(0, 1).unwrap();
+            f.cut(0, 1).unwrap();
+        }
+        // Arena stays bounded: 2 loops + 2 recycled arcs.
+        assert_eq!(f.nodes.len(), 4);
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        let n = 60usize;
+        let mut f = EulerTourForest::new(n);
+        let mut o = Oracle::new(n);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut state = 2024u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for round in 0..3000 {
+            let op = step() % 10;
+            let u = (step() % n as u64) as u32;
+            let v = (step() % n as u64) as u32;
+            match op {
+                0..=3 => {
+                    // link if possible
+                    if u != v && !f.connected(u, v) {
+                        assert!(!o.connected(u, v), "round {round}");
+                        f.link(u, v).unwrap();
+                        o.link(u, v);
+                        edges.push((u, v));
+                    } else if u != v {
+                        assert!(o.connected(u, v), "round {round}");
+                        assert_eq!(f.link(u, v).unwrap_err(), ForestError::AlreadyConnected);
+                    }
+                }
+                4..=5 => {
+                    if !edges.is_empty() {
+                        let i = (step() % edges.len() as u64) as usize;
+                        let (a, b) = edges.swap_remove(i);
+                        f.cut(a, b).unwrap();
+                        o.cut(a, b);
+                    }
+                }
+                6 => {
+                    let val = (step() % 1000) as i64 - 500;
+                    f.set_value(u, val);
+                    o.values[u as usize] = val;
+                }
+                7 => {
+                    assert_eq!(f.connected(u, v), o.connected(u, v), "round {round}");
+                }
+                8 => {
+                    assert_eq!(
+                        f.component_size(u),
+                        o.component(u).len(),
+                        "round {round}"
+                    );
+                    assert_eq!(f.component_sum(u), o.component_sum(u), "round {round}");
+                }
+                _ => {
+                    if !edges.is_empty() {
+                        let i = (step() % edges.len() as u64) as usize;
+                        let (a, b) = edges[i];
+                        assert_eq!(
+                            f.subtree_sum(a, b).unwrap(),
+                            o.subtree_sum(a, b),
+                            "round {round}"
+                        );
+                        assert_eq!(
+                            f.subtree_sum(b, a).unwrap(),
+                            o.subtree_sum(b, a),
+                            "round {round}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn component_sums_partition_total() {
+        // Invariant: sums over distinct components add up to the total.
+        let n = 40usize;
+        let mut f = EulerTourForest::new(n);
+        let mut total = 0i64;
+        let mut state = 7u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for v in 0..n as u32 {
+            let val = (step() % 100) as i64;
+            f.set_value(v, val);
+            total += val;
+        }
+        for _ in 0..30 {
+            let u = (step() % n as u64) as u32;
+            let v = (step() % n as u64) as u32;
+            if u != v && !f.connected(u, v) {
+                f.link(u, v).unwrap();
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut sum = 0i64;
+        for v in 0..n as u32 {
+            if !seen[v as usize] {
+                for w in f.component_vertices(v) {
+                    seen[w as usize] = true;
+                }
+                sum += f.component_sum(v);
+            }
+        }
+        assert_eq!(sum, total);
+    }
+}

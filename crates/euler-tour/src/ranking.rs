@@ -1,0 +1,441 @@
+//! List ranking: computing, for every element of a linked list, its distance
+//! from the head.
+//!
+//! This is the one genuinely list-shaped computation the Euler tour
+//! technique cannot avoid (§2.2). Three implementations:
+//!
+//! * [`rank_sequential`] — the obvious walk; oracle and single-core baseline.
+//! * [`rank_wyllie`] — classical pointer jumping: O(log n) rounds but
+//!   O(n log n) total work.
+//! * [`rank_wei_jaja`] — the GPU-optimized algorithm of Wei and JáJá \[64\]
+//!   (a Helman–JáJá descendant): split the list into many sublists at
+//!   splitter elements, walk each sublist sequentially in parallel, rank the
+//!   tiny list-of-sublists, broadcast. O(n) work, O(n/s + s) depth.
+//!
+//! The paper reports that on GPUs array scans are 7–8× faster than list
+//! ranking, which motivates ranking **once** and scanning arrays thereafter;
+//! `benches/list_ranking.rs` reproduces the comparison.
+
+use crate::list::{EulerList, NIL};
+use gpu_sim::device::SharedSlice;
+use gpu_sim::Device;
+
+/// Which list-ranking algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ranker {
+    /// Sequential walk (single-core baseline).
+    Sequential,
+    /// Wyllie pointer jumping — O(n log n) work.
+    Wyllie,
+    /// Wei–JáJá sublist ranking — O(n) work (the paper's choice).
+    #[default]
+    WeiJaJa,
+}
+
+/// Ranks `list` with the chosen algorithm: `rank[e]` = position of
+/// half-edge `e` on the tour, `0` for the head.
+pub fn rank(device: &Device, list: &EulerList, ranker: Ranker) -> Vec<u32> {
+    match ranker {
+        Ranker::Sequential => rank_sequential(list),
+        Ranker::Wyllie => rank_wyllie(device, list),
+        Ranker::WeiJaJa => rank_wei_jaja(device, list),
+    }
+}
+
+/// Weighted prefix sums *directly on the successor list* — the naive PRAM
+/// approach the paper's §2.2 optimization replaces.
+///
+/// Computes, for every half-edge `e`, the inclusive prefix sum of
+/// `weights` from the list head to `e`, by weighted pointer jumping
+/// (Wyllie scheme): O(n log n) work per statistic. The paper's pipeline
+/// instead pays one list ranking and then uses O(n)-work array scans for
+/// every statistic; `benches/euler.rs` quantifies the gap with exactly
+/// this function as the strawman.
+///
+/// # Panics
+/// Panics if `weights.len() != list.len()`.
+pub fn list_prefix_sum(device: &Device, list: &EulerList, weights: &[i64]) -> Vec<i64> {
+    let n = list.len();
+    assert_eq!(weights.len(), n, "list_prefix_sum: weight length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    // sum[e] = total weight of the path e..tail (inclusive suffix sum),
+    // computed by pointer jumping; prefix[e] = total − sum[e] + w[e].
+    let mut sum: Vec<i64> = weights.to_vec();
+    let mut next = list.succ.clone();
+    let mut sum_new = vec![0i64; n];
+    let mut next_new = vec![0u32; n];
+    let max_rounds = (usize::BITS - (n - 1).leading_zeros()) as usize + 1;
+    for _ in 0..max_rounds {
+        device.map(&mut sum_new, |e| {
+            let nx = next[e];
+            if nx == NIL {
+                sum[e]
+            } else {
+                sum[e] + sum[nx as usize]
+            }
+        });
+        device.map(&mut next_new, |e| {
+            let nx = next[e];
+            if nx == NIL {
+                NIL
+            } else {
+                next[nx as usize]
+            }
+        });
+        std::mem::swap(&mut sum, &mut sum_new);
+        std::mem::swap(&mut next, &mut next_new);
+        if device.reduce_min_u32(&next) == NIL {
+            break;
+        }
+    }
+    let total = sum[list.head as usize];
+    let mut prefix = vec![0i64; n];
+    device.map(&mut prefix, |e| total - sum[e] + weights[e]);
+    prefix
+}
+
+/// Sequential list ranking by walking the successor pointers.
+pub fn rank_sequential(list: &EulerList) -> Vec<u32> {
+    let n = list.len();
+    let mut rank = vec![0u32; n];
+    let mut e = list.head;
+    let mut r = 0u32;
+    while e != NIL {
+        rank[e as usize] = r;
+        r += 1;
+        e = list.succ[e as usize];
+    }
+    // A broken list (non-spanning edge set) visits fewer than n elements;
+    // callers detect that through the permutation check in `EulerTour`.
+    rank
+}
+
+/// Wyllie's pointer-jumping list ranking.
+///
+/// Each element tracks its distance to the list end; every round doubles the
+/// jump length. Double-buffered so rounds are bulk-synchronous kernels.
+pub fn rank_wyllie(device: &Device, list: &EulerList) -> Vec<u32> {
+    let n = list.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dist[e] = number of hops from e to the end of the list (tail = 0).
+    let mut dist: Vec<u32> = vec![0; n];
+    device.map(&mut dist, |e| u32::from(list.succ[e] != NIL));
+    let mut next = list.succ.clone();
+
+    let mut dist_new = vec![0u32; n];
+    let mut next_new = vec![0u32; n];
+    // ⌈log₂ n⌉ + 1 rounds suffice for a valid list; the hard bound keeps the
+    // loop finite on broken (non-spanning) inputs, which the caller then
+    // rejects via its permutation check.
+    let max_rounds = (usize::BITS - (n - 1).leading_zeros()) as usize + 1;
+    for _round in 0..max_rounds {
+        // One jump round: rank/next double-buffered to keep the kernel pure.
+        device.map(&mut dist_new, |e| {
+            let nx = next[e];
+            if nx == NIL {
+                dist[e]
+            } else {
+                dist[e] + dist[nx as usize]
+            }
+        });
+        device.map(&mut next_new, |e| {
+            let nx = next[e];
+            if nx == NIL {
+                NIL
+            } else {
+                next[nx as usize]
+            }
+        });
+        std::mem::swap(&mut dist, &mut dist_new);
+        std::mem::swap(&mut next, &mut next_new);
+        // Converged when every pointer reached the end; NIL == u32::MAX, so
+        // the minimum equals NIL exactly when all entries are NIL.
+        if device.reduce_min_u32(&next) == NIL {
+            break;
+        }
+    }
+    // rank from head = (n - 1) - dist_to_tail.
+    let mut rank = vec![0u32; n];
+    device.map(&mut rank, |e| (n as u32 - 1) - dist[e]);
+    rank
+}
+
+/// Wei–JáJá GPU-optimized list ranking (Helman–JáJá sublist scheme).
+pub fn rank_wei_jaja(device: &Device, list: &EulerList) -> Vec<u32> {
+    let n = list.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Small lists gain nothing from the machinery.
+    if n <= device.config().seq_threshold {
+        return rank_sequential(list);
+    }
+
+    // Choose the number of sublists: many more than workers for load
+    // balance, capped so the sequential phase-2 stays negligible.
+    let workers = device.worker_threads();
+    let s_target = usize::clamp(n / 64, workers * 8, 1 << 16).min(n);
+    rank_wei_jaja_with_sublists(device, list, s_target)
+}
+
+/// [`rank_wei_jaja`] with an explicit sublist-count target — the tuning
+/// knob of \[64\] (too few sublists starve workers, too many inflate the
+/// sequential phase 2); `benches/list_ranking.rs` sweeps it.
+pub fn rank_wei_jaja_with_sublists(
+    device: &Device,
+    list: &EulerList,
+    s_target: usize,
+) -> Vec<u32> {
+    let n = list.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let s_target = s_target.clamp(1, n);
+
+    // Splitters: the head plus elements spread over the id space with a
+    // multiplicative-hash stride (id order is uncorrelated with tour order,
+    // which is what the randomized selection in [64] needs).
+    let stride = (n / s_target).max(1);
+    let mut is_splitter = vec![false; n];
+    is_splitter[list.head as usize] = true;
+    let mut splitters: Vec<u32> = vec![list.head];
+    for k in (0..n).step_by(stride) {
+        let e = ((k as u64).wrapping_mul(0x9E3779B97F4A7C15) % n as u64) as u32;
+        if !is_splitter[e as usize] {
+            is_splitter[e as usize] = true;
+            splitters.push(e);
+        }
+    }
+    let s = splitters.len();
+
+    // Phase 1 (parallel over sublists): walk from each splitter to the next
+    // splitter (or the list end), recording local ranks and the sublist id.
+    let mut local_rank = vec![0u32; n];
+    let mut sublist_of = vec![0u32; n];
+    let mut sublist_next = vec![NIL; s]; // index of the *following* sublist's splitter
+    let mut sublist_len = vec![0u32; s];
+    {
+        let local_shared = SharedSlice::new(&mut local_rank);
+        let sub_shared = SharedSlice::new(&mut sublist_of);
+        let next_shared = SharedSlice::new(&mut sublist_next);
+        let len_shared = SharedSlice::new(&mut sublist_len);
+        let splitters_ref = &splitters;
+        let is_splitter_ref = &is_splitter;
+        device.for_each(s, |k| {
+            let mut e = splitters_ref[k];
+            let mut r = 0u32;
+            loop {
+                // SAFETY: sublists partition the list; each element belongs
+                // to exactly one walking thread.
+                unsafe {
+                    local_shared.write(e as usize, r);
+                    sub_shared.write(e as usize, k as u32);
+                }
+                r += 1;
+                let nx = list.succ[e as usize];
+                if nx == NIL {
+                    unsafe {
+                        next_shared.write(k, NIL);
+                        len_shared.write(k, r);
+                    }
+                    return;
+                }
+                if is_splitter_ref[nx as usize] {
+                    unsafe {
+                        next_shared.write(k, nx);
+                        len_shared.write(k, r);
+                    }
+                    return;
+                }
+                e = nx;
+            }
+        });
+    }
+
+    // Phase 2 (sequential, s elements): accumulate sublist offsets in tour
+    // order by hopping from the head's sublist through `sublist_next`.
+    let mut splitter_to_sublist = vec![NIL; n];
+    for (k, &sp) in splitters.iter().enumerate() {
+        splitter_to_sublist[sp as usize] = k as u32;
+    }
+    let mut offset = vec![0u32; s];
+    let mut cur = 0usize; // sublist of the head (splitters[0] == head)
+    let mut acc = 0u32;
+    loop {
+        offset[cur] = acc;
+        acc += sublist_len[cur];
+        let nxt = sublist_next[cur];
+        if nxt == NIL {
+            break;
+        }
+        cur = splitter_to_sublist[nxt as usize] as usize;
+    }
+    // On a valid list `acc == n` here; broken (non-spanning) inputs leave a
+    // shortfall that `EulerTour`'s permutation check reports as an error.
+
+    // Phase 3 (parallel): final rank = sublist offset + local rank.
+    let mut rank = vec![0u32; n];
+    device.map(&mut rank, |e| offset[sublist_of[e] as usize] + local_rank[e]);
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcel::Dcel;
+    use crate::list::EulerList;
+
+    /// Builds an Euler list for a deterministic pseudo-random tree.
+    fn random_tree_list(device: &Device, n: usize, seed: u64) -> EulerList {
+        let mut state = seed;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let edges: Vec<(u32, u32)> = (1..n as u64)
+            .map(|v| ((step() % v) as u32, v as u32))
+            .collect();
+        let dcel = Dcel::build(device, n, &edges);
+        EulerList::build(device, &dcel, 0)
+    }
+
+    fn assert_ranks_match(list: &EulerList, rank: &[u32]) {
+        let reference = rank_sequential(list);
+        assert_eq!(rank, &reference[..]);
+    }
+
+    #[test]
+    fn sequential_ranks_are_positions() {
+        let device = Device::new();
+        let list = random_tree_list(&device, 100, 7);
+        let rank = rank_sequential(&list);
+        let order = list.iter_order();
+        for (pos, &e) in order.iter().enumerate() {
+            assert_eq!(rank[e as usize] as usize, pos);
+        }
+    }
+
+    #[test]
+    fn wyllie_matches_sequential() {
+        let device = Device::new();
+        for n in [2usize, 3, 17, 1000, 20_000] {
+            let list = random_tree_list(&device, n, n as u64);
+            let rank = rank_wyllie(&device, &list);
+            assert_ranks_match(&list, &rank);
+        }
+    }
+
+    #[test]
+    fn wei_jaja_matches_sequential() {
+        let device = Device::new();
+        for n in [2usize, 3, 17, 1000, 20_000, 100_000] {
+            let list = random_tree_list(&device, n, 3 * n as u64 + 1);
+            let rank = rank_wei_jaja(&device, &list);
+            assert_ranks_match(&list, &rank);
+        }
+    }
+
+    #[test]
+    fn wei_jaja_on_path_tree() {
+        // Path trees produce the most skewed tour structure.
+        let device = Device::new();
+        let n = 30_000usize;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+        let dcel = Dcel::build(&device, n, &edges);
+        let list = EulerList::build(&device, &dcel, 0);
+        let rank = rank_wei_jaja(&device, &list);
+        assert_ranks_match(&list, &rank);
+    }
+
+    #[test]
+    fn wei_jaja_work_is_linear_wyllie_is_not() {
+        // Compare device work counters: Wyllie performs Θ(n log n) work,
+        // Wei–JáJá Θ(n). At n = 2^17 the gap must exceed 4×.
+        let device = Device::new();
+        let list = random_tree_list(&device, 1 << 16, 42);
+
+        let before = device.metrics().snapshot();
+        let _ = rank_wei_jaja(&device, &list);
+        let wj = device.metrics().snapshot().since(&before);
+
+        let before = device.metrics().snapshot();
+        let _ = rank_wyllie(&device, &list);
+        let wy = device.metrics().snapshot().since(&before);
+
+        assert!(
+            wy.work_items > 4 * wj.work_items,
+            "Wyllie work {} should exceed 4x Wei-JaJa work {}",
+            wy.work_items,
+            wj.work_items
+        );
+    }
+
+    #[test]
+    fn wei_jaja_correct_for_extreme_sublist_counts() {
+        let device = Device::new();
+        let list = random_tree_list(&device, 4000, 5);
+        let expected = rank_sequential(&list);
+        for s in [1usize, 2, 17, 4000, usize::MAX] {
+            let got = rank_wei_jaja_with_sublists(&device, &list, s);
+            assert_eq!(got, expected, "s={s}");
+        }
+    }
+
+    #[test]
+    fn list_prefix_sum_matches_sequential_walk() {
+        let device = Device::new();
+        for (n, seed) in [(2usize, 1u64), (50, 2), (3000, 3)] {
+            let list = random_tree_list(&device, n, seed);
+            // Arbitrary signed weights keyed on the half-edge id.
+            let weights: Vec<i64> = (0..list.len() as i64).map(|e| (e % 7) - 3).collect();
+            let got = list_prefix_sum(&device, &list, &weights);
+            // Oracle: walk the list accumulating.
+            let mut acc = 0i64;
+            let mut e = list.head;
+            while e != NIL {
+                acc += weights[e as usize];
+                assert_eq!(got[e as usize], acc, "n={n} edge={e}");
+                e = list.succ[e as usize];
+            }
+        }
+    }
+
+    #[test]
+    fn list_prefix_sum_with_unit_weights_is_rank_plus_one() {
+        let device = Device::new();
+        let list = random_tree_list(&device, 500, 9);
+        let ones = vec![1i64; list.len()];
+        let prefix = list_prefix_sum(&device, &list, &ones);
+        let rank = rank_sequential(&list);
+        for e in 0..list.len() {
+            assert_eq!(prefix[e], rank[e] as i64 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight length mismatch")]
+    fn list_prefix_sum_rejects_bad_weights() {
+        let device = Device::new();
+        let list = random_tree_list(&device, 10, 4);
+        list_prefix_sum(&device, &list, &[1i64; 3]);
+    }
+
+    #[test]
+    fn ranker_enum_dispatches() {
+        let device = Device::new();
+        let list = random_tree_list(&device, 5000, 9);
+        let reference = rank_sequential(&list);
+        for ranker in [Ranker::Sequential, Ranker::Wyllie, Ranker::WeiJaJa] {
+            assert_eq!(rank(&device, &list, ranker), reference);
+        }
+    }
+
+    #[test]
+    fn default_ranker_is_wei_jaja() {
+        assert_eq!(Ranker::default(), Ranker::WeiJaJa);
+    }
+}

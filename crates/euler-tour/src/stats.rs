@@ -1,0 +1,269 @@
+//! Tree statistics as scans over the Euler tour array.
+//!
+//! With the tour in array form (one list ranking, §2.2), each statistic is
+//! one scan plus one scatter kernel:
+//!
+//! * **preorder** — down-edges weigh 1, up-edges 0; the prefix sum at the
+//!   down-edge into `v` is `preorder(v) - 1` (we use 1-based preorder, as
+//!   Schieber–Vishkin require);
+//! * **level** — down-edges weigh +1, up-edges −1; the prefix sum at the
+//!   down-edge into `v` is `level(v)` (root = 0);
+//! * **subtree size** — no scan needed: the tour enters `v` at position `p`
+//!   and leaves at `q = rank(twin)`, and `size(v) = (q − p + 1) / 2`;
+//! * **parent** — the tail of the down-edge into `v`.
+
+use crate::dcel::twin;
+use crate::tour::EulerTour;
+use gpu_sim::device::SharedSlice;
+use gpu_sim::Device;
+use graph_core::ids::{NodeId, INVALID_NODE};
+
+/// Per-node tree statistics produced by the Euler tour technique (or by the
+/// sequential oracle in [`crate::cpu`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeStats {
+    /// 1-based preorder number of each node (root = 1).
+    pub preorder: Vec<u32>,
+    /// Subtree size of each node (root = n).
+    pub subtree_size: Vec<u32>,
+    /// Distance from the root (root = 0).
+    pub level: Vec<u32>,
+    /// Parent of each node; `INVALID_NODE` for the root.
+    pub parent: Vec<NodeId>,
+}
+
+impl TreeStats {
+    /// Computes all statistics from a built tour with four kernels and two
+    /// scans.
+    pub fn compute(device: &Device, tour: &EulerTour) -> TreeStats {
+        let n = tour.num_nodes();
+        if n == 1 {
+            return TreeStats {
+                preorder: vec![1],
+                subtree_size: vec![1],
+                level: vec![0],
+                parent: vec![INVALID_NODE],
+            };
+        }
+        let h = tour.len();
+        let order = tour.order();
+        let rank = tour.rank();
+        let dcel = tour.dcel();
+
+        // Down flags by tour position.
+        let mut down = vec![0u8; h];
+        device.map(&mut down, |p| u8::from(tour.is_down(order[p])));
+
+        // Preorder: inclusive scan of down flags.
+        let ones: Vec<u64> = {
+            let mut v = vec![0u64; h];
+            device.map(&mut v, |p| down[p] as u64);
+            v
+        };
+        let pre_scan = device.add_scan_inclusive_u64(&ones);
+
+        // Level: inclusive scan of ±1.
+        let signs: Vec<i64> = {
+            let mut v = vec![0i64; h];
+            device.map(&mut v, |p| if down[p] == 1 { 1 } else { -1 });
+            v
+        };
+        let level_scan = device.add_scan_inclusive_i64(&signs);
+
+        let mut preorder = vec![0u32; n];
+        let mut subtree_size = vec![0u32; n];
+        let mut level = vec![0u32; n];
+        let mut parent = vec![INVALID_NODE; n];
+        preorder[tour.root() as usize] = 1;
+        subtree_size[tour.root() as usize] = n as u32;
+        level[tour.root() as usize] = 0;
+
+        {
+            let pre_shared = SharedSlice::new(&mut preorder);
+            let size_shared = SharedSlice::new(&mut subtree_size);
+            let level_shared = SharedSlice::new(&mut level);
+            let parent_shared = SharedSlice::new(&mut parent);
+            let down_ref = &down;
+            let pre_scan_ref = &pre_scan;
+            let level_scan_ref = &level_scan;
+            device.for_each(h, |p| {
+                if down_ref[p] == 1 {
+                    let e = order[p];
+                    let v = dcel.heads[e as usize] as usize;
+                    let q = rank[twin(e) as usize];
+                    // SAFETY: each non-root node has exactly one down-edge,
+                    // so targets are distinct across virtual threads.
+                    unsafe {
+                        pre_shared.write(v, pre_scan_ref[p] as u32 + 1);
+                        size_shared.write(v, (q - p as u32).div_ceil(2));
+                        level_shared.write(v, level_scan_ref[p] as u32);
+                        parent_shared.write(v, dcel.tails[e as usize]);
+                    }
+                }
+            });
+        }
+
+        TreeStats {
+            preorder,
+            subtree_size,
+            level,
+            parent,
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.preorder.len()
+    }
+
+    /// Validates internal consistency (preorder is a permutation of `1..=n`,
+    /// subtree intervals nest, levels agree with parents). O(n).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n + 1];
+        for &p in &self.preorder {
+            if p == 0 || p as usize > n {
+                return Err(format!("preorder {p} out of 1..={n}"));
+            }
+            if seen[p as usize] {
+                return Err(format!("duplicate preorder {p}"));
+            }
+            seen[p as usize] = true;
+        }
+        for v in 0..n {
+            match self.parent[v] {
+                INVALID_NODE => {
+                    if self.level[v] != 0 {
+                        return Err(format!("root {v} has level {}", self.level[v]));
+                    }
+                    if self.subtree_size[v] as usize != n {
+                        return Err(format!("root subtree size {}", self.subtree_size[v]));
+                    }
+                }
+                p => {
+                    let p = p as usize;
+                    if self.level[v] != self.level[p] + 1 {
+                        return Err(format!("level of {v} inconsistent with parent {p}"));
+                    }
+                    // Child interval nests within the parent interval.
+                    let (cs, ce) = (
+                        self.preorder[v],
+                        self.preorder[v] + self.subtree_size[v],
+                    );
+                    let (ps, pe) = (
+                        self.preorder[p],
+                        self.preorder[p] + self.subtree_size[p],
+                    );
+                    if !(ps < cs && ce <= pe) {
+                        return Err(format!(
+                            "subtree interval of {v} [{cs},{ce}) escapes parent [{ps},{pe})"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tour::EulerTour;
+
+    fn paper_stats(device: &Device) -> TreeStats {
+        let tour = EulerTour::build_from_edges(
+            device,
+            6,
+            &[(0, 2), (0, 3), (0, 4), (2, 1), (2, 5)],
+            0,
+        )
+        .unwrap();
+        TreeStats::compute(device, &tour)
+    }
+
+    #[test]
+    fn paper_tree_preorder() {
+        let device = Device::new();
+        let s = paper_stats(&device);
+        // Tour order: 0, 2, 1, 5, 3, 4 (children in ascending order).
+        assert_eq!(s.preorder, vec![1, 3, 2, 5, 6, 4]);
+    }
+
+    #[test]
+    fn paper_tree_sizes_levels_parents() {
+        let device = Device::new();
+        let s = paper_stats(&device);
+        assert_eq!(s.subtree_size, vec![6, 1, 3, 1, 1, 1]);
+        assert_eq!(s.level, vec![0, 2, 1, 1, 1, 2]);
+        assert_eq!(s.parent, vec![INVALID_NODE, 2, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn stats_validate_on_random_trees() {
+        let device = Device::new();
+        let mut state = 99u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for n in [2usize, 3, 10, 257, 5000] {
+            let edges: Vec<(u32, u32)> = (1..n as u64)
+                .map(|v| ((step() % v) as u32, v as u32))
+                .collect();
+            let tour = EulerTour::build_from_edges(&device, n, &edges, 0).unwrap();
+            let stats = TreeStats::compute(&device, &tour);
+            stats.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn single_node_stats() {
+        let device = Device::new();
+        let tour = EulerTour::build_from_edges(&device, 1, &[], 0).unwrap();
+        let s = TreeStats::compute(&device, &tour);
+        assert_eq!(s.preorder, vec![1]);
+        assert_eq!(s.subtree_size, vec![1]);
+        assert_eq!(s.level, vec![0]);
+        assert_eq!(s.parent, vec![INVALID_NODE]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn path_tree_stats() {
+        let device = Device::new();
+        let n = 1000;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+        let tour = EulerTour::build_from_edges(&device, n, &edges, 0).unwrap();
+        let s = TreeStats::compute(&device, &tour);
+        for v in 0..n {
+            assert_eq!(s.preorder[v], v as u32 + 1);
+            assert_eq!(s.level[v], v as u32);
+            assert_eq!(s.subtree_size[v], (n - v) as u32);
+        }
+    }
+
+    #[test]
+    fn star_tree_stats() {
+        let device = Device::new();
+        let n = 1000;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+        let tour = EulerTour::build_from_edges(&device, n, &edges, 0).unwrap();
+        let s = TreeStats::compute(&device, &tour);
+        assert_eq!(s.subtree_size[0], n as u32);
+        for v in 1..n {
+            assert_eq!(s.level[v], 1);
+            assert_eq!(s.subtree_size[v], 1);
+            assert_eq!(s.parent[v], 0);
+        }
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let device = Device::new();
+        let mut s = paper_stats(&device);
+        s.level[1] = 7;
+        assert!(s.validate().is_err());
+    }
+}

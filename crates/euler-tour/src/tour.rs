@@ -1,0 +1,336 @@
+//! The [`EulerTour`] facade: DCEL → successor list → one list ranking →
+//! tour array (§2.2's central optimization).
+
+use crate::dcel::{twin, Dcel};
+use crate::list::EulerList;
+use crate::ranking::{rank, Ranker};
+use gpu_sim::Device;
+use graph_core::ids::NodeId;
+use graph_core::Tree;
+use std::sync::atomic::Ordering;
+
+/// Errors from Euler tour construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TourError {
+    /// Zero nodes.
+    Empty,
+    /// Root id out of `0..n`.
+    RootOutOfRange(NodeId),
+    /// The edge count is not `n - 1`.
+    WrongEdgeCount {
+        /// Edges supplied.
+        got: usize,
+        /// Edges required (`n - 1`).
+        expected: usize,
+    },
+    /// The edges do not form a spanning tree (detected as a broken tour).
+    NotASpanningTree,
+}
+
+impl std::fmt::Display for TourError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TourError::Empty => write!(f, "tree must have at least one node"),
+            TourError::RootOutOfRange(r) => write!(f, "root {r} out of range"),
+            TourError::WrongEdgeCount { got, expected } => {
+                write!(f, "expected {expected} tree edges, got {got}")
+            }
+            TourError::NotASpanningTree => {
+                write!(f, "edge set does not form a spanning tree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TourError {}
+
+/// An Euler tour of a rooted tree, in array form.
+///
+/// After construction every subtree is a contiguous interval of the tour
+/// array, so node statistics reduce to scans (see [`crate::stats`]).
+#[derive(Debug, Clone)]
+pub struct EulerTour {
+    num_nodes: usize,
+    root: NodeId,
+    dcel: Dcel,
+    /// `rank[e]` = tour position of half-edge `e`.
+    rank: Vec<u32>,
+    /// `order[p]` = half-edge at tour position `p` (inverse of `rank`).
+    order: Vec<u32>,
+}
+
+impl EulerTour {
+    /// Builds the tour of a validated [`Tree`], rooted at the tree's root,
+    /// using the default (Wei–JáJá) ranker.
+    pub fn build(device: &Device, tree: &Tree) -> Result<Self, TourError> {
+        Self::build_from_edges(device, tree.num_nodes(), &tree.edges(), tree.root())
+    }
+
+    /// Builds the tour of a validated [`Tree`] with an explicit ranker.
+    pub fn build_with_ranker(
+        device: &Device,
+        tree: &Tree,
+        ranker: Ranker,
+    ) -> Result<Self, TourError> {
+        Self::build_from_edges_with_ranker(device, tree.num_nodes(), &tree.edges(), tree.root(), ranker)
+    }
+
+    /// Builds the tour from the paper's §2.1 input: an unordered collection
+    /// of undirected edges plus a chosen root.
+    pub fn build_from_edges(
+        device: &Device,
+        num_nodes: usize,
+        edges: &[(NodeId, NodeId)],
+        root: NodeId,
+    ) -> Result<Self, TourError> {
+        Self::build_from_edges_with_ranker(device, num_nodes, edges, root, Ranker::default())
+    }
+
+    /// Builds the tour from unordered undirected edges with an explicit
+    /// list-ranking algorithm.
+    pub fn build_from_edges_with_ranker(
+        device: &Device,
+        num_nodes: usize,
+        edges: &[(NodeId, NodeId)],
+        root: NodeId,
+        ranker: Ranker,
+    ) -> Result<Self, TourError> {
+        if num_nodes == 0 {
+            return Err(TourError::Empty);
+        }
+        if root as usize >= num_nodes {
+            return Err(TourError::RootOutOfRange(root));
+        }
+        if edges.len() != num_nodes - 1 {
+            return Err(TourError::WrongEdgeCount {
+                got: edges.len(),
+                expected: num_nodes - 1,
+            });
+        }
+        if num_nodes == 1 {
+            // Trivial tour: no half-edges.
+            return Ok(Self {
+                num_nodes,
+                root,
+                dcel: Dcel::build(device, 1, &[]),
+                rank: Vec::new(),
+                order: Vec::new(),
+            });
+        }
+        for &(u, v) in edges {
+            if (u as usize) >= num_nodes || (v as usize) >= num_nodes {
+                return Err(TourError::NotASpanningTree);
+            }
+            if u == v {
+                return Err(TourError::NotASpanningTree);
+            }
+        }
+
+        let dcel = Dcel::build(device, num_nodes, edges);
+        if dcel.first[root as usize] == graph_core::ids::INVALID_NODE {
+            // Root isolated — certainly not spanning.
+            return Err(TourError::NotASpanningTree);
+        }
+        let list = EulerList::build(device, &dcel, root);
+        let rank_arr = rank(device, &list, ranker);
+
+        // Permutation check: if the edges were not a spanning tree, the
+        // successor structure decomposes into several cycles and the ranks
+        // cannot form a permutation of 0..2(n-1).
+        let h = rank_arr.len();
+        let mut counts = vec![0u32; h];
+        {
+            let counts_view = gpu_sim::as_atomic_u32(&mut counts);
+            let rank_ref = &rank_arr;
+            device.for_each(h, |e| {
+                let r = rank_ref[e] as usize;
+                if r < h {
+                    counts_view[r].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let min = device.reduce_min_u32(&counts);
+        let max = device.reduce_max_u32(&counts);
+        if min != 1 || max != 1 {
+            return Err(TourError::NotASpanningTree);
+        }
+
+        // Invert the ranking into the tour array (a permutation scatter).
+        let src: Vec<u32> = (0..h as u32).collect();
+        let mut order = vec![0u32; h];
+        device.scatter(&mut order, &rank_arr, &src);
+
+        Ok(Self {
+            num_nodes,
+            root,
+            dcel,
+            rank: rank_arr,
+            order,
+        })
+    }
+
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of half-edges on the tour (`2(n-1)`).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True only for the single-node tree.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The underlying DCEL.
+    pub fn dcel(&self) -> &Dcel {
+        &self.dcel
+    }
+
+    /// `rank[e]` = tour position of half-edge `e`.
+    pub fn rank(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// `order[p]` = half-edge at tour position `p`.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Whether half-edge `e` points away from the root ("goes down").
+    ///
+    /// A half-edge goes down iff it appears before its twin on the tour
+    /// (paper, footnote 4).
+    #[inline]
+    pub fn is_down(&self, e: u32) -> bool {
+        self.rank[e as usize] < self.rank[twin(e) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_core::ids::INVALID_NODE;
+
+    fn paper_tour(device: &Device) -> EulerTour {
+        EulerTour::build_from_edges(device, 6, &[(0, 2), (0, 3), (0, 4), (2, 1), (2, 5)], 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn rank_and_order_are_inverse() {
+        let device = Device::new();
+        let tour = paper_tour(&device);
+        for p in 0..tour.len() {
+            assert_eq!(tour.rank()[tour.order()[p] as usize] as usize, p);
+        }
+    }
+
+    #[test]
+    fn down_edges_match_direction() {
+        let device = Device::new();
+        let tour = paper_tour(&device);
+        let dcel = tour.dcel();
+        // Down half-edges of the paper tree point 0→{2,3,4} and 2→{1,5}.
+        for e in 0..tour.len() as u32 {
+            let (t, h) = (dcel.tails[e as usize], dcel.heads[e as usize]);
+            let expected_down = matches!(
+                (t, h),
+                (0, 2) | (0, 3) | (0, 4) | (2, 1) | (2, 5)
+            );
+            assert_eq!(tour.is_down(e), expected_down, "half-edge ({t},{h})");
+        }
+    }
+
+    #[test]
+    fn single_node_tour_is_empty() {
+        let device = Device::new();
+        let tour = EulerTour::build_from_edges(&device, 1, &[], 0).unwrap();
+        assert!(tour.is_empty());
+        assert_eq!(tour.num_nodes(), 1);
+    }
+
+    #[test]
+    fn error_on_zero_nodes() {
+        let device = Device::new();
+        assert_eq!(
+            EulerTour::build_from_edges(&device, 0, &[], 0).unwrap_err(),
+            TourError::Empty
+        );
+    }
+
+    #[test]
+    fn error_on_bad_root() {
+        let device = Device::new();
+        assert_eq!(
+            EulerTour::build_from_edges(&device, 2, &[(0, 1)], 5).unwrap_err(),
+            TourError::RootOutOfRange(5)
+        );
+    }
+
+    #[test]
+    fn error_on_wrong_edge_count() {
+        let device = Device::new();
+        assert!(matches!(
+            EulerTour::build_from_edges(&device, 3, &[(0, 1)], 0).unwrap_err(),
+            TourError::WrongEdgeCount { got: 1, expected: 2 }
+        ));
+    }
+
+    #[test]
+    fn error_on_cycle_plus_isolated() {
+        // 4 nodes, 3 edges, but a triangle + isolated node (not spanning).
+        let device = Device::new();
+        let err = EulerTour::build_from_edges(&device, 4, &[(0, 1), (1, 2), (2, 0)], 0)
+            .unwrap_err();
+        assert_eq!(err, TourError::NotASpanningTree);
+    }
+
+    #[test]
+    fn error_on_self_loop() {
+        let device = Device::new();
+        let err =
+            EulerTour::build_from_edges(&device, 2, &[(1, 1)], 0).unwrap_err();
+        assert_eq!(err, TourError::NotASpanningTree);
+    }
+
+    #[test]
+    fn error_on_disconnected_root() {
+        // Root 3 isolated; edges form a path over 0,1,2 plus a duplicate.
+        let device = Device::new();
+        let err = EulerTour::build_from_edges(&device, 4, &[(0, 1), (1, 2), (0, 2)], 3)
+            .unwrap_err();
+        assert_eq!(err, TourError::NotASpanningTree);
+    }
+
+    #[test]
+    fn build_from_tree_uses_tree_root() {
+        let device = Device::new();
+        let tree = Tree::from_parent_array(vec![INVALID_NODE, 0, 1], 0).unwrap();
+        let tour = EulerTour::build(&device, &tree).unwrap();
+        assert_eq!(tour.root(), 0);
+        assert_eq!(tour.len(), 4);
+    }
+
+    #[test]
+    fn all_rankers_agree() {
+        let device = Device::new();
+        let n = 5000;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v / 3, v)).collect();
+        let mut tours = Vec::new();
+        for ranker in [Ranker::Sequential, Ranker::Wyllie, Ranker::WeiJaJa] {
+            tours.push(
+                EulerTour::build_from_edges_with_ranker(&device, n, &edges, 0, ranker).unwrap(),
+            );
+        }
+        assert_eq!(tours[0].rank(), tours[1].rank());
+        assert_eq!(tours[0].rank(), tours[2].rank());
+    }
+}

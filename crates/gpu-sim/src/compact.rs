@@ -1,0 +1,141 @@
+//! Stream compaction (filter): flag → scan → scatter.
+//!
+//! Used to build BFS frontiers and to separate tree from non-tree edges.
+
+use crate::device::{Device, SharedSlice};
+use rayon::prelude::*;
+
+impl Device {
+    /// Returns, in ascending order, every index `i in 0..n` with `pred(i)`.
+    pub fn compact_indices<F>(&self, n: usize, pred: F) -> Vec<u32>
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        self.metrics().record_primitive();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n <= self.config().seq_threshold {
+            self.metrics().record_launch(n as u64);
+            return (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
+        }
+
+        let chunk = usize::max(
+            self.config().block_size,
+            n.div_ceil(4 * self.worker_threads().max(1)),
+        );
+        let blocks = n.div_ceil(chunk);
+
+        // Phase 1: count survivors per block.
+        self.metrics().record_launch(n as u64);
+        let mut counts = vec![0u32; blocks];
+        self.run(|| {
+            counts.par_iter_mut().enumerate().for_each(|(b, count)| {
+                let start = b * chunk;
+                let end = usize::min(start + chunk, n);
+                *count = (start..end).filter(|&i| pred(i)).count() as u32;
+            });
+        });
+
+        // Phase 2: block offsets (tiny, sequential).
+        let mut offsets = vec![0u32; blocks];
+        let mut acc = 0u32;
+        for b in 0..blocks {
+            offsets[b] = acc;
+            acc += counts[b];
+        }
+        let total = acc as usize;
+
+        // Phase 3: write survivors.
+        self.metrics().record_launch(n as u64);
+        let mut out = vec![0u32; total];
+        {
+            let shared = SharedSlice::new(&mut out);
+            let offsets_ref = &offsets;
+            self.run(|| {
+                (0..blocks).into_par_iter().for_each(|b| {
+                    let start = b * chunk;
+                    let end = usize::min(start + chunk, n);
+                    let mut pos = offsets_ref[b] as usize;
+                    for i in start..end {
+                        if pred(i) {
+                            // SAFETY: blocks own disjoint [offset, offset+count)
+                            // output ranges by construction of the offsets.
+                            unsafe { shared.write(pos, i as u32) };
+                            pos += 1;
+                        }
+                    }
+                });
+            });
+        }
+        out
+    }
+
+    /// Keeps the elements of `input` whose *value* satisfies `pred`,
+    /// preserving order.
+    pub fn compact<T, F>(&self, input: &[T], pred: F) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let idx = self.compact_indices(input.len(), |i| pred(&input[i]));
+        if idx.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![input[0]; idx.len()];
+        self.gather(&mut out, &idx, input);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Device;
+
+    #[test]
+    fn keeps_evens_in_order() {
+        let device = Device::new();
+        let out = device.compact_indices(100_000, |i| i % 2 == 0);
+        assert_eq!(out.len(), 50_000);
+        for (j, &i) in out.iter().enumerate() {
+            assert_eq!(i as usize, 2 * j);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let device = Device::new();
+        assert!(device.compact_indices(0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn nothing_survives() {
+        let device = Device::new();
+        assert!(device.compact_indices(50_000, |_| false).is_empty());
+    }
+
+    #[test]
+    fn everything_survives() {
+        let device = Device::new();
+        let out = device.compact_indices(30_000, |_| true);
+        assert_eq!(out.len(), 30_000);
+        assert!(out.windows(2).all(|w| w[0] + 1 == w[1]));
+    }
+
+    #[test]
+    fn compact_values() {
+        let device = Device::new();
+        let input: Vec<u32> = (0..80_000).collect();
+        let out = device.compact(&input, |&v| v % 1000 == 7);
+        assert_eq!(out.len(), 80);
+        assert_eq!(out[0], 7);
+        assert_eq!(out[79], 79_007);
+    }
+
+    #[test]
+    fn small_input_sequential_path() {
+        let device = Device::new();
+        let out = device.compact_indices(10, |i| i >= 5);
+        assert_eq!(out, vec![5, 6, 7, 8, 9]);
+    }
+}

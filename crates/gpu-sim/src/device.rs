@@ -1,0 +1,461 @@
+//! The simulated device: bulk-synchronous kernel launches over virtual
+//! thread grids, executed on a rayon thread pool.
+//!
+//! A kernel launch (`for_each`, `map`, ...) corresponds to a CUDA kernel
+//! followed by a device-wide synchronization: all virtual threads of one
+//! launch complete before the call returns, and writes become visible to the
+//! next launch. Virtual threads are grouped into *blocks* ([`DeviceConfig::
+//! block_size`]) which are the unit of scheduling on the worker pool —
+//! mirroring how thread blocks map onto streaming multiprocessors.
+
+use crate::metrics::Metrics;
+use rayon::prelude::*;
+use std::marker::PhantomData;
+
+/// Tuning knobs for a [`Device`].
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Worker threads in the pool. `None` uses rayon's global pool
+    /// (one worker per logical CPU).
+    pub threads: Option<usize>,
+    /// Virtual threads per block — the scheduling granularity. Large enough
+    /// to amortize work-stealing overhead, small enough to load-balance.
+    pub block_size: usize,
+    /// Kernels with at most this many virtual threads run inline on the
+    /// calling thread; models the fact that tiny grids do not fill a GPU
+    /// and launch overhead dominates.
+    pub seq_threshold: usize,
+    /// Optional fixed cost added to every kernel launch, modeling the
+    /// CUDA launch + synchronization latency (~5–10 µs on the paper's
+    /// hardware). Useful for studying launch-bound regimes such as the
+    /// small batches of Figure 6; `None` (the default) adds nothing.
+    pub launch_overhead: Option<std::time::Duration>,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            block_size: 4096,
+            seq_threshold: 2048,
+            launch_overhead: None,
+        }
+    }
+}
+
+/// A simulated GPU device.
+///
+/// Cheap to share by reference; all kernel entry points take `&self`.
+/// Primitives (scan, sort, reduce, segmented reduce, compaction) are
+/// implemented in sibling modules as inherent methods on `Device`.
+pub struct Device {
+    pool: Option<rayon::ThreadPool>,
+    cfg: DeviceConfig,
+    metrics: Metrics,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("cfg", &self.cfg)
+            .field("metrics", &self.metrics.snapshot())
+            .finish()
+    }
+}
+
+impl Device {
+    /// Creates a device using the default configuration and the global pool.
+    pub fn new() -> Self {
+        Self::with_config(DeviceConfig::default())
+    }
+
+    /// Creates a device with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if a dedicated pool of `cfg.threads` workers cannot be built,
+    /// or if `cfg.block_size` is zero.
+    pub fn with_config(cfg: DeviceConfig) -> Self {
+        assert!(cfg.block_size > 0, "block_size must be positive");
+        let pool = cfg.threads.map(|t| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("failed to build device thread pool")
+        });
+        Self {
+            pool,
+            cfg,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Instrumentation counters for this device.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of physical worker threads backing the device.
+    pub fn worker_threads(&self) -> usize {
+        match &self.pool {
+            Some(p) => p.current_num_threads(),
+            None => rayon::current_num_threads(),
+        }
+    }
+
+    /// Spends the configured per-launch latency (busy-wait: the real cost
+    /// is on the host thread exactly as with a blocking CUDA launch).
+    #[inline]
+    fn pay_launch_overhead(&self) {
+        if let Some(d) = self.cfg.launch_overhead {
+            let start = std::time::Instant::now();
+            while start.elapsed() < d {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Runs `op` inside the device's worker pool (or the global pool).
+    pub fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(p) => p.install(op),
+            None => op(),
+        }
+    }
+
+    /// Launches a side-effect kernel over `n` virtual threads.
+    ///
+    /// `f(i)` is invoked exactly once for every `i in 0..n`, potentially in
+    /// parallel; the call returns only after every virtual thread finished
+    /// (bulk-synchronous semantics). Shared mutable state must go through
+    /// atomics (see [`crate::atomic`]).
+    pub fn for_each<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.metrics.record_launch(n as u64);
+        self.pay_launch_overhead();
+        if n == 0 {
+            return;
+        }
+        if n <= self.cfg.seq_threshold {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let bs = self.cfg.block_size;
+        let blocks = n.div_ceil(bs);
+        self.run(|| {
+            (0..blocks).into_par_iter().for_each(|b| {
+                let start = b * bs;
+                let end = usize::min(start + bs, n);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        });
+    }
+
+    /// Launches a map kernel: `out[i] = f(i)` for every element of `out`.
+    pub fn map<T, F>(&self, out: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let n = out.len();
+        self.metrics.record_launch(n as u64);
+        self.pay_launch_overhead();
+        if n == 0 {
+            return;
+        }
+        if n <= self.cfg.seq_threshold {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(i);
+            }
+            return;
+        }
+        let bs = self.cfg.block_size;
+        self.run(|| {
+            out.par_chunks_mut(bs).enumerate().for_each(|(b, chunk)| {
+                let base = b * bs;
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(base + j);
+                }
+            });
+        });
+    }
+
+    /// Allocates a fresh buffer of length `n` filled by a map kernel.
+    pub fn alloc_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        self.map(&mut out, f);
+        out
+    }
+
+    /// Fills `out` with copies of `value` (a broadcast kernel).
+    pub fn fill<T>(&self, out: &mut [T], value: T)
+    where
+        T: Send + Sync + Clone,
+    {
+        let v = &value;
+        self.map(out, move |_| v.clone());
+    }
+
+    /// Gather kernel: `out[i] = src[idx[i]]`.
+    ///
+    /// # Panics
+    /// Panics (in debug) if an index is out of bounds; release builds panic
+    /// through the slice index.
+    pub fn gather<T>(&self, out: &mut [T], idx: &[u32], src: &[T])
+    where
+        T: Send + Sync + Copy,
+    {
+        assert_eq!(out.len(), idx.len(), "gather: out/idx length mismatch");
+        self.map(out, |i| src[idx[i] as usize]);
+    }
+}
+
+/// An unsynchronized shared view over a mutable slice, for permutation
+/// scatters (`out[perm[i]] = v_i` with all `perm[i]` distinct).
+///
+/// CUDA programs do this with plain global-memory writes; in Rust it needs a
+/// raw-pointer escape hatch. The safety contract is the classic one: no two
+/// virtual threads may write the same index during one launch, and reads of
+/// written cells only happen after the launch returns.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the whole point — many threads hold &SharedSlice and write disjoint
+// cells. T: Send suffices because each cell is only touched by one thread.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps an exclusive slice for disjoint parallel writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Raw base pointer of the underlying slice.
+    ///
+    /// For callers that carve the slice into *disjoint* sub-slices owned by
+    /// different virtual threads (per-run sorts, tiled merges). The usual
+    /// contract applies: ranges formed from this pointer must not overlap
+    /// across threads within one launch.
+    pub fn as_ptr(&self) -> *mut T {
+        self.ptr
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// Within one kernel launch every index may be written by at most one
+    /// virtual thread, and `index < self.len()`.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len, "SharedSlice write out of bounds");
+        unsafe { self.ptr.add(index).write(value) };
+    }
+
+    /// Reads the value at `index` (plain, unsynchronized read).
+    ///
+    /// # Safety
+    /// No concurrent write to `index` may happen during this launch, and
+    /// `index < self.len()`.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len, "SharedSlice read out of bounds");
+        unsafe { self.ptr.add(index).read() }
+    }
+}
+
+impl Device {
+    /// Permutation scatter kernel: `out[perm[i]] = src[i]`.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or any `perm[i]` is out of bounds.
+    /// `perm` must be a permutation of `0..out.len()` restricted to the
+    /// written positions (each target written at most once) — violating this
+    /// is a logic error that results in an unspecified (but not undefined,
+    /// values are `Copy`) final value... it *is* a data race in the abstract
+    /// machine, so the method checks distinctness in debug builds.
+    pub fn scatter<T>(&self, out: &mut [T], perm: &[u32], src: &[T])
+    where
+        T: Send + Sync + Copy,
+    {
+        assert_eq!(perm.len(), src.len(), "scatter: perm/src length mismatch");
+        let out_len = out.len();
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; out_len];
+            for &p in perm {
+                assert!((p as usize) < out_len, "scatter: index out of bounds");
+                assert!(!seen[p as usize], "scatter: duplicate target index");
+                seen[p as usize] = true;
+            }
+        }
+        let shared = SharedSlice::new(out);
+        self.for_each(src.len(), |i| {
+            let p = perm[i] as usize;
+            assert!(p < out_len, "scatter: index out of bounds");
+            // SAFETY: caller contract — perm has distinct entries, checked
+            // exhaustively in debug builds.
+            unsafe { shared.write(p, src[i]) };
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_touches_every_index() {
+        let device = Device::new();
+        let mut hits = vec![0u32; 10_000];
+        let view = crate::as_atomic_u32(&mut hits);
+        device.for_each(10_000, |i| {
+            view[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn map_computes_every_slot() {
+        let device = Device::new();
+        let mut out = vec![0usize; 50_000];
+        device.map(&mut out, |i| i * 2);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn map_empty_is_noop() {
+        let device = Device::new();
+        let mut out: Vec<u32> = vec![];
+        device.map(&mut out, |_| unreachable!());
+    }
+
+    #[test]
+    fn small_kernels_run_inline() {
+        let device = Device::new();
+        let before = device.metrics().snapshot();
+        let mut out = vec![0u32; 16];
+        device.map(&mut out, |i| i as u32);
+        let after = device.metrics().snapshot().since(&before);
+        assert_eq!(after.kernel_launches, 1);
+        assert_eq!(after.work_items, 16);
+    }
+
+    #[test]
+    fn gather_and_scatter_invert() {
+        let device = Device::new();
+        let n = 20_000;
+        let src: Vec<u64> = (0..n as u64).collect();
+        // perm = reverse
+        let perm: Vec<u32> = (0..n as u32).rev().collect();
+        let mut scattered = vec![0u64; n];
+        device.scatter(&mut scattered, &perm, &src);
+        let mut gathered = vec![0u64; n];
+        device.gather(&mut gathered, &perm, &scattered);
+        assert_eq!(gathered, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scatter_length_mismatch_panics() {
+        let device = Device::new();
+        let mut out = vec![0u32; 4];
+        device.scatter(&mut out, &[0, 1], &[1u32, 2, 3]);
+    }
+
+    #[test]
+    fn fill_broadcasts() {
+        let device = Device::new();
+        let mut out = vec![0u8; 9999];
+        device.fill(&mut out, 7);
+        assert!(out.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn dedicated_pool_respects_thread_count() {
+        let device = Device::with_config(DeviceConfig {
+            threads: Some(2),
+            ..Default::default()
+        });
+        assert_eq!(device.worker_threads(), 2);
+        let mut out = vec![0usize; 100_000];
+        device.map(&mut out, |i| i);
+        assert_eq!(out[99_999], 99_999);
+    }
+
+    #[test]
+    fn alloc_map_allocates_and_fills() {
+        let device = Device::new();
+        let v = device.alloc_map(1000, |i| i as u32 + 1);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[999], 1000);
+    }
+
+    #[test]
+    fn launch_overhead_is_paid_per_kernel() {
+        let device = Device::with_config(DeviceConfig {
+            launch_overhead: Some(std::time::Duration::from_micros(200)),
+            ..Default::default()
+        });
+        let mut out = vec![0u8; 8];
+        let start = std::time::Instant::now();
+        for _ in 0..50 {
+            device.map(&mut out, |_| 0);
+        }
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(10),
+            "50 launches at 200us overhead must cost at least 10ms"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "block_size")]
+    fn zero_block_size_rejected() {
+        let _ = Device::with_config(DeviceConfig {
+            block_size: 0,
+            ..Default::default()
+        });
+    }
+}

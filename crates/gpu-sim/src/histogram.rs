@@ -1,0 +1,157 @@
+//! Parallel histograms — atomic and privatized variants.
+//!
+//! Histogramming is the standard GPU idiom for counting (degree counting in
+//! CSR construction is a histogram over edge endpoints). Two canonical
+//! strategies exist and the trade-off between them is a classic tuning
+//! question, so both are implemented and benchmarked against each other in
+//! `euler-bench/benches/primitives.rs`:
+//!
+//! * **atomic** — one `fetch_add` per element on a shared bin array; simple,
+//!   but serializes under contention when few bins are hot (CUDA's global
+//!   atomics have the same failure mode);
+//! * **privatized** — each block accumulates a private histogram, then the
+//!   per-block histograms are summed; contention-free at the cost of
+//!   `blocks × bins` intermediate space (the shared-memory privatization
+//!   every CUDA histogram kernel uses).
+
+use crate::atomic::as_atomic_u64;
+use crate::device::Device;
+use std::sync::atomic::Ordering;
+
+impl Device {
+    /// Histogram via a shared atomic bin array.
+    ///
+    /// `bin(i)` must return a bin index `< num_bins` for every `i` in
+    /// `0..n`; the result counts how many items map to each bin.
+    ///
+    /// # Panics
+    /// Panics if `bin` produces an out-of-range index.
+    pub fn histogram_atomic<F>(&self, n: usize, num_bins: usize, bin: F) -> Vec<u64>
+    where
+        F: Fn(usize) -> usize + Sync,
+    {
+        let mut counts = vec![0u64; num_bins];
+        let cells = as_atomic_u64(&mut counts);
+        self.for_each(n, |i| {
+            let b = bin(i);
+            assert!(b < num_bins, "histogram: bin {b} out of range");
+            cells[b].fetch_add(1, Ordering::Relaxed);
+        });
+        counts
+    }
+
+    /// Histogram via per-block private accumulation.
+    ///
+    /// Equivalent output to [`Device::histogram_atomic`]; each block of
+    /// items accumulates into a private bin array and the per-block arrays
+    /// are then reduced bin-parallel. Preferable when `num_bins` is small
+    /// relative to `n` and bins are hot.
+    ///
+    /// # Panics
+    /// Panics if `bin` produces an out-of-range index.
+    pub fn histogram_privatized<F>(&self, n: usize, num_bins: usize, bin: F) -> Vec<u64>
+    where
+        F: Fn(usize) -> usize + Sync,
+    {
+        if n == 0 || num_bins == 0 {
+            return vec![0; num_bins];
+        }
+        let bs = self.config().block_size.max(1);
+        let blocks = n.div_ceil(bs);
+        // Phase 1: per-block private histograms (one launch, disjoint rows).
+        let mut private = vec![0u64; blocks * num_bins];
+        let shared = crate::device::SharedSlice::new(&mut private);
+        self.for_each(blocks, |blk| {
+            let lo = blk * bs;
+            let hi = usize::min(lo + bs, n);
+            let mut local = vec![0u64; num_bins];
+            for i in lo..hi {
+                let b = bin(i);
+                assert!(b < num_bins, "histogram: bin {b} out of range");
+                local[b] += 1;
+            }
+            let base = blk * num_bins;
+            for (j, &c) in local.iter().enumerate() {
+                // SAFETY: block blk exclusively owns row [base, base+bins).
+                unsafe { shared.write(base + j, c) };
+            }
+        });
+        // Phase 2: bin-parallel column sums (second launch).
+        self.alloc_map(num_bins, |b| {
+            (0..blocks).map(|blk| private[blk * num_bins + b]).sum()
+        })
+    }
+
+    /// Counts occurrences of each value in `values`, all of which must be
+    /// `< num_bins`. Dispatches to the privatized variant.
+    pub fn bincount_u32(&self, values: &[u32], num_bins: usize) -> Vec<u64> {
+        self.histogram_privatized(values.len(), num_bins, |i| values[i] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn device() -> Device {
+        Device::new()
+    }
+
+    #[test]
+    fn empty_input_gives_zero_bins() {
+        let d = device();
+        assert_eq!(d.histogram_atomic(0, 4, |_| 0), [0, 0, 0, 0]);
+        assert_eq!(d.histogram_privatized(0, 4, |_| 0), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn uniform_distribution() {
+        let d = device();
+        let n = 64_000;
+        let bins = 16;
+        let h = d.histogram_privatized(n, bins, |i| i % bins);
+        assert!(h.iter().all(|&c| c == (n / bins) as u64));
+    }
+
+    #[test]
+    fn single_hot_bin_atomic_vs_privatized() {
+        let d = device();
+        // Worst case for atomics: everything lands in one bin.
+        let a = d.histogram_atomic(50_000, 8, |_| 3);
+        let p = d.histogram_privatized(50_000, 8, |_| 3);
+        assert_eq!(a, p);
+        assert_eq!(a[3], 50_000);
+        assert_eq!(a.iter().sum::<u64>(), 50_000);
+    }
+
+    #[test]
+    fn variants_agree_on_random_input() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<u32> = (0..80_000).map(|_| rng.gen_range(0..notable())).collect();
+        let a = d.histogram_atomic(values.len(), notable() as usize, |i| values[i] as usize);
+        let p = d.bincount_u32(&values, notable() as usize);
+        assert_eq!(a, p);
+        assert_eq!(a.iter().sum::<u64>(), values.len() as u64);
+    }
+
+    fn notable() -> u32 {
+        257 // deliberately not a power of two
+    }
+
+    #[test]
+    fn bincount_matches_sequential() {
+        let d = device();
+        let values = [0u32, 1, 1, 2, 2, 2, 5];
+        let h = d.bincount_u32(&values, 6);
+        assert_eq!(h, [1, 2, 3, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bin_panics() {
+        let d = device();
+        d.histogram_privatized(10, 2, |i| i); // i reaches 2..10
+    }
+}

@@ -1,0 +1,265 @@
+//! Load-balanced search and vectorized sorted search — the moderngpu
+//! primitives behind even edge-parallel iteration.
+//!
+//! Given a CSR-style `offsets` array (the exclusive prefix sum of segment
+//! sizes), *load-balanced search* computes, for every flat work item
+//! `i in 0..total`, the segment it belongs to. This turns "one thread per
+//! segment" kernels — which stall on skewed segment sizes, the classic GPU
+//! problem with power-law degree distributions — into perfectly balanced
+//! "one thread per item" kernels. moderngpu builds its `interval_expand`,
+//! `interval_move` and relational join primitives on it; here it also backs
+//! the edge-balanced BFS variant in the `bridges` crate.
+//!
+//! The implementation is the linear-work co-iteration: each output tile
+//! locates its starting segment with one binary search, then walks items
+//! and segment boundaries together — O(total + segments) work across
+//! O(total / tile) independent tiles.
+
+use crate::device::{Device, SharedSlice};
+
+/// Index of the last offset `<= item`, i.e. the segment containing `item`.
+///
+/// `offsets` must be non-decreasing with `offsets[0] == 0`. Empty segments
+/// are skipped (an item never lands in a zero-length segment).
+fn segment_of(offsets: &[u32], item: u32) -> usize {
+    debug_assert!(!offsets.is_empty());
+    // partition_point returns the first index whose offset exceeds item;
+    // the containing segment starts one before it.
+    offsets.partition_point(|&o| o <= item) - 1
+}
+
+impl Device {
+    /// Load-balanced search: maps every work item to its segment.
+    ///
+    /// `offsets` has one entry per segment plus a final total (CSR row
+    /// pointers); the result has length `offsets[last]` and `result[i]` is
+    /// the segment index `s` with `offsets[s] <= i < offsets[s + 1]`.
+    /// Empty segments produce no items.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is empty, does not start at zero, or decreases.
+    pub fn load_balanced_search(&self, offsets: &[u32]) -> Vec<u32> {
+        assert!(!offsets.is_empty(), "lbs: offsets must not be empty");
+        assert_eq!(offsets[0], 0, "lbs: offsets must start at 0");
+        debug_assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "lbs: offsets must be non-decreasing"
+        );
+        let total = *offsets.last().unwrap() as usize;
+        let num_segments = offsets.len() - 1;
+        let mut out = vec![0u32; total];
+        if total == 0 {
+            return out;
+        }
+        let tile = self.config().block_size.max(1);
+        let tiles = total.div_ceil(tile);
+        let shared = SharedSlice::new(&mut out);
+        self.for_each(tiles, |t| {
+            let lo = t * tile;
+            let hi = usize::min(lo + tile, total);
+            // One binary search per tile, then co-iterate.
+            let mut seg = segment_of(offsets, lo as u32);
+            for i in lo..hi {
+                while offsets[seg + 1] as usize <= i {
+                    seg += 1;
+                    debug_assert!(seg < num_segments);
+                }
+                // SAFETY: tiles write disjoint ranges [lo, hi).
+                unsafe { shared.write(i, seg as u32) };
+            }
+        });
+        out
+    }
+
+    /// Interval expand: `out[i] = values[segment_of(i)]`.
+    ///
+    /// The moderngpu `interval_expand` — replicates one value per segment
+    /// across that segment's items, load-balanced. `values.len()` must be
+    /// `offsets.len() - 1`.
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`Device::load_balanced_search`],
+    /// or if `values` does not match the segment count.
+    pub fn interval_expand<T>(&self, values: &[T], offsets: &[u32]) -> Vec<T>
+    where
+        T: Copy + Send + Sync + Default,
+    {
+        assert_eq!(
+            values.len() + 1,
+            offsets.len(),
+            "interval_expand: values/offsets mismatch"
+        );
+        let seg_of = self.load_balanced_search(offsets);
+        self.alloc_map(seg_of.len(), |i| values[seg_of[i] as usize])
+    }
+
+    /// Vectorized sorted search: lower bound of every needle in `haystack`.
+    ///
+    /// Both inputs must be sorted. Returns, for each `needles[i]`, the first
+    /// index `j` with `haystack[j] >= needles[i]` (i.e. `lower_bound`).
+    /// Linear-work co-iteration over tiles of needles, one binary search per
+    /// tile — O(needles + haystack/tiles·log) instead of a binary search per
+    /// needle; this is moderngpu's `sorted_search` specialization.
+    ///
+    /// # Panics
+    /// Debug builds panic if either input is unsorted.
+    pub fn sorted_search_lower<T>(&self, needles: &[T], haystack: &[T]) -> Vec<u32>
+    where
+        T: Ord + Copy + Send + Sync,
+    {
+        debug_assert!(
+            needles.windows(2).all(|w| w[0] <= w[1]),
+            "sorted_search: needles not sorted"
+        );
+        debug_assert!(
+            haystack.windows(2).all(|w| w[0] <= w[1]),
+            "sorted_search: haystack not sorted"
+        );
+        let n = needles.len();
+        let mut out = vec![0u32; n];
+        if n == 0 {
+            return out;
+        }
+        let tile = self.config().block_size.max(1);
+        let tiles = n.div_ceil(tile);
+        let shared = SharedSlice::new(&mut out);
+        self.for_each(tiles, |t| {
+            let lo = t * tile;
+            let hi = usize::min(lo + tile, n);
+            // Start where the tile's first needle lands, then advance.
+            let mut j = haystack.partition_point(|&h| h < needles[lo]);
+            // The index addresses both needles and the absolute output
+            // slot, so a range loop is the clearest form here.
+            #[allow(clippy::needless_range_loop)]
+            for i in lo..hi {
+                while j < haystack.len() && haystack[j] < needles[i] {
+                    j += 1;
+                }
+                // SAFETY: disjoint tile ranges.
+                unsafe { shared.write(i, j as u32) };
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::new()
+    }
+
+    #[test]
+    fn segment_of_basic() {
+        let offsets = [0u32, 3, 3, 7, 10];
+        assert_eq!(segment_of(&offsets, 0), 0);
+        assert_eq!(segment_of(&offsets, 2), 0);
+        // Item 3 skips the empty segment 1 and lands in segment 2.
+        assert_eq!(segment_of(&offsets, 3), 2);
+        assert_eq!(segment_of(&offsets, 6), 2);
+        assert_eq!(segment_of(&offsets, 9), 3);
+    }
+
+    #[test]
+    fn lbs_small_with_empty_segments() {
+        let d = device();
+        let offsets = [0u32, 2, 2, 5, 5, 6];
+        let got = d.load_balanced_search(&offsets);
+        assert_eq!(got, [0, 0, 2, 2, 2, 4]);
+    }
+
+    #[test]
+    fn lbs_all_empty() {
+        let d = device();
+        let offsets = [0u32, 0, 0, 0];
+        assert!(d.load_balanced_search(&offsets).is_empty());
+    }
+
+    #[test]
+    fn lbs_single_giant_segment() {
+        let d = device();
+        let offsets = [0u32, 100_000];
+        let got = d.load_balanced_search(&offsets);
+        assert_eq!(got.len(), 100_000);
+        assert!(got.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn lbs_matches_naive_on_skewed_sizes() {
+        let d = device();
+        // Power-law-ish sizes: the exact shape LBS exists for.
+        let sizes: Vec<u32> = (0..2000u32)
+            .map(|i| if i % 97 == 0 { 500 } else { i % 4 })
+            .collect();
+        let mut offsets = vec![0u32];
+        for &s in &sizes {
+            offsets.push(offsets.last().unwrap() + s);
+        }
+        let got = d.load_balanced_search(&offsets);
+        let mut expect = Vec::new();
+        for (seg, &s) in sizes.iter().enumerate() {
+            expect.extend(std::iter::repeat(seg as u32).take(s as usize));
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interval_expand_replicates() {
+        let d = device();
+        let offsets = [0u32, 1, 4, 4, 6];
+        let values = [10u32, 20, 30, 40];
+        assert_eq!(d.interval_expand(&values, &offsets), [10, 20, 20, 20, 40, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "values/offsets mismatch")]
+    fn interval_expand_rejects_mismatch() {
+        let d = device();
+        d.interval_expand(&[1u32, 2], &[0u32, 1]);
+    }
+
+    #[test]
+    fn sorted_search_matches_partition_point() {
+        let d = device();
+        let haystack: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        let needles: Vec<u32> = (0..30_000).collect();
+        let got = d.sorted_search_lower(&needles, &haystack);
+        for (i, &g) in got.iter().enumerate() {
+            let expect = haystack.partition_point(|&h| h < needles[i]) as u32;
+            assert_eq!(g, expect, "needle {i}");
+        }
+    }
+
+    #[test]
+    fn sorted_search_needles_beyond_haystack() {
+        let d = device();
+        let haystack = [5u32, 6, 7];
+        let needles = [0u32, 5, 7, 8, 100];
+        assert_eq!(d.sorted_search_lower(&needles, &haystack), [0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn sorted_search_empty_haystack() {
+        let d = device();
+        let needles = [1u32, 2, 3];
+        assert_eq!(d.sorted_search_lower(&needles, &[]), [0, 0, 0]);
+    }
+
+    #[test]
+    fn lbs_is_non_decreasing_and_consistent_with_offsets() {
+        let d = device();
+        let sizes = [7u32, 0, 1, 9999, 3, 0, 0, 12, 1, 1];
+        let mut offsets = vec![0u32];
+        for &s in &sizes {
+            offsets.push(offsets.last().unwrap() + s);
+        }
+        let got = d.load_balanced_search(&offsets);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        for (i, &seg) in got.iter().enumerate() {
+            let (s, e) = (offsets[seg as usize], offsets[seg as usize + 1]);
+            assert!((s as usize) <= i && i < e as usize);
+        }
+    }
+}

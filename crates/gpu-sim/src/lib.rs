@@ -1,0 +1,57 @@
+//! # gpu-sim — a simulated bulk-synchronous GPU device
+//!
+//! The paper *Euler Meets GPU* (IPDPS 2021) runs CUDA kernels on an NVIDIA
+//! GTX 980 and leans on the [moderngpu] library for sort, scan and
+//! segmented-reduce primitives. This crate substitutes that stack with a
+//! software device: kernels are expressed over a grid of *virtual threads*
+//! and executed bulk-synchronously on a [rayon] thread pool. Every kernel
+//! launch is a synchronization barrier, exactly like a CUDA kernel followed
+//! by `cudaDeviceSynchronize()`.
+//!
+//! The substitution preserves what the paper's experiments measure — work,
+//! depth, and memory-access structure of the algorithms — while running on
+//! commodity CPUs. See `DESIGN.md` at the workspace root for the full
+//! substitution argument.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use gpu_sim::Device;
+//!
+//! let device = Device::new();
+//! // A map kernel: out[i] = i * i  (one virtual thread per element)
+//! let mut out = vec![0u64; 1024];
+//! device.map(&mut out, |i| (i * i) as u64);
+//! // A scan primitive (moderngpu substitute)
+//! let prefix = device.scan_exclusive(&out, 0u64, |a, b| a + b);
+//! assert_eq!(prefix[3], 0 + 1 + 4);
+//! ```
+//!
+//! The primitive suite mirrors moderngpu's: radix [`sort`], generic
+//! [`scan`] and [`reduce`], segmented reduce and segmented scan
+//! ([`segreduce`]), stream compaction ([`compact`]), merge-path [`merge`]
+//! and mergesort, load-balanced search and interval expand ([`lbs`]),
+//! reduce-by-key ([`rbk`]) and histograms ([`histogram`]), with kernel
+//! and work-item accounting in [`metrics`].
+//!
+//! [moderngpu]: https://github.com/moderngpu/moderngpu
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod compact;
+pub mod device;
+pub mod histogram;
+pub mod lbs;
+pub mod merge;
+pub mod metrics;
+pub mod rbk;
+pub mod reduce;
+pub mod scan;
+pub mod segreduce;
+pub mod sort;
+
+pub use atomic::{as_atomic_u32, as_atomic_u64, AtomicF64Cell};
+pub use device::{Device, DeviceConfig};
+pub use metrics::{Metrics, MetricsSnapshot, PhaseTimer};
+pub use rbk::ReducedRuns;

@@ -1,0 +1,465 @@
+//! Parallel merge and merge-based sorting — the moderngpu `merge` /
+//! `mergesort` primitives.
+//!
+//! The radix sort in [`crate::sort`] covers the integer keys that dominate
+//! the paper's pipelines (DCEL construction packs edge endpoints into `u64`
+//! keys). moderngpu additionally ships a comparison-based merge and
+//! mergesort, which the library exposes for key types without a radix
+//! decomposition. Both are implemented here with the classic *merge path*
+//! partitioning [Green, McColl, Bader 2012]: the output is cut into
+//! equal-sized tiles, and one diagonal binary search per tile finds the
+//! split points in the two inputs, so every tile merges an independent pair
+//! of input ranges sequentially. This is exactly how GPU merges assign one
+//! tile per thread block.
+
+use crate::device::Device;
+
+/// Finds the merge-path split point for diagonal `d`.
+///
+/// Returns `i` such that a stable merge of `a[..i]` and `b[..d - i]`
+/// produces the first `d` output elements (ties are taken from `a` first).
+/// `d` must be at most `a.len() + b.len()`.
+fn merge_path<T: Ord>(a: &[T], b: &[T], d: usize) -> usize {
+    debug_assert!(d <= a.len() + b.len());
+    let mut lo = d.saturating_sub(b.len());
+    let mut hi = usize::min(d, a.len());
+    // Invariant: the split lies in [lo, hi].
+    while lo < hi {
+        let i = lo + (hi - lo) / 2;
+        let j = d - i - 1;
+        // Stable: a[i] goes before b[j] when a[i] <= b[j].
+        if a[i] <= b[j] {
+            lo = i + 1;
+        } else {
+            hi = i;
+        }
+    }
+    lo
+}
+
+/// Sequentially merges `a` and `b` into `out` (stable: ties from `a` first).
+fn merge_serial<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Sequentially merges keyed pairs (stable on keys, ties from `a` first).
+#[allow(clippy::too_many_arguments)]
+fn merge_pairs_serial<K: Ord + Copy, V: Copy>(
+    ka: &[K],
+    va: &[V],
+    kb: &[K],
+    vb: &[V],
+    out_k: &mut [K],
+    out_v: &mut [V],
+) {
+    let (mut i, mut j) = (0, 0);
+    for s in 0..out_k.len() {
+        if i < ka.len() && (j >= kb.len() || ka[i] <= kb[j]) {
+            out_k[s] = ka[i];
+            out_v[s] = va[i];
+            i += 1;
+        } else {
+            out_k[s] = kb[j];
+            out_v[s] = vb[j];
+            j += 1;
+        }
+    }
+}
+
+impl Device {
+    /// Merges two sorted slices into a fresh sorted vector.
+    ///
+    /// Stable in the moderngpu sense: equal elements keep their input order,
+    /// with all of `a`'s copies before `b`'s. One merge-path binary search
+    /// per output tile, then independent sequential tile merges — O(n + m)
+    /// work, O(log(n + m)) depth.
+    ///
+    /// # Panics
+    /// Debug builds panic if either input is not sorted.
+    pub fn merge<T>(&self, a: &[T], b: &[T]) -> Vec<T>
+    where
+        T: Ord + Copy + Send + Sync + Default,
+    {
+        debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "merge: a not sorted");
+        debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "merge: b not sorted");
+        let n = a.len() + b.len();
+        let mut out = vec![T::default(); n];
+        if n == 0 {
+            return out;
+        }
+        let tile = self.config().block_size.max(1);
+        let tiles = n.div_ceil(tile);
+        // One diagonal search per tile boundary. The searches are
+        // independent, so they form a single kernel launch; the tile merges
+        // form a second one. out is written by disjoint tiles.
+        let splits = self.alloc_map(tiles + 1, |t| {
+            let d = usize::min(t * tile, n);
+            merge_path(a, b, d) as u32
+        });
+        let shared = crate::device::SharedSlice::new(&mut out);
+        self.for_each(tiles, |t| {
+            let d0 = t * tile;
+            let d1 = usize::min(d0 + tile, n);
+            let (i0, i1) = (splits[t] as usize, splits[t + 1] as usize);
+            let (j0, j1) = (d0 - i0, d1 - i1);
+            let mut buf = vec![T::default(); d1 - d0];
+            merge_serial(&a[i0..i1], &b[j0..j1], &mut buf);
+            for (off, v) in buf.into_iter().enumerate() {
+                // SAFETY: tiles cover disjoint output ranges [d0, d1).
+                unsafe { shared.write(d0 + off, v) };
+            }
+        });
+        out
+    }
+
+    /// Merges two sorted key/value sequences into fresh sorted vectors.
+    ///
+    /// The values ride along with their keys; ordering and stability are as
+    /// in [`Device::merge`].
+    ///
+    /// # Panics
+    /// Panics if `ka.len() != va.len()` or `kb.len() != vb.len()`.
+    pub fn merge_pairs<K, V>(&self, ka: &[K], va: &[V], kb: &[K], vb: &[V]) -> (Vec<K>, Vec<V>)
+    where
+        K: Ord + Copy + Send + Sync + Default,
+        V: Copy + Send + Sync + Default,
+    {
+        assert_eq!(ka.len(), va.len(), "merge_pairs: a key/value mismatch");
+        assert_eq!(kb.len(), vb.len(), "merge_pairs: b key/value mismatch");
+        let n = ka.len() + kb.len();
+        let mut out_k = vec![K::default(); n];
+        let mut out_v = vec![V::default(); n];
+        if n == 0 {
+            return (out_k, out_v);
+        }
+        let tile = self.config().block_size.max(1);
+        let tiles = n.div_ceil(tile);
+        let splits = self.alloc_map(tiles + 1, |t| {
+            let d = usize::min(t * tile, n);
+            merge_path(ka, kb, d) as u32
+        });
+        let sk = crate::device::SharedSlice::new(&mut out_k);
+        let sv = crate::device::SharedSlice::new(&mut out_v);
+        self.for_each(tiles, |t| {
+            let d0 = t * tile;
+            let d1 = usize::min(d0 + tile, n);
+            let (i0, i1) = (splits[t] as usize, splits[t + 1] as usize);
+            let (j0, j1) = (d0 - i0, d1 - i1);
+            let mut bk = vec![K::default(); d1 - d0];
+            let mut bv = vec![V::default(); d1 - d0];
+            merge_pairs_serial(
+                &ka[i0..i1],
+                &va[i0..i1],
+                &kb[j0..j1],
+                &vb[j0..j1],
+                &mut bk,
+                &mut bv,
+            );
+            for off in 0..(d1 - d0) {
+                // SAFETY: tiles cover disjoint output ranges.
+                unsafe {
+                    sk.write(d0 + off, bk[off]);
+                    sv.write(d0 + off, bv[off]);
+                }
+            }
+        });
+        (out_k, out_v)
+    }
+
+    /// Sorts a slice with a parallel bottom-up mergesort.
+    ///
+    /// Comparison-based counterpart to the radix sort in [`crate::sort`],
+    /// for key types without a radix decomposition. Runs of `block_size`
+    /// elements are sorted independently (the CTA-local sort of a GPU
+    /// mergesort), then pairs of runs are merged with [`Device::merge`]'s
+    /// tile scheme until one run remains. Stable. O(n log n) work,
+    /// O(log² n) depth.
+    pub fn merge_sort<T>(&self, data: &mut Vec<T>)
+    where
+        T: Ord + Copy + Send + Sync + Default,
+    {
+        let n = data.len();
+        if n <= 1 {
+            return;
+        }
+        let run = self.config().block_size.max(1);
+        // Phase 1: independent run sorts (one launch).
+        {
+            let runs = n.div_ceil(run);
+            let shared = crate::device::SharedSlice::new(data.as_mut_slice());
+            self.for_each(runs, |r| {
+                let lo = r * run;
+                let hi = usize::min(lo + run, n);
+                // SAFETY: runs are disjoint; each virtual thread owns
+                // data[lo..hi] exclusively for this launch.
+                let slice = unsafe {
+                    std::slice::from_raw_parts_mut(shared.as_ptr().add(lo), hi - lo)
+                };
+                slice.sort_unstable();
+            });
+        }
+        // Phase 2: log(n/run) rounds of pairwise run merges.
+        let mut width = run;
+        while width < n {
+            let mut next = vec![T::default(); n];
+            let pairs = n.div_ceil(2 * width);
+            // Copy-through for a trailing lone run happens naturally: its
+            // "b" side is empty.
+            let src = &*data;
+            let shared = crate::device::SharedSlice::new(&mut next);
+            self.for_each(pairs, |p| {
+                let lo = p * 2 * width;
+                let mid = usize::min(lo + width, n);
+                let hi = usize::min(lo + 2 * width, n);
+                let mut buf = vec![T::default(); hi - lo];
+                merge_serial(&src[lo..mid], &src[mid..hi], &mut buf);
+                for (off, v) in buf.into_iter().enumerate() {
+                    // SAFETY: pair p exclusively owns next[lo..hi].
+                    unsafe { shared.write(lo + off, v) };
+                }
+            });
+            *data = next;
+            width *= 2;
+        }
+    }
+
+    /// Sorts key/value pairs by key with a parallel stable mergesort.
+    ///
+    /// # Panics
+    /// Panics if `keys.len() != vals.len()`.
+    pub fn merge_sort_pairs<K, V>(&self, keys: &mut Vec<K>, vals: &mut Vec<V>)
+    where
+        K: Ord + Copy + Send + Sync + Default,
+        V: Copy + Send + Sync + Default,
+    {
+        assert_eq!(keys.len(), vals.len(), "merge_sort_pairs: length mismatch");
+        let n = keys.len();
+        if n <= 1 {
+            return;
+        }
+        let run = self.config().block_size.max(1);
+        {
+            let runs = n.div_ceil(run);
+            let sk = crate::device::SharedSlice::new(keys.as_mut_slice());
+            let sv = crate::device::SharedSlice::new(vals.as_mut_slice());
+            self.for_each(runs, |r| {
+                let lo = r * run;
+                let hi = usize::min(lo + run, n);
+                // SAFETY: disjoint runs, as in merge_sort.
+                let (ks, vs) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(sk.as_ptr().add(lo), hi - lo),
+                        std::slice::from_raw_parts_mut(sv.as_ptr().add(lo), hi - lo),
+                    )
+                };
+                // Stable index sort of the run, then apply the permutation.
+                let mut idx: Vec<u32> = (0..(hi - lo) as u32).collect();
+                idx.sort_by_key(|&i| ks[i as usize]);
+                let ks_old: Vec<K> = ks.to_vec();
+                let vs_old: Vec<V> = vs.to_vec();
+                for (dst, &i) in idx.iter().enumerate() {
+                    ks[dst] = ks_old[i as usize];
+                    vs[dst] = vs_old[i as usize];
+                }
+            });
+        }
+        let mut width = run;
+        while width < n {
+            let mut next_k = vec![K::default(); n];
+            let mut next_v = vec![V::default(); n];
+            let pairs = n.div_ceil(2 * width);
+            let (ks, vs) = (&*keys, &*vals);
+            let sk = crate::device::SharedSlice::new(&mut next_k);
+            let sv = crate::device::SharedSlice::new(&mut next_v);
+            self.for_each(pairs, |p| {
+                let lo = p * 2 * width;
+                let mid = usize::min(lo + width, n);
+                let hi = usize::min(lo + 2 * width, n);
+                let mut bk = vec![K::default(); hi - lo];
+                let mut bv = vec![V::default(); hi - lo];
+                merge_pairs_serial(
+                    &ks[lo..mid],
+                    &vs[lo..mid],
+                    &ks[mid..hi],
+                    &vs[mid..hi],
+                    &mut bk,
+                    &mut bv,
+                );
+                for off in 0..(hi - lo) {
+                    // SAFETY: pair p exclusively owns [lo, hi).
+                    unsafe {
+                        sk.write(lo + off, bk[off]);
+                        sv.write(lo + off, bv[off]);
+                    }
+                }
+            });
+            *keys = next_k;
+            *vals = next_v;
+            width *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn device() -> Device {
+        Device::new()
+    }
+
+    #[test]
+    fn merge_path_splits_are_monotone() {
+        let a = [1u32, 3, 5, 7, 9];
+        let b = [2u32, 4, 6, 8];
+        let mut prev = 0;
+        for d in 0..=a.len() + b.len() {
+            let i = merge_path(&a, &b, d);
+            assert!(i >= prev);
+            assert!(i <= a.len() && d - i <= b.len());
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn merge_interleaved() {
+        let d = device();
+        let a: Vec<u32> = (0..1000).map(|i| 2 * i).collect();
+        let b: Vec<u32> = (0..1000).map(|i| 2 * i + 1).collect();
+        let m = d.merge(&a, &b);
+        let expect: Vec<u32> = (0..2000).collect();
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn merge_empty_sides() {
+        let d = device();
+        let a: Vec<u32> = (0..100).collect();
+        assert_eq!(d.merge(&a, &[]), a);
+        assert_eq!(d.merge(&[], &a), a);
+        assert_eq!(d.merge::<u32>(&[], &[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn merge_all_duplicates() {
+        let d = device();
+        let a = vec![5u32; 5000];
+        let b = vec![5u32; 3000];
+        let m = d.merge(&a, &b);
+        assert_eq!(m.len(), 8000);
+        assert!(m.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn merge_matches_std_on_random_input() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let mut a: Vec<u64> = (0..9173).map(|_| rng.gen_range(0..500)).collect();
+            let mut b: Vec<u64> = (0..12001).map(|_| rng.gen_range(0..500)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            let got = d.merge(&a, &b);
+            let mut expect = a.clone();
+            expect.extend_from_slice(&b);
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn merge_pairs_is_stable() {
+        let d = device();
+        // Equal keys: a's values (tagged 0) must precede b's (tagged 1).
+        let ka = vec![7u32; 4000];
+        let va = vec![0u8; 4000];
+        let kb = vec![7u32; 4000];
+        let vb = vec![1u8; 4000];
+        let (k, v) = d.merge_pairs(&ka, &va, &kb, &vb);
+        assert!(k.iter().all(|&x| x == 7));
+        assert!(v[..4000].iter().all(|&t| t == 0));
+        assert!(v[4000..].iter().all(|&t| t == 1));
+    }
+
+    #[test]
+    fn merge_sort_random() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data: Vec<i64> = (0..50_000).map(|_| rng.gen_range(-1000..1000)).collect();
+        let mut expect = data.clone();
+        expect.sort();
+        d.merge_sort(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn merge_sort_already_sorted_and_reverse() {
+        let d = device();
+        let mut asc: Vec<u32> = (0..30_000).collect();
+        let expect = asc.clone();
+        d.merge_sort(&mut asc);
+        assert_eq!(asc, expect);
+        let mut desc: Vec<u32> = (0..30_000).rev().collect();
+        d.merge_sort(&mut desc);
+        assert_eq!(desc, expect);
+    }
+
+    #[test]
+    fn merge_sort_tiny() {
+        let d = device();
+        let mut v: Vec<u32> = vec![];
+        d.merge_sort(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![3u32];
+        d.merge_sort(&mut v);
+        assert_eq!(v, [3]);
+        let mut v = vec![2u32, 1];
+        d.merge_sort(&mut v);
+        assert_eq!(v, [1, 2]);
+    }
+
+    #[test]
+    fn merge_sort_pairs_stable_permutation() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(99);
+        // Few distinct keys so stability is observable: values record the
+        // original index; within a key they must stay increasing.
+        let mut keys: Vec<u32> = (0..40_000).map(|_| rng.gen_range(0..8)).collect();
+        let orig = keys.clone();
+        let mut vals: Vec<u32> = (0..40_000).collect();
+        d.merge_sort_pairs(&mut keys, &mut vals);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        for w in vals.windows(2).zip(keys.windows(2)) {
+            let (v, k) = w;
+            if k[0] == k[1] {
+                assert!(v[0] < v[1], "stability violated");
+            }
+        }
+        // Values are a permutation consistent with the keys.
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(keys[i], orig[v as usize]);
+        }
+    }
+
+    #[test]
+    fn merge_sort_matches_radix_sort() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a: Vec<u64> = (0..25_000).map(|_| rng.gen()).collect();
+        let mut b = a.clone();
+        d.merge_sort(&mut a);
+        d.sort_u64(&mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,195 @@
+//! Device instrumentation: kernel-launch / work-item counters and phase timers.
+//!
+//! The counters let tests assert *asymptotic* properties that the paper
+//! relies on (e.g. Wei–JáJá list ranking performs O(n) work while Wyllie
+//! pointer jumping performs O(n log n)), and the phase timers drive the
+//! running-time breakdown of Figure 11.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cumulative counters describing everything a [`crate::Device`] executed.
+///
+/// All counters are monotone; take a [`MetricsSnapshot`] before and after a
+/// region of interest and subtract.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Number of kernel launches (each launch is a global barrier).
+    pub kernel_launches: AtomicU64,
+    /// Total virtual threads executed across all launches (the *work*).
+    pub work_items: AtomicU64,
+    /// Number of primitive invocations (scan, sort, reduce, ...).
+    pub primitive_calls: AtomicU64,
+    /// Named phase durations, in insertion order.
+    phases: Mutex<Vec<(String, Duration)>>,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_launch(&self, work: u64) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.work_items.fetch_add(work, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_primitive(&self) {
+        self.primitive_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a named phase duration (appended; names may repeat).
+    pub fn record_phase(&self, name: &str, elapsed: Duration) {
+        self.phases.lock().push((name.to_string(), elapsed));
+    }
+
+    /// Returns a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            work_items: self.work_items.load(Ordering::Relaxed),
+            primitive_calls: self.primitive_calls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains and returns the recorded phase durations.
+    pub fn take_phases(&self) -> Vec<(String, Duration)> {
+        std::mem::take(&mut *self.phases.lock())
+    }
+}
+
+/// A point-in-time copy of the [`Metrics`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Number of kernel launches so far.
+    pub kernel_launches: u64,
+    /// Total virtual threads executed so far.
+    pub work_items: u64,
+    /// Primitive invocations so far.
+    pub primitive_calls: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
+            work_items: self.work_items.saturating_sub(earlier.work_items),
+            primitive_calls: self.primitive_calls.saturating_sub(earlier.primitive_calls),
+        }
+    }
+}
+
+/// Scoped wall-clock timer that reports into a [`Metrics`] phase list on drop
+/// or via [`PhaseTimer::finish`].
+///
+/// ```
+/// use gpu_sim::{Device, PhaseTimer};
+/// let device = Device::new();
+/// {
+///     let _t = PhaseTimer::new(device.metrics(), "warmup");
+///     // ... timed region ...
+/// }
+/// assert_eq!(device.metrics().take_phases()[0].0, "warmup");
+/// ```
+pub struct PhaseTimer<'a> {
+    metrics: &'a Metrics,
+    name: String,
+    start: Instant,
+    finished: bool,
+}
+
+impl<'a> PhaseTimer<'a> {
+    /// Starts timing a named phase.
+    pub fn new(metrics: &'a Metrics, name: &str) -> Self {
+        Self {
+            metrics,
+            name: name.to_string(),
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Stops the timer early and returns the elapsed duration.
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.metrics.record_phase(&self.name, elapsed);
+        self.finished = true;
+        elapsed
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let elapsed = self.start.elapsed();
+            self.metrics.record_phase(&self.name, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_is_counterwise() {
+        let m = Metrics::new();
+        m.record_launch(10);
+        let a = m.snapshot();
+        m.record_launch(5);
+        m.record_primitive();
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.kernel_launches, 1);
+        assert_eq!(d.work_items, 5);
+        assert_eq!(d.primitive_calls, 1);
+    }
+
+    #[test]
+    fn phases_record_in_order() {
+        let m = Metrics::new();
+        m.record_phase("a", Duration::from_millis(1));
+        m.record_phase("b", Duration::from_millis(2));
+        let phases = m.take_phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "a");
+        assert_eq!(phases[1].0, "b");
+        // drained
+        assert!(m.take_phases().is_empty());
+    }
+
+    #[test]
+    fn phase_timer_records_on_drop() {
+        let m = Metrics::new();
+        {
+            let _t = PhaseTimer::new(&m, "scoped");
+        }
+        let phases = m.take_phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].0, "scoped");
+    }
+
+    #[test]
+    fn phase_timer_finish_returns_duration() {
+        let m = Metrics::new();
+        let t = PhaseTimer::new(&m, "x");
+        let d = t.finish();
+        assert!(d < Duration::from_secs(1));
+        assert_eq!(m.take_phases().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_since_saturates() {
+        let a = MetricsSnapshot {
+            kernel_launches: 1,
+            work_items: 1,
+            primitive_calls: 1,
+        };
+        let b = MetricsSnapshot::default();
+        let d = b.since(&a);
+        assert_eq!(d.kernel_launches, 0);
+    }
+}

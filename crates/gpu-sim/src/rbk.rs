@@ -1,0 +1,226 @@
+//! Reduce-by-key — collapse consecutive runs of equal keys, reducing the
+//! values of each run (moderngpu / Thrust `reduce_by_key`).
+//!
+//! Appears throughout GPU graph pipelines wherever sorted half-edge arrays
+//! need per-vertex aggregation: the DCEL `first` array is "first index of
+//! each key run", and per-node non-tree neighbor minima are a reduce-by-key
+//! over the sorted edge array. The implementation is the canonical
+//! flag–scan–segmented-reduce composition, reusing the device's scan,
+//! compaction and segmented-reduce primitives.
+
+use crate::device::Device;
+
+/// Output of [`Device::reduce_by_key`]: one entry per run of equal keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducedRuns<K, T> {
+    /// The distinct key of each run, in input order.
+    pub keys: Vec<K>,
+    /// The reduction of the values of each run.
+    pub values: Vec<T>,
+    /// Start index of each run in the input, plus the input length — a
+    /// CSR-style offsets array (`runs + 1` entries).
+    pub offsets: Vec<u32>,
+}
+
+impl<K, T> ReducedRuns<K, T> {
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the input was empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Length of run `r`.
+    pub fn run_len(&self, r: usize) -> usize {
+        (self.offsets[r + 1] - self.offsets[r]) as usize
+    }
+}
+
+impl Device {
+    /// Reduces consecutive runs of equal keys.
+    ///
+    /// For input `keys`/`values` of equal length, every maximal run of
+    /// adjacent equal keys becomes one output entry whose value is the
+    /// `op`-reduction (seeded with `identity`) of the run's values. Keys
+    /// need not be globally sorted — only adjacency matters, exactly as in
+    /// Thrust. O(n) work, O(log n) depth.
+    ///
+    /// # Panics
+    /// Panics if `keys.len() != values.len()`.
+    pub fn reduce_by_key<K, T, F>(
+        &self,
+        keys: &[K],
+        values: &[T],
+        identity: T,
+        op: F,
+    ) -> ReducedRuns<K, T>
+    where
+        K: PartialEq + Copy + Send + Sync,
+        T: Copy + Send + Sync + Default,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert_eq!(keys.len(), values.len(), "reduce_by_key: length mismatch");
+        let n = keys.len();
+        if n == 0 {
+            return ReducedRuns {
+                keys: Vec::new(),
+                values: Vec::new(),
+                offsets: vec![0],
+            };
+        }
+        // Head flags → run start indices (one compaction), then the runs
+        // form segments for a segmented reduce.
+        let mut heads = self.compact_indices(n, |i| i == 0 || keys[i] != keys[i - 1]);
+        heads.push(n as u32);
+        let offsets = heads;
+        let out_values = self.segmented_reduce(values, &offsets, identity, op);
+        let out_keys = self.alloc_map_nondefault(offsets.len() - 1, |r| keys[offsets[r] as usize]);
+        ReducedRuns {
+            keys: out_keys,
+            values: out_values,
+            offsets,
+        }
+    }
+
+    /// `alloc_map` for types without `Default` (keys of arbitrary type):
+    /// collects instead of filling in place. Parallel for large `n`.
+    fn alloc_map_nondefault<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        // First element seeds a fillable buffer, then a map kernel
+        // overwrites every slot.
+        let seed = f(0);
+        let mut out = vec![seed; n];
+        self.map(&mut out, f);
+        out
+    }
+
+    /// Counts the length of every run of adjacent equal keys.
+    ///
+    /// Convenience wrapper: `reduce_by_key` with per-element weight 1.
+    pub fn run_length_encode<K>(&self, keys: &[K]) -> ReducedRuns<K, u32>
+    where
+        K: PartialEq + Copy + Send + Sync,
+    {
+        let ones = vec![1u32; keys.len()];
+        self.reduce_by_key(keys, &ones, 0, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn device() -> Device {
+        Device::new()
+    }
+
+    /// Sequential oracle.
+    fn naive_rbk(keys: &[u32], values: &[u64]) -> (Vec<u32>, Vec<u64>) {
+        let mut ks = Vec::new();
+        let mut vs = Vec::new();
+        for (i, (&k, &v)) in keys.iter().zip(values).enumerate() {
+            if i == 0 || keys[i - 1] != k {
+                ks.push(k);
+                vs.push(v);
+            } else {
+                *vs.last_mut().unwrap() += v;
+            }
+        }
+        (ks, vs)
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = device();
+        let r = d.reduce_by_key::<u32, u64, _>(&[], &[], 0, |a, b| a + b);
+        assert!(r.is_empty());
+        assert_eq!(r.offsets, [0]);
+    }
+
+    #[test]
+    fn single_run() {
+        let d = device();
+        let keys = vec![9u32; 10_000];
+        let vals = vec![1u64; 10_000];
+        let r = d.reduce_by_key(&keys, &vals, 0, |a, b| a + b);
+        assert_eq!(r.keys, [9]);
+        assert_eq!(r.values, [10_000]);
+        assert_eq!(r.offsets, [0, 10_000]);
+    }
+
+    #[test]
+    fn alternating_keys_all_singleton_runs() {
+        let d = device();
+        let keys: Vec<u32> = (0..5000).map(|i| i % 2).collect();
+        let vals: Vec<u64> = (0..5000).map(|i| i as u64).collect();
+        let r = d.reduce_by_key(&keys, &vals, 0, |a, b| a + b);
+        assert_eq!(r.len(), 5000);
+        assert_eq!(r.values, vals);
+    }
+
+    #[test]
+    fn unsorted_keys_reduce_adjacent_runs_only() {
+        let d = device();
+        // Key 1 appears in two separate runs: they must NOT be merged.
+        let keys = [1u32, 1, 2, 1, 1, 1];
+        let vals = [10u64, 20, 5, 1, 2, 3];
+        let r = d.reduce_by_key(&keys, &vals, 0, |a, b| a + b);
+        assert_eq!(r.keys, [1, 2, 1]);
+        assert_eq!(r.values, [30, 5, 6]);
+        assert_eq!(r.offsets, [0, 2, 3, 6]);
+        assert_eq!(r.run_len(0), 2);
+        assert_eq!(r.run_len(2), 3);
+    }
+
+    #[test]
+    fn matches_naive_on_random_runs() {
+        let d = device();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut keys = Vec::new();
+        while keys.len() < 60_000 {
+            let k: u32 = rng.gen_range(0..100);
+            let run = rng.gen_range(1..20);
+            keys.extend(std::iter::repeat(k).take(run));
+        }
+        let vals: Vec<u64> = (0..keys.len() as u64).collect();
+        let (ek, ev) = naive_rbk(&keys, &vals);
+        let r = d.reduce_by_key(&keys, &vals, 0, |a, b| a + b);
+        assert_eq!(r.keys, ek);
+        assert_eq!(r.values, ev);
+    }
+
+    #[test]
+    fn min_reduction() {
+        let d = device();
+        let keys = [0u32, 0, 0, 1, 1];
+        let vals = [5u32, 2, 9, 7, 3];
+        let r = d.reduce_by_key(&keys, &vals, u32::MAX, |a, b| a.min(b));
+        assert_eq!(r.values, [2, 3]);
+    }
+
+    #[test]
+    fn run_length_encode_counts() {
+        let d = device();
+        let keys = [b'a', b'a', b'b', b'c', b'c', b'c'];
+        let r = d.run_length_encode(&keys);
+        assert_eq!(r.keys, [b'a', b'b', b'c']);
+        assert_eq!(r.values, [2, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let d = device();
+        d.reduce_by_key(&[1u32], &[1u64, 2], 0, |a, b| a + b);
+    }
+}

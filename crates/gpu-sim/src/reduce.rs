@@ -1,0 +1,92 @@
+//! Parallel reductions.
+
+use crate::device::Device;
+use rayon::prelude::*;
+
+impl Device {
+    /// Reduces `input` with an associative operator.
+    pub fn reduce<T, F>(&self, input: &[T], identity: T, op: F) -> T
+    where
+        T: Copy + Send + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let n = input.len();
+        self.metrics().record_primitive();
+        self.metrics().record_launch(n as u64);
+        if n <= self.config().seq_threshold {
+            let mut acc = identity;
+            for v in input {
+                acc = op(acc, *v);
+            }
+            return acc;
+        }
+        let chunk = usize::max(self.config().block_size, n.div_ceil(4 * self.worker_threads().max(1)));
+        self.run(|| {
+            input
+                .par_chunks(chunk)
+                .map(|c| {
+                    let mut acc = identity;
+                    for v in c {
+                        acc = op(acc, *v);
+                    }
+                    acc
+                })
+                .reduce(|| identity, &op)
+        })
+    }
+
+    /// Maximum of a `u64` slice (0 on empty input).
+    pub fn reduce_max_u64(&self, input: &[u64]) -> u64 {
+        self.reduce(input, 0u64, |a, b| a.max(b))
+    }
+
+    /// Maximum of a `u32` slice (0 on empty input).
+    pub fn reduce_max_u32(&self, input: &[u32]) -> u32 {
+        self.reduce(input, 0u32, |a, b| a.max(b))
+    }
+
+    /// Minimum of a `u32` slice (`u32::MAX` on empty input).
+    pub fn reduce_min_u32(&self, input: &[u32]) -> u32 {
+        self.reduce(input, u32::MAX, |a, b| a.min(b))
+    }
+
+    /// Sum of a `u64` slice.
+    pub fn reduce_sum_u64(&self, input: &[u64]) -> u64 {
+        self.reduce(input, 0u64, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Device;
+
+    #[test]
+    fn sum_matches_reference() {
+        let device = Device::new();
+        let input: Vec<u64> = (0..123_456).collect();
+        assert_eq!(device.reduce_sum_u64(&input), 123_456 * 123_455 / 2);
+    }
+
+    #[test]
+    fn max_and_min() {
+        let device = Device::new();
+        let input: Vec<u32> = (0..100_000).map(|i| (i * 2_654_435_761u64 % 1_000_003) as u32).collect();
+        let max = *input.iter().max().unwrap();
+        let min = *input.iter().min().unwrap();
+        assert_eq!(device.reduce_max_u32(&input), max);
+        assert_eq!(device.reduce_min_u32(&input), min);
+    }
+
+    #[test]
+    fn empty_reduce_yields_identity() {
+        let device = Device::new();
+        assert_eq!(device.reduce_sum_u64(&[]), 0);
+        assert_eq!(device.reduce_min_u32(&[]), u32::MAX);
+    }
+
+    #[test]
+    fn single_element_reduce() {
+        let device = Device::new();
+        assert_eq!(device.reduce_max_u64(&[9]), 9);
+    }
+}

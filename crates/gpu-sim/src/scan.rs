@@ -1,0 +1,263 @@
+//! Parallel prefix sums (the `scan` primitive).
+//!
+//! The paper's §2.2 optimization rests on the observation that on a GPU the
+//! array scan primitive is much faster than list ranking (7–8× per \[64\]), so
+//! an Euler tour should be list-ranked *once* and every subsequent statistic
+//! computed by scans over the resulting array. This module provides the scan:
+//! a classic three-phase blocked algorithm (per-block reduce, exclusive scan
+//! of block sums, per-block downsweep) — the same structure as the
+//! moderngpu/CUB scans the paper uses.
+//!
+//! All operators must be associative; they need not be commutative.
+
+use crate::device::Device;
+use rayon::prelude::*;
+
+impl Device {
+    fn scan_chunk_len(&self, n: usize) -> usize {
+        // Cap the number of blocks at a small multiple of the worker count so
+        // the (sequential) middle phase stays negligible.
+        let max_blocks = 4 * self.worker_threads().max(1);
+        usize::max(self.config().block_size, n.div_ceil(max_blocks))
+    }
+
+    /// Inclusive scan: `out[i] = input[0] ⊕ … ⊕ input[i]`.
+    pub fn scan_inclusive<T, F>(&self, input: &[T], identity: T, op: F) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let mut out = vec![identity; input.len()];
+        self.scan_into(input, &mut out, identity, &op, true);
+        out
+    }
+
+    /// Exclusive scan: `out[i] = identity ⊕ input[0] ⊕ … ⊕ input[i-1]`.
+    pub fn scan_exclusive<T, F>(&self, input: &[T], identity: T, op: F) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let mut out = vec![identity; input.len()];
+        self.scan_into(input, &mut out, identity, &op, false);
+        out
+    }
+
+    /// Exclusive scan that also returns the total reduction of the input —
+    /// the shape needed by stream compaction.
+    pub fn scan_exclusive_with_total<T, F>(&self, input: &[T], identity: T, op: F) -> (Vec<T>, T)
+    where
+        T: Copy + Send + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let mut out = vec![identity; input.len()];
+        let total = self.scan_into(input, &mut out, identity, &op, false);
+        (out, total)
+    }
+
+    /// Writes an inclusive or exclusive scan of `input` into `out` and
+    /// returns the total reduction.
+    fn scan_into<T, F>(&self, input: &[T], out: &mut [T], identity: T, op: &F, inclusive: bool) -> T
+    where
+        T: Copy + Send + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert_eq!(input.len(), out.len(), "scan: input/output length mismatch");
+        let n = input.len();
+        self.metrics().record_primitive();
+        if n == 0 {
+            return identity;
+        }
+        if n <= self.config().seq_threshold {
+            self.metrics().record_launch(n as u64);
+            let mut acc = identity;
+            for i in 0..n {
+                if inclusive {
+                    acc = op(acc, input[i]);
+                    out[i] = acc;
+                } else {
+                    out[i] = acc;
+                    acc = op(acc, input[i]);
+                }
+            }
+            return acc;
+        }
+
+        let chunk = self.scan_chunk_len(n);
+        let blocks = n.div_ceil(chunk);
+
+        // Phase 1 (parallel): reduce each block.
+        self.metrics().record_launch(n as u64);
+        let mut block_sums = vec![identity; blocks];
+        self.run(|| {
+            block_sums
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(b, sum)| {
+                    let start = b * chunk;
+                    let end = usize::min(start + chunk, n);
+                    let mut acc = identity;
+                    for v in &input[start..end] {
+                        acc = op(acc, *v);
+                    }
+                    *sum = acc;
+                });
+        });
+
+        // Phase 2 (sequential, tiny): exclusive scan of block sums.
+        self.metrics().record_launch(blocks as u64);
+        let mut acc = identity;
+        let mut block_offsets = vec![identity; blocks];
+        for b in 0..blocks {
+            block_offsets[b] = acc;
+            acc = op(acc, block_sums[b]);
+        }
+        let total = acc;
+
+        // Phase 3 (parallel): downsweep each block from its offset.
+        self.metrics().record_launch(n as u64);
+        self.run(|| {
+            out.par_chunks_mut(chunk).enumerate().for_each(|(b, chunk_out)| {
+                let start = b * chunk;
+                let mut acc = block_offsets[b];
+                for (j, slot) in chunk_out.iter_mut().enumerate() {
+                    let v = input[start + j];
+                    if inclusive {
+                        acc = op(acc, v);
+                        *slot = acc;
+                    } else {
+                        *slot = acc;
+                        acc = op(acc, v);
+                    }
+                }
+            });
+        });
+        total
+    }
+
+    /// Convenience additive inclusive scan on `u64`.
+    pub fn add_scan_inclusive_u64(&self, input: &[u64]) -> Vec<u64> {
+        self.scan_inclusive(input, 0u64, |a, b| a + b)
+    }
+
+    /// Convenience additive exclusive scan on `u64`.
+    pub fn add_scan_exclusive_u64(&self, input: &[u64]) -> Vec<u64> {
+        self.scan_exclusive(input, 0u64, |a, b| a + b)
+    }
+
+    /// Convenience additive inclusive scan on `i64` (used for ±1 level sums
+    /// along Euler tours).
+    pub fn add_scan_inclusive_i64(&self, input: &[i64]) -> Vec<i64> {
+        self.scan_inclusive(input, 0i64, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Device;
+
+    fn reference_inclusive(input: &[u64]) -> Vec<u64> {
+        let mut acc = 0;
+        input
+            .iter()
+            .map(|&v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inclusive_matches_reference_small() {
+        let device = Device::new();
+        let input: Vec<u64> = (0..100).collect();
+        assert_eq!(
+            device.add_scan_inclusive_u64(&input),
+            reference_inclusive(&input)
+        );
+    }
+
+    #[test]
+    fn inclusive_matches_reference_large() {
+        let device = Device::new();
+        let input: Vec<u64> = (0..200_000).map(|i| (i * 7 + 3) % 11).collect();
+        assert_eq!(
+            device.add_scan_inclusive_u64(&input),
+            reference_inclusive(&input)
+        );
+    }
+
+    #[test]
+    fn exclusive_shifts_by_one() {
+        let device = Device::new();
+        let input: Vec<u64> = (1..=50_000).collect();
+        let inc = device.add_scan_inclusive_u64(&input);
+        let exc = device.add_scan_exclusive_u64(&input);
+        assert_eq!(exc[0], 0);
+        for i in 1..input.len() {
+            assert_eq!(exc[i], inc[i - 1]);
+        }
+    }
+
+    #[test]
+    fn with_total_returns_sum() {
+        let device = Device::new();
+        let input: Vec<u64> = vec![5; 99_999];
+        let (_, total) = device.scan_exclusive_with_total(&input, 0, |a, b| a + b);
+        assert_eq!(total, 5 * 99_999);
+    }
+
+    #[test]
+    fn empty_scan() {
+        let device = Device::new();
+        assert!(device.add_scan_inclusive_u64(&[]).is_empty());
+        let (v, t) = device.scan_exclusive_with_total(&[], 0u64, |a, b| a + b);
+        assert!(v.is_empty());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn single_element() {
+        let device = Device::new();
+        assert_eq!(device.add_scan_inclusive_u64(&[42]), vec![42]);
+        assert_eq!(device.add_scan_exclusive_u64(&[42]), vec![0]);
+    }
+
+    #[test]
+    fn non_commutative_operator_max_then_concat_order() {
+        // String-length-free associative but non-commutative op:
+        // f((a1,b1),(a2,b2)) = (a1, b2) composed over pairs keeps first/last.
+        let device = Device::new();
+        let input: Vec<(u32, u32)> = (0..50_000).map(|i| (i, i)).collect();
+        let scanned = device.scan_inclusive(&input, (u32::MAX, u32::MAX), |a, b| {
+            let first = if a.0 == u32::MAX { b.0 } else { a.0 };
+            (first, b.1)
+        });
+        // Inclusive scan with "keep first, take last" must yield (0, i).
+        for (i, &(f, l)) in scanned.iter().enumerate() {
+            assert_eq!(f, 0);
+            assert_eq!(l, i as u32);
+        }
+    }
+
+    #[test]
+    fn signed_level_scan() {
+        let device = Device::new();
+        // +1/-1 pattern like Euler tour levels.
+        let input: Vec<i64> = (0..10_000).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let out = device.add_scan_inclusive_i64(&input);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[1], 0);
+        assert_eq!(*out.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn min_scan_with_custom_op() {
+        let device = Device::new();
+        let input: Vec<u32> = (0..30_000).map(|i| 30_000 - i).collect();
+        let out = device.scan_inclusive(&input, u32::MAX, |a, b| a.min(b));
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 30_000 - i as u32);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Segmented reduction — the `moderngpu segreduce` substitute.
+//!
+//! The Tarjan–Vishkin implementation uses segmented reduction to compute,
+//! for every node, the minimum and maximum preorder number among its
+//! non-tree neighbors (§4.1). Segments are described CSR-style by an
+//! `offsets` array of `num_segments + 1` boundaries into `values`.
+//!
+//! Load balancing note: each segment is reduced by one virtual thread. For
+//! power-law degree graphs a hub segment can dominate a block; the grids the
+//! workspace runs keep total per-block work bounded by the block's summed
+//! degrees, which matches the behaviour (not the micro-optimizations) of
+//! GPU segreduce kernels.
+
+use crate::device::Device;
+
+impl Device {
+    /// Reduces each segment `values[offsets[s] .. offsets[s+1]]` with `op`.
+    /// Empty segments yield `identity`.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is empty, non-monotone, or its last entry does
+    /// not equal `values.len()`.
+    pub fn segmented_reduce<T, F>(&self, values: &[T], offsets: &[u32], identity: T, op: F) -> Vec<T>
+    where
+        T: Copy + Send + Sync + Default,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert!(!offsets.is_empty(), "segreduce: offsets must contain at least one boundary");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            values.len(),
+            "segreduce: last offset must equal values.len()"
+        );
+        let segments = offsets.len() - 1;
+        self.metrics().record_primitive();
+        let mut out = vec![T::default(); segments];
+        self.map(&mut out, |s| {
+            let start = offsets[s] as usize;
+            let end = offsets[s + 1] as usize;
+            assert!(start <= end, "segreduce: offsets must be monotone");
+            let mut acc = identity;
+            for v in &values[start..end] {
+                acc = op(acc, *v);
+            }
+            acc
+        });
+        out
+    }
+
+    /// Per-segment minimum of `u32` values (`u32::MAX` for empty segments).
+    pub fn segmented_min_u32(&self, values: &[u32], offsets: &[u32]) -> Vec<u32> {
+        self.segmented_reduce(values, offsets, u32::MAX, |a, b| a.min(b))
+    }
+
+    /// Per-segment maximum of `u32` values (`0` for empty segments).
+    pub fn segmented_max_u32(&self, values: &[u32], offsets: &[u32]) -> Vec<u32> {
+        self.segmented_reduce(values, offsets, 0u32, |a, b| a.max(b))
+    }
+
+    /// Per-segment inclusive scan — the `moderngpu segscan` substitute.
+    ///
+    /// `out[i]` is the `op`-prefix (seeded with `identity`) of the segment
+    /// containing `i`, up to and including `i`. Implemented as the classic
+    /// *flagged scan*: the global generic scan runs over `(head_flag,
+    /// value)` pairs whose combiner resets accumulation at segment heads —
+    /// head flags being the associativity trick that makes segmented scans
+    /// a single unsegmented scan.
+    ///
+    /// # Panics
+    /// Same contract as [`Device::segmented_reduce`].
+    pub fn segmented_scan_inclusive<T, F>(
+        &self,
+        values: &[T],
+        offsets: &[u32],
+        identity: T,
+        op: F,
+    ) -> Vec<T>
+    where
+        T: Copy + Send + Sync + Default,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert!(
+            !offsets.is_empty(),
+            "segscan: offsets must contain at least one boundary"
+        );
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            values.len(),
+            "segscan: last offset must equal values.len()"
+        );
+        let n = values.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Head flags from the segment boundaries (skip empty segments and
+        // the terminal boundary).
+        let mut head = vec![false; n];
+        for w in offsets.windows(2) {
+            if w[0] < w[1] {
+                head[w[0] as usize] = true;
+            }
+        }
+        debug_assert!(head[0], "first non-empty segment must start at 0");
+        let head_ref = &head;
+        let pairs: Vec<(bool, T)> = (0..n).map(|i| (head_ref[i], values[i])).collect();
+        let scanned = self.scan_inclusive(&pairs, (false, identity), |a, b| {
+            if b.0 {
+                b
+            } else {
+                (a.0, op(a.1, b.1))
+            }
+        });
+        scanned.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Per-segment inclusive sums of `u64` values.
+    pub fn segmented_add_scan_u64(&self, values: &[u64], offsets: &[u32]) -> Vec<u64> {
+        self.segmented_scan_inclusive(values, offsets, 0u64, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Device;
+
+    #[test]
+    fn basic_segments() {
+        let device = Device::new();
+        let values = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let offsets = [0u32, 3, 3, 5, 8];
+        let mins = device.segmented_min_u32(&values, &offsets);
+        assert_eq!(mins, vec![1, u32::MAX, 1, 2]);
+        let maxs = device.segmented_max_u32(&values, &offsets);
+        assert_eq!(maxs, vec![4, 0, 5, 9]);
+    }
+
+    #[test]
+    fn sum_segments_large() {
+        let device = Device::new();
+        // 10_000 segments of length 5 each.
+        let values: Vec<u32> = (0..50_000).map(|i| (i % 7) as u32).collect();
+        let offsets: Vec<u32> = (0..=10_000u32).map(|s| s * 5).collect();
+        let sums = device.segmented_reduce(&values, &offsets, 0u32, |a, b| a + b);
+        for (s, &sum) in sums.iter().enumerate() {
+            let expect: u32 = (0..5).map(|j| ((s * 5 + j) % 7) as u32).sum();
+            assert_eq!(sum, expect);
+        }
+    }
+
+    #[test]
+    fn single_segment_covers_all() {
+        let device = Device::new();
+        let values: Vec<u32> = (0..1000).collect();
+        let offsets = [0u32, 1000];
+        let out = device.segmented_max_u32(&values, &offsets);
+        assert_eq!(out, vec![999]);
+    }
+
+    #[test]
+    fn zero_segments() {
+        let device = Device::new();
+        let out = device.segmented_min_u32(&[], &[0]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset")]
+    fn mismatched_offsets_panic() {
+        let device = Device::new();
+        let _ = device.segmented_min_u32(&[1, 2, 3], &[0, 2]);
+    }
+
+    #[test]
+    fn skewed_segments() {
+        let device = Device::new();
+        // One hub segment of 90_000 values plus many singletons.
+        let mut values: Vec<u32> = (0..90_000).collect();
+        values.extend(0..10_000u32);
+        let mut offsets = vec![0u32, 90_000];
+        offsets.extend((1..=10_000u32).map(|i| 90_000 + i));
+        let mins = device.segmented_min_u32(&values, &offsets);
+        assert_eq!(mins[0], 0);
+        assert_eq!(mins.len(), 10_001);
+        assert_eq!(mins[1], 0);
+        assert_eq!(mins[10_000], 9_999);
+    }
+
+    #[test]
+    fn segscan_small_example() {
+        let device = Device::new();
+        let values = [1u64, 2, 3, 4, 5, 6];
+        let offsets = [0u32, 2, 2, 5, 6];
+        let got = device.segmented_add_scan_u64(&values, &offsets);
+        assert_eq!(got, [1, 3, 3, 7, 12, 6]);
+    }
+
+    #[test]
+    fn segscan_single_segment_equals_global_scan() {
+        let device = Device::new();
+        let values: Vec<u64> = (0..50_000).map(|i| i % 17).collect();
+        let offsets = [0u32, 50_000];
+        let got = device.segmented_add_scan_u64(&values, &offsets);
+        let expect = device.add_scan_inclusive_u64(&values);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn segscan_all_singletons_is_identity_copy() {
+        let device = Device::new();
+        let values: Vec<u64> = (0..10_000).collect();
+        let offsets: Vec<u32> = (0..=10_000).collect();
+        let got = device.segmented_add_scan_u64(&values, &offsets);
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn segscan_matches_per_segment_reference() {
+        let device = Device::new();
+        // Irregular sizes including empties.
+        let sizes = [0u32, 3, 1, 0, 7, 2, 0, 0, 11, 1];
+        let mut offsets = vec![0u32];
+        for &s in &sizes {
+            offsets.push(offsets.last().unwrap() + s);
+        }
+        let n = *offsets.last().unwrap() as usize;
+        let values: Vec<u64> = (0..n as u64).map(|v| v * 3 + 1).collect();
+        let got = device.segmented_add_scan_u64(&values, &offsets);
+        for w in offsets.windows(2) {
+            let mut acc = 0;
+            for i in w[0] as usize..w[1] as usize {
+                acc += values[i];
+                assert_eq!(got[i], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn segscan_empty_values() {
+        let device = Device::new();
+        let got = device.segmented_add_scan_u64(&[], &[0, 0, 0]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn segscan_generic_max() {
+        let device = Device::new();
+        let values = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let offsets = [0u32, 4, 8];
+        let got = device.segmented_scan_inclusive(&values, &offsets, 0u32, |a, b| a.max(b));
+        assert_eq!(got, [3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+}

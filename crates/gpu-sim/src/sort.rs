@@ -1,0 +1,323 @@
+//! Stable LSD radix sort — the `moderngpu` mergesort substitute used for
+//! DCEL construction (§2.1 of the paper: "the costly sorting").
+//!
+//! Keys are `u64` (the DCEL packs a directed half-edge `(u, v)` as
+//! `u << 32 | v`); an optional `u32` payload rides along (the half-edge id,
+//! which becomes the cross-pointer between the unsorted array A and its
+//! sorted copy B). The sort processes 8-bit digits least-significant-first
+//! with per-chunk histograms, a column-major offset scan, and a stable
+//! scatter — skipping the high-order passes that the maximum key does not
+//! reach.
+
+use crate::device::{Device, SharedSlice};
+use rayon::prelude::*;
+
+const RADIX_BITS: u32 = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+const DIGIT_MASK: u64 = (BUCKETS - 1) as u64;
+
+impl Device {
+    /// Sorts `keys` ascending (stable, though equal `u64`s are
+    /// indistinguishable without a payload).
+    pub fn sort_u64(&self, keys: &mut Vec<u64>) {
+        self.radix_sort(keys, None);
+    }
+
+    /// Sorts `keys` ascending, permuting `vals` identically (stable).
+    ///
+    /// # Panics
+    /// Panics if the two vectors differ in length.
+    pub fn sort_pairs_u64_u32(&self, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
+        assert_eq!(keys.len(), vals.len(), "sort_pairs: length mismatch");
+        self.radix_sort(keys, Some(vals));
+    }
+
+    /// Sorts a `u32` slice ascending.
+    pub fn sort_u32(&self, keys: &mut [u32]) {
+        let mut wide: Vec<u64> = keys.iter().map(|&k| k as u64).collect();
+        self.sort_u64(&mut wide);
+        for (dst, src) in keys.iter_mut().zip(&wide) {
+            *dst = *src as u32;
+        }
+    }
+
+    /// Returns the permutation that sorts `keys`: `perm[rank] = original
+    /// index`. `keys` itself is left untouched.
+    pub fn argsort_u64(&self, keys: &[u64]) -> Vec<u32> {
+        let mut k = keys.to_vec();
+        let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+        self.sort_pairs_u64_u32(&mut k, &mut perm);
+        perm
+    }
+
+    fn radix_sort(&self, keys: &mut Vec<u64>, mut vals: Option<&mut Vec<u32>>) {
+        let n = keys.len();
+        self.metrics().record_primitive();
+        if n <= 1 {
+            return;
+        }
+
+        if n <= self.config().seq_threshold {
+            self.metrics().record_launch(n as u64);
+            match vals {
+                Some(vals) => {
+                    let mut zipped: Vec<(u64, u32)> =
+                        keys.iter().copied().zip(vals.iter().copied()).collect();
+                    zipped.sort_by_key(|p| p.0); // stable
+                    for (i, (k, v)) in zipped.into_iter().enumerate() {
+                        keys[i] = k;
+                        vals[i] = v;
+                    }
+                }
+                None => keys.sort_unstable(),
+            }
+            return;
+        }
+
+        let max_key = self.reduce_max_u64(keys);
+        let significant_bits = 64 - max_key.leading_zeros();
+        let passes = usize::max(1, (significant_bits as usize).div_ceil(RADIX_BITS as usize));
+
+        let chunk = usize::max(
+            self.config().block_size,
+            n.div_ceil(4 * self.worker_threads().max(1)),
+        );
+        let nchunks = n.div_ceil(chunk);
+
+        let mut src_k = std::mem::take(keys);
+        let mut dst_k = vec![0u64; n];
+        let (mut src_v, mut dst_v) = match vals.as_deref_mut() {
+            Some(v) => (std::mem::take(v), vec![0u32; n]),
+            None => (Vec::new(), Vec::new()),
+        };
+        let has_vals = !src_v.is_empty() || vals.is_some();
+
+        let mut hist = vec![0u32; nchunks * BUCKETS];
+
+        for pass in 0..passes {
+            let shift = pass as u32 * RADIX_BITS;
+
+            // Per-chunk digit histograms.
+            self.metrics().record_launch(n as u64);
+            self.run(|| {
+                hist.par_chunks_mut(BUCKETS)
+                    .enumerate()
+                    .for_each(|(c, h)| {
+                        h.fill(0);
+                        let start = c * chunk;
+                        let end = usize::min(start + chunk, n);
+                        for &k in &src_k[start..end] {
+                            let d = ((k >> shift) & DIGIT_MASK) as usize;
+                            h[d] += 1;
+                        }
+                    });
+            });
+
+            // Column-major exclusive scan: running offset for (digit, chunk).
+            // Tiny (nchunks * 256 entries) — done sequentially.
+            self.metrics().record_launch((nchunks * BUCKETS) as u64);
+            let mut offsets = vec![0u32; nchunks * BUCKETS];
+            let mut acc = 0u32;
+            for d in 0..BUCKETS {
+                for c in 0..nchunks {
+                    offsets[c * BUCKETS + d] = acc;
+                    acc += hist[c * BUCKETS + d];
+                }
+            }
+
+            // Stable scatter: chunks write their elements in order, each
+            // digit region partitioned among chunks by the offset matrix.
+            self.metrics().record_launch(n as u64);
+            {
+                let dst_k_shared = SharedSlice::new(&mut dst_k);
+                let dst_v_shared = SharedSlice::new(&mut dst_v);
+                let src_k_ref = &src_k;
+                let src_v_ref = &src_v;
+                let offsets_ref = &offsets;
+                self.run(|| {
+                    (0..nchunks).into_par_iter().for_each(|c| {
+                        let mut local: [u32; BUCKETS] =
+                            offsets_ref[c * BUCKETS..(c + 1) * BUCKETS].try_into().unwrap();
+                        let start = c * chunk;
+                        let end = usize::min(start + chunk, n);
+                        for i in start..end {
+                            let k = src_k_ref[i];
+                            let d = ((k >> shift) & DIGIT_MASK) as usize;
+                            let pos = local[d] as usize;
+                            local[d] += 1;
+                            // SAFETY: the offset matrix partitions 0..n into
+                            // disjoint (digit, chunk) regions; each position
+                            // is written exactly once per pass.
+                            unsafe {
+                                dst_k_shared.write(pos, k);
+                                if has_vals {
+                                    dst_v_shared.write(pos, src_v_ref[i]);
+                                }
+                            }
+                        }
+                    });
+                });
+            }
+
+            std::mem::swap(&mut src_k, &mut dst_k);
+            if has_vals {
+                std::mem::swap(&mut src_v, &mut dst_v);
+            }
+        }
+
+        *keys = src_k;
+        if let Some(v) = vals {
+            *v = src_v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Device;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u64> {
+        // SplitMix64 stream — deterministic, no external dependency.
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_random_u64() {
+        let device = Device::new();
+        let mut keys = pseudo_random(100_000, 1);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        device.sort_u64(&mut keys);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn sorts_small_inputs_via_fallback() {
+        let device = Device::new();
+        let mut keys = vec![5u64, 3, 9, 1, 1, 0];
+        device.sort_u64(&mut keys);
+        assert_eq!(keys, vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let device = Device::new();
+        let mut keys: Vec<u64> = vec![];
+        device.sort_u64(&mut keys);
+        assert!(keys.is_empty());
+        let mut keys = vec![7u64];
+        device.sort_u64(&mut keys);
+        assert_eq!(keys, vec![7]);
+    }
+
+    #[test]
+    fn pass_skipping_small_keys() {
+        let device = Device::new();
+        // Max key fits one byte — one pass suffices; result must still be sorted.
+        let mut keys: Vec<u64> = pseudo_random(50_000, 2).iter().map(|k| k % 256).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        device.sort_u64(&mut keys);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        let device = Device::new();
+        let mut keys = vec![42u64; 30_000];
+        let mut vals: Vec<u32> = (0..30_000).collect();
+        device.sort_pairs_u64_u32(&mut keys, &mut vals);
+        // Stability: payload order preserved for equal keys.
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pairs_follow_keys() {
+        let device = Device::new();
+        let keys = pseudo_random(80_000, 3);
+        let mut k = keys.clone();
+        let mut v: Vec<u32> = (0..80_000).collect();
+        device.sort_pairs_u64_u32(&mut k, &mut v);
+        for i in 0..k.len() {
+            assert_eq!(keys[v[i] as usize], k[i], "payload must track its key");
+        }
+        assert!(k.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stability_on_duplicate_keys() {
+        let device = Device::new();
+        let n = 60_000;
+        let mut keys: Vec<u64> = (0..n as u64).map(|i| i % 16).collect();
+        let mut vals: Vec<u32> = (0..n as u32).collect();
+        device.sort_pairs_u64_u32(&mut keys, &mut vals);
+        // Within each equal-key run the payloads must stay ascending.
+        for w in keys.windows(2).zip(vals.windows(2)) {
+            let (kw, vw) = w;
+            if kw[0] == kw[1] {
+                assert!(vw[0] < vw[1], "stable sort violated");
+            }
+        }
+    }
+
+    #[test]
+    fn argsort_returns_sorting_permutation() {
+        let device = Device::new();
+        let keys = pseudo_random(40_000, 4);
+        let perm = device.argsort_u64(&keys);
+        for w in perm.windows(2) {
+            assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
+        }
+        // perm is a permutation
+        let mut seen = vec![false; keys.len()];
+        for &p in &perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn sort_u32_round_trips() {
+        let device = Device::new();
+        let mut keys: Vec<u32> = pseudo_random(70_000, 5).iter().map(|&k| k as u32).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        device.sort_u32(&mut keys);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted() {
+        let device = Device::new();
+        let mut asc: Vec<u64> = (0..50_000).collect();
+        let expected = asc.clone();
+        device.sort_u64(&mut asc);
+        assert_eq!(asc, expected);
+
+        let mut desc: Vec<u64> = (0..50_000).rev().collect();
+        device.sort_u64(&mut desc);
+        assert_eq!(desc, expected);
+    }
+
+    #[test]
+    fn full_width_keys() {
+        let device = Device::new();
+        let mut keys: Vec<u64> = pseudo_random(30_000, 6)
+            .iter()
+            .map(|&k| k | (1 << 63))
+            .collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        device.sort_u64(&mut keys);
+        assert_eq!(keys, expected);
+    }
+}

@@ -1,0 +1,239 @@
+//! Property tests: every gpu-sim primitive against its std-library
+//! reference on arbitrary inputs.
+
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+
+fn small_device() -> Device {
+    // Tiny blocks + low sequential threshold force the parallel code paths
+    // even on proptest-sized inputs.
+    Device::with_config(DeviceConfig {
+        threads: None,
+        block_size: 64,
+        seq_threshold: 16,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sort_matches_std(mut keys in proptest::collection::vec(any::<u64>(), 0..4000)) {
+        let device = small_device();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        device.sort_u64(&mut keys);
+        prop_assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn sort_pairs_stable(keys in proptest::collection::vec(0u64..16, 0..3000)) {
+        let device = small_device();
+        let mut k = keys.clone();
+        let mut v: Vec<u32> = (0..keys.len() as u32).collect();
+        device.sort_pairs_u64_u32(&mut k, &mut v);
+        // Payload tracks its key and equal keys keep input order.
+        for i in 0..k.len() {
+            prop_assert_eq!(keys[v[i] as usize], k[i]);
+            if i > 0 && k[i - 1] == k[i] {
+                prop_assert!(v[i - 1] < v[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_reference(input in proptest::collection::vec(0u64..1_000_000, 0..4000)) {
+        let device = small_device();
+        let inc = device.add_scan_inclusive_u64(&input);
+        let exc = device.add_scan_exclusive_u64(&input);
+        let mut acc = 0u64;
+        for i in 0..input.len() {
+            prop_assert_eq!(exc[i], acc);
+            acc += input[i];
+            prop_assert_eq!(inc[i], acc);
+        }
+    }
+
+    #[test]
+    fn reduce_matches_iterator(input in proptest::collection::vec(any::<u32>(), 0..4000)) {
+        let device = small_device();
+        prop_assert_eq!(
+            device.reduce_min_u32(&input),
+            input.iter().copied().min().unwrap_or(u32::MAX)
+        );
+        prop_assert_eq!(
+            device.reduce_max_u32(&input),
+            input.iter().copied().max().unwrap_or(0)
+        );
+    }
+
+    #[test]
+    fn compact_matches_filter(input in proptest::collection::vec(any::<u32>(), 0..4000)) {
+        let device = small_device();
+        let got = device.compact(&input, |&v| v % 3 == 0);
+        let expected: Vec<u32> = input.iter().copied().filter(|&v| v % 3 == 0).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn segreduce_matches_chunk_reduce(
+        values in proptest::collection::vec(any::<u32>(), 0..2000),
+        seg_len in 1usize..50
+    ) {
+        let device = small_device();
+        let n = values.len();
+        let mut offsets: Vec<u32> = (0..=n / seg_len).map(|s| (s * seg_len) as u32).collect();
+        if *offsets.last().unwrap() as usize != n {
+            offsets.push(n as u32);
+        }
+        let mins = device.segmented_min_u32(&values, &offsets);
+        for (s, win) in offsets.windows(2).enumerate() {
+            let expected = values[win[0] as usize..win[1] as usize]
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(u32::MAX);
+            prop_assert_eq!(mins[s], expected);
+        }
+    }
+
+    #[test]
+    fn merge_matches_sorted_concat(
+        mut a in proptest::collection::vec(any::<u32>(), 0..2000),
+        mut b in proptest::collection::vec(any::<u32>(), 0..2000),
+    ) {
+        let device = small_device();
+        a.sort_unstable();
+        b.sort_unstable();
+        let got = device.merge(&a, &b);
+        let mut expected = a.clone();
+        expected.extend_from_slice(&b);
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn merge_sort_matches_std(mut data in proptest::collection::vec(any::<i32>(), 0..4000)) {
+        let device = small_device();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        device.merge_sort(&mut data);
+        prop_assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn merge_sort_pairs_stable(keys in proptest::collection::vec(0u32..8, 0..3000)) {
+        let device = small_device();
+        let mut k = keys.clone();
+        let mut v: Vec<u32> = (0..keys.len() as u32).collect();
+        device.merge_sort_pairs(&mut k, &mut v);
+        for i in 0..k.len() {
+            prop_assert_eq!(keys[v[i] as usize], k[i]);
+            if i > 0 && k[i - 1] == k[i] {
+                prop_assert!(v[i - 1] < v[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn lbs_inverts_offsets(sizes in proptest::collection::vec(0u32..40, 1..200)) {
+        let device = small_device();
+        let mut offsets = vec![0u32];
+        for &s in &sizes {
+            offsets.push(offsets.last().unwrap() + s);
+        }
+        let seg_of = device.load_balanced_search(&offsets);
+        prop_assert_eq!(seg_of.len(), *offsets.last().unwrap() as usize);
+        for (i, &seg) in seg_of.iter().enumerate() {
+            prop_assert!(offsets[seg as usize] as usize <= i);
+            prop_assert!(i < offsets[seg as usize + 1] as usize);
+        }
+    }
+
+    #[test]
+    fn sorted_search_matches_partition_point(
+        mut needles in proptest::collection::vec(any::<u32>(), 0..1500),
+        mut haystack in proptest::collection::vec(any::<u32>(), 0..1500),
+    ) {
+        let device = small_device();
+        needles.sort_unstable();
+        haystack.sort_unstable();
+        let got = device.sorted_search_lower(&needles, &haystack);
+        for (i, &g) in got.iter().enumerate() {
+            let expected = haystack.partition_point(|&h| h < needles[i]) as u32;
+            prop_assert_eq!(g, expected);
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_matches_naive(keys in proptest::collection::vec(0u32..12, 0..3000)) {
+        let device = small_device();
+        let vals: Vec<u64> = (0..keys.len() as u64).collect();
+        let got = device.reduce_by_key(&keys, &vals, 0u64, |a, b| a + b);
+        // Sequential oracle.
+        let mut ek: Vec<u32> = Vec::new();
+        let mut ev: Vec<u64> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if i == 0 || keys[i - 1] != k {
+                ek.push(k);
+                ev.push(vals[i]);
+            } else {
+                *ev.last_mut().unwrap() += vals[i];
+            }
+        }
+        prop_assert_eq!(got.keys, ek);
+        prop_assert_eq!(got.values, ev);
+        // Offsets partition the input.
+        prop_assert_eq!(*got.offsets.last().unwrap() as usize, keys.len());
+    }
+
+    #[test]
+    fn segscan_matches_chunked_scan(
+        values in proptest::collection::vec(0u64..1000, 0..2000),
+        seg_len in 1usize..40
+    ) {
+        let device = small_device();
+        let n = values.len();
+        let mut offsets: Vec<u32> = (0..=n / seg_len).map(|s| (s * seg_len) as u32).collect();
+        if *offsets.last().unwrap() as usize != n {
+            offsets.push(n as u32);
+        }
+        let got = device.segmented_add_scan_u64(&values, &offsets);
+        for w in offsets.windows(2) {
+            let mut acc = 0;
+            for i in w[0] as usize..w[1] as usize {
+                acc += values[i];
+                prop_assert_eq!(got[i], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_variants_agree(values in proptest::collection::vec(0u32..64, 0..4000)) {
+        let device = small_device();
+        let a = device.histogram_atomic(values.len(), 64, |i| values[i] as usize);
+        let p = device.bincount_u32(&values, 64);
+        prop_assert_eq!(&a, &p);
+        prop_assert_eq!(a.iter().sum::<u64>(), values.len() as u64);
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrip(n in 1usize..3000, seed in any::<u64>()) {
+        let device = small_device();
+        // Random permutation from the seed.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let src: Vec<u64> = (0..n as u64).map(|v| v * 7).collect();
+        let mut scattered = vec![0u64; n];
+        device.scatter(&mut scattered, &perm, &src);
+        let mut back = vec![0u64; n];
+        device.gather(&mut back, &perm, &scattered);
+        prop_assert_eq!(back, src);
+    }
+}

@@ -1,0 +1,204 @@
+//! Plain and concurrent bitmaps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bitmap of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+impl FromIterator<bool> for BitSet {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        let mut set = BitSet::new(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            set.set(i, b);
+        }
+        set
+    }
+}
+
+/// A fixed-size concurrent bitmap: `set` and `test_and_set` may be called
+/// from many threads simultaneously (used for CK's visited-edge marking and
+/// BFS claims).
+#[derive(Debug)]
+pub struct AtomicBitSet {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitSet {
+    /// Creates a bitmap of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        words.resize_with(len.div_ceil(64), || AtomicU64::new(0));
+        Self { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i` (relaxed).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` (relaxed fetch-or).
+    #[inline]
+    pub fn set(&self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64].fetch_or(1u64 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Atomically sets bit `i`; returns `true` if this call changed it from
+    /// 0 to 1 (i.e. the caller "won" the claim).
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_or(mask, Ordering::Relaxed) & mask == 0
+    }
+
+    /// Snapshot into a plain [`BitSet`] (no concurrent writers allowed for a
+    /// meaningful result).
+    pub fn to_bitset(&self) -> BitSet {
+        BitSet {
+            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::new(130);
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        assert_eq!(b.count_ones(), 3);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = BitSet::new(200);
+        for i in [3usize, 77, 150] {
+            b.set(i, true);
+        }
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, vec![3, 77, 150]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: BitSet = (0..10).map(|i| i % 3 == 0).collect();
+        assert_eq!(b.count_ones(), 4); // 0,3,6,9
+    }
+
+    #[test]
+    fn atomic_claims_are_exclusive() {
+        let b = AtomicBitSet::new(1000);
+        let winners: usize = (0..8)
+            .into_par_iter()
+            .map(|_| (0..1000).filter(|&i| b.test_and_set(i)).count())
+            .sum();
+        assert_eq!(winners, 1000, "each bit must be claimed exactly once");
+        assert_eq!(b.count_ones(), 1000);
+    }
+
+    #[test]
+    fn atomic_to_bitset_snapshot() {
+        let b = AtomicBitSet::new(70);
+        b.set(69);
+        b.set(0);
+        let plain = b.to_bitset();
+        assert!(plain.get(69) && plain.get(0));
+        assert_eq!(plain.count_ones(), 2);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        let a = AtomicBitSet::new(0);
+        assert!(a.is_empty());
+    }
+}

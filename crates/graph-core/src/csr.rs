@@ -1,0 +1,266 @@
+//! Compressed sparse row adjacency with stable undirected edge identifiers.
+//!
+//! Every undirected edge `e = (u, v)` of the source [`EdgeList`] appears
+//! twice in the adjacency — once per direction — and both copies carry the
+//! same [`EdgeId`] `e`, so per-edge results (e.g. "is edge `e` a bridge")
+//! can be reported against the caller's original edge order.
+
+use crate::edge_list::EdgeList;
+use crate::ids::{EdgeId, NodeId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// CSR adjacency structure of an undirected graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    neighbors: Vec<NodeId>,
+    edge_ids: Vec<EdgeId>,
+    num_edges: usize,
+}
+
+impl Csr {
+    /// Builds the CSR form of `edges`. Neighbor lists are sorted by
+    /// `(neighbor, edge id)` for determinism.
+    ///
+    /// # Panics
+    /// Panics if the graph has more than `u32::MAX / 2` edges.
+    pub fn from_edge_list(edges: &EdgeList) -> Self {
+        let n = edges.num_nodes();
+        let m = edges.num_edges();
+        assert!(m <= (u32::MAX / 2) as usize, "graph too large for u32 CSR");
+
+        // Degree count.
+        let mut degrees = vec![0u32; n];
+        for &(u, v) in edges.edges() {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        // Offsets.
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        // Parallel fill with atomic cursors.
+        let mut neighbors = vec![0 as NodeId; 2 * m];
+        let mut edge_ids = vec![0 as EdgeId; 2 * m];
+        {
+            let cursors: Vec<AtomicU32> = offsets[..n].iter().map(|&o| AtomicU32::new(o)).collect();
+            let nb_ptr = SharedVec(neighbors.as_mut_ptr());
+            let ei_ptr = SharedVec(edge_ids.as_mut_ptr());
+            edges
+                .edges()
+                .par_iter()
+                .enumerate()
+                .for_each(|(e, &(u, v))| {
+                    let pu = cursors[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                    let pv = cursors[v as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                    // SAFETY: fetch_add hands out unique slots within each
+                    // node's [offsets[v], offsets[v+1]) range.
+                    unsafe {
+                        nb_ptr.write(pu, v);
+                        ei_ptr.write(pu, e as EdgeId);
+                        nb_ptr.write(pv, u);
+                        ei_ptr.write(pv, e as EdgeId);
+                    }
+                });
+        }
+        let mut csr = Self {
+            offsets,
+            neighbors,
+            edge_ids,
+            num_edges: m,
+        };
+        csr.sort_adjacency();
+        csr
+    }
+
+    /// Sorts each adjacency list by `(neighbor, edge id)` in parallel —
+    /// restores determinism after the atomic fill.
+    fn sort_adjacency(&mut self) {
+        let n = self.num_nodes();
+        let offsets = &self.offsets;
+        // Zip the two arrays per node; sort tiny runs.
+        let mut zipped: Vec<(NodeId, EdgeId)> = self
+            .neighbors
+            .iter()
+            .copied()
+            .zip(self.edge_ids.iter().copied())
+            .collect();
+        let ptr = SharedVec(zipped.as_mut_ptr());
+        let ptr_ref = &ptr;
+        (0..n).into_par_iter().for_each(move |v| {
+            let s = offsets[v] as usize;
+            let e = offsets[v + 1] as usize;
+            // SAFETY: node ranges [s, e) are disjoint.
+            unsafe { ptr_ref.slice_mut(s, e - s).sort_unstable() };
+        });
+        for (i, (nb, ei)) in zipped.into_iter().enumerate() {
+            self.neighbors[i] = nb;
+            self.edge_ids[i] = ei;
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v` (counting multi-edges and both endpoints of loops).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbor node ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[s..e]
+    }
+
+    /// Undirected edge ids incident to `v`, parallel to [`Csr::neighbors`].
+    #[inline]
+    pub fn edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        &self.edge_ids[s..e]
+    }
+
+    /// `(neighbor, edge id)` pairs incident to `v`.
+    pub fn incident(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_ids(v).iter().copied())
+    }
+
+    /// The raw offsets array (`num_nodes + 1` boundaries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw neighbor array (length `2 * num_edges`).
+    pub fn raw_neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// The raw edge-id array, parallel to [`Csr::raw_neighbors`].
+    pub fn raw_edge_ids(&self) -> &[EdgeId] {
+        &self.edge_ids
+    }
+}
+
+/// Raw shared pointer wrapper for disjoint parallel writes during CSR fill.
+struct SharedVec<T>(*mut T);
+unsafe impl<T: Send> Sync for SharedVec<T> {}
+unsafe impl<T: Send> Send for SharedVec<T> {}
+impl<T> SharedVec<T> {
+    /// # Safety
+    /// `i` must be in bounds and written by exactly one thread.
+    unsafe fn write(&self, i: usize, v: T) {
+        unsafe { self.0.add(i).write(v) };
+    }
+
+    /// # Safety
+    /// `[start, start + len)` must be in bounds and disjoint from every
+    /// other concurrently accessed range.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> EdgeList {
+        // 0-1, 1-2, 2-0 triangle; 2-3 tail.
+        EdgeList::new(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let csr = Csr::from_edge_list(&triangle_plus_tail());
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.degree(2), 3);
+        assert_eq!(csr.neighbors(2), &[0, 1, 3]);
+        assert_eq!(csr.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn edge_ids_match_source_order() {
+        let csr = Csr::from_edge_list(&triangle_plus_tail());
+        // Edge 3 is (2,3).
+        assert_eq!(csr.edge_ids(3), &[3]);
+        let incident2: Vec<(u32, u32)> = csr.incident(2).collect();
+        assert!(incident2.contains(&(0, 2))); // edge 2 = (2,0)
+        assert!(incident2.contains(&(1, 1))); // edge 1 = (1,2)
+        assert!(incident2.contains(&(3, 3))); // edge 3 = (2,3)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edge_list(&EdgeList::empty(3));
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.degree(0), 0);
+        assert!(csr.neighbors(1).is_empty());
+    }
+
+    #[test]
+    fn multi_edges_kept_with_distinct_ids() {
+        let el = EdgeList::new(2, vec![(0, 1), (0, 1)]);
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.edge_ids(0), &[0, 1]);
+    }
+
+    #[test]
+    fn self_loop_counts_twice_in_degree() {
+        let el = EdgeList::new(2, vec![(0, 0), (0, 1)]);
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(csr.degree(0), 3);
+        assert_eq!(csr.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn larger_random_graph_is_consistent() {
+        // Deterministic pseudo-random pairs.
+        let n = 1000usize;
+        let mut edges = Vec::new();
+        let mut state = 12345u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((state >> 33) % n as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = ((state >> 33) % n as u64) as u32;
+            edges.push((u, v));
+        }
+        let el = EdgeList::new(n, edges.clone());
+        let csr = Csr::from_edge_list(&el);
+        // Sum of degrees = 2m.
+        let total: usize = (0..n as u32).map(|v| csr.degree(v)).sum();
+        assert_eq!(total, 2 * edges.len());
+        // Every edge appears in both endpoint lists with its id.
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            assert!(csr.incident(u).any(|(nb, id)| nb == v && id == e as u32));
+            assert!(csr.incident(v).any(|(nb, id)| nb == u && id == e as u32));
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_for_determinism() {
+        let el = EdgeList::new(5, vec![(0, 4), (0, 2), (0, 3), (0, 1)]);
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(csr.neighbors(0), &[1, 2, 3, 4]);
+    }
+}

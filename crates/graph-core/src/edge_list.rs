@@ -1,0 +1,132 @@
+//! Unordered undirected edge lists — the paper's §2.1 input format:
+//! "a very unstructured input: an unordered collection of undirected edges,
+//! represented as pairs of node identifiers".
+
+use crate::ids::NodeId;
+
+/// An undirected graph stored as an unordered list of node-id pairs.
+///
+/// Multi-edges and self-loops are representable (generators may produce
+/// them); [`EdgeList::simplified`] removes both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeList {
+    /// Creates an edge list over `num_nodes` nodes from explicit pairs.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn new(num_nodes: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < num_nodes && (v as usize) < num_nodes,
+                "edge ({u}, {v}) out of range for {num_nodes} nodes"
+            );
+        }
+        Self { num_nodes, edges }
+    }
+
+    /// An empty graph with `num_nodes` isolated nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge pairs.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn push(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Returns a copy without self-loops and duplicate edges (direction-
+    /// insensitive). Edge order is not preserved.
+    pub fn simplified(&self) -> EdgeList {
+        let mut keys: Vec<u64> = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| {
+                let (a, b) = if u <= v { (u, v) } else { (v, u) };
+                crate::ids::pack_edge(a, b)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        EdgeList {
+            num_nodes: self.num_nodes,
+            edges: keys.into_iter().map(crate::ids::unpack_edge).collect(),
+        }
+    }
+
+    /// Consumes the list, returning the raw pairs.
+    pub fn into_edges(self) -> Vec<(NodeId, NodeId)> {
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(el.num_nodes(), 4);
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.edges()[1], (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = EdgeList::new(3, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut el = EdgeList::empty(5);
+        el.push(0, 4);
+        assert_eq!(el.num_edges(), 1);
+    }
+
+    #[test]
+    fn simplified_removes_loops_and_duplicates() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 0), (2, 2), (1, 2), (1, 2), (3, 1)]);
+        let s = el.simplified();
+        assert_eq!(s.num_edges(), 3); // {0,1}, {1,2}, {1,3}
+        assert!(s.edges().iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn simplified_of_clean_graph_is_same_size() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(el.simplified().num_edges(), 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! Identifier types.
+//!
+//! The paper scales to 32M nodes and 182M edges; `u32` identifiers cover
+//! that with half the memory traffic of `usize`, which matters for the
+//! bandwidth-bound kernels (see the perf-book guidance on smaller integers).
+
+/// A node identifier (index into per-node arrays).
+pub type NodeId = u32;
+
+/// An undirected edge identifier (index into an [`crate::EdgeList`]).
+pub type EdgeId = u32;
+
+/// Sentinel for "no node" (root's parent, unreached BFS vertices, ...).
+pub const INVALID_NODE: NodeId = u32::MAX;
+
+/// Packs a directed half-edge `(u, v)` into a lexicographically ordered
+/// `u64` sort key.
+#[inline]
+pub fn pack_edge(u: NodeId, v: NodeId) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+/// Inverse of [`pack_edge`].
+#[inline]
+pub fn unpack_edge(key: u64) -> (NodeId, NodeId) {
+    ((key >> 32) as NodeId, key as NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for &(u, v) in &[(0, 0), (1, 2), (u32::MAX - 1, 7), (123, u32::MAX - 1)] {
+            assert_eq!(unpack_edge(pack_edge(u, v)), (u, v));
+        }
+    }
+
+    #[test]
+    fn pack_orders_lexicographically() {
+        assert!(pack_edge(1, 9) < pack_edge(2, 0));
+        assert!(pack_edge(3, 4) < pack_edge(3, 5));
+    }
+}

@@ -1,0 +1,150 @@
+//! Format auto-detection and the one-call file reader.
+
+use crate::{dimacs, metis, snap, ParseError, ParsedGraph};
+use std::path::Path;
+
+/// The supported on-disk graph formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// DIMACS `.gr` / `p edge` (1-based, `c`/`p`/`a`/`e` lines).
+    Dimacs,
+    /// SNAP whitespace edge list (`#` comments).
+    Snap,
+    /// METIS adjacency lists (header + one line per vertex).
+    Metis,
+}
+
+/// Guesses the format from file content (not the extension — SNAP and
+/// METIS both ship as `.txt`/`.graph`).
+///
+/// Heuristics: a `c`/`p` line means DIMACS; a `#` comment or a line with
+/// exactly two (or three) integer columns repeated means SNAP; a first
+/// non-comment line with two/three integers followed by *variable-length*
+/// integer rows means METIS. DIMACS is unambiguous; the SNAP/METIS split
+/// keys on the header-vs-edge interpretation of the first line.
+pub fn detect_format(text: &str) -> Option<Format> {
+    let mut non_comment = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('%') && !l.starts_with('#'));
+    let Some(first) = non_comment.next() else {
+        // Comment-only file (an edgeless graph): the comment marker is the
+        // only signature left.
+        if text.lines().any(|l| l.trim_start().starts_with('#')) {
+            return Some(Format::Snap);
+        }
+        return None;
+    };
+    if first.starts_with("c ") || first.starts_with("p ") || first == "c" {
+        return Some(Format::Dimacs);
+    }
+    let cols = first.split_whitespace().count();
+    let all_int = first
+        .split_whitespace()
+        .all(|t| t.parse::<u64>().is_ok());
+    if !all_int {
+        return None;
+    }
+    // `#` comments are SNAP's signature; METIS uses `%`.
+    if text.lines().any(|l| l.trim_start().starts_with('#')) {
+        return Some(Format::Snap);
+    }
+    if text.lines().any(|l| l.trim_start().starts_with('%')) {
+        return Some(Format::Metis);
+    }
+    // No comments: a METIS file has exactly n+1 lines with a 2-3 token
+    // header; a SNAP file has uniform 2-3 column rows. Distinguish by
+    // checking whether line count matches the header's node count.
+    if (2..=4).contains(&cols) {
+        if let Some(n) = first.split_whitespace().next().and_then(|t| t.parse::<usize>().ok()) {
+            // Count every line (blank ones are isolated vertices) except
+            // the header.
+            let body_lines = text.lines().count().saturating_sub(1);
+            if body_lines == n {
+                return Some(Format::Metis);
+            }
+        }
+        return Some(Format::Snap);
+    }
+    Some(Format::Metis)
+}
+
+/// Parses `text` as `format`.
+///
+/// # Errors
+/// Propagates the format parser's [`ParseError`].
+pub fn parse_as(text: &str, format: Format) -> Result<ParsedGraph, ParseError> {
+    match format {
+        Format::Dimacs => dimacs::parse(text),
+        Format::Snap => snap::parse(text),
+        Format::Metis => metis::parse(text),
+    }
+}
+
+/// Reads a graph file, auto-detecting the format from its content.
+///
+/// # Errors
+/// I/O errors from reading, `InvalidData` when the format cannot be
+/// detected or parsing fails.
+pub fn read_edge_list(path: impl AsRef<Path>) -> std::io::Result<ParsedGraph> {
+    let text = std::fs::read_to_string(path.as_ref())?;
+    let format = detect_format(&text).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("cannot detect graph format of {}", path.as_ref().display()),
+        )
+    })?;
+    parse_as(&text, format).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_dimacs() {
+        assert_eq!(
+            detect_format("c hi\np sp 2 1\na 1 2 1\n"),
+            Some(Format::Dimacs)
+        );
+        assert_eq!(detect_format("p edge 2 1\ne 1 2\n"), Some(Format::Dimacs));
+    }
+
+    #[test]
+    fn detects_snap_by_hash_comment() {
+        assert_eq!(detect_format("# SNAP\n1 2\n2 3\n"), Some(Format::Snap));
+    }
+
+    #[test]
+    fn detects_metis_by_percent_comment() {
+        assert_eq!(detect_format("% METIS\n3 2\n2\n1 3\n2\n"), Some(Format::Metis));
+    }
+
+    #[test]
+    fn detects_metis_by_line_count() {
+        // Header "3 2" + exactly 3 vertex lines.
+        assert_eq!(detect_format("3 2\n2\n1 3\n2\n"), Some(Format::Metis));
+    }
+
+    #[test]
+    fn bare_pairs_default_to_snap() {
+        assert_eq!(detect_format("1 2\n2 3\n3 4\n9 1\n"), Some(Format::Snap));
+    }
+
+    #[test]
+    fn garbage_is_unknown() {
+        assert_eq!(detect_format("hello world\n"), None);
+        assert_eq!(detect_format(""), None);
+    }
+
+    #[test]
+    fn read_edge_list_round_trip() {
+        let dir = std::env::temp_dir().join("graph_io_detect_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "# test\n0 1\n1 2\n").unwrap();
+        let p = read_edge_list(&path).unwrap();
+        assert_eq!(p.graph.num_edges(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! Parse errors with file positions.
+
+/// A parse failure, carrying the 1-based line number and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 = whole-file problem).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `line` (1-based).
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a whole-file error.
+    pub fn file(message: impl Into<String>) -> Self {
+        Self {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for std::io::Error {
+    fn from(e: ParseError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::at(17, "bad token");
+        assert_eq!(e.to_string(), "line 17: bad token");
+        let f = ParseError::file("empty input");
+        assert_eq!(f.to_string(), "empty input");
+    }
+
+    #[test]
+    fn converts_to_io_error() {
+        let e: std::io::Error = ParseError::at(2, "nope").into();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

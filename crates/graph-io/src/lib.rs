@@ -1,0 +1,62 @@
+//! # graph-io — reading and writing the paper's dataset formats
+//!
+//! The bridge-finding evaluation (paper §4.2, Table 1) uses graphs
+//! downloaded from public repositories: the DIMACS shortest-path challenge
+//! road networks (`USA-road-d.*`, `.gr` files), SNAP edge lists
+//! (`cit-Patents`, `soc-LiveJournal1`, ...) and DIMACS-10 / network
+//! repository graphs in METIS adjacency format. The benchmark suite
+//! regenerates those workloads synthetically (no network access), but a
+//! library a downstream user would actually adopt must also ingest the
+//! real files — this crate provides the parsers and writers:
+//!
+//! * [`snap`] — whitespace-separated edge lists with `#` comments;
+//!   arbitrary (sparse) node ids are compacted to dense `0..n`;
+//! * [`dimacs`] — the `.gr` shortest-path format (`p sp n m` / `a u v w`)
+//!   and the older `p edge` / `e u v` clique format, both 1-based;
+//! * [`metis`] — METIS/Chaco adjacency lists (1-based, optionally
+//!   weighted).
+//!
+//! [`read_edge_list`] auto-detects the format from content; every parser
+//! reports malformed input with 1-based line numbers.
+//!
+//! ```
+//! let text = "# tiny graph\n0\t1\n1\t2\n2\t0\n";
+//! let parsed = graph_io::snap::parse(text).unwrap();
+//! assert_eq!(parsed.graph.num_nodes(), 3);
+//! assert_eq!(parsed.graph.num_edges(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod dimacs;
+pub mod error;
+pub mod metis;
+pub mod snap;
+
+pub use detect::{detect_format, parse_as, read_edge_list, Format};
+pub use error::ParseError;
+
+use graph_core::EdgeList;
+
+/// A parsed graph plus the mapping back to the file's original node ids.
+#[derive(Debug, Clone)]
+pub struct ParsedGraph {
+    /// The graph with dense node ids `0..n`.
+    pub graph: EdgeList,
+    /// `original_ids[v]` = the node id used in the input file for `v`.
+    /// Identity for formats with dense ids already (DIMACS/METIS map
+    /// 1-based to 0-based, so `original_ids[v] = v + 1`).
+    pub original_ids: Vec<u64>,
+}
+
+impl ParsedGraph {
+    /// Wraps a graph whose file ids were already dense and 0-based.
+    pub fn dense(graph: EdgeList) -> Self {
+        let n = graph.num_nodes() as u64;
+        ParsedGraph {
+            graph,
+            original_ids: (0..n).collect(),
+        }
+    }
+}

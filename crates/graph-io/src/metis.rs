@@ -1,0 +1,220 @@
+//! METIS/Chaco adjacency format (the DIMACS-10 challenge distribution the
+//! paper's `great-britain-osm` and `kron_g500` graphs ship in).
+//!
+//! Header `n m [fmt [ncon]]`, then one line per vertex (1-based) listing
+//! its neighbors. `%` starts a comment line. Each undirected edge appears
+//! in both endpoint lists; `m` counts undirected edges. Supported `fmt`
+//! codes: `0` (plain), `1` (edge weights — parsed and discarded), `10`/`11`
+//! (vertex weights — skipped per the `ncon` count).
+
+use crate::{ParseError, ParsedGraph};
+use graph_core::EdgeList;
+use std::io::Write;
+
+/// Parses METIS adjacency text.
+///
+/// # Errors
+/// [`ParseError`] on malformed headers, bad ids, or when the per-line edge
+/// endpoints do not sum to `2m`.
+pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim_start().starts_with('%'));
+    let (header_line, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::file("empty input"))?;
+    let mut ht = header.split_whitespace();
+    let n: usize = ht
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::at(header_line + 1, "bad node count"))?;
+    let m: usize = ht
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::at(header_line + 1, "bad edge count"))?;
+    let fmt = ht.next().unwrap_or("0");
+    let (has_vweights, has_eweights) = match fmt {
+        "0" | "00" => (false, false),
+        "1" | "01" => (false, true),
+        "10" => (true, false),
+        "11" => (true, true),
+        other => {
+            return Err(ParseError::at(
+                header_line + 1,
+                format!("unsupported fmt code {other:?}"),
+            ))
+        }
+    };
+    let ncon: usize = ht.next().and_then(|t| t.parse().ok()).unwrap_or(1);
+
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+    let mut endpoints = 0usize;
+    let mut vertex = 0usize;
+    // Self-loops appear as *two* self-mentions (see `write`): pair them up.
+    let mut self_mentions: Vec<u32> = Vec::new();
+    for (i, line) in lines {
+        if vertex >= n {
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Err(ParseError::at(i + 1, "more vertex lines than nodes"));
+        }
+        let mut toks = line.split_whitespace().peekable();
+        if has_vweights {
+            for _ in 0..ncon {
+                toks.next()
+                    .ok_or_else(|| ParseError::at(i + 1, "missing vertex weight"))?;
+            }
+        }
+        while let Some(tok) = toks.next() {
+            let w: usize = tok
+                .parse()
+                .map_err(|_| ParseError::at(i + 1, format!("bad neighbor id {tok:?}")))?;
+            if w == 0 || w > n {
+                return Err(ParseError::at(
+                    i + 1,
+                    format!("neighbor id {w} outside 1..={n}"),
+                ));
+            }
+            if has_eweights {
+                toks.next()
+                    .ok_or_else(|| ParseError::at(i + 1, "missing edge weight"))?;
+            }
+            endpoints += 1;
+            // Keep each undirected edge once (from its smaller endpoint).
+            let u = vertex as u32;
+            let v = (w - 1) as u32;
+            if u == v {
+                if self_mentions.len() <= u as usize {
+                    self_mentions.resize(u as usize + 1, 0);
+                }
+                self_mentions[u as usize] += 1;
+                if self_mentions[u as usize].is_multiple_of(2) {
+                    edges.push((u, v));
+                }
+            } else if u < v {
+                edges.push((u, v));
+            }
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(ParseError::file(format!(
+            "expected {n} vertex lines, found {vertex}"
+        )));
+    }
+    if endpoints != 2 * m {
+        return Err(ParseError::file(format!(
+            "header declared {m} edges but lists contain {endpoints} endpoints (expected {})",
+            2 * m
+        )));
+    }
+    let graph = EdgeList::new(n, edges);
+    Ok(ParsedGraph {
+        graph,
+        original_ids: (1..=n as u64).collect(),
+    })
+}
+
+/// Writes `graph` in METIS adjacency format.
+///
+/// METIS lists every edge at both endpoints; a self-loop is therefore
+/// written as **two** self-mentions, which [`parse`] pairs back into one
+/// loop — round-trips are exact.
+///
+/// # Errors
+/// Propagates I/O errors from `w`.
+pub fn write<W: Write>(w: &mut W, graph: &EdgeList) -> std::io::Result<()> {
+    let n = graph.num_nodes();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut m = 0usize;
+    for &(u, v) in graph.edges() {
+        adj[u as usize].push(v + 1);
+        adj[v as usize].push(u + 1);
+        m += 1;
+    }
+    writeln!(w, "{n} {m}")?;
+    for list in &adj {
+        let strs: Vec<String> = list.iter().map(|x| x.to_string()).collect();
+        writeln!(w, "{}", strs.join(" "))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_adjacency() {
+        // Triangle + pendant: 0-1, 1-2, 2-0, 2-3.
+        let text = "% comment\n4 4\n2 3\n1 3\n1 2 4\n3\n";
+        let p = parse(text).unwrap();
+        assert_eq!(p.graph.num_nodes(), 4);
+        assert_eq!(p.graph.num_edges(), 4);
+        let mut es: Vec<(u32, u32)> = p.graph.edges().to_vec();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn parses_edge_weights() {
+        let text = "3 2 1\n2 7\n1 7 3 9\n2 9\n";
+        let p = parse(text).unwrap();
+        assert_eq!(p.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn parses_vertex_weights() {
+        let text = "3 2 10\n5 2\n6 1 3\n7 2\n";
+        let p = parse(text).unwrap();
+        assert_eq!(p.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("x y\n").is_err());
+        // endpoint count mismatch with header
+        assert!(parse("3 5\n2\n1\n\n").is_err());
+        // neighbor out of range
+        assert!(parse("2 1\n9\n1\n").is_err());
+        // too many vertex lines
+        assert!(parse("1 0\n\n\n1\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = EdgeList::new(5, vec![(0, 1), (0, 2), (1, 2), (3, 4)]);
+        let mut buf = Vec::new();
+        write(&mut buf, &g).unwrap();
+        let p = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let mut got: Vec<(u32, u32)> = p.graph.edges().to_vec();
+        got.sort_unstable();
+        let mut expect: Vec<(u32, u32)> = g.edges().to_vec();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn self_loops_round_trip_as_mention_pairs() {
+        let g = EdgeList::new(3, vec![(0, 0), (0, 1), (2, 2), (2, 2)]);
+        let mut buf = Vec::new();
+        write(&mut buf, &g).unwrap();
+        let p = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let mut got: Vec<(u32, u32)> = p.graph.edges().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 0), (0, 1), (2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_empty_lines() {
+        let g = EdgeList::new(3, vec![(0, 2)]);
+        let mut buf = Vec::new();
+        write(&mut buf, &g).unwrap();
+        let p = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(p.graph.num_nodes(), 3);
+        assert_eq!(p.graph.num_edges(), 1);
+    }
+}

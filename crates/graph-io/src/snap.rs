@@ -1,0 +1,139 @@
+//! SNAP edge lists: one `u v` pair per line, `#` comments.
+//!
+//! The format of the Stanford Network Analysis Project downloads the paper
+//! uses (`cit-Patents.txt`, `soc-LiveJournal1.txt`, `socfb-A-anon`, ...).
+//! Node ids in the files are arbitrary 64-bit integers with gaps; the
+//! parser compacts them to dense `0..n` in first-appearance order and
+//! keeps the inverse mapping. Directed duplicates (`u v` and `v u`) are
+//! preserved — the bridge pipeline's `EdgeList::simplified` handles
+//! dedup when asked.
+
+use crate::{ParseError, ParsedGraph};
+use graph_core::EdgeList;
+use std::collections::HashMap;
+use std::io::Write;
+
+/// Parses SNAP edge-list text.
+///
+/// # Errors
+/// [`ParseError`] with a line number on malformed lines (wrong token
+/// count, non-integer tokens).
+pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
+    let mut remap: HashMap<u64, u32> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    let mut intern = |id: u64, original_ids: &mut Vec<u64>| -> u32 {
+        *remap.entry(id).or_insert_with(|| {
+            original_ids.push(id);
+            (original_ids.len() - 1) as u32
+        })
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (a, b) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(ParseError::at(
+                    lineno + 1,
+                    format!("expected `u v`, got {line:?}"),
+                ))
+            }
+        };
+        // A third column (weight/timestamp) is tolerated and ignored, as in
+        // SNAP's temporal datasets; more is malformed.
+        if it.clone().count() > 1 {
+            return Err(ParseError::at(lineno + 1, "too many columns"));
+        }
+        let u: u64 = a
+            .parse()
+            .map_err(|_| ParseError::at(lineno + 1, format!("bad node id {a:?}")))?;
+        let v: u64 = b
+            .parse()
+            .map_err(|_| ParseError::at(lineno + 1, format!("bad node id {b:?}")))?;
+        let u = intern(u, &mut original_ids);
+        let v = intern(v, &mut original_ids);
+        edges.push((u, v));
+    }
+    let graph = EdgeList::new(original_ids.len(), edges);
+    Ok(ParsedGraph {
+        graph,
+        original_ids,
+    })
+}
+
+/// Writes `graph` as SNAP edge-list text (dense 0-based ids).
+///
+/// # Errors
+/// Propagates I/O errors from `w`.
+pub fn write<W: Write>(w: &mut W, graph: &EdgeList) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "# Nodes: {} Edges: {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
+    for &(u, v) in graph.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_gaps() {
+        let text = "# SNAP header\n% also a comment\n\n100 200\n200\t300\n100 300\n";
+        let p = parse(text).unwrap();
+        assert_eq!(p.graph.num_nodes(), 3);
+        assert_eq!(p.graph.num_edges(), 3);
+        assert_eq!(p.original_ids, vec![100, 200, 300]);
+        assert_eq!(p.graph.edges()[0], (0, 1));
+        assert_eq!(p.graph.edges()[2], (0, 2));
+    }
+
+    #[test]
+    fn tolerates_weight_column() {
+        let p = parse("1 2 99\n2 3 42\n").unwrap();
+        assert_eq!(p.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse("1\n").unwrap_err().line, 1);
+        assert_eq!(parse("1 2\nx y\n").unwrap_err().line, 2);
+        assert_eq!(parse("1 2 3 4\n").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let p = parse("# only comments\n").unwrap();
+        assert_eq!(p.graph.num_nodes(), 0);
+        assert_eq!(p.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = EdgeList::new(4, vec![(0, 1), (1, 2), (3, 0), (2, 2)]);
+        let mut buf = Vec::new();
+        write(&mut buf, &g).unwrap();
+        let p = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        // First-appearance order preserves dense ids here.
+        assert_eq!(p.graph.edges(), g.edges());
+        assert_eq!(p.graph.num_nodes(), 4);
+    }
+
+    #[test]
+    fn self_loops_survive() {
+        let p = parse("5 5\n").unwrap();
+        assert_eq!(p.graph.num_edges(), 1);
+        assert_eq!(p.graph.edges()[0], (0, 0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: arbitrary graphs survive a write → detect → parse round
+//! trip in every format.
+
+use graph_core::EdgeList;
+use graph_io::{detect_format, parse_as, Format};
+use proptest::prelude::*;
+
+/// Canonical multiset of undirected edges (self-loops included).
+fn canonical(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut c: Vec<(u32, u32)> = edges
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    c.sort_unstable();
+    c
+}
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (1usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..150)
+            .prop_map(move |edges| EdgeList::new(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snap_round_trip(graph in arb_graph()) {
+        let mut buf = Vec::new();
+        graph_io::snap::write(&mut buf, &graph).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        prop_assert_eq!(detect_format(&text), Some(Format::Snap));
+        let parsed = parse_as(&text, Format::Snap).unwrap();
+        // SNAP interns ids in first-appearance order; isolated trailing
+        // nodes are dropped, so compare edges via the id mapping.
+        let mapped: Vec<(u32, u32)> = parsed
+            .graph
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                (
+                    parsed.original_ids[u as usize] as u32,
+                    parsed.original_ids[v as usize] as u32,
+                )
+            })
+            .collect();
+        prop_assert_eq!(canonical(&mapped), canonical(graph.edges()));
+    }
+
+    #[test]
+    fn dimacs_round_trip(graph in arb_graph()) {
+        let mut buf = Vec::new();
+        graph_io::dimacs::write(&mut buf, &graph).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        prop_assert_eq!(detect_format(&text), Some(Format::Dimacs));
+        let parsed = parse_as(&text, Format::Dimacs).unwrap();
+        prop_assert_eq!(parsed.graph.num_nodes(), graph.num_nodes());
+        prop_assert_eq!(canonical(parsed.graph.edges()), canonical(graph.edges()));
+    }
+
+    #[test]
+    fn metis_round_trip(graph in arb_graph()) {
+        let mut buf = Vec::new();
+        graph_io::metis::write(&mut buf, &graph).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = parse_as(&text, Format::Metis).unwrap();
+        prop_assert_eq!(parsed.graph.num_nodes(), graph.num_nodes());
+        prop_assert_eq!(canonical(parsed.graph.edges()), canonical(graph.edges()));
+    }
+
+    #[test]
+    fn detection_never_misparses_own_output(graph in arb_graph()) {
+        // Whatever detect_format claims about our own METIS output, the
+        // resulting parse must not silently corrupt the graph: either it
+        // detects METIS and round-trips, or parsing under the wrong guess
+        // errors out (never returns a *different* graph silently).
+        let mut buf = Vec::new();
+        graph_io::metis::write(&mut buf, &graph).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        if let Some(fmt) = detect_format(&text) {
+            if let Ok(parsed) = parse_as(&text, fmt) {
+                if fmt == Format::Metis {
+                    prop_assert_eq!(
+                        canonical(parsed.graph.edges()),
+                        canonical(graph.edges())
+                    );
+                }
+            }
+        }
+    }
+}

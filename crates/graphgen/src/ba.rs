@@ -1,0 +1,110 @@
+//! Barabási–Albert preferential attachment (§3.2's scale-free trees and
+//! the social-network-like multigraphs of §4.2).
+//!
+//! "The parent of node i is again selected from {1, …, i−1}, but with
+//! probabilities proportional to the degrees" — implemented with the
+//! endpoint-array trick: every edge contributes both endpoints to a pool,
+//! and sampling uniformly from the pool is exactly degree-proportional
+//! sampling. O(n) time and memory.
+
+use graph_core::ids::{NodeId, INVALID_NODE};
+use graph_core::{EdgeList, Tree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale-free BA tree with permuted labels (very shallow on average).
+pub fn ba_tree(n: usize, seed: u64) -> Tree {
+    assert!(n >= 1, "tree needs at least one node");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut parent = vec![INVALID_NODE; n];
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * n);
+    pool.push(0);
+    #[allow(clippy::needless_range_loop)] // parent[i] depends on i itself
+    for i in 1..n {
+        let target = pool[rng.gen_range(0..pool.len())];
+        parent[i] = target;
+        pool.push(target);
+        pool.push(i as NodeId);
+    }
+    let tree = Tree::from_parent_array(parent, 0).expect("BA attachment forms a tree");
+    crate::trees::permute_labels(&tree, seed ^ 0xBA_BA_BA)
+}
+
+/// BA multigraph: each new node attaches with `m` degree-proportional
+/// edges (duplicates possible, as in the original model). Models the
+/// paper's social-network instances (socfb, LiveJournal, hollywood).
+pub fn ba_graph(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 1 && m >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n.saturating_mul(m));
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    pool.push(0);
+    for i in 1..n {
+        for _ in 0..m.min(i) {
+            let target = pool[rng.gen_range(0..pool.len())];
+            edges.push((i as NodeId, target));
+            pool.push(target);
+            pool.push(i as NodeId);
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::average_depth;
+
+    #[test]
+    fn ba_tree_is_very_shallow() {
+        let n = 100_000;
+        let tree = ba_tree(n, 5);
+        let avg = average_depth(&tree);
+        // BA trees are shallower than uniform random recursive trees
+        // (expected depth ~ ln n / 2).
+        assert!(avg < (n as f64).ln(), "avg depth {avg:.2} too large");
+        assert!(avg > 1.0);
+    }
+
+    #[test]
+    fn ba_tree_has_power_law_hubs() {
+        let n = 50_000;
+        let tree = ba_tree(n, 9);
+        let mut degree = vec![0u32; n];
+        for v in 0..n as u32 {
+            if let Some(p) = tree.parent(v) {
+                degree[p as usize] += 1;
+                degree[v as usize] += 1;
+            }
+        }
+        let max_deg = *degree.iter().max().unwrap() as f64;
+        // Hubs grow like sqrt(n) in BA trees; uniform trees peak near log n.
+        assert!(
+            max_deg > 2.0 * (n as f64).ln(),
+            "max degree {max_deg} lacks scale-free hubs"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ba_tree(1000, 3).parent_slice(), ba_tree(1000, 3).parent_slice());
+        assert_eq!(
+            ba_graph(500, 3, 4).edges(),
+            ba_graph(500, 3, 4).edges()
+        );
+    }
+
+    #[test]
+    fn ba_graph_edge_count() {
+        let g = ba_graph(1000, 4, 6);
+        // Node i adds min(i, 4) edges.
+        let expect: usize = (1..1000).map(|i: usize| i.min(4)).sum();
+        assert_eq!(g.num_edges(), expect);
+    }
+
+    #[test]
+    fn ba_graph_m1_is_tree_shaped() {
+        let g = ba_graph(2000, 1, 8);
+        assert_eq!(g.num_edges(), 1999);
+    }
+}

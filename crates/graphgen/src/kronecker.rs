@@ -1,0 +1,122 @@
+//! Kronecker / R-MAT graph generation (§4.2's `kron_g500-logn*` family,
+//! after Leskovec et al. \[35\] and the Graph500 specification).
+//!
+//! Each of `edge_factor · 2^scale` edges picks its endpoints by descending
+//! `scale` levels of a 2×2 probability matrix
+//! `(A, B; C, D) = (0.57, 0.19; 0.19, 0.05)`. The result is a moderately
+//! sparse multigraph with a small diameter and a heavy-tailed degree
+//! distribution — the properties the bridge experiments depend on.
+//! Generation is embarrassingly parallel across edges.
+
+use graph_core::ids::NodeId;
+use graph_core::EdgeList;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Graph500 R-MAT parameters.
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+/// Generates an R-MAT/Kronecker multigraph with `2^scale` nodes and
+/// `edge_factor · 2^scale` edges (self-loops and duplicates included, as in
+/// the reference generator; extract the LCC for experiments).
+pub fn kronecker_graph(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
+    assert!((1..=30).contains(&scale), "scale out of supported range");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+
+    // Parallel chunks, each with its own deterministic stream.
+    let chunk = 1 << 16;
+    let chunks = m.div_ceil(chunk);
+    let edges: Vec<(NodeId, NodeId)> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let count = usize::min(chunk, m - c * chunk);
+            (0..count)
+                .map(move |_| {
+                    let mut u = 0u32;
+                    let mut v = 0u32;
+                    for _ in 0..scale {
+                        let r: f64 = rng.gen();
+                        let (bu, bv) = if r < A {
+                            (0, 0)
+                        } else if r < A + B {
+                            (0, 1)
+                        } else if r < A + B + C {
+                            (1, 0)
+                        } else {
+                            (1, 1)
+                        };
+                        u = (u << 1) | bu;
+                        v = (v << 1) | bv;
+                    }
+                    (u, v)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // Graph500 applies a random node permutation to hide the recursive
+    // structure; do the same.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5CA1AB1E);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let edges = edges
+        .into_iter()
+        .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+        .collect();
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_parameters() {
+        let g = kronecker_graph(10, 16, 1);
+        assert_eq!(g.num_nodes(), 1024);
+        assert_eq!(g.num_edges(), 16 * 1024);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kronecker_graph(8, 8, 3);
+        let b = kronecker_graph(8, 8, 3);
+        let c = kronecker_graph(8, 8, 4);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = kronecker_graph(12, 16, 5);
+        let n = g.num_nodes();
+        let mut degree = vec![0u32; n];
+        for &(u, v) in g.edges() {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let max_deg = *degree.iter().max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / n as f64;
+        assert!(
+            max_deg as f64 > 10.0 * avg,
+            "max degree {max_deg} vs avg {avg:.1}: R-MAT should produce hubs"
+        );
+        // R-MAT with these params leaves a sizable fraction isolated.
+        let isolated = degree.iter().filter(|&&d| d == 0).count();
+        assert!(isolated > 0, "some nodes should be isolated at scale 12");
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let g = kronecker_graph(6, 4, 7);
+        assert!(g.edges().iter().all(|&(u, v)| u < 64 && v < 64));
+    }
+}

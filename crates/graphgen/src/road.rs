@@ -1,0 +1,74 @@
+//! Road-network-like graphs (§4.2's `USA-road-d.*` / OSM family):
+//! "extremely sparse and with significantly larger diameters".
+//!
+//! A width × height grid keeps each lattice edge with probability
+//! `keep_prob` (bond percolation above threshold, so a giant component
+//! survives) — giving average degree ≈ 4·keep_prob ≈ 2.5 at the default,
+//! a Θ(√n) diameter and abundant bridges, the three properties that
+//! separate road graphs from the social/Kronecker family in Figures 9–11.
+
+use graph_core::ids::NodeId;
+use graph_core::EdgeList;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Default keep probability tuned for avg degree ≈ 2.5 (road-like).
+pub const DEFAULT_KEEP_PROB: f64 = 0.62;
+
+/// Generates a percolated grid; extract the LCC before running the
+/// connected-only algorithms.
+pub fn road_grid(width: usize, height: usize, keep_prob: f64, seed: u64) -> EdgeList {
+    assert!(width >= 1 && height >= 1);
+    assert!((0.0..=1.0).contains(&keep_prob));
+    let n = width * height;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity((2.0 * n as f64 * keep_prob) as usize + 16);
+    for y in 0..height {
+        for x in 0..width {
+            let v = (y * width + x) as NodeId;
+            if x + 1 < width && rng.gen_bool(keep_prob) {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < height && rng.gen_bool(keep_prob) {
+                edges.push((v, v + width as NodeId));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_at_probability_one() {
+        let g = road_grid(10, 10, 1.0, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 2 * 10 * 9);
+    }
+
+    #[test]
+    fn empty_at_probability_zero() {
+        let g = road_grid(5, 5, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn default_density_is_road_like() {
+        let g = road_grid(300, 300, DEFAULT_KEEP_PROB, 9);
+        let avg_degree = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            (2.0..3.0).contains(&avg_degree),
+            "avg degree {avg_degree:.2} should be road-like"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            road_grid(50, 50, 0.6, 2).edges(),
+            road_grid(50, 50, 0.6, 2).edges()
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Random tree generation with the paper's *grasp* parameter (§3.2).
+//!
+//! Node 1 is the root; the parent of node `i` is drawn uniformly from the
+//! window `{max(i − γ, 1), …, i − 1}` (1-based). γ = 1 yields a path,
+//! γ = ∞ the classic random recursive tree with expected average depth
+//! `ln n`; finite γ gives expected average depth `n / (γ + 1) + O(1)`.
+//! Finally all identifiers are mapped through a random permutation "so that
+//! the tree structure is maintained but the identifiers do not leak any
+//! information".
+
+use graph_core::ids::{NodeId, INVALID_NODE};
+use graph_core::Tree;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the paper's random tree: `grasp = None` means γ = ∞.
+/// Labels are randomly permuted, as in the paper.
+pub fn random_tree(n: usize, grasp: Option<u64>, seed: u64) -> Tree {
+    assert!(n >= 1, "tree needs at least one node");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut parent = vec![INVALID_NODE; n];
+    #[allow(clippy::needless_range_loop)] // parent[i] depends on i itself
+    for i in 1..n {
+        let lo = match grasp {
+            Some(g) => i.saturating_sub(g as usize),
+            None => 0,
+        };
+        parent[i] = rng.gen_range(lo..i) as NodeId;
+    }
+    let tree = Tree::from_parent_array(parent, 0).expect("generated parents form a tree");
+    permute_labels(&tree, seed ^ 0x5EED_CAFE)
+}
+
+/// Relabels the nodes of `tree` through a uniformly random permutation;
+/// the shape is preserved, the identifiers shuffled.
+pub fn permute_labels(tree: &Tree, seed: u64) -> Tree {
+    let n = tree.num_nodes();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Fisher–Yates.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut parent = vec![INVALID_NODE; n];
+    for v in 0..n {
+        if let Some(p) = tree.parent(v as NodeId) {
+            parent[perm[v] as usize] = perm[p as usize];
+        }
+    }
+    Tree::from_parent_array(parent, perm[tree.root() as usize])
+        .expect("permutation preserves tree structure")
+}
+
+/// Uniform random query pairs over `[0, n)²` (§3.2: "we sample queries
+/// uniformly at random from \[n\] × \[n\]").
+pub fn random_queries(n: usize, q: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..q)
+        .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+        .collect()
+}
+
+/// Average node depth of a tree — the x-axis of Figure 5. O(n).
+pub fn average_depth(tree: &Tree) -> f64 {
+    let n = tree.num_nodes();
+    let mut level = vec![u32::MAX; n];
+    level[tree.root() as usize] = 0;
+    let mut path = Vec::new();
+    let mut total = 0u64;
+    for start in 0..n {
+        let mut v = start;
+        while level[v] == u32::MAX {
+            path.push(v);
+            v = tree.parent(v as NodeId).expect("non-root has parent") as usize;
+        }
+        let mut d = level[v];
+        while let Some(u) = path.pop() {
+            d += 1;
+            level[u] = d;
+        }
+        total += level[start] as u64;
+    }
+    total as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_tree(1000, Some(50), 7);
+        let b = random_tree(1000, Some(50), 7);
+        let c = random_tree(1000, Some(50), 8);
+        assert_eq!(a.parent_slice(), b.parent_slice());
+        assert_ne!(a.parent_slice(), c.parent_slice());
+    }
+
+    #[test]
+    fn grasp_one_is_a_path() {
+        let tree = random_tree(500, Some(1), 3);
+        // A path has exactly two degree-1 nodes and the rest degree 2;
+        // equivalently max depth = n-1.
+        assert_eq!(average_depth(&tree), (0..500).sum::<usize>() as f64 / 500.0);
+    }
+
+    #[test]
+    fn shallow_trees_have_log_depth() {
+        let n = 100_000;
+        let tree = random_tree(n, None, 11);
+        let avg = average_depth(&tree);
+        let ln_n = (n as f64).ln();
+        assert!(
+            (avg - ln_n).abs() < 0.35 * ln_n,
+            "avg depth {avg:.2} should be near ln n = {ln_n:.2}"
+        );
+    }
+
+    #[test]
+    fn grasp_controls_depth() {
+        let n = 50_000;
+        let gamma = 100u64;
+        let tree = random_tree(n, Some(gamma), 13);
+        let avg = average_depth(&tree);
+        let expect = n as f64 / (gamma as f64 + 1.0);
+        assert!(
+            avg > 0.5 * expect && avg < 2.0 * expect,
+            "avg depth {avg:.1} should be near n/(γ+1) = {expect:.1}"
+        );
+    }
+
+    #[test]
+    fn permutation_preserves_shape() {
+        let tree = random_tree(2000, None, 5);
+        let permuted = permute_labels(&tree, 99);
+        // Depth multiset must be identical.
+        let mut d1: Vec<usize> = (0..2000).map(|v| tree.depth_of(v as u32)).collect();
+        let mut d2: Vec<usize> = (0..2000).map(|v| permuted.depth_of(v as u32)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn queries_in_range_and_deterministic() {
+        let q1 = random_queries(100, 1000, 4);
+        let q2 = random_queries(100, 1000, 4);
+        assert_eq!(q1, q2);
+        assert!(q1.iter().all(|&(x, y)| x < 100 && y < 100));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let tree = random_tree(1, None, 1);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(average_depth(&tree), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Online batched-query driving (paper §3.3, "Batch Size" experiment /
+//! Figure 6).
+//!
+//! The Inlabel algorithms work online: preprocess once, then answer query
+//! batches as they arrive. [`BatchRunner`] feeds a query stream to an
+//! algorithm in fixed-size batches and reports the aggregate throughput,
+//! which is what Figure 6 plots against the batch size.
+
+use crate::LcaAlgorithm;
+use std::time::{Duration, Instant};
+
+/// Drives an [`LcaAlgorithm`] with a stream of queries split into batches.
+pub struct BatchRunner<'a> {
+    algorithm: &'a dyn LcaAlgorithm,
+}
+
+/// Result of a batched run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchReport {
+    /// Total queries answered.
+    pub queries: usize,
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Total wall-clock time across all batches.
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Queries answered per second.
+    pub fn throughput(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+impl<'a> BatchRunner<'a> {
+    /// Wraps an algorithm.
+    pub fn new(algorithm: &'a dyn LcaAlgorithm) -> Self {
+        Self { algorithm }
+    }
+
+    /// Answers `queries` in batches of `batch_size`, writing into `out`,
+    /// and reports the timing.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0` or `out.len() != queries.len()`.
+    pub fn run(&self, queries: &[(u32, u32)], out: &mut [u32], batch_size: usize) -> BatchReport {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        let start = Instant::now();
+        for (q_chunk, o_chunk) in queries.chunks(batch_size).zip(out.chunks_mut(batch_size)) {
+            self.algorithm.query_batch(q_chunk, o_chunk);
+        }
+        BatchReport {
+            queries: queries.len(),
+            batch_size,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SequentialInlabelLca;
+    use graph_core::ids::INVALID_NODE;
+    use graph_core::Tree;
+
+    fn fixture() -> (SequentialInlabelLca, Vec<(u32, u32)>) {
+        let n = 1000usize;
+        let mut parents = vec![INVALID_NODE; n];
+        let mut state = 3u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for v in 1..n {
+            parents[v] = (step() % v as u64) as u32;
+        }
+        let tree = Tree::from_parent_array(parents, 0).unwrap();
+        let lca = SequentialInlabelLca::preprocess(&tree);
+        let queries: Vec<(u32, u32)> = (0..5000)
+            .map(|_| ((step() % 1000) as u32, (step() % 1000) as u32))
+            .collect();
+        (lca, queries)
+    }
+
+    #[test]
+    fn batching_does_not_change_answers() {
+        let (lca, queries) = fixture();
+        let mut all_at_once = vec![0u32; queries.len()];
+        lca.query_batch(&queries, &mut all_at_once);
+        for batch_size in [1usize, 7, 100, 4999, 5000, 10_000] {
+            let mut out = vec![0u32; queries.len()];
+            let report = BatchRunner::new(&lca).run(&queries, &mut out, batch_size);
+            assert_eq!(out, all_at_once, "batch_size={batch_size}");
+            assert_eq!(report.queries, queries.len());
+            assert!(report.throughput() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let (lca, queries) = fixture();
+        let mut out = vec![0u32; queries.len()];
+        let _ = BatchRunner::new(&lca).run(&queries, &mut out, 0);
+    }
+}

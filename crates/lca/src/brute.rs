@@ -1,0 +1,95 @@
+//! Brute-force LCA oracle for tests: O(depth) per query, no preprocessing
+//! beyond levels.
+
+use crate::LcaAlgorithm;
+use graph_core::ids::NodeId;
+use graph_core::Tree;
+
+/// Reference LCA by parent walking. Not an experimental subject — the
+/// ground truth the property tests compare everything against.
+#[derive(Debug, Clone)]
+pub struct BruteLca {
+    parent: Vec<NodeId>,
+    level: Vec<u32>,
+}
+
+impl BruteLca {
+    /// Builds the oracle (sequential level computation).
+    pub fn preprocess(tree: &Tree) -> Self {
+        let n = tree.num_nodes();
+        let parent = tree.parent_slice().to_vec();
+        // Levels via memoized walking (iterative, amortized O(n)).
+        let mut level = vec![u32::MAX; n];
+        level[tree.root() as usize] = 0;
+        let mut path = Vec::new();
+        for start in 0..n {
+            let mut v = start;
+            while level[v] == u32::MAX {
+                path.push(v);
+                v = parent[v] as usize;
+            }
+            let mut d = level[v];
+            while let Some(u) = path.pop() {
+                d += 1;
+                level[u] = d;
+            }
+        }
+        Self { parent, level }
+    }
+
+    /// Node levels (root = 0).
+    pub fn levels(&self) -> &[u32] {
+        &self.level
+    }
+}
+
+impl LcaAlgorithm for BruteLca {
+    fn name(&self) -> &'static str {
+        "Brute force (oracle)"
+    }
+
+    fn query_batch(&self, queries: &[(u32, u32)], out: &mut [u32]) {
+        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        for (slot, &(mut x, mut y)) in out.iter_mut().zip(queries) {
+            while self.level[x as usize] > self.level[y as usize] {
+                x = self.parent[x as usize];
+            }
+            while self.level[y as usize] > self.level[x as usize] {
+                y = self.parent[y as usize];
+            }
+            while x != y {
+                x = self.parent[x as usize];
+                y = self.parent[y as usize];
+            }
+            *slot = x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_core::ids::INVALID_NODE;
+
+    #[test]
+    fn paper_tree() {
+        let tree = Tree::from_parent_array(vec![INVALID_NODE, 2, 0, 0, 0, 2], 0).unwrap();
+        let lca = BruteLca::preprocess(&tree);
+        assert_eq!(lca.query(1, 5), 2);
+        assert_eq!(lca.query(3, 4), 0);
+        assert_eq!(lca.query(0, 5), 0);
+        assert_eq!(lca.levels(), &[0, 2, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn deep_path_levels() {
+        let n = 200_000;
+        let mut parents = vec![INVALID_NODE; n];
+        for v in 1..n {
+            parents[v] = v as u32 - 1;
+        }
+        let tree = Tree::from_parent_array(parents, 0).unwrap();
+        let lca = BruteLca::preprocess(&tree);
+        assert_eq!(lca.levels()[n - 1], n as u32 - 1);
+    }
+}

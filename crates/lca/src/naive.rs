@@ -1,0 +1,241 @@
+//! The naïve GPU LCA algorithm of Martins et al. (paper §3.1, \[38\]).
+//!
+//! Preprocessing computes only node levels, by pointer doubling with the
+//! paper's optimization of **five jumps per global synchronization**
+//! (O(n log n) work — "not theoretically optimal, but never a bottleneck").
+//! Each query walks the two nodes up to a common level and then in lockstep
+//! to their meeting point: O(distance(x, y)) per query, which is why this
+//! algorithm collapses on deep trees (Figures 3d and 5).
+
+use crate::LcaAlgorithm;
+use gpu_sim::{Device, PhaseTimer};
+use graph_core::ids::NodeId;
+use graph_core::Tree;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many pointer jumps each virtual thread performs per kernel launch —
+/// the paper found 5 "empirically proves to be faster than synchronizing
+/// after each parallel pointer jump".
+const JUMPS_PER_SYNC: usize = 5;
+
+/// Naïve GPU LCA: level preprocessing + per-query upward walks.
+pub struct NaiveGpuLca<'d> {
+    device: &'d Device,
+    parent: Vec<NodeId>,
+    level: Vec<u32>,
+}
+
+impl<'d> NaiveGpuLca<'d> {
+    /// Preprocesses the tree (levels only) with the paper's default of
+    /// five jumps per synchronization. Records the `lca.naive_levels`
+    /// phase in the device metrics.
+    pub fn preprocess(device: &'d Device, tree: &Tree) -> Self {
+        Self::preprocess_with_jumps(device, tree, JUMPS_PER_SYNC)
+    }
+
+    /// Preprocesses with an explicit jumps-per-sync count — the ablation
+    /// knob for the paper's "five jumps before synchronizing" optimization
+    /// (`jumps = 1` recovers plain synchronous pointer doubling).
+    ///
+    /// # Panics
+    /// Panics if `jumps == 0`.
+    pub fn preprocess_with_jumps(device: &'d Device, tree: &Tree, jumps: usize) -> Self {
+        assert!(jumps > 0, "at least one jump per round required");
+        let _t = PhaseTimer::new(device.metrics(), "lca.naive_levels");
+        let n = tree.num_nodes();
+        let parent = tree.parent_slice().to_vec();
+        let root = tree.root();
+
+        // (ancestor, distance) packed in one u64 so racy five-jump rounds
+        // read internally consistent pairs — the CUDA code gets the same
+        // effect from naturally atomic 64-bit loads.
+        let cells: Vec<AtomicU64> = (0..n)
+            .map(|v| {
+                let (anc, dist) = if v as NodeId == root {
+                    (root, 0u32)
+                } else {
+                    (parent[v], 1u32)
+                };
+                AtomicU64::new(pack(anc, dist))
+            })
+            .collect();
+
+        // Distances grow at least (jumps + 1)× per round (each read adds at
+        // least the round-start minimum), so ⌈log₂ n⌉ + 2 rounds are a safe
+        // upper bound for any jumps ≥ 1; the `done` flag exits far earlier.
+        let rounds_bound = (usize::BITS - n.leading_zeros()) as usize + 2;
+        for _ in 0..rounds_bound {
+            let done = AtomicU64::new(1);
+            let cells_ref = &cells;
+            let done_ref = &done;
+            device.for_each(n, |v| {
+                let mut cur = cells_ref[v].load(Ordering::Relaxed);
+                for _ in 0..jumps {
+                    let (anc, dist) = unpack(cur);
+                    if anc == root {
+                        break;
+                    }
+                    let (anc2, dist2) = unpack(cells_ref[anc as usize].load(Ordering::Relaxed));
+                    cur = pack(anc2, dist + dist2);
+                }
+                cells_ref[v].store(cur, Ordering::Relaxed);
+                if unpack(cur).0 != root {
+                    done_ref.store(0, Ordering::Relaxed);
+                }
+            });
+            if done.load(Ordering::Relaxed) == 1 {
+                break;
+            }
+        }
+
+        let level: Vec<u32> = cells
+            .iter()
+            .map(|c| unpack(c.load(Ordering::Relaxed)).1)
+            .collect();
+        Self {
+            device,
+            parent,
+            level,
+        }
+    }
+
+    /// The computed levels (exposed for tests and the hybrid bridge
+    /// algorithm).
+    pub fn levels(&self) -> &[u32] {
+        &self.level
+    }
+
+    #[inline]
+    fn walk(&self, mut x: NodeId, mut y: NodeId) -> NodeId {
+        // Lift the deeper endpoint.
+        while self.level[x as usize] > self.level[y as usize] {
+            x = self.parent[x as usize];
+        }
+        while self.level[y as usize] > self.level[x as usize] {
+            y = self.parent[y as usize];
+        }
+        // Lockstep to the meeting point.
+        while x != y {
+            x = self.parent[x as usize];
+            y = self.parent[y as usize];
+        }
+        x
+    }
+}
+
+#[inline]
+fn pack(anc: NodeId, dist: u32) -> u64 {
+    ((anc as u64) << 32) | dist as u64
+}
+
+#[inline]
+fn unpack(cell: u64) -> (NodeId, u32) {
+    ((cell >> 32) as NodeId, cell as u32)
+}
+
+impl LcaAlgorithm for NaiveGpuLca<'_> {
+    fn name(&self) -> &'static str {
+        "GPU Naive"
+    }
+
+    fn query_batch(&self, queries: &[(u32, u32)], out: &mut [u32]) {
+        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        self.device.map(out, |q| {
+            let (x, y) = queries[q];
+            self.walk(x, y)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SequentialInlabelLca;
+    use graph_core::ids::INVALID_NODE;
+
+    fn random_tree(n: usize, seed: u64) -> Tree {
+        let mut state = seed;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut parents = vec![INVALID_NODE; n];
+        for v in 1..n {
+            parents[v] = (step() % v as u64) as u32;
+        }
+        Tree::from_parent_array(parents, 0).unwrap()
+    }
+
+    #[test]
+    fn levels_match_tree_depths() {
+        let device = Device::new();
+        let tree = random_tree(10_000, 3);
+        let naive = NaiveGpuLca::preprocess(&device, &tree);
+        for v in (0..10_000).step_by(97) {
+            assert_eq!(naive.levels()[v] as usize, tree.depth_of(v as u32));
+        }
+    }
+
+    #[test]
+    fn levels_on_deep_path() {
+        let device = Device::new();
+        let n = 100_000;
+        let mut parents = vec![INVALID_NODE; n];
+        for v in 1..n {
+            parents[v] = v as u32 - 1;
+        }
+        let tree = Tree::from_parent_array(parents, 0).unwrap();
+        let naive = NaiveGpuLca::preprocess(&device, &tree);
+        assert_eq!(naive.levels()[n - 1], n as u32 - 1);
+        assert_eq!(naive.levels()[0], 0);
+    }
+
+    #[test]
+    fn queries_match_inlabel() {
+        let device = Device::new();
+        let tree = random_tree(20_000, 8);
+        let naive = NaiveGpuLca::preprocess(&device, &tree);
+        let seq = SequentialInlabelLca::preprocess(&tree);
+
+        let mut state = 5u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let queries: Vec<(u32, u32)> = (0..10_000)
+            .map(|_| ((step() % 20_000) as u32, (step() % 20_000) as u32))
+            .collect();
+        let mut out_naive = vec![0u32; queries.len()];
+        let mut out_seq = vec![0u32; queries.len()];
+        naive.query_batch(&queries, &mut out_naive);
+        seq.query_batch(&queries, &mut out_seq);
+        assert_eq!(out_naive, out_seq);
+    }
+
+    #[test]
+    fn jumps_ablation_agrees() {
+        let device = Device::new();
+        let tree = random_tree(30_000, 17);
+        let five = NaiveGpuLca::preprocess(&device, &tree);
+        for jumps in [1usize, 2, 5, 16] {
+            let alt = NaiveGpuLca::preprocess_with_jumps(&device, &tree, jumps);
+            assert_eq!(alt.levels(), five.levels(), "jumps={jumps}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one jump")]
+    fn zero_jumps_rejected() {
+        let device = Device::new();
+        let tree = random_tree(10, 1);
+        let _ = NaiveGpuLca::preprocess_with_jumps(&device, &tree, 0);
+    }
+
+    #[test]
+    fn single_node() {
+        let device = Device::new();
+        let tree = Tree::from_parent_array(vec![INVALID_NODE], 0).unwrap();
+        let naive = NaiveGpuLca::preprocess(&device, &tree);
+        assert_eq!(naive.query(0, 0), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Tarjan's offline LCA — the classical answer to the batching question of
+//! the paper's Figure 6.
+//!
+//! The paper's §3.3 "Batch Size" experiment studies *online* algorithms
+//! fed queries in batches: preprocessing happens before any query is
+//! known. When the entire query set is available up front there is a
+//! third design point the paper does not evaluate: Tarjan's offline
+//! algorithm answers all q queries in a single DFS with a union-find —
+//! O((n + q)·α(n)) total, no per-query tables at all. It is inherently
+//! sequential (one DFS), so it bounds what a *single core with full
+//! knowledge* can do: the break-even against parallel online algorithms
+//! is exactly what `--bin fig6` reports as the offline reference line.
+
+use graph_core::ids::NodeId;
+use graph_core::Tree;
+
+/// Union-find with path halving and union by rank.
+struct Dsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// The answer-carrying node of each set: the subtree root whose DFS is
+    /// currently open (the "ancestor" array of Tarjan's algorithm).
+    ancestor: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            ancestor: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut v: u32) -> u32 {
+        loop {
+            let p = self.parent[v as usize];
+            if p == v {
+                return v;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+    }
+
+    /// Unions the sets of `child` and `into`, keeping `anc` as the set's
+    /// ancestor marker.
+    fn union(&mut self, child: u32, into: u32, anc: u32) {
+        let (a, b) = (self.find(child), self.find(into));
+        if a == b {
+            return;
+        }
+        let root = match self.rank[a as usize].cmp(&self.rank[b as usize]) {
+            std::cmp::Ordering::Less => {
+                self.parent[a as usize] = b;
+                b
+            }
+            std::cmp::Ordering::Greater => {
+                self.parent[b as usize] = a;
+                a
+            }
+            std::cmp::Ordering::Equal => {
+                self.parent[a as usize] = b;
+                self.rank[b as usize] += 1;
+                b
+            }
+        };
+        self.ancestor[root as usize] = anc;
+    }
+}
+
+/// Answers all `queries` with Tarjan's offline algorithm: one iterative
+/// DFS over `tree`, a union-find, and per-node query buckets.
+///
+/// # Panics
+/// Panics if a query endpoint is out of range.
+pub fn offline_tarjan_lca(tree: &Tree, queries: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+    let n = tree.num_nodes();
+    let q = queries.len();
+
+    // Children adjacency.
+    let mut child_count = vec![0u32; n];
+    for v in 0..n as u32 {
+        if let Some(p) = tree.parent(v) {
+            child_count[p as usize] += 1;
+        }
+    }
+    let mut child_off = vec![0u32; n + 1];
+    for v in 0..n {
+        child_off[v + 1] = child_off[v] + child_count[v];
+    }
+    let mut cursor = child_off.clone();
+    let mut children = vec![0u32; n.saturating_sub(1)];
+    for v in 0..n as u32 {
+        if let Some(p) = tree.parent(v) {
+            children[cursor[p as usize] as usize] = v;
+            cursor[p as usize] += 1;
+        }
+    }
+
+    // Query buckets: each query hangs off both endpoints (CSR-style).
+    let mut qcount = vec![0u32; n];
+    for &(x, y) in queries {
+        assert!((x as usize) < n && (y as usize) < n, "query out of range");
+        qcount[x as usize] += 1;
+        qcount[y as usize] += 1;
+    }
+    let mut qoff = vec![0u32; n + 1];
+    for v in 0..n {
+        qoff[v + 1] = qoff[v] + qcount[v];
+    }
+    let mut qcursor = qoff.clone();
+    let mut qids = vec![0u32; 2 * q];
+    for (i, &(x, y)) in queries.iter().enumerate() {
+        for v in [x, y] {
+            qids[qcursor[v as usize] as usize] = i as u32;
+            qcursor[v as usize] += 1;
+        }
+    }
+
+    let mut dsu = Dsu::new(n);
+    let mut visited = vec![false; n];
+    let mut closed = vec![false; n];
+    let mut answers = vec![0u32; q];
+
+    // Iterative post-order DFS: (node, next-child index).
+    let mut stack: Vec<(u32, u32)> = vec![(tree.root(), 0)];
+    while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+        if *ci == 0 {
+            visited[v as usize] = true;
+            // Resolve queries whose partner's subtree is already closed
+            // (or whose partner is an open ancestor — then find() is that
+            // ancestor itself).
+            for &qi in &qids[qoff[v as usize] as usize..qoff[v as usize + 1] as usize] {
+                let (x, y) = queries[qi as usize];
+                let other = if x == v { y } else { x };
+                if other == v {
+                    answers[qi as usize] = v;
+                } else if closed[other as usize] || visited[other as usize] {
+                    let root = dsu.find(other);
+                    answers[qi as usize] = dsu.ancestor[root as usize];
+                }
+            }
+        }
+        let s = child_off[v as usize];
+        let e = child_off[v as usize + 1];
+        if s + *ci < e {
+            let c = children[(s + *ci) as usize];
+            *ci += 1;
+            stack.push((c, 0));
+        } else {
+            stack.pop();
+            closed[v as usize] = true;
+            if let Some(&(p, _)) = stack.last() {
+                dsu.union(v, p, p);
+            }
+        }
+    }
+    answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SequentialInlabelLca;
+    use crate::LcaAlgorithm;
+    use graph_core::ids::INVALID_NODE;
+
+    fn random_tree(n: usize, seed: u64) -> Tree {
+        let mut state = seed;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut parents = vec![INVALID_NODE; n];
+        for v in 1..n {
+            parents[v] = (step() % v as u64) as u32;
+        }
+        Tree::from_parent_array(parents, 0).unwrap()
+    }
+
+    #[test]
+    fn matches_inlabel_on_random_trees() {
+        for (n, seed) in [(2usize, 5u64), (30, 6), (1000, 7), (10_000, 8)] {
+            let tree = random_tree(n, seed);
+            let oracle = SequentialInlabelLca::preprocess(&tree);
+            let mut state = seed + 1;
+            let mut step = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 33
+            };
+            let queries: Vec<(u32, u32)> = (0..3000)
+                .map(|_| ((step() % n as u64) as u32, (step() % n as u64) as u32))
+                .collect();
+            let got = offline_tarjan_lca(&tree, &queries);
+            let mut expect = vec![0u32; queries.len()];
+            oracle.query_batch(&queries, &mut expect);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn self_queries_and_root() {
+        let tree = random_tree(100, 9);
+        let queries = vec![(5, 5), (0, 17), (17, 0), (99, 99)];
+        let got = offline_tarjan_lca(&tree, &queries);
+        assert_eq!(got[0], 5);
+        assert_eq!(got[1], 0);
+        assert_eq!(got[2], 0);
+        assert_eq!(got[3], 99);
+    }
+
+    #[test]
+    fn path_tree_answers_are_minima() {
+        let n = 400;
+        let mut parents = vec![INVALID_NODE; n];
+        for v in 1..n {
+            parents[v] = v as u32 - 1;
+        }
+        let tree = Tree::from_parent_array(parents, 0).unwrap();
+        let queries: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        let got = offline_tarjan_lca(&tree, &queries);
+        for (i, &a) in got.iter().enumerate() {
+            assert_eq!(a, i as u32);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_symmetric_queries() {
+        let tree = random_tree(500, 10);
+        let oracle = SequentialInlabelLca::preprocess(&tree);
+        let queries = vec![(3, 400), (400, 3), (3, 400), (123, 321)];
+        let got = offline_tarjan_lca(&tree, &queries);
+        assert_eq!(got[0], got[1]);
+        assert_eq!(got[0], got[2]);
+        assert_eq!(got[0], oracle.query(3, 400));
+    }
+
+    #[test]
+    fn empty_query_set() {
+        let tree = random_tree(10, 11);
+        assert!(offline_tarjan_lca(&tree, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let tree = Tree::from_parent_array(vec![INVALID_NODE], 0).unwrap();
+        assert_eq!(offline_tarjan_lca(&tree, &[(0, 0)]), vec![0]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Tree path queries on top of LCA: distances, level ancestors, and k-th
+//! nodes on paths.
+//!
+//! The paper motivates LCA with phylogenetic distance computation \[38\] —
+//! but a distance needs more than the ancestor itself: `dist(x, y) =
+//! level(x) + level(y) − 2·level(lca(x, y))`, and applications then ask
+//! for the node *k steps along* the path. This module packages those
+//! queries: Euler-tour preprocessing supplies levels, the Inlabel tables
+//! give O(1) LCA, and a device-built jump-pointer table (the same
+//! pointer-doubling idea the naïve algorithm's preprocessing uses, kept
+//! this time) answers k-th-ancestor in O(log n).
+
+use crate::inlabel::InlabelTables;
+use euler_tour::{EulerTour, TourError, TreeStats};
+use gpu_sim::Device;
+use graph_core::ids::{NodeId, INVALID_NODE};
+use graph_core::Tree;
+
+/// Preprocessed structure for LCA, distance and path-position queries.
+pub struct TreePaths<'d> {
+    device: &'d Device,
+    tables: InlabelTables,
+    level: Vec<u32>,
+    /// `up[k][v]` = the `2^k`-th ancestor of `v` (`INVALID_NODE` if none).
+    up: Vec<Vec<NodeId>>,
+}
+
+impl<'d> TreePaths<'d> {
+    /// Preprocesses `tree` on the device: Euler tour statistics, Inlabel
+    /// tables, and `⌈log₂(depth)⌉ + 1` jump-pointer levels.
+    ///
+    /// # Errors
+    /// Propagates [`TourError`] from the Euler tour construction.
+    pub fn preprocess(device: &'d Device, tree: &Tree) -> Result<Self, TourError> {
+        let tour = EulerTour::build(device, tree)?;
+        let stats = TreeStats::compute(device, &tour);
+        let tables = InlabelTables::from_stats_device(device, &stats);
+        let n = stats.preorder.len();
+        let max_level = stats.level.iter().copied().max().unwrap_or(0);
+        let levels = if max_level == 0 {
+            1
+        } else {
+            (u32::BITS - max_level.leading_zeros()) as usize + 1
+        };
+        let mut up: Vec<Vec<NodeId>> = Vec::with_capacity(levels);
+        up.push(stats.parent.clone());
+        for k in 1..levels {
+            let prev = &up[k - 1];
+            let row = device.alloc_map(n, |v| {
+                let half = prev[v];
+                if half == INVALID_NODE {
+                    INVALID_NODE
+                } else {
+                    prev[half as usize]
+                }
+            });
+            up.push(row);
+        }
+        Ok(Self {
+            device,
+            tables,
+            level: stats.level,
+            up,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Depth of `v` (root = 0).
+    pub fn level(&self, v: NodeId) -> u32 {
+        self.level[v as usize]
+    }
+
+    /// O(1) lowest common ancestor.
+    pub fn lca(&self, x: NodeId, y: NodeId) -> NodeId {
+        self.tables.query(x, y)
+    }
+
+    /// Number of edges on the `x`–`y` path.
+    pub fn distance(&self, x: NodeId, y: NodeId) -> u32 {
+        let l = self.lca(x, y);
+        self.level[x as usize] + self.level[y as usize] - 2 * self.level[l as usize]
+    }
+
+    /// The ancestor `k` levels above `v`, or `None` when `k > level(v)`.
+    pub fn kth_ancestor(&self, v: NodeId, k: u32) -> Option<NodeId> {
+        if k > self.level[v as usize] {
+            return None;
+        }
+        let mut cur = v;
+        let mut remaining = k;
+        let mut bit = 0;
+        while remaining > 0 {
+            if remaining & 1 == 1 {
+                cur = self.up[bit][cur as usize];
+                debug_assert_ne!(cur, INVALID_NODE);
+            }
+            remaining >>= 1;
+            bit += 1;
+        }
+        Some(cur)
+    }
+
+    /// Whether `a` is an ancestor of `v` (every node is its own ancestor).
+    pub fn is_ancestor(&self, a: NodeId, v: NodeId) -> bool {
+        let (la, lv) = (self.level[a as usize], self.level[v as usize]);
+        la <= lv && self.kth_ancestor(v, lv - la) == Some(a)
+    }
+
+    /// The `k`-th node on the path from `x` to `y` (`k = 0` is `x`, `k =
+    /// distance(x, y)` is `y`), or `None` when `k` exceeds the path length.
+    pub fn kth_on_path(&self, x: NodeId, y: NodeId, k: u32) -> Option<NodeId> {
+        let l = self.lca(x, y);
+        let up_len = self.level[x as usize] - self.level[l as usize];
+        let down_len = self.level[y as usize] - self.level[l as usize];
+        if k > up_len + down_len {
+            return None;
+        }
+        if k <= up_len {
+            self.kth_ancestor(x, k)
+        } else {
+            self.kth_ancestor(y, up_len + down_len - k)
+        }
+    }
+
+    /// Batched distances, one device thread per query.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len()`.
+    pub fn distance_batch(&self, queries: &[(NodeId, NodeId)], out: &mut [u32]) {
+        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        let tables = &self.tables;
+        let level = &self.level;
+        self.device.map(out, |i| {
+            let (x, y) = queries[i];
+            let l = tables.query(x, y);
+            level[x as usize] + level[y as usize] - 2 * level[l as usize]
+        });
+    }
+
+    /// The full node sequence of the `x`–`y` path (O(path length)).
+    pub fn path(&self, x: NodeId, y: NodeId) -> Vec<NodeId> {
+        let l = self.lca(x, y);
+        let mut front = Vec::new();
+        let mut cur = x;
+        while cur != l {
+            front.push(cur);
+            cur = self.up[0][cur as usize];
+        }
+        front.push(l);
+        let mut back = Vec::new();
+        let mut cur = y;
+        while cur != l {
+            back.push(cur);
+            cur = self.up[0][cur as usize];
+        }
+        front.extend(back.into_iter().rev());
+        front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_tree(n: usize, seed: u64) -> Tree {
+        let mut state = seed;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut parents = vec![INVALID_NODE; n];
+        for v in 1..n {
+            parents[v] = (step() % v as u64) as u32;
+        }
+        Tree::from_parent_array(parents, 0).unwrap()
+    }
+
+    /// Oracle: path via parent walks and marking.
+    fn brute_path(tree: &Tree, x: u32, y: u32) -> Vec<u32> {
+        let to_root = |mut v: u32| {
+            let mut p = vec![v];
+            while let Some(q) = tree.parent(v) {
+                p.push(q);
+                v = q;
+            }
+            p
+        };
+        let px = to_root(x);
+        let py = to_root(y);
+        // Find the first common node.
+        let set: std::collections::HashSet<u32> = py.iter().copied().collect();
+        let mut front = Vec::new();
+        let mut meet = 0;
+        for &v in &px {
+            front.push(v);
+            if set.contains(&v) {
+                meet = v;
+                break;
+            }
+        }
+        let tail: Vec<u32> = py.iter().copied().take_while(|&v| v != meet).collect();
+        front.extend(tail.into_iter().rev());
+        front
+    }
+
+    #[test]
+    fn distances_and_paths_match_brute_force() {
+        let device = Device::new();
+        for (n, seed) in [(2usize, 1u64), (30, 2), (1000, 3)] {
+            let tree = random_tree(n, seed);
+            let paths = TreePaths::preprocess(&device, &tree).unwrap();
+            let mut state = seed + 7;
+            let mut step = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 33
+            };
+            for _ in 0..300 {
+                let x = (step() % n as u64) as u32;
+                let y = (step() % n as u64) as u32;
+                let expect = brute_path(&tree, x, y);
+                assert_eq!(paths.distance(x, y) as usize, expect.len() - 1, "({x},{y})");
+                assert_eq!(paths.path(x, y), expect, "({x},{y})");
+                // Every position on the path is found by kth_on_path.
+                for (k, &node) in expect.iter().enumerate() {
+                    assert_eq!(paths.kth_on_path(x, y, k as u32), Some(node));
+                }
+                assert_eq!(paths.kth_on_path(x, y, expect.len() as u32), None);
+            }
+        }
+    }
+
+    #[test]
+    fn kth_ancestor_walks_parents() {
+        let device = Device::new();
+        let tree = random_tree(500, 11);
+        let paths = TreePaths::preprocess(&device, &tree).unwrap();
+        for v in (0..500u32).step_by(13) {
+            let mut cur = Some(v);
+            let mut k = 0;
+            while let Some(c) = cur {
+                assert_eq!(paths.kth_ancestor(v, k), Some(c));
+                cur = tree.parent(c);
+                k += 1;
+            }
+            assert_eq!(paths.kth_ancestor(v, k), None);
+        }
+    }
+
+    #[test]
+    fn is_ancestor_consistency() {
+        let device = Device::new();
+        let tree = random_tree(300, 13);
+        let paths = TreePaths::preprocess(&device, &tree).unwrap();
+        for v in 0..300u32 {
+            assert!(paths.is_ancestor(0, v), "root above all");
+            assert!(paths.is_ancestor(v, v), "self-ancestor");
+            if let Some(p) = tree.parent(v) {
+                assert!(paths.is_ancestor(p, v));
+                assert!(!paths.is_ancestor(v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_batch_matches_scalar() {
+        let device = Device::new();
+        let n = 4000;
+        let tree = random_tree(n, 17);
+        let paths = TreePaths::preprocess(&device, &tree).unwrap();
+        let queries: Vec<(u32, u32)> = (0..5000u64)
+            .map(|i| {
+                let a = (i.wrapping_mul(2654435761) % n as u64) as u32;
+                let b = (i.wrapping_mul(40503) % n as u64) as u32;
+                (a, b)
+            })
+            .collect();
+        let mut batch = vec![0u32; queries.len()];
+        paths.distance_batch(&queries, &mut batch);
+        for (i, &(x, y)) in queries.iter().enumerate() {
+            assert_eq!(batch[i], paths.distance(x, y));
+        }
+    }
+
+    #[test]
+    fn path_tree_geometry() {
+        let device = Device::new();
+        let n = 200;
+        let mut parents = vec![INVALID_NODE; n];
+        for v in 1..n {
+            parents[v] = v as u32 - 1;
+        }
+        let tree = Tree::from_parent_array(parents, 0).unwrap();
+        let paths = TreePaths::preprocess(&device, &tree).unwrap();
+        assert_eq!(paths.distance(0, 199), 199);
+        assert_eq!(paths.distance(50, 150), 100);
+        assert_eq!(paths.kth_on_path(50, 150, 0), Some(50));
+        // The path from 50 to 150 runs through their LCA (node 50) then
+        // descends: position k is node 50 + k.
+        assert_eq!(paths.kth_on_path(50, 150, 60), Some(110));
+        assert_eq!(paths.lca(50, 150), 50);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let device = Device::new();
+        let tree = Tree::from_parent_array(vec![INVALID_NODE], 0).unwrap();
+        let paths = TreePaths::preprocess(&device, &tree).unwrap();
+        assert_eq!(paths.distance(0, 0), 0);
+        assert_eq!(paths.path(0, 0), vec![0]);
+        assert_eq!(paths.kth_ancestor(0, 0), Some(0));
+        assert_eq!(paths.kth_ancestor(0, 1), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Single-core CPU Inlabel — the paper's sequential baseline.
+
+use crate::inlabel::InlabelTables;
+use crate::LcaAlgorithm;
+use euler_tour::cpu::sequential_stats;
+use graph_core::Tree;
+
+/// Sequential Schieber–Vishkin LCA: iterative-DFS preprocessing, one query
+/// at a time.
+#[derive(Debug, Clone)]
+pub struct SequentialInlabelLca {
+    tables: InlabelTables,
+}
+
+impl SequentialInlabelLca {
+    /// Preprocesses `tree` on a single core.
+    pub fn preprocess(tree: &Tree) -> Self {
+        let stats = sequential_stats(tree);
+        Self {
+            tables: InlabelTables::from_stats_seq(&stats),
+        }
+    }
+
+    /// The underlying tables.
+    pub fn tables(&self) -> &InlabelTables {
+        &self.tables
+    }
+}
+
+impl LcaAlgorithm for SequentialInlabelLca {
+    fn name(&self) -> &'static str {
+        "Single-core CPU Inlabel"
+    }
+
+    fn query_batch(&self, queries: &[(u32, u32)], out: &mut [u32]) {
+        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        for (slot, &(x, y)) in out.iter_mut().zip(queries) {
+            *slot = self.tables.query(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LcaAlgorithm;
+    use graph_core::ids::INVALID_NODE;
+
+    #[test]
+    fn paper_tree_queries() {
+        let tree = Tree::from_parent_array(vec![INVALID_NODE, 2, 0, 0, 0, 2], 0).unwrap();
+        let lca = SequentialInlabelLca::preprocess(&tree);
+        assert_eq!(lca.query(1, 5), 2);
+        assert_eq!(lca.query(1, 2), 2);
+        assert_eq!(lca.query(3, 4), 0);
+        assert_eq!(lca.query(1, 4), 0);
+        assert_eq!(lca.query(5, 5), 5);
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let tree = Tree::from_parent_array(vec![INVALID_NODE, 0, 0, 1, 1, 2, 2, 3], 0).unwrap();
+        let lca = SequentialInlabelLca::preprocess(&tree);
+        let queries: Vec<(u32, u32)> = (0..8u32).flat_map(|x| (0..8u32).map(move |y| (x, y))).collect();
+        let mut out = vec![0u32; queries.len()];
+        lca.query_batch(&queries, &mut out);
+        for (i, &(x, y)) in queries.iter().enumerate() {
+            assert_eq!(out[i], lca.query(x, y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_output_panics() {
+        let tree = Tree::from_parent_array(vec![INVALID_NODE, 0], 0).unwrap();
+        let lca = SequentialInlabelLca::preprocess(&tree);
+        let mut out = vec![0u32; 1];
+        lca.query_batch(&[(0, 1), (1, 1)], &mut out);
+    }
+}

@@ -1,0 +1,92 @@
+//! Dynamic connectivity over a day of network maintenance: Euler-tour
+//! trees under link/cut, the dynamic side of the paper's core technique
+//! (Tarjan, reference [57]).
+//!
+//! A service provider takes backbone links down for maintenance and brings
+//! them back up; between events, operations asks "are these two sites on
+//! the same island?" and "how much traffic capacity does this island have?"
+//! — exactly `connected` and `component_sum` on a spanning forest.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_trees
+//! ```
+
+use euler_meets_gpu::euler_tour::EulerTourForest;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let sites = 100_000usize;
+    let mut forest = EulerTourForest::new(sites);
+    let mut rng = 0xD1A5u64;
+
+    // Each site carries its capacity (Gbit/s); a random backbone tree.
+    for v in 0..sites as u32 {
+        forest.set_value(v, 1 + (splitmix(&mut rng) % 100) as i64);
+    }
+    let mut links: Vec<(u32, u32)> = Vec::with_capacity(sites - 1);
+    for v in 1..sites as u64 {
+        let p = (splitmix(&mut rng) % v) as u32;
+        forest.link(p, v as u32).expect("fresh edge");
+        links.push((p, v as u32));
+    }
+    println!(
+        "backbone: {} sites, {} links, total capacity {} Gbit/s",
+        sites,
+        forest.num_edges(),
+        forest.component_sum(0)
+    );
+
+    // A maintenance day: 50k events (take a link down, query, restore).
+    let events = 50_000;
+    let mut splits_observed = 0u64;
+    let mut capacity_lost_max = 0i64;
+    let t = std::time::Instant::now();
+    for _ in 0..events {
+        let i = (splitmix(&mut rng) % links.len() as u64) as usize;
+        let (u, v) = links[i];
+        forest.cut(u, v).expect("link was up");
+        if !forest.connected(u, v) {
+            splits_observed += 1;
+            // The side of v went dark: how much capacity is stranded?
+            let stranded = forest.component_sum(v);
+            capacity_lost_max = capacity_lost_max.max(stranded);
+        }
+        forest.link(u, v).expect("restore");
+    }
+    let elapsed = t.elapsed();
+    println!(
+        "{events} maintenance events in {elapsed:.1?} ({:.0} events/s)",
+        events as f64 / elapsed.as_secs_f64()
+    );
+    println!("every cut split the tree (observed {splits_observed}/{events})");
+    println!("worst stranded capacity in one event: {capacity_lost_max} Gbit/s");
+    assert_eq!(splits_observed, events as u64, "tree edges always split");
+
+    // Rolling topology change: rewire 10k leaves to new parents, keeping
+    // everything connected — subtree_sum answers per-region capacity.
+    for _ in 0..10_000 {
+        let i = (splitmix(&mut rng) % links.len() as u64) as usize;
+        let (u, v) = links[i];
+        forest.cut(u, v).expect("up");
+        // Reattach v's island at a random site on the other island.
+        let mut w = (splitmix(&mut rng) % sites as u64) as u32;
+        while forest.connected(v, w) {
+            w = (splitmix(&mut rng) % sites as u64) as u32;
+        }
+        forest.link(v, w).expect("new edge");
+        links[i] = (v, w);
+    }
+    println!(
+        "\nafter rewiring 10k links: still one island of {} sites, capacity {} Gbit/s",
+        forest.component_size(0),
+        forest.component_sum(0)
+    );
+    assert_eq!(forest.component_size(0), sites);
+}

@@ -1,0 +1,47 @@
+//! Online LCA service: the batch-size trade-off of the paper's Figure 6.
+//!
+//! The Inlabel algorithms "can preprocess a tree without knowing the
+//! queries in advance, and then they can efficiently answer queries one by
+//! one" — but parallel hardware needs batches to reach peak throughput.
+//! This example simulates a service receiving a query stream and compares
+//! throughput across batch sizes and backends.
+//!
+//! ```sh
+//! cargo run --release --example online_lca_service
+//! ```
+
+use euler_meets_gpu::prelude::*;
+use lca::batch::BatchRunner;
+
+fn main() {
+    let device = Device::new();
+    let n = 1_000_000;
+    let tree = random_tree(n, None, 21);
+
+    let seq = SequentialInlabelLca::preprocess(&tree);
+    let par = MulticoreInlabelLca::preprocess(&device, &tree).expect("preprocess");
+    let gpu = GpuInlabelLca::preprocess(&device, &tree).expect("preprocess");
+
+    let stream = random_queries(n, 2_000_000, 22);
+    let mut out = vec![0u32; stream.len()];
+
+    println!("online LCA service over a {n}-node tree, {} queries\n", stream.len());
+    println!(
+        "{:>10} | {:>14} | {:>14} | {:>14}",
+        "batch", "seq q/s", "multicore q/s", "gpu-sim q/s"
+    );
+    for batch_size in [1usize, 10, 100, 1_000, 10_000, 100_000, 2_000_000] {
+        let r_seq = BatchRunner::new(&seq).run(&stream, &mut out, batch_size);
+        let r_par = BatchRunner::new(&par).run(&stream, &mut out, batch_size);
+        let r_gpu = BatchRunner::new(&gpu).run(&stream, &mut out, batch_size);
+        println!(
+            "{:>10} | {:>14.0} | {:>14.0} | {:>14.0}",
+            batch_size,
+            r_seq.throughput(),
+            r_par.throughput(),
+            r_gpu.throughput()
+        );
+    }
+    println!("\n(expected shape per Figure 6: parallel backends overtake the");
+    println!(" sequential one once batches reach the hundreds, then plateau)");
+}

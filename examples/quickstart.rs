@@ -1,0 +1,46 @@
+//! Quickstart: build an Euler tour, answer LCA queries, find bridges.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use euler_meets_gpu::prelude::*;
+
+fn main() {
+    // The simulated GPU device (rayon-backed; see DESIGN.md §1.1).
+    let device = Device::new();
+
+    // ---- 1. The Euler tour technique on the paper's Figure 1 tree -------
+    let tree = Tree::from_edges(6, &[(0, 2), (0, 3), (0, 4), (2, 1), (2, 5)], 0)
+        .expect("valid tree");
+    let tour = EulerTour::build(&device, &tree).expect("tour");
+    let stats = TreeStats::compute(&device, &tour);
+    println!("Euler tour of the paper's example tree (Figure 1):");
+    println!("  preorder = {:?}", stats.preorder);
+    println!("  sizes    = {:?}", stats.subtree_size);
+    println!("  levels   = {:?}", stats.level);
+
+    // ---- 2. Batched LCA on a million-node random tree -------------------
+    let n = 1_000_000;
+    let big = random_tree(n, None, 7);
+    let lca = GpuInlabelLca::preprocess(&device, &big).expect("preprocess");
+    let queries = random_queries(n, 100_000, 8);
+    let mut answers = vec![0u32; queries.len()];
+    lca.query_batch(&queries, &mut answers);
+    println!("\nLCA: answered {} queries on a {}-node tree", queries.len(), n);
+    println!("  first query ({}, {}) -> {}", queries[0].0, queries[0].1, answers[0]);
+
+    // ---- 3. Bridges of a small web-like graph ----------------------------
+    let graph = web_graph(200_000, 3, 0.5, 9);
+    let (lcc, _) = largest_connected_component(&graph);
+    let csr = Csr::from_edge_list(&lcc);
+    let result = bridges_tv(&device, &lcc, &csr).expect("connected");
+    println!(
+        "\nBridges (Tarjan–Vishkin): {} of {} edges are bridges",
+        result.num_bridges(),
+        lcc.num_edges()
+    );
+    for (phase, time) in &result.phases {
+        println!("  {phase:>16}: {time:?}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Cross-crate integration tests: full pipelines from generators through
+//! the Euler tour to the LCA and bridge algorithms.
+
+use euler_meets_gpu::prelude::*;
+use lca::batch::BatchRunner;
+
+#[test]
+fn lca_all_algorithms_agree_on_shallow_tree() {
+    let device = Device::new();
+    let n = 50_000;
+    let tree = random_tree(n, None, 1);
+    let queries = random_queries(n, 20_000, 2);
+
+    let brute = BruteLca::preprocess(&tree);
+    let mut expected = vec![0u32; queries.len()];
+    brute.query_batch(&queries, &mut expected);
+
+    let algorithms: Vec<Box<dyn LcaAlgorithm>> = vec![
+        Box::new(SequentialInlabelLca::preprocess(&tree)),
+        Box::new(MulticoreInlabelLca::preprocess(&device, &tree).unwrap()),
+        Box::new(RmqLca::preprocess(&tree)),
+    ];
+    for algo in &algorithms {
+        let mut out = vec![0u32; queries.len()];
+        algo.query_batch(&queries, &mut out);
+        assert_eq!(out, expected, "{} disagrees with brute force", algo.name());
+    }
+    // Device-borrowing algorithms checked separately (non-'static).
+    let gpu = GpuInlabelLca::preprocess(&device, &tree).unwrap();
+    let mut out = vec![0u32; queries.len()];
+    gpu.query_batch(&queries, &mut out);
+    assert_eq!(out, expected, "GPU Inlabel disagrees");
+
+    let naive = NaiveGpuLca::preprocess(&device, &tree);
+    let mut out = vec![0u32; queries.len()];
+    naive.query_batch(&queries, &mut out);
+    assert_eq!(out, expected, "GPU Naive disagrees");
+}
+
+#[test]
+fn lca_all_algorithms_agree_on_deep_tree() {
+    let device = Device::new();
+    let n = 20_000;
+    let tree = random_tree(n, Some(10), 3); // avg depth ≈ n/11
+    let queries = random_queries(n, 2_000, 4);
+
+    let brute = BruteLca::preprocess(&tree);
+    let mut expected = vec![0u32; queries.len()];
+    brute.query_batch(&queries, &mut expected);
+
+    let gpu = GpuInlabelLca::preprocess(&device, &tree).unwrap();
+    let naive = NaiveGpuLca::preprocess(&device, &tree);
+    let seq = SequentialInlabelLca::preprocess(&tree);
+
+    for (name, out) in [
+        ("gpu", {
+            let mut o = vec![0u32; queries.len()];
+            gpu.query_batch(&queries, &mut o);
+            o
+        }),
+        ("naive", {
+            let mut o = vec![0u32; queries.len()];
+            naive.query_batch(&queries, &mut o);
+            o
+        }),
+        ("seq", {
+            let mut o = vec![0u32; queries.len()];
+            seq.query_batch(&queries, &mut o);
+            o
+        }),
+    ] {
+        assert_eq!(out, expected, "{name} disagrees on deep tree");
+    }
+}
+
+#[test]
+fn lca_agreement_on_scale_free_trees() {
+    let device = Device::new();
+    let n = 30_000;
+    let tree = ba_tree(n, 5);
+    let queries = random_queries(n, 10_000, 6);
+
+    let brute = BruteLca::preprocess(&tree);
+    let mut expected = vec![0u32; queries.len()];
+    brute.query_batch(&queries, &mut expected);
+
+    let gpu = GpuInlabelLca::preprocess(&device, &tree).unwrap();
+    let mut out = vec![0u32; queries.len()];
+    gpu.query_batch(&queries, &mut out);
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn lca_batched_equals_unbatched() {
+    let device = Device::new();
+    let n = 10_000;
+    let tree = random_tree(n, None, 7);
+    let queries = random_queries(n, 5_000, 8);
+    let gpu = GpuInlabelLca::preprocess(&device, &tree).unwrap();
+
+    let mut whole = vec![0u32; queries.len()];
+    gpu.query_batch(&queries, &mut whole);
+
+    let mut batched = vec![0u32; queries.len()];
+    BatchRunner::new(&gpu).run(&queries, &mut batched, 137);
+    assert_eq!(whole, batched);
+}
+
+#[test]
+fn bridges_all_algorithms_agree_on_kronecker_lcc() {
+    let device = Device::new();
+    let raw = kronecker_graph(11, 8, 9);
+    let (graph, _) = largest_connected_component(&raw);
+    let csr = Csr::from_edge_list(&graph);
+
+    let expected = bridges_dfs(&graph, &csr).bridge_ids();
+    assert_eq!(
+        bridges_tv(&device, &graph, &csr).unwrap().bridge_ids(),
+        expected,
+        "TV"
+    );
+    assert_eq!(
+        bridges_ck_device(&device, &graph, &csr).unwrap().bridge_ids(),
+        expected,
+        "CK device"
+    );
+    assert_eq!(
+        bridges_ck_rayon(&graph, &csr).unwrap().bridge_ids(),
+        expected,
+        "CK rayon"
+    );
+    assert_eq!(
+        bridges_hybrid(&device, &graph, &csr).unwrap().bridge_ids(),
+        expected,
+        "hybrid"
+    );
+}
+
+#[test]
+fn bridges_all_algorithms_agree_on_road_lcc() {
+    let device = Device::new();
+    let raw = road_grid(120, 120, 0.62, 10);
+    let (graph, _) = largest_connected_component(&raw);
+    let csr = Csr::from_edge_list(&graph);
+
+    let expected = bridges_dfs(&graph, &csr);
+    assert!(expected.num_bridges() > 0, "road LCC should be bridge-rich");
+
+    for (name, got) in [
+        ("TV", bridges_tv(&device, &graph, &csr).unwrap()),
+        ("CK", bridges_ck_device(&device, &graph, &csr).unwrap()),
+        ("hybrid", bridges_hybrid(&device, &graph, &csr).unwrap()),
+    ] {
+        assert_eq!(got.bridge_ids(), expected.bridge_ids(), "{name}");
+    }
+}
+
+#[test]
+fn bridges_agree_on_web_graph() {
+    let device = Device::new();
+    let graph = web_graph(30_000, 3, 0.6, 11);
+    let (graph, _) = largest_connected_component(&graph);
+    let csr = Csr::from_edge_list(&graph);
+
+    let expected = bridges_dfs(&graph, &csr);
+    // Web-like graphs have a large bridge fraction (the paper's wikipedia
+    // row: 1.4M bridges / 9M edges ≈ 15%).
+    assert!(
+        expected.num_bridges() * 7 > graph.num_edges(),
+        "web graph should be bridge-rich: {} of {}",
+        expected.num_bridges(),
+        graph.num_edges()
+    );
+    let tv = bridges_tv(&device, &graph, &csr).unwrap();
+    assert_eq!(tv.bridge_ids(), expected.bridge_ids());
+}
+
+#[test]
+fn euler_tour_scales_to_millions() {
+    let device = Device::new();
+    let n = 2_000_000;
+    let tree = random_tree(n, None, 12);
+    let tour = EulerTour::build(&device, &tree).unwrap();
+    let stats = TreeStats::compute(&device, &tour);
+    stats.validate().unwrap();
+}
+
+#[test]
+fn wei_jaja_work_advantage_holds_at_scale() {
+    // The §2.2 rationale: list ranking is done once and must be the cheap
+    // O(n) kind. Building the tour with the Wei–JáJá ranker must cost
+    // measurably less device work than with Wyllie pointer jumping, whose
+    // ranking alone adds Θ(n log n).
+    let device = Device::new();
+    let n = 1 << 18;
+    let tree = random_tree(n, None, 13);
+    let edges = tree.edges();
+
+    let before = device.metrics().snapshot();
+    let _ = euler_tour::EulerTour::build_from_edges_with_ranker(
+        &device,
+        n,
+        &edges,
+        tree.root(),
+        euler_tour::Ranker::WeiJaJa,
+    )
+    .unwrap();
+    let wj = device.metrics().snapshot().since(&before);
+
+    let before = device.metrics().snapshot();
+    let _ = euler_tour::EulerTour::build_from_edges_with_ranker(
+        &device,
+        n,
+        &edges,
+        tree.root(),
+        euler_tour::Ranker::Wyllie,
+    )
+    .unwrap();
+    let wy = device.metrics().snapshot().since(&before);
+
+    assert!(
+        wy.work_items > wj.work_items + (n as u64) * 10,
+        "Wyllie tour build ({}) should exceed Wei-JaJa ({}) by Θ(n log n)",
+        wy.work_items,
+        wj.work_items
+    );
+}
