@@ -13,8 +13,14 @@ fn bench_bcc(c: &mut Criterion) {
     let mut group = c.benchmark_group("bcc");
     group.sample_size(10);
     let instances = [
-        ("kron15", largest_connected_component(&kronecker_graph(15, 16, 3)).0),
-        ("road180", largest_connected_component(&road_grid(180, 180, 0.75, 4)).0),
+        (
+            "kron15",
+            largest_connected_component(&kronecker_graph(15, 16, 3)).0,
+        ),
+        (
+            "road180",
+            largest_connected_component(&road_grid(180, 180, 0.75, 4)).0,
+        ),
     ];
     for (name, graph) in &instances {
         let csr = Csr::from_edge_list(graph);

@@ -73,5 +73,10 @@ fn bench_jumps_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_preprocess, bench_queries, bench_jumps_ablation);
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_queries,
+    bench_jumps_ablation
+);
 criterion_main!(benches);

@@ -163,7 +163,10 @@ fn bench_histogram(c: &mut Criterion) {
     group.sample_size(10);
     let n = 1usize << 20;
     let bins = 256;
-    let uniform: Vec<u32> = pseudo_random(n, 8).iter().map(|&v| (v % 256) as u32).collect();
+    let uniform: Vec<u32> = pseudo_random(n, 8)
+        .iter()
+        .map(|&v| (v % 256) as u32)
+        .collect();
     group.throughput(Throughput::Elements(n as u64));
     group.bench_function("atomic_uniform", |b| {
         b.iter(|| device.histogram_atomic(n, bins, |i| uniform[i] as usize));

@@ -2,7 +2,10 @@
 //! CSVs land in `results/` (override with `--out`).
 fn main() {
     let cfg = euler_bench::Config::from_args();
-    println!("=== euler-meets-gpu evaluation (scale 1/{}) ===\n", cfg.scale);
+    println!(
+        "=== euler-meets-gpu evaluation (scale 1/{}) ===\n",
+        cfg.scale
+    );
     euler_bench::experiments::table1::run(&cfg);
     euler_bench::experiments::prelim_rmq::run(&cfg);
     euler_bench::experiments::fig3::run(&cfg);
@@ -14,5 +17,8 @@ fn main() {
     euler_bench::experiments::fig10::run(&cfg);
     euler_bench::experiments::fig11::run(&cfg);
     euler_bench::experiments::ext_bcc::run(&cfg);
-    println!("=== evaluation complete; CSVs in {} ===", cfg.out_dir.display());
+    println!(
+        "=== evaluation complete; CSVs in {} ===",
+        cfg.out_dir.display()
+    );
 }

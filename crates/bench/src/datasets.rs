@@ -35,15 +35,30 @@ pub fn realworld_suite(scale: usize, seed: u64) -> Vec<Dataset> {
     let sz = |paper: usize| (paper / scale).max(4096);
     let mut out = vec![
         // web-wikipedia2009-like: small diameter, ~15% bridges.
-        named("web-wikipedia-like", web_graph(sz(1_800_000), 3, 0.62, seed ^ 1)),
+        named(
+            "web-wikipedia-like",
+            web_graph(sz(1_800_000), 3, 0.62, seed ^ 1),
+        ),
         // cit-Patents-like: denser preferential attachment, moderate bridges.
-        named("cit-patents-like", web_graph(sz(3_700_000), 9, 0.45, seed ^ 2)),
+        named(
+            "cit-patents-like",
+            web_graph(sz(3_700_000), 9, 0.45, seed ^ 2),
+        ),
         // socfb-like: dense social graph, few bridges.
-        named("socfb-like", graphgen::ba_graph(sz(3_000_000), 16, seed ^ 3)),
+        named(
+            "socfb-like",
+            graphgen::ba_graph(sz(3_000_000), 16, seed ^ 3),
+        ),
         // soc-LiveJournal-like.
-        named("soc-livejournal-like", web_graph(sz(4_800_000), 18, 0.35, seed ^ 4)),
+        named(
+            "soc-livejournal-like",
+            web_graph(sz(4_800_000), 18, 0.35, seed ^ 4),
+        ),
         // ca-hollywood-like: very dense collaboration graph, almost no bridges.
-        named("ca-hollywood-like", graphgen::ba_graph(sz(1_000_000), 64, seed ^ 5)),
+        named(
+            "ca-hollywood-like",
+            graphgen::ba_graph(sz(1_000_000), 64, seed ^ 5),
+        ),
     ];
     // Road graphs: USA-road-d.{E,W}, great-britain, CTR, USA — increasing
     // sizes, all percolated grids.
@@ -58,7 +73,12 @@ pub fn realworld_suite(scale: usize, seed: u64) -> Vec<Dataset> {
         let side = (n as f64).sqrt().ceil() as usize;
         out.push(named(
             name,
-            road_grid(side, side, graphgen::road::DEFAULT_KEEP_PROB, seed ^ paper_n as u64),
+            road_grid(
+                side,
+                side,
+                graphgen::road::DEFAULT_KEEP_PROB,
+                seed ^ paper_n as u64,
+            ),
         ));
     }
     out

@@ -16,7 +16,13 @@ pub fn run(cfg: &Config) {
     let mut table = Table::new(
         "Figure 10: bridge finding on real-world-like graphs [total time]",
         &[
-            "graph", "nodes", "edges", "cpu-dfs", "multicore-ck", "gpu-ck", "gpu-tv",
+            "graph",
+            "nodes",
+            "edges",
+            "cpu-dfs",
+            "multicore-ck",
+            "gpu-ck",
+            "gpu-tv",
             "gpu-hybrid",
         ],
     );

@@ -13,7 +13,11 @@ pub fn run(cfg: &Config) {
     let device = Device::new();
     let shift = cfg.scale.next_power_of_two().trailing_zeros();
     let mut suite = kronecker_suite(
-        &[(19u32).saturating_sub(shift).max(10), (20u32).saturating_sub(shift).max(11), (21u32).saturating_sub(shift).max(12)],
+        &[
+            (19u32).saturating_sub(shift).max(10),
+            (20u32).saturating_sub(shift).max(11),
+            (21u32).saturating_sub(shift).max(12),
+        ],
         16,
         0xB11,
     );
@@ -30,7 +34,10 @@ pub fn run(cfg: &Config) {
                 "gpu-ck",
                 bridges_ck_device(&device, &ds.graph, &csr).unwrap().phases,
             ),
-            ("gpu-tv", bridges_tv(&device, &ds.graph, &csr).unwrap().phases),
+            (
+                "gpu-tv",
+                bridges_tv(&device, &ds.graph, &csr).unwrap().phases,
+            ),
             (
                 "gpu-hybrid",
                 bridges_hybrid(&device, &ds.graph, &csr).unwrap().phases,

@@ -23,11 +23,23 @@ pub fn run(cfg: &Config) {
     for (shape, grasp) in [("shallow", None), ("deep", Some(deep_grasp))] {
         let mut prep_table = Table::new(
             &format!("Figure 3 ({shape}): preprocessing throughput [nodes/s]"),
-            &["nodes", "seq-cpu-inlabel", "multicore-inlabel", "gpu-naive", "gpu-inlabel"],
+            &[
+                "nodes",
+                "seq-cpu-inlabel",
+                "multicore-inlabel",
+                "gpu-naive",
+                "gpu-inlabel",
+            ],
         );
         let mut query_table = Table::new(
             &format!("Figure 3 ({shape}): query throughput [queries/s]"),
-            &["nodes", "seq-cpu-inlabel", "multicore-inlabel", "gpu-naive", "gpu-inlabel"],
+            &[
+                "nodes",
+                "seq-cpu-inlabel",
+                "multicore-inlabel",
+                "gpu-naive",
+                "gpu-inlabel",
+            ],
         );
         for paper_n in PAPER_SIZES {
             let n = cfg.nodes(paper_n);

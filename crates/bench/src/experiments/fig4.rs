@@ -56,9 +56,7 @@ pub fn run(cfg: &Config) {
     table.print();
     let _ = table.write_csv(&cfg.out_dir, "fig4");
     match crossover {
-        Some(r) => println!(
-            "inlabel overtakes naive at ratio ≈ {r} (paper: ≈ 4 on a GTX 980)\n"
-        ),
+        Some(r) => println!("inlabel overtakes naive at ratio ≈ {r} (paper: ≈ 4 on a GTX 980)\n"),
         None => println!("no crossover in the swept range on this machine\n"),
     }
 }

@@ -29,23 +29,34 @@ pub fn run(cfg: &Config) {
     let gpu = GpuInlabelLca::preprocess(&device, &tree).unwrap();
 
     let mut table = Table::new(
-        &format!(
-            "Figure 6: query throughput vs batch size (n = {n}, {total_queries} queries)"
-        ),
-        &["batch", "seq-cpu-inlabel", "multicore-inlabel", "gpu-inlabel"],
+        &format!("Figure 6: query throughput vs batch size (n = {n}, {total_queries} queries)"),
+        &[
+            "batch",
+            "seq-cpu-inlabel",
+            "multicore-inlabel",
+            "gpu-inlabel",
+        ],
     );
 
-    let batches: Vec<usize> = [1usize, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]
-        .into_iter()
-        .filter(|&b| b <= total_queries)
-        .collect();
+    let batches: Vec<usize> = [
+        1usize, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+    ]
+    .into_iter()
+    .filter(|&b| b <= total_queries)
+    .collect();
     for batch in batches {
         // Averages over cfg.repeats full passes through the stream.
         let mut rates = [0.0f64; 3];
         for _ in 0..cfg.repeats {
-            rates[0] += BatchRunner::new(&seq).run(&stream, &mut out, batch).throughput();
-            rates[1] += BatchRunner::new(&par).run(&stream, &mut out, batch).throughput();
-            rates[2] += BatchRunner::new(&gpu).run(&stream, &mut out, batch).throughput();
+            rates[0] += BatchRunner::new(&seq)
+                .run(&stream, &mut out, batch)
+                .throughput();
+            rates[1] += BatchRunner::new(&par)
+                .run(&stream, &mut out, batch)
+                .throughput();
+            rates[2] += BatchRunner::new(&gpu)
+                .run(&stream, &mut out, batch)
+                .throughput();
         }
         let r = cfg.repeats as f64;
         table.row(vec![

@@ -17,11 +17,23 @@ pub fn run(cfg: &Config) {
     let device = Device::new();
     let mut prep_table = Table::new(
         "Figure 7: preprocessing throughput on scale-free trees [nodes/s]",
-        &["nodes", "seq-cpu-inlabel", "multicore-inlabel", "gpu-naive", "gpu-inlabel"],
+        &[
+            "nodes",
+            "seq-cpu-inlabel",
+            "multicore-inlabel",
+            "gpu-naive",
+            "gpu-inlabel",
+        ],
     );
     let mut query_table = Table::new(
         "Figure 8: query throughput on scale-free trees [queries/s]",
-        &["nodes", "seq-cpu-inlabel", "multicore-inlabel", "gpu-naive", "gpu-inlabel"],
+        &[
+            "nodes",
+            "seq-cpu-inlabel",
+            "multicore-inlabel",
+            "gpu-naive",
+            "gpu-inlabel",
+        ],
     );
     for paper_n in PAPER_SIZES {
         let n = cfg.nodes(paper_n);

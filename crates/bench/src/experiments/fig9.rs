@@ -19,7 +19,15 @@ pub fn run(cfg: &Config) {
 
     let mut table = Table::new(
         "Figure 9: bridge finding on Kronecker graphs [total time]",
-        &["graph", "nodes", "edges", "cpu-dfs", "multicore-ck", "gpu-ck", "gpu-tv"],
+        &[
+            "graph",
+            "nodes",
+            "edges",
+            "cpu-dfs",
+            "multicore-ck",
+            "gpu-ck",
+            "gpu-tv",
+        ],
     );
     for ds in &suite {
         let csr = Csr::from_edge_list(&ds.graph);

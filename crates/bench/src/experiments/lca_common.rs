@@ -3,9 +3,7 @@
 use crate::harness::time;
 use gpu_sim::Device;
 use graph_core::Tree;
-use lca::{
-    GpuInlabelLca, LcaAlgorithm, MulticoreInlabelLca, NaiveGpuLca, SequentialInlabelLca,
-};
+use lca::{GpuInlabelLca, LcaAlgorithm, MulticoreInlabelLca, NaiveGpuLca, SequentialInlabelLca};
 
 /// One algorithm's preprocessing + query timing on one instance.
 #[derive(Debug, Clone)]

@@ -35,7 +35,9 @@ pub fn run(cfg: &Config) {
     let inlabel_query = bench_mean(cfg.repeats, || {
         time(|| inlabel.query_batch(&queries, &mut out)).1
     });
-    let rmq_query = bench_mean(cfg.repeats, || time(|| rmq.query_batch(&queries, &mut out)).1);
+    let rmq_query = bench_mean(cfg.repeats, || {
+        time(|| rmq.query_batch(&queries, &mut out)).1
+    });
 
     let mut table = Table::new(
         &format!("§3.1 preliminary: sequential Inlabel vs RMQ (n = q = {n})"),
@@ -71,7 +73,9 @@ pub fn run(cfg: &Config) {
     {
         let prep = bench_mean(cfg.repeats, || time(|| SparseRmqLca::preprocess(&tree)).1);
         let alg = SparseRmqLca::preprocess(&tree);
-        let query = bench_mean(cfg.repeats, || time(|| alg.query_batch(&queries, &mut out)).1);
+        let query = bench_mean(cfg.repeats, || {
+            time(|| alg.query_batch(&queries, &mut out)).1
+        });
         ext.row(vec![
             "seq-cpu-sparse-rmq".into(),
             fmt_secs(prep),
@@ -82,7 +86,9 @@ pub fn run(cfg: &Config) {
     {
         let prep = bench_mean(cfg.repeats, || time(|| BlockRmqLca::preprocess(&tree)).1);
         let alg = BlockRmqLca::preprocess(&tree);
-        let query = bench_mean(cfg.repeats, || time(|| alg.query_batch(&queries, &mut out)).1);
+        let query = bench_mean(cfg.repeats, || {
+            time(|| alg.query_batch(&queries, &mut out)).1
+        });
         ext.row(vec![
             "seq-cpu-block-rmq".into(),
             fmt_secs(prep),
@@ -95,7 +101,9 @@ pub fn run(cfg: &Config) {
             time(|| GpuRmqLca::preprocess(&device, &tree).unwrap()).1
         });
         let alg = GpuRmqLca::preprocess(&device, &tree).unwrap();
-        let query = bench_mean(cfg.repeats, || time(|| alg.query_batch(&queries, &mut out)).1);
+        let query = bench_mean(cfg.repeats, || {
+            time(|| alg.query_batch(&queries, &mut out)).1
+        });
         ext.row(vec![
             "gpu-sparse-rmq".into(),
             fmt_secs(prep),

@@ -210,8 +210,7 @@ pub fn bcc_tv(device: &Device, graph: &EdgeList, csr: &Csr) -> Result<BccResult,
         if v == root {
             return false;
         }
-        subtree_low[w] < pre[v as usize]
-            || subtree_high[w] >= pre[v as usize] + size[v as usize]
+        subtree_low[w] < pre[v as usize] || subtree_high[w] >= pre[v as usize] + size[v as usize]
     });
 
     let mut aux_edges: Vec<(u32, u32)> = vec![(0, 0); rule1_ids.len() + rule2_ids.len()];

@@ -83,8 +83,9 @@ fn pack_claim(parent: NodeId, edge: EdgeId) -> u64 {
 /// Device (GPU-sim) BFS.
 pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
     let n = csr.num_nodes();
-    let claims: Vec<std::sync::atomic::AtomicU64> =
-        (0..n).map(|_| std::sync::atomic::AtomicU64::new(u64::MAX)).collect();
+    let claims: Vec<std::sync::atomic::AtomicU64> = (0..n)
+        .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
+        .collect();
     let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     levels[root as usize].store(0, Ordering::Relaxed);
     claims[root as usize].store(pack_claim(INVALID_NODE, u32::MAX), Ordering::Relaxed);
@@ -170,8 +171,9 @@ pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
 /// Multicore (rayon) BFS — the OpenMP-style variant used by multicore CK.
 pub fn bfs_rayon(csr: &Csr, root: NodeId) -> BfsTree {
     let n = csr.num_nodes();
-    let claims: Vec<std::sync::atomic::AtomicU64> =
-        (0..n).map(|_| std::sync::atomic::AtomicU64::new(u64::MAX)).collect();
+    let claims: Vec<std::sync::atomic::AtomicU64> = (0..n)
+        .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
+        .collect();
     let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     levels[root as usize].store(0, Ordering::Relaxed);
     claims[root as usize].store(pack_claim(INVALID_NODE, u32::MAX), Ordering::Relaxed);

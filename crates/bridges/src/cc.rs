@@ -47,7 +47,8 @@ fn find(parent: &[AtomicU32], mut v: u32) -> u32 {
             return p;
         }
         // Intermediate pointer jumping: shortcut v toward its grandparent.
-        let _ = parent[v as usize].compare_exchange_weak(p, gp, Ordering::Relaxed, Ordering::Relaxed);
+        let _ =
+            parent[v as usize].compare_exchange_weak(p, gp, Ordering::Relaxed, Ordering::Relaxed);
         v = gp;
     }
 }

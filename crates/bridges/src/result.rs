@@ -32,10 +32,7 @@ impl BridgesResult {
 
     /// Duration of a named phase (first occurrence), if present.
     pub fn phase(&self, name: &str) -> Option<Duration> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 }
 
@@ -55,7 +52,10 @@ impl std::fmt::Display for BridgesError {
         match self {
             BridgesError::Empty => write!(f, "graph has no nodes"),
             BridgesError::Disconnected => {
-                write!(f, "graph is disconnected; extract a connected component first")
+                write!(
+                    f,
+                    "graph is disconnected; extract a connected component first"
+                )
             }
         }
     }

@@ -77,7 +77,11 @@ impl SegmentTree {
                     // [lo, hi) live in [2lo, 2hi) ⊇ [hi, ...).
                     unreachable!()
                 };
-                let rv = if r >= lower_base { lower[r - lower_base] } else { unreachable!() };
+                let rv = if r >= lower_base {
+                    lower[r - lower_base]
+                } else {
+                    unreachable!()
+                };
                 op.combine(lv, rv)
             });
             hi = lo;
@@ -168,8 +172,8 @@ mod tests {
         let device = Device::new();
         let values: Vec<u32> = (0..100).map(|i| 99 - i).collect();
         let t = SegmentTree::build(&device, &values, SegOp::Min);
-        for i in 0..100 {
-            assert_eq!(t.query(i, i), values[i]);
+        for (i, &expected) in values.iter().enumerate() {
+            assert_eq!(t.query(i, i), expected);
         }
     }
 

@@ -172,9 +172,9 @@ pub fn cmd_lca(args: &Args) -> Result<String, String> {
     let query_time = t.elapsed();
 
     // Order-independent digest so runs are comparable across algorithms.
-    let checksum = answers
-        .iter()
-        .fold(0u64, |acc, &a| acc ^ (a as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let checksum = answers.iter().fold(0u64, |acc, &a| {
+        acc ^ (a as u64).wrapping_mul(0x9E3779B97F4A7C15)
+    });
     let mut out = String::new();
     writeln!(out, "tree: {n} nodes, root {root}").unwrap();
     writeln!(out, "algorithm: {}", algorithm.name()).unwrap();
@@ -282,11 +282,7 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
             let tree = random_tree(n, if grasp == 0 { None } else { Some(grasp) }, seed);
             EdgeList::new(n, tree.edges())
         }
-        other => {
-            return Err(format!(
-                "unknown family {other:?} (kron|road|web|ba|tree)"
-            ))
-        }
+        other => return Err(format!("unknown family {other:?} (kron|road|web|ba|tree)")),
     };
     write_graph(out_path, &graph, format)?;
     Ok(format!(

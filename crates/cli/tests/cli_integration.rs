@@ -61,7 +61,15 @@ fn gen_tree_then_lca_checksums_match_across_algorithms() {
     ))
     .unwrap();
     let mut checksums = Vec::new();
-    for alg in ["seq", "gpu", "naive", "rmq", "sparse-rmq", "block-rmq", "gpu-rmq"] {
+    for alg in [
+        "seq",
+        "gpu",
+        "naive",
+        "rmq",
+        "sparse-rmq",
+        "block-rmq",
+        "gpu-rmq",
+    ] {
         let out = run(&format!(
             "lca {} --alg {alg} --queries 500 --seed 11",
             path.display()
@@ -109,10 +117,28 @@ fn convert_between_all_formats_preserves_graph() {
     let gr = tmp("conv.gr");
     let metis = tmp("conv.graph");
     let back = tmp("conv_back.txt");
-    run(&format!("convert {} {} --to dimacs", snap.display(), gr.display())).unwrap();
-    assert_eq!(run(&format!("detect {}", gr.display())).unwrap(), "dimacs\n");
-    run(&format!("convert {} {} --to metis", gr.display(), metis.display())).unwrap();
-    run(&format!("convert {} {} --to snap", metis.display(), back.display())).unwrap();
+    run(&format!(
+        "convert {} {} --to dimacs",
+        snap.display(),
+        gr.display()
+    ))
+    .unwrap();
+    assert_eq!(
+        run(&format!("detect {}", gr.display())).unwrap(),
+        "dimacs\n"
+    );
+    run(&format!(
+        "convert {} {} --to metis",
+        gr.display(),
+        metis.display()
+    ))
+    .unwrap();
+    run(&format!(
+        "convert {} {} --to snap",
+        metis.display(),
+        back.display()
+    ))
+    .unwrap();
 
     // Node/edge counts survive the round trip (METIS merges directions, so
     // compare canonical undirected simple forms via stats).
@@ -127,7 +153,10 @@ fn convert_between_all_formats_preserves_graph() {
 
 #[test]
 fn gen_kron_and_ba_families_produce_graphs() {
-    for (family, extra) in [("kron", "--scale 8 --edge-factor 8"), ("ba", "--nodes 500 --degree 3")] {
+    for (family, extra) in [
+        ("kron", "--scale 8 --edge-factor 8"),
+        ("ba", "--nodes 500 --degree 3"),
+    ] {
         let path = tmp(&format!("{family}.txt"));
         let out = run(&format!(
             "gen {family} {extra} --seed 2 --out {}",

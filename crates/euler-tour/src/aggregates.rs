@@ -242,8 +242,8 @@ mod tests {
         let (device, _, stats, agg, _) = build(paper_parents());
         let ones = vec![1i64; 6];
         let sums = agg.root_path_sums(&device, &ones);
-        for v in 0..6 {
-            assert_eq!(sums[v], stats.level[v] as i64 + 1, "node {v}");
+        for (v, &s) in sums.iter().enumerate() {
+            assert_eq!(s, stats.level[v] as i64 + 1, "node {v}");
         }
     }
 
@@ -288,8 +288,8 @@ mod tests {
             state >> 33
         };
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = (step() % v as u64) as u32;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = (step() % v as u64) as u32;
         }
         let (device, _, _, agg, tree) = build(parents);
         let values: Vec<u64> = (0..n as u64).map(|v| v * 3 + 1).collect();
@@ -311,7 +311,11 @@ mod tests {
         let ivalues: Vec<i64> = (0..n as i64).collect();
         let paths = agg.root_path_sums(&device, &ivalues);
         for v in (0..n as u32).step_by(37) {
-            let expect: i64 = tree.path_to_root(v).iter().map(|&u| ivalues[u as usize]).sum();
+            let expect: i64 = tree
+                .path_to_root(v)
+                .iter()
+                .map(|&u| ivalues[u as usize])
+                .sum();
             assert_eq!(paths[v as usize], expect, "node {v}");
         }
     }

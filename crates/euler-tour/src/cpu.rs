@@ -48,7 +48,9 @@ pub fn sequential_stats(tree: &Tree) -> TreeStats {
             0
         } else {
             // Position just after the parent in the sorted list.
-            let idx = adj[s..e].binary_search(&from).expect("parent must be adjacent");
+            let idx = adj[s..e]
+                .binary_search(&from)
+                .expect("parent must be adjacent");
             (idx as u32 + 1) % deg(v).max(1)
         }
     };
@@ -130,8 +132,8 @@ mod tests {
             state >> 33
         };
         let mut parent = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parent[v] = (step() % v as u64) as u32;
+        for (v, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = (step() % v as u64) as u32;
         }
         Tree::from_parent_array(parent, 0).unwrap()
     }
@@ -161,8 +163,8 @@ mod tests {
     fn deep_path_does_not_overflow() {
         let n = 500_000;
         let mut parent = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parent[v] = v as u32 - 1;
+        for (v, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = v as u32 - 1;
         }
         let tree = Tree::from_parent_array(parent, 0).unwrap();
         let s = sequential_stats(&tree);

@@ -216,7 +216,10 @@ mod tests {
             assert!(nx < h);
             assert!(!seen[nx], "next must be injective");
             seen[nx] = true;
-            assert_eq!(dcel.tails[e], dcel.tails[nx], "next stays within a node's list");
+            assert_eq!(
+                dcel.tails[e], dcel.tails[nx],
+                "next stays within a node's list"
+            );
         }
     }
 

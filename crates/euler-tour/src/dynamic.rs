@@ -344,7 +344,10 @@ impl EulerTourForest {
         let a = self.merge(tu, uv);
         let b = self.merge(a, tv);
         self.merge(b, vu);
-        self.edges.insert((u.min(v), u.max(v)), if u < v { (uv, vu) } else { (vu, uv) });
+        self.edges.insert(
+            (u.min(v), u.max(v)),
+            if u < v { (uv, vu) } else { (vu, uv) },
+        );
         Ok(())
     }
 
@@ -524,7 +527,10 @@ mod tests {
             self.component(u).contains(&v)
         }
         fn component_sum(&self, v: u32) -> i64 {
-            self.component(v).iter().map(|&x| self.values[x as usize]).sum()
+            self.component(v)
+                .iter()
+                .map(|&x| self.values[x as usize])
+                .sum()
         }
         fn subtree_sum(&mut self, v: u32, p: u32) -> i64 {
             self.cut(v, p);
@@ -699,11 +705,7 @@ mod tests {
                     assert_eq!(f.connected(u, v), o.connected(u, v), "round {round}");
                 }
                 8 => {
-                    assert_eq!(
-                        f.component_size(u),
-                        o.component(u).len(),
-                        "round {round}"
-                    );
+                    assert_eq!(f.component_size(u), o.component(u).len(), "round {round}");
                     assert_eq!(f.component_sum(u), o.component_sum(u), "round {round}");
                 }
                 _ => {

@@ -185,11 +185,7 @@ pub fn rank_wei_jaja(device: &Device, list: &EulerList) -> Vec<u32> {
 /// [`rank_wei_jaja`] with an explicit sublist-count target — the tuning
 /// knob of \[64\] (too few sublists starve workers, too many inflate the
 /// sequential phase 2); `benches/list_ranking.rs` sweeps it.
-pub fn rank_wei_jaja_with_sublists(
-    device: &Device,
-    list: &EulerList,
-    s_target: usize,
-) -> Vec<u32> {
+pub fn rank_wei_jaja_with_sublists(device: &Device, list: &EulerList, s_target: usize) -> Vec<u32> {
     let n = list.len();
     if n == 0 {
         return Vec::new();
@@ -279,7 +275,9 @@ pub fn rank_wei_jaja_with_sublists(
 
     // Phase 3 (parallel): final rank = sublist offset + local rank.
     let mut rank = vec![0u32; n];
-    device.map(&mut rank, |e| offset[sublist_of[e] as usize] + local_rank[e]);
+    device.map(&mut rank, |e| {
+        offset[sublist_of[e] as usize] + local_rank[e]
+    });
     rank
 }
 
@@ -293,7 +291,9 @@ mod tests {
     fn random_tree_list(device: &Device, n: usize, seed: u64) -> EulerList {
         let mut state = seed;
         let mut step = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let edges: Vec<(u32, u32)> = (1..n as u64)

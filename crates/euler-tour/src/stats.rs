@@ -146,14 +146,8 @@ impl TreeStats {
                         return Err(format!("level of {v} inconsistent with parent {p}"));
                     }
                     // Child interval nests within the parent interval.
-                    let (cs, ce) = (
-                        self.preorder[v],
-                        self.preorder[v] + self.subtree_size[v],
-                    );
-                    let (ps, pe) = (
-                        self.preorder[p],
-                        self.preorder[p] + self.subtree_size[p],
-                    );
+                    let (cs, ce) = (self.preorder[v], self.preorder[v] + self.subtree_size[v]);
+                    let (ps, pe) = (self.preorder[p], self.preorder[p] + self.subtree_size[p]);
                     if !(ps < cs && ce <= pe) {
                         return Err(format!(
                             "subtree interval of {v} [{cs},{ce}) escapes parent [{ps},{pe})"
@@ -172,13 +166,9 @@ mod tests {
     use crate::tour::EulerTour;
 
     fn paper_stats(device: &Device) -> TreeStats {
-        let tour = EulerTour::build_from_edges(
-            device,
-            6,
-            &[(0, 2), (0, 3), (0, 4), (2, 1), (2, 5)],
-            0,
-        )
-        .unwrap();
+        let tour =
+            EulerTour::build_from_edges(device, 6, &[(0, 2), (0, 3), (0, 4), (2, 1), (2, 5)], 0)
+                .unwrap();
         TreeStats::compute(device, &tour)
     }
 

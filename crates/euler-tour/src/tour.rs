@@ -72,7 +72,13 @@ impl EulerTour {
         tree: &Tree,
         ranker: Ranker,
     ) -> Result<Self, TourError> {
-        Self::build_from_edges_with_ranker(device, tree.num_nodes(), &tree.edges(), tree.root(), ranker)
+        Self::build_from_edges_with_ranker(
+            device,
+            tree.num_nodes(),
+            &tree.edges(),
+            tree.root(),
+            ranker,
+        )
     }
 
     /// Builds the tour from the paper's §2.1 input: an unordered collection
@@ -241,10 +247,7 @@ mod tests {
         // Down half-edges of the paper tree point 0→{2,3,4} and 2→{1,5}.
         for e in 0..tour.len() as u32 {
             let (t, h) = (dcel.tails[e as usize], dcel.heads[e as usize]);
-            let expected_down = matches!(
-                (t, h),
-                (0, 2) | (0, 3) | (0, 4) | (2, 1) | (2, 5)
-            );
+            let expected_down = matches!((t, h), (0, 2) | (0, 3) | (0, 4) | (2, 1) | (2, 5));
             assert_eq!(tour.is_down(e), expected_down, "half-edge ({t},{h})");
         }
     }
@@ -280,7 +283,10 @@ mod tests {
         let device = Device::new();
         assert!(matches!(
             EulerTour::build_from_edges(&device, 3, &[(0, 1)], 0).unwrap_err(),
-            TourError::WrongEdgeCount { got: 1, expected: 2 }
+            TourError::WrongEdgeCount {
+                got: 1,
+                expected: 2
+            }
         ));
     }
 
@@ -288,16 +294,15 @@ mod tests {
     fn error_on_cycle_plus_isolated() {
         // 4 nodes, 3 edges, but a triangle + isolated node (not spanning).
         let device = Device::new();
-        let err = EulerTour::build_from_edges(&device, 4, &[(0, 1), (1, 2), (2, 0)], 0)
-            .unwrap_err();
+        let err =
+            EulerTour::build_from_edges(&device, 4, &[(0, 1), (1, 2), (2, 0)], 0).unwrap_err();
         assert_eq!(err, TourError::NotASpanningTree);
     }
 
     #[test]
     fn error_on_self_loop() {
         let device = Device::new();
-        let err =
-            EulerTour::build_from_edges(&device, 2, &[(1, 1)], 0).unwrap_err();
+        let err = EulerTour::build_from_edges(&device, 2, &[(1, 1)], 0).unwrap_err();
         assert_eq!(err, TourError::NotASpanningTree);
     }
 
@@ -305,8 +310,8 @@ mod tests {
     fn error_on_disconnected_root() {
         // Root 3 isolated; edges form a path over 0,1,2 plus a duplicate.
         let device = Device::new();
-        let err = EulerTour::build_from_edges(&device, 4, &[(0, 1), (1, 2), (0, 2)], 3)
-            .unwrap_err();
+        let err =
+            EulerTour::build_from_edges(&device, 4, &[(0, 1), (1, 2), (0, 2)], 3).unwrap_err();
         assert_eq!(err, TourError::NotASpanningTree);
     }
 

@@ -19,8 +19,7 @@ fn small_device() -> Device {
 
 fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
     (2..max_n).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<u32>> =
-            (1..n).map(|v| (0..v as u32).boxed()).collect();
+        let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|v| (0..v as u32).boxed()).collect();
         parents.prop_map(move |ps| {
             let mut parent = vec![INVALID_NODE; n];
             for (v, p) in ps.into_iter().enumerate() {

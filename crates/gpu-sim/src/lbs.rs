@@ -200,7 +200,7 @@ mod tests {
         let got = d.load_balanced_search(&offsets);
         let mut expect = Vec::new();
         for (seg, &s) in sizes.iter().enumerate() {
-            expect.extend(std::iter::repeat(seg as u32).take(s as usize));
+            expect.extend(std::iter::repeat_n(seg as u32, s as usize));
         }
         assert_eq!(got, expect);
     }
@@ -210,7 +210,10 @@ mod tests {
         let d = device();
         let offsets = [0u32, 1, 4, 4, 6];
         let values = [10u32, 20, 30, 40];
-        assert_eq!(d.interval_expand(&values, &offsets), [10, 20, 20, 20, 40, 40]);
+        assert_eq!(
+            d.interval_expand(&values, &offsets),
+            [10, 20, 20, 20, 40, 40]
+        );
     }
 
     #[test]

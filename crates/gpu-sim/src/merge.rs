@@ -202,9 +202,8 @@ impl Device {
                 let hi = usize::min(lo + run, n);
                 // SAFETY: runs are disjoint; each virtual thread owns
                 // data[lo..hi] exclusively for this launch.
-                let slice = unsafe {
-                    std::slice::from_raw_parts_mut(shared.as_ptr().add(lo), hi - lo)
-                };
+                let slice =
+                    unsafe { std::slice::from_raw_parts_mut(shared.as_ptr().add(lo), hi - lo) };
                 slice.sort_unstable();
             });
         }

@@ -190,7 +190,7 @@ mod tests {
         while keys.len() < 60_000 {
             let k: u32 = rng.gen_range(0..100);
             let run = rng.gen_range(1..20);
-            keys.extend(std::iter::repeat(k).take(run));
+            keys.extend(std::iter::repeat_n(k, run));
         }
         let vals: Vec<u64> = (0..keys.len() as u64).collect();
         let (ek, ev) = naive_rbk(&keys, &vals);

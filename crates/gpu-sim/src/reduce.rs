@@ -20,7 +20,10 @@ impl Device {
             }
             return acc;
         }
-        let chunk = usize::max(self.config().block_size, n.div_ceil(4 * self.worker_threads().max(1)));
+        let chunk = usize::max(
+            self.config().block_size,
+            n.div_ceil(4 * self.worker_threads().max(1)),
+        );
         self.run(|| {
             input
                 .par_chunks(chunk)
@@ -70,7 +73,9 @@ mod tests {
     #[test]
     fn max_and_min() {
         let device = Device::new();
-        let input: Vec<u32> = (0..100_000).map(|i| (i * 2_654_435_761u64 % 1_000_003) as u32).collect();
+        let input: Vec<u32> = (0..100_000)
+            .map(|i| (i * 2_654_435_761u64 % 1_000_003) as u32)
+            .collect();
         let max = *input.iter().max().unwrap();
         let min = *input.iter().min().unwrap();
         assert_eq!(device.reduce_max_u32(&input), max);

@@ -90,18 +90,15 @@ impl Device {
         self.metrics().record_launch(n as u64);
         let mut block_sums = vec![identity; blocks];
         self.run(|| {
-            block_sums
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(b, sum)| {
-                    let start = b * chunk;
-                    let end = usize::min(start + chunk, n);
-                    let mut acc = identity;
-                    for v in &input[start..end] {
-                        acc = op(acc, *v);
-                    }
-                    *sum = acc;
-                });
+            block_sums.par_iter_mut().enumerate().for_each(|(b, sum)| {
+                let start = b * chunk;
+                let end = usize::min(start + chunk, n);
+                let mut acc = identity;
+                for v in &input[start..end] {
+                    acc = op(acc, *v);
+                }
+                *sum = acc;
+            });
         });
 
         // Phase 2 (sequential, tiny): exclusive scan of block sums.
@@ -117,20 +114,22 @@ impl Device {
         // Phase 3 (parallel): downsweep each block from its offset.
         self.metrics().record_launch(n as u64);
         self.run(|| {
-            out.par_chunks_mut(chunk).enumerate().for_each(|(b, chunk_out)| {
-                let start = b * chunk;
-                let mut acc = block_offsets[b];
-                for (j, slot) in chunk_out.iter_mut().enumerate() {
-                    let v = input[start + j];
-                    if inclusive {
-                        acc = op(acc, v);
-                        *slot = acc;
-                    } else {
-                        *slot = acc;
-                        acc = op(acc, v);
+            out.par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(b, chunk_out)| {
+                    let start = b * chunk;
+                    let mut acc = block_offsets[b];
+                    for (j, slot) in chunk_out.iter_mut().enumerate() {
+                        let v = input[start + j];
+                        if inclusive {
+                            acc = op(acc, v);
+                            *slot = acc;
+                        } else {
+                            *slot = acc;
+                            acc = op(acc, v);
+                        }
                     }
-                }
-            });
+                });
         });
         total
     }
@@ -244,7 +243,9 @@ mod tests {
     fn signed_level_scan() {
         let device = Device::new();
         // +1/-1 pattern like Euler tour levels.
-        let input: Vec<i64> = (0..10_000).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let input: Vec<i64> = (0..10_000)
+            .map(|i| if i % 2 == 0 { 1 } else { -1 })
+            .collect();
         let out = device.add_scan_inclusive_i64(&input);
         assert_eq!(out[0], 1);
         assert_eq!(out[1], 0);

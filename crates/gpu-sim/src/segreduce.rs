@@ -20,12 +20,21 @@ impl Device {
     /// # Panics
     /// Panics if `offsets` is empty, non-monotone, or its last entry does
     /// not equal `values.len()`.
-    pub fn segmented_reduce<T, F>(&self, values: &[T], offsets: &[u32], identity: T, op: F) -> Vec<T>
+    pub fn segmented_reduce<T, F>(
+        &self,
+        values: &[T],
+        offsets: &[u32],
+        identity: T,
+        op: F,
+    ) -> Vec<T>
     where
         T: Copy + Send + Sync + Default,
         F: Fn(T, T) -> T + Sync,
     {
-        assert!(!offsets.is_empty(), "segreduce: offsets must contain at least one boundary");
+        assert!(
+            !offsets.is_empty(),
+            "segreduce: offsets must contain at least one boundary"
+        );
         assert_eq!(
             *offsets.last().unwrap() as usize,
             values.len(),

@@ -100,17 +100,15 @@ impl Device {
             // Per-chunk digit histograms.
             self.metrics().record_launch(n as u64);
             self.run(|| {
-                hist.par_chunks_mut(BUCKETS)
-                    .enumerate()
-                    .for_each(|(c, h)| {
-                        h.fill(0);
-                        let start = c * chunk;
-                        let end = usize::min(start + chunk, n);
-                        for &k in &src_k[start..end] {
-                            let d = ((k >> shift) & DIGIT_MASK) as usize;
-                            h[d] += 1;
-                        }
-                    });
+                hist.par_chunks_mut(BUCKETS).enumerate().for_each(|(c, h)| {
+                    h.fill(0);
+                    let start = c * chunk;
+                    let end = usize::min(start + chunk, n);
+                    for &k in &src_k[start..end] {
+                        let d = ((k >> shift) & DIGIT_MASK) as usize;
+                        h[d] += 1;
+                    }
+                });
             });
 
             // Column-major exclusive scan: running offset for (digit, chunk).
@@ -136,8 +134,9 @@ impl Device {
                 let offsets_ref = &offsets;
                 self.run(|| {
                     (0..nchunks).into_par_iter().for_each(|c| {
-                        let mut local: [u32; BUCKETS] =
-                            offsets_ref[c * BUCKETS..(c + 1) * BUCKETS].try_into().unwrap();
+                        let mut local: [u32; BUCKETS] = offsets_ref[c * BUCKETS..(c + 1) * BUCKETS]
+                            .try_into()
+                            .unwrap();
                         let start = c * chunk;
                         let end = usize::min(start + chunk, n);
                         for i in start..end {

@@ -123,7 +123,11 @@ impl AtomicBitSet {
     /// meaningful result).
     pub fn to_bitset(&self) -> BitSet {
         BitSet {
-            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
             len: self.len,
         }
     }

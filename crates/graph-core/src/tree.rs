@@ -98,7 +98,11 @@ impl Tree {
     }
 
     /// Builds a rooted tree from `n-1` undirected edges by BFS from `root`.
-    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)], root: NodeId) -> Result<Self, TreeError> {
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: &[(NodeId, NodeId)],
+        root: NodeId,
+    ) -> Result<Self, TreeError> {
         if num_nodes == 0 {
             return Err(TreeError::Empty);
         }
@@ -247,7 +251,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_parent() {
         let err = Tree::from_parent_array(vec![INVALID_NODE, 9], 0).unwrap_err();
-        assert!(matches!(err, TreeError::ParentOutOfRange { node: 1, parent: 9 }));
+        assert!(matches!(
+            err,
+            TreeError::ParentOutOfRange { node: 1, parent: 9 }
+        ));
     }
 
     #[test]
@@ -269,8 +276,8 @@ mod tests {
         let n = 1_000_000;
         let mut parent = vec![0 as NodeId; n];
         parent[0] = INVALID_NODE;
-        for v in 1..n {
-            parent[v] = (v - 1) as NodeId;
+        for (v, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = (v - 1) as NodeId;
         }
         let t = Tree::from_parent_array(parent, 0).unwrap();
         assert_eq!(t.depth_of((n - 1) as NodeId), n - 1);

@@ -39,9 +39,7 @@ pub fn detect_format(text: &str) -> Option<Format> {
         return Some(Format::Dimacs);
     }
     let cols = first.split_whitespace().count();
-    let all_int = first
-        .split_whitespace()
-        .all(|t| t.parse::<u64>().is_ok());
+    let all_int = first.split_whitespace().all(|t| t.parse::<u64>().is_ok());
     if !all_int {
         return None;
     }
@@ -56,7 +54,11 @@ pub fn detect_format(text: &str) -> Option<Format> {
     // header; a SNAP file has uniform 2-3 column rows. Distinguish by
     // checking whether line count matches the header's node count.
     if (2..=4).contains(&cols) {
-        if let Some(n) = first.split_whitespace().next().and_then(|t| t.parse::<usize>().ok()) {
+        if let Some(n) = first
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse::<usize>().ok())
+        {
             // Count every line (blank ones are isolated vertices) except
             // the header.
             let body_lines = text.lines().count().saturating_sub(1);
@@ -117,7 +119,10 @@ mod tests {
 
     #[test]
     fn detects_metis_by_percent_comment() {
-        assert_eq!(detect_format("% METIS\n3 2\n2\n1 3\n2\n"), Some(Format::Metis));
+        assert_eq!(
+            detect_format("% METIS\n3 2\n2\n1 3\n2\n"),
+            Some(Format::Metis)
+        );
     }
 
     #[test]

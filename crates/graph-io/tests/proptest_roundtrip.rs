@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 /// Canonical multiset of undirected edges (self-loops included).
 fn canonical(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
-    let mut c: Vec<(u32, u32)> = edges
-        .iter()
-        .map(|&(u, v)| (u.min(v), u.max(v)))
-        .collect();
+    let mut c: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
     c.sort_unstable();
     c
 }

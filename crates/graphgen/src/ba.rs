@@ -87,11 +87,11 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(ba_tree(1000, 3).parent_slice(), ba_tree(1000, 3).parent_slice());
         assert_eq!(
-            ba_graph(500, 3, 4).edges(),
-            ba_graph(500, 3, 4).edges()
+            ba_tree(1000, 3).parent_slice(),
+            ba_tree(1000, 3).parent_slice()
         );
+        assert_eq!(ba_graph(500, 3, 4).edges(), ba_graph(500, 3, 4).edges());
     }
 
     #[test]

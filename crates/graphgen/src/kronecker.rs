@@ -33,7 +33,8 @@ pub fn kronecker_graph(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
     let edges: Vec<(NodeId, NodeId)> = (0..chunks)
         .into_par_iter()
         .flat_map_iter(|c| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E3779B97F4A7C15));
             let count = usize::min(chunk, m - c * chunk);
             (0..count)
                 .map(move |_| {

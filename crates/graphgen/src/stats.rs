@@ -200,7 +200,11 @@ mod tests {
         let stats = graph_stats(&lcc);
         // Percolated grid diameters exceed the full grid's Manhattan
         // diameter because paths detour around missing edges.
-        assert!(stats.diameter > 150, "diameter {} too small", stats.diameter);
+        assert!(
+            stats.diameter > 150,
+            "diameter {} too small",
+            stats.diameter
+        );
         assert!(stats.nodes > 10_000, "LCC unexpectedly small");
     }
 

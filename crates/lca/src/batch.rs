@@ -73,8 +73,8 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             state >> 33
         };
-        for v in 1..n {
-            parents[v] = (step() % v as u64) as u32;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = (step() % v as u64) as u32;
         }
         let tree = Tree::from_parent_array(parents, 0).unwrap();
         let lca = SequentialInlabelLca::preprocess(&tree);

@@ -85,8 +85,8 @@ mod tests {
     fn deep_path_levels() {
         let n = 200_000;
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = v as u32 - 1;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = v as u32 - 1;
         }
         let tree = Tree::from_parent_array(parents, 0).unwrap();
         let lca = BruteLca::preprocess(&tree);

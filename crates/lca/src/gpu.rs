@@ -71,8 +71,8 @@ mod tests {
             state >> 33
         };
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = (step() % v as u64) as u32;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = (step() % v as u64) as u32;
         }
         Tree::from_parent_array(parents, 0).unwrap()
     }
@@ -117,8 +117,8 @@ mod tests {
         let device = Device::new();
         let n = 30_000;
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = v as u32 - 1;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = v as u32 - 1;
         }
         let tree = Tree::from_parent_array(parents, 0).unwrap();
         let lca = GpuInlabelLca::preprocess(&device, &tree).unwrap();

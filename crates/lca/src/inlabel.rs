@@ -404,8 +404,7 @@ mod tests {
 
     #[test]
     fn paper_tree_structural_properties() {
-        let (tables, stats) =
-            tables_for(vec![INVALID_NODE, 2, 0, 0, 0, 2]);
+        let (tables, stats) = tables_for(vec![INVALID_NODE, 2, 0, 0, 0, 2]);
         tables.check_structural_properties(&stats).unwrap();
     }
 
@@ -414,8 +413,8 @@ mod tests {
         let n = 64;
         let mut parents = vec![0u32; n];
         parents[0] = INVALID_NODE;
-        for v in 1..n {
-            parents[v] = v as u32 - 1;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = v as u32 - 1;
         }
         let (tables, _) = tables_for(parents);
         for x in 0..n as u32 {
@@ -498,8 +497,8 @@ mod tests {
         };
         for n in [100usize, 1000, 5000] {
             let mut parents = vec![INVALID_NODE; n];
-            for v in 1..n {
-                parents[v] = (step() % v as u64) as u32;
+            for (v, p) in parents.iter_mut().enumerate().skip(1) {
+                *p = (step() % v as u64) as u32;
             }
             let tree = Tree::from_parent_array(parents, 0).unwrap();
             let stats = sequential_stats(&tree);
@@ -516,8 +515,8 @@ mod tests {
     fn all_backends_build_identical_tables() {
         let device = Device::new();
         let mut parents = vec![INVALID_NODE; 3000];
-        for v in 1..3000usize {
-            parents[v] = (v / 2) as u32;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = (v / 2) as u32;
         }
         let tree = Tree::from_parent_array(parents, 0).unwrap();
         let stats = sequential_stats(&tree);

@@ -53,8 +53,8 @@ pub use offline::offline_tarjan_lca;
 pub use par::MulticoreInlabelLca;
 pub use paths::TreePaths;
 pub use rmq::RmqLca;
-pub use sparse::{BlockRmqLca, SparseRmqLca};
 pub use seq::SequentialInlabelLca;
+pub use sparse::{BlockRmqLca, SparseRmqLca};
 
 /// A preprocessed LCA structure answering batched queries.
 pub trait LcaAlgorithm: Send + Sync {

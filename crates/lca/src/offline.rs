@@ -174,8 +174,8 @@ mod tests {
             state >> 33
         };
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = (step() % v as u64) as u32;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = (step() % v as u64) as u32;
         }
         Tree::from_parent_array(parents, 0).unwrap()
     }
@@ -215,8 +215,8 @@ mod tests {
     fn path_tree_answers_are_minima() {
         let n = 400;
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = v as u32 - 1;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = v as u32 - 1;
         }
         let tree = Tree::from_parent_array(parents, 0).unwrap();
         let queries: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();

@@ -73,8 +73,8 @@ mod tests {
             state >> 33
         };
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = (step() % v as u64) as u32;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = (step() % v as u64) as u32;
         }
         Tree::from_parent_array(parents, 0).unwrap()
     }

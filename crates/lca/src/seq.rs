@@ -61,7 +61,9 @@ mod tests {
     fn batch_matches_singles() {
         let tree = Tree::from_parent_array(vec![INVALID_NODE, 0, 0, 1, 1, 2, 2, 3], 0).unwrap();
         let lca = SequentialInlabelLca::preprocess(&tree);
-        let queries: Vec<(u32, u32)> = (0..8u32).flat_map(|x| (0..8u32).map(move |y| (x, y))).collect();
+        let queries: Vec<(u32, u32)> = (0..8u32)
+            .flat_map(|x| (0..8u32).map(move |y| (x, y)))
+            .collect();
         let mut out = vec![0u32; queries.len()];
         lca.query_batch(&queries, &mut out);
         for (i, &(x, y)) in queries.iter().enumerate() {

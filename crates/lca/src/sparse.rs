@@ -227,8 +227,7 @@ impl BlockRmqLca {
             best = right;
         }
         if bl + 1 < br {
-            let mid_blk =
-                sparse_query(&self.block_table, &self.block_min_depth, bl + 1, br - 1);
+            let mid_blk = sparse_query(&self.block_table, &self.block_min_depth, bl + 1, br - 1);
             let mid = self.block_min_pos[mid_blk as usize] as usize;
             if self.depth[mid] < self.depth[best] {
                 best = mid;
@@ -268,8 +267,8 @@ mod tests {
             state >> 33
         };
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = (step() % v as u64) as u32;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = (step() % v as u64) as u32;
         }
         Tree::from_parent_array(parents, 0).unwrap()
     }
@@ -319,8 +318,8 @@ mod tests {
     fn path_tree_lca_is_min() {
         let n = 777;
         let mut parents = vec![INVALID_NODE; n];
-        for v in 1..n {
-            parents[v] = v as u32 - 1;
+        for (v, p) in parents.iter_mut().enumerate().skip(1) {
+            *p = v as u32 - 1;
         }
         let tree = Tree::from_parent_array(parents, 0).unwrap();
         let sparse = SparseRmqLca::preprocess(&tree);
@@ -375,8 +374,8 @@ mod tests {
         // across blocks in both directions.
         let spine = 400usize;
         let mut parents = vec![INVALID_NODE; 2 * spine];
-        for v in 1..spine {
-            parents[v] = v as u32 - 1;
+        for (v, p) in parents.iter_mut().enumerate().skip(1).take(spine - 1) {
+            *p = v as u32 - 1;
         }
         for leaf in 0..spine {
             parents[spine + leaf] = leaf as u32;

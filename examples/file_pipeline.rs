@@ -11,6 +11,9 @@ use euler_meets_gpu::graph_io;
 use euler_meets_gpu::prelude::*;
 use std::time::Instant;
 
+/// A named, boxed bridge-finding algorithm closure.
+type NamedAlg<'a> = (&'a str, Box<dyn Fn() -> BridgesResult + 'a>);
+
 fn main() {
     let device = Device::new();
     let dir = std::env::temp_dir().join("emg_file_pipeline");
@@ -55,7 +58,7 @@ fn main() {
     let csr = Csr::from_edge_list(&graph);
     println!("\nbridge-finding on the re-read graph:");
     let mut reference: Option<Vec<u32>> = None;
-    let algs: [(&str, Box<dyn Fn() -> BridgesResult>); 4] = [
+    let algs: [NamedAlg; 4] = [
         ("cpu-dfs", Box::new(|| bridges_dfs(&graph, &csr))),
         (
             "gpu-tv",

@@ -25,7 +25,10 @@ fn main() {
     let stream = random_queries(n, 2_000_000, 22);
     let mut out = vec![0u32; stream.len()];
 
-    println!("online LCA service over a {n}-node tree, {} queries\n", stream.len());
+    println!(
+        "online LCA service over a {n}-node tree, {} queries\n",
+        stream.len()
+    );
     println!(
         "{:>10} | {:>14} | {:>14} | {:>14}",
         "batch", "seq q/s", "multicore q/s", "gpu-sim q/s"

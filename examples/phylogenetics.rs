@@ -56,9 +56,7 @@ fn main() {
     let distances: Vec<u32> = queries
         .iter()
         .zip(&lca_inlabel)
-        .map(|(&(x, y), &z)| {
-            levels[x as usize] + levels[y as usize] - 2 * levels[z as usize]
-        })
+        .map(|(&(x, y), &z)| levels[x as usize] + levels[y as usize] - 2 * levels[z as usize])
         .collect();
     let mean = distances.iter().map(|&d| d as f64).sum::<f64>() / q as f64;
     let max = distances.iter().max().unwrap();
@@ -75,7 +73,10 @@ fn main() {
     let mut batch = vec![0u32; q];
     let t = Instant::now();
     paths.distance_batch(&queries, &mut batch);
-    println!("\nTreePaths::distance_batch: {q} distances in {:?}", t.elapsed());
+    println!(
+        "\nTreePaths::distance_batch: {q} distances in {:?}",
+        t.elapsed()
+    );
     assert_eq!(batch, distances, "distance formula and TreePaths agree");
 
     let (a, b) = queries[0];

@@ -11,8 +11,8 @@ fn main() {
     let device = Device::new();
 
     // ---- 1. The Euler tour technique on the paper's Figure 1 tree -------
-    let tree = Tree::from_edges(6, &[(0, 2), (0, 3), (0, 4), (2, 1), (2, 5)], 0)
-        .expect("valid tree");
+    let tree =
+        Tree::from_edges(6, &[(0, 2), (0, 3), (0, 4), (2, 1), (2, 5)], 0).expect("valid tree");
     let tour = EulerTour::build(&device, &tree).expect("tour");
     let stats = TreeStats::compute(&device, &tour);
     println!("Euler tour of the paper's example tree (Figure 1):");
@@ -27,8 +27,15 @@ fn main() {
     let queries = random_queries(n, 100_000, 8);
     let mut answers = vec![0u32; queries.len()];
     lca.query_batch(&queries, &mut answers);
-    println!("\nLCA: answered {} queries on a {}-node tree", queries.len(), n);
-    println!("  first query ({}, {}) -> {}", queries[0].0, queries[0].1, answers[0]);
+    println!(
+        "\nLCA: answered {} queries on a {}-node tree",
+        queries.len(),
+        n
+    );
+    println!(
+        "  first query ({}, {}) -> {}",
+        queries[0].0, queries[0].1, answers[0]
+    );
 
     // ---- 3. Bridges of a small web-like graph ----------------------------
     let graph = web_graph(200_000, 3, 0.5, 9);

@@ -47,9 +47,9 @@ pub mod prelude {
         BccResult, BridgesResult,
     };
     pub use euler_tour::{EulerTour, EulerTourForest, TreeStats};
-    pub use graph_io::read_edge_list;
     pub use gpu_sim::{Device, DeviceConfig};
     pub use graph_core::{Csr, EdgeList, Tree};
+    pub use graph_io::read_edge_list;
     pub use graphgen::{
         ba_tree, kronecker_graph, largest_connected_component, random_queries, random_tree,
         road_grid, web_graph,

@@ -79,7 +79,12 @@ fn check_lca_all_algorithms(tree: &Tree, label: &str) {
     for alg in &algs {
         let mut got = vec![0u32; queries.len()];
         alg.query_batch(&queries, &mut got);
-        assert_eq!(got, expect, "{label}: {} disagrees with brute force", alg.name());
+        assert_eq!(
+            got,
+            expect,
+            "{label}: {} disagrees with brute force",
+            alg.name()
+        );
     }
 }
 

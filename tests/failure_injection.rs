@@ -104,7 +104,10 @@ fn dynamic_forest_full_error_surface() {
     f.link(1, 2).unwrap();
     assert_eq!(f.link(2, 0).unwrap_err(), ForestError::AlreadyConnected);
     assert_eq!(f.subtree_sum(0, 2).unwrap_err(), ForestError::NoSuchEdge);
-    assert_eq!(f.subtree_sum(9, 0).unwrap_err(), ForestError::VertexOutOfRange);
+    assert_eq!(
+        f.subtree_sum(9, 0).unwrap_err(),
+        ForestError::VertexOutOfRange
+    );
     // Errors must not have corrupted anything.
     assert_eq!(f.component_size(0), 3);
     f.cut(0, 1).unwrap();

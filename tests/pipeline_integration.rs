@@ -120,7 +120,9 @@ fn bridges_all_algorithms_agree_on_kronecker_lcc() {
         "TV"
     );
     assert_eq!(
-        bridges_ck_device(&device, &graph, &csr).unwrap().bridge_ids(),
+        bridges_ck_device(&device, &graph, &csr)
+            .unwrap()
+            .bridge_ids(),
         expected,
         "CK device"
     );

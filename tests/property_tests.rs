@@ -28,13 +28,11 @@ fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = EdgeList> {
     arb_tree(max_n).prop_flat_map(|tree| {
         let n = tree.num_nodes();
         let base: Vec<(u32, u32)> = tree.edges();
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..2 * n).prop_map(
-            move |extra| {
-                let mut edges = base.clone();
-                edges.extend(extra);
-                EdgeList::new(n, edges)
-            },
-        )
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..2 * n).prop_map(move |extra| {
+            let mut edges = base.clone();
+            edges.extend(extra);
+            EdgeList::new(n, edges)
+        })
     })
 }
 

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Throughput`], [`BenchmarkId`], [`black_box`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each routine is warmed up once,
+//! then timed over a fixed number of iterations, and the mean wall-clock
+//! time (plus throughput, when declared) is printed to stdout. There are no
+//! statistics, plots or baselines — the goal is that `cargo bench` runs and
+//! produces honest comparative numbers, not publication-grade confidence
+//! intervals. Swapping in the real criterion restores those without source
+//! changes.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many elements/bytes one iteration processes, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter rendering.
+    pub fn new<P: fmt::Display>(function_id: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Drives one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, also forces lazy init
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+///
+/// In this minimal runner "sample size" is the measured iteration count
+/// per routine (upstream: number of statistical samples). The default is
+/// deliberately small — these benches exist for relative comparisons.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 3 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks; the group inherits this
+    /// manager's sample size until it overrides it.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks `routine` directly under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", id, None, self.sample_size, routine);
+        self
+    }
+
+    /// Sets the measured iteration count for subsequent benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.clamp(1, 20);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the measured iteration count (upstream: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 20);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.throughput,
+            self.sample_size,
+            routine,
+        );
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.throughput,
+            self.sample_size,
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a report boundary upstream; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    iters: usize,
+    mut routine: F,
+) {
+    let mut b = Bencher {
+        iters: iters as u64,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            println!(
+                "  {label}: {} ({:.1} Melem/s)",
+                fmt_time(mean),
+                n as f64 / mean / 1e6
+            );
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            println!(
+                "  {label}: {} ({:.1} MiB/s)",
+                fmt_time(mean),
+                n as f64 / mean / (1 << 20) as f64
+            );
+        }
+        _ => println!("  {label}: {}", fmt_time(mean)),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(2);
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+
+    #[test]
+    fn sample_size_is_honored() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("counted", |b| {
+            b.iter(|| calls.set(calls.get() + 1));
+        });
+        // One warm-up call plus `sample_size` measured iterations.
+        assert_eq!(calls.get(), 6);
+
+        calls.set(0);
+        let mut group = c.benchmark_group("g2");
+        group.bench_function("inherited", |b| {
+            b.iter(|| calls.set(calls.get() + 1));
+        });
+        group.finish();
+        assert_eq!(calls.get(), 6);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("deep").id, "deep");
+    }
+}

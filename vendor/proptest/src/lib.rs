@@ -1,0 +1,154 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the proptest 1.x API the workspace's property
+//! suites use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`,
+//! range / tuple / `Vec` strategies, [`collection::vec`], [`any`] and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics via the assertion message and
+//!   reports its case index on stderr; cases are deterministic (seeded from
+//!   the test's module path, name and case index), so a failure reproduces
+//!   exactly on re-run.
+//! * **Fixed deterministic seeds.** There is no `PROPTEST_CASES` env
+//!   handling and no persistence file; every run explores the same cases.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// The traits, types and macros most property suites import.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn` runs its body for
+/// [`ProptestConfig::cases`] deterministic random instantiations of its
+/// `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                // Built once per test, not per case: strategies can be
+                // expensive combinator trees.
+                let __strategy = ($($strat,)*);
+                for __case in 0..__config.cases {
+                    let __reporter = $crate::test_runner::CaseReporter {
+                        test_path: concat!(module_path!(), "::", stringify!($name)),
+                        case: __case,
+                    };
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        __reporter.test_path,
+                        __case,
+                    );
+                    let ($($pat,)*) = $crate::strategy::Strategy::generate(
+                        &__strategy, &mut __rng);
+                    $body
+                    drop(__reporter);
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the property harness (panics here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the property harness (panics here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` that reports through the property harness (panics here).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0usize..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn vec_respects_len_and_elem(v in crate::collection::vec(0u64..100, 3..10)) {
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u32..4, any::<u64>()), mut z in 1i32..10) {
+            prop_assert!(pair.0 < 4);
+            z += 1;
+            prop_assert!((2..=10).contains(&z));
+        }
+
+        #[test]
+        fn flat_map_dependent_pair(p in (2usize..40).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(any::<u32>(), 0..1).prop_map(move |_| n * 2))
+        })) {
+            prop_assert_eq!(p.0 * 2, p.1);
+        }
+
+        #[test]
+        fn boxed_vec_of_strategies(vs in (1usize..6).prop_flat_map(|n| {
+            let parts: Vec<BoxedStrategy<u32>> =
+                (0..n).map(|i| (0..(i as u32 + 1)).prop_map(|v| v).boxed()).collect();
+            parts
+        })) {
+            for (i, &v) in vs.iter().enumerate() {
+                prop_assert!(v <= i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        let s = 0u64..1000;
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
+    }
+}

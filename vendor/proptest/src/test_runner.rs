@@ -1,0 +1,70 @@
+//! Deterministic per-case RNG and run configuration.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256, sized so the full workspace
+    /// property suite stays fast in CI; individual blocks override it via
+    /// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Names the failing case when a property panics: the [`crate::proptest!`]
+/// expansion keeps one of these alive across each case body, and its
+/// `Drop` reports only while unwinding out of that body.
+pub struct CaseReporter {
+    /// `module_path::test_name` of the running property.
+    pub test_path: &'static str,
+    /// Zero-based index of the case being executed.
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: property {} failed at case {} (deterministic; re-running reproduces it)",
+                self.test_path, self.case
+            );
+        }
+    }
+}
+
+/// The RNG handed to strategies: seeded from the test's identity and case
+/// index, so every run regenerates the identical case sequence.
+pub struct TestRng {
+    /// The underlying RNG (public so strategy impls can sample directly).
+    pub rng: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test named `test_path`.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self {
+            rng: SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37)),
+        }
+    }
+}

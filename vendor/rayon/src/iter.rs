@@ -1,0 +1,354 @@
+//! Parallel-iterator API mapped onto sequential execution.
+//!
+//! Every `par_*` entry point returns [`Par`], a thin wrapper around a
+//! standard sequential iterator. `Par` deliberately does **not** implement
+//! [`Iterator`]: rayon's adaptor signatures differ from std's where it
+//! matters (`reduce` and `fold` take an identity closure, `min`/`max`
+//! variants mirror rayon), so exposing rayon's names on a distinct type
+//! keeps call sites source-compatible with the real crate.
+
+/// A "parallel" iterator executing sequentially on the calling thread.
+pub struct Par<I>(I);
+
+/// `Par` unwraps back into its sequential iterator, which both lets a
+/// `Par` be consumed by a `for` loop and makes the blanket
+/// [`IntoParallelIterator`] impl cover `Par` itself (needed when one
+/// parallel iterator is passed to another's `zip`/`chain`). Rayon's
+/// adaptor methods stay unambiguous because inherent methods take
+/// precedence over `Iterator`'s.
+impl<I: Iterator> IntoIterator for Par<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Marker mirroring `rayon::iter::ParallelIterator`.
+pub trait ParallelIterator {}
+impl<I: Iterator> ParallelIterator for Par<I> {}
+
+/// Marker mirroring `rayon::iter::IndexedParallelIterator`.
+pub trait IndexedParallelIterator {}
+impl<I: ExactSizeIterator> IndexedParallelIterator for Par<I> {}
+
+impl<I: Iterator> Par<I> {
+    // ---- adaptors (lazy, return Par) -------------------------------------
+
+    /// Maps each element through `f`.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Keeps elements matching `pred`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(pred))
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    /// Maps each element to an iterable and flattens.
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, O, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Maps each element to a *sequential* iterable and flattens (rayon
+    /// distinguishes this from `flat_map`; sequentially they coincide).
+    pub fn flat_map_iter<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, O, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Zips with another parallel iterator.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::SeqIter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Chains another parallel iterator after this one.
+    pub fn chain<C: IntoParallelIterator<Item = I::Item>>(
+        self,
+        other: C,
+    ) -> Par<std::iter::Chain<I, C::SeqIter>> {
+        Par(self.0.chain(other.into_par_iter().0))
+    }
+
+    /// Copies referenced elements.
+    pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.copied())
+    }
+
+    /// Clones referenced elements.
+    pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.cloned())
+    }
+
+    /// Takes the first `n` elements.
+    pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
+        Par(self.0.take(n))
+    }
+
+    /// Skips the first `n` elements.
+    pub fn skip(self, n: usize) -> Par<std::iter::Skip<I>> {
+        Par(self.0.skip(n))
+    }
+
+    /// Steps by `n`.
+    pub fn step_by(self, n: usize) -> Par<std::iter::StepBy<I>> {
+        Par(self.0.step_by(n))
+    }
+
+    /// Hints the minimum work-splitting granularity (no-op here).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Hints the maximum work-splitting granularity (no-op here).
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Groups elements into `Vec` chunks of at most `n`.
+    pub fn chunks(self, n: usize) -> Par<std::vec::IntoIter<Vec<I::Item>>> {
+        assert!(n > 0, "chunk size must be non-zero");
+        let mut out: Vec<Vec<I::Item>> = Vec::new();
+        let mut cur = Vec::with_capacity(n);
+        for item in self.0 {
+            cur.push(item);
+            if cur.len() == n {
+                out.push(std::mem::replace(&mut cur, Vec::with_capacity(n)));
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        Par(out.into_iter())
+    }
+
+    /// Rayon-style fold: produces per-"thread" accumulators (exactly one
+    /// here), to be consumed by a following reduction.
+    pub fn fold<ACC, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<ACC>>
+    where
+        ID: Fn() -> ACC,
+        F: FnMut(ACC, I::Item) -> ACC,
+    {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    // ---- consumers -------------------------------------------------------
+
+    /// Calls `f` on every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Calls `f` on every element with a per-"thread" mutable seed.
+    pub fn for_each_with<T: Clone, F: FnMut(&mut T, I::Item)>(self, mut init: T, mut f: F) {
+        self.0.for_each(|item| f(&mut init, item));
+    }
+
+    /// Rayon-style reduce with an identity element.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sums the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Minimum element, `None` when empty.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum element, `None` when empty.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum element by key, `None` when empty.
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.min_by_key(f)
+    }
+
+    /// Maximum element by key, `None` when empty.
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.max_by_key(f)
+    }
+
+    /// Number of elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collects into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Unzips pairs into two collections.
+    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        I: Iterator<Item = (A, B)>,
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        self.0.unzip()
+    }
+
+    /// Whether any element matches (rayon: `any`).
+    pub fn any<F: FnMut(I::Item) -> bool>(self, mut pred: F) -> bool {
+        for item in self.0 {
+            if pred(item) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether all elements match (rayon: `all`).
+    pub fn all<F: FnMut(I::Item) -> bool>(self, mut pred: F) -> bool {
+        for item in self.0 {
+            if !pred(item) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Some element matching `pred`, if any (order unspecified upstream).
+    pub fn find_any<F: FnMut(&I::Item) -> bool>(mut self, mut pred: F) -> Option<I::Item> {
+        self.0.find(|x| pred(x))
+    }
+
+    /// The first element matching `pred`, if any.
+    pub fn find_first<F: FnMut(&I::Item) -> bool>(mut self, mut pred: F) -> Option<I::Item> {
+        self.0.find(|x| pred(x))
+    }
+
+    /// Index of some element matching `pred` (order unspecified upstream).
+    pub fn position_any<F: FnMut(I::Item) -> bool>(mut self, pred: F) -> Option<usize> {
+        self.0.position(pred)
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator type.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Converts `self` into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> Par<Self::SeqIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type SeqIter = T::IntoIter;
+    fn into_par_iter(self) -> Par<Self::SeqIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter()` for shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a shared reference, for collections).
+    type Item: 'data;
+    /// Underlying sequential iterator type.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Iterates `&self` "in parallel" (here: sequentially).
+    fn par_iter(&'data self) -> Par<Self::SeqIter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+{
+    type Item = <&'data T as IntoIterator>::Item;
+    type SeqIter = <&'data T as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Par<Self::SeqIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` for exclusive references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type (an exclusive reference, for collections).
+    type Item: 'data;
+    /// Underlying sequential iterator type.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Iterates `&mut self` "in parallel" (here: sequentially).
+    fn par_iter_mut(&'data mut self) -> Par<Self::SeqIter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoIterator,
+{
+    type Item = <&'data mut T as IntoIterator>::Item;
+    type SeqIter = <&'data mut T as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> Par<Self::SeqIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Chunked traversal of shared slices.
+pub trait ParallelSlice<T> {
+    /// `chunks(chunk_size)`, nominally in parallel.
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    /// `windows(window_size)`, nominally in parallel.
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
+        Par(self.windows(window_size))
+    }
+}
+
+/// Chunked traversal of exclusive slices.
+pub trait ParallelSliceMut<T> {
+    /// `chunks_mut(chunk_size)`, nominally in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}

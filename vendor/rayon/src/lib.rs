@@ -1,0 +1,181 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of the rayon 1.x API the workspace uses —
+//! `par_iter` / `par_iter_mut` / `into_par_iter`, `par_chunks{,_mut}`,
+//! [`ThreadPool`] / [`ThreadPoolBuilder`], [`join`], [`scope`] and
+//! [`current_num_threads`] — with every adaptor executing **sequentially**
+//! on the calling thread.
+//!
+//! Sequential execution is semantically equivalent for the deterministic,
+//! data-parallel kernels in this workspace (the simulated GPU device already
+//! serializes virtual threads between barriers — see `DESIGN.md`). What is
+//! lost is wall-clock speedup only; replacing this shim with the real rayon
+//! restores it without any source change because the API surface matches.
+
+#![warn(missing_docs)]
+
+pub mod iter;
+
+/// The traits one imports to get `par_iter()` and friends.
+pub mod prelude {
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads rayon would use (here: the machine's parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs both closures ("in parallel" upstream; sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// A fork-join scope. Spawned tasks run immediately in this shim.
+pub struct Scope<'scope> {
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `body` (immediately, on the calling thread).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + 'scope,
+    {
+        body(self);
+    }
+}
+
+/// Creates a fork-join scope and runs `op` inside it.
+pub fn scope<'scope, F, R>(op: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    op(&Scope {
+        _marker: std::marker::PhantomData,
+    })
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A configured "pool". Work submitted via [`ThreadPool::install`] runs on
+/// the calling thread; the pool only remembers its configured width so that
+/// callers can partition work consistently.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The number of threads this pool was configured with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` in the pool (here: immediately, on the calling thread).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// Sequential [`join`] inside the pool.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB,
+    {
+        (a(), b())
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width (0 means "automatic", as upstream).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            None | Some(0) => current_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let total: u32 = v.into_par_iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn par_iter_mut_and_chunks() {
+        let mut v = vec![0u32; 8];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
+        assert_eq!(v[7], 7);
+        v.par_chunks_mut(3).for_each(|c| c[0] += 100);
+        assert_eq!(v[0], 100);
+        assert_eq!(v[3], 103);
+        assert_eq!(v[6], 106);
+        assert_eq!(v.par_chunks(3).count(), 3);
+    }
+
+    #[test]
+    fn pool_installs_on_caller() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let s: u64 = (0u64..100).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 4950);
+    }
+}
