@@ -20,10 +20,7 @@ impl Device {
             return (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
         }
 
-        let chunk = usize::max(
-            self.config().block_size,
-            n.div_ceil(4 * self.worker_threads().max(1)),
-        );
+        let chunk = self.grid_chunk_len(n);
         let blocks = n.div_ceil(chunk);
 
         // Phase 1: count survivors per block.

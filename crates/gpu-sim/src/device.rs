@@ -7,10 +7,18 @@
 //! next launch. Virtual threads are grouped into *blocks* ([`DeviceConfig::
 //! block_size`]) which are the unit of scheduling on the worker pool —
 //! mirroring how thread blocks map onto streaming multiprocessors.
+//!
+//! Scheduling works like a grid draining over SMs: [`Device::schedule_blocks`]
+//! spawns one claimer task per pool worker, and each claimer repeatedly grabs
+//! the next unprocessed block index from an **atomic block-claim counter**
+//! until the grid is exhausted. Block decomposition depends only on
+//! [`DeviceConfig::block_size`], never on the worker count, so kernel output
+//! is bit-identical across pool widths (which block a worker claims varies;
+//! what gets computed for each index does not).
 
 use crate::metrics::Metrics;
-use rayon::prelude::*;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tuning knobs for a [`Device`].
 #[derive(Debug, Clone)]
@@ -113,6 +121,18 @@ impl Device {
         }
     }
 
+    /// Chunk length for chunk-per-block primitives (scan, reduce, radix
+    /// sort, compact): at least one [`DeviceConfig::block_size`], and at
+    /// most ~4 chunks per pool worker, so the sequential middle phases
+    /// (block-offset scans) stay negligible while every real worker has
+    /// blocks to claim.
+    pub(crate) fn grid_chunk_len(&self, n: usize) -> usize {
+        usize::max(
+            self.config().block_size,
+            n.div_ceil(4 * self.worker_threads().max(1)),
+        )
+    }
+
     /// Spends the configured per-launch latency (busy-wait: the real cost
     /// is on the host thread exactly as with a blocking CUDA launch).
     #[inline]
@@ -125,11 +145,58 @@ impl Device {
         }
     }
 
-    /// Runs `op` inside the device's worker pool (or the global pool).
+    /// Runs `op` with the device's worker pool pinned as the current pool
+    /// (parallel iterators inside `op` execute on it); with no dedicated
+    /// pool, `op` runs directly and parallel iterators use the global pool.
     pub fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
         match &self.pool {
             Some(p) => p.install(op),
             None => op(),
+        }
+    }
+
+    /// Schedules a grid of `blocks` blocks onto the worker pool via an
+    /// atomic block-claim counter: one claimer task per worker, each
+    /// repeatedly claiming the next block index until the grid drains.
+    /// Returns only when every block ran (the launch barrier). Inline on
+    /// the calling thread when the pool has one worker or the grid one
+    /// block.
+    fn schedule_blocks<F>(&self, blocks: usize, run_block: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if blocks == 0 {
+            return;
+        }
+        let workers = self.worker_threads().max(1);
+        if workers == 1 || blocks == 1 {
+            for b in 0..blocks {
+                run_block(b);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let claimers = usize::min(workers, blocks);
+        fn claim_loop<F: Fn(usize)>(next: &AtomicUsize, blocks: usize, run_block: &F) {
+            loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= blocks {
+                    return;
+                }
+                run_block(b);
+            }
+        }
+        match &self.pool {
+            Some(pool) => pool.scope(|s| {
+                for _ in 0..claimers {
+                    s.spawn(|_| claim_loop(&next, blocks, &run_block));
+                }
+            }),
+            None => rayon::scope(|s| {
+                for _ in 0..claimers {
+                    s.spawn(|_| claim_loop(&next, blocks, &run_block));
+                }
+            }),
         }
     }
 
@@ -156,14 +223,12 @@ impl Device {
         }
         let bs = self.cfg.block_size;
         let blocks = n.div_ceil(bs);
-        self.run(|| {
-            (0..blocks).into_par_iter().for_each(|b| {
-                let start = b * bs;
-                let end = usize::min(start + bs, n);
-                for i in start..end {
-                    f(i);
-                }
-            });
+        self.schedule_blocks(blocks, |b| {
+            let start = b * bs;
+            let end = usize::min(start + bs, n);
+            for i in start..end {
+                f(i);
+            }
         });
     }
 
@@ -186,13 +251,20 @@ impl Device {
             return;
         }
         let bs = self.cfg.block_size;
-        self.run(|| {
-            out.par_chunks_mut(bs).enumerate().for_each(|(b, chunk)| {
-                let base = b * bs;
-                for (j, slot) in chunk.iter_mut().enumerate() {
-                    *slot = f(base + j);
-                }
-            });
+        let blocks = n.div_ceil(bs);
+        let shared = SharedSlice::new(out);
+        self.schedule_blocks(blocks, |b| {
+            let start = b * bs;
+            let end = usize::min(start + bs, n);
+            // SAFETY: blocks own disjoint index ranges, so carving one
+            // exclusive sub-slice per block upholds the SharedSlice
+            // contract; assigning through `&mut` (rather than raw writes)
+            // preserves drop semantics of the overwritten values.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(shared.as_ptr().add(start), end - start) };
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = f(start + j);
+            }
         });
     }
 

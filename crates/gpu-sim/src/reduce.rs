@@ -20,10 +20,7 @@ impl Device {
             }
             return acc;
         }
-        let chunk = usize::max(
-            self.config().block_size,
-            n.div_ceil(4 * self.worker_threads().max(1)),
-        );
+        let chunk = self.grid_chunk_len(n);
         self.run(|| {
             input
                 .par_chunks(chunk)

@@ -14,13 +14,6 @@ use crate::device::Device;
 use rayon::prelude::*;
 
 impl Device {
-    fn scan_chunk_len(&self, n: usize) -> usize {
-        // Cap the number of blocks at a small multiple of the worker count so
-        // the (sequential) middle phase stays negligible.
-        let max_blocks = 4 * self.worker_threads().max(1);
-        usize::max(self.config().block_size, n.div_ceil(max_blocks))
-    }
-
     /// Inclusive scan: `out[i] = input[0] ⊕ … ⊕ input[i]`.
     pub fn scan_inclusive<T, F>(&self, input: &[T], identity: T, op: F) -> Vec<T>
     where
@@ -83,7 +76,10 @@ impl Device {
             return acc;
         }
 
-        let chunk = self.scan_chunk_len(n);
+        // Shared grid sizing caps blocks at a few per pool worker, so the
+        // sequential phase-2 scan of block sums stays negligible while the
+        // real worker count stays saturated.
+        let chunk = self.grid_chunk_len(n);
         let blocks = n.div_ceil(chunk);
 
         // Phase 1 (parallel): reduce each block.

@@ -78,10 +78,7 @@ impl Device {
         let significant_bits = 64 - max_key.leading_zeros();
         let passes = usize::max(1, (significant_bits as usize).div_ceil(RADIX_BITS as usize));
 
-        let chunk = usize::max(
-            self.config().block_size,
-            n.div_ceil(4 * self.worker_threads().max(1)),
-        );
+        let chunk = self.grid_chunk_len(n);
         let nchunks = n.div_ceil(chunk);
 
         let mut src_k = std::mem::take(keys);

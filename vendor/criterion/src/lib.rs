@@ -7,12 +7,28 @@
 //! the [`criterion_group!`] / [`criterion_main!`] macros.
 //!
 //! Measurement is intentionally simple: each routine is warmed up once,
-//! then timed over a fixed number of iterations, and the mean wall-clock
-//! time (plus throughput, when declared) is printed to stdout. There are no
-//! statistics, plots or baselines — the goal is that `cargo bench` runs and
-//! produces honest comparative numbers, not publication-grade confidence
-//! intervals. Swapping in the real criterion restores those without source
-//! changes.
+//! then timed per iteration over a fixed number of iterations, and the mean
+//! wall-clock time (plus throughput, when declared) is printed to stdout.
+//! There are no statistics, plots or baselines — the goal is that
+//! `cargo bench` runs and produces honest comparative numbers, not
+//! publication-grade confidence intervals. Swapping in the real criterion
+//! restores those without source changes.
+//!
+//! ## Machine-readable output
+//!
+//! When the `EMG_BENCH_JSON` environment variable names a file, every
+//! completed benchmark **appends** one JSON object per line to it
+//! (JSON-lines, so multiple bench binaries in one `cargo bench` run share
+//! the file safely):
+//!
+//! ```text
+//! {"group":"scan","bench":"inclusive_u64/65536","median_ns":123.0,
+//!  "mean_ns":130.5,"iters":10,"elements":65536}
+//! ```
+//!
+//! `median_ns`/`mean_ns` are per-iteration wall-clock times; `elements` or
+//! `bytes` appears when the group declared a [`Throughput`]. Delete the
+//! file before a run to start a fresh trajectory record.
 
 #![warn(missing_docs)]
 
@@ -68,17 +84,49 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `routine` over this bencher's iteration count.
+    /// Times `routine` over this bencher's iteration count, recording one
+    /// sample per iteration (so a median survives outliers like a stray
+    /// page fault).
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         black_box(routine()); // warm-up, also forces lazy init
+        self.samples.clear();
         let start = Instant::now();
         for _ in 0..self.iters {
+            let s = Instant::now();
             black_box(routine());
+            self.samples.push(s.elapsed());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Mean per-iteration time in seconds, from the recorded samples so
+    /// the per-iteration timing overhead (the `Instant::now` pair and the
+    /// sample push land *between* samples) does not bias it. Falls back to
+    /// the outer elapsed time when no samples were recorded.
+    fn mean_secs(&self) -> f64 {
+        if self.samples.is_empty() {
+            return self.elapsed.as_secs_f64() / self.iters.max(1) as f64;
+        }
+        self.samples.iter().map(Duration::as_secs_f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Median per-iteration time in seconds (0 when nothing was measured).
+    fn median_secs(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid].as_secs_f64()
+        } else {
+            (sorted[mid - 1].as_secs_f64() + sorted[mid].as_secs_f64()) / 2.0
+        }
     }
 }
 
@@ -196,9 +244,18 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let mut b = Bencher {
         iters: iters as u64,
         elapsed: Duration::ZERO,
+        samples: Vec::with_capacity(iters),
     };
     routine(&mut b);
-    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let mean = b.mean_secs();
+    emit_json(
+        group,
+        id,
+        b.median_secs() * 1e9,
+        mean * 1e9,
+        b.iters,
+        throughput,
+    );
     let label = if group.is_empty() {
         id.to_string()
     } else {
@@ -220,6 +277,50 @@ fn run_one<F: FnMut(&mut Bencher)>(
             );
         }
         _ => println!("  {label}: {}", fmt_time(mean)),
+    }
+}
+
+/// Appends one JSON-lines entry to `$EMG_BENCH_JSON`, if set (see the
+/// module docs for the format). Failures to write are silently ignored —
+/// a perf record must never fail a bench run.
+fn emit_json(
+    group: &str,
+    id: &str,
+    median_ns: f64,
+    mean_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("EMG_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+        Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"iters\":{}{}}}\n",
+        escape(group),
+        escape(id),
+        median_ns,
+        mean_ns,
+        iters,
+        rate
+    );
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(line.as_bytes());
     }
 }
 
@@ -308,5 +409,50 @@ mod tests {
     fn id_rendering() {
         assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
         assert_eq!(BenchmarkId::from_parameter("deep").id, "deep");
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mk = |ns: &[u64]| Bencher {
+            iters: ns.len() as u64,
+            elapsed: Duration::ZERO,
+            samples: ns.iter().map(|&n| Duration::from_nanos(n)).collect(),
+        };
+        assert_eq!(mk(&[30, 10, 20]).median_secs(), 20e-9);
+        assert_eq!(mk(&[40, 10, 20, 30]).median_secs(), 25e-9);
+        assert_eq!(mk(&[]).median_secs(), 0.0);
+    }
+
+    #[test]
+    fn emit_json_appends_entries() {
+        let path =
+            std::env::temp_dir().join(format!("emg_bench_json_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Exercise the writer directly (env-var driven emission is covered
+        // by running the real benches with EMG_BENCH_JSON set; mutating the
+        // process environment from a parallel test harness would race).
+        std::env::set_var("EMG_BENCH_JSON", &path);
+        emit_json(
+            "json_group",
+            "bench/1024",
+            1234.5,
+            1300.0,
+            3,
+            Some(Throughput::Elements(1024)),
+        );
+        emit_json("json_group", "plain", 10.0, 11.0, 2, None);
+        std::env::remove_var("EMG_BENCH_JSON");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents
+            .lines()
+            .filter(|l| l.contains("\"group\":\"json_group\""))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bench\":\"bench/1024\""));
+        assert!(lines[0].contains("\"median_ns\":1234.5"));
+        assert!(lines[0].contains("\"elements\":1024"));
+        assert!(lines[1].contains("\"bench\":\"plain\""));
+        assert!(!lines[1].contains("elements"));
+        let _ = std::fs::remove_file(&path);
     }
 }

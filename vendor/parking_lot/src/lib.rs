@@ -1,16 +1,45 @@
 //! Offline stand-in for `parking_lot`, backed by `std::sync`.
 //!
 //! Only the pieces the workspace uses are provided: [`Mutex`] and [`RwLock`]
-//! with parking_lot's panic-free, guard-returning `lock()` signatures.
-//! Poisoning is transparently ignored (parking_lot has no poisoning), which
-//! matches upstream semantics for these call sites.
+//! with parking_lot's panic-free, guard-returning `lock()` signatures, plus
+//! [`Condvar`] (used by the vendored `rayon` thread pool for worker parking
+//! and scope latches). Poisoning is transparently ignored (parking_lot has
+//! no poisoning), which matches upstream semantics for these call sites.
+//!
+//! [`MutexGuard`] is a thin wrapper rather than a re-export so that
+//! [`Condvar::wait`] can take the guard by `&mut` exactly like upstream
+//! parking_lot (std's `Condvar::wait` consumes and returns the guard).
 
 #![warn(missing_docs)]
 
 use std::sync;
+use std::time::Duration;
 
-/// Re-exported guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Guard returned by [`Mutex::lock`]; releases the lock on drop.
+///
+/// The inner `Option` is only ever `None` transiently inside
+/// [`Condvar::wait`], where the std guard must be moved out and back.
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_deref().expect("guard vacated outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard vacated outside wait")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
 /// Re-exported guard type returned by [`RwLock::read`].
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
 /// Re-exported guard type returned by [`RwLock::write`].
@@ -37,14 +66,16 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, ignoring poisoning (as parking_lot does).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+        MutexGuard(Some(
+            self.0.lock().unwrap_or_else(sync::PoisonError::into_inner),
+        ))
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -54,6 +85,70 @@ impl<T: ?Sized> Mutex<T> {
         self.0
             .get_mut()
             .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// Result of [`Condvar::wait_for`]: whether the wait hit its timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with parking_lot's `&mut guard` API.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard vacated outside wait");
+        let inner = self
+            .0
+            .wait(inner)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.0 = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard vacated outside wait");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wakes one waiting thread; returns whether one was woken.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        // std does not report whether a waiter existed; parking_lot callers
+        // in this workspace ignore the return value.
+        false
+    }
+
+    /// Wakes all waiting threads; returns the number woken (unknown here).
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
     }
 }
 
@@ -119,6 +214,37 @@ mod tests {
         let m = Mutex::new(0u8);
         let g = m.lock();
         assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        assert!(*ready);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+        // The guard is usable again after the wait.
         drop(g);
         assert!(m.try_lock().is_some());
     }

@@ -1,22 +1,1207 @@
-//! Parallel-iterator API mapped onto sequential execution.
+//! Parallel-iterator API over a splittable-producer execution engine.
 //!
-//! Every `par_*` entry point returns [`Par`], a thin wrapper around a
-//! standard sequential iterator. `Par` deliberately does **not** implement
-//! [`Iterator`]: rayon's adaptor signatures differ from std's where it
-//! matters (`reduce` and `fold` take an identity closure, `min`/`max`
-//! variants mirror rayon), so exposing rayon's names on a distinct type
-//! keeps call sites source-compatible with the real crate.
+//! Entry points (`par_iter`, `into_par_iter`, `par_chunks{,_mut}`, ...)
+//! return [`Par`], a wrapper around a [`Producer`] — a data source that can
+//! be **split at an index** into two independent producers. Consumers
+//! (`for_each`, `collect`, `reduce`, `sum`, ...) split the producer into a
+//! bounded number of pieces (a few per pool worker), run each piece's
+//! sequential iterator as a job on the current thread pool, and combine the
+//! per-piece results **in piece order**, so outputs are bit-identical to
+//! sequential execution for any deterministic chain.
+//!
+//! Length-preserving adaptors (`map`, `enumerate`, `zip`, `take`, `skip`,
+//! `copied`, `cloned`) stay indexed and parallel. Length-changing adaptors
+//! (`filter`, `filter_map`, `flat_map`, `flat_map_iter`) remain parallel by
+//! splitting in *base* coordinates, but lose indexedness (no `enumerate`/
+//! `zip` downstream — same as upstream rayon). The remaining rarely-used
+//! adaptors (`chain`, `step_by`, `chunks`, `fold`) degrade to [`SeqPar`], a
+//! sequential fallback that keeps the full rayon method surface compiling;
+//! order-sensitive searches (`find_first`, `position_any`, `min_by_key`,
+//! ...) also run sequentially.
+//!
+//! `Par` deliberately does **not** implement [`Iterator`]: rayon's adaptor
+//! signatures differ from std's where it matters (`reduce`/`fold` take an
+//! identity closure, `min`/`max` variants mirror rayon), so exposing
+//! rayon's names on a distinct type keeps call sites source-compatible
+//! with the real crate.
 
-/// A "parallel" iterator executing sequentially on the calling thread.
-pub struct Par<I>(I);
+use crate::pool;
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-/// `Par` unwraps back into its sequential iterator, which both lets a
-/// `Par` be consumed by a `for` loop and makes the blanket
-/// [`IntoParallelIterator`] impl cover `Par` itself (needed when one
-/// parallel iterator is passed to another's `zip`/`chain`). Rayon's
-/// adaptor methods stay unambiguous because inherent methods take
-/// precedence over `Iterator`'s.
-impl<I: Iterator> IntoIterator for Par<I> {
+// ---------------------------------------------------------------------------
+// The producer model
+// ---------------------------------------------------------------------------
+
+/// A splittable data source: the engine divides producers at `split_at`
+/// boundaries and runs each piece's sequential iterator on a pool worker.
+pub trait Producer: Sized + Send {
+    /// Item type yielded by a piece's iterator.
+    type Item: Send;
+    /// Sequential iterator over one piece.
+    type IntoIter: Iterator<Item = Self::Item>;
+    /// Number of splittable units. Exact for [`IndexedProducer`]s; an upper
+    /// bound (base-coordinate count) for filtering adaptors.
+    fn len_hint(&self) -> usize;
+    /// Splits into the units `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Degrades into a sequential iterator over the remaining units.
+    fn into_seq(self) -> Self::IntoIter;
+}
+
+/// Marker for producers whose `len_hint` is exact and whose items map 1:1
+/// to splittable units — the requirement behind `enumerate`, `zip`, `take`
+/// and `skip`.
+pub trait IndexedProducer: Producer {}
+
+// ---------------------------------------------------------------------------
+// Execution engine
+// ---------------------------------------------------------------------------
+
+/// How many pieces to cut a producer into for the given pool width.
+///
+/// Few-item producers (the per-block patterns in `gpu-sim`, where each item
+/// is a whole block of work) get one piece per item; long producers get a
+/// handful of pieces per worker so the tail imbalance stays small without
+/// oversubscribing the queue.
+fn piece_target(len: usize, threads: usize) -> usize {
+    if threads <= 1 || len <= 1 {
+        1
+    } else if len <= threads * 8 {
+        len
+    } else {
+        threads * 4
+    }
+}
+
+fn split_rec<P: Producer>(producer: P, target: usize, out: &mut Vec<P>) {
+    let len = producer.len_hint();
+    if target <= 1 || len <= 1 {
+        out.push(producer);
+        return;
+    }
+    let left_target = target / 2;
+    let mid = len * left_target / target;
+    if mid == 0 || mid == len {
+        out.push(producer);
+        return;
+    }
+    let (left, right) = producer.split_at(mid);
+    split_rec(left, left_target, out);
+    split_rec(right, target - left_target, out);
+}
+
+/// Splits `producer` into pieces, runs `work` on every piece (in parallel
+/// when the current pool has more than one worker), and returns the piece
+/// results in source order.
+fn run_pieces<P, R, W>(producer: P, work: &W) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    W: Fn(P) -> R + Sync,
+{
+    let pool = pool::current_pool();
+    let target = piece_target(producer.len_hint(), pool.num_threads());
+    if target <= 1 {
+        return vec![work(producer)];
+    }
+    let mut pieces = Vec::with_capacity(target);
+    split_rec(producer, target, &mut pieces);
+    if pieces.len() <= 1 {
+        return pieces.into_iter().map(work).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = pieces.iter().map(|_| Mutex::new(None)).collect();
+    pool::scope_impl(&pool, |s| {
+        for (piece, slot) in pieces.into_iter().zip(&slots) {
+            s.spawn(move |_| {
+                *slot.lock() = Some(work(piece));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("piece job completed"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Par: the parallel iterator
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: a [`Producer`] plus rayon's adaptor/consumer API.
+pub struct Par<P: Producer> {
+    producer: P,
+}
+
+/// `Par` unwraps into its piece iterator, which lets a `Par` be consumed by
+/// a `for` loop and by the sequential fallbacks below.
+impl<P: Producer> IntoIterator for Par<P> {
+    type Item = P::Item;
+    type IntoIter = P::IntoIter;
+    fn into_iter(self) -> P::IntoIter {
+        self.producer.into_seq()
+    }
+}
+
+/// Marker mirroring `rayon::iter::ParallelIterator`.
+pub trait ParallelIterator {}
+impl<P: Producer> ParallelIterator for Par<P> {}
+impl<I: Iterator> ParallelIterator for SeqPar<I> {}
+
+/// Marker mirroring `rayon::iter::IndexedParallelIterator`.
+pub trait IndexedParallelIterator {}
+impl<P: IndexedProducer> IndexedParallelIterator for Par<P> {}
+impl<I: ExactSizeIterator> IndexedParallelIterator for SeqPar<I> {}
+
+impl<P: Producer> Par<P> {
+    // ---- adaptors (lazy, stay parallel) ----------------------------------
+
+    /// Maps each element through `f`.
+    pub fn map<O, F>(self, f: F) -> Par<MapProducer<P, F>>
+    where
+        O: Send,
+        F: Fn(P::Item) -> O + Send + Sync,
+    {
+        Par {
+            producer: MapProducer {
+                base: self.producer,
+                f: Arc::new(f),
+            },
+        }
+    }
+
+    /// Keeps elements matching `pred`.
+    pub fn filter<F>(self, pred: F) -> Par<FilterProducer<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Send + Sync,
+    {
+        Par {
+            producer: FilterProducer {
+                base: self.producer,
+                pred: Arc::new(pred),
+            },
+        }
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<O, F>(self, f: F) -> Par<FilterMapProducer<P, O, F>>
+    where
+        O: Send,
+        F: Fn(P::Item) -> Option<O> + Send + Sync,
+    {
+        Par {
+            producer: FilterMapProducer::rebuild(self.producer, Arc::new(f)),
+        }
+    }
+
+    /// Maps each element to an iterable and flattens. Pieces split at base
+    /// elements; each piece flattens sequentially.
+    pub fn flat_map<O, F>(self, f: F) -> Par<FlatMapProducer<P, O, F>>
+    where
+        O: IntoIterator,
+        O::Item: Send,
+        F: Fn(P::Item) -> O + Send + Sync,
+    {
+        Par {
+            producer: FlatMapProducer {
+                base: self.producer,
+                f: Arc::new(f),
+                _out: PhantomData,
+            },
+        }
+    }
+
+    /// Maps each element to a *sequential* iterable and flattens (rayon
+    /// distinguishes this from `flat_map`; here they share an engine that
+    /// is parallel over base elements and sequential within each).
+    pub fn flat_map_iter<O, F>(self, f: F) -> Par<FlatMapProducer<P, O, F>>
+    where
+        O: IntoIterator,
+        O::Item: Send,
+        F: Fn(P::Item) -> O + Send + Sync,
+    {
+        self.flat_map(f)
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> Par<EnumerateProducer<P>>
+    where
+        P: IndexedProducer,
+    {
+        Par {
+            producer: EnumerateProducer {
+                base: self.producer,
+                offset: 0,
+            },
+        }
+    }
+
+    /// Zips with another indexed parallel iterator, truncating to the
+    /// shorter length.
+    pub fn zip<Z>(self, other: Z) -> Par<ZipProducer<P, Z::Producer>>
+    where
+        P: IndexedProducer,
+        Z: IntoParallelIterator,
+        Z::Producer: IndexedProducer,
+    {
+        let a = self.producer;
+        let b = other.into_par_iter().producer;
+        let n = usize::min(a.len_hint(), b.len_hint());
+        let (a, _) = a.split_at(n);
+        let (b, _) = b.split_at(n);
+        Par {
+            producer: ZipProducer { a, b },
+        }
+    }
+
+    /// Chains another parallel iterator after this one (sequential
+    /// fallback: the two sources are consumed on the calling thread).
+    pub fn chain<C>(
+        self,
+        other: C,
+    ) -> SeqPar<std::iter::Chain<P::IntoIter, <C::Producer as Producer>::IntoIter>>
+    where
+        C: IntoParallelIterator<Item = P::Item>,
+    {
+        SeqPar(
+            self.producer
+                .into_seq()
+                .chain(other.into_par_iter().producer.into_seq()),
+        )
+    }
+
+    /// Copies referenced elements.
+    pub fn copied<'a, T>(self) -> Par<MapProducer<P, impl Fn(&'a T) -> T + Send + Sync>>
+    where
+        T: 'a + Copy + Send + Sync,
+        P: Producer<Item = &'a T>,
+    {
+        self.map(|r: &'a T| *r)
+    }
+
+    /// Clones referenced elements.
+    pub fn cloned<'a, T>(self) -> Par<MapProducer<P, impl Fn(&'a T) -> T + Send + Sync>>
+    where
+        T: 'a + Clone + Send + Sync,
+        P: Producer<Item = &'a T>,
+    {
+        self.map(|r: &'a T| r.clone())
+    }
+
+    /// Takes the first `n` elements.
+    pub fn take(self, n: usize) -> Par<P>
+    where
+        P: IndexedProducer,
+    {
+        let len = self.producer.len_hint();
+        Par {
+            producer: self.producer.split_at(usize::min(n, len)).0,
+        }
+    }
+
+    /// Skips the first `n` elements.
+    pub fn skip(self, n: usize) -> Par<P>
+    where
+        P: IndexedProducer,
+    {
+        let len = self.producer.len_hint();
+        Par {
+            producer: self.producer.split_at(usize::min(n, len)).1,
+        }
+    }
+
+    /// Steps by `n` (sequential fallback).
+    pub fn step_by(self, n: usize) -> SeqPar<std::iter::StepBy<P::IntoIter>> {
+        SeqPar(self.producer.into_seq().step_by(n))
+    }
+
+    /// Hints the minimum work-splitting granularity (accepted, unused: the
+    /// engine's piece sizing is already coarse).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Hints the maximum work-splitting granularity (accepted, unused).
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Groups elements into `Vec` chunks of at most `n` (sequential
+    /// fallback, shared with [`SeqPar::chunks`]).
+    pub fn chunks(self, n: usize) -> SeqPar<std::vec::IntoIter<Vec<P::Item>>> {
+        SeqPar(self.producer.into_seq()).chunks(n)
+    }
+
+    /// Rayon-style fold: produces per-piece accumulators (exactly one here
+    /// — the fold itself runs sequentially, shared with [`SeqPar::fold`]),
+    /// to be consumed by a following reduction.
+    pub fn fold<ACC, ID, F>(self, identity: ID, fold_op: F) -> SeqPar<std::iter::Once<ACC>>
+    where
+        ID: Fn() -> ACC,
+        F: FnMut(ACC, P::Item) -> ACC,
+    {
+        SeqPar(self.producer.into_seq()).fold(identity, fold_op)
+    }
+
+    // ---- consumers (parallel) --------------------------------------------
+
+    /// Calls `f` on every element, in parallel across pieces.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        run_pieces(self.producer, &|piece: P| {
+            piece.into_seq().for_each(&f);
+        });
+    }
+
+    /// Calls `f` on every element with a per-piece clone of `init`.
+    pub fn for_each_with<T, F>(self, init: T, f: F)
+    where
+        T: Clone + Send + Sync,
+        F: Fn(&mut T, P::Item) + Send + Sync,
+    {
+        run_pieces(self.producer, &|piece: P| {
+            let mut acc = init.clone();
+            piece.into_seq().for_each(|item| f(&mut acc, item));
+        });
+    }
+
+    /// Rayon-style reduce with an identity element. `op` must be
+    /// associative; pieces are combined in source order, so the result is
+    /// deterministic for any associative operator.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        run_pieces(self.producer, &|piece: P| {
+            piece.into_seq().fold(identity(), &op)
+        })
+        .into_iter()
+        .fold(identity(), &op)
+    }
+
+    /// Sums the elements (piece sums combined in source order).
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+    {
+        run_pieces(self.producer, &|piece: P| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Minimum element, `None` when empty.
+    pub fn min(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        run_pieces(self.producer, &|piece: P| piece.into_seq().min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Maximum element, `None` when empty.
+    pub fn max(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        run_pieces(self.producer, &|piece: P| piece.into_seq().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Minimum element by key, `None` when empty (sequential).
+    pub fn min_by_key<K: Ord, F: FnMut(&P::Item) -> K>(self, f: F) -> Option<P::Item> {
+        self.producer.into_seq().min_by_key(f)
+    }
+
+    /// Maximum element by key, `None` when empty (sequential).
+    pub fn max_by_key<K: Ord, F: FnMut(&P::Item) -> K>(self, f: F) -> Option<P::Item> {
+        self.producer.into_seq().max_by_key(f)
+    }
+
+    /// Number of elements (counted per piece, in parallel).
+    pub fn count(self) -> usize {
+        run_pieces(self.producer, &|piece: P| piece.into_seq().count())
+            .into_iter()
+            .sum()
+    }
+
+    /// Collects into any `FromIterator` collection. Pieces are collected in
+    /// parallel and concatenated in source order, so the result is
+    /// identical to a sequential collect.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let pieces = run_pieces(self.producer, &|piece: P| {
+            piece.into_seq().collect::<Vec<_>>()
+        });
+        pieces.into_iter().flatten().collect()
+    }
+
+    /// Unzips pairs into two collections (sequential).
+    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        P: Producer<Item = (A, B)>,
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        self.producer.into_seq().unzip()
+    }
+
+    /// Whether any element matches (parallel, with cross-piece
+    /// short-circuiting via a shared flag).
+    pub fn any<F>(self, pred: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Send + Sync,
+    {
+        let found = AtomicBool::new(false);
+        run_pieces(self.producer, &|piece: P| {
+            for item in piece.into_seq() {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if pred(item) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        found.load(Ordering::Relaxed)
+    }
+
+    /// Whether all elements match (parallel).
+    pub fn all<F>(self, pred: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Send + Sync,
+    {
+        !self.any(move |item| !pred(item))
+    }
+
+    /// Some element matching `pred`, if any (sequential; order unspecified
+    /// upstream, first match here).
+    pub fn find_any<F: FnMut(&P::Item) -> bool>(self, mut pred: F) -> Option<P::Item> {
+        self.producer.into_seq().find(|x| pred(x))
+    }
+
+    /// The first element matching `pred`, if any (sequential).
+    pub fn find_first<F: FnMut(&P::Item) -> bool>(self, mut pred: F) -> Option<P::Item> {
+        self.producer.into_seq().find(|x| pred(x))
+    }
+
+    /// Index of some element matching `pred` (sequential; first match).
+    pub fn position_any<F: FnMut(P::Item) -> bool>(self, pred: F) -> Option<usize> {
+        self.producer.into_seq().position(pred)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source producers
+// ---------------------------------------------------------------------------
+
+/// Producer over an integer range.
+pub struct RangeProducer<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! range_producer {
+    ($($t:ty),+) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            type IntoIter = std::ops::Range<$t>;
+            fn len_hint(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                debug_assert!(index <= self.len_hint());
+                let mid = self.range.start + index as $t;
+                (
+                    Self { range: self.range.start..mid },
+                    Self { range: mid..self.range.end },
+                )
+            }
+            fn into_seq(self) -> Self::IntoIter {
+                self.range
+            }
+        }
+        impl IndexedProducer for RangeProducer<$t> {}
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Producer = RangeProducer<$t>;
+            fn into_par_iter(self) -> Par<RangeProducer<$t>> {
+                Par { producer: RangeProducer { range: self } }
+            }
+        }
+    )+};
+}
+
+range_producer!(i32, i64, u32, u64, usize);
+
+/// Producer over a shared slice (items are `&T`).
+pub struct SliceProducer<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (Self { slice: l }, Self { slice: r })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.iter()
+    }
+}
+impl<T: Sync> IndexedProducer for SliceProducer<'_, T> {}
+
+/// Producer over an exclusive slice (items are `&mut T`).
+pub struct SliceMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (Self { slice: l }, Self { slice: r })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.iter_mut()
+    }
+}
+impl<T: Send> IndexedProducer for SliceMutProducer<'_, T> {}
+
+/// Producer over an owned vector. Splitting moves the tail into a new
+/// allocation (`split_off`) — fine for the shim's scale.
+pub struct VecProducer<T: Send> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn len_hint(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, Self { vec: tail })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.vec.into_iter()
+    }
+}
+impl<T: Send> IndexedProducer for VecProducer<T> {}
+
+/// Producer over fixed-size sub-slices of a shared slice.
+pub struct ChunksProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = usize::min(index * self.size, self.slice.len());
+        let (l, r) = self.slice.split_at(elems);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+impl<T: Sync> IndexedProducer for ChunksProducer<'_, T> {}
+
+/// Producer over fixed-size exclusive sub-slices.
+pub struct ChunksMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = usize::min(index * self.size, self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elems);
+        (
+            Self {
+                slice: l,
+                size: self.size,
+            },
+            Self {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+impl<T: Send> IndexedProducer for ChunksMutProducer<'_, T> {}
+
+/// Producer over overlapping windows of a shared slice.
+pub struct WindowsProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for WindowsProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Windows<'a, T>;
+    fn len_hint(&self) -> usize {
+        (self.slice.len() + 1).saturating_sub(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // Window i starts at element i; the left piece needs elements up to
+        // index + size - 1 exclusive, the right starts at element index.
+        let left_end = usize::min(index + self.size - 1, self.slice.len());
+        (
+            Self {
+                slice: &self.slice[..left_end],
+                size: self.size,
+            },
+            Self {
+                slice: &self.slice[index..],
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.windows(self.size)
+    }
+}
+impl<T: Sync> IndexedProducer for WindowsProducer<'_, T> {}
+
+// ---------------------------------------------------------------------------
+// Adaptor producers
+// ---------------------------------------------------------------------------
+
+/// Producer adaptor applying a map function (shared across splits).
+pub struct MapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential iterator of a [`MapProducer`] piece.
+pub struct MapSeqIter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I: Iterator, O, F: Fn(I::Item) -> O> Iterator for MapSeqIter<I, F> {
+    type Item = O;
+    fn next(&mut self) -> Option<O> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+impl<P, O, F> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    O: Send,
+    F: Fn(P::Item) -> O + Send + Sync,
+{
+    type Item = O;
+    type IntoIter = MapSeqIter<P::IntoIter, F>;
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Self { base: r, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        MapSeqIter {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+impl<P, O, F> IndexedProducer for MapProducer<P, F>
+where
+    P: IndexedProducer,
+    O: Send,
+    F: Fn(P::Item) -> O + Send + Sync,
+{
+}
+
+/// Producer adaptor keeping elements that match a predicate. Splits in base
+/// coordinates, so it stays parallel but loses indexedness.
+pub struct FilterProducer<P, F> {
+    base: P,
+    pred: Arc<F>,
+}
+
+/// Sequential iterator of a [`FilterProducer`] piece.
+pub struct FilterSeqIter<I, F> {
+    base: I,
+    pred: Arc<F>,
+}
+
+impl<I: Iterator, F: Fn(&I::Item) -> bool> Iterator for FilterSeqIter<I, F> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.base.by_ref().find(|item| (self.pred)(item))
+    }
+}
+
+impl<P, F> Producer for FilterProducer<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    type IntoIter = FilterSeqIter<P::IntoIter, F>;
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                pred: Arc::clone(&self.pred),
+            },
+            Self {
+                base: r,
+                pred: self.pred,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FilterSeqIter {
+            base: self.base.into_seq(),
+            pred: self.pred,
+        }
+    }
+}
+
+/// Producer adaptor mapping to `Option` and keeping the `Some`s.
+pub struct FilterMapProducer<P, O, F> {
+    base: P,
+    f: Arc<F>,
+    // O appears only in F's return type; anchor it for coherence.
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<P, O, F> FilterMapProducer<P, O, F> {
+    fn rebuild(base: P, f: Arc<F>) -> Self {
+        Self {
+            base,
+            f,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Sequential iterator of a [`FilterMapProducer`] piece.
+pub struct FilterMapSeqIter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I: Iterator, O, F: Fn(I::Item) -> Option<O>> Iterator for FilterMapSeqIter<I, F> {
+    type Item = O;
+    fn next(&mut self) -> Option<O> {
+        for item in self.base.by_ref() {
+            if let Some(out) = (self.f)(item) {
+                return Some(out);
+            }
+        }
+        None
+    }
+}
+
+impl<P, O, F> Producer for FilterMapProducer<P, O, F>
+where
+    P: Producer,
+    O: Send,
+    F: Fn(P::Item) -> Option<O> + Send + Sync,
+{
+    type Item = O;
+    type IntoIter = FilterMapSeqIter<P::IntoIter, F>;
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let f = Arc::clone(&self.f);
+        let (l, r) = self.base.split_at(index);
+        (Self::rebuild(l, f), Self::rebuild(r, self.f))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FilterMapSeqIter {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// Producer adaptor mapping each element to an iterable and flattening.
+pub struct FlatMapProducer<P, O, F> {
+    base: P,
+    f: Arc<F>,
+    _out: PhantomData<fn() -> O>,
+}
+
+/// Sequential iterator of a [`FlatMapProducer`] piece.
+pub struct FlatMapSeqIter<I, O: IntoIterator, F> {
+    base: I,
+    f: Arc<F>,
+    cur: Option<O::IntoIter>,
+}
+
+impl<I, O, F> Iterator for FlatMapSeqIter<I, O, F>
+where
+    I: Iterator,
+    O: IntoIterator,
+    F: Fn(I::Item) -> O,
+{
+    type Item = O::Item;
+    fn next(&mut self) -> Option<O::Item> {
+        loop {
+            if let Some(cur) = &mut self.cur {
+                if let Some(item) = cur.next() {
+                    return Some(item);
+                }
+            }
+            match self.base.next() {
+                Some(x) => self.cur = Some((self.f)(x).into_iter()),
+                None => return None,
+            }
+        }
+    }
+}
+
+impl<P, O, F> Producer for FlatMapProducer<P, O, F>
+where
+    P: Producer,
+    O: IntoIterator,
+    O::Item: Send,
+    F: Fn(P::Item) -> O + Send + Sync,
+{
+    type Item = O::Item;
+    type IntoIter = FlatMapSeqIter<P::IntoIter, O, F>;
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                f: Arc::clone(&self.f),
+                _out: PhantomData,
+            },
+            Self {
+                base: r,
+                f: self.f,
+                _out: PhantomData,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FlatMapSeqIter {
+            base: self.base.into_seq(),
+            f: self.f,
+            cur: None,
+        }
+    }
+}
+
+/// Producer adaptor pairing items with their global index.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential iterator of an [`EnumerateProducer`] piece.
+pub struct EnumerateSeqIter<I> {
+    base: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeqIter<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<(usize, I::Item)> {
+        let item = self.base.next()?;
+        let index = self.next;
+        self.next += 1;
+        Some((index, item))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+impl<P: IndexedProducer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateSeqIter<P::IntoIter>;
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self {
+                base: l,
+                offset: self.offset,
+            },
+            Self {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        EnumerateSeqIter {
+            base: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+impl<P: IndexedProducer> IndexedProducer for EnumerateProducer<P> {}
+
+/// Producer adaptor zipping two equal-length indexed producers.
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedProducer, B: IndexedProducer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn len_hint(&self) -> usize {
+        usize::min(self.a.len_hint(), self.b.len_hint())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Self { a: al, b: bl }, Self { a: ar, b: br })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+impl<A: IndexedProducer, B: IndexedProducer> IndexedProducer for ZipProducer<A, B> {}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// `into_par_iter()` for owned collections, ranges, and `Par` itself.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Producer backing the parallel iterator.
+    type Producer: Producer<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Producer>;
+}
+
+impl<P: Producer> IntoParallelIterator for Par<P> {
+    type Item = P::Item;
+    type Producer = P;
+    fn into_par_iter(self) -> Par<P> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+    fn into_par_iter(self) -> Par<VecProducer<T>> {
+        Par {
+            producer: VecProducer { vec: self },
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Producer = SliceProducer<'a, T>;
+    fn into_par_iter(self) -> Par<SliceProducer<'a, T>> {
+        Par {
+            producer: SliceProducer { slice: self },
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Producer = SliceProducer<'a, T>;
+    fn into_par_iter(self) -> Par<SliceProducer<'a, T>> {
+        Par {
+            producer: SliceProducer { slice: self },
+        }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Producer = SliceMutProducer<'a, T>;
+    fn into_par_iter(self) -> Par<SliceMutProducer<'a, T>> {
+        Par {
+            producer: SliceMutProducer { slice: self },
+        }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Producer = SliceMutProducer<'a, T>;
+    fn into_par_iter(self) -> Par<SliceMutProducer<'a, T>> {
+        Par {
+            producer: SliceMutProducer {
+                slice: self.as_mut_slice(),
+            },
+        }
+    }
+}
+
+/// `par_iter()` for shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a shared reference, for collections).
+    type Item: Send;
+    /// Producer backing the parallel iterator.
+    type Producer: Producer<Item = Self::Item>;
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'data self) -> Par<Self::Producer>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoParallelIterator,
+{
+    type Item = <&'data T as IntoParallelIterator>::Item;
+    type Producer = <&'data T as IntoParallelIterator>::Producer;
+    fn par_iter(&'data self) -> Par<Self::Producer> {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` for exclusive references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type (an exclusive reference, for collections).
+    type Item: Send;
+    /// Producer backing the parallel iterator.
+    type Producer: Producer<Item = Self::Item>;
+    /// Iterates `&mut self` in parallel.
+    fn par_iter_mut(&'data mut self) -> Par<Self::Producer>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoParallelIterator,
+{
+    type Item = <&'data mut T as IntoParallelIterator>::Item;
+    type Producer = <&'data mut T as IntoParallelIterator>::Producer;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Producer> {
+        self.into_par_iter()
+    }
+}
+
+/// Chunked traversal of shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// `chunks(chunk_size)`, in parallel.
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksProducer<'_, T>>;
+    /// `windows(window_size)`, in parallel.
+    fn par_windows(&self, window_size: usize) -> Par<WindowsProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        Par {
+            producer: ChunksProducer {
+                slice: self,
+                size: chunk_size,
+            },
+        }
+    }
+    fn par_windows(&self, window_size: usize) -> Par<WindowsProducer<'_, T>> {
+        assert!(window_size > 0, "window size must be non-zero");
+        Par {
+            producer: WindowsProducer {
+                slice: self,
+                size: window_size,
+            },
+        }
+    }
+}
+
+/// Chunked traversal of exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// `chunks_mut(chunk_size)`, in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutProducer<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        Par {
+            producer: ChunksMutProducer {
+                slice: self,
+                size: chunk_size,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SeqPar: the sequential fallback
+// ---------------------------------------------------------------------------
+
+/// A parallel-iterator type executing sequentially on the calling thread —
+/// the fallback for adaptor chains the producer engine does not parallelize
+/// (`chain`, `step_by`, `chunks`, `fold` accumulators). It carries the full
+/// rayon method surface so such chains keep compiling unchanged.
+pub struct SeqPar<I>(I);
+
+impl<I: Iterator> IntoIterator for SeqPar<I> {
     type Item = I::Item;
     type IntoIter = I;
     fn into_iter(self) -> I {
@@ -24,99 +1209,93 @@ impl<I: Iterator> IntoIterator for Par<I> {
     }
 }
 
-/// Marker mirroring `rayon::iter::ParallelIterator`.
-pub trait ParallelIterator {}
-impl<I: Iterator> ParallelIterator for Par<I> {}
-
-/// Marker mirroring `rayon::iter::IndexedParallelIterator`.
-pub trait IndexedParallelIterator {}
-impl<I: ExactSizeIterator> IndexedParallelIterator for Par<I> {}
-
-impl<I: Iterator> Par<I> {
-    // ---- adaptors (lazy, return Par) -------------------------------------
+impl<I: Iterator> SeqPar<I> {
+    // ---- adaptors --------------------------------------------------------
 
     /// Maps each element through `f`.
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> SeqPar<std::iter::Map<I, F>> {
+        SeqPar(self.0.map(f))
     }
 
     /// Keeps elements matching `pred`.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(pred))
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> SeqPar<std::iter::Filter<I, F>> {
+        SeqPar(self.0.filter(pred))
     }
 
     /// Maps and filters in one pass.
     pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
         self,
         f: F,
-    ) -> Par<std::iter::FilterMap<I, F>> {
-        Par(self.0.filter_map(f))
+    ) -> SeqPar<std::iter::FilterMap<I, F>> {
+        SeqPar(self.0.filter_map(f))
     }
 
     /// Maps each element to an iterable and flattens.
     pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
         self,
         f: F,
-    ) -> Par<std::iter::FlatMap<I, O, F>> {
-        Par(self.0.flat_map(f))
+    ) -> SeqPar<std::iter::FlatMap<I, O, F>> {
+        SeqPar(self.0.flat_map(f))
     }
 
-    /// Maps each element to a *sequential* iterable and flattens (rayon
-    /// distinguishes this from `flat_map`; sequentially they coincide).
+    /// Maps each element to a sequential iterable and flattens.
     pub fn flat_map_iter<O: IntoIterator, F: FnMut(I::Item) -> O>(
         self,
         f: F,
-    ) -> Par<std::iter::FlatMap<I, O, F>> {
-        Par(self.0.flat_map(f))
+    ) -> SeqPar<std::iter::FlatMap<I, O, F>> {
+        SeqPar(self.0.flat_map(f))
     }
 
     /// Pairs each element with its index.
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+    pub fn enumerate(self) -> SeqPar<std::iter::Enumerate<I>> {
+        SeqPar(self.0.enumerate())
     }
 
-    /// Zips with another parallel iterator.
-    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::SeqIter>> {
-        Par(self.0.zip(other.into_par_iter().0))
+    /// Zips with another parallel iterator (consumed sequentially).
+    pub fn zip<Z: IntoParallelIterator>(
+        self,
+        other: Z,
+    ) -> SeqPar<std::iter::Zip<I, <Z::Producer as Producer>::IntoIter>> {
+        SeqPar(self.0.zip(other.into_par_iter().producer.into_seq()))
     }
 
     /// Chains another parallel iterator after this one.
     pub fn chain<C: IntoParallelIterator<Item = I::Item>>(
         self,
         other: C,
-    ) -> Par<std::iter::Chain<I, C::SeqIter>> {
-        Par(self.0.chain(other.into_par_iter().0))
+    ) -> SeqPar<std::iter::Chain<I, <C::Producer as Producer>::IntoIter>> {
+        SeqPar(self.0.chain(other.into_par_iter().producer.into_seq()))
     }
 
     /// Copies referenced elements.
-    pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
+    pub fn copied<'a, T: 'a + Copy>(self) -> SeqPar<std::iter::Copied<I>>
     where
         I: Iterator<Item = &'a T>,
     {
-        Par(self.0.copied())
+        SeqPar(self.0.copied())
     }
 
     /// Clones referenced elements.
-    pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
+    pub fn cloned<'a, T: 'a + Clone>(self) -> SeqPar<std::iter::Cloned<I>>
     where
         I: Iterator<Item = &'a T>,
     {
-        Par(self.0.cloned())
+        SeqPar(self.0.cloned())
     }
 
     /// Takes the first `n` elements.
-    pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
-        Par(self.0.take(n))
+    pub fn take(self, n: usize) -> SeqPar<std::iter::Take<I>> {
+        SeqPar(self.0.take(n))
     }
 
     /// Skips the first `n` elements.
-    pub fn skip(self, n: usize) -> Par<std::iter::Skip<I>> {
-        Par(self.0.skip(n))
+    pub fn skip(self, n: usize) -> SeqPar<std::iter::Skip<I>> {
+        SeqPar(self.0.skip(n))
     }
 
     /// Steps by `n`.
-    pub fn step_by(self, n: usize) -> Par<std::iter::StepBy<I>> {
-        Par(self.0.step_by(n))
+    pub fn step_by(self, n: usize) -> SeqPar<std::iter::StepBy<I>> {
+        SeqPar(self.0.step_by(n))
     }
 
     /// Hints the minimum work-splitting granularity (no-op here).
@@ -130,7 +1309,7 @@ impl<I: Iterator> Par<I> {
     }
 
     /// Groups elements into `Vec` chunks of at most `n`.
-    pub fn chunks(self, n: usize) -> Par<std::vec::IntoIter<Vec<I::Item>>> {
+    pub fn chunks(self, n: usize) -> SeqPar<std::vec::IntoIter<Vec<I::Item>>> {
         assert!(n > 0, "chunk size must be non-zero");
         let mut out: Vec<Vec<I::Item>> = Vec::new();
         let mut cur = Vec::with_capacity(n);
@@ -143,17 +1322,17 @@ impl<I: Iterator> Par<I> {
         if !cur.is_empty() {
             out.push(cur);
         }
-        Par(out.into_iter())
+        SeqPar(out.into_iter())
     }
 
     /// Rayon-style fold: produces per-"thread" accumulators (exactly one
     /// here), to be consumed by a following reduction.
-    pub fn fold<ACC, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<ACC>>
+    pub fn fold<ACC, ID, F>(self, identity: ID, fold_op: F) -> SeqPar<std::iter::Once<ACC>>
     where
         ID: Fn() -> ACC,
         F: FnMut(ACC, I::Item) -> ACC,
     {
-        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+        SeqPar(std::iter::once(self.0.fold(identity(), fold_op)))
     }
 
     // ---- consumers -------------------------------------------------------
@@ -261,94 +1440,5 @@ impl<I: Iterator> Par<I> {
     /// Index of some element matching `pred` (order unspecified upstream).
     pub fn position_any<F: FnMut(I::Item) -> bool>(mut self, pred: F) -> Option<usize> {
         self.0.position(pred)
-    }
-}
-
-/// `into_par_iter()` for owned collections and ranges.
-pub trait IntoParallelIterator {
-    /// Element type.
-    type Item;
-    /// Underlying sequential iterator type.
-    type SeqIter: Iterator<Item = Self::Item>;
-    /// Converts `self` into a "parallel" (here: sequential) iterator.
-    fn into_par_iter(self) -> Par<Self::SeqIter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Item = T::Item;
-    type SeqIter = T::IntoIter;
-    fn into_par_iter(self) -> Par<Self::SeqIter> {
-        Par(self.into_iter())
-    }
-}
-
-/// `par_iter()` for shared references.
-pub trait IntoParallelRefIterator<'data> {
-    /// Element type (a shared reference, for collections).
-    type Item: 'data;
-    /// Underlying sequential iterator type.
-    type SeqIter: Iterator<Item = Self::Item>;
-    /// Iterates `&self` "in parallel" (here: sequentially).
-    fn par_iter(&'data self) -> Par<Self::SeqIter>;
-}
-
-impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
-where
-    &'data T: IntoIterator,
-{
-    type Item = <&'data T as IntoIterator>::Item;
-    type SeqIter = <&'data T as IntoIterator>::IntoIter;
-    fn par_iter(&'data self) -> Par<Self::SeqIter> {
-        Par(self.into_iter())
-    }
-}
-
-/// `par_iter_mut()` for exclusive references.
-pub trait IntoParallelRefMutIterator<'data> {
-    /// Element type (an exclusive reference, for collections).
-    type Item: 'data;
-    /// Underlying sequential iterator type.
-    type SeqIter: Iterator<Item = Self::Item>;
-    /// Iterates `&mut self` "in parallel" (here: sequentially).
-    fn par_iter_mut(&'data mut self) -> Par<Self::SeqIter>;
-}
-
-impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
-where
-    &'data mut T: IntoIterator,
-{
-    type Item = <&'data mut T as IntoIterator>::Item;
-    type SeqIter = <&'data mut T as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'data mut self) -> Par<Self::SeqIter> {
-        Par(self.into_iter())
-    }
-}
-
-/// Chunked traversal of shared slices.
-pub trait ParallelSlice<T> {
-    /// `chunks(chunk_size)`, nominally in parallel.
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
-    /// `windows(window_size)`, nominally in parallel.
-    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
-    }
-    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
-        Par(self.windows(window_size))
-    }
-}
-
-/// Chunked traversal of exclusive slices.
-pub trait ParallelSliceMut<T> {
-    /// `chunks_mut(chunk_size)`, nominally in parallel.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
     }
 }

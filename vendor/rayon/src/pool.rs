@@ -1,0 +1,604 @@
+//! The execution engine: a `std::thread`-based work-sharing pool.
+//!
+//! Architecture (deliberately simpler than upstream rayon's per-worker
+//! work-stealing deques, but with the same observable semantics):
+//!
+//! * Every [`ThreadPool`] owns N worker threads and one shared **injector
+//!   queue** (a [`parking_lot::Mutex`]'d `VecDeque`). Workers park on a
+//!   condvar while the queue is empty and race to pop jobs otherwise.
+//! * Fork-join is built on [`Scope`]: `Scope::spawn` enqueues a job tied to
+//!   a per-scope latch; `scope()` runs the body on the calling thread and
+//!   then **helps** — it drains queue jobs while the latch is non-zero, so
+//!   the caller participates in the work instead of idling and nested
+//!   scopes cannot deadlock the pool.
+//! * Spawned jobs capture borrows from the enclosing stack frame. That is
+//!   sound for exactly the reason it is in rayon and `std::thread::scope`:
+//!   `scope()` does not return (even by unwinding) until the latch counts
+//!   every spawned job complete, so the borrows outlive every access. The
+//!   lifetime erasure happens in one place ([`Scope::spawn`]) and is
+//!   `unsafe` there.
+//! * Panics inside spawned jobs are caught, the first is stashed in the
+//!   scope latch, and [`scope`]/[`join`] re-raise it on the caller after
+//!   all sibling jobs finished — matching rayon's propagation contract.
+//!
+//! The **global pool** is built lazily on first use with
+//! `RAYON_NUM_THREADS` (if set and non-zero) or `available_parallelism`
+//! workers, exactly like upstream. [`ThreadPool::install`] pins a pool as
+//! the *current* pool for the duration of a closure via a thread-local, and
+//! worker threads are born with their own pool pinned, so nested parallel
+//! iterators inside a `Device` kernel reuse the device's dedicated pool.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Shared core of a pool: the injector queue plus worker parking.
+pub(crate) struct PoolInner {
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+    num_threads: usize,
+}
+
+impl PoolInner {
+    fn new(num_threads: usize) -> Self {
+        Self {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            num_threads,
+        }
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    fn push(&self, job: Job) {
+        self.queue.lock().jobs.push_back(job);
+        self.work_cv.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().jobs.pop_front()
+    }
+
+    /// Helps execute queued jobs until `latch` reports zero pending jobs.
+    fn wait_scope(&self, latch: &ScopeLatch) {
+        loop {
+            if *latch.pending.lock() == 0 {
+                return;
+            }
+            if let Some(job) = self.try_pop() {
+                job();
+                continue;
+            }
+            let mut pending = latch.pending.lock();
+            if *pending == 0 {
+                return;
+            }
+            // Timed wait: a job pushed between `try_pop` and here may be the
+            // one this helper should run (all workers busy), so wake up
+            // periodically and retry the pop.
+            latch
+                .done_cv
+                .wait_for(&mut pending, Duration::from_millis(1));
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    CURRENT_POOL.with(|c| *c.borrow_mut() = Some(Arc::clone(&inner)));
+    loop {
+        let job = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(j) = q.jobs.pop_front() {
+                    break Some(j);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                inner.work_cv.wait(&mut q);
+            }
+        };
+        match job {
+            // A panicking job would abort via unwind-through-`extern`
+            // nowhere: jobs wrap user code in `catch_unwind` at spawn time,
+            // so `j()` only unwinds on latch bookkeeping bugs.
+            Some(j) => j(),
+            None => return,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_POOL: RefCell<Option<Arc<PoolInner>>> = const { RefCell::new(None) };
+}
+
+/// The pool the calling thread is operating in: the pool pinned by
+/// [`ThreadPool::install`] or worker birth, else the global pool.
+pub(crate) fn current_pool() -> Arc<PoolInner> {
+    CURRENT_POOL
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(&global_pool().inner))
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The lazily-built global pool (`RAYON_NUM_THREADS` or all logical CPUs).
+pub(crate) fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("global pool build cannot fail")
+    })
+}
+
+/// Number of worker threads in the current pool (the global pool unless the
+/// caller is inside [`ThreadPool::install`] or on a worker thread).
+pub fn current_num_threads() -> usize {
+    current_pool().num_threads()
+}
+
+// ---------------------------------------------------------------------------
+// Scope: latch + lifetime-erased spawns
+// ---------------------------------------------------------------------------
+
+struct ScopeLatch {
+    pending: Mutex<usize>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeLatch {
+    fn new() -> Self {
+        Self {
+            pending: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// A fork-join scope handed to [`scope`] bodies and spawned tasks.
+///
+/// Tasks spawned on it run on the pool's workers (or on the scope's caller
+/// while it helps drain the queue); the creating `scope()` call returns only
+/// after every task completed. Internally the scope is a pair of raw
+/// pointers valid for exactly that window.
+pub struct Scope<'scope> {
+    pool: *const PoolInner,
+    latch: *const ScopeLatch,
+    // Invariant over 'scope, like rayon: a scope must not be coerced to a
+    // shorter lifetime and then outlive the borrows of its tasks.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+// SAFETY: the pointers target the `scope()` caller's stack frame (latch) and
+// the pool, both alive until every task holding a `Scope` copy finished —
+// `scope()` blocks on the latch before returning.
+unsafe impl Send for Scope<'_> {}
+unsafe impl Sync for Scope<'_> {}
+
+/// `Scope` fields are raw pointers shared by all of the scope's tasks.
+struct ScopePtrs {
+    pool: *const PoolInner,
+    latch: *const ScopeLatch,
+}
+// SAFETY: see `Scope` — same pointers, same validity window.
+unsafe impl Send for ScopePtrs {}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` onto the pool. It may borrow anything that outlives
+    /// `'scope`; the enclosing [`scope`] call waits for it. A panic in
+    /// `body` is captured and re-raised at scope exit (first panic wins).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let latch = unsafe { &*self.latch };
+        *latch.pending.lock() += 1;
+        let ptrs = ScopePtrs {
+            pool: self.pool,
+            latch: self.latch,
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Rebind the whole wrapper (edition-2021 closures would
+            // otherwise capture the two non-Send pointer fields disjointly,
+            // even through a destructuring pattern).
+            let ptrs = ptrs;
+            let ScopePtrs { pool, latch } = ptrs;
+            let scope = Scope {
+                pool,
+                latch,
+                _marker: PhantomData,
+            };
+            // SAFETY: the creating scope() is still blocked on the latch.
+            let latch = unsafe { &*latch };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&scope))) {
+                latch.store_panic(payload);
+            }
+            let mut pending = latch.pending.lock();
+            *pending -= 1;
+            if *pending == 0 {
+                latch.done_cv.notify_all();
+            }
+        });
+        // SAFETY: lifetime erasure. The job cannot outlive 'scope because
+        // scope()/scope_impl block until the latch counts it complete, and
+        // workers never drop a queued job without running it (the queue is
+        // drained even during shutdown).
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        unsafe { &*self.pool }.push(job);
+    }
+}
+
+pub(crate) fn scope_impl<'scope, OP, R>(pool: &Arc<PoolInner>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    // Pin `pool` as the caller's current pool for the body and the helping
+    // phase, so nested parallel calls inside helped jobs stay on it.
+    let prev = CURRENT_POOL.with(|c| c.borrow_mut().replace(Arc::clone(pool)));
+    struct Restore(Option<Arc<PoolInner>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT_POOL.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(prev);
+    let latch = ScopeLatch::new();
+    let scope = Scope {
+        pool: Arc::as_ptr(pool),
+        latch: &latch,
+        _marker: PhantomData,
+    };
+    // Run the body on the calling thread; even if it panics, every job it
+    // already spawned must finish before the frame (and the latch) unwind.
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    pool.wait_scope(&latch);
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(value) => {
+            if let Some(payload) = latch.panic.lock().take() {
+                resume_unwind(payload);
+            }
+            value
+        }
+    }
+}
+
+fn join_impl<A, B, RA, RB>(pool: &Arc<PoolInner>, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if pool.num_threads() <= 1 {
+        return (a(), b());
+    }
+    let mut ra = None;
+    let mut rb = None;
+    {
+        let rb_slot = &mut rb;
+        scope_impl(pool, |s| {
+            s.spawn(move |_| {
+                *rb_slot = Some(b());
+            });
+            ra = Some(a());
+        });
+    }
+    (
+        ra.expect("join closure a completed"),
+        rb.expect("join closure b completed"),
+    )
+}
+
+/// Creates a fork-join scope on the current pool and runs `op` inside it.
+///
+/// The body runs on the calling thread; tasks it spawns run on the pool.
+/// Returns once every transitively spawned task finished. The first task
+/// panic is re-raised here after all siblings completed.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    scope_impl(&current_pool(), op)
+}
+
+/// Runs both closures, potentially in parallel: `b` is offered to the pool
+/// while `a` runs on the calling thread (which then helps with queued work).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    join_impl(&current_pool(), a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Public pool handle
+// ---------------------------------------------------------------------------
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced here —
+/// thread spawning aborts the process on resource exhaustion instead).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A pool of worker threads sharing one injector queue.
+///
+/// Dropping the pool drains the remaining queue and joins every worker.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.inner.num_threads())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// The number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    /// Runs `op` with this pool pinned as the calling thread's current pool:
+    /// parallel iterators, [`join`] and [`scope`] calls inside `op` execute
+    /// here rather than on the global pool. `op` itself runs on the calling
+    /// thread (upstream's `in_place` flavor), which then helps the workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = CURRENT_POOL.with(|c| c.borrow_mut().replace(Arc::clone(&self.inner)));
+        struct Restore(Option<Arc<PoolInner>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT_POOL.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// [`join`] on this pool's workers.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        join_impl(&self.inner, a, b)
+    }
+
+    /// [`scope`] on this pool's workers.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        scope_impl(&self.inner, op)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock();
+            q.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width (0 means "automatic", as upstream).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool, spawning its worker threads.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            None | Some(0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Some(n) => n,
+        };
+        let inner = Arc::new(PoolInner::new(n));
+        let workers = (0..n)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Ok(ThreadPool { inner, workers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn scope_runs_every_spawn() {
+        let p = pool(4);
+        let counter = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn workers_run_concurrently() {
+        // All four tasks must be in flight at once for the barrier to
+        // resolve — proof that the pool runs real OS threads.
+        let p = pool(4);
+        let barrier = Barrier::new(4);
+        let passed = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    barrier.wait();
+                    passed.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(passed.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let p = pool(2);
+        let counter = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    // Nested scope from inside a worker job.
+                    scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let p = pool(2);
+        let (a, b) = p.join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_borrows_locals() {
+        let p = pool(2);
+        let data = [1u32, 2, 3, 4];
+        let (left, right) = p.join(
+            || data[..2].iter().sum::<u32>(),
+            || data[2..].iter().sum::<u32>(),
+        );
+        assert_eq!(left + right, 10);
+    }
+
+    #[test]
+    fn spawn_panic_propagates_at_scope_exit() {
+        let p = pool(2);
+        let survivors = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.scope(|s| {
+                s.spawn(|_| panic!("task boom"));
+                s.spawn(|_| {
+                    survivors.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "scope must re-raise the task panic");
+        // Sibling tasks still ran to completion before propagation.
+        assert_eq!(survivors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn install_pins_current_pool() {
+        let p = pool(3);
+        assert_eq!(p.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn worker_threads_inherit_their_pool() {
+        let p = pool(2);
+        let seen = Mutex::new(Vec::new());
+        p.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    seen.lock().push(current_num_threads());
+                });
+            }
+        });
+        // The scope caller may help; helpers report their own current pool,
+        // which is the same pool during `scope`. Workers report theirs.
+        for n in seen.into_inner() {
+            assert!(n == 2 || n == current_num_threads());
+        }
+    }
+}
