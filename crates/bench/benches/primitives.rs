@@ -47,6 +47,24 @@ fn bench_sort(c: &mut Criterion) {
                 keys
             });
         });
+        // The native 32-bit path against the old widen-through-u64 route:
+        // the native path must be no slower (it halves per-pass traffic).
+        let data32: Vec<u32> = data.iter().map(|&k| k as u32).collect();
+        group.bench_with_input(BenchmarkId::new("u32_native", n), &n, |b, _| {
+            b.iter(|| {
+                let mut keys = data32.clone();
+                device.sort_u32(&mut keys);
+                keys
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("u32_widened_u64", n), &n, |b, _| {
+            b.iter(|| {
+                let mut wide: Vec<u64> = data32.iter().map(|&k| k as u64).collect();
+                device.sort_u64(&mut wide);
+                let keys: Vec<u32> = wide.iter().map(|&k| k as u32).collect();
+                keys
+            });
+        });
     }
     group.finish();
 }

@@ -17,6 +17,7 @@ fn main() {
     euler_bench::experiments::fig10::run(&cfg);
     euler_bench::experiments::fig11::run(&cfg);
     euler_bench::experiments::ext_bcc::run(&cfg);
+    euler_bench::experiments::forest_sweep::run(&cfg);
     println!(
         "=== evaluation complete; CSVs in {} ===",
         cfg.out_dir.display()

@@ -1,0 +1,5 @@
+//! Spanning-forest design-space sweep (all backends × graphgen families).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::forest_sweep::run(&cfg);
+}

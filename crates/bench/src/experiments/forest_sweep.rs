@@ -1,0 +1,103 @@
+//! Spanning-forest design-space sweep — every [`bridges::forest`] backend
+//! against every `graphgen` family, the benchmark the pluggable substrate
+//! exists for. Beyond the paper's scope: Hong, Dhulipala & Shun and Sahu &
+//! Donur both report that the winning spanning-tree algorithm flips with
+//! graph shape; this sweep regenerates that comparison on the simulated
+//! device and records what the adaptive selector would have picked.
+//!
+//! With `EMG_BENCH_JSON=<path>` each `(family, backend)` cell also appends
+//! a JSON-lines perf record (see [`crate::harness::emit_bench_json`]).
+
+use crate::config::Config;
+use crate::harness::{emit_bench_json, fmt_secs, mean_std, time, Table};
+use bridges::forest::{all_builders, select_backend, GraphShape};
+use gpu_sim::Device;
+use graph_core::{Csr, EdgeList};
+use graphgen::{ba_graph, kronecker_graph, random_tree, road_grid, web_graph};
+use std::time::Duration;
+
+/// One instance per `graphgen` family, sized by `cfg.scale`.
+fn families(cfg: &Config) -> Vec<(String, EdgeList)> {
+    let n = cfg.nodes(4_000_000);
+    let side = (n as f64).sqrt().ceil() as usize;
+    let scale = (n as f64).log2().ceil() as u32;
+    let tree = random_tree(n, Some(8), 0xF03);
+    vec![
+        (
+            "kron".to_string(),
+            kronecker_graph(scale.min(20), 16, 0xF01),
+        ),
+        (
+            "road".to_string(),
+            road_grid(side, side, graphgen::road::DEFAULT_KEEP_PROB, 0xF02),
+        ),
+        ("web".to_string(), web_graph(n, 6, 0.45, 0xF04)),
+        ("ba".to_string(), ba_graph(n, 8, 0xF05)),
+        (
+            "tree".to_string(),
+            EdgeList::new(tree.num_nodes(), tree.edges()),
+        ),
+    ]
+}
+
+/// Runs the sweep: all backends × all families.
+pub fn run(cfg: &Config) {
+    let device = Device::new();
+    let mut table = Table::new(
+        "Spanning-forest design space: build time per backend [ms]",
+        &[
+            "family", "backend", "nodes", "edges", "comps", "diam", "skew", "mean", "std",
+        ],
+    );
+    for (family, graph) in families(cfg) {
+        let csr = Csr::from_edge_list(&graph);
+        let shape = GraphShape::probe(&csr);
+        for builder in all_builders() {
+            let mut samples: Vec<Duration> = Vec::with_capacity(cfg.repeats);
+            let mut components = 0usize;
+            for rep in 0..cfg.repeats.max(1) {
+                let (forest, d) = time(|| builder.build(&device, &graph, &csr));
+                if rep == 0 {
+                    forest
+                        .validate(&graph)
+                        .unwrap_or_else(|e| panic!("{family}/{}: {e}", builder.name()));
+                    components = forest.num_components;
+                }
+                samples.push(d);
+            }
+            let (mean, std) = mean_std(&samples);
+            table.row(vec![
+                family.clone(),
+                builder.name().to_string(),
+                graph.num_nodes().to_string(),
+                graph.num_edges().to_string(),
+                components.to_string(),
+                shape.diameter.to_string(),
+                format!("{:.1}", shape.degree_skew),
+                fmt_secs(mean),
+                fmt_secs(std),
+            ]);
+            emit_bench_json(
+                "forest_sweep",
+                &format!("{family}/{}", builder.name()),
+                mean,
+                std,
+                samples.len() as u64,
+                Some(graph.num_edges() as u64),
+            );
+        }
+        println!(
+            "{family}: adaptive selector picks {:?} (diameter probe {}, degree skew {:.1})",
+            select_backend(&shape),
+            shape.diameter,
+            shape.degree_skew
+        );
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "forest_sweep");
+    println!(
+        "expected shape: BFS falls behind on the road family (one round per\n\
+         level); sampling/hooking backends stay flat; the adaptive column\n\
+         should match the per-family winner.\n"
+    );
+}

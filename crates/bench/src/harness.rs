@@ -12,15 +12,72 @@ pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 }
 
 /// Mean and standard deviation of a sample of durations, in seconds.
+///
+/// The deviation uses the unbiased `n - 1` sample estimator (Bessel's
+/// correction) — benchmark repeats are a sample of the timing
+/// distribution, not the whole population, and the population formula
+/// systematically understates run-to-run noise. Fewer than two samples
+/// carry no spread information: the deviation is `0.0`.
 pub fn mean_std(samples: &[Duration]) -> (f64, f64) {
-    let n = samples.len().max(1) as f64;
-    let mean = samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+    let n = samples.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n as f64;
+    if n < 2 {
+        return (mean, 0.0);
+    }
     let var = samples
         .iter()
         .map(|d| (d.as_secs_f64() - mean).powi(2))
         .sum::<f64>()
-        / n;
+        / (n - 1) as f64;
     (mean, var.sqrt())
+}
+
+/// Appends one JSON-lines perf record to the file named by
+/// `$EMG_BENCH_JSON`, if set — the same convention the vendored criterion
+/// uses, so experiment sweeps and microbench records land in one file.
+/// Failures to write are silently ignored: a perf record must never fail a
+/// run.
+pub fn emit_bench_json(
+    group: &str,
+    bench: &str,
+    mean_s: f64,
+    std_s: f64,
+    iters: u64,
+    elements: Option<u64>,
+) {
+    let Ok(path) = std::env::var("EMG_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let elems = match elements {
+        Some(n) => format!(",\"elements\":{n}"),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"std_ns\":{:.1},\"iters\":{}{}}}\n",
+        escape(group),
+        escape(bench),
+        mean_s * 1e9,
+        std_s * 1e9,
+        iters,
+        elems
+    );
+    use std::io::Write as _;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(line.as_bytes());
+    }
 }
 
 /// Runs `f` `repeats` times and returns the mean duration in seconds.
@@ -162,9 +219,38 @@ mod tests {
     }
 
     #[test]
-    fn stats_mean_std() {
+    fn stats_mean_std_uses_sample_estimator() {
+        // Two samples {1, 3}: mean 2, sample variance ((1)² + (1)²)/(2-1) = 2.
         let (m, s) = mean_std(&[Duration::from_secs(1), Duration::from_secs(3)]);
         assert!((m - 2.0).abs() < 1e-9);
+        assert!(
+            (s - 2f64.sqrt()).abs() < 1e-9,
+            "sample std of {{1,3}} is √2, got {s}"
+        );
+        // Three samples {1, 2, 3}: sample variance (1 + 0 + 1)/2 = 1.
+        let (m, s) = mean_std(&[
+            Duration::from_secs(1),
+            Duration::from_secs(2),
+            Duration::from_secs(3),
+        ]);
+        assert!((m - 2.0).abs() < 1e-9);
         assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_mean_std_degenerate_samples() {
+        let (m, s) = mean_std(&[]);
+        assert_eq!((m, s), (0.0, 0.0));
+        let (m, s) = mean_std(&[Duration::from_secs(5)]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert_eq!(s, 0.0, "a single sample has no spread");
+    }
+
+    #[test]
+    fn bench_json_skipped_without_env() {
+        // With EMG_BENCH_JSON unset this must be a silent no-op.
+        if std::env::var("EMG_BENCH_JSON").is_err() {
+            emit_bench_json("g", "b", 1e-3, 1e-4, 3, Some(100));
+        }
     }
 }

@@ -42,16 +42,41 @@ impl BfsTree {
     }
 }
 
+/// The empty-graph result all three variants agree on: no nodes, no levels.
+fn empty_tree(root: NodeId) -> BfsTree {
+    BfsTree {
+        parent: Vec::new(),
+        level: Vec::new(),
+        parent_edge: Vec::new(),
+        root,
+        num_levels: 0,
+    }
+}
+
+/// Shared `num_levels` definition: `max reached level + 1`, i.e. the number
+/// of distinct BFS levels; 0 when no node exists. Unreached nodes
+/// (`u32::MAX`) never count — all three variants use this one function so
+/// they cannot drift apart on disconnected inputs.
+fn count_levels(level: &[u32]) -> u32 {
+    level
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .map_or(0, |&l| l + 1)
+}
+
 /// Sequential BFS — baseline and oracle.
 pub fn bfs_sequential(csr: &Csr, root: NodeId) -> BfsTree {
     let n = csr.num_nodes();
+    if n == 0 {
+        return empty_tree(root);
+    }
     let mut parent = vec![INVALID_NODE; n];
     let mut parent_edge = vec![u32::MAX; n];
     let mut level = vec![u32::MAX; n];
     level[root as usize] = 0;
     let mut queue = std::collections::VecDeque::with_capacity(n);
     queue.push_back(root);
-    let mut max_level = 0;
     while let Some(u) = queue.pop_front() {
         let l = level[u as usize];
         for (w, eid) in csr.incident(u) {
@@ -59,17 +84,17 @@ pub fn bfs_sequential(csr: &Csr, root: NodeId) -> BfsTree {
                 level[w as usize] = l + 1;
                 parent[w as usize] = u;
                 parent_edge[w as usize] = eid;
-                max_level = max_level.max(l + 1);
                 queue.push_back(w);
             }
         }
     }
+    let num_levels = count_levels(&level);
     BfsTree {
         parent,
         level,
         parent_edge,
         root,
-        num_levels: max_level + 1,
+        num_levels,
     }
 }
 
@@ -83,6 +108,9 @@ fn pack_claim(parent: NodeId, edge: EdgeId) -> u64 {
 /// Device (GPU-sim) BFS.
 pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
     let n = csr.num_nodes();
+    if n == 0 {
+        return empty_tree(root);
+    }
     let claims: Vec<std::sync::atomic::AtomicU64> = (0..n)
         .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
         .collect();
@@ -152,13 +180,7 @@ pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
             }
         });
     }
-    let num_levels = level
-        .iter()
-        .filter(|&&l| l != u32::MAX)
-        .max()
-        .copied()
-        .unwrap_or(0)
-        + 1;
+    let num_levels = count_levels(&level);
     BfsTree {
         parent,
         level,
@@ -171,6 +193,9 @@ pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
 /// Multicore (rayon) BFS — the OpenMP-style variant used by multicore CK.
 pub fn bfs_rayon(csr: &Csr, root: NodeId) -> BfsTree {
     let n = csr.num_nodes();
+    if n == 0 {
+        return empty_tree(root);
+    }
     let claims: Vec<std::sync::atomic::AtomicU64> = (0..n)
         .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
         .collect();
@@ -230,13 +255,7 @@ pub fn bfs_rayon(csr: &Csr, root: NodeId) -> BfsTree {
         })
         .collect();
     let level: Vec<u32> = levels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
-    let num_levels = level
-        .iter()
-        .filter(|&&l| l != u32::MAX)
-        .max()
-        .copied()
-        .unwrap_or(0)
-        + 1;
+    let num_levels = count_levels(&level);
     BfsTree {
         parent,
         level,
@@ -333,6 +352,72 @@ mod tests {
         let t = bfs_device(&device, &csr, 0);
         assert!(t.spans());
         assert_eq!(t.num_levels, 1);
+    }
+
+    #[test]
+    fn empty_graph_zero_levels_in_all_variants() {
+        let device = Device::new();
+        let el = EdgeList::new(0, vec![]);
+        let csr = Csr::from_edge_list(&el);
+        for t in [
+            bfs_sequential(&csr, 0),
+            bfs_device(&device, &csr, 0),
+            bfs_rayon(&csr, 0),
+        ] {
+            assert_eq!(t.num_levels, 0);
+            assert_eq!(t.reached(), 0);
+            assert!(t.spans());
+            assert!(t.parent.is_empty() && t.level.is_empty() && t.parent_edge.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_node_one_level_in_all_variants() {
+        let device = Device::new();
+        let el = EdgeList::new(1, vec![]);
+        let csr = Csr::from_edge_list(&el);
+        for t in [
+            bfs_sequential(&csr, 0),
+            bfs_device(&device, &csr, 0),
+            bfs_rayon(&csr, 0),
+        ] {
+            assert_eq!(t.num_levels, 1);
+            assert!(t.spans());
+            assert_eq!(t.parent, vec![INVALID_NODE]);
+        }
+    }
+
+    #[test]
+    fn disconnected_num_levels_agrees_across_variants() {
+        let device = Device::new();
+        // Root's component is a 3-path (levels 0..=2); the rest unreachable.
+        let el = EdgeList::new(7, vec![(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)]);
+        let csr = Csr::from_edge_list(&el);
+        let seq = bfs_sequential(&csr, 0);
+        let dev = bfs_device(&device, &csr, 0);
+        let ray = bfs_rayon(&csr, 0);
+        assert_eq!(seq.num_levels, 3);
+        assert_eq!(dev.num_levels, 3);
+        assert_eq!(ray.num_levels, 3);
+        assert_eq!(seq.level, dev.level);
+        assert_eq!(seq.level, ray.level);
+        assert_eq!(seq.reached(), 3);
+    }
+
+    #[test]
+    fn isolated_root_in_disconnected_graph() {
+        let device = Device::new();
+        let el = EdgeList::new(4, vec![(1, 2), (2, 3)]);
+        let csr = Csr::from_edge_list(&el);
+        for t in [
+            bfs_sequential(&csr, 0),
+            bfs_device(&device, &csr, 0),
+            bfs_rayon(&csr, 0),
+        ] {
+            assert_eq!(t.num_levels, 1, "only the root's level exists");
+            assert_eq!(t.reached(), 1);
+            assert!(!t.spans());
+        }
     }
 
     #[test]

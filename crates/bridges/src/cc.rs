@@ -34,9 +34,10 @@ impl ConnectedComponents {
     }
 }
 
-/// Find with path halving over an atomic parent array.
+/// Find with path halving over an atomic parent array. Shared with the
+/// edge-sampling builders in [`crate::forest`].
 #[inline]
-fn find(parent: &[AtomicU32], mut v: u32) -> u32 {
+pub(crate) fn find(parent: &[AtomicU32], mut v: u32) -> u32 {
     loop {
         let p = parent[v as usize].load(Ordering::Relaxed);
         if p == v {
@@ -50,6 +51,33 @@ fn find(parent: &[AtomicU32], mut v: u32) -> u32 {
         let _ =
             parent[v as usize].compare_exchange_weak(p, gp, Ordering::Relaxed, Ordering::Relaxed);
         v = gp;
+    }
+}
+
+/// One hooking attempt for edge `e = {u, v}`: links the larger root under
+/// the smaller and flags `e` as a tree edge when the link wins the CAS.
+/// Shared with the Afforest-style builder in [`crate::forest`], which runs
+/// the same hook over sampled and filtered edge subsets.
+#[inline]
+pub(crate) fn hook_min(parent: &[AtomicU32], tree_flag: &[AtomicU32], e: usize, u: u32, v: u32) {
+    if u == v {
+        return;
+    }
+    loop {
+        let ru = find(parent, u);
+        let rv = find(parent, v);
+        if ru == rv {
+            return;
+        }
+        let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+        if parent[hi as usize]
+            .compare_exchange(hi, lo, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            tree_flag[e].store(1, Ordering::Relaxed);
+            return;
+        }
+        // Lost the race; re-find and retry.
     }
 }
 
@@ -68,25 +96,7 @@ pub fn connected_components(device: &Device, graph: &EdgeList) -> ConnectedCompo
         let edges = graph.edges();
         device.for_each(m, |e| {
             let (u, v) = edges[e];
-            if u == v {
-                return;
-            }
-            loop {
-                let ru = find(parent_ref, u);
-                let rv = find(parent_ref, v);
-                if ru == rv {
-                    return;
-                }
-                let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
-                if parent_ref[hi as usize]
-                    .compare_exchange(hi, lo, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    tree_ref[e].store(1, Ordering::Relaxed);
-                    return;
-                }
-                // Lost the race; re-find and retry.
-            }
+            hook_min(parent_ref, tree_ref, e, u, v);
         });
     }
 

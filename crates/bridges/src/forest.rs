@@ -1,0 +1,945 @@
+//! Pluggable spanning-forest substrates for the bridges pipeline.
+//!
+//! The paper's pipeline (§4) stands on a single substrate — the union-find
+//! hooking CC of [`crate::cc`] — but the winning spanning-tree algorithm
+//! flips with graph shape (Hong, Dhulipala & Shun, "Exploring the Design
+//! Space of Static and Incremental Graph Connectivity Algorithms on GPUs";
+//! Sahu & Donur, "Beyond BFS"): level-synchronous BFS needs one round per
+//! level and collapses on high-diameter road networks, pointer jumping pays
+//! for itself on deep components, and k-out edge sampling (Afforest) wins
+//! when one giant component absorbs most edges. This module opens that
+//! choice: every backend implements [`SpanningForestBuilder`] and produces
+//! the same outputs, so [`crate::bridges_tv`], [`crate::bridges_hybrid`]
+//! and [`crate::twoecc`] run unchanged on any of them.
+//!
+//! Construction is two-staged: [`SpanningForestBuilder::build_unrooted`]
+//! yields the tree edges and component structure — all the TV/hybrid
+//! pipelines consume — and [`SpanningForestBuilder::build`] additionally
+//! roots every component at its representative (one multi-source BFS over
+//! the tree edges, one synchronous round per tree level), producing the
+//! unified [`SpanningForest`] the equivalence suite and `emg forest`
+//! validate.
+//!
+//! Backends:
+//!
+//! | Name       | Builder                    | Strategy |
+//! |------------|----------------------------|----------|
+//! | `uf`       | [`UnionFindBuilder`]       | lock-free union-find hooking ([`crate::cc`]) |
+//! | `bfs`      | [`BfsBuilder`]             | level-synchronous BFS per component |
+//! | `sv`       | [`ShiloachVishkinBuilder`] | alternating-direction hooking + pointer-jumping shortcuts |
+//! | `afforest` | [`AfforestBuilder`]        | k-out sampling, skip the largest partial component |
+//! | `adaptive` | [`AdaptiveBuilder`]        | picks one of the above from a cheap [`GraphShape`] probe |
+
+use crate::cc::{self, find, hook_min};
+use gpu_sim::device::SharedSlice;
+use gpu_sim::Device;
+use graph_core::ids::{EdgeId, NodeId, INVALID_NODE};
+use graph_core::{Csr, EdgeList};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// An unrooted spanning forest: the tree-edge set plus component structure.
+/// This is the cheap stage — everything the bridge pipelines need.
+#[derive(Debug, Clone)]
+pub struct UnrootedForest {
+    /// Ascending original edge ids of the forest's tree edges
+    /// (`n - num_components` of them).
+    pub tree_edges: Vec<EdgeId>,
+    /// Smallest node id of each node's component.
+    pub representative: Vec<NodeId>,
+    /// Number of connected components.
+    pub num_components: usize,
+}
+
+impl UnrootedForest {
+    /// Whether the whole graph is one component (isolated nodes count).
+    pub fn is_connected(&self) -> bool {
+        self.num_components <= 1
+    }
+
+    /// Roots every component at its representative via one multi-source
+    /// level-synchronous BFS over the tree edges (one synchronous round per
+    /// tree level).
+    pub fn into_rooted(self, device: &Device, graph: &EdgeList) -> SpanningForest {
+        let (parent, parent_edge) =
+            root_forest(device, graph, &self.tree_edges, &self.representative);
+        SpanningForest {
+            parent,
+            parent_edge,
+            tree_edges: self.tree_edges,
+            representative: self.representative,
+            num_components: self.num_components,
+        }
+    }
+}
+
+/// A rooted spanning forest — the unified output of every backend.
+///
+/// Each connected component is rooted at its **representative** (the
+/// smallest node id in the component), so outputs are directly comparable
+/// across backends even though the chosen tree *edges* may differ.
+#[derive(Debug, Clone)]
+pub struct SpanningForest {
+    /// Parent of each node in the rooted forest; [`INVALID_NODE`] for
+    /// component roots.
+    pub parent: Vec<NodeId>,
+    /// Original edge id connecting each node to its parent; `u32::MAX` for
+    /// component roots.
+    pub parent_edge: Vec<EdgeId>,
+    /// Ascending original edge ids of the forest's tree edges.
+    pub tree_edges: Vec<EdgeId>,
+    /// Smallest node id of each node's component.
+    pub representative: Vec<NodeId>,
+    /// Number of connected components.
+    pub num_components: usize,
+}
+
+impl SpanningForest {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the whole graph is one component (isolated nodes count).
+    pub fn is_connected(&self) -> bool {
+        self.num_components <= 1
+    }
+
+    /// Number of tree edges (`n - num_components`).
+    pub fn num_tree_edges(&self) -> usize {
+        self.num_nodes() - self.num_components
+    }
+
+    /// Structural validation against the source graph: every non-root hangs
+    /// off a real incident edge, parent chains are acyclic, representatives
+    /// are the per-component minima and constant across every graph edge,
+    /// and `tree_edges` is exactly the ascending set of parent edges
+    /// (`n - num_components` of them).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, graph: &EdgeList) -> Result<(), String> {
+        let n = graph.num_nodes();
+        if self.parent.len() != n || self.parent_edge.len() != n || self.representative.len() != n {
+            return Err(format!("array lengths disagree with n = {n}"));
+        }
+        let edges = graph.edges();
+        let mut parent_edge_set = Vec::new();
+        for v in 0..n {
+            let p = self.parent[v];
+            let pe = self.parent_edge[v];
+            let is_root = self.representative[v] == v as u32;
+            if is_root != (p == INVALID_NODE) || is_root != (pe == u32::MAX) {
+                return Err(format!("node {v}: root markers disagree"));
+            }
+            if !is_root {
+                parent_edge_set.push(pe);
+                let (a, b) = *edges
+                    .get(pe as usize)
+                    .ok_or_else(|| format!("node {v}: parent edge {pe} out of range"))?;
+                if !((a == v as u32 && b == p) || (b == v as u32 && a == p)) {
+                    return Err(format!(
+                        "node {v}: parent edge {pe} = ({a},{b}) does not connect {v} and {p}"
+                    ));
+                }
+                if self.representative[p as usize] != self.representative[v] {
+                    return Err(format!("node {v}: representative differs from parent {p}"));
+                }
+            }
+        }
+        if parent_edge_set.len() != self.num_tree_edges() {
+            return Err(format!(
+                "{} parent edges but n - components = {}",
+                parent_edge_set.len(),
+                self.num_tree_edges()
+            ));
+        }
+        parent_edge_set.sort_unstable();
+        if parent_edge_set != self.tree_edges {
+            return Err("tree_edges does not match the set of parent edges".into());
+        }
+        if !self.tree_edges.windows(2).all(|w| w[0] < w[1]) {
+            return Err("tree_edges not strictly ascending".into());
+        }
+        // Acyclicity of parent chains (0 = unvisited, 1 = on stack, 2 = ok).
+        let mut state = vec![0u8; n];
+        for start in 0..n {
+            let mut v = start;
+            let mut path = Vec::new();
+            while state[v] == 0 {
+                state[v] = 1;
+                path.push(v);
+                let p = self.parent[v];
+                if p == INVALID_NODE {
+                    break;
+                }
+                v = p as usize;
+                if state[v] == 1 {
+                    return Err(format!("parent cycle through node {v}"));
+                }
+            }
+            for w in path {
+                state[w] = 2;
+            }
+        }
+        // Representatives constant across every graph edge (the forest
+        // spans each component's connectivity) and minimal per component.
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            if self.representative[u as usize] != self.representative[v as usize] {
+                return Err(format!("edge {e} = ({u},{v}) crosses representatives"));
+            }
+        }
+        let mut min_seen: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for v in 0..n as u32 {
+            let r = self.representative[v as usize];
+            let m = min_seen.entry(r).or_insert(v);
+            *m = (*m).min(v);
+        }
+        for (r, m) in min_seen {
+            if r != m {
+                return Err(format!(
+                    "representative {r} is not its component's minimum {m}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A spanning-forest construction algorithm.
+pub trait SpanningForestBuilder: Sync {
+    /// Short CLI/bench name of the backend.
+    fn name(&self) -> &'static str;
+
+    /// Builds the tree-edge set and component structure — the cheap stage
+    /// the bridge pipelines consume.
+    fn build_unrooted(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> UnrootedForest;
+
+    /// Builds the full rooted forest. The default implementation roots
+    /// [`SpanningForestBuilder::build_unrooted`]'s output; backends whose
+    /// construction is naturally rooted (BFS) override it.
+    fn build(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> SpanningForest {
+        self.build_unrooted(device, graph, csr)
+            .into_rooted(device, graph)
+    }
+}
+
+/// Names accepted by [`builder_by_name`], in sweep order.
+pub const BACKEND_NAMES: &[&str] = &["uf", "bfs", "sv", "afforest", "adaptive"];
+
+/// Resolves a backend name (`uf`, `bfs`, `sv`, `afforest`, `adaptive`).
+pub fn builder_by_name(name: &str) -> Option<Box<dyn SpanningForestBuilder>> {
+    match name {
+        "uf" | "union-find" | "cc" => Some(Box::new(UnionFindBuilder)),
+        "bfs" => Some(Box::new(BfsBuilder)),
+        "sv" | "shiloach-vishkin" => Some(Box::new(ShiloachVishkinBuilder)),
+        "afforest" => Some(Box::new(AfforestBuilder::default())),
+        "adaptive" => Some(Box::new(AdaptiveBuilder)),
+        _ => None,
+    }
+}
+
+/// All selectable backends, in [`BACKEND_NAMES`] order.
+pub fn all_builders() -> Vec<Box<dyn SpanningForestBuilder>> {
+    BACKEND_NAMES
+        .iter()
+        .map(|n| builder_by_name(n).expect("registered name"))
+        .collect()
+}
+
+/// Packs a `(parent, edge)` claim into one atomic word.
+#[inline]
+fn pack(parent: NodeId, edge: u32) -> u64 {
+    ((parent as u64) << 32) | edge as u64
+}
+
+/// One synchronous frontier-expansion wave: every frontier node tries to
+/// claim its unvisited neighbors with a CAS on `claims` (packing the
+/// `(parent, edge)` pair); `on_claim(w)` runs once per winning claim.
+/// Returns the next frontier.
+fn expand_frontier(
+    device: &Device,
+    csr: &Csr,
+    frontier: &[NodeId],
+    claims: &[AtomicU64],
+    on_claim: impl Fn(NodeId) + Sync,
+) -> Vec<NodeId> {
+    let degree_sum: usize = frontier.iter().map(|&u| csr.degree(u)).sum();
+    let mut next = vec![0 as NodeId; degree_sum];
+    let count = AtomicUsize::new(0);
+    {
+        let next_shared = SharedSlice::new(&mut next);
+        let count_ref = &count;
+        device.for_each(frontier.len(), |i| {
+            let u = frontier[i];
+            for (w, eid) in csr.incident(u) {
+                if claims[w as usize]
+                    .compare_exchange(u64::MAX, pack(u, eid), Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    on_claim(w);
+                    let pos = count_ref.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: fetch_add hands out unique slots; the degree
+                    // sum bounds the capacity.
+                    unsafe { next_shared.write(pos, w) };
+                }
+            }
+        });
+    }
+    next.truncate(count.load(Ordering::Relaxed));
+    next
+}
+
+/// Roots an unrooted forest: a multi-source level-synchronous BFS over the
+/// tree-edge subgraph, seeded at every representative, yields `parent` and
+/// `parent_edge` (original edge ids).
+fn root_forest(
+    device: &Device,
+    graph: &EdgeList,
+    tree_edge_ids: &[EdgeId],
+    representative: &[NodeId],
+) -> (Vec<NodeId>, Vec<EdgeId>) {
+    let n = representative.len();
+    let tree_pairs: Vec<(u32, u32)> = tree_edge_ids
+        .iter()
+        .map(|&e| graph.edges()[e as usize])
+        .collect();
+    let sub = EdgeList::new(n, tree_pairs);
+    let sub_csr = Csr::from_edge_list(&sub);
+
+    let claims: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let mut frontier: Vec<NodeId> = (0..n as u32)
+        .filter(|&v| representative[v as usize] == v)
+        .collect();
+    for &r in &frontier {
+        // Any non-MAX value marks the roots claimed; their slots are never
+        // read back (roots keep INVALID_NODE / u32::MAX markers).
+        claims[r as usize].store(pack(r, 0), Ordering::Relaxed);
+    }
+    while !frontier.is_empty() {
+        frontier = expand_frontier(device, &sub_csr, &frontier, &claims, |_| {});
+    }
+
+    let mut parent = vec![INVALID_NODE; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    {
+        let parent_shared = SharedSlice::new(&mut parent);
+        let pe_shared = SharedSlice::new(&mut parent_edge);
+        let claims_ref = &claims;
+        let ids = tree_edge_ids;
+        device.for_each(n, |v| {
+            if representative[v] != v as u32 {
+                let c = claims_ref[v].load(Ordering::Relaxed);
+                // SAFETY: one write per node; the low word is the sub-graph
+                // edge id, mapped back to the original id through `ids`.
+                unsafe {
+                    parent_shared.write(v, (c >> 32) as NodeId);
+                    pe_shared.write(v, ids[c as u32 as usize]);
+                }
+            }
+        });
+    }
+    (parent, parent_edge)
+}
+
+/// Normalizes arbitrary component labels to per-component minimum node ids.
+fn representatives_from_labels(device: &Device, labels: &[u32]) -> Vec<NodeId> {
+    let n = labels.len();
+    let min: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    {
+        let min_ref = &min;
+        device.for_each(n, |v| {
+            min_ref[labels[v] as usize].fetch_min(v as u32, Ordering::Relaxed);
+        });
+    }
+    device.alloc_map(n, |v| min[labels[v] as usize].load(Ordering::Relaxed))
+}
+
+/// Finishes a hooking-style builder: compacts the tree-edge flags and
+/// derives representatives from `labels`.
+fn unrooted_from_labels(
+    device: &Device,
+    graph: &EdgeList,
+    labels: &[u32],
+    tree_flag: &[AtomicU32],
+) -> UnrootedForest {
+    let representative = representatives_from_labels(device, labels);
+    let tree_edges: Vec<EdgeId> = device.compact_indices(graph.num_edges(), |e| {
+        tree_flag[e].load(Ordering::Relaxed) == 1
+    });
+    let num_components = graph.num_nodes() - tree_edges.len();
+    UnrootedForest {
+        tree_edges,
+        representative,
+        num_components,
+    }
+}
+
+/// The paper's substrate: lock-free union-find hooking ([`crate::cc`]),
+/// diameter-insensitive and wait-free in aggregate.
+pub struct UnionFindBuilder;
+
+impl SpanningForestBuilder for UnionFindBuilder {
+    fn name(&self) -> &'static str {
+        "uf"
+    }
+
+    fn build_unrooted(&self, device: &Device, graph: &EdgeList, _csr: &Csr) -> UnrootedForest {
+        let c = cc::connected_components(device, graph);
+        UnrootedForest {
+            tree_edges: c.tree_edges,
+            representative: c.representative,
+            num_components: c.num_components,
+        }
+    }
+}
+
+/// Level-synchronous BFS per component (the CK substrate, adapted from
+/// [`crate::bfs`]): one round per BFS level, so cost scales with diameter,
+/// but the tree comes out rooted for free and its depth is within 2× of
+/// optimal.
+pub struct BfsBuilder;
+
+impl BfsBuilder {
+    /// The full rooted construction; `build_unrooted` demotes its result.
+    fn bfs_forest(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> SpanningForest {
+        let n = graph.num_nodes();
+        let claims: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let mut representative = vec![INVALID_NODE; n];
+        let mut num_components = 0usize;
+        {
+            let rep_shared = SharedSlice::new(&mut representative);
+            let rep_ref = &rep_shared;
+            let mut cursor = 0usize;
+            while cursor < n {
+                if claims[cursor].load(Ordering::Relaxed) != u64::MAX {
+                    cursor += 1;
+                    continue;
+                }
+                // The scan pointer only moves forward, so each seed is the
+                // smallest unvisited node — the component's representative.
+                let root = cursor as u32;
+                claims[root as usize].store(pack(root, 0), Ordering::Relaxed);
+                // SAFETY: every node is claimed (and written) exactly once.
+                unsafe { rep_ref.write(root as usize, root) };
+                num_components += 1;
+                let mut frontier = vec![root];
+                while !frontier.is_empty() {
+                    frontier = expand_frontier(device, csr, &frontier, &claims, |w| {
+                        // SAFETY: the winning CAS claims w for exactly one
+                        // virtual thread.
+                        unsafe { rep_ref.write(w as usize, root) };
+                    });
+                }
+            }
+        }
+        let mut parent = vec![INVALID_NODE; n];
+        let mut parent_edge = vec![u32::MAX; n];
+        {
+            let parent_shared = SharedSlice::new(&mut parent);
+            let pe_shared = SharedSlice::new(&mut parent_edge);
+            let claims_ref = &claims;
+            let rep_ref = &representative;
+            device.for_each(n, |v| {
+                if rep_ref[v] != v as u32 {
+                    let c = claims_ref[v].load(Ordering::Relaxed);
+                    // SAFETY: one write per node.
+                    unsafe {
+                        parent_shared.write(v, (c >> 32) as NodeId);
+                        pe_shared.write(v, c as u32);
+                    }
+                }
+            });
+        }
+        let mut flag = vec![false; graph.num_edges()];
+        {
+            let flag_shared = SharedSlice::new(&mut flag);
+            let pe = &parent_edge;
+            device.for_each(n, |v| {
+                let e = pe[v];
+                if e != u32::MAX {
+                    // SAFETY: each tree edge is the parent edge of exactly
+                    // one node (its child endpoint).
+                    unsafe { flag_shared.write(e as usize, true) };
+                }
+            });
+        }
+        let tree_edges = device.compact_indices(graph.num_edges(), |e| flag[e]);
+        SpanningForest {
+            parent,
+            parent_edge,
+            tree_edges,
+            representative,
+            num_components,
+        }
+    }
+}
+
+impl SpanningForestBuilder for BfsBuilder {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn build_unrooted(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> UnrootedForest {
+        let f = self.bfs_forest(device, graph, csr);
+        UnrootedForest {
+            tree_edges: f.tree_edges,
+            representative: f.representative,
+            num_components: f.num_components,
+        }
+    }
+
+    fn build(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> SpanningForest {
+        // Already rooted — skip the generic rooting pass.
+        self.bfs_forest(device, graph, csr)
+    }
+}
+
+/// Shiloach–Vishkin-style stochastic hooking: rounds of (shortcut to
+/// stars, hook across components) with the hook direction alternating by
+/// round parity — even rounds hook the larger root under the smaller, odd
+/// rounds the smaller under the larger. Each round's hooks are strictly
+/// monotone in node id, so the parent graph stays acyclic, and every
+/// winning CAS contributes exactly one forest edge.
+pub struct ShiloachVishkinBuilder;
+
+impl SpanningForestBuilder for ShiloachVishkinBuilder {
+    fn name(&self) -> &'static str {
+        "sv"
+    }
+
+    fn build_unrooted(&self, device: &Device, graph: &EdgeList, _csr: &Csr) -> UnrootedForest {
+        let n = graph.num_nodes();
+        let m = graph.num_edges();
+        let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+        let tree_flag: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+        let edges = graph.edges();
+
+        let mut round = 0usize;
+        loop {
+            // Shortcut until every tree is a star (pointer jumping).
+            loop {
+                let changed = AtomicBool::new(false);
+                let parent_ref = &parent;
+                let changed_ref = &changed;
+                device.for_each(n, |v| {
+                    let p = parent_ref[v].load(Ordering::Relaxed);
+                    let gp = parent_ref[p as usize].load(Ordering::Relaxed);
+                    if gp != p {
+                        parent_ref[v].store(gp, Ordering::Relaxed);
+                        changed_ref.store(true, Ordering::Relaxed);
+                    }
+                });
+                if !changed.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            // Hook across components, direction by round parity.
+            let hooks = AtomicUsize::new(0);
+            {
+                let parent_ref = &parent;
+                let tree_ref = &tree_flag;
+                let hooks_ref = &hooks;
+                let even = round.is_multiple_of(2);
+                device.for_each(m, |e| {
+                    let (u, v) = edges[e];
+                    if u == v {
+                        return;
+                    }
+                    let ru = parent_ref[u as usize].load(Ordering::Relaxed);
+                    let rv = parent_ref[v as usize].load(Ordering::Relaxed);
+                    if ru == rv {
+                        return;
+                    }
+                    let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+                    let (src, dst) = if even { (hi, lo) } else { (lo, hi) };
+                    if parent_ref[src as usize]
+                        .compare_exchange(src, dst, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        tree_ref[e].store(1, Ordering::Relaxed);
+                        hooks_ref.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            if hooks.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            round += 1;
+        }
+
+        let labels: Vec<u32> = device.alloc_map(n, |v| parent[v].load(Ordering::Relaxed));
+        unrooted_from_labels(device, graph, &labels, &tree_flag)
+    }
+}
+
+/// Afforest-style k-out sampling (Sutton, Ben-Nun & Barak): hook the first
+/// `neighbor_rounds` incident edges of every vertex, identify the largest
+/// partial component, then run the full hooking pass skipping edges whose
+/// endpoints both already sit inside it — on skewed graphs the giant
+/// component absorbs most edges, so most of the full pass is skipped.
+pub struct AfforestBuilder {
+    /// Sampled incident edges per vertex (the Afforest paper uses 2).
+    pub neighbor_rounds: usize,
+}
+
+impl Default for AfforestBuilder {
+    fn default() -> Self {
+        Self { neighbor_rounds: 2 }
+    }
+}
+
+impl SpanningForestBuilder for AfforestBuilder {
+    fn name(&self) -> &'static str {
+        "afforest"
+    }
+
+    fn build_unrooted(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> UnrootedForest {
+        let n = graph.num_nodes();
+        let m = graph.num_edges();
+        let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+        let tree_flag: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+
+        // Sampling phase: one hook per vertex per round over its r-th slot.
+        for r in 0..self.neighbor_rounds {
+            let parent_ref = &parent;
+            let tree_ref = &tree_flag;
+            device.for_each(n, |v| {
+                let nbs = csr.neighbors(v as u32);
+                if r < nbs.len() {
+                    let w = nbs[r];
+                    let e = csr.edge_ids(v as u32)[r];
+                    hook_min(parent_ref, tree_ref, e as usize, v as u32, w);
+                }
+            });
+        }
+
+        // Snapshot the partial components and find the most frequent one.
+        let snapshot: Vec<u32> = device.alloc_map(n, |v| find(&parent, v as u32));
+        let skip = {
+            let mut counts = vec![0u32; n];
+            for &c in &snapshot {
+                counts[c as usize] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(c, _)| c as u32)
+                .unwrap_or(0)
+        };
+
+        // Full pass, skipping intra-edges of the largest partial component
+        // (their endpoints are already connected).
+        {
+            let parent_ref = &parent;
+            let tree_ref = &tree_flag;
+            let snap_ref = &snapshot;
+            let edges = graph.edges();
+            device.for_each(m, |e| {
+                let (u, v) = edges[e];
+                if u == v {
+                    return;
+                }
+                if snap_ref[u as usize] == skip && snap_ref[v as usize] == skip {
+                    return;
+                }
+                hook_min(parent_ref, tree_ref, e, u, v);
+            });
+        }
+
+        let labels: Vec<u32> = device.alloc_map(n, |v| find(&parent, v as u32));
+        unrooted_from_labels(device, graph, &labels, &tree_flag)
+    }
+}
+
+/// The diameter probe stops after this many BFS levels; anything that deep
+/// counts as "high diameter".
+pub const DIAMETER_PROBE_CAP: u32 = 64;
+/// At or above this capped diameter estimate, BFS-style level synchrony is
+/// off the table.
+pub const HIGH_DIAMETER: u32 = 64;
+/// Below this diameter the level-synchronous BFS needs only a handful of
+/// rounds and wins on simplicity.
+pub const LOW_DIAMETER: u32 = 16;
+/// Max-degree / average-degree ratio above which the degree distribution
+/// counts as skewed (power-law-ish) and edge sampling pays off.
+pub const HIGH_SKEW: f64 = 8.0;
+
+/// Cheap shape statistics driving the adaptive backend choice.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphShape {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Capped double-sweep BFS diameter estimate
+    /// ([`graphgen::stats::diameter_probe`], cap [`DIAMETER_PROBE_CAP`]).
+    pub diameter: u32,
+    /// Degree skew ([`graphgen::stats::degree_skew`]).
+    pub degree_skew: f64,
+}
+
+impl GraphShape {
+    /// Probes the graph: one capped double-sweep BFS plus a degree scan.
+    ///
+    /// The probe starts from the maximum-degree node — on disconnected
+    /// inputs node 0 may sit in a tiny (or isolated) component, which would
+    /// make the diameter look deceptively small; the hub node sits in a
+    /// substantial component by construction.
+    pub fn probe(csr: &Csr) -> Self {
+        let start = (0..csr.num_nodes() as u32)
+            .max_by_key(|&v| csr.degree(v))
+            .unwrap_or(0);
+        Self {
+            nodes: csr.num_nodes(),
+            edges: csr.num_edges(),
+            diameter: graphgen::stats::diameter_probe(csr, start, DIAMETER_PROBE_CAP),
+            degree_skew: graphgen::stats::degree_skew(csr),
+        }
+    }
+}
+
+/// The selector heuristic (see `DESIGN.md` §6): high diameter → union-find
+/// hooking; high degree skew → Afforest; low diameter → BFS; otherwise
+/// Shiloach–Vishkin.
+pub fn select_backend(shape: &GraphShape) -> &'static str {
+    if shape.diameter >= HIGH_DIAMETER {
+        "uf"
+    } else if shape.degree_skew >= HIGH_SKEW {
+        "afforest"
+    } else if shape.diameter <= LOW_DIAMETER {
+        "bfs"
+    } else {
+        "sv"
+    }
+}
+
+/// Probes the graph shape and delegates to [`select_backend`]'s choice.
+pub struct AdaptiveBuilder;
+
+impl AdaptiveBuilder {
+    fn choose(csr: &Csr) -> Box<dyn SpanningForestBuilder> {
+        let shape = GraphShape::probe(csr);
+        builder_by_name(select_backend(&shape)).expect("registered name")
+    }
+}
+
+impl SpanningForestBuilder for AdaptiveBuilder {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn build_unrooted(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> UnrootedForest {
+        Self::choose(csr).build_unrooted(device, graph, csr)
+    }
+
+    fn build(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> SpanningForest {
+        Self::choose(csr).build(device, graph, csr)
+    }
+}
+
+/// Sequential union-find oracle: component partition (per-component minimum
+/// representatives) for equivalence testing.
+pub fn components_sequential(graph: &EdgeList) -> (Vec<NodeId>, usize) {
+    let n = graph.num_nodes();
+    let mut uf: Vec<u32> = (0..n as u32).collect();
+    fn sfind(uf: &mut [u32], mut v: u32) -> u32 {
+        while uf[v as usize] != v {
+            uf[v as usize] = uf[uf[v as usize] as usize];
+            v = uf[v as usize];
+        }
+        v
+    }
+    for &(u, v) in graph.edges() {
+        let (ru, rv) = (sfind(&mut uf, u), sfind(&mut uf, v));
+        if ru != rv {
+            let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+            uf[hi as usize] = lo;
+        }
+    }
+    // Linking toward smaller ids makes every final root its component's
+    // minimum.
+    let mut rep = vec![0u32; n];
+    let mut components = 0usize;
+    for v in 0..n as u32 {
+        rep[v as usize] = sfind(&mut uf, v);
+        if rep[v as usize] == v {
+            components += 1;
+        }
+    }
+    (rep, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all_backends(edges: Vec<(u32, u32)>, n: usize) {
+        let device = Device::new();
+        let graph = EdgeList::new(n, edges);
+        let csr = Csr::from_edge_list(&graph);
+        let (oracle_rep, oracle_comps) = components_sequential(&graph);
+        for builder in all_builders() {
+            let f = builder.build(&device, &graph, &csr);
+            f.validate(&graph)
+                .unwrap_or_else(|e| panic!("{}: {e}", builder.name()));
+            assert_eq!(
+                f.representative,
+                oracle_rep,
+                "{} representatives",
+                builder.name()
+            );
+            assert_eq!(
+                f.num_components,
+                oracle_comps,
+                "{} components",
+                builder.name()
+            );
+            // The unrooted stage agrees with the rooted one.
+            let u = builder.build_unrooted(&device, &graph, &csr);
+            assert_eq!(u.representative, oracle_rep, "{} unrooted", builder.name());
+            assert_eq!(
+                u.num_components,
+                oracle_comps,
+                "{} unrooted",
+                builder.name()
+            );
+            assert_eq!(
+                u.tree_edges.len(),
+                n - oracle_comps,
+                "{} unrooted tree edges",
+                builder.name()
+            );
+        }
+    }
+
+    #[test]
+    fn path_graph() {
+        check_all_backends(vec![(0, 1), (1, 2), (2, 3)], 4);
+    }
+
+    #[test]
+    fn cycle_with_chords() {
+        check_all_backends(vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)], 4);
+    }
+
+    #[test]
+    fn disconnected_with_isolated_nodes() {
+        check_all_backends(vec![(0, 1), (3, 4), (4, 5), (5, 3)], 8);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges() {
+        check_all_backends(vec![(0, 0), (0, 1), (0, 1), (1, 2), (2, 2)], 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        check_all_backends(vec![], 0);
+        check_all_backends(vec![], 5);
+    }
+
+    #[test]
+    fn single_node() {
+        check_all_backends(vec![], 1);
+    }
+
+    #[test]
+    fn star_graph() {
+        check_all_backends((1..64).map(|v| (0, v)).collect(), 64);
+    }
+
+    #[test]
+    fn random_multigraphs() {
+        let mut state = 2024u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..10 {
+            let n = 20 + (step() % 400) as usize;
+            let m = step() % (3 * n as u64);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| ((step() % n as u64) as u32, (step() % n as u64) as u32))
+                .collect();
+            check_all_backends(edges, n);
+        }
+    }
+
+    #[test]
+    fn long_path_stresses_sv_and_uf() {
+        // 3000-node path: worst case for level synchrony, fine for hooking.
+        let n = 3000;
+        check_all_backends((1..n as u32).map(|v| (v - 1, v)).collect(), n);
+    }
+
+    #[test]
+    fn builder_names_resolve() {
+        for &name in BACKEND_NAMES {
+            let b = builder_by_name(name).unwrap();
+            assert_eq!(b.name(), name);
+        }
+        assert!(builder_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn selector_prefers_uf_on_deep_graphs_and_bfs_on_shallow() {
+        let deep = GraphShape {
+            nodes: 1000,
+            edges: 999,
+            diameter: DIAMETER_PROBE_CAP,
+            degree_skew: 1.5,
+        };
+        assert_eq!(select_backend(&deep), "uf");
+        let shallow = GraphShape {
+            nodes: 1000,
+            edges: 5000,
+            diameter: 6,
+            degree_skew: 2.0,
+        };
+        assert_eq!(select_backend(&shallow), "bfs");
+        let skewed = GraphShape {
+            nodes: 1000,
+            edges: 8000,
+            diameter: 6,
+            degree_skew: 40.0,
+        };
+        assert_eq!(select_backend(&skewed), "afforest");
+        let middling = GraphShape {
+            nodes: 1000,
+            edges: 2000,
+            diameter: 30,
+            degree_skew: 3.0,
+        };
+        assert_eq!(select_backend(&middling), "sv");
+    }
+
+    #[test]
+    fn probe_starts_from_a_substantial_component() {
+        // Node 0 is isolated; the real component is a 100-path. A probe
+        // anchored at node 0 would report diameter 0 and mislead the
+        // selector into level-synchronous BFS.
+        let n = 101;
+        let edges: Vec<(u32, u32)> = (2..n as u32).map(|v| (v - 1, v)).collect();
+        let csr = Csr::from_edge_list(&EdgeList::new(n, edges));
+        let shape = GraphShape::probe(&csr);
+        assert_eq!(shape.diameter, DIAMETER_PROBE_CAP);
+        assert_eq!(select_backend(&shape), "uf");
+    }
+
+    #[test]
+    fn tree_edges_ascending_and_distinct() {
+        let device = Device::new();
+        let graph = EdgeList::new(5, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let csr = Csr::from_edge_list(&graph);
+        for builder in all_builders() {
+            let f = builder.build(&device, &graph, &csr);
+            assert_eq!(f.tree_edges.len(), f.num_tree_edges(), "{}", builder.name());
+            assert!(
+                f.tree_edges.windows(2).all(|w| w[0] < w[1]),
+                "{}",
+                builder.name()
+            );
+        }
+    }
+}

@@ -7,8 +7,8 @@
 //! `levels_parents`, `mark`.
 
 use crate::bfs::BfsTree;
-use crate::cc::connected_components;
 use crate::ck;
+use crate::forest::{SpanningForestBuilder, UnionFindBuilder};
 use crate::result::{BridgesError, BridgesResult};
 use euler_tour::{EulerTour, TreeStats};
 use gpu_sim::device::SharedSlice;
@@ -21,15 +21,29 @@ use std::time::Instant;
 /// levels/parents + CK marking).
 ///
 /// The CSR parameter keeps the signature interchangeable with
-/// [`crate::bridges_tv`] / [`crate::bridges_ck_device`]; the hybrid itself
-/// walks parent pointers and never consults the adjacency.
+/// [`crate::bridges_tv`] / [`crate::bridges_ck_device`]; only the
+/// spanning-forest substrate consults the adjacency — the marking walk
+/// itself follows parent pointers.
 ///
 /// # Errors
 /// [`BridgesError::Empty`] / [`BridgesError::Disconnected`] as for TV.
 pub fn bridges_hybrid(
     device: &Device,
     graph: &EdgeList,
-    _csr: &Csr,
+    csr: &Csr,
+) -> Result<BridgesResult, BridgesError> {
+    bridges_hybrid_with(device, graph, csr, &UnionFindBuilder)
+}
+
+/// [`bridges_hybrid`] with an explicit spanning-forest backend.
+///
+/// # Errors
+/// As [`bridges_hybrid`].
+pub fn bridges_hybrid_with(
+    device: &Device,
+    graph: &EdgeList,
+    csr: &Csr,
+    builder: &dyn SpanningForestBuilder,
 ) -> Result<BridgesResult, BridgesError> {
     let n = graph.num_nodes();
     let m = graph.num_edges();
@@ -38,13 +52,15 @@ pub fn bridges_hybrid(
     }
     let mut phases = Vec::new();
 
-    // Phase 1: unrooted spanning tree from connected components.
+    // Phase 1: spanning tree from the selected substrate. The unrooted
+    // stage suffices — the hybrid recovers parents/levels via the Euler
+    // tour (phase 3), never from the builder's rooting.
     let t0 = Instant::now();
-    let cc = connected_components(device, graph);
-    if !cc.is_connected() {
+    let forest = builder.build_unrooted(device, graph, csr);
+    if !forest.is_connected() {
         return Err(BridgesError::Disconnected);
     }
-    let tree_edge_ids = cc.tree_edges;
+    let tree_edge_ids = forest.tree_edges;
     let mut is_tree = vec![false; m];
     {
         let tree_shared = SharedSlice::new(&mut is_tree);
@@ -208,5 +224,29 @@ mod tests {
             bridges_hybrid(&device, &graph, &csr).unwrap_err(),
             BridgesError::Disconnected
         );
+    }
+
+    #[test]
+    fn every_forest_backend_finds_the_same_bridges() {
+        let device = Device::new();
+        let graph = EdgeList::new(
+            7,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
+        );
+        let csr = Csr::from_edge_list(&graph);
+        let expected = bridges_dfs(&graph, &csr).bridge_ids();
+        for builder in crate::forest::all_builders() {
+            let r = bridges_hybrid_with(&device, &graph, &csr, builder.as_ref()).unwrap();
+            assert_eq!(r.bridge_ids(), expected, "{}", builder.name());
+        }
     }
 }

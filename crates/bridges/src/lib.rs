@@ -12,9 +12,12 @@
 //! | GPU Hybrid (§4.3)   | [`bridges_hybrid`] — CC tree + Euler levels + CK marking |
 //!
 //! Substrates built for them: lock-free connected components with a spanning
-//! forest byproduct ([`cc`]), level-synchronous parallel BFS ([`bfs`]) and a
+//! forest byproduct ([`cc`]), level-synchronous parallel BFS ([`bfs`]), a
 //! parallel-buildable segment tree for the low/high range queries
-//! ([`segment_tree`]).
+//! ([`segment_tree`]), and the pluggable spanning-forest design space
+//! ([`forest`]) — union-find / BFS / Shiloach–Vishkin / Afforest backends
+//! behind one [`SpanningForestBuilder`] trait, selectable per run in
+//! [`bridges_tv_with`] and [`bridges_hybrid_with`].
 //!
 //! Beyond the paper's scope, [`bcc`] completes Tarjan–Vishkin's original
 //! algorithm — auxiliary-graph biconnected-component labeling and
@@ -45,6 +48,7 @@ pub mod bfs;
 pub mod cc;
 pub mod ck;
 pub mod dfs;
+pub mod forest;
 pub mod hybrid;
 pub mod result;
 pub mod segment_tree;
@@ -59,8 +63,15 @@ pub use bfs::{bfs_device, bfs_rayon, bfs_sequential, BfsTree};
 pub use cc::{connected_components, ConnectedComponents};
 pub use ck::{bridges_ck_device, bridges_ck_rayon};
 pub use dfs::bridges_dfs;
-pub use hybrid::bridges_hybrid;
+pub use forest::{
+    all_builders, builder_by_name, select_backend, AdaptiveBuilder, AfforestBuilder, BfsBuilder,
+    GraphShape, ShiloachVishkinBuilder, SpanningForest, SpanningForestBuilder, UnionFindBuilder,
+    UnrootedForest, BACKEND_NAMES,
+};
+pub use hybrid::{bridges_hybrid, bridges_hybrid_with};
 pub use result::{BridgesError, BridgesResult};
 pub use segment_tree::SegmentTree;
-pub use tv::bridges_tv;
-pub use twoecc::{two_edge_connected_components, TwoEccDecomposition};
+pub use tv::{bridges_tv, bridges_tv_with};
+pub use twoecc::{
+    two_edge_connected_components, two_edge_connected_components_with, TwoEccDecomposition,
+};

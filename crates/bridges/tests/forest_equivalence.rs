@@ -1,0 +1,140 @@
+//! Equivalence suite for the spanning-forest design space: every
+//! [`bridges::forest`] backend must produce a *valid* spanning forest
+//! (`n - #components` tree edges, acyclic parent chains, representatives
+//! consistent with the sequential union-find oracle) on arbitrary
+//! multigraphs — and on connected inputs the TV/hybrid pipelines must find
+//! bit-identical bridge sets over every backend.
+//!
+//! CI runs this suite under `RAYON_NUM_THREADS=1` and `=4`; the assertions
+//! only reference schedule-independent outputs (representatives, counts,
+//! bridge bitmaps), so both widths must agree.
+
+use bridges::forest::{all_builders, components_sequential};
+use bridges::{bridges_dfs, bridges_hybrid_with, bridges_tv_with};
+use gpu_sim::Device;
+use graph_core::{Csr, EdgeList};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary multigraph — possibly disconnected, with
+/// self-loops and duplicate edges.
+fn arb_multigraph(max_n: usize) -> impl Strategy<Value = EdgeList> {
+    (1..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n)
+            .prop_map(move |edges| EdgeList::new(n, edges))
+    })
+}
+
+/// Strategy: a connected multigraph = random increasing tree + extra edges.
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = EdgeList> {
+    (2..max_n).prop_flat_map(|n| {
+        let spine: Vec<BoxedStrategy<u32>> = (1..n)
+            .map(|v| (0..v as u32).prop_map(|p| p).boxed())
+            .collect();
+        (
+            spine,
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..2 * n),
+        )
+            .prop_map(move |(parents, extra)| {
+                let mut edges: Vec<(u32, u32)> = parents
+                    .into_iter()
+                    .enumerate()
+                    .map(|(v, p)| (p, v as u32 + 1))
+                    .collect();
+                edges.extend(extra);
+                EdgeList::new(n, edges)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_backend_builds_a_valid_forest(graph in arb_multigraph(200)) {
+        let device = Device::new();
+        let csr = Csr::from_edge_list(&graph);
+        let (oracle_rep, oracle_comps) = components_sequential(&graph);
+        for builder in all_builders() {
+            let f = builder.build(&device, &graph, &csr);
+            prop_assert!(
+                f.validate(&graph).is_ok(),
+                "{}: {:?}",
+                builder.name(),
+                f.validate(&graph)
+            );
+            prop_assert_eq!(&f.representative, &oracle_rep, "{} representatives", builder.name());
+            prop_assert_eq!(f.num_components, oracle_comps, "{} components", builder.name());
+            prop_assert_eq!(
+                f.tree_edges.len(),
+                f.num_tree_edges(),
+                "{} tree edge count",
+                builder.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bridges_bit_identical_across_backends(graph in arb_connected_graph(150)) {
+        let device = Device::new();
+        let csr = Csr::from_edge_list(&graph);
+        let expected = bridges_dfs(&graph, &csr).bridge_ids();
+        for builder in all_builders() {
+            let tv = bridges_tv_with(&device, &graph, &csr, builder.as_ref()).unwrap();
+            prop_assert_eq!(tv.bridge_ids(), expected.clone(), "tv/{}", builder.name());
+            let hy = bridges_hybrid_with(&device, &graph, &csr, builder.as_ref()).unwrap();
+            prop_assert_eq!(hy.bridge_ids(), expected.clone(), "hybrid/{}", builder.name());
+        }
+    }
+}
+
+/// Every backend on every `graphgen` family — the deterministic sweep
+/// companion to the random-shape proptests above.
+#[test]
+fn backends_agree_on_every_graphgen_family() {
+    let device = Device::new();
+    let tree = graphgen::random_tree(400, Some(4), 31);
+    let families: Vec<(&str, EdgeList)> = vec![
+        ("kron", graphgen::kronecker_graph(8, 8, 7)),
+        ("road", graphgen::road_grid(20, 20, 0.8, 9)),
+        ("web", graphgen::web_graph(500, 3, 0.5, 11)),
+        ("ba", graphgen::ba_graph(400, 4, 13)),
+        ("tree", EdgeList::new(tree.num_nodes(), tree.edges())),
+    ];
+    for (family, graph) in families {
+        let csr = Csr::from_edge_list(&graph);
+        let (oracle_rep, oracle_comps) = components_sequential(&graph);
+        for builder in all_builders() {
+            let f = builder.build(&device, &graph, &csr);
+            f.validate(&graph)
+                .unwrap_or_else(|e| panic!("{family}/{}: {e}", builder.name()));
+            assert_eq!(
+                f.representative,
+                oracle_rep,
+                "{family}/{} representatives",
+                builder.name()
+            );
+            assert_eq!(
+                f.num_components,
+                oracle_comps,
+                "{family}/{} components",
+                builder.name()
+            );
+        }
+        // On the largest connected component, the bridge pipelines agree
+        // bit-for-bit across all substrates.
+        let (lcc, _) = graphgen::largest_connected_component(&graph);
+        let lcc_csr = Csr::from_edge_list(&lcc);
+        let expected = bridges_dfs(&lcc, &lcc_csr).bridge_ids();
+        for builder in all_builders() {
+            let tv = bridges_tv_with(&device, &lcc, &lcc_csr, builder.as_ref()).unwrap();
+            assert_eq!(tv.bridge_ids(), expected, "{family}: tv/{}", builder.name());
+            let hy = bridges_hybrid_with(&device, &lcc, &lcc_csr, builder.as_ref()).unwrap();
+            assert_eq!(
+                hy.bridge_ids(),
+                expected,
+                "{family}: hybrid/{}",
+                builder.name()
+            );
+        }
+    }
+}

@@ -4,7 +4,9 @@
 //! the paper's datasets ship in (auto-detected DIMACS/SNAP/METIS):
 //!
 //! ```text
-//! emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all] [--lcc] [--list]
+//! emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all]
+//!                    [--forest uf|bfs|sv|afforest|adaptive] [--lcc] [--list]
+//! emg forest  <file> [--backend uf|bfs|sv|afforest|adaptive|all] [--lcc]
 //! emg bcc     <file> [--lcc]
 //! emg lca     <tree-file> [--alg seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq]
 //!                         [--queries N] [--seed S] [--root R]
@@ -29,7 +31,9 @@ pub const USAGE: &str = "\
 emg — Euler-meets-GPU command line
 
 USAGE:
-  emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all] [--lcc] [--list]
+  emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all]
+                     [--forest uf|bfs|sv|afforest|adaptive] [--lcc] [--list]
+  emg forest  <file> [--backend uf|bfs|sv|afforest|adaptive|all] [--lcc]
   emg bcc     <file> [--lcc]
   emg lca     <tree-file> [--alg seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq]
                           [--queries N] [--seed S] [--root R]
@@ -57,6 +61,7 @@ pub fn dispatch(mut argv: Vec<String>) -> Result<String, String> {
     }
     match sub.as_str() {
         "bridges" => commands::cmd_bridges(&args),
+        "forest" => commands::cmd_forest(&args),
         "bcc" => commands::cmd_bcc(&args),
         "lca" => commands::cmd_lca(&args),
         "stats" => commands::cmd_stats(&args),

@@ -53,6 +53,71 @@ fn gen_then_stats_then_bridges_agree() {
 }
 
 #[test]
+fn forest_backends_agree_on_generated_graph() {
+    let path = tmp("forest_road.txt");
+    run(&format!(
+        "gen road --width 15 --height 15 --keep 0.8 --seed 11 --out {}",
+        path.display()
+    ))
+    .unwrap();
+
+    // All backends build, validate, and agree on the component partition.
+    let out = run(&format!("forest {}", path.display())).unwrap();
+    for name in ["uf", "bfs", "sv", "afforest", "adaptive"] {
+        assert!(out.contains(name), "missing backend {name}:\n{out}");
+    }
+    assert!(out.contains("adaptive picks"));
+    assert!(out.contains("components"));
+
+    // A single backend can be selected.
+    let out = run(&format!("forest {} --backend sv --lcc", path.display())).unwrap();
+    assert!(out.contains("sv"));
+    assert!(!out.contains("afforest"));
+
+    // Unknown backends error out.
+    let err = run(&format!("forest {} --backend nope", path.display())).unwrap_err();
+    assert!(err.contains("unknown forest backend"));
+}
+
+#[test]
+fn bridges_accepts_forest_backend() {
+    let path = tmp("forest_bridges.txt");
+    run(&format!(
+        "gen web --nodes 300 --edges 900 --seed 5 --out {}",
+        path.display()
+    ))
+    .unwrap();
+    // The bridge set is intrinsic, so every substrate must agree with the
+    // default (cross-checked against dfs via --alg all). Timings vary
+    // between runs; compare the reports with durations stripped.
+    let strip_times = |report: &str| -> Vec<String> {
+        report
+            .lines()
+            .map(|l| l.split(" in ").next().unwrap_or(l).to_string())
+            .collect()
+    };
+    let base = strip_times(&run(&format!("bridges {} --lcc --alg all", path.display())).unwrap());
+    for backend in ["uf", "bfs", "sv", "afforest", "adaptive"] {
+        let out = run(&format!(
+            "bridges {} --lcc --alg all --forest {backend}",
+            path.display()
+        ))
+        .unwrap();
+        assert_eq!(
+            strip_times(&out),
+            base,
+            "backend {backend} changed the bridge report"
+        );
+    }
+    let err = run(&format!("bridges {} --forest bogus", path.display())).unwrap_err();
+    assert!(err.contains("unknown forest backend"));
+    // Algorithms without a forest substrate reject the flag instead of
+    // silently ignoring it.
+    let err = run(&format!("bridges {} --alg ck --forest sv", path.display())).unwrap_err();
+    assert!(err.contains("--forest only applies"));
+}
+
+#[test]
 fn gen_tree_then_lca_checksums_match_across_algorithms() {
     let path = tmp("tree.txt");
     run(&format!(

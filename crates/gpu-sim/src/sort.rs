@@ -2,43 +2,86 @@
 //! DCEL construction (§2.1 of the paper: "the costly sorting").
 //!
 //! Keys are `u64` (the DCEL packs a directed half-edge `(u, v)` as
-//! `u << 32 | v`); an optional `u32` payload rides along (the half-edge id,
-//! which becomes the cross-pointer between the unsorted array A and its
-//! sorted copy B). The sort processes 8-bit digits least-significant-first
-//! with per-chunk histograms, a column-major offset scan, and a stable
-//! scatter — skipping the high-order passes that the maximum key does not
-//! reach.
+//! `u << 32 | v`) or `u32`; an optional `u32` payload rides along with
+//! `u64` keys (the half-edge id, which becomes the cross-pointer between
+//! the unsorted array A and its sorted copy B). The sort processes 8-bit
+//! digits least-significant-first with per-chunk histograms, a column-major
+//! offset scan, and a stable scatter — skipping the high-order passes that
+//! the maximum key does not reach. One width-generic core serves both key
+//! types, ping-ponging between the caller's buffer and a single scratch
+//! allocation.
 
 use crate::device::{Device, SharedSlice};
 use rayon::prelude::*;
 
 const RADIX_BITS: u32 = 8;
 const BUCKETS: usize = 1 << RADIX_BITS;
-const DIGIT_MASK: u64 = (BUCKETS - 1) as u64;
+
+/// An unsigned key type the radix core can digit-decompose.
+trait RadixKey: Copy + Ord + Default + Send + Sync {
+    /// Key width in bits (bounds the pass count).
+    const BITS: u32;
+    /// The 8-bit digit at `shift`.
+    fn digit(self, shift: u32) -> usize;
+    /// Leading zero bits (for pass skipping off the maximum key).
+    fn lz(self) -> u32;
+}
+
+impl RadixKey for u64 {
+    const BITS: u32 = 64;
+    #[inline]
+    fn digit(self, shift: u32) -> usize {
+        ((self >> shift) as usize) & (BUCKETS - 1)
+    }
+    #[inline]
+    fn lz(self) -> u32 {
+        self.leading_zeros()
+    }
+}
+
+impl RadixKey for u32 {
+    const BITS: u32 = 32;
+    #[inline]
+    fn digit(self, shift: u32) -> usize {
+        ((self >> shift) as usize) & (BUCKETS - 1)
+    }
+    #[inline]
+    fn lz(self) -> u32 {
+        self.leading_zeros()
+    }
+}
 
 impl Device {
-    /// Sorts `keys` ascending (stable, though equal `u64`s are
+    /// Sorts `keys` ascending in place (stable, though equal `u64`s are
     /// indistinguishable without a payload).
-    pub fn sort_u64(&self, keys: &mut Vec<u64>) {
+    pub fn sort_u64(&self, keys: &mut [u64]) {
         self.radix_sort(keys, None);
     }
 
-    /// Sorts `keys` ascending, permuting `vals` identically (stable).
+    /// Sorts `keys` ascending in place, permuting `vals` identically
+    /// (stable).
     ///
     /// # Panics
-    /// Panics if the two vectors differ in length.
-    pub fn sort_pairs_u64_u32(&self, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
+    /// Panics if the two slices differ in length.
+    pub fn sort_pairs_u64_u32(&self, keys: &mut [u64], vals: &mut [u32]) {
         assert_eq!(keys.len(), vals.len(), "sort_pairs: length mismatch");
         self.radix_sort(keys, Some(vals));
     }
 
-    /// Sorts a `u32` slice ascending.
+    /// Sorts a `u32` slice ascending over the native 32-bit radix path: at
+    /// most four 8-bit passes ping-ponging between `keys` and one scratch
+    /// buffer — no widening through a freshly allocated `Vec<u64>`, so
+    /// memory traffic per pass is halved.
     pub fn sort_u32(&self, keys: &mut [u32]) {
-        let mut wide: Vec<u64> = keys.iter().map(|&k| k as u64).collect();
-        self.sort_u64(&mut wide);
-        for (dst, src) in keys.iter_mut().zip(&wide) {
-            *dst = *src as u32;
+        self.metrics().record_primitive();
+        if keys.len() <= self.config().seq_threshold {
+            if keys.len() > 1 {
+                self.metrics().record_launch(keys.len() as u64);
+                keys.sort_unstable();
+            }
+            return;
         }
+        self.radix_passes(keys, None);
     }
 
     /// Returns the permutation that sorts `keys`: `perm[rank] = original
@@ -50,13 +93,12 @@ impl Device {
         perm
     }
 
-    fn radix_sort(&self, keys: &mut Vec<u64>, mut vals: Option<&mut Vec<u32>>) {
+    fn radix_sort(&self, keys: &mut [u64], vals: Option<&mut [u32]>) {
         let n = keys.len();
         self.metrics().record_primitive();
         if n <= 1 {
             return;
         }
-
         if n <= self.config().seq_threshold {
             self.metrics().record_launch(n as u64);
             match vals {
@@ -73,26 +115,40 @@ impl Device {
             }
             return;
         }
+        self.radix_passes(keys, vals);
+    }
 
-        let max_key = self.reduce_max_u64(keys);
-        let significant_bits = 64 - max_key.leading_zeros();
+    /// The width-generic radix core: per-chunk histograms, a column-major
+    /// exclusive offset scan, and a stable scatter per 8-bit pass,
+    /// ping-ponging `keys` (and the optional payload) against one scratch
+    /// buffer each. Passes above the maximum key's top digit are skipped.
+    fn radix_passes<K: RadixKey>(&self, keys: &mut [K], mut vals: Option<&mut [u32]>) {
+        let n = keys.len();
+        let max_key = self.reduce(keys, K::default(), |a, b| a.max(b));
+        let significant_bits = K::BITS - max_key.lz();
         let passes = usize::max(1, (significant_bits as usize).div_ceil(RADIX_BITS as usize));
 
         let chunk = self.grid_chunk_len(n);
         let nchunks = n.div_ceil(chunk);
 
-        let mut src_k = std::mem::take(keys);
-        let mut dst_k = vec![0u64; n];
-        let (mut src_v, mut dst_v) = match vals.as_deref_mut() {
-            Some(v) => (std::mem::take(v), vec![0u32; n]),
-            None => (Vec::new(), Vec::new()),
-        };
-        let has_vals = !src_v.is_empty() || vals.is_some();
-
+        let mut scratch_k = vec![K::default(); n];
+        let mut scratch_v = vec![0u32; if vals.is_some() { n } else { 0 }];
         let mut hist = vec![0u32; nchunks * BUCKETS];
+        let mut in_keys = true; // where the current source lives
 
         for pass in 0..passes {
             let shift = pass as u32 * RADIX_BITS;
+            let (src_k, dst_k): (&[K], &mut [K]) = if in_keys {
+                (&*keys, &mut scratch_k)
+            } else {
+                (&scratch_k, &mut *keys)
+            };
+            let (src_v, dst_v): (&[u32], &mut [u32]) = match &mut vals {
+                Some(v) if in_keys => (&**v, &mut scratch_v),
+                Some(v) => (&scratch_v, &mut **v),
+                None => (&[], &mut []),
+            };
+            let has_vals = !src_v.is_empty();
 
             // Per-chunk digit histograms.
             self.metrics().record_launch(n as u64);
@@ -102,8 +158,7 @@ impl Device {
                     let start = c * chunk;
                     let end = usize::min(start + chunk, n);
                     for &k in &src_k[start..end] {
-                        let d = ((k >> shift) & DIGIT_MASK) as usize;
-                        h[d] += 1;
+                        h[k.digit(shift)] += 1;
                     }
                 });
             });
@@ -124,10 +179,8 @@ impl Device {
             // digit region partitioned among chunks by the offset matrix.
             self.metrics().record_launch(n as u64);
             {
-                let dst_k_shared = SharedSlice::new(&mut dst_k);
-                let dst_v_shared = SharedSlice::new(&mut dst_v);
-                let src_k_ref = &src_k;
-                let src_v_ref = &src_v;
+                let dst_k_shared = SharedSlice::new(dst_k);
+                let dst_v_shared = SharedSlice::new(dst_v);
                 let offsets_ref = &offsets;
                 self.run(|| {
                     (0..nchunks).into_par_iter().for_each(|c| {
@@ -137,8 +190,8 @@ impl Device {
                         let start = c * chunk;
                         let end = usize::min(start + chunk, n);
                         for i in start..end {
-                            let k = src_k_ref[i];
-                            let d = ((k >> shift) & DIGIT_MASK) as usize;
+                            let k = src_k[i];
+                            let d = k.digit(shift);
                             let pos = local[d] as usize;
                             local[d] += 1;
                             // SAFETY: the offset matrix partitions 0..n into
@@ -147,7 +200,7 @@ impl Device {
                             unsafe {
                                 dst_k_shared.write(pos, k);
                                 if has_vals {
-                                    dst_v_shared.write(pos, src_v_ref[i]);
+                                    dst_v_shared.write(pos, src_v[i]);
                                 }
                             }
                         }
@@ -155,15 +208,14 @@ impl Device {
                 });
             }
 
-            std::mem::swap(&mut src_k, &mut dst_k);
-            if has_vals {
-                std::mem::swap(&mut src_v, &mut dst_v);
-            }
+            in_keys = !in_keys;
         }
 
-        *keys = src_k;
-        if let Some(v) = vals {
-            *v = src_v;
+        if !in_keys {
+            keys.copy_from_slice(&scratch_k);
+            if let Some(v) = vals {
+                v.copy_from_slice(&scratch_v);
+            }
         }
     }
 }
@@ -289,6 +341,56 @@ mod tests {
         expected.sort_unstable();
         device.sort_u32(&mut keys);
         assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn sort_u32_edge_shapes() {
+        let device = Device::new();
+        // Full-width keys exercise all four passes.
+        let mut keys: Vec<u32> = pseudo_random(60_000, 8)
+            .iter()
+            .map(|&k| k as u32 | (1 << 31))
+            .collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        device.sort_u32(&mut keys);
+        assert_eq!(keys, expected);
+
+        // One-byte keys take the single-pass shortcut and must end back in
+        // the caller's buffer despite the odd pass count.
+        let mut keys: Vec<u32> = pseudo_random(60_000, 9)
+            .iter()
+            .map(|&k| (k % 256) as u32)
+            .collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        device.sort_u32(&mut keys);
+        assert_eq!(keys, expected);
+
+        // Degenerate shapes.
+        let mut keys: Vec<u32> = vec![];
+        device.sort_u32(&mut keys);
+        let mut keys = vec![3u32];
+        device.sort_u32(&mut keys);
+        assert_eq!(keys, vec![3]);
+        let mut keys = vec![7u32; 30_000];
+        device.sort_u32(&mut keys);
+        assert!(keys.iter().all(|&k| k == 7));
+    }
+
+    #[test]
+    fn sort_u32_matches_widened_u64_sort() {
+        let device = Device::new();
+        let base: Vec<u32> = pseudo_random(50_000, 10)
+            .iter()
+            .map(|&k| k as u32)
+            .collect();
+        let mut native = base.clone();
+        device.sort_u32(&mut native);
+        let mut wide: Vec<u64> = base.iter().map(|&k| k as u64).collect();
+        device.sort_u64(&mut wide);
+        let narrowed: Vec<u32> = wide.iter().map(|&k| k as u32).collect();
+        assert_eq!(native, narrowed);
     }
 
     #[test]

@@ -133,6 +133,23 @@ impl Csr {
         &self.edge_ids[s..e]
     }
 
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average undirected degree `2m / n` (0.0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges as f64 / self.num_nodes() as f64
+    }
+
     /// `(neighbor, edge id)` pairs incident to `v`.
     pub fn incident(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         self.neighbors(v)
@@ -262,5 +279,16 @@ mod tests {
         let el = EdgeList::new(5, vec![(0, 4), (0, 2), (0, 3), (0, 1)]);
         let csr = Csr::from_edge_list(&el);
         assert_eq!(csr.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3)]);
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(csr.max_degree(), 3);
+        assert!((csr.avg_degree() - 1.5).abs() < 1e-9);
+        let empty = Csr::from_edge_list(&EdgeList::empty(0));
+        assert_eq!(empty.max_degree(), 0);
+        assert_eq!(empty.avg_degree(), 0.0);
     }
 }
