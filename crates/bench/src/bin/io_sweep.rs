@@ -1,0 +1,6 @@
+//! Ingestion throughput sweep (sequential vs chunked-parallel text parse,
+//! emgbin reload, CSR construction) across graphgen families.
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::io_sweep::run(&cfg);
+}

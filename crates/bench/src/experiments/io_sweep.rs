@@ -1,0 +1,193 @@
+//! `io_sweep` — ingestion-pipeline throughput. The paper benchmarks its
+//! algorithms on multi-gigabyte downloaded graphs, so before any kernel
+//! runs, the bytes must become an edge list: this sweep measures every
+//! path through that stage, per `graphgen` family:
+//!
+//! * `<fmt>/seq` — the sequential text parser (the pre-PR-4 baseline);
+//! * `<fmt>/par` — the chunked parallel parser (line-aligned chunks on
+//!   the rayon pool, bit-identical output);
+//! * `emgbin` / `emgbin+csr` — reloading the binary cache, without and
+//!   with the embedded CSR adjacency;
+//! * `csr/rayon` / `csr/device` — CSR construction from the parsed edge
+//!   list (raw rayon vs `Device::scan`-based counting sort).
+//!
+//! With `EMG_BENCH_JSON=<path>` each cell appends a JSON-lines perf record
+//! (see [`crate::harness::emit_bench_json`]) — the CI perf-smoke job runs
+//! this sweep at a small scale and archives the records.
+
+use crate::config::Config;
+use crate::harness::{emit_bench_json, fmt_rate, fmt_secs, mean_std, time, Table};
+use gpu_sim::Device;
+use graph_core::{Csr, EdgeList};
+use graphgen::{ba_graph, kronecker_graph, random_tree, road_grid, web_graph};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// One instance per `graphgen` family, sized by `cfg.scale`.
+fn families(cfg: &Config) -> Vec<(String, EdgeList)> {
+    let n = cfg.nodes(2_000_000);
+    let side = (n as f64).sqrt().ceil() as usize;
+    let scale = (n as f64).log2().ceil() as u32;
+    let tree = random_tree(n, Some(8), 0xA03);
+    vec![
+        (
+            "kron".to_string(),
+            kronecker_graph(scale.min(19), 16, 0xA01),
+        ),
+        (
+            "road".to_string(),
+            road_grid(side, side, graphgen::road::DEFAULT_KEEP_PROB, 0xA02),
+        ),
+        ("web".to_string(), web_graph(n, 6, 0.45, 0xA04)),
+        ("ba".to_string(), ba_graph(n, 8, 0xA05)),
+        (
+            "tree".to_string(),
+            EdgeList::new(tree.num_nodes(), tree.edges()),
+        ),
+    ]
+}
+
+/// Runs the sweep: every ingestion path × every family.
+pub fn run(cfg: &Config) {
+    let device = Device::new();
+    let mut table = Table::new(
+        "Ingestion throughput: text parse (seq/par), emgbin reload, CSR build",
+        &["family", "path", "bytes", "edges", "mean", "std", "rate"],
+    );
+    for (family, graph) in families(cfg) {
+        let parsed = graph_io::ParsedGraph::dense(graph);
+        let m = parsed.graph.num_edges();
+        let csr = Csr::from_edge_list(&parsed.graph);
+
+        // Serialize once per format; every case parses from memory so the
+        // comparison measures parsing, not the page cache.
+        let mut snap_text = Vec::new();
+        graph_io::snap::write(&mut snap_text, &parsed.graph).unwrap();
+        let snap_text = String::from_utf8(snap_text).unwrap();
+        let mut dimacs_text = Vec::new();
+        graph_io::dimacs::write(&mut dimacs_text, &parsed.graph).unwrap();
+        let dimacs_text = String::from_utf8(dimacs_text).unwrap();
+        let mut metis_text = Vec::new();
+        graph_io::metis::write(&mut metis_text, &parsed.graph).unwrap();
+        let metis_text = String::from_utf8(metis_text).unwrap();
+        let bin = graph_io::binary::to_bytes(&parsed, None);
+        let bin_csr = graph_io::binary::to_bytes(&parsed, Some(&csr));
+
+        type Case<'a> = (&'a str, usize, Box<dyn Fn() -> usize + 'a>);
+        let cases: Vec<Case> = vec![
+            (
+                "snap/seq",
+                snap_text.len(),
+                Box::new(|| graph_io::snap::parse(&snap_text).unwrap().graph.num_edges()),
+            ),
+            (
+                "snap/par",
+                snap_text.len(),
+                Box::new(|| {
+                    graph_io::snap::parse_chunked(&snap_text)
+                        .unwrap()
+                        .graph
+                        .num_edges()
+                }),
+            ),
+            (
+                "dimacs/seq",
+                dimacs_text.len(),
+                Box::new(|| {
+                    graph_io::dimacs::parse(&dimacs_text)
+                        .unwrap()
+                        .graph
+                        .num_edges()
+                }),
+            ),
+            (
+                "dimacs/par",
+                dimacs_text.len(),
+                Box::new(|| {
+                    graph_io::dimacs::parse_chunked(&dimacs_text)
+                        .unwrap()
+                        .graph
+                        .num_edges()
+                }),
+            ),
+            (
+                "metis/seq",
+                metis_text.len(),
+                Box::new(|| {
+                    graph_io::metis::parse(&metis_text)
+                        .unwrap()
+                        .graph
+                        .num_edges()
+                }),
+            ),
+            (
+                "metis/par",
+                metis_text.len(),
+                Box::new(|| {
+                    graph_io::metis::parse_chunked(&metis_text)
+                        .unwrap()
+                        .graph
+                        .num_edges()
+                }),
+            ),
+            (
+                "emgbin",
+                bin.len(),
+                Box::new(|| graph_io::binary::read(&bin).unwrap().0.graph.num_edges()),
+            ),
+            (
+                "emgbin+csr",
+                bin_csr.len(),
+                Box::new(|| {
+                    let (p, c) = graph_io::binary::read(&bin_csr).unwrap();
+                    c.expect("embedded CSR").num_edges() + p.graph.num_edges() - m
+                }),
+            ),
+            (
+                "csr/rayon",
+                8 * m,
+                Box::new(|| Csr::from_edge_list(&parsed.graph).num_edges()),
+            ),
+            (
+                "csr/device",
+                8 * m,
+                Box::new(|| Csr::from_edge_list_on(&device, &parsed.graph).num_edges()),
+            ),
+        ];
+
+        for (name, bytes, f) in cases {
+            let mut samples: Vec<Duration> = Vec::with_capacity(cfg.repeats);
+            for _ in 0..cfg.repeats.max(1) {
+                let (edges_out, d) = time(|| black_box(f()));
+                assert_eq!(edges_out, m, "{family}/{name}: wrong edge count");
+                samples.push(d);
+            }
+            let (mean, std) = mean_std(&samples);
+            table.row(vec![
+                family.clone(),
+                name.to_string(),
+                bytes.to_string(),
+                m.to_string(),
+                fmt_secs(mean),
+                fmt_secs(std),
+                fmt_rate(bytes as f64 / mean.max(1e-12)),
+            ]);
+            emit_bench_json(
+                "io_sweep",
+                &format!("{family}/{name}"),
+                mean,
+                std,
+                samples.len() as u64,
+                Some(m as u64),
+            );
+        }
+    }
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "io_sweep");
+    println!(
+        "expected shape: <fmt>/par tracks the worker count (≥2x over seq at\n\
+         4 workers on a multicore host); emgbin reloads at memory speed,\n\
+         ≥5x over the fastest text parse; emgbin+csr additionally skips\n\
+         CSR construction on load.\n"
+    );
+}

@@ -9,7 +9,7 @@ use bridges::{
 };
 use gpu_sim::Device;
 use graph_core::{Csr, EdgeList, Tree};
-use graph_io::{detect_format, parse_as, Format, ParsedGraph};
+use graph_io::{binary, detect_format, Format, ParsedGraph};
 use graphgen::{
     ba_graph, diameter_estimate, kronecker_graph, largest_connected_component, random_queries,
     random_tree, road_grid, web_graph,
@@ -21,15 +21,35 @@ use lca::{
 use std::fmt::Write as _;
 use std::time::Instant;
 
-fn load(path: &str, take_lcc: bool) -> Result<EdgeList, String> {
-    let parsed: ParsedGraph = graph_io::read_edge_list(path).map_err(|e| e.to_string())?;
-    let graph = parsed.graph;
-    if take_lcc {
-        let (lcc, _) = largest_connected_component(&graph);
-        Ok(lcc)
-    } else {
-        Ok(graph)
+/// The input file of a subcommand: the first positional argument or
+/// `--input <file>` (but not both).
+fn input_path<'a>(args: &'a Args, name: &str) -> Result<&'a str, String> {
+    match (args.pos(0), args.opt("input")) {
+        (Some(p), None) => Ok(p),
+        (None, Some(p)) => Ok(p),
+        (Some(_), Some(_)) => Err(format!(
+            "give either a positional <{name}> or --input, not both"
+        )),
+        (None, None) => Err(format!("missing <{name}> (or --input <file>)")),
     }
+}
+
+/// Loads a graph file (`emgbin` or auto-detected text). The cached CSR of
+/// an `emgbin` file is returned too — unless `--lcc` restricts to a
+/// subgraph, which invalidates it.
+fn load_with_csr(path: &str, take_lcc: bool) -> Result<(EdgeList, Option<Csr>), String> {
+    let (parsed, csr) =
+        graph_io::read_edge_list_with_csr(path).map_err(|e| format!("{path}: {e}"))?;
+    if take_lcc {
+        let (lcc, _) = largest_connected_component(&parsed.graph);
+        Ok((lcc, None))
+    } else {
+        Ok((parsed.graph, csr))
+    }
+}
+
+fn load(path: &str, take_lcc: bool) -> Result<EdgeList, String> {
+    load_with_csr(path, take_lcc).map(|(graph, _)| graph)
 }
 
 fn run_bridge_alg(
@@ -59,8 +79,11 @@ fn run_bridge_alg(
 
 /// `emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all]
 /// [--forest uf|bfs|sv|afforest|adaptive] [--lcc] [--list]`
+///
+/// The graph comes from the positional file or `--input <file>`, either a
+/// text format or an `emgbin` cache (whose embedded CSR is reused).
 pub fn cmd_bridges(args: &Args) -> Result<String, String> {
-    let path = args.require_pos(0, "graph-file")?;
+    let path = input_path(args, "graph-file")?;
     let alg = args.opt("alg").unwrap_or("tv");
     let forest = match args.opt("forest") {
         None => None,
@@ -81,9 +104,9 @@ pub fn cmd_bridges(args: &Args) -> Result<String, String> {
             })?)
         }
     };
-    let graph = load(path, args.flag("lcc"))?;
-    let csr = Csr::from_edge_list(&graph);
+    let (graph, cached_csr) = load_with_csr(path, args.flag("lcc"))?;
     let device = Device::new();
+    let csr = cached_csr.unwrap_or_else(|| Csr::from_edge_list_on(&device, &graph));
     let mut out = String::new();
     let algs: Vec<&str> = if alg == "all" {
         vec!["dfs", "tv", "ck", "ck-cpu", "hybrid"]
@@ -131,11 +154,11 @@ pub fn cmd_bridges(args: &Args) -> Result<String, String> {
 /// — the spanning-forest design space: build each backend, validate it,
 /// and report the adaptive selector's choice.
 pub fn cmd_forest(args: &Args) -> Result<String, String> {
-    let path = args.require_pos(0, "graph-file")?;
+    let path = input_path(args, "graph-file")?;
     let backend = args.opt("backend").unwrap_or("all");
-    let graph = load(path, args.flag("lcc"))?;
-    let csr = Csr::from_edge_list(&graph);
+    let (graph, cached_csr) = load_with_csr(path, args.flag("lcc"))?;
     let device = Device::new();
+    let csr = cached_csr.unwrap_or_else(|| Csr::from_edge_list_on(&device, &graph));
     let shape = GraphShape::probe(&csr);
     let mut out = String::new();
     writeln!(
@@ -193,10 +216,10 @@ pub fn cmd_forest(args: &Args) -> Result<String, String> {
 
 /// `emg bcc <file> [--lcc]` — biconnected components + articulation points.
 pub fn cmd_bcc(args: &Args) -> Result<String, String> {
-    let path = args.require_pos(0, "graph-file")?;
-    let graph = load(path, args.flag("lcc"))?;
-    let csr = Csr::from_edge_list(&graph);
+    let path = input_path(args, "graph-file")?;
+    let (graph, cached_csr) = load_with_csr(path, args.flag("lcc"))?;
     let device = Device::new();
+    let csr = cached_csr.unwrap_or_else(|| Csr::from_edge_list_on(&device, &graph));
     let t = Instant::now();
     let bcc = bcc_tv(&device, &graph, &csr).map_err(|e| e.to_string())?;
     let cuts = articulation_points_from_bcc(&graph, &csr, &bcc);
@@ -223,7 +246,7 @@ pub fn cmd_bcc(args: &Args) -> Result<String, String> {
 
 /// `emg lca <tree-file> [--alg ...] [--queries N] [--seed S] [--root R]`
 pub fn cmd_lca(args: &Args) -> Result<String, String> {
-    let path = args.require_pos(0, "tree-file")?;
+    let path = input_path(args, "tree-file")?;
     let alg = args.opt("alg").unwrap_or("gpu");
     let q: usize = args.opt_parse("queries", 1000usize)?;
     let seed: u64 = args.opt_parse("seed", 42u64)?;
@@ -283,7 +306,7 @@ pub fn cmd_lca(args: &Args) -> Result<String, String> {
 
 /// `emg stats <file> [--lcc]` — the Table-1 row for a graph file.
 pub fn cmd_stats(args: &Args) -> Result<String, String> {
-    let path = args.require_pos(0, "graph-file")?;
+    let path = input_path(args, "graph-file")?;
     let graph = load(path, false)?;
     let (lcc, _) = largest_connected_component(&graph);
     let use_graph = if args.flag("lcc") { &lcc } else { &graph };
@@ -321,16 +344,39 @@ pub fn cmd_stats(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn write_graph(path: &str, graph: &EdgeList, format: &str) -> Result<(), String> {
+fn write_graph(
+    path: &str,
+    parsed: &ParsedGraph,
+    format: &str,
+    csr: Option<&Csr>,
+) -> Result<(), String> {
     let mut buf: Vec<u8> = Vec::new();
     match format {
-        "snap" => graph_io::snap::write(&mut buf, graph),
-        "dimacs" => graph_io::dimacs::write(&mut buf, graph),
-        "metis" => graph_io::metis::write(&mut buf, graph),
-        other => return Err(format!("unknown format {other:?} (snap|dimacs|metis)")),
+        "snap" => graph_io::snap::write(&mut buf, &parsed.graph),
+        "dimacs" => graph_io::dimacs::write(&mut buf, &parsed.graph),
+        "metis" => graph_io::metis::write(&mut buf, &parsed.graph),
+        "emgbin" => binary::write(&mut buf, parsed, csr),
+        other => {
+            return Err(format!(
+                "unknown format {other:?} (snap|dimacs|metis|emgbin)"
+            ))
+        }
     }
     .map_err(|e| e.to_string())?;
     std::fs::write(path, buf).map_err(|e| e.to_string())
+}
+
+/// Infers the target format of `emg convert` from the output extension
+/// when `--to` is omitted.
+fn format_from_extension(path: &str) -> Option<&'static str> {
+    let ext = std::path::Path::new(path).extension()?.to_str()?;
+    match ext {
+        "emgbin" => Some("emgbin"),
+        "gr" => Some("dimacs"),
+        "graph" | "metis" => Some("metis"),
+        "txt" | "snap" => Some("snap"),
+        _ => None,
+    }
 }
 
 /// `emg gen <family> --out <file> [--format snap|dimacs|metis] [params]`
@@ -376,37 +422,71 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
         }
         other => return Err(format!("unknown family {other:?} (kron|road|web|ba|tree)")),
     };
-    write_graph(out_path, &graph, format)?;
+    let parsed = ParsedGraph::dense(graph);
+    if args.flag("csr") && format != "emgbin" {
+        // Only the binary cache can carry a CSR section; silently dropping
+        // the flag would leave the user believing the CSR is cached.
+        return Err(format!(
+            "--csr only applies to --format emgbin, not {format:?}"
+        ));
+    }
+    let csr = args
+        .flag("csr")
+        .then(|| Csr::from_edge_list_on(&Device::new(), &parsed.graph));
+    write_graph(out_path, &parsed, format, csr.as_ref())?;
     Ok(format!(
         "wrote {} nodes, {} edges to {out_path} ({format})\n",
-        graph.num_nodes(),
-        graph.num_edges()
-    ))
-}
-
-/// `emg convert <in> <out> --to snap|dimacs|metis`
-pub fn cmd_convert(args: &Args) -> Result<String, String> {
-    let input = args.require_pos(0, "input")?;
-    let output = args.require_pos(1, "output")?;
-    let to = args
-        .opt("to")
-        .ok_or_else(|| "missing --to <format>".to_string())?;
-    let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
-    let from = detect_format(&text).ok_or_else(|| format!("cannot detect format of {input}"))?;
-    let parsed = parse_as(&text, from).map_err(|e| e.to_string())?;
-    write_graph(output, &parsed.graph, to)?;
-    Ok(format!(
-        "converted {input} ({from:?}) -> {output} ({to}): {} nodes, {} edges\n",
         parsed.graph.num_nodes(),
         parsed.graph.num_edges()
     ))
 }
 
-/// Detects the format of a file (`emg detect <file>`).
-pub fn cmd_detect(args: &Args) -> Result<String, String> {
+/// `emg convert <in> <out> [--to snap|dimacs|metis|emgbin] [--csr]`
+///
+/// The input may be any text format or an `emgbin` cache; when `--to` is
+/// omitted the target format is inferred from the output extension
+/// (`.emgbin`, `.gr`, `.graph`, `.txt`). `--csr` embeds the CSR adjacency
+/// in an `emgbin` output so later loads skip CSR construction too.
+pub fn cmd_convert(args: &Args) -> Result<String, String> {
     let input = args.require_pos(0, "input")?;
-    let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
-    match detect_format(&text) {
+    let output = args.require_pos(1, "output")?;
+    let to = match args.opt("to") {
+        Some(t) => t,
+        None => format_from_extension(output).ok_or_else(|| {
+            format!("missing --to <format>, and the extension of {output:?} does not imply one")
+        })?,
+    };
+    if args.flag("csr") && to != "emgbin" {
+        return Err(format!("--csr only applies to emgbin output, not {to:?}"));
+    }
+    let (parsed, cached_csr) =
+        graph_io::read_edge_list_with_csr(input).map_err(|e| format!("{input}: {e}"))?;
+    let csr = if args.flag("csr") {
+        Some(cached_csr.unwrap_or_else(|| Csr::from_edge_list_on(&Device::new(), &parsed.graph)))
+    } else {
+        None
+    };
+    write_graph(output, &parsed, to, csr.as_ref())?;
+    Ok(format!(
+        "converted {input} -> {output} ({to}{}): {} nodes, {} edges\n",
+        if csr.is_some() { ", CSR embedded" } else { "" },
+        parsed.graph.num_nodes(),
+        parsed.graph.num_edges()
+    ))
+}
+
+/// Detects the format of a file (`emg detect <file>`): `emgbin` by magic,
+/// text formats by content.
+pub fn cmd_detect(args: &Args) -> Result<String, String> {
+    let input = input_path(args, "input")?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    if binary::is_emgbin(&bytes) {
+        return Ok("emgbin\n".into());
+    }
+    let Ok(text) = std::str::from_utf8(&bytes) else {
+        return Err("unknown format".into());
+    };
+    match detect_format(text) {
         Some(Format::Dimacs) => Ok("dimacs\n".into()),
         Some(Format::Snap) => Ok("snap\n".into()),
         Some(Format::Metis) => Ok("metis\n".into()),

@@ -1,7 +1,8 @@
 //! # emg-cli — command-line frontend for the euler-meets-gpu workspace
 //!
 //! One binary, `emg`, exposing the library over graph files in the formats
-//! the paper's datasets ship in (auto-detected DIMACS/SNAP/METIS):
+//! the paper's datasets ship in (auto-detected DIMACS/SNAP/METIS, plus the
+//! `emgbin` binary cache):
 //!
 //! ```text
 //! emg bridges <file> [--alg dfs|tv|ck|ck-cpu|hybrid|all]
@@ -11,10 +12,13 @@
 //! emg lca     <tree-file> [--alg seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq]
 //!                         [--queries N] [--seed S] [--root R]
 //! emg stats   <file> [--lcc]
-//! emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis] [params]
-//! emg convert <in> <out> --to <format>
+//! emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis|emgbin] [params]
+//! emg convert <in> <out> [--to <format>] [--csr]
 //! emg detect  <file>
 //! ```
+//!
+//! Every `<file>` may instead be given as `--input <file>`, and may be a
+//! text format or an `emgbin` cache (detected by magic).
 //!
 //! The command implementations live in [`commands`] and return their
 //! reports as strings, so the test suite drives them directly.
@@ -38,13 +42,15 @@ USAGE:
   emg lca     <tree-file> [--alg seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq]
                           [--queries N] [--seed S] [--root R]
   emg stats   <file> [--lcc]
-  emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis] [--seed S] [params]
-  emg convert <in> <out> --to snap|dimacs|metis
+  emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis|emgbin] [--seed S] [params]
+  emg convert <in> <out> [--to snap|dimacs|metis|emgbin] [--csr]
   emg detect  <file>
 
-Graph files are auto-detected DIMACS (.gr / p edge), SNAP edge lists, or
-METIS adjacency. --lcc restricts to the largest connected component
-(the paper's preprocessing).";
+Graph files are auto-detected DIMACS (.gr / p edge), SNAP edge lists,
+METIS adjacency, or the emgbin binary cache (write one with `emg convert
+graph.txt graph.emgbin`; add --csr to embed the CSR adjacency). <file>
+may also be passed as --input <file>. --lcc restricts to the largest
+connected component (the paper's preprocessing).";
 
 /// Dispatches a full command line (without the program name).
 ///

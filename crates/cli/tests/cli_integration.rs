@@ -15,6 +15,15 @@ fn tmp(name: &str) -> PathBuf {
     dir.join(name)
 }
 
+/// Report lines with the trailing `in <duration>` stripped — timings vary
+/// between runs, everything else must be reproducible.
+fn strip_times(report: &str) -> Vec<String> {
+    report
+        .lines()
+        .map(|l| l.split(" in ").next().unwrap_or(l).to_string())
+        .collect()
+}
+
 #[test]
 fn help_is_printed() {
     let out = run("--help").unwrap();
@@ -88,14 +97,8 @@ fn bridges_accepts_forest_backend() {
     ))
     .unwrap();
     // The bridge set is intrinsic, so every substrate must agree with the
-    // default (cross-checked against dfs via --alg all). Timings vary
-    // between runs; compare the reports with durations stripped.
-    let strip_times = |report: &str| -> Vec<String> {
-        report
-            .lines()
-            .map(|l| l.split(" in ").next().unwrap_or(l).to_string())
-            .collect()
-    };
+    // default (cross-checked against dfs via --alg all); compare the
+    // reports with durations stripped.
     let base = strip_times(&run(&format!("bridges {} --lcc --alg all", path.display())).unwrap());
     for backend in ["uf", "bfs", "sv", "afforest", "adaptive"] {
         let out = run(&format!(
@@ -217,6 +220,111 @@ fn convert_between_all_formats_preserves_graph() {
 }
 
 #[test]
+fn convert_to_emgbin_round_trips_and_feeds_every_command() {
+    let text = tmp("bin_src.txt");
+    run(&format!(
+        "gen web --nodes 400 --edges 1200 --seed 7 --out {}",
+        text.display()
+    ))
+    .unwrap();
+
+    // `--to` inferred from the .emgbin extension; --csr embeds the CSR.
+    let bin = tmp("bin_src.emgbin");
+    let out = run(&format!(
+        "convert {} {} --csr",
+        text.display(),
+        bin.display()
+    ))
+    .unwrap();
+    assert!(out.contains("emgbin"), "{out}");
+    assert!(out.contains("CSR embedded"), "{out}");
+    assert_eq!(
+        run(&format!("detect {}", bin.display())).unwrap(),
+        "emgbin\n"
+    );
+    assert_eq!(
+        run(&format!("detect --input {}", bin.display())).unwrap(),
+        "emgbin\n"
+    );
+    // --csr only makes sense for emgbin output; text targets reject it
+    // instead of silently dropping the cached CSR.
+    let err = run(&format!(
+        "convert {} {} --to snap --csr",
+        bin.display(),
+        text.display()
+    ))
+    .unwrap_err();
+    assert!(err.contains("--csr"), "{err}");
+
+    // The binary cache and the text file must be indistinguishable to the
+    // pipelines (timings stripped as elsewhere).
+    let from_text = run(&format!("bridges {} --alg all", text.display())).unwrap();
+    let from_bin = run(&format!("bridges {} --alg all", bin.display())).unwrap();
+    assert_eq!(strip_times(&from_text), strip_times(&from_bin));
+    let from_text = run(&format!("stats {}", text.display())).unwrap();
+    let from_bin = run(&format!("stats {}", bin.display())).unwrap();
+    assert_eq!(from_text, from_bin);
+
+    // Back to text: converting the binary cache to SNAP produces exactly
+    // the bytes converting the text source would (SNAP re-writing
+    // normalizes ids, so compare converted-vs-converted).
+    let back_from_bin = tmp("bin_back.txt");
+    let back_from_text = tmp("text_back.txt");
+    run(&format!(
+        "convert {} {} --to snap",
+        bin.display(),
+        back_from_bin.display()
+    ))
+    .unwrap();
+    run(&format!(
+        "convert {} {} --to snap",
+        text.display(),
+        back_from_text.display()
+    ))
+    .unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&back_from_text).unwrap(),
+        std::fs::read_to_string(&back_from_bin).unwrap()
+    );
+}
+
+#[test]
+fn input_flag_is_an_alias_for_the_positional_file() {
+    let path = tmp("input_flag.txt");
+    run(&format!(
+        "gen road --width 12 --height 12 --keep 0.9 --seed 4 --out {}",
+        path.display()
+    ))
+    .unwrap();
+    let positional = run(&format!("forest {}", path.display())).unwrap();
+    let flagged = run(&format!("forest --input {}", path.display())).unwrap();
+    assert_eq!(strip_times(&positional), strip_times(&flagged));
+
+    let err = run(&format!(
+        "forest {} --input {}",
+        path.display(),
+        path.display()
+    ))
+    .unwrap_err();
+    assert!(err.contains("not both"), "{err}");
+    let err = run("stats").unwrap_err();
+    assert!(err.contains("--input"), "{err}");
+}
+
+#[test]
+fn gen_writes_emgbin_directly() {
+    let bin = tmp("gen_direct.emgbin");
+    let out = run(&format!(
+        "gen ba --nodes 300 --degree 3 --seed 6 --format emgbin --csr --out {}",
+        bin.display()
+    ))
+    .unwrap();
+    assert!(out.contains("emgbin"), "{out}");
+    let stats = run(&format!("stats --input {}", bin.display())).unwrap();
+    assert!(stats.contains("file nodes: 300"), "{stats}");
+}
+
+#[test]
 fn gen_kron_and_ba_families_produce_graphs() {
     for (family, extra) in [
         ("kron", "--scale 8 --edge-factor 8"),
@@ -246,6 +354,12 @@ fn gen_rejects_unknown_family_and_format() {
     ))
     .unwrap_err()
     .contains("unknown format"));
+    assert!(run(&format!(
+        "gen ba --nodes 10 --degree 2 --out {} --csr",
+        path.display()
+    ))
+    .unwrap_err()
+    .contains("--csr only applies"));
 }
 
 #[test]

@@ -8,7 +8,7 @@
 //! block_size`]) which are the unit of scheduling on the worker pool —
 //! mirroring how thread blocks map onto streaming multiprocessors.
 //!
-//! Scheduling works like a grid draining over SMs: [`Device::schedule_blocks`]
+//! Scheduling works like a grid draining over SMs: `Device::schedule_blocks`
 //! spawns one claimer task per pool worker, and each claimer repeatedly grabs
 //! the next unprocessed block index from an **atomic block-claim counter**
 //! until the grid is exhausted. Block decomposition depends only on

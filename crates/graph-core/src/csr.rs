@@ -7,6 +7,7 @@
 
 use crate::edge_list::EdgeList;
 use crate::ids::{EdgeId, NodeId};
+use gpu_sim::Device;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -73,6 +74,124 @@ impl Csr {
         };
         csr.sort_adjacency();
         csr
+    }
+
+    /// Builds the CSR form of `edges` with the device's kernel launches —
+    /// a counting sort of the directed arcs by source node: per-source arc
+    /// counts (atomic histogram), offsets via [`Device::scan_exclusive`],
+    /// then a placement launch. Bit-identical to [`Csr::from_edge_list`]
+    /// (both sort each adjacency by `(neighbor, edge id)` at the end), but
+    /// every phase is a device primitive, so the construction shows up in
+    /// the device metrics and scales with the pool like any other kernel.
+    ///
+    /// # Panics
+    /// Panics if the graph has more than `u32::MAX / 2` edges.
+    pub fn from_edge_list_on(device: &Device, edges: &EdgeList) -> Self {
+        let n = edges.num_nodes();
+        let m = edges.num_edges();
+        assert!(m <= (u32::MAX / 2) as usize, "graph too large for u32 CSR");
+
+        // Phase 1: per-source directed-arc counts (each undirected edge is
+        // two arcs).
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let pairs = edges.edges();
+        device.for_each(m, |e| {
+            let (u, v) = pairs[e];
+            counts[u as usize].fetch_add(1, Ordering::Relaxed);
+            counts[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        let counts: Vec<u32> = counts.into_iter().map(AtomicU32::into_inner).collect();
+
+        // Phase 2: offsets = exclusive scan of the counts.
+        let (mut offsets, total) = device.scan_exclusive_with_total(&counts, 0u32, |a, b| a + b);
+        offsets.push(total);
+        debug_assert_eq!(total as usize, 2 * m);
+
+        // Phase 3: scatter each arc to its slot (counting-sort placement
+        // with atomic per-node cursors).
+        let mut neighbors = vec![0 as NodeId; 2 * m];
+        let mut edge_ids = vec![0 as EdgeId; 2 * m];
+        {
+            let cursors: Vec<AtomicU32> = offsets[..n].iter().map(|&o| AtomicU32::new(o)).collect();
+            let nb_ptr = SharedVec(neighbors.as_mut_ptr());
+            let ei_ptr = SharedVec(edge_ids.as_mut_ptr());
+            device.for_each(m, |e| {
+                let (u, v) = pairs[e];
+                let pu = cursors[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                let pv = cursors[v as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                // SAFETY: fetch_add hands out unique slots within each
+                // node's [offsets[v], offsets[v+1]) range.
+                unsafe {
+                    nb_ptr.write(pu, v);
+                    ei_ptr.write(pu, e as EdgeId);
+                    nb_ptr.write(pv, u);
+                    ei_ptr.write(pv, e as EdgeId);
+                }
+            });
+        }
+        let mut csr = Self {
+            offsets,
+            neighbors,
+            edge_ids,
+            num_edges: m,
+        };
+        csr.sort_adjacency();
+        csr
+    }
+
+    /// Reassembles a CSR from its raw arrays (the shape `emgbin` caches
+    /// store), validating every structural invariant — a corrupt cache
+    /// must produce an error, not a CSR that panics later.
+    ///
+    /// # Errors
+    /// Describes the first violated invariant: offset monotonicity/bounds,
+    /// array length mismatches, or out-of-range neighbor/edge ids.
+    pub fn from_raw_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        edge_ids: Vec<EdgeId>,
+        num_edges: usize,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets array is empty (needs num_nodes + 1 entries)".into());
+        }
+        let n = offsets.len() - 1;
+        if offsets[0] != 0 {
+            return Err(format!("offsets[0] = {} (expected 0)", offsets[0]));
+        }
+        if let Some(v) = offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!(
+                "offsets not monotone at node {v}: {} > {}",
+                offsets[v],
+                offsets[v + 1]
+            ));
+        }
+        let arcs = 2 * num_edges;
+        if *offsets.last().unwrap() as usize != arcs {
+            return Err(format!(
+                "offsets end at {} but {num_edges} edges need {arcs} arc slots",
+                offsets.last().unwrap()
+            ));
+        }
+        if neighbors.len() != arcs || edge_ids.len() != arcs {
+            return Err(format!(
+                "array lengths {} / {} do not match {arcs} arcs",
+                neighbors.len(),
+                edge_ids.len()
+            ));
+        }
+        if let Some(&bad) = neighbors.iter().find(|&&v| v as usize >= n) {
+            return Err(format!("neighbor id {bad} out of range for {n} nodes"));
+        }
+        if let Some(&bad) = edge_ids.iter().find(|&&e| e as usize >= num_edges) {
+            return Err(format!("edge id {bad} out of range for {num_edges} edges"));
+        }
+        Ok(Self {
+            offsets,
+            neighbors,
+            edge_ids,
+            num_edges,
+        })
     }
 
     /// Sorts each adjacency list by `(neighbor, edge id)` in parallel —
@@ -279,6 +398,74 @@ mod tests {
         let el = EdgeList::new(5, vec![(0, 4), (0, 2), (0, 3), (0, 1)]);
         let csr = Csr::from_edge_list(&el);
         assert_eq!(csr.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn device_builder_matches_rayon_builder() {
+        let device = Device::new();
+        // Deterministic pseudo-random multigraph with loops.
+        let n = 500usize;
+        let mut edges = Vec::new();
+        let mut state = 99u64;
+        for _ in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((state >> 33) % n as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = ((state >> 33) % n as u64) as u32;
+            edges.push((u, v));
+        }
+        let el = EdgeList::new(n, edges);
+        assert_eq!(
+            Csr::from_edge_list_on(&device, &el),
+            Csr::from_edge_list(&el)
+        );
+        // Degenerate shapes.
+        let empty = EdgeList::empty(3);
+        assert_eq!(
+            Csr::from_edge_list_on(&device, &empty),
+            Csr::from_edge_list(&empty)
+        );
+        let nothing = EdgeList::empty(0);
+        assert_eq!(
+            Csr::from_edge_list_on(&device, &nothing),
+            Csr::from_edge_list(&nothing)
+        );
+    }
+
+    #[test]
+    fn raw_parts_round_trip_and_validation() {
+        let csr = Csr::from_edge_list(&triangle_plus_tail());
+        let rebuilt = Csr::from_raw_parts(
+            csr.offsets().to_vec(),
+            csr.raw_neighbors().to_vec(),
+            csr.raw_edge_ids().to_vec(),
+            csr.num_edges(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, csr);
+
+        // Each invariant violation is caught.
+        assert!(Csr::from_raw_parts(vec![], vec![], vec![], 0)
+            .unwrap_err()
+            .contains("empty"));
+        assert!(Csr::from_raw_parts(vec![1, 2], vec![0, 0], vec![0, 0], 1)
+            .unwrap_err()
+            .contains("offsets[0]"));
+        assert!(Csr::from_raw_parts(vec![0, 2, 1], vec![0], vec![0], 1)
+            .unwrap_err()
+            .contains("monotone"));
+        assert!(Csr::from_raw_parts(vec![0, 1], vec![0, 0], vec![0, 0], 1)
+            .unwrap_err()
+            .contains("arc slots"));
+        assert!(Csr::from_raw_parts(vec![0, 2], vec![0], vec![0, 0], 1)
+            .unwrap_err()
+            .contains("lengths"));
+        assert!(Csr::from_raw_parts(vec![0, 2], vec![0, 9], vec![0, 0], 1)
+            .unwrap_err()
+            .contains("neighbor id 9"));
+        assert!(Csr::from_raw_parts(vec![0, 2], vec![0, 0], vec![0, 7], 1)
+            .unwrap_err()
+            .contains("edge id 7"));
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Line-aligned chunking of input text for parallel parsing.
+//!
+//! Every text parser in this crate has two paths: a sequential oracle
+//! (`parse`) and a chunked path (`parse_chunks`) that splits the input at
+//! line boundaries, tokenizes the chunks on the rayon pool, and merges the
+//! per-chunk results in source order. The merged result is bit-identical to
+//! the sequential parse — node ids, edge order and error line numbers all
+//! match — which the `parallel_equivalence` proptests pin.
+
+use crate::ParseError;
+use rayon::prelude::*;
+
+/// A line-aligned slice of the input together with its global position.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunk<'a> {
+    /// The chunk text. Always starts at the beginning of a line; every
+    /// chunk except possibly the last ends just after a `'\n'`.
+    pub text: &'a str,
+    /// 1-based global line number of the chunk's first line.
+    pub first_line: usize,
+}
+
+impl Chunk<'_> {
+    /// Iterates the chunk's lines as `(global 1-based line number, line)`.
+    pub fn lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        let first = self.first_line;
+        self.text
+            .lines()
+            .enumerate()
+            .map(move |(i, l)| (first + i, l))
+    }
+}
+
+/// Inputs smaller than this are parsed sequentially: below ~64 KiB the
+/// chunk bookkeeping and merge copy cost more than the parallel tokenizing
+/// saves.
+pub const PARALLEL_THRESHOLD_BYTES: usize = 1 << 16;
+
+/// Picks a chunk count for an input of `len` bytes: a few chunks per pool
+/// worker (so an unlucky comment-dense chunk does not serialize the tail),
+/// but never chunks smaller than [`PARALLEL_THRESHOLD_BYTES`].
+pub fn default_chunk_count(len: usize) -> usize {
+    let workers = rayon::current_num_threads().max(1);
+    let max_by_size = len.div_ceil(PARALLEL_THRESHOLD_BYTES).max(1);
+    (workers * 4).min(max_by_size)
+}
+
+/// Splits `text` into at most `target` chunks, each ending at a line
+/// boundary. Returns at least one chunk (possibly empty for empty input).
+pub fn split_line_chunks(text: &str, target: usize) -> Vec<Chunk<'_>> {
+    let target = target.max(1);
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    if n == 0 {
+        return vec![Chunk {
+            text,
+            first_line: 1,
+        }];
+    }
+    let approx = n.div_ceil(target);
+    let mut chunks = Vec::with_capacity(target);
+    let mut start = 0usize;
+    let mut first_line = 1usize;
+    while start < n {
+        let mut end = usize::min(start + approx, n);
+        if end < n {
+            // Advance to just past the next newline so no line straddles
+            // two chunks. All formats are ASCII, so the byte after a
+            // `'\n'` is a char boundary.
+            end = match bytes[end..].iter().position(|&b| b == b'\n') {
+                Some(i) => end + i + 1,
+                None => n,
+            };
+        }
+        let piece = &text[start..end];
+        chunks.push(Chunk {
+            text: piece,
+            first_line,
+        });
+        first_line += piece.bytes().filter(|&b| b == b'\n').count();
+        start = end;
+    }
+    chunks
+}
+
+/// Applies `f` to every chunk in parallel and returns the per-chunk results
+/// in source order.
+///
+/// # Errors
+/// Returns the error of the first failing chunk in source order. Chunk
+/// parsers bail at their first offending line and chunks cover ascending
+/// disjoint line ranges, so this is the error the sequential parse would
+/// have reported.
+pub fn parse_chunks_with<T, F>(chunks: &[Chunk<'_>], f: F) -> Result<Vec<T>, ParseError>
+where
+    T: Send,
+    F: Fn(&Chunk<'_>) -> Result<T, ParseError> + Send + Sync,
+{
+    let results: Vec<Result<T, ParseError>> = chunks.par_iter().map(f).collect();
+    results.into_iter().collect()
+}
+
+/// Concatenates per-chunk vectors in source order (one allocation).
+pub fn merge_in_order<T>(pieces: Vec<Vec<T>>) -> Vec<T> {
+    let total = pieces.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_text_and_align_to_lines() {
+        let text = "alpha\nbeta\ngamma\ndelta\nepsilon\n";
+        for target in 1..8 {
+            let chunks = split_line_chunks(text, target);
+            let glued: String = chunks.iter().map(|c| c.text).collect();
+            assert_eq!(glued, text, "target {target}");
+            for c in &chunks[..chunks.len() - 1] {
+                assert!(
+                    c.text.ends_with('\n'),
+                    "chunk {:?} not line-aligned",
+                    c.text
+                );
+            }
+            // Line numbers are consistent with a global enumeration.
+            let mut expected_line = 1;
+            for c in &chunks {
+                assert_eq!(c.first_line, expected_line);
+                expected_line += c.text.lines().count();
+            }
+        }
+    }
+
+    #[test]
+    fn no_trailing_newline_keeps_last_line() {
+        let chunks = split_line_chunks("a\nb\nc", 2);
+        let all: Vec<(usize, String)> = chunks
+            .iter()
+            .flat_map(|c| c.lines().map(|(n, l)| (n, l.to_string())))
+            .collect();
+        assert_eq!(
+            all,
+            vec![
+                (1, "a".to_string()),
+                (2, "b".to_string()),
+                (3, "c".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_one_empty_chunk() {
+        let chunks = split_line_chunks("", 4);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].text, "");
+        assert_eq!(chunks[0].first_line, 1);
+    }
+
+    #[test]
+    fn oversized_target_degenerates_to_per_line_chunks() {
+        let chunks = split_line_chunks("x\ny\n", 100);
+        assert!(chunks.len() <= 2);
+        let glued: String = chunks.iter().map(|c| c.text).collect();
+        assert_eq!(glued, "x\ny\n");
+    }
+
+    #[test]
+    fn first_error_in_source_order_wins() {
+        let text = "ok\nbad5\nok\nbad2\n";
+        let chunks = split_line_chunks(text, 4);
+        let err = parse_chunks_with(&chunks, |c| {
+            for (lineno, line) in c.lines() {
+                if line.starts_with("bad") {
+                    return Err(ParseError::at(lineno, line.to_string()));
+                }
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        assert_eq!(
+            merge_in_order(vec![vec![1, 2], vec![], vec![3]]),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn default_chunk_count_scales_down_for_small_inputs() {
+        assert_eq!(default_chunk_count(10), 1);
+        assert!(default_chunk_count(100 << 20) >= 1);
+    }
+}

@@ -1,6 +1,7 @@
 //! Format auto-detection and the one-call file reader.
 
-use crate::{dimacs, metis, snap, ParseError, ParsedGraph};
+use crate::{binary, dimacs, metis, snap, IoError, ParseError, ParsedGraph};
+use graph_core::Csr;
 use std::path::Path;
 
 /// The supported on-disk graph formats.
@@ -71,32 +72,61 @@ pub fn detect_format(text: &str) -> Option<Format> {
     Some(Format::Metis)
 }
 
-/// Parses `text` as `format`.
+/// Parses `text` as `format`, splitting large inputs into line-aligned
+/// chunks parsed in parallel on the rayon pool (bit-identical to the
+/// sequential `parse` of each format module).
 ///
 /// # Errors
 /// Propagates the format parser's [`ParseError`].
 pub fn parse_as(text: &str, format: Format) -> Result<ParsedGraph, ParseError> {
     match format {
-        Format::Dimacs => dimacs::parse(text),
-        Format::Snap => snap::parse(text),
-        Format::Metis => metis::parse(text),
+        Format::Dimacs => dimacs::parse_chunked(text),
+        Format::Snap => snap::parse_chunked(text),
+        Format::Metis => metis::parse_chunked(text),
     }
 }
 
-/// Reads a graph file, auto-detecting the format from its content.
+/// Decodes raw file bytes: `emgbin` by magic, otherwise UTF-8 text with
+/// content-based format detection and chunk-parallel parsing. Returns the
+/// graph plus the CSR adjacency when the binary cache embedded one.
 ///
 /// # Errors
-/// I/O errors from reading, `InvalidData` when the format cannot be
-/// detected or parsing fails.
-pub fn read_edge_list(path: impl AsRef<Path>) -> std::io::Result<ParsedGraph> {
-    let text = std::fs::read_to_string(path.as_ref())?;
-    let format = detect_format(&text).ok_or_else(|| {
-        std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("cannot detect graph format of {}", path.as_ref().display()),
-        )
-    })?;
-    parse_as(&text, format).map_err(Into::into)
+/// [`ParseError`] when the bytes are not UTF-8 (and not `emgbin`), the
+/// text format cannot be detected, or parsing fails. `context` names the
+/// input in the error message.
+pub fn parse_bytes(bytes: &[u8], context: &str) -> Result<(ParsedGraph, Option<Csr>), ParseError> {
+    if binary::is_emgbin(bytes) {
+        return binary::read(bytes);
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| ParseError::file(format!("{context} is neither emgbin nor UTF-8 text")))?;
+    let format = detect_format(text)
+        .ok_or_else(|| ParseError::file(format!("cannot detect graph format of {context}")))?;
+    Ok((parse_as(text, format)?, None))
+}
+
+/// Reads a graph file — `emgbin` or auto-detected text — returning the CSR
+/// adjacency too when the binary cache embedded one.
+///
+/// # Errors
+/// [`IoError::Io`] on filesystem failures, [`IoError::Parse`] (with line
+/// numbers for text formats) on malformed content.
+pub fn read_edge_list_with_csr(
+    path: impl AsRef<Path>,
+) -> Result<(ParsedGraph, Option<Csr>), IoError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    Ok(parse_bytes(&bytes, &path.display().to_string())?)
+}
+
+/// Reads a graph file, auto-detecting `emgbin` (by magic) or the text
+/// format (by content).
+///
+/// # Errors
+/// [`IoError::Io`] on filesystem failures, [`IoError::Parse`] on
+/// undetectable or malformed content.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<ParsedGraph, IoError> {
+    read_edge_list_with_csr(path).map(|(parsed, _)| parsed)
 }
 
 #[cfg(test)]
@@ -151,5 +181,39 @@ mod tests {
         let p = read_edge_list(&path).unwrap();
         assert_eq!(p.graph.num_edges(), 2);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_edge_list_handles_emgbin() {
+        let dir = std::env::temp_dir().join("graph_io_detect_test_bin");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.emgbin");
+        let parsed = crate::snap::parse("5 6\n6 7\n").unwrap();
+        let csr = Csr::from_edge_list(&parsed.graph);
+        binary::write_file(&path, &parsed, Some(&csr)).unwrap();
+        let (p, loaded_csr) = read_edge_list_with_csr(&path).unwrap();
+        assert_eq!(p.graph.edges(), parsed.graph.edges());
+        assert_eq!(p.original_ids, parsed.original_ids);
+        assert_eq!(loaded_csr.expect("embedded CSR"), csr);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_edge_list_reports_structured_errors() {
+        assert!(matches!(
+            read_edge_list("/nonexistent/x.txt").unwrap_err(),
+            IoError::Io(_)
+        ));
+        let dir = std::env::temp_dir().join("graph_io_detect_test_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, "hello world\n").unwrap();
+        let err = read_edge_list(&path).unwrap_err();
+        assert!(matches!(&err, IoError::Parse(p) if p.message.contains("cannot detect")));
+        // Parse errors keep their structured line numbers through IoError.
+        let path = dir.join("badline.txt");
+        std::fs::write(&path, "# snap\n1 2\n1 2 3 4\n").unwrap();
+        let err = read_edge_list(&path).unwrap_err();
+        assert!(matches!(&err, IoError::Parse(p) if p.line == 3), "{err}");
     }
 }

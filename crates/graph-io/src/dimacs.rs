@@ -7,7 +7,13 @@
 //!   <v> <w>` arc lines) — road files list every undirected edge as two
 //!   arcs, which the parser keeps (dedup via `EdgeList::simplified`);
 //! * the older **edge** format (`p edge <n> <m>`, `e <u> <v>` lines).
+//!
+//! The `p` header is found by a cheap sequential prefix scan (it sits at
+//! the top of every real file); with the node count known, the arc lines —
+//! the other 99.9% of the bytes — parse chunk-parallel in
+//! [`parse_chunks`].
 
+use crate::chunk::{self, Chunk};
 use crate::{ParseError, ParsedGraph};
 use graph_core::EdgeList;
 use std::io::Write;
@@ -25,16 +31,16 @@ fn parse_id(tok: &str, n: usize, lineno: usize) -> Result<u32, ParseError> {
     Ok((id - 1) as u32)
 }
 
-/// Parses DIMACS text (`p sp` arcs or `p edge` edges).
-///
-/// # Errors
-/// [`ParseError`] on a missing/duplicate `p` line, unknown line type,
-/// out-of-range node ids, or an edge-count mismatch.
-pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
-    let mut n: Option<usize> = None;
-    let mut declared_m = 0usize;
-    let mut edges: Vec<(u32, u32)> = Vec::new();
+/// The `p` line's contents and position.
+struct Header {
+    n: usize,
+    declared_m: usize,
+    /// 1-based line number of the `p` line.
+    line: usize,
+}
 
+/// Scans the file prefix (comments and blanks) up to the `p` line.
+fn scan_header(text: &str) -> Result<Header, ParseError> {
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
         let line = line.trim();
@@ -45,32 +51,60 @@ pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
         match it.next().unwrap() {
             "c" => continue,
             "p" => {
-                if n.is_some() {
-                    return Err(ParseError::at(lineno, "duplicate `p` line"));
-                }
                 let _kind = it
                     .next()
                     .ok_or_else(|| ParseError::at(lineno, "missing problem kind"))?;
-                let nn: usize = it
+                let n: usize = it
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| ParseError::at(lineno, "bad node count"))?;
-                declared_m = it
+                let declared_m = it
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| ParseError::at(lineno, "bad edge count"))?;
-                n = Some(nn);
+                return Ok(Header {
+                    n,
+                    declared_m,
+                    line: lineno,
+                });
             }
+            "a" | "e" => return Err(ParseError::at(lineno, "edge before `p` line")),
+            other => {
+                return Err(ParseError::at(
+                    lineno,
+                    format!("unknown line type {other:?}"),
+                ));
+            }
+        }
+    }
+    Err(ParseError::file("missing `p` line"))
+}
+
+/// Parses one chunk's arc lines. Lines at or before the header line were
+/// already validated by [`scan_header`] and are skipped.
+fn parse_chunk_arcs(c: &Chunk<'_>, header: &Header) -> Result<Vec<(u32, u32)>, ParseError> {
+    let mut edges = Vec::new();
+    for (lineno, line) in c.lines() {
+        if lineno <= header.line {
+            continue;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next().unwrap() {
+            "c" => continue,
+            "p" => return Err(ParseError::at(lineno, "duplicate `p` line")),
             kind @ ("a" | "e") => {
-                let n = n.ok_or_else(|| ParseError::at(lineno, "edge before `p` line"))?;
                 let u = it
                     .next()
                     .ok_or_else(|| ParseError::at(lineno, "missing tail"))
-                    .and_then(|t| parse_id(t, n, lineno))?;
+                    .and_then(|t| parse_id(t, header.n, lineno))?;
                 let v = it
                     .next()
                     .ok_or_else(|| ParseError::at(lineno, "missing head"))
-                    .and_then(|t| parse_id(t, n, lineno))?;
+                    .and_then(|t| parse_id(t, header.n, lineno))?;
                 // `a` lines carry a weight; `e` lines must not.
                 if kind == "e" && it.next().is_some() {
                     return Err(ParseError::at(lineno, "unexpected token after edge"));
@@ -85,18 +119,62 @@ pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
             }
         }
     }
-    let n = n.ok_or_else(|| ParseError::file("missing `p` line"))?;
-    if edges.len() != declared_m {
+    Ok(edges)
+}
+
+fn build(header: &Header, edges: Vec<(u32, u32)>) -> Result<ParsedGraph, ParseError> {
+    if edges.len() != header.declared_m {
         return Err(ParseError::file(format!(
-            "p line declared {declared_m} edges, found {}",
+            "p line declared {} edges, found {}",
+            header.declared_m,
             edges.len()
         )));
     }
-    let graph = EdgeList::new(n, edges);
+    let graph = EdgeList::new(header.n, edges);
     Ok(ParsedGraph {
         graph,
-        original_ids: (1..=n as u64).collect(),
+        original_ids: (1..=header.n as u64).collect(),
     })
+}
+
+/// Parses DIMACS text (`p sp` arcs or `p edge` edges) sequentially (the
+/// oracle the chunked path is pinned against).
+///
+/// # Errors
+/// [`ParseError`] on a missing/duplicate `p` line, unknown line type,
+/// out-of-range node ids, or an edge-count mismatch.
+pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
+    let header = scan_header(text)?;
+    let whole = Chunk {
+        text,
+        first_line: 1,
+    };
+    let edges = parse_chunk_arcs(&whole, &header)?;
+    build(&header, edges)
+}
+
+/// Parses DIMACS text with chunk-parallel arc parsing; bit-identical to
+/// [`parse`]. Small inputs fall back to the sequential path.
+///
+/// # Errors
+/// Same contract as [`parse`].
+pub fn parse_chunked(text: &str) -> Result<ParsedGraph, ParseError> {
+    if text.len() < chunk::PARALLEL_THRESHOLD_BYTES {
+        return parse(text);
+    }
+    parse_chunks(text, chunk::default_chunk_count(text.len()))
+}
+
+/// Chunked parse with an explicit chunk count (tests pin equivalence at
+/// awkward counts).
+///
+/// # Errors
+/// Same contract as [`parse`].
+pub fn parse_chunks(text: &str, chunks: usize) -> Result<ParsedGraph, ParseError> {
+    let header = scan_header(text)?;
+    let chunks = chunk::split_line_chunks(text, chunks);
+    let per_chunk = chunk::parse_chunks_with(&chunks, |c| parse_chunk_arcs(c, &header))?;
+    build(&header, chunk::merge_in_order(per_chunk))
 }
 
 /// Writes `graph` in `.gr` shortest-path format (unit weights, one `a`
@@ -165,5 +243,29 @@ mod tests {
         let p = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
         assert_eq!(p.graph.edges(), g.edges());
         assert_eq!(p.graph.num_nodes(), 5);
+    }
+
+    #[test]
+    fn chunked_matches_sequential_at_every_count() {
+        let text =
+            "c head\np sp 5 6\na 1 2 1\nc mid\na 2 3 1\na 3 4 1\na 4 5 1\na 5 1 1\na 2 5 9\n";
+        let seq = parse(text).unwrap();
+        for chunks in 1..10 {
+            let par = parse_chunks(text, chunks).unwrap();
+            assert_eq!(par.graph.edges(), seq.graph.edges(), "chunks {chunks}");
+            assert_eq!(par.graph.num_nodes(), seq.graph.num_nodes());
+        }
+    }
+
+    #[test]
+    fn chunked_rejects_duplicate_p_and_bad_ids_with_line_numbers() {
+        let text = "p sp 3 2\na 1 2 1\np sp 3 2\na 2 3 1\n";
+        for chunks in 1..5 {
+            assert_eq!(parse_chunks(text, chunks).unwrap_err().line, 3);
+        }
+        let text = "p sp 3 3\na 1 2 1\na 9 1 1\na 8 1 1\n";
+        for chunks in 1..5 {
+            assert_eq!(parse_chunks(text, chunks).unwrap_err().line, 3);
+        }
     }
 }

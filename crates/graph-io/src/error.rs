@@ -1,4 +1,4 @@
-//! Parse errors with file positions.
+//! Parse and read errors with file positions.
 
 /// A parse failure, carrying the 1-based line number and a description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +45,60 @@ impl From<ParseError> for std::io::Error {
     }
 }
 
+/// The unified error of the one-call readers ([`crate::read_edge_list`]):
+/// either the file could not be read, or its content failed to parse.
+///
+/// Earlier versions returned `std::io::Result`, which stringified the
+/// [`ParseError`] and lost the structured line number; keeping the parse
+/// variant intact lets callers (the `emg` CLI in particular) print
+/// `file.txt: line 17: bad node id` style messages.
+#[derive(Debug)]
+pub enum IoError {
+    /// The underlying filesystem read failed.
+    Io(std::io::Error),
+    /// The file content is malformed (line numbers preserved).
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "{e}"),
+            IoError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<ParseError> for IoError {
+    fn from(e: ParseError) -> Self {
+        IoError::Parse(e)
+    }
+}
+
+impl From<IoError> for std::io::Error {
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::Io(e) => e,
+            IoError::Parse(p) => p.into(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,6 +114,18 @@ mod tests {
     #[test]
     fn converts_to_io_error() {
         let e: std::io::Error = ParseError::at(2, "nope").into();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn io_error_keeps_line_numbers() {
+        let e: IoError = ParseError::at(3, "bad edge").into();
+        assert_eq!(e.to_string(), "line 3: bad edge");
+        assert!(matches!(e, IoError::Parse(_)));
+        let io: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, IoError::Io(_)));
+        // And back down to std::io::Error for legacy call sites.
+        let e: std::io::Error = IoError::Parse(ParseError::at(3, "bad")).into();
         assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
     }
 }

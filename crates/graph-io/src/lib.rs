@@ -16,8 +16,16 @@
 //! * [`metis`] — METIS/Chaco adjacency lists (1-based, optionally
 //!   weighted).
 //!
-//! [`read_edge_list`] auto-detects the format from content; every parser
-//! reports malformed input with 1-based line numbers.
+//! Each format has a sequential `parse` (the oracle) and a chunked
+//! `parse_chunks` path that splits the input at line boundaries
+//! ([`chunk`]) and tokenizes the chunks in parallel on the rayon pool —
+//! bit-identical results, pinned by proptests. [`binary`] adds `emgbin`,
+//! a checksummed binary cache of the parsed graph (optionally with its
+//! CSR adjacency) so repeated experiment runs skip text parsing entirely.
+//!
+//! [`read_edge_list`] auto-detects `emgbin` by magic and the text format
+//! from content; every text parser reports malformed input with 1-based
+//! line numbers, surfaced through the unified [`IoError`].
 //!
 //! ```
 //! let text = "# tiny graph\n0\t1\n1\t2\n2\t0\n";
@@ -28,14 +36,18 @@
 
 #![warn(missing_docs)]
 
+pub mod binary;
+pub mod chunk;
 pub mod detect;
 pub mod dimacs;
 pub mod error;
 pub mod metis;
 pub mod snap;
 
-pub use detect::{detect_format, parse_as, read_edge_list, Format};
-pub use error::ParseError;
+pub use detect::{
+    detect_format, parse_as, parse_bytes, read_edge_list, read_edge_list_with_csr, Format,
+};
+pub use error::{IoError, ParseError};
 
 use graph_core::EdgeList;
 

@@ -6,33 +6,48 @@
 //! in both endpoint lists; `m` counts undirected edges. Supported `fmt`
 //! codes: `0` (plain), `1` (edge weights — parsed and discarded), `10`/`11`
 //! (vertex weights — skipped per the `ncon` count).
+//!
+//! A vertex's id is its *position* among the non-comment lines, so the
+//! chunked path ([`parse_chunks`]) runs two parallel passes: one counting
+//! each chunk's non-comment lines (a tiny prefix sum then fixes every
+//! chunk's starting vertex id), one parsing the adjacency lists. Self-loop
+//! pairing is chunk-local because both mentions of a loop sit on the same
+//! line.
 
+use crate::chunk::{self, Chunk};
 use crate::{ParseError, ParsedGraph};
 use graph_core::EdgeList;
 use std::io::Write;
 
-/// Parses METIS adjacency text.
-///
-/// # Errors
-/// [`ParseError`] on malformed headers, bad ids, or when the per-line edge
-/// endpoints do not sum to `2m`.
-pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
-    let mut lines = text
+/// The parsed header line and its position.
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    n: usize,
+    m: usize,
+    has_vweights: bool,
+    has_eweights: bool,
+    ncon: usize,
+    /// 1-based line number of the header line.
+    line: usize,
+}
+
+/// Finds and parses the first non-comment line.
+fn scan_header(text: &str) -> Result<Header, ParseError> {
+    let (idx, header) = text
         .lines()
         .enumerate()
-        .filter(|(_, l)| !l.trim_start().starts_with('%'));
-    let (header_line, header) = lines
-        .next()
+        .find(|(_, l)| !l.trim_start().starts_with('%'))
         .ok_or_else(|| ParseError::file("empty input"))?;
+    let lineno = idx + 1;
     let mut ht = header.split_whitespace();
     let n: usize = ht
         .next()
         .and_then(|t| t.parse().ok())
-        .ok_or_else(|| ParseError::at(header_line + 1, "bad node count"))?;
+        .ok_or_else(|| ParseError::at(lineno, "bad node count"))?;
     let m: usize = ht
         .next()
         .and_then(|t| t.parse().ok())
-        .ok_or_else(|| ParseError::at(header_line + 1, "bad edge count"))?;
+        .ok_or_else(|| ParseError::at(lineno, "bad edge count"))?;
     let fmt = ht.next().unwrap_or("0");
     let (has_vweights, has_eweights) = match fmt {
         "0" | "00" => (false, false),
@@ -41,80 +56,187 @@ pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
         "11" => (true, true),
         other => {
             return Err(ParseError::at(
-                header_line + 1,
+                lineno,
                 format!("unsupported fmt code {other:?}"),
             ))
         }
     };
     let ncon: usize = ht.next().and_then(|t| t.parse().ok()).unwrap_or(1);
+    Ok(Header {
+        n,
+        m,
+        has_vweights,
+        has_eweights,
+        ncon,
+        line: lineno,
+    })
+}
 
-    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
-    let mut endpoints = 0usize;
-    let mut vertex = 0usize;
-    // Self-loops appear as *two* self-mentions (see `write`): pair them up.
-    let mut self_mentions: Vec<u32> = Vec::new();
-    for (i, line) in lines {
+/// One chunk's share of the adjacency lists.
+struct ChunkLists {
+    edges: Vec<(u32, u32)>,
+    endpoints: usize,
+    /// Non-comment lines after the header in this chunk (vertex lines,
+    /// including blank ones — isolated vertices).
+    relevant: usize,
+}
+
+/// Counts the chunk's vertex lines (phase A of the chunked parse).
+fn count_vertex_lines(c: &Chunk<'_>, header: &Header) -> usize {
+    c.lines()
+        .filter(|(lineno, l)| *lineno > header.line && !l.trim_start().starts_with('%'))
+        .count()
+}
+
+/// Parses the chunk's adjacency lists given the chunk's first vertex id
+/// (phase B). `start_vertex` counts vertex lines in all earlier chunks.
+fn parse_vertex_chunk(
+    c: &Chunk<'_>,
+    header: &Header,
+    start_vertex: usize,
+) -> Result<ChunkLists, ParseError> {
+    let n = header.n;
+    let mut out = ChunkLists {
+        edges: Vec::new(),
+        endpoints: 0,
+        relevant: 0,
+    };
+    for (lineno, line) in c.lines() {
+        if lineno <= header.line || line.trim_start().starts_with('%') {
+            continue;
+        }
+        let vertex = start_vertex + out.relevant;
+        out.relevant += 1;
         if vertex >= n {
             if line.trim().is_empty() {
                 continue;
             }
-            return Err(ParseError::at(i + 1, "more vertex lines than nodes"));
+            return Err(ParseError::at(lineno, "more vertex lines than nodes"));
         }
         let mut toks = line.split_whitespace().peekable();
-        if has_vweights {
-            for _ in 0..ncon {
+        if header.has_vweights {
+            for _ in 0..header.ncon {
                 toks.next()
-                    .ok_or_else(|| ParseError::at(i + 1, "missing vertex weight"))?;
+                    .ok_or_else(|| ParseError::at(lineno, "missing vertex weight"))?;
             }
         }
+        // Self-loops appear as *two* self-mentions (see `write`): pair them
+        // up. Both mentions of a loop at `u` sit on vertex `u`'s own line,
+        // so the parity counter is line-local.
+        let mut self_mentions = 0u32;
         while let Some(tok) = toks.next() {
             let w: usize = tok
                 .parse()
-                .map_err(|_| ParseError::at(i + 1, format!("bad neighbor id {tok:?}")))?;
+                .map_err(|_| ParseError::at(lineno, format!("bad neighbor id {tok:?}")))?;
             if w == 0 || w > n {
                 return Err(ParseError::at(
-                    i + 1,
+                    lineno,
                     format!("neighbor id {w} outside 1..={n}"),
                 ));
             }
-            if has_eweights {
+            if header.has_eweights {
                 toks.next()
-                    .ok_or_else(|| ParseError::at(i + 1, "missing edge weight"))?;
+                    .ok_or_else(|| ParseError::at(lineno, "missing edge weight"))?;
             }
-            endpoints += 1;
+            out.endpoints += 1;
             // Keep each undirected edge once (from its smaller endpoint).
             let u = vertex as u32;
             let v = (w - 1) as u32;
             if u == v {
-                if self_mentions.len() <= u as usize {
-                    self_mentions.resize(u as usize + 1, 0);
-                }
-                self_mentions[u as usize] += 1;
-                if self_mentions[u as usize].is_multiple_of(2) {
-                    edges.push((u, v));
+                self_mentions += 1;
+                if self_mentions.is_multiple_of(2) {
+                    out.edges.push((u, v));
                 }
             } else if u < v {
-                edges.push((u, v));
+                out.edges.push((u, v));
             }
         }
-        vertex += 1;
     }
-    if vertex != n {
+    Ok(out)
+}
+
+fn build(header: &Header, pieces: Vec<ChunkLists>) -> Result<ParsedGraph, ParseError> {
+    let n = header.n;
+    let relevant: usize = pieces.iter().map(|p| p.relevant).sum();
+    let vertices = relevant.min(n);
+    if vertices != n {
         return Err(ParseError::file(format!(
-            "expected {n} vertex lines, found {vertex}"
+            "expected {n} vertex lines, found {vertices}"
         )));
     }
-    if endpoints != 2 * m {
+    let endpoints: usize = pieces.iter().map(|p| p.endpoints).sum();
+    if endpoints != 2 * header.m {
         return Err(ParseError::file(format!(
-            "header declared {m} edges but lists contain {endpoints} endpoints (expected {})",
-            2 * m
+            "header declared {} edges but lists contain {endpoints} endpoints (expected {})",
+            header.m,
+            2 * header.m
         )));
     }
+    let edges = chunk::merge_in_order(pieces.into_iter().map(|p| p.edges).collect());
     let graph = EdgeList::new(n, edges);
     Ok(ParsedGraph {
         graph,
         original_ids: (1..=n as u64).collect(),
     })
+}
+
+/// Parses METIS adjacency text sequentially (the oracle the chunked path
+/// is pinned against).
+///
+/// # Errors
+/// [`ParseError`] on malformed headers, bad ids, or when the per-line edge
+/// endpoints do not sum to `2m`.
+pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
+    let header = scan_header(text)?;
+    let whole = Chunk {
+        text,
+        first_line: 1,
+    };
+    let lists = parse_vertex_chunk(&whole, &header, 0)?;
+    build(&header, vec![lists])
+}
+
+/// Parses METIS text with chunk-parallel adjacency parsing; bit-identical
+/// to [`parse`]. Small inputs fall back to the sequential path.
+///
+/// # Errors
+/// Same contract as [`parse`].
+pub fn parse_chunked(text: &str) -> Result<ParsedGraph, ParseError> {
+    if text.len() < chunk::PARALLEL_THRESHOLD_BYTES {
+        return parse(text);
+    }
+    parse_chunks(text, chunk::default_chunk_count(text.len()))
+}
+
+/// Chunked parse with an explicit chunk count (tests pin equivalence at
+/// awkward counts).
+///
+/// # Errors
+/// Same contract as [`parse`].
+pub fn parse_chunks(text: &str, chunks: usize) -> Result<ParsedGraph, ParseError> {
+    let header = scan_header(text)?;
+    let chunks = chunk::split_line_chunks(text, chunks);
+    // Phase A: per-chunk vertex-line counts -> per-chunk starting vertex.
+    let counts = chunk::parse_chunks_with(&chunks, |c| Ok(count_vertex_lines(c, &header)))?;
+    let mut starts = Vec::with_capacity(chunks.len());
+    let mut acc = 0usize;
+    for c in &counts {
+        starts.push(acc);
+        acc += c;
+    }
+    // Phase B: parse each chunk knowing its first vertex id. The zip of
+    // (chunk, start) keeps `parse_chunks_with` shape by indexing starts
+    // off the chunk's position.
+    let indexed: Vec<(Chunk<'_>, usize)> = chunks.into_iter().zip(starts).collect();
+    let pieces = {
+        use rayon::prelude::*;
+        let results: Vec<Result<ChunkLists, ParseError>> = indexed
+            .par_iter()
+            .map(|(c, start)| parse_vertex_chunk(c, &header, *start))
+            .collect();
+        results.into_iter().collect::<Result<Vec<_>, _>>()?
+    };
+    build(&header, pieces)
 }
 
 /// Writes `graph` in METIS adjacency format.
@@ -216,5 +338,35 @@ mod tests {
         let p = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
         assert_eq!(p.graph.num_nodes(), 3);
         assert_eq!(p.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn chunked_matches_sequential_at_every_count() {
+        // Comments interleaved between vertex lines stress the positional
+        // vertex numbering across chunk boundaries.
+        let text = "% head\n6 7\n2 3\n% interleaved\n1 3\n1 2 4\n3 5 6\n% more\n4 6\n4 5\n";
+        let seq = parse(text).unwrap();
+        for chunks in 1..12 {
+            let par = parse_chunks(text, chunks).unwrap();
+            assert_eq!(par.graph.edges(), seq.graph.edges(), "chunks {chunks}");
+            assert_eq!(par.graph.num_nodes(), seq.graph.num_nodes());
+        }
+    }
+
+    #[test]
+    fn chunked_errors_match_sequential() {
+        // Bad neighbor id on vertex line 3 (global line 4).
+        let text = "3 3\n2 3\n1 9\n1 2\n";
+        let seq = parse(text).unwrap_err();
+        for chunks in 1..6 {
+            let par = parse_chunks(text, chunks).unwrap_err();
+            assert_eq!(par, seq, "chunks {chunks}");
+        }
+        // Too few vertex lines is a whole-file error either way.
+        let text = "4 1\n2\n1\n";
+        let seq = parse(text).unwrap_err();
+        for chunks in 1..4 {
+            assert_eq!(parse_chunks(text, chunks).unwrap_err(), seq);
+        }
     }
 }

@@ -7,30 +7,23 @@
 //! keeps the inverse mapping. Directed duplicates (`u v` and `v u`) are
 //! preserved — the bridge pipeline's `EdgeList::simplified` handles
 //! dedup when asked.
+//!
+//! Parsing splits into two stages: tokenizing lines into raw `(u64, u64)`
+//! pairs (the bulk of the work — [`parse_chunks`] runs it chunk-parallel)
+//! and interning the raw ids into dense `0..n` in first-appearance order
+//! (inherently sequential, but cheap next to tokenizing; a direct-map
+//! fast path covers the common dense-ish id universes).
 
+use crate::chunk::{self, Chunk};
 use crate::{ParseError, ParsedGraph};
 use graph_core::EdgeList;
 use std::collections::HashMap;
 use std::io::Write;
 
-/// Parses SNAP edge-list text.
-///
-/// # Errors
-/// [`ParseError`] with a line number on malformed lines (wrong token
-/// count, non-integer tokens).
-pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
-    let mut remap: HashMap<u64, u32> = HashMap::new();
-    let mut original_ids: Vec<u64> = Vec::new();
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-
-    let mut intern = |id: u64, original_ids: &mut Vec<u64>| -> u32 {
-        *remap.entry(id).or_insert_with(|| {
-            original_ids.push(id);
-            (original_ids.len() - 1) as u32
-        })
-    };
-
-    for (lineno, line) in text.lines().enumerate() {
+/// Tokenizes one chunk's lines into raw `(u, v)` pairs.
+fn tokenize_chunk(c: &Chunk<'_>) -> Result<Vec<(u64, u64)>, ParseError> {
+    let mut pairs = Vec::new();
+    for (lineno, line) in c.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
@@ -40,7 +33,7 @@ pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
             (Some(a), Some(b)) => (a, b),
             _ => {
                 return Err(ParseError::at(
-                    lineno + 1,
+                    lineno,
                     format!("expected `u v`, got {line:?}"),
                 ))
             }
@@ -48,23 +41,106 @@ pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
         // A third column (weight/timestamp) is tolerated and ignored, as in
         // SNAP's temporal datasets; more is malformed.
         if it.clone().count() > 1 {
-            return Err(ParseError::at(lineno + 1, "too many columns"));
+            return Err(ParseError::at(lineno, "too many columns"));
         }
         let u: u64 = a
             .parse()
-            .map_err(|_| ParseError::at(lineno + 1, format!("bad node id {a:?}")))?;
+            .map_err(|_| ParseError::at(lineno, format!("bad node id {a:?}")))?;
         let v: u64 = b
             .parse()
-            .map_err(|_| ParseError::at(lineno + 1, format!("bad node id {b:?}")))?;
-        let u = intern(u, &mut original_ids);
-        let v = intern(v, &mut original_ids);
-        edges.push((u, v));
+            .map_err(|_| ParseError::at(lineno, format!("bad node id {b:?}")))?;
+        pairs.push((u, v));
     }
-    let graph = EdgeList::new(original_ids.len(), edges);
-    Ok(ParsedGraph {
-        graph,
+    Ok(pairs)
+}
+
+/// Compacts raw file ids to dense `0..n` in first-appearance order.
+///
+/// When the id universe is dense-ish (max id within a small factor of the
+/// pair count, the shape of most published edge lists), a direct-map table
+/// replaces the hash map — same numbering, a fraction of the cost.
+fn intern_pairs(pairs: &[(u64, u64)]) -> (Vec<(u32, u32)>, Vec<u64>) {
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+    let max_id = pairs.iter().map(|&(u, v)| u.max(v)).max().unwrap_or(0);
+    let dense_budget = (pairs.len() as u128 * 8).max(1 << 16);
+    if (max_id as u128) < dense_budget {
+        // u32::MAX marks "unseen": dense ids stay below 2 * pairs.len(),
+        // far under the sentinel for any graph that fits a u32 CSR.
+        let mut remap = vec![u32::MAX; max_id as usize + 1];
+        let mut intern = |id: u64, original_ids: &mut Vec<u64>| -> u32 {
+            let slot = &mut remap[id as usize];
+            if *slot == u32::MAX {
+                original_ids.push(id);
+                *slot = (original_ids.len() - 1) as u32;
+            }
+            *slot
+        };
+        for &(u, v) in pairs {
+            let u = intern(u, &mut original_ids);
+            let v = intern(v, &mut original_ids);
+            edges.push((u, v));
+        }
+    } else {
+        let mut remap: HashMap<u64, u32> = HashMap::new();
+        let mut intern = |id: u64, original_ids: &mut Vec<u64>| -> u32 {
+            *remap.entry(id).or_insert_with(|| {
+                original_ids.push(id);
+                (original_ids.len() - 1) as u32
+            })
+        };
+        for &(u, v) in pairs {
+            let u = intern(u, &mut original_ids);
+            let v = intern(v, &mut original_ids);
+            edges.push((u, v));
+        }
+    }
+    (edges, original_ids)
+}
+
+fn build(pairs: Vec<(u64, u64)>) -> ParsedGraph {
+    let (edges, original_ids) = intern_pairs(&pairs);
+    ParsedGraph {
+        graph: EdgeList::new(original_ids.len(), edges),
         original_ids,
-    })
+    }
+}
+
+/// Parses SNAP edge-list text sequentially (the oracle the chunked path is
+/// pinned against).
+///
+/// # Errors
+/// [`ParseError`] with a line number on malformed lines (wrong token
+/// count, non-integer tokens).
+pub fn parse(text: &str) -> Result<ParsedGraph, ParseError> {
+    let whole = Chunk {
+        text,
+        first_line: 1,
+    };
+    Ok(build(tokenize_chunk(&whole)?))
+}
+
+/// Parses SNAP text with chunk-parallel tokenizing; bit-identical to
+/// [`parse`]. Small inputs fall back to the sequential path.
+///
+/// # Errors
+/// Same contract as [`parse`].
+pub fn parse_chunked(text: &str) -> Result<ParsedGraph, ParseError> {
+    if text.len() < chunk::PARALLEL_THRESHOLD_BYTES {
+        return parse(text);
+    }
+    parse_chunks(text, chunk::default_chunk_count(text.len()))
+}
+
+/// Chunked parse with an explicit chunk count (tests pin equivalence at
+/// awkward counts).
+///
+/// # Errors
+/// Same contract as [`parse`].
+pub fn parse_chunks(text: &str, chunks: usize) -> Result<ParsedGraph, ParseError> {
+    let chunks = chunk::split_line_chunks(text, chunks);
+    let per_chunk = chunk::parse_chunks_with(&chunks, tokenize_chunk)?;
+    Ok(build(chunk::merge_in_order(per_chunk)))
 }
 
 /// Writes `graph` as SNAP edge-list text (dense 0-based ids).
@@ -135,5 +211,34 @@ mod tests {
         let p = parse("5 5\n").unwrap();
         assert_eq!(p.graph.num_edges(), 1);
         assert_eq!(p.graph.edges()[0], (0, 0));
+    }
+
+    #[test]
+    fn sparse_universe_uses_hash_path() {
+        // Ids far above 8 × pair count force the HashMap branch; the dense
+        // numbering must be identical either way.
+        let p = parse("8000000000 9000000000\n9000000000 8500000000\n").unwrap();
+        assert_eq!(p.original_ids, vec![8000000000, 9000000000, 8500000000]);
+        assert_eq!(p.graph.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn chunked_matches_sequential_at_every_count() {
+        let text = "# c\n10 20\n20 30\n% mid comment\n30 10\n10 40\n\n40 20\n";
+        let seq = parse(text).unwrap();
+        for chunks in 1..8 {
+            let par = parse_chunks(text, chunks).unwrap();
+            assert_eq!(par.graph.edges(), seq.graph.edges(), "chunks {chunks}");
+            assert_eq!(par.original_ids, seq.original_ids, "chunks {chunks}");
+        }
+    }
+
+    #[test]
+    fn chunked_reports_first_error_line() {
+        let text = "1 2\n1 2\nboom\n3 4\nalso bad\n";
+        for chunks in 1..6 {
+            let err = parse_chunks(text, chunks).unwrap_err();
+            assert_eq!(err.line, 3, "chunks {chunks}: {err}");
+        }
     }
 }

@@ -1,0 +1,177 @@
+//! Property tests for PR 4's ingestion pipeline: the chunked parallel
+//! parsers are pinned bit-identical to the sequential oracles — including
+//! CRLF line endings, inputs without a trailing newline, and
+//! comment-heavy files — and `emgbin` round-trips [`ParsedGraph`] and CSR
+//! exactly.
+
+use graph_core::{Csr, EdgeList};
+use graph_io::{binary, dimacs, metis, snap, ParseError, ParsedGraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (1usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..150)
+            .prop_map(move |edges| EdgeList::new(n, edges))
+    })
+}
+
+/// The three text formats as (name, writer, sequential parse).
+type Writer = fn(&mut Vec<u8>, &EdgeList) -> std::io::Result<()>;
+type Parser = fn(&str) -> Result<ParsedGraph, ParseError>;
+
+fn formats() -> [(&'static str, Writer, Parser); 3] {
+    [
+        ("snap", snap::write, snap::parse),
+        ("dimacs", dimacs::write, dimacs::parse),
+        ("metis", metis::write, metis::parse),
+    ]
+}
+
+/// Asserts the chunked parse equals the sequential parse of `text` at
+/// several awkward chunk counts (bit-identical edges, node count and id
+/// mapping — or the identical error).
+fn assert_chunked_matches(name: &str, text: &str, seq: &Result<ParsedGraph, ParseError>) {
+    for chunks in [1, 2, 3, 5, 13] {
+        let par = (match name {
+            "snap" => snap::parse_chunks,
+            "dimacs" => dimacs::parse_chunks,
+            _ => metis::parse_chunks,
+        })(text, chunks);
+        match (seq, &par) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(p.graph.num_nodes(), s.graph.num_nodes(), "{name}/{chunks}");
+                assert_eq!(p.graph.edges(), s.graph.edges(), "{name}/{chunks}");
+                assert_eq!(p.original_ids, s.original_ids, "{name}/{chunks}");
+            }
+            (Err(se), Err(pe)) => assert_eq!(pe, se, "{name}/{chunks}"),
+            _ => panic!("{name}/{chunks}: seq {seq:?} vs chunked {par:?}"),
+        }
+    }
+}
+
+/// Rewrites `text` with a comment line (format-appropriate marker)
+/// injected after every line — stresses positional bookkeeping.
+fn comment_heavy(text: &str, marker: &str) -> String {
+    let mut out = String::with_capacity(text.len() * 2);
+    out.push_str(marker);
+    out.push('\n');
+    for line in text.lines() {
+        out.push_str(line);
+        out.push('\n');
+        out.push_str(marker);
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chunked_parse_is_bit_identical(graph in arb_graph()) {
+        for (name, write, parse) in formats() {
+            let mut buf = Vec::new();
+            write(&mut buf, &graph).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            let seq = parse(&text);
+            assert_chunked_matches(name, &text, &seq);
+        }
+    }
+
+    #[test]
+    fn chunked_parse_handles_crlf_and_missing_trailing_newline(graph in arb_graph()) {
+        for (name, write, parse) in formats() {
+            let mut buf = Vec::new();
+            write(&mut buf, &graph).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+
+            // CRLF line endings parse to the same graph as LF, sequential
+            // and chunked alike.
+            let crlf = text.replace('\n', "\r\n");
+            let seq_lf = parse(&text).unwrap();
+            let seq_crlf = parse(&crlf).unwrap();
+            prop_assert_eq!(seq_crlf.graph.edges(), seq_lf.graph.edges(), "{} crlf", name);
+            assert_chunked_matches(name, &crlf, &Ok(seq_crlf));
+
+            // Dropping the trailing newline: sequential and chunked stay
+            // identical. (METIS may legitimately reject the trimmed text —
+            // an empty final vertex line disappears with its newline — but
+            // if the sequential parse accepts it, the graph is unchanged.)
+            let trimmed = text.strip_suffix('\n').unwrap_or(&text).to_string();
+            let seq_trimmed = parse(&trimmed);
+            if let Ok(t) = &seq_trimmed {
+                prop_assert_eq!(t.graph.edges(), seq_lf.graph.edges(), "{} no-nl", name);
+            }
+            assert_chunked_matches(name, &trimmed, &seq_trimmed);
+        }
+    }
+
+    #[test]
+    fn chunked_parse_handles_comment_heavy_inputs(graph in arb_graph()) {
+        for (name, write, parse) in formats() {
+            let marker = match name {
+                "snap" => "# noise",
+                "dimacs" => "c noise",
+                _ => "% noise",
+            };
+            let mut buf = Vec::new();
+            write(&mut buf, &graph).unwrap();
+            let plain = String::from_utf8(buf).unwrap();
+            let noisy = comment_heavy(&plain, marker);
+            let seq_plain = parse(&plain).unwrap();
+            let seq_noisy = parse(&noisy).unwrap();
+            prop_assert_eq!(
+                seq_noisy.graph.edges(),
+                seq_plain.graph.edges(),
+                "{} comments changed the graph",
+                name
+            );
+            assert_chunked_matches(name, &noisy, &Ok(seq_noisy));
+        }
+    }
+
+    #[test]
+    fn emgbin_round_trips_parsed_graph(graph in arb_graph(), id_seed in any::<u64>()) {
+        // Arbitrary (not necessarily dense or unique) original ids.
+        let n = graph.num_nodes();
+        let original_ids: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(id_seed | 1).wrapping_add(id_seed >> 7))
+            .collect();
+        let parsed = ParsedGraph { graph, original_ids };
+
+        let bytes = binary::to_bytes(&parsed, None);
+        let (back, csr) = binary::read(&bytes).unwrap();
+        prop_assert_eq!(back.graph.num_nodes(), parsed.graph.num_nodes());
+        prop_assert_eq!(back.graph.edges(), parsed.graph.edges());
+        prop_assert_eq!(&back.original_ids, &parsed.original_ids);
+        prop_assert!(csr.is_none());
+
+        // With the CSR section: both halves reload exactly.
+        let csr = Csr::from_edge_list(&parsed.graph);
+        let bytes = binary::to_bytes(&parsed, Some(&csr));
+        let (back, loaded) = binary::read(&bytes).unwrap();
+        prop_assert_eq!(back.graph.edges(), parsed.graph.edges());
+        prop_assert_eq!(loaded.expect("embedded CSR"), csr);
+    }
+
+    #[test]
+    fn emgbin_detects_any_single_bit_corruption(
+        graph in arb_graph(),
+        pos_seed in any::<usize>(),
+        bit in 0usize..8,
+    ) {
+        let parsed = ParsedGraph::dense(graph);
+        let mut bytes = binary::to_bytes(&parsed, None);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= 1u8 << bit;
+        // Every byte is covered: magic/version/flags explicitly, the rest
+        // of the header and the payload by the checksum (which guards the
+        // node/edge counts *before* any count-proportional allocation),
+        // and the checksum field by itself.
+        prop_assert!(
+            binary::read(&bytes).is_err(),
+            "corruption at byte {} went undetected",
+            pos
+        );
+    }
+}

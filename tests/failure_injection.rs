@@ -189,13 +189,37 @@ fn readers_report_line_numbers() {
 
 #[test]
 fn read_edge_list_propagates_io_and_detect_failures() {
-    assert!(graph_io::read_edge_list("/nonexistent/x.txt").is_err());
+    use graph_io::IoError;
+    assert!(matches!(
+        graph_io::read_edge_list("/nonexistent/x.txt").unwrap_err(),
+        IoError::Io(_)
+    ));
     let dir = std::env::temp_dir().join("emg_failure_tests");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("garbage.txt");
     std::fs::write(&path, "hello world, not a graph\n").unwrap();
     let err = graph_io::read_edge_list(&path).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(matches!(&err, IoError::Parse(p) if p.message.contains("cannot detect")));
+    // The structured line number survives the unified error (the property
+    // the IoError enum exists for).
+    let path = dir.join("badline.gr");
+    std::fs::write(&path, "p sp 2 1\na 1 5 1\n").unwrap();
+    let err = graph_io::read_edge_list(&path).unwrap_err();
+    assert!(matches!(&err, IoError::Parse(p) if p.line == 2), "{err}");
+    assert!(err.to_string().starts_with("line 2:"), "{err}");
+}
+
+#[test]
+fn corrupt_emgbin_is_rejected_not_misread() {
+    let dir = std::env::temp_dir().join("emg_failure_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.emgbin");
+    let parsed = graph_io::snap::parse("0 1\n1 2\n").unwrap();
+    let mut bytes = graph_io::binary::to_bytes(&parsed, None);
+    *bytes.last_mut().unwrap() ^= 1;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = graph_io::read_edge_list(&path).unwrap_err();
+    assert!(err.to_string().contains("checksum"), "{err}");
 }
 
 // ----- lca ---------------------------------------------------------------

@@ -1,0 +1,89 @@
+//! Ingestion equivalence over every `graphgen` family: the chunked
+//! parallel text parse is bit-identical to the sequential parse in all
+//! three formats, `emgbin` round-trips the parsed graph (and CSR)
+//! exactly, and the device-built CSR matches the rayon-built one.
+
+use euler_meets_gpu::prelude::*;
+use euler_meets_gpu::{graph_io, graphgen};
+use graph_io::{binary, dimacs, metis, snap, ParsedGraph};
+
+fn families() -> Vec<(&'static str, EdgeList)> {
+    let tree = graphgen::random_tree(1_500, Some(6), 0xE05);
+    vec![
+        ("kron", kronecker_graph(9, 12, 0xE01)),
+        ("road", road_grid(24, 24, 0.8, 0xE02)),
+        ("web", web_graph(900, 5, 0.4, 0xE03)),
+        ("ba", graphgen::ba_graph(700, 4, 0xE04)),
+        ("tree", EdgeList::new(tree.num_nodes(), tree.edges())),
+    ]
+}
+
+#[test]
+fn parallel_text_parse_is_bit_identical_across_families() {
+    for (family, graph) in families() {
+        for fmt in ["snap", "dimacs", "metis"] {
+            let mut buf = Vec::new();
+            match fmt {
+                "snap" => snap::write(&mut buf, &graph),
+                "dimacs" => dimacs::write(&mut buf, &graph),
+                _ => metis::write(&mut buf, &graph),
+            }
+            .unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            type ChunkParse = fn(&str, usize) -> Result<ParsedGraph, graph_io::ParseError>;
+            let (seq, par_at): (ParsedGraph, ChunkParse) = match fmt {
+                "snap" => (snap::parse(&text).unwrap(), snap::parse_chunks),
+                "dimacs" => (dimacs::parse(&text).unwrap(), dimacs::parse_chunks),
+                _ => (metis::parse(&text).unwrap(), metis::parse_chunks),
+            };
+            for chunks in [2, 5, 11] {
+                let par: ParsedGraph = par_at(&text, chunks).unwrap();
+                assert_eq!(
+                    par.graph.num_nodes(),
+                    seq.graph.num_nodes(),
+                    "{family}/{fmt}/{chunks}"
+                );
+                assert_eq!(
+                    par.graph.edges(),
+                    seq.graph.edges(),
+                    "{family}/{fmt}/{chunks}"
+                );
+                assert_eq!(
+                    par.original_ids, seq.original_ids,
+                    "{family}/{fmt}/{chunks}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn emgbin_round_trips_every_family() {
+    for (family, graph) in families() {
+        // Go through SNAP text first so non-identity id mappings are
+        // exercised (interning renumbers by first appearance).
+        let mut buf = Vec::new();
+        snap::write(&mut buf, &graph).unwrap();
+        let parsed = snap::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let csr = Csr::from_edge_list(&parsed.graph);
+
+        let bytes = binary::to_bytes(&parsed, Some(&csr));
+        let (back, loaded_csr) = binary::read(&bytes).unwrap();
+        assert_eq!(back.graph.num_nodes(), parsed.graph.num_nodes(), "{family}");
+        assert_eq!(back.graph.edges(), parsed.graph.edges(), "{family}");
+        assert_eq!(back.original_ids, parsed.original_ids, "{family}");
+        assert_eq!(loaded_csr.expect("embedded CSR"), csr, "{family}");
+    }
+}
+
+#[test]
+fn device_csr_matches_rayon_csr_across_families() {
+    let device = Device::new();
+    for (family, graph) in families() {
+        assert_eq!(
+            Csr::from_edge_list_on(&device, &graph),
+            Csr::from_edge_list(&graph),
+            "{family}"
+        );
+    }
+}

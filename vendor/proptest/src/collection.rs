@@ -15,7 +15,7 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-/// Output of [`vec`].
+/// Output of [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: Range<usize>,
