@@ -1,0 +1,6 @@
+//! Memory-plane sweep: pooled vs malloc scratch on repeated-launch
+//! pipelines (list-ranking rounds, CC hooking, inlabel construction).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::mem_sweep::run(&cfg);
+}

@@ -12,6 +12,7 @@ pub mod fig7_8;
 pub mod fig9;
 pub mod forest_sweep;
 pub mod io_sweep;
+pub mod mem_sweep;
 pub mod prelim_rmq;
 pub mod table1;
 

@@ -38,6 +38,8 @@ pub fn mean_std(samples: &[Duration]) -> (f64, f64) {
 /// Appends one JSON-lines perf record to the file named by
 /// `$EMG_BENCH_JSON`, if set — the same convention the vendored criterion
 /// uses, so experiment sweeps and microbench records land in one file.
+/// When `elements` is given and the mean is positive, an `elems_per_sec`
+/// throughput field is derived so sweeps are comparable across scales.
 /// Failures to write are silently ignored: a perf record must never fail a
 /// run.
 pub fn emit_bench_json(
@@ -48,6 +50,20 @@ pub fn emit_bench_json(
     iters: u64,
     elements: Option<u64>,
 ) {
+    emit_bench_json_fields(group, bench, mean_s, std_s, iters, elements, &[]);
+}
+
+/// [`emit_bench_json`] with extra numeric fields appended to the record
+/// (e.g. the `mem_sweep` experiment's steady-state allocation counters).
+pub fn emit_bench_json_fields(
+    group: &str,
+    bench: &str,
+    mean_s: f64,
+    std_s: f64,
+    iters: u64,
+    elements: Option<u64>,
+    extra: &[(&str, f64)],
+) {
     let Ok(path) = std::env::var("EMG_BENCH_JSON") else {
         return;
     };
@@ -57,10 +73,16 @@ pub fn emit_bench_json(
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
-    let elems = match elements {
-        Some(n) => format!(",\"elements\":{n}"),
-        None => String::new(),
-    };
+    let mut tail = String::new();
+    if let Some(n) = elements {
+        let _ = write!(tail, ",\"elements\":{n}");
+        if mean_s > 0.0 {
+            let _ = write!(tail, ",\"elems_per_sec\":{:.1}", n as f64 / mean_s);
+        }
+    }
+    for (key, value) in extra {
+        let _ = write!(tail, ",\"{}\":{value}", escape(key));
+    }
     let line = format!(
         "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"std_ns\":{:.1},\"iters\":{}{}}}\n",
         escape(group),
@@ -68,7 +90,7 @@ pub fn emit_bench_json(
         mean_s * 1e9,
         std_s * 1e9,
         iters,
-        elems
+        tail
     );
     use std::io::Write as _;
     if let Ok(mut file) = std::fs::OpenOptions::new()

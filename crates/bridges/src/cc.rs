@@ -82,30 +82,29 @@ pub(crate) fn hook_min(parent: &[AtomicU32], tree_flag: &[AtomicU32], e: usize, 
 }
 
 /// Computes connected components and a spanning forest on the device.
+/// The parent array and tree flags — the hooking phase's working state —
+/// come from the device arena, so repeated runs allocate only the outputs.
 pub fn connected_components(device: &Device, graph: &EdgeList) -> ConnectedComponents {
     let n = graph.num_nodes();
     let m = graph.num_edges();
 
-    let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let tree_flag: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+    let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
+    let mut tree_flag_buf = device.alloc_filled(m, 0u32);
+    let parent = gpu_sim::as_atomic_u32(&mut parent_buf);
+    let tree_flag = gpu_sim::as_atomic_u32(&mut tree_flag_buf);
 
     // Hooking phase: one virtual thread per edge.
     {
-        let parent_ref = &parent;
-        let tree_ref = &tree_flag;
         let edges = graph.edges();
         device.for_each(m, |e| {
             let (u, v) = edges[e];
-            hook_min(parent_ref, tree_ref, e, u, v);
+            hook_min(parent, tree_flag, e, u, v);
         });
     }
 
     // Flatten: every node points at its root.
     let mut representative = vec![0 as NodeId; n];
-    {
-        let parent_ref = &parent;
-        device.map(&mut representative, |v| find(parent_ref, v as u32));
-    }
+    device.map(&mut representative, |v| find(parent, v as u32));
 
     // Collect spanning forest edges in id order.
     let tree_edges: Vec<EdgeId> =

@@ -256,15 +256,15 @@ fn pack(parent: NodeId, edge: u32) -> u64 {
 /// claim its unvisited neighbors with a CAS on `claims` (packing the
 /// `(parent, edge)` pair); `on_claim(w)` runs once per winning claim.
 /// Returns the next frontier.
-fn expand_frontier(
-    device: &Device,
+fn expand_frontier<'d>(
+    device: &'d Device,
     csr: &Csr,
     frontier: &[NodeId],
     claims: &[AtomicU64],
     on_claim: impl Fn(NodeId) + Sync,
-) -> Vec<NodeId> {
+) -> gpu_sim::ArenaVec<'d, NodeId> {
     let degree_sum: usize = frontier.iter().map(|&u| csr.degree(u)).sum();
-    let mut next = vec![0 as NodeId; degree_sum];
+    let mut next = device.alloc_pooled::<NodeId>(degree_sum);
     let count = AtomicUsize::new(0);
     {
         let next_shared = SharedSlice::new(&mut next);
@@ -306,17 +306,16 @@ fn root_forest(
     let sub = EdgeList::new(n, tree_pairs);
     let sub_csr = Csr::from_edge_list(&sub);
 
-    let claims: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-    let mut frontier: Vec<NodeId> = (0..n as u32)
-        .filter(|&v| representative[v as usize] == v)
-        .collect();
-    for &r in &frontier {
+    let mut claims_buf = device.alloc_filled(n, u64::MAX);
+    let claims = gpu_sim::as_atomic_u64(&mut claims_buf);
+    let mut frontier = device.compact_indices_pooled(n, |v| representative[v] == v as u32);
+    for &r in frontier.iter() {
         // Any non-MAX value marks the roots claimed; their slots are never
         // read back (roots keep INVALID_NODE / u32::MAX markers).
         claims[r as usize].store(pack(r, 0), Ordering::Relaxed);
     }
     while !frontier.is_empty() {
-        frontier = expand_frontier(device, &sub_csr, &frontier, &claims, |_| {});
+        frontier = expand_frontier(device, &sub_csr, &frontier, claims, |_| {});
     }
 
     let mut parent = vec![INVALID_NODE; n];
@@ -324,7 +323,7 @@ fn root_forest(
     {
         let parent_shared = SharedSlice::new(&mut parent);
         let pe_shared = SharedSlice::new(&mut parent_edge);
-        let claims_ref = &claims;
+        let claims_ref = claims;
         let ids = tree_edge_ids;
         device.for_each(n, |v| {
             if representative[v] != v as u32 {
@@ -344,13 +343,11 @@ fn root_forest(
 /// Normalizes arbitrary component labels to per-component minimum node ids.
 fn representatives_from_labels(device: &Device, labels: &[u32]) -> Vec<NodeId> {
     let n = labels.len();
-    let min: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
-    {
-        let min_ref = &min;
-        device.for_each(n, |v| {
-            min_ref[labels[v] as usize].fetch_min(v as u32, Ordering::Relaxed);
-        });
-    }
+    let mut min_buf = device.alloc_filled(n, u32::MAX);
+    let min = gpu_sim::as_atomic_u32(&mut min_buf);
+    device.for_each(n, |v| {
+        min[labels[v] as usize].fetch_min(v as u32, Ordering::Relaxed);
+    });
     device.alloc_map(n, |v| min[labels[v] as usize].load(Ordering::Relaxed))
 }
 
@@ -403,7 +400,8 @@ impl BfsBuilder {
     /// The full rooted construction; `build_unrooted` demotes its result.
     fn bfs_forest(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> SpanningForest {
         let n = graph.num_nodes();
-        let claims: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let mut claims_buf = device.alloc_filled(n, u64::MAX);
+        let claims = gpu_sim::as_atomic_u64(&mut claims_buf);
         let mut representative = vec![INVALID_NODE; n];
         let mut num_components = 0usize;
         {
@@ -422,9 +420,9 @@ impl BfsBuilder {
                 // SAFETY: every node is claimed (and written) exactly once.
                 unsafe { rep_ref.write(root as usize, root) };
                 num_components += 1;
-                let mut frontier = vec![root];
+                let mut frontier = device.alloc_filled(1, root);
                 while !frontier.is_empty() {
-                    frontier = expand_frontier(device, csr, &frontier, &claims, |w| {
+                    frontier = expand_frontier(device, csr, &frontier, claims, |w| {
                         // SAFETY: the winning CAS claims w for exactly one
                         // virtual thread.
                         unsafe { rep_ref.write(w as usize, root) };
@@ -437,7 +435,7 @@ impl BfsBuilder {
         {
             let parent_shared = SharedSlice::new(&mut parent);
             let pe_shared = SharedSlice::new(&mut parent_edge);
-            let claims_ref = &claims;
+            let claims_ref = claims;
             let rep_ref = &representative;
             device.for_each(n, |v| {
                 if rep_ref[v] != v as u32 {
@@ -450,7 +448,7 @@ impl BfsBuilder {
                 }
             });
         }
-        let mut flag = vec![false; graph.num_edges()];
+        let mut flag = device.alloc_filled(graph.num_edges(), 0u8);
         {
             let flag_shared = SharedSlice::new(&mut flag);
             let pe = &parent_edge;
@@ -459,11 +457,11 @@ impl BfsBuilder {
                 if e != u32::MAX {
                     // SAFETY: each tree edge is the parent edge of exactly
                     // one node (its child endpoint).
-                    unsafe { flag_shared.write(e as usize, true) };
+                    unsafe { flag_shared.write(e as usize, 1u8) };
                 }
             });
         }
-        let tree_edges = device.compact_indices(graph.num_edges(), |e| flag[e]);
+        let tree_edges = device.compact_indices(graph.num_edges(), |e| flag[e] == 1);
         SpanningForest {
             parent,
             parent_edge,
@@ -510,8 +508,10 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
     fn build_unrooted(&self, device: &Device, graph: &EdgeList, _csr: &Csr) -> UnrootedForest {
         let n = graph.num_nodes();
         let m = graph.num_edges();
-        let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-        let tree_flag: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+        let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
+        let mut tree_flag_buf = device.alloc_filled(m, 0u32);
+        let parent = gpu_sim::as_atomic_u32(&mut parent_buf);
+        let tree_flag = gpu_sim::as_atomic_u32(&mut tree_flag_buf);
         let edges = graph.edges();
 
         let mut round = 0usize;
@@ -519,7 +519,7 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
             // Shortcut until every tree is a star (pointer jumping).
             loop {
                 let changed = AtomicBool::new(false);
-                let parent_ref = &parent;
+                let parent_ref = parent;
                 let changed_ref = &changed;
                 device.for_each(n, |v| {
                     let p = parent_ref[v].load(Ordering::Relaxed);
@@ -536,8 +536,8 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
             // Hook across components, direction by round parity.
             let hooks = AtomicUsize::new(0);
             {
-                let parent_ref = &parent;
-                let tree_ref = &tree_flag;
+                let parent_ref = parent;
+                let tree_ref = tree_flag;
                 let hooks_ref = &hooks;
                 let even = round.is_multiple_of(2);
                 device.for_each(m, |e| {
@@ -567,8 +567,8 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
             round += 1;
         }
 
-        let labels: Vec<u32> = device.alloc_map(n, |v| parent[v].load(Ordering::Relaxed));
-        unrooted_from_labels(device, graph, &labels, &tree_flag)
+        let labels = device.alloc_pooled_map(n, |v| parent[v].load(Ordering::Relaxed));
+        unrooted_from_labels(device, graph, &labels, tree_flag)
     }
 }
 
@@ -596,28 +596,28 @@ impl SpanningForestBuilder for AfforestBuilder {
     fn build_unrooted(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> UnrootedForest {
         let n = graph.num_nodes();
         let m = graph.num_edges();
-        let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-        let tree_flag: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+        let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
+        let mut tree_flag_buf = device.alloc_filled(m, 0u32);
+        let parent = gpu_sim::as_atomic_u32(&mut parent_buf);
+        let tree_flag = gpu_sim::as_atomic_u32(&mut tree_flag_buf);
 
         // Sampling phase: one hook per vertex per round over its r-th slot.
         for r in 0..self.neighbor_rounds {
-            let parent_ref = &parent;
-            let tree_ref = &tree_flag;
             device.for_each(n, |v| {
                 let nbs = csr.neighbors(v as u32);
                 if r < nbs.len() {
                     let w = nbs[r];
                     let e = csr.edge_ids(v as u32)[r];
-                    hook_min(parent_ref, tree_ref, e as usize, v as u32, w);
+                    hook_min(parent, tree_flag, e as usize, v as u32, w);
                 }
             });
         }
 
         // Snapshot the partial components and find the most frequent one.
-        let snapshot: Vec<u32> = device.alloc_map(n, |v| find(&parent, v as u32));
+        let snapshot = device.alloc_pooled_map(n, |v| find(parent, v as u32));
         let skip = {
-            let mut counts = vec![0u32; n];
-            for &c in &snapshot {
+            let mut counts = device.alloc_filled(n, 0u32);
+            for &c in snapshot.iter() {
                 counts[c as usize] += 1;
             }
             counts
@@ -631,8 +631,6 @@ impl SpanningForestBuilder for AfforestBuilder {
         // Full pass, skipping intra-edges of the largest partial component
         // (their endpoints are already connected).
         {
-            let parent_ref = &parent;
-            let tree_ref = &tree_flag;
             let snap_ref = &snapshot;
             let edges = graph.edges();
             device.for_each(m, |e| {
@@ -643,12 +641,12 @@ impl SpanningForestBuilder for AfforestBuilder {
                 if snap_ref[u as usize] == skip && snap_ref[v as usize] == skip {
                     return;
                 }
-                hook_min(parent_ref, tree_ref, e, u, v);
+                hook_min(parent, tree_flag, e, u, v);
             });
         }
 
-        let labels: Vec<u32> = device.alloc_map(n, |v| find(&parent, v as u32));
-        unrooted_from_labels(device, graph, &labels, &tree_flag)
+        let labels = device.alloc_pooled_map(n, |v| find(parent, v as u32));
+        unrooted_from_labels(device, graph, &labels, tree_flag)
     }
 }
 

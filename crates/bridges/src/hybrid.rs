@@ -61,25 +61,25 @@ pub fn bridges_hybrid_with(
         return Err(BridgesError::Disconnected);
     }
     let tree_edge_ids = forest.tree_edges;
-    let mut is_tree = vec![false; m];
+    let mut is_tree = device.alloc_filled(m, 0u8);
     {
         let tree_shared = SharedSlice::new(&mut is_tree);
         let ids = &tree_edge_ids;
         device.for_each(ids.len(), |i| {
             // SAFETY: distinct edge ids.
-            unsafe { tree_shared.write(ids[i] as usize, true) };
+            unsafe { tree_shared.write(ids[i] as usize, 1u8) };
         });
     }
+    let is_tree = &is_tree;
     phases.push(("spanning_tree".to_string(), t0.elapsed()));
 
-    // Phase 2: Euler tour of the spanning tree.
+    // Phase 2: Euler tour of the spanning tree (pooled edge-pair scratch).
     let t1 = Instant::now();
-    let tree_pairs: Vec<(u32, u32)> = tree_edge_ids
-        .iter()
-        .map(|&e| graph.edges()[e as usize])
-        .collect();
+    let ids = &tree_edge_ids;
+    let tree_pairs = device.alloc_pooled_map(ids.len(), |i| graph.edges()[ids[i] as usize]);
     let tour = EulerTour::build_from_edges(device, n, &tree_pairs, 0)
         .map_err(|_| BridgesError::Disconnected)?;
+    drop(tree_pairs);
     phases.push(("euler_tour".to_string(), t1.elapsed()));
 
     // Phase 3: levels and parents from the tour ("it is important to note
@@ -107,9 +107,8 @@ pub fn bridges_hybrid_with(
         let edges = graph.edges();
         let walk_ref = &walk_tree;
         let marked_ref = &marked;
-        let is_tree_ref = &is_tree;
         device.for_each(m, |e| {
-            if is_tree_ref[e] {
+            if is_tree[e] == 1 {
                 return;
             }
             let (u, v) = edges[e];
@@ -121,7 +120,7 @@ pub fn bridges_hybrid_with(
     }
     // Tree edge {x, y} with child c is a bridge iff c's upward edge was
     // never marked.
-    let mut bridge_flags = vec![false; m];
+    let mut bridge_flags = device.alloc_filled(m, 0u8);
     {
         let flags_shared = SharedSlice::new(&mut bridge_flags);
         let ids = &tree_edge_ids;
@@ -133,10 +132,10 @@ pub fn bridges_hybrid_with(
             let (x, y) = edges[e as usize];
             let c = if parent[x as usize] == y { x } else { y };
             // SAFETY: distinct edge ids.
-            unsafe { flags_shared.write(e as usize, !marked_ref.get(c as usize)) };
+            unsafe { flags_shared.write(e as usize, u8::from(!marked_ref.get(c as usize))) };
         });
     }
-    let is_bridge: BitSet = bridge_flags.iter().copied().collect();
+    let is_bridge: BitSet = bridge_flags.iter().map(|&b| b == 1).collect();
     phases.push(("mark".to_string(), t3.elapsed()));
 
     Ok(BridgesResult { is_bridge, phases })

@@ -63,62 +63,68 @@ pub fn bridges_tv_with(
         return Err(BridgesError::Disconnected);
     }
     let tree_edge_ids = forest.tree_edges;
-    let mut is_tree = vec![false; m];
+    let mut is_tree = device.alloc_filled(m, 0u8);
     {
         let tree_shared = SharedSlice::new(&mut is_tree);
         let ids = &tree_edge_ids;
         device.for_each(ids.len(), |i| {
             // SAFETY: tree edge ids are distinct.
-            unsafe { tree_shared.write(ids[i] as usize, true) };
+            unsafe { tree_shared.write(ids[i] as usize, 1u8) };
         });
     }
+    let is_tree = &is_tree;
     phases.push(("spanning_tree".to_string(), t0.elapsed()));
 
     // Phase 2: Euler tour statistics + per-node non-tree neighbor extremes.
     let t1 = Instant::now();
-    let tree_pairs: Vec<(u32, u32)> = tree_edge_ids
-        .iter()
-        .map(|&e| graph.edges()[e as usize])
-        .collect();
+    let ids = &tree_edge_ids;
+    let tree_pairs = device.alloc_pooled_map(ids.len(), |i| graph.edges()[ids[i] as usize]);
     let tour = EulerTour::build_from_edges(device, n, &tree_pairs, 0)
         .map_err(|_| BridgesError::Disconnected)?;
+    drop(tree_pairs);
     let stats = TreeStats::compute(device, &tour);
     let pre = &stats.preorder;
 
-    // Per-adjacency-slot values: the neighbor's preorder for non-tree
-    // incident edges, identities elsewhere; then a segmented reduce per node
-    // (the paper's `segreduce`).
-    let slots = csr.raw_neighbors().len();
-    let mut min_vals = vec![u32::MAX; slots];
-    let mut max_vals = vec![0u32; slots];
-    {
-        let neighbors = csr.raw_neighbors();
-        let edge_ids = csr.raw_edge_ids();
-        let is_tree_ref = &is_tree;
-        device.map(&mut min_vals, |s| {
-            if is_tree_ref[edge_ids[s] as usize] {
+    // Per-node extremes of non-tree neighbor preorders: the gather of each
+    // adjacency slot's contribution is fused into the segmented reduce (the
+    // paper's `segreduce`) — no materialized per-slot value arrays.
+    let neighbors = csr.raw_neighbors();
+    let edge_ids = csr.raw_edge_ids();
+    let mut node_min = device.alloc_pooled::<u32>(n);
+    device.map_segmented_reduce_into(
+        csr.offsets(),
+        u32::MAX,
+        |s| {
+            if is_tree[edge_ids[s] as usize] == 1 {
                 u32::MAX
             } else {
                 pre[neighbors[s] as usize]
             }
-        });
-        device.map(&mut max_vals, |s| {
-            if is_tree_ref[edge_ids[s] as usize] {
+        },
+        |a, b| a.min(b),
+        &mut node_min,
+    );
+    let mut node_max = device.alloc_pooled::<u32>(n);
+    device.map_segmented_reduce_into(
+        csr.offsets(),
+        0u32,
+        |s| {
+            if is_tree[edge_ids[s] as usize] == 1 {
                 0
             } else {
                 pre[neighbors[s] as usize]
             }
-        });
-    }
-    let node_min = device.segmented_min_u32(&min_vals, csr.offsets());
-    let node_max = device.segmented_max_u32(&max_vals, csr.offsets());
+        },
+        |a, b| a.max(b),
+        &mut node_max,
+    );
     phases.push(("euler_tour".to_string(), t1.elapsed()));
 
     // Phase 3: low/high via RMQ over preorder-indexed arrays, then the
     // bridge predicate per tree edge.
     let t2 = Instant::now();
-    let mut by_pre_min = vec![u32::MAX; n];
-    let mut by_pre_max = vec![0u32; n];
+    let mut by_pre_min = device.alloc_filled(n, u32::MAX);
+    let mut by_pre_max = device.alloc_filled(n, 0u32);
     {
         let min_shared = SharedSlice::new(&mut by_pre_min);
         let max_shared = SharedSlice::new(&mut by_pre_max);
@@ -136,7 +142,7 @@ pub fn bridges_tv_with(
     let min_tree = SegmentTree::build(device, &by_pre_min, SegOp::Min);
     let max_tree = SegmentTree::build(device, &by_pre_max, SegOp::Max);
 
-    let mut bridge_flags = vec![false; m];
+    let mut bridge_flags = device.alloc_filled(m, 0u8);
     {
         let flags_shared = SharedSlice::new(&mut bridge_flags);
         let ids = &tree_edge_ids;
@@ -160,10 +166,10 @@ pub fn bridges_tv_with(
             let inside_low = low == u32::MAX || low > lo as u32;
             let inside_high = high == 0 || high <= hi as u32 + 1;
             // SAFETY: tree edge ids are distinct.
-            unsafe { flags_shared.write(e as usize, inside_low && inside_high) };
+            unsafe { flags_shared.write(e as usize, u8::from(inside_low && inside_high)) };
         });
     }
-    let is_bridge: BitSet = bridge_flags.iter().copied().collect();
+    let is_bridge: BitSet = bridge_flags.iter().map(|&b| b == 1).collect();
     phases.push(("detect_bridges".to_string(), t2.elapsed()));
 
     Ok(BridgesResult { is_bridge, phases })

@@ -98,7 +98,8 @@ impl SubtreeAggregator {
         // subtree sum of v is then (prefix at exit) − (prefix at enter) +
         // value(v)'s own down edge — handled by using inclusive prefixes of
         // down-edge weights: sum over positions [enter(v), exit(v)].
-        let mut weights = vec![0u64; self.tour_len];
+        // Weight and prefix arrays are scratch — pooled.
+        let mut weights = device.alloc_filled(self.tour_len, 0u64);
         {
             let enter = &self.enter;
             let root = self.root;
@@ -110,7 +111,8 @@ impl SubtreeAggregator {
                 }
             });
         }
-        let prefix = device.add_scan_inclusive_u64(&weights);
+        let mut prefix = device.alloc_pooled::<u64>(self.tour_len);
+        device.scan_inclusive_into(&weights, &mut prefix, 0u64, |a, b| a + b);
         let mut out = vec![0u64; n];
         let prefix_ref = &prefix;
         device.map(&mut out, |v| {
@@ -151,7 +153,7 @@ impl SubtreeAggregator {
         if self.tour_len == 0 {
             return vec![values[0]; 1];
         }
-        let mut weights = vec![0i64; self.tour_len];
+        let mut weights = device.alloc_filled(self.tour_len, 0i64);
         {
             let weights_shared = SharedSlice::new(&mut weights);
             let enter = &self.enter;
@@ -168,7 +170,8 @@ impl SubtreeAggregator {
                 }
             });
         }
-        let prefix = device.scan_inclusive(&weights, 0i64, |a, b| a + b);
+        let mut prefix = device.alloc_pooled::<i64>(self.tour_len);
+        device.scan_inclusive_into(&weights, &mut prefix, 0i64, |a, b| a + b);
         let root_value = values[self.root as usize];
         let prefix_ref = &prefix;
         let mut out = vec![0i64; n];

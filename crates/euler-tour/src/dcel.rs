@@ -72,10 +72,9 @@ impl Dcel {
         });
 
         // Array B: lexicographically sorted copy, carrying half-edge ids as
-        // the cross-pointers back into A.
-        let mut keys = vec![0u64; h];
-        device.map(&mut keys, |e| pack_edge(tails[e], heads[e]));
-        let mut sorted_he: Vec<u32> = (0..h as u32).collect();
+        // the cross-pointers back into A. Both arrays are scratch — pooled.
+        let mut keys = device.alloc_pooled_map(h, |e| pack_edge(tails[e], heads[e]));
+        let mut sorted_he = device.alloc_pooled_map(h, |i| i as u32);
         device.sort_pairs_u64_u32(&mut keys, &mut sorted_he);
 
         // first[x] = half-edge at the first B position of x's group.

@@ -55,6 +55,9 @@ pub use aggregates::SubtreeAggregator;
 pub use dcel::{twin, Dcel};
 pub use dynamic::{EulerTourForest, ForestError};
 pub use list::EulerList;
-pub use ranking::{list_prefix_sum, rank_wei_jaja_with_sublists, Ranker};
+pub use ranking::{
+    default_sublist_target, list_prefix_sum, rank_into, rank_wei_jaja_into,
+    rank_wei_jaja_with_sublists, rank_wyllie_into, Ranker,
+};
 pub use stats::TreeStats;
 pub use tour::{EulerTour, TourError};

@@ -45,7 +45,7 @@ impl EulerList {
 
         // Locate the tour's last edge: the unique e with succ[e] == head.
         let pred_of_head = {
-            let mut found = vec![NIL; 1];
+            let mut found = device.alloc_filled(1, NIL);
             {
                 let found_shared = SharedSlice::new(&mut found);
                 let succ_ref = &succ;

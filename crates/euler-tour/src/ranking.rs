@@ -35,10 +35,23 @@ pub enum Ranker {
 /// Ranks `list` with the chosen algorithm: `rank[e]` = position of
 /// half-edge `e` on the tour, `0` for the head.
 pub fn rank(device: &Device, list: &EulerList, ranker: Ranker) -> Vec<u32> {
+    let mut out = vec![0u32; list.len()];
+    rank_into(device, list, ranker, &mut out);
+    out
+}
+
+/// [`rank`] into a caller buffer — with the round/scratch buffers drawn
+/// from the device arena, repeated rankings allocate nothing at steady
+/// state.
+///
+/// # Panics
+/// Panics if `out.len() != list.len()`.
+pub fn rank_into(device: &Device, list: &EulerList, ranker: Ranker, out: &mut [u32]) {
+    assert_eq!(out.len(), list.len(), "rank: output length mismatch");
     match ranker {
-        Ranker::Sequential => rank_sequential(list),
-        Ranker::Wyllie => rank_wyllie(device, list),
-        Ranker::WeiJaJa => rank_wei_jaja(device, list),
+        Ranker::Sequential => rank_sequential_into(list, out),
+        Ranker::Wyllie => rank_wyllie_into(device, list, out),
+        Ranker::WeiJaJa => rank_wei_jaja_into(device, list, out),
     }
 }
 
@@ -62,10 +75,11 @@ pub fn list_prefix_sum(device: &Device, list: &EulerList, weights: &[i64]) -> Ve
     }
     // sum[e] = total weight of the path e..tail (inclusive suffix sum),
     // computed by pointer jumping; prefix[e] = total − sum[e] + w[e].
-    let mut sum: Vec<i64> = weights.to_vec();
-    let mut next = list.succ.clone();
-    let mut sum_new = vec![0i64; n];
-    let mut next_new = vec![0u32; n];
+    // Round buffers come from the device arena.
+    let mut sum = device.alloc_copied(weights);
+    let mut next = device.alloc_copied(&list.succ);
+    let mut sum_new = device.alloc_pooled::<i64>(n);
+    let mut next_new = device.alloc_pooled::<u32>(n);
     let max_rounds = (usize::BITS - (n - 1).leading_zeros()) as usize + 1;
     for _ in 0..max_rounds {
         device.map(&mut sum_new, |e| {
@@ -98,18 +112,26 @@ pub fn list_prefix_sum(device: &Device, list: &EulerList, weights: &[i64]) -> Ve
 
 /// Sequential list ranking by walking the successor pointers.
 pub fn rank_sequential(list: &EulerList) -> Vec<u32> {
-    let n = list.len();
-    let mut rank = vec![0u32; n];
+    let mut rank = vec![0u32; list.len()];
+    rank_sequential_into(list, &mut rank);
+    rank
+}
+
+/// [`rank_sequential`] into a caller buffer.
+///
+/// # Panics
+/// Panics if `out.len() != list.len()`.
+pub fn rank_sequential_into(list: &EulerList, out: &mut [u32]) {
+    assert_eq!(out.len(), list.len(), "rank: output length mismatch");
     let mut e = list.head;
     let mut r = 0u32;
     while e != NIL {
-        rank[e as usize] = r;
+        out[e as usize] = r;
         r += 1;
         e = list.succ[e as usize];
     }
     // A broken list (non-spanning edge set) visits fewer than n elements;
     // callers detect that through the permutation check in `EulerTour`.
-    rank
 }
 
 /// Wyllie's pointer-jumping list ranking.
@@ -117,17 +139,28 @@ pub fn rank_sequential(list: &EulerList) -> Vec<u32> {
 /// Each element tracks its distance to the list end; every round doubles the
 /// jump length. Double-buffered so rounds are bulk-synchronous kernels.
 pub fn rank_wyllie(device: &Device, list: &EulerList) -> Vec<u32> {
+    let mut rank = vec![0u32; list.len()];
+    rank_wyllie_into(device, list, &mut rank);
+    rank
+}
+
+/// [`rank_wyllie`] into a caller buffer; the four round buffers come from
+/// the device arena, so repeated rankings allocate nothing at steady state.
+///
+/// # Panics
+/// Panics if `out.len() != list.len()`.
+pub fn rank_wyllie_into(device: &Device, list: &EulerList, out: &mut [u32]) {
+    assert_eq!(out.len(), list.len(), "rank: output length mismatch");
     let n = list.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     // dist[e] = number of hops from e to the end of the list (tail = 0).
-    let mut dist: Vec<u32> = vec![0; n];
-    device.map(&mut dist, |e| u32::from(list.succ[e] != NIL));
-    let mut next = list.succ.clone();
+    let mut dist = device.alloc_pooled_map(n, |e| u32::from(list.succ[e] != NIL));
+    let mut next = device.alloc_copied(&list.succ);
 
-    let mut dist_new = vec![0u32; n];
-    let mut next_new = vec![0u32; n];
+    let mut dist_new = device.alloc_pooled::<u32>(n);
+    let mut next_new = device.alloc_pooled::<u32>(n);
     // ⌈log₂ n⌉ + 1 rounds suffice for a valid list; the hard bound keeps the
     // loop finite on broken (non-spanning) inputs, which the caller then
     // rejects via its permutation check.
@@ -159,36 +192,82 @@ pub fn rank_wyllie(device: &Device, list: &EulerList) -> Vec<u32> {
         }
     }
     // rank from head = (n - 1) - dist_to_tail.
-    let mut rank = vec![0u32; n];
-    device.map(&mut rank, |e| (n as u32 - 1) - dist[e]);
-    rank
+    let dist = &dist;
+    device.map(out, |e| (n as u32 - 1) - dist[e]);
+}
+
+/// Default Wei–JáJá sublist-count target for a list of `n` elements.
+///
+/// Scales with the device rather than a fixed constant: the floor keeps
+/// every pool worker (and every claimable grid block) supplied with
+/// several sublists for load balance; the ceiling caps the sequential
+/// phase-2 walk at a few thousand entries *per worker*, so narrow devices
+/// are not charged the sequential cost sized for wide ones. The `n / 64`
+/// sweet spot between the bounds matches the \[64\] guidance of keeping
+/// sublists tens of elements long.
+pub fn default_sublist_target(device: &Device, n: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let workers = device.worker_threads().max(1);
+    let blocks = device.grid_blocks(n).max(1);
+    let floor = usize::max(workers * 8, blocks * 4);
+    let ceil = usize::max(floor, (workers * 4096).min(1 << 16));
+    (n / 64).clamp(floor, ceil).min(n)
 }
 
 /// Wei–JáJá GPU-optimized list ranking (Helman–JáJá sublist scheme).
 pub fn rank_wei_jaja(device: &Device, list: &EulerList) -> Vec<u32> {
+    let mut rank = vec![0u32; list.len()];
+    rank_wei_jaja_into(device, list, &mut rank);
+    rank
+}
+
+/// [`rank_wei_jaja`] into a caller buffer; all phase buffers come from the
+/// device arena (zero allocation at steady state).
+///
+/// # Panics
+/// Panics if `out.len() != list.len()`.
+pub fn rank_wei_jaja_into(device: &Device, list: &EulerList, out: &mut [u32]) {
+    assert_eq!(out.len(), list.len(), "rank: output length mismatch");
     let n = list.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     // Small lists gain nothing from the machinery.
     if n <= device.config().seq_threshold {
-        return rank_sequential(list);
+        rank_sequential_into(list, out);
+        return;
     }
-
-    // Choose the number of sublists: many more than workers for load
-    // balance, capped so the sequential phase-2 stays negligible.
-    let workers = device.worker_threads();
-    let s_target = usize::clamp(n / 64, workers * 8, 1 << 16).min(n);
-    rank_wei_jaja_with_sublists(device, list, s_target)
+    let s_target = default_sublist_target(device, n);
+    rank_wei_jaja_with_sublists_into(device, list, s_target, out)
 }
 
 /// [`rank_wei_jaja`] with an explicit sublist-count target — the tuning
 /// knob of \[64\] (too few sublists starve workers, too many inflate the
 /// sequential phase 2); `benches/list_ranking.rs` sweeps it.
 pub fn rank_wei_jaja_with_sublists(device: &Device, list: &EulerList, s_target: usize) -> Vec<u32> {
+    let mut rank = vec![0u32; list.len()];
+    if !rank.is_empty() {
+        rank_wei_jaja_with_sublists_into(device, list, s_target, &mut rank);
+    }
+    rank
+}
+
+/// [`rank_wei_jaja_with_sublists`] into a caller buffer.
+///
+/// # Panics
+/// Panics if `out.len() != list.len()`.
+pub fn rank_wei_jaja_with_sublists_into(
+    device: &Device,
+    list: &EulerList,
+    s_target: usize,
+    out: &mut [u32],
+) {
+    assert_eq!(out.len(), list.len(), "rank: output length mismatch");
     let n = list.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let s_target = s_target.clamp(1, n);
 
@@ -196,24 +275,31 @@ pub fn rank_wei_jaja_with_sublists(device: &Device, list: &EulerList, s_target: 
     // multiplicative-hash stride (id order is uncorrelated with tour order,
     // which is what the randomized selection in [64] needs).
     let stride = (n / s_target).max(1);
-    let mut is_splitter = vec![false; n];
-    is_splitter[list.head as usize] = true;
-    let mut splitters: Vec<u32> = vec![list.head];
+    let mut is_splitter = device.alloc_filled(n, 0u8);
+    is_splitter[list.head as usize] = 1;
+    let mut splitters = device.alloc_pooled::<u32>(n.div_ceil(stride) + 1);
+    splitters[0] = list.head;
+    let mut s = 1usize;
     for k in (0..n).step_by(stride) {
         let e = ((k as u64).wrapping_mul(0x9E3779B97F4A7C15) % n as u64) as u32;
-        if !is_splitter[e as usize] {
-            is_splitter[e as usize] = true;
-            splitters.push(e);
+        if is_splitter[e as usize] == 0 {
+            is_splitter[e as usize] = 1;
+            splitters[s] = e;
+            s += 1;
         }
     }
-    let s = splitters.len();
+    splitters.truncate(s);
 
     // Phase 1 (parallel over sublists): walk from each splitter to the next
     // splitter (or the list end), recording local ranks and the sublist id.
-    let mut local_rank = vec![0u32; n];
-    let mut sublist_of = vec![0u32; n];
-    let mut sublist_next = vec![NIL; s]; // index of the *following* sublist's splitter
-    let mut sublist_len = vec![0u32; s];
+    // On a valid list the walks partition 0..n, overwriting every entry —
+    // the n-sized buffers need no initialization pass. Broken inputs are
+    // detected after phase 2 and the output poisoned, so the unwritten
+    // (pool-recycled) entries are never exposed.
+    let mut local_rank = device.alloc_pooled::<u32>(n);
+    let mut sublist_of = device.alloc_pooled::<u32>(n);
+    let mut sublist_next = device.alloc_filled(s, NIL); // following sublist's splitter
+    let mut sublist_len = device.alloc_filled(s, 0u32);
     {
         let local_shared = SharedSlice::new(&mut local_rank);
         let sub_shared = SharedSlice::new(&mut sublist_of);
@@ -240,7 +326,7 @@ pub fn rank_wei_jaja_with_sublists(device: &Device, list: &EulerList, s_target: 
                     }
                     return;
                 }
-                if is_splitter_ref[nx as usize] {
+                if is_splitter_ref[nx as usize] == 1 {
                     unsafe {
                         next_shared.write(k, nx);
                         len_shared.write(k, r);
@@ -254,31 +340,51 @@ pub fn rank_wei_jaja_with_sublists(device: &Device, list: &EulerList, s_target: 
 
     // Phase 2 (sequential, s elements): accumulate sublist offsets in tour
     // order by hopping from the head's sublist through `sublist_next`.
-    let mut splitter_to_sublist = vec![NIL; n];
+    // Only splitter slots are ever read, and the loop below writes all of
+    // them — the pooled buffer needs no initialization pass.
+    let mut splitter_to_sublist = device.alloc_pooled::<u32>(n);
     for (k, &sp) in splitters.iter().enumerate() {
         splitter_to_sublist[sp as usize] = k as u32;
     }
-    let mut offset = vec![0u32; s];
+    let mut offset = device.alloc_filled(s, 0u32);
     let mut cur = 0usize; // sublist of the head (splitters[0] == head)
     let mut acc = 0u32;
-    loop {
+    let mut terminated = false;
+    // The chain visits each sublist at most once on any input whose walk
+    // structure is sound: `sublist_next` is a function, so a revisit
+    // would cycle forever. Bounding the hops at `s` turns that malformed
+    // case into deterministic rejection instead of a hang.
+    for _ in 0..s {
         offset[cur] = acc;
         acc += sublist_len[cur];
         let nxt = sublist_next[cur];
         if nxt == NIL {
+            terminated = true;
             break;
         }
         cur = splitter_to_sublist[nxt as usize] as usize;
     }
-    // On a valid list `acc == n` here; broken (non-spanning) inputs leave a
-    // shortfall that `EulerTour`'s permutation check reports as an error.
+    // Validity check. On a valid list the chain terminates and the walks
+    // it strings together are pairwise disjoint with total length n —
+    // i.e. they covered every element exactly once (a terminating chain
+    // visits distinct sublists; two chain walks sharing an element would
+    // give two chain sublists the same successor, forcing a revisit and
+    // hence non-termination; and full disjoint coverage leaves no
+    // splitter outside the chain). Anything else means the successor
+    // structure is broken (non-spanning input): poison the output
+    // deterministically — every rank out of range — instead of exposing
+    // whatever the pooled phase buffers held. `EulerTour`'s permutation
+    // check then rejects reliably.
+    if !terminated || acc as usize != n {
+        device.fill(out, NIL);
+        return;
+    }
 
     // Phase 3 (parallel): final rank = sublist offset + local rank.
-    let mut rank = vec![0u32; n];
-    device.map(&mut rank, |e| {
-        offset[sublist_of[e] as usize] + local_rank[e]
-    });
-    rank
+    let offset = &offset;
+    let sublist_of = &sublist_of;
+    let local_rank = &local_rank;
+    device.map(out, |e| offset[sublist_of[e] as usize] + local_rank[e]);
 }
 
 #[cfg(test)]
@@ -383,6 +489,87 @@ mod tests {
             let got = rank_wei_jaja_with_sublists(&device, &list, s);
             assert_eq!(got, expected, "s={s}");
         }
+    }
+
+    #[test]
+    fn default_sublist_target_scales_with_workers() {
+        use gpu_sim::DeviceConfig;
+        let n = 1 << 20;
+        let mut last_target = 0usize;
+        for workers in [1usize, 2, 4, 8] {
+            let device = Device::with_config(DeviceConfig {
+                threads: Some(workers),
+                ..Default::default()
+            });
+            let target = default_sublist_target(&device, n);
+            // Floor: several sublists per worker and per grid block.
+            assert!(
+                target >= workers * 8,
+                "workers={workers}: target {target} starves the pool"
+            );
+            assert!(target >= device.grid_blocks(n) * 4);
+            // Ceiling: the sequential phase 2 stays proportional to the
+            // device width (≤ 4096 entries per worker, ≤ 2^16 overall).
+            assert!(
+                target <= (workers * 4096).min(1 << 16).max(workers * 8),
+                "workers={workers}: target {target} overloads phase 2"
+            );
+            assert!(target <= n);
+            // Monotone: wider devices never get fewer sublists.
+            assert!(
+                target >= last_target,
+                "target must not shrink as workers grow ({last_target} -> {target})"
+            );
+            last_target = target;
+
+            // And the choice must still rank correctly at every width.
+            let list = random_tree_list(&device, 50_000, 77);
+            let got = rank_wei_jaja(&device, &list);
+            assert_eq!(got, rank_sequential(&list), "workers={workers}");
+        }
+        // Degenerate sizes stay in range.
+        let device = Device::new();
+        assert_eq!(default_sublist_target(&device, 0), 1);
+        for n in [1usize, 5, 100] {
+            let t = default_sublist_target(&device, n);
+            assert!((1..=n).contains(&t), "n={n} target {t}");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating() {
+        let device = Device::new();
+        let list = random_tree_list(&device, 30_000, 21);
+        let expect = rank_sequential(&list);
+        let mut out = vec![0u32; list.len()];
+        rank_wyllie_into(&device, &list, &mut out);
+        assert_eq!(out, expect);
+        out.fill(0);
+        rank_wei_jaja_into(&device, &list, &mut out);
+        assert_eq!(out, expect);
+        out.fill(0);
+        rank_into(&device, &list, Ranker::WeiJaJa, &mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn steady_state_ranking_allocates_nothing() {
+        let device = Device::new();
+        let list = random_tree_list(&device, 60_000, 33);
+        let mut out = vec![0u32; list.len()];
+        rank_wyllie_into(&device, &list, &mut out);
+        rank_wei_jaja_into(&device, &list, &mut out);
+        let before = device.metrics().snapshot();
+        for _ in 0..3 {
+            rank_wyllie_into(&device, &list, &mut out);
+            rank_wei_jaja_into(&device, &list, &mut out);
+        }
+        let d = device.metrics().snapshot().since(&before);
+        assert_eq!(
+            d.bytes_allocated, 0,
+            "steady-state list ranking must draw all scratch from the pool"
+        );
+        assert!(d.bytes_reused > 0);
     }
 
     #[test]

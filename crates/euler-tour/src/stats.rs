@@ -50,25 +50,24 @@ impl TreeStats {
         let rank = tour.rank();
         let dcel = tour.dcel();
 
-        // Down flags by tour position.
-        let mut down = vec![0u8; h];
-        device.map(&mut down, |p| u8::from(tour.is_down(order[p])));
+        // Down flags by tour position (pooled).
+        let down = device.alloc_pooled_map(h, |p| u8::from(tour.is_down(order[p])));
+        let down = &down;
 
-        // Preorder: inclusive scan of down flags.
-        let ones: Vec<u64> = {
-            let mut v = vec![0u64; h];
-            device.map(&mut v, |p| down[p] as u64);
-            v
-        };
-        let pre_scan = device.add_scan_inclusive_u64(&ones);
+        // Preorder: fused transform + inclusive scan of down flags — no
+        // materialized weight array, scratch from the arena.
+        let mut pre_scan = device.alloc_pooled::<u64>(h);
+        device.map_scan_inclusive_into(h, |p| down[p] as u64, &mut pre_scan, 0u64, |a, b| a + b);
 
-        // Level: inclusive scan of ±1.
-        let signs: Vec<i64> = {
-            let mut v = vec![0i64; h];
-            device.map(&mut v, |p| if down[p] == 1 { 1 } else { -1 });
-            v
-        };
-        let level_scan = device.add_scan_inclusive_i64(&signs);
+        // Level: fused transform + inclusive scan of ±1.
+        let mut level_scan = device.alloc_pooled::<i64>(h);
+        device.map_scan_inclusive_into(
+            h,
+            |p| if down[p] == 1 { 1i64 } else { -1i64 },
+            &mut level_scan,
+            0i64,
+            |a, b| a + b,
+        );
 
         let mut preorder = vec![0u32; n];
         let mut subtree_size = vec![0u32; n];

@@ -142,9 +142,10 @@ impl EulerTour {
 
         // Permutation check: if the edges were not a spanning tree, the
         // successor structure decomposes into several cycles and the ranks
-        // cannot form a permutation of 0..2(n-1).
+        // cannot form a permutation of 0..2(n-1). Count buffer from the
+        // arena; min and max fused into one reduce launch.
         let h = rank_arr.len();
-        let mut counts = vec![0u32; h];
+        let mut counts = device.alloc_filled(h, 0u32);
         {
             let counts_view = gpu_sim::as_atomic_u32(&mut counts);
             let rank_ref = &rank_arr;
@@ -155,14 +156,19 @@ impl EulerTour {
                 }
             });
         }
-        let min = device.reduce_min_u32(&counts);
-        let max = device.reduce_max_u32(&counts);
+        let counts = &counts;
+        let (min, max) = device.map_reduce(
+            h,
+            |i| (counts[i], counts[i]),
+            (u32::MAX, 0u32),
+            |a, b| (a.0.min(b.0), a.1.max(b.1)),
+        );
         if min != 1 || max != 1 {
             return Err(TourError::NotASpanningTree);
         }
 
         // Invert the ranking into the tour array (a permutation scatter).
-        let src: Vec<u32> = (0..h as u32).collect();
+        let src = device.alloc_pooled_map(h, |i| i as u32);
         let mut order = vec![0u32; h];
         device.scatter(&mut order, &rank_arr, &src);
 

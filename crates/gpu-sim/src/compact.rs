@@ -1,7 +1,11 @@
 //! Stream compaction (filter): flag → scan → scatter.
 //!
 //! Used to build BFS frontiers and to separate tree from non-tree edges.
+//! Block counts/offsets come from the device arena;
+//! [`Device::compact_indices_pooled`] also pools the output so a hot loop
+//! compacts with zero allocation at steady state.
 
+use crate::arena::ArenaVec;
 use crate::device::{Device, SharedSlice};
 use rayon::prelude::*;
 
@@ -19,13 +23,53 @@ impl Device {
             self.metrics().record_launch(n as u64);
             return (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
         }
+        let (offsets, total, chunk, blocks) = self.compact_offsets(n, &pred);
+        let mut out = vec![0u32; total];
+        self.compact_write(n, &pred, &offsets, chunk, blocks, &mut out);
+        out
+    }
 
+    /// [`Device::compact_indices`] with the output drawn from the device
+    /// arena — the zero-allocation variant for hot loops.
+    pub fn compact_indices_pooled<F>(&self, n: usize, pred: F) -> ArenaVec<'_, u32>
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        self.metrics().record_primitive();
+        if n == 0 {
+            return self.alloc_pooled(0);
+        }
+        if n <= self.config().seq_threshold {
+            self.metrics().record_launch(n as u64);
+            let mut out = self.alloc_pooled::<u32>(n);
+            let mut len = 0usize;
+            for i in 0..n {
+                if pred(i) {
+                    out[len] = i as u32;
+                    len += 1;
+                }
+            }
+            out.truncate(len);
+            return out;
+        }
+        let (offsets, total, chunk, blocks) = self.compact_offsets(n, &pred);
+        let mut out = self.alloc_pooled::<u32>(total);
+        self.compact_write(n, &pred, &offsets, chunk, blocks, &mut out);
+        out
+    }
+
+    /// Phases 1–2: per-block survivor counts scanned into block offsets.
+    /// Returns `(offsets, total, chunk, blocks)`.
+    fn compact_offsets<F>(&self, n: usize, pred: &F) -> (ArenaVec<'_, u32>, usize, usize, usize)
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
         let chunk = self.grid_chunk_len(n);
         let blocks = n.div_ceil(chunk);
 
         // Phase 1: count survivors per block.
         self.metrics().record_launch(n as u64);
-        let mut counts = vec![0u32; blocks];
+        let mut counts = self.alloc_pooled::<u32>(blocks);
         self.run(|| {
             counts.par_iter_mut().enumerate().for_each(|(b, count)| {
                 let start = b * chunk;
@@ -35,37 +79,44 @@ impl Device {
         });
 
         // Phase 2: block offsets (tiny, sequential).
-        let mut offsets = vec![0u32; blocks];
+        let mut offsets = self.alloc_pooled::<u32>(blocks);
         let mut acc = 0u32;
         for b in 0..blocks {
             offsets[b] = acc;
             acc += counts[b];
         }
-        let total = acc as usize;
+        (offsets, acc as usize, chunk, blocks)
+    }
 
-        // Phase 3: write survivors.
+    /// Phase 3: write survivors into `out` (sized to the survivor total).
+    fn compact_write<F>(
+        &self,
+        n: usize,
+        pred: &F,
+        offsets: &[u32],
+        chunk: usize,
+        blocks: usize,
+        out: &mut [u32],
+    ) where
+        F: Fn(usize) -> bool + Sync,
+    {
         self.metrics().record_launch(n as u64);
-        let mut out = vec![0u32; total];
-        {
-            let shared = SharedSlice::new(&mut out);
-            let offsets_ref = &offsets;
-            self.run(|| {
-                (0..blocks).into_par_iter().for_each(|b| {
-                    let start = b * chunk;
-                    let end = usize::min(start + chunk, n);
-                    let mut pos = offsets_ref[b] as usize;
-                    for i in start..end {
-                        if pred(i) {
-                            // SAFETY: blocks own disjoint [offset, offset+count)
-                            // output ranges by construction of the offsets.
-                            unsafe { shared.write(pos, i as u32) };
-                            pos += 1;
-                        }
+        let shared = SharedSlice::new(out);
+        self.run(|| {
+            (0..blocks).into_par_iter().for_each(|b| {
+                let start = b * chunk;
+                let end = usize::min(start + chunk, n);
+                let mut pos = offsets[b] as usize;
+                for i in start..end {
+                    if pred(i) {
+                        // SAFETY: blocks own disjoint [offset, offset+count)
+                        // output ranges by construction of the offsets.
+                        unsafe { shared.write(pos, i as u32) };
+                        pos += 1;
                     }
-                });
+                }
             });
-        }
-        out
+        });
     }
 
     /// Keeps the elements of `input` whose *value* satisfies `pred`,
@@ -75,7 +126,7 @@ impl Device {
         T: Copy + Send + Sync,
         F: Fn(&T) -> bool + Sync,
     {
-        let idx = self.compact_indices(input.len(), |i| pred(&input[i]));
+        let idx = self.compact_indices_pooled(input.len(), |i| pred(&input[i]));
         if idx.is_empty() {
             return Vec::new();
         }
@@ -134,5 +185,31 @@ mod tests {
         let device = Device::new();
         let out = device.compact_indices(10, |i| i >= 5);
         assert_eq!(out, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn pooled_matches_allocating() {
+        let device = Device::new();
+        for n in [0usize, 10, 5000, 120_000] {
+            let expect = device.compact_indices(n, |i| i % 3 == 1);
+            let got = device.compact_indices_pooled(n, |i| i % 3 == 1);
+            assert_eq!(&*got, &expect[..], "n={n}");
+        }
+    }
+
+    #[test]
+    fn steady_state_pooled_compaction_allocates_nothing() {
+        let device = Device::new();
+        let run = || {
+            let v = device.compact_indices_pooled(100_000, |i| i % 7 == 0);
+            assert_eq!(v.len(), 100_000usize.div_ceil(7));
+        };
+        run();
+        let before = device.metrics().snapshot();
+        for _ in 0..4 {
+            run();
+        }
+        let d = device.metrics().snapshot().since(&before);
+        assert_eq!(d.bytes_allocated, 0);
     }
 }

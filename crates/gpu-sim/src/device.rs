@@ -16,6 +16,7 @@
 //! is bit-identical across pool widths (which block a worker claims varies;
 //! what gets computed for each index does not).
 
+use crate::arena::DeviceArena;
 use crate::metrics::Metrics;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,6 +39,11 @@ pub struct DeviceConfig {
     /// hardware). Useful for studying launch-bound regimes such as the
     /// small batches of Figure 6; `None` (the default) adds nothing.
     pub launch_overhead: Option<std::time::Duration>,
+    /// Whether the device pools scratch buffers in its [`DeviceArena`]
+    /// (the default). `false` degrades every pooled allocation to a plain
+    /// malloc/free pair — the A/B baseline the `mem_sweep` experiment
+    /// compares against.
+    pub pooling: bool,
 }
 
 impl Default for DeviceConfig {
@@ -47,6 +53,7 @@ impl Default for DeviceConfig {
             block_size: 4096,
             seq_threshold: 2048,
             launch_overhead: None,
+            pooling: true,
         }
     }
 }
@@ -60,6 +67,7 @@ pub struct Device {
     pool: Option<rayon::ThreadPool>,
     cfg: DeviceConfig,
     metrics: Metrics,
+    arena: DeviceArena,
 }
 
 impl Default for Device {
@@ -96,11 +104,18 @@ impl Device {
                 .build()
                 .expect("failed to build device thread pool")
         });
+        let arena = DeviceArena::new(cfg.pooling);
         Self {
             pool,
             cfg,
             metrics: Metrics::new(),
+            arena,
         }
+    }
+
+    /// Internal arena access for the wrappers in [`crate::arena`].
+    pub(crate) fn arena_ref(&self) -> &DeviceArena {
+        &self.arena
     }
 
     /// The device configuration.
@@ -131,6 +146,18 @@ impl Device {
             self.config().block_size,
             n.div_ceil(4 * self.worker_threads().max(1)),
         )
+    }
+
+    /// Number of blocks the chunk-per-block primitives would launch over
+    /// `n` elements — the grid geometry. Exposed so downstream algorithms
+    /// (e.g. Wei–JáJá sublist selection) can match their decomposition to
+    /// the device's.
+    pub fn grid_blocks(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            n.div_ceil(self.grid_chunk_len(n))
+        }
     }
 
     /// Spends the configured per-launch latency (busy-wait: the real cost
@@ -299,6 +326,30 @@ impl Device {
     {
         assert_eq!(out.len(), idx.len(), "gather: out/idx length mismatch");
         self.map(out, |i| src[idx[i] as usize]);
+    }
+
+    /// Fused gather + map kernel: `out[i] = f(src[idx[i]])` in one launch,
+    /// without materializing the gathered intermediate.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != idx.len()` or an index is out of bounds.
+    pub fn gather_map_into<T, U, F>(&self, out: &mut [U], idx: &[u32], src: &[T], f: F)
+    where
+        T: Send + Sync + Copy,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        assert_eq!(out.len(), idx.len(), "gather_map: out/idx length mismatch");
+        self.map(out, |i| f(src[idx[i] as usize]));
+    }
+
+    /// Gather into a pooled output buffer (zero allocation at steady
+    /// state): returns `out` with `out[i] = src[idx[i]]`.
+    pub fn gather_pooled<T>(&self, idx: &[u32], src: &[T]) -> crate::arena::ArenaVec<'_, T>
+    where
+        T: crate::arena::ArenaPod,
+    {
+        self.alloc_pooled_map(idx.len(), |i| src[idx[i] as usize])
     }
 }
 

@@ -53,33 +53,53 @@ impl Device {
     where
         F: Fn(usize) -> usize + Sync,
     {
+        let mut out = vec![0u64; num_bins];
+        self.histogram_into(n, num_bins, bin, &mut out);
+        out
+    }
+
+    /// [`Device::histogram_privatized`] into a caller buffer; the per-block
+    /// private histograms come from the device arena (zero allocation at
+    /// steady state — the per-block *local* array lives on the worker
+    /// stack only when bins are few, so it is pooled per virtual block
+    /// too).
+    ///
+    /// # Panics
+    /// Panics if `bin` produces an out-of-range index or `out.len() !=
+    /// num_bins`.
+    pub fn histogram_into<F>(&self, n: usize, num_bins: usize, bin: F, out: &mut [u64])
+    where
+        F: Fn(usize) -> usize + Sync,
+    {
+        assert_eq!(out.len(), num_bins, "histogram: output length mismatch");
         if n == 0 || num_bins == 0 {
-            return vec![0; num_bins];
+            out.fill(0);
+            return;
         }
         let bs = self.config().block_size.max(1);
         let blocks = n.div_ceil(bs);
         // Phase 1: per-block private histograms (one launch, disjoint rows).
-        let mut private = vec![0u64; blocks * num_bins];
-        let shared = crate::device::SharedSlice::new(&mut private);
-        self.for_each(blocks, |blk| {
-            let lo = blk * bs;
-            let hi = usize::min(lo + bs, n);
-            let mut local = vec![0u64; num_bins];
-            for i in lo..hi {
-                let b = bin(i);
-                assert!(b < num_bins, "histogram: bin {b} out of range");
-                local[b] += 1;
-            }
-            let base = blk * num_bins;
-            for (j, &c) in local.iter().enumerate() {
-                // SAFETY: block blk exclusively owns row [base, base+bins).
-                unsafe { shared.write(base + j, c) };
-            }
-        });
+        let mut private = self.alloc_filled(blocks * num_bins, 0u64);
+        {
+            let shared = crate::device::SharedSlice::new(&mut private);
+            self.for_each(blocks, |blk| {
+                let lo = blk * bs;
+                let hi = usize::min(lo + bs, n);
+                let base = blk * num_bins;
+                for i in lo..hi {
+                    let b = bin(i);
+                    assert!(b < num_bins, "histogram: bin {b} out of range");
+                    // SAFETY: block blk exclusively owns row
+                    // [base, base + num_bins).
+                    unsafe { shared.write(base + b, shared.read(base + b) + 1) };
+                }
+            });
+        }
         // Phase 2: bin-parallel column sums (second launch).
-        self.alloc_map(num_bins, |b| {
+        let private = &private;
+        self.map(out, |b| {
             (0..blocks).map(|blk| private[blk * num_bins + b]).sum()
-        })
+        });
     }
 
     /// Counts occurrences of each value in `values`, all of which must be

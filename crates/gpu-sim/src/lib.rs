@@ -34,10 +34,17 @@
 //! reduce-by-key ([`rbk`]) and histograms ([`histogram`]), with kernel
 //! and work-item accounting in [`metrics`].
 //!
+//! Multi-launch pipelines draw their scratch buffers from the device
+//! memory plane ([`arena`]): a size-bucketed pool with RAII handles
+//! ([`ArenaVec`]/[`ScratchGuard`]) so that steady-state iterations
+//! allocate nothing, plus `_into` and fused variants of the allocating
+//! primitives (`scan_*_into`, `map_scan_*`, `gather_map_into`, ...).
+//!
 //! [moderngpu]: https://github.com/moderngpu/moderngpu
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod atomic;
 pub mod compact;
 pub mod device;
@@ -51,6 +58,7 @@ pub mod scan;
 pub mod segreduce;
 pub mod sort;
 
+pub use arena::{ArenaPod, ArenaVec, DeviceArena, ScratchGuard};
 pub use atomic::{as_atomic_u32, as_atomic_u64, AtomicF64Cell};
 pub use device::{Device, DeviceConfig};
 pub use metrics::{Metrics, MetricsSnapshot, PhaseTimer};

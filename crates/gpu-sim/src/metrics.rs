@@ -21,6 +21,13 @@ pub struct Metrics {
     pub work_items: AtomicU64,
     /// Number of primitive invocations (scan, sort, reduce, ...).
     pub primitive_calls: AtomicU64,
+    /// Scratch bytes fetched freshly from the system allocator by the
+    /// device arena (block size classes, not raw request sizes). A hot
+    /// pipeline at steady state adds **zero** here — see [`crate::arena`].
+    pub bytes_allocated: AtomicU64,
+    /// Scratch bytes served from the device arena's free lists instead of
+    /// the system allocator — the observable reuse.
+    pub bytes_reused: AtomicU64,
     /// Named phase durations, in insertion order.
     phases: Mutex<Vec<(String, Duration)>>,
 }
@@ -40,6 +47,17 @@ impl Metrics {
         self.primitive_calls.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_arena(&self, bytes: u64, reused: bool) {
+        if bytes == 0 {
+            return;
+        }
+        if reused {
+            self.bytes_reused.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.bytes_allocated.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
     /// Records a named phase duration (appended; names may repeat).
     pub fn record_phase(&self, name: &str, elapsed: Duration) {
         self.phases.lock().push((name.to_string(), elapsed));
@@ -51,6 +69,8 @@ impl Metrics {
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
             work_items: self.work_items.load(Ordering::Relaxed),
             primitive_calls: self.primitive_calls.load(Ordering::Relaxed),
+            bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
+            bytes_reused: self.bytes_reused.load(Ordering::Relaxed),
         }
     }
 
@@ -69,6 +89,10 @@ pub struct MetricsSnapshot {
     pub work_items: u64,
     /// Primitive invocations so far.
     pub primitive_calls: u64,
+    /// Scratch bytes freshly allocated by the arena so far.
+    pub bytes_allocated: u64,
+    /// Scratch bytes served from the arena pool so far.
+    pub bytes_reused: u64,
 }
 
 impl MetricsSnapshot {
@@ -78,6 +102,8 @@ impl MetricsSnapshot {
             kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
             work_items: self.work_items.saturating_sub(earlier.work_items),
             primitive_calls: self.primitive_calls.saturating_sub(earlier.primitive_calls),
+            bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+            bytes_reused: self.bytes_reused.saturating_sub(earlier.bytes_reused),
         }
     }
 }
@@ -187,6 +213,8 @@ mod tests {
             kernel_launches: 1,
             work_items: 1,
             primitive_calls: 1,
+            bytes_allocated: 1,
+            bytes_reused: 1,
         };
         let b = MetricsSnapshot::default();
         let d = b.since(&a);

@@ -10,24 +10,37 @@ impl Device {
         T: Copy + Send + Sync,
         F: Fn(T, T) -> T + Sync,
     {
-        let n = input.len();
+        self.map_reduce(input.len(), |i| input[i], identity, op)
+    }
+
+    /// Fused transform + reduce: reduces `gen(0) … gen(n-1)` without
+    /// materializing the generated array. `gen` must be pure.
+    pub fn map_reduce<T, G, F>(&self, n: usize, gen: G, identity: T, op: F) -> T
+    where
+        T: Copy + Send + Sync,
+        G: Fn(usize) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
         self.metrics().record_primitive();
         self.metrics().record_launch(n as u64);
         if n <= self.config().seq_threshold {
             let mut acc = identity;
-            for v in input {
-                acc = op(acc, *v);
+            for i in 0..n {
+                acc = op(acc, gen(i));
             }
             return acc;
         }
         let chunk = self.grid_chunk_len(n);
+        let blocks = n.div_ceil(chunk);
         self.run(|| {
-            input
-                .par_chunks(chunk)
-                .map(|c| {
+            (0..blocks)
+                .into_par_iter()
+                .map(|b| {
+                    let start = b * chunk;
+                    let end = usize::min(start + chunk, n);
                     let mut acc = identity;
-                    for v in c {
-                        acc = op(acc, *v);
+                    for i in start..end {
+                        acc = op(acc, gen(i));
                     }
                     acc
                 })

@@ -9,7 +9,21 @@
 //! moderngpu/CUB scans the paper uses.
 //!
 //! All operators must be associative; they need not be commutative.
+//!
+//! Two families of entry points:
+//!
+//! * allocating (`scan_inclusive`, `scan_exclusive`, ...) — return a fresh
+//!   `Vec`; generic over any `Copy` element;
+//! * zero-allocation (`scan_inclusive_into`, `scan_exclusive_into`,
+//!   [`Device::map_scan_inclusive_into`], ...) — write into a caller
+//!   buffer and draw the per-block scratch from the device arena, so
+//!   repeated launches allocate nothing at steady state. The `map_scan`
+//!   variants additionally **fuse** an elementwise transform into the scan
+//!   (the generator runs inside the two block passes instead of
+//!   materializing an intermediate array — one launch and one n-sized
+//!   buffer saved).
 
+use crate::arena::ArenaPod;
 use crate::device::Device;
 use rayon::prelude::*;
 
@@ -21,7 +35,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
-        self.scan_into(input, &mut out, identity, &op, true);
+        self.scan_slice(input, &mut out, identity, &op, true);
         out
     }
 
@@ -32,7 +46,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
-        self.scan_into(input, &mut out, identity, &op, false);
+        self.scan_slice(input, &mut out, identity, &op, false);
         out
     }
 
@@ -44,19 +58,167 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
-        let total = self.scan_into(input, &mut out, identity, &op, false);
+        let total = self.scan_slice(input, &mut out, identity, &op, false);
         (out, total)
     }
 
-    /// Writes an inclusive or exclusive scan of `input` into `out` and
-    /// returns the total reduction.
-    fn scan_into<T, F>(&self, input: &[T], out: &mut [T], identity: T, op: &F, inclusive: bool) -> T
+    /// Inclusive scan into a caller buffer; block scratch comes from the
+    /// device arena (zero allocation at steady state). Returns the total.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != out.len()`.
+    pub fn scan_inclusive_into<T, F>(&self, input: &[T], out: &mut [T], identity: T, op: F) -> T
+    where
+        T: ArenaPod,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert_eq!(input.len(), out.len(), "scan: input/output length mismatch");
+        self.map_scan_into(input.len(), |i| input[i], out, identity, &op, true)
+    }
+
+    /// Exclusive scan into a caller buffer; block scratch comes from the
+    /// device arena. Returns the total reduction.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != out.len()`.
+    pub fn scan_exclusive_into<T, F>(&self, input: &[T], out: &mut [T], identity: T, op: F) -> T
+    where
+        T: ArenaPod,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert_eq!(input.len(), out.len(), "scan: input/output length mismatch");
+        self.map_scan_into(input.len(), |i| input[i], out, identity, &op, false)
+    }
+
+    /// Fused transform + inclusive scan: `out[i] = gen(0) ⊕ … ⊕ gen(i)`
+    /// without materializing the generated array. Returns the total.
+    ///
+    /// `gen` must be pure — the blocked scan evaluates it twice per index
+    /// (once in the block-reduce pass, once in the downsweep).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n`.
+    pub fn map_scan_inclusive_into<T, G, F>(
+        &self,
+        n: usize,
+        gen: G,
+        out: &mut [T],
+        identity: T,
+        op: F,
+    ) -> T
+    where
+        T: ArenaPod,
+        G: Fn(usize) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert_eq!(out.len(), n, "map_scan: output length mismatch");
+        self.map_scan_into(n, gen, out, identity, &op, true)
+    }
+
+    /// Fused transform + exclusive scan (see
+    /// [`Device::map_scan_inclusive_into`]). Returns the total.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n`.
+    pub fn map_scan_exclusive_into<T, G, F>(
+        &self,
+        n: usize,
+        gen: G,
+        out: &mut [T],
+        identity: T,
+        op: F,
+    ) -> T
+    where
+        T: ArenaPod,
+        G: Fn(usize) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert_eq!(out.len(), n, "map_scan: output length mismatch");
+        self.map_scan_into(n, gen, out, identity, &op, false)
+    }
+
+    /// Pooled-scratch scan core: block sums/offsets come from the arena.
+    fn map_scan_into<T, G, F>(
+        &self,
+        n: usize,
+        gen: G,
+        out: &mut [T],
+        identity: T,
+        op: &F,
+        inclusive: bool,
+    ) -> T
+    where
+        T: ArenaPod,
+        G: Fn(usize) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let chunk = self.grid_chunk_len(n);
+        let blocks = if n == 0 { 0 } else { n.div_ceil(chunk) };
+        let mut block_scratch = self.alloc_pooled::<T>(2 * blocks);
+        let (block_sums, block_offsets) = block_scratch.split_at_mut(blocks);
+        self.scan_core(
+            n,
+            &gen,
+            out,
+            identity,
+            op,
+            inclusive,
+            block_sums,
+            block_offsets,
+        )
+    }
+
+    /// Vec-scratch scan used by the generic (non-pod) allocating wrappers.
+    fn scan_slice<T, F>(
+        &self,
+        input: &[T],
+        out: &mut [T],
+        identity: T,
+        op: &F,
+        inclusive: bool,
+    ) -> T
     where
         T: Copy + Send + Sync,
         F: Fn(T, T) -> T + Sync,
     {
         assert_eq!(input.len(), out.len(), "scan: input/output length mismatch");
         let n = input.len();
+        let chunk = self.grid_chunk_len(n);
+        let blocks = if n == 0 { 0 } else { n.div_ceil(chunk) };
+        let mut block_sums = vec![identity; blocks];
+        let mut block_offsets = vec![identity; blocks];
+        self.scan_core(
+            n,
+            &|i| input[i],
+            out,
+            identity,
+            op,
+            inclusive,
+            &mut block_sums,
+            &mut block_offsets,
+        )
+    }
+
+    /// The three-phase blocked scan over a generated source. Caller
+    /// supplies per-block scratch (`blocks` entries each).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_core<T, G, F>(
+        &self,
+        n: usize,
+        gen: &G,
+        out: &mut [T],
+        identity: T,
+        op: &F,
+        inclusive: bool,
+        block_sums: &mut [T],
+        block_offsets: &mut [T],
+    ) -> T
+    where
+        T: Copy + Send + Sync,
+        G: Fn(usize) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert_eq!(out.len(), n, "scan: output length mismatch");
         self.metrics().record_primitive();
         if n == 0 {
             return identity;
@@ -64,13 +226,13 @@ impl Device {
         if n <= self.config().seq_threshold {
             self.metrics().record_launch(n as u64);
             let mut acc = identity;
-            for i in 0..n {
+            for (i, slot) in out.iter_mut().enumerate() {
                 if inclusive {
-                    acc = op(acc, input[i]);
-                    out[i] = acc;
+                    acc = op(acc, gen(i));
+                    *slot = acc;
                 } else {
-                    out[i] = acc;
-                    acc = op(acc, input[i]);
+                    *slot = acc;
+                    acc = op(acc, gen(i));
                 }
             }
             return acc;
@@ -81,26 +243,28 @@ impl Device {
         // real worker count stays saturated.
         let chunk = self.grid_chunk_len(n);
         let blocks = n.div_ceil(chunk);
+        assert!(block_sums.len() >= blocks && block_offsets.len() >= blocks);
 
         // Phase 1 (parallel): reduce each block.
         self.metrics().record_launch(n as u64);
-        let mut block_sums = vec![identity; blocks];
         self.run(|| {
-            block_sums.par_iter_mut().enumerate().for_each(|(b, sum)| {
-                let start = b * chunk;
-                let end = usize::min(start + chunk, n);
-                let mut acc = identity;
-                for v in &input[start..end] {
-                    acc = op(acc, *v);
-                }
-                *sum = acc;
-            });
+            block_sums[..blocks]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(b, sum)| {
+                    let start = b * chunk;
+                    let end = usize::min(start + chunk, n);
+                    let mut acc = identity;
+                    for i in start..end {
+                        acc = op(acc, gen(i));
+                    }
+                    *sum = acc;
+                });
         });
 
         // Phase 2 (sequential, tiny): exclusive scan of block sums.
         self.metrics().record_launch(blocks as u64);
         let mut acc = identity;
-        let mut block_offsets = vec![identity; blocks];
         for b in 0..blocks {
             block_offsets[b] = acc;
             acc = op(acc, block_sums[b]);
@@ -109,6 +273,7 @@ impl Device {
 
         // Phase 3 (parallel): downsweep each block from its offset.
         self.metrics().record_launch(n as u64);
+        let block_offsets = &block_offsets[..blocks];
         self.run(|| {
             out.par_chunks_mut(chunk)
                 .enumerate()
@@ -116,7 +281,7 @@ impl Device {
                     let start = b * chunk;
                     let mut acc = block_offsets[b];
                     for (j, slot) in chunk_out.iter_mut().enumerate() {
-                        let v = input[start + j];
+                        let v = gen(start + j);
                         if inclusive {
                             acc = op(acc, v);
                             *slot = acc;
@@ -130,20 +295,26 @@ impl Device {
         total
     }
 
-    /// Convenience additive inclusive scan on `u64`.
+    /// Convenience additive inclusive scan on `u64` (pooled scratch).
     pub fn add_scan_inclusive_u64(&self, input: &[u64]) -> Vec<u64> {
-        self.scan_inclusive(input, 0u64, |a, b| a + b)
+        let mut out = vec![0u64; input.len()];
+        self.scan_inclusive_into(input, &mut out, 0u64, |a, b| a + b);
+        out
     }
 
-    /// Convenience additive exclusive scan on `u64`.
+    /// Convenience additive exclusive scan on `u64` (pooled scratch).
     pub fn add_scan_exclusive_u64(&self, input: &[u64]) -> Vec<u64> {
-        self.scan_exclusive(input, 0u64, |a, b| a + b)
+        let mut out = vec![0u64; input.len()];
+        self.scan_exclusive_into(input, &mut out, 0u64, |a, b| a + b);
+        out
     }
 
     /// Convenience additive inclusive scan on `i64` (used for ±1 level sums
-    /// along Euler tours).
+    /// along Euler tours; pooled scratch).
     pub fn add_scan_inclusive_i64(&self, input: &[i64]) -> Vec<i64> {
-        self.scan_inclusive(input, 0i64, |a, b| a + b)
+        let mut out = vec![0i64; input.len()];
+        self.scan_inclusive_into(input, &mut out, 0i64, |a, b| a + b);
+        out
     }
 }
 
@@ -246,6 +417,56 @@ mod tests {
         assert_eq!(out[0], 1);
         assert_eq!(out[1], 0);
         assert_eq!(*out.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating() {
+        let device = Device::new();
+        let input: Vec<u64> = (0..150_000).map(|i| (i * 13 + 5) % 97).collect();
+        let mut inc = vec![0u64; input.len()];
+        let t_inc = device.scan_inclusive_into(&input, &mut inc, 0, |a, b| a + b);
+        assert_eq!(inc, device.scan_inclusive(&input, 0, |a, b| a + b));
+        let mut exc = vec![0u64; input.len()];
+        let t_exc = device.scan_exclusive_into(&input, &mut exc, 0, |a, b| a + b);
+        let (exc_ref, total_ref) = device.scan_exclusive_with_total(&input, 0, |a, b| a + b);
+        assert_eq!(exc, exc_ref);
+        assert_eq!(t_exc, total_ref);
+        assert_eq!(t_inc, total_ref);
+    }
+
+    #[test]
+    fn map_scan_fuses_transform() {
+        let device = Device::new();
+        let n = 120_000;
+        // Reference: materialize then scan.
+        let materialized: Vec<u64> = (0..n as u64).map(|i| i % 7 + 1).collect();
+        let expect = device.add_scan_inclusive_u64(&materialized);
+        let mut fused = vec![0u64; n];
+        let total =
+            device.map_scan_inclusive_into(n, |i| (i as u64) % 7 + 1, &mut fused, 0, |a, b| a + b);
+        assert_eq!(fused, expect);
+        assert_eq!(total, *expect.last().unwrap());
+
+        let expect_exc = device.add_scan_exclusive_u64(&materialized);
+        let mut fused_exc = vec![0u64; n];
+        device.map_scan_exclusive_into(n, |i| (i as u64) % 7 + 1, &mut fused_exc, 0, |a, b| a + b);
+        assert_eq!(fused_exc, expect_exc);
+    }
+
+    #[test]
+    fn steady_state_scans_allocate_nothing() {
+        let device = Device::new();
+        let input: Vec<u64> = (0..200_000).collect();
+        let mut out = vec![0u64; input.len()];
+        // Warm the pool.
+        device.scan_inclusive_into(&input, &mut out, 0, |a, b| a + b);
+        let before = device.metrics().snapshot();
+        for _ in 0..5 {
+            device.scan_inclusive_into(&input, &mut out, 0, |a, b| a + b);
+        }
+        let d = device.metrics().snapshot().since(&before);
+        assert_eq!(d.bytes_allocated, 0, "steady-state scan must not allocate");
+        assert!(d.bytes_reused > 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! degrees, which matches the behaviour (not the micro-optimizations) of
 //! GPU segreduce kernels.
 
+use crate::arena::ArenaPod;
 use crate::device::Device;
 
 impl Device {
@@ -35,25 +36,77 @@ impl Device {
             !offsets.is_empty(),
             "segreduce: offsets must contain at least one boundary"
         );
+        let mut out = vec![T::default(); offsets.len() - 1];
+        self.segmented_reduce_into(values, offsets, identity, op, &mut out);
+        out
+    }
+
+    /// [`Device::segmented_reduce`] into a caller buffer of
+    /// `offsets.len() - 1` elements — the zero-allocation variant.
+    ///
+    /// # Panics
+    /// As [`Device::segmented_reduce`], plus a length check on `out`.
+    pub fn segmented_reduce_into<T, F>(
+        &self,
+        values: &[T],
+        offsets: &[u32],
+        identity: T,
+        op: F,
+        out: &mut [T],
+    ) where
+        T: Copy + Send + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
         assert_eq!(
-            *offsets.last().unwrap() as usize,
+            *offsets
+                .last()
+                .expect("segreduce: offsets must contain at least one boundary")
+                as usize,
             values.len(),
             "segreduce: last offset must equal values.len()"
         );
+        self.map_segmented_reduce_into(offsets, identity, |slot| values[slot], op, out);
+    }
+
+    /// Fused gather + segmented reduce: reduces, for each segment `s`, the
+    /// generated values `gen(offsets[s]) .. gen(offsets[s+1])` — without
+    /// materializing the per-slot value array. This is the paper's
+    /// "per-node extremes of non-tree neighbor preorders" shape: the CSR
+    /// adjacency provides the segments and `gen` computes each slot's
+    /// contribution on the fly.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is empty or non-monotone, or if
+    /// `out.len() + 1 != offsets.len()`.
+    pub fn map_segmented_reduce_into<T, G, F>(
+        &self,
+        offsets: &[u32],
+        identity: T,
+        gen: G,
+        op: F,
+        out: &mut [T],
+    ) where
+        T: Copy + Send + Sync,
+        G: Fn(usize) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        assert!(
+            !offsets.is_empty(),
+            "segreduce: offsets must contain at least one boundary"
+        );
         let segments = offsets.len() - 1;
+        assert_eq!(out.len(), segments, "segreduce: output length mismatch");
         self.metrics().record_primitive();
-        let mut out = vec![T::default(); segments];
-        self.map(&mut out, |s| {
+        self.map(out, |s| {
             let start = offsets[s] as usize;
             let end = offsets[s + 1] as usize;
             assert!(start <= end, "segreduce: offsets must be monotone");
             let mut acc = identity;
-            for v in &values[start..end] {
-                acc = op(acc, *v);
+            for slot in start..end {
+                acc = op(acc, gen(slot));
             }
             acc
         });
-        out
     }
 
     /// Per-segment minimum of `u32` values (`u32::MAX` for empty segments).
@@ -70,10 +123,11 @@ impl Device {
     ///
     /// `out[i]` is the `op`-prefix (seeded with `identity`) of the segment
     /// containing `i`, up to and including `i`. Implemented as the classic
-    /// *flagged scan*: the global generic scan runs over `(head_flag,
-    /// value)` pairs whose combiner resets accumulation at segment heads —
-    /// head flags being the associativity trick that makes segmented scans
-    /// a single unsegmented scan.
+    /// *flagged scan*: the fused map-scan runs over `(head_flag, value)`
+    /// pairs whose combiner resets accumulation at segment heads — head
+    /// flags being the associativity trick that makes segmented scans a
+    /// single unsegmented scan. Head flags and the pair array come from
+    /// the device arena.
     ///
     /// # Panics
     /// Same contract as [`Device::segmented_reduce`].
@@ -85,7 +139,7 @@ impl Device {
         op: F,
     ) -> Vec<T>
     where
-        T: Copy + Send + Sync + Default,
+        T: ArenaPod + Default,
         F: Fn(T, T) -> T + Sync,
     {
         assert!(
@@ -101,25 +155,33 @@ impl Device {
         if n == 0 {
             return Vec::new();
         }
-        // Head flags from the segment boundaries (skip empty segments and
-        // the terminal boundary).
-        let mut head = vec![false; n];
+        // Head flags (1 at the first slot of every non-empty segment).
+        let mut head = self.alloc_filled(n, 0u32);
         for w in offsets.windows(2) {
             if w[0] < w[1] {
-                head[w[0] as usize] = true;
+                head[w[0] as usize] = 1;
             }
         }
-        debug_assert!(head[0], "first non-empty segment must start at 0");
-        let head_ref = &head;
-        let pairs: Vec<(bool, T)> = (0..n).map(|i| (head_ref[i], values[i])).collect();
-        let scanned = self.scan_inclusive(&pairs, (false, identity), |a, b| {
-            if b.0 {
-                b
-            } else {
-                (a.0, op(a.1, b.1))
-            }
-        });
-        scanned.into_iter().map(|(_, v)| v).collect()
+        debug_assert_eq!(head[0], 1, "first non-empty segment must start at 0");
+        let head = &head;
+        let mut scanned = self.alloc_pooled::<(u32, T)>(n);
+        self.map_scan_inclusive_into(
+            n,
+            |i| (head[i], values[i]),
+            &mut scanned,
+            (0u32, identity),
+            |a, b| {
+                if b.0 == 1 {
+                    b
+                } else {
+                    (a.0, op(a.1, b.1))
+                }
+            },
+        );
+        let scanned = &scanned;
+        let mut out = vec![T::default(); n];
+        self.map(&mut out, |i| scanned[i].1);
+        out
     }
 
     /// Per-segment inclusive sums of `u64` values.

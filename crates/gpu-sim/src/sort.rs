@@ -11,6 +11,7 @@
 //! types, ping-ponging between the caller's buffer and a single scratch
 //! allocation.
 
+use crate::arena::ArenaPod;
 use crate::device::{Device, SharedSlice};
 use rayon::prelude::*;
 
@@ -18,7 +19,7 @@ const RADIX_BITS: u32 = 8;
 const BUCKETS: usize = 1 << RADIX_BITS;
 
 /// An unsigned key type the radix core can digit-decompose.
-trait RadixKey: Copy + Ord + Default + Send + Sync {
+trait RadixKey: ArenaPod + Ord + Default {
     /// Key width in bits (bounds the pass count).
     const BITS: u32;
     /// The 8-bit digit at `shift`.
@@ -87,10 +88,21 @@ impl Device {
     /// Returns the permutation that sorts `keys`: `perm[rank] = original
     /// index`. `keys` itself is left untouched.
     pub fn argsort_u64(&self, keys: &[u64]) -> Vec<u32> {
-        let mut k = keys.to_vec();
-        let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
-        self.sort_pairs_u64_u32(&mut k, &mut perm);
+        let mut perm = vec![0u32; keys.len()];
+        self.argsort_u64_into(keys, &mut perm);
         perm
+    }
+
+    /// [`Device::argsort_u64`] into a caller buffer; the working key copy
+    /// comes from the device arena (zero allocation at steady state).
+    ///
+    /// # Panics
+    /// Panics if `perm.len() != keys.len()`.
+    pub fn argsort_u64_into(&self, keys: &[u64], perm: &mut [u32]) {
+        assert_eq!(perm.len(), keys.len(), "argsort: perm length mismatch");
+        let mut k = self.alloc_copied(keys);
+        self.map(perm, |i| i as u32);
+        self.sort_pairs_u64_u32(&mut k, perm);
     }
 
     fn radix_sort(&self, keys: &mut [u64], vals: Option<&mut [u32]>) {
@@ -103,10 +115,9 @@ impl Device {
             self.metrics().record_launch(n as u64);
             match vals {
                 Some(vals) => {
-                    let mut zipped: Vec<(u64, u32)> =
-                        keys.iter().copied().zip(vals.iter().copied()).collect();
+                    let mut zipped = self.alloc_pooled_map(n, |i| (keys[i], vals[i]));
                     zipped.sort_by_key(|p| p.0); // stable
-                    for (i, (k, v)) in zipped.into_iter().enumerate() {
+                    for (i, &(k, v)) in zipped.iter().enumerate() {
                         keys[i] = k;
                         vals[i] = v;
                     }
@@ -122,6 +133,8 @@ impl Device {
     /// exclusive offset scan, and a stable scatter per 8-bit pass,
     /// ping-ponging `keys` (and the optional payload) against one scratch
     /// buffer each. Passes above the maximum key's top digit are skipped.
+    /// All scratch (ping-pong buffers, histograms, offsets) comes from the
+    /// device arena, so repeated sorts allocate nothing at steady state.
     fn radix_passes<K: RadixKey>(&self, keys: &mut [K], mut vals: Option<&mut [u32]>) {
         let n = keys.len();
         let max_key = self.reduce(keys, K::default(), |a, b| a.max(b));
@@ -131,9 +144,10 @@ impl Device {
         let chunk = self.grid_chunk_len(n);
         let nchunks = n.div_ceil(chunk);
 
-        let mut scratch_k = vec![K::default(); n];
-        let mut scratch_v = vec![0u32; if vals.is_some() { n } else { 0 }];
-        let mut hist = vec![0u32; nchunks * BUCKETS];
+        let mut scratch_k = self.alloc_pooled::<K>(n);
+        let mut scratch_v = self.alloc_pooled::<u32>(if vals.is_some() { n } else { 0 });
+        let mut hist = self.alloc_pooled::<u32>(nchunks * BUCKETS);
+        let mut offsets = self.alloc_pooled::<u32>(nchunks * BUCKETS);
         let mut in_keys = true; // where the current source lives
 
         for pass in 0..passes {
@@ -164,9 +178,9 @@ impl Device {
             });
 
             // Column-major exclusive scan: running offset for (digit, chunk).
-            // Tiny (nchunks * 256 entries) — done sequentially.
+            // Tiny (nchunks * 256 entries) — done sequentially, fully
+            // rewritten each pass so the pooled buffer needs no reset.
             self.metrics().record_launch((nchunks * BUCKETS) as u64);
-            let mut offsets = vec![0u32; nchunks * BUCKETS];
             let mut acc = 0u32;
             for d in 0..BUCKETS {
                 for c in 0..nchunks {

@@ -19,6 +19,7 @@ fn device(threads: usize) -> Device {
         block_size: 1024,
         seq_threshold: 512,
         launch_overhead: None,
+        pooling: true,
     })
 }
 

@@ -17,6 +17,7 @@ fn stress_device(threads: usize) -> Device {
         block_size: 128, // many small blocks → many claim races
         seq_threshold: 0,
         launch_overhead: None,
+        pooling: true,
     })
 }
 
@@ -87,6 +88,7 @@ fn four_workers_run_blocks_concurrently() {
         block_size: 1,
         seq_threshold: 0,
         launch_overhead: None,
+        pooling: true,
     });
     assert_eq!(device.worker_threads(), 4);
     let barrier = Barrier::new(4);

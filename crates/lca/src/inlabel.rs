@@ -209,9 +209,10 @@ impl InlabelTables {
             });
         }
 
-        // Inlabel-tree parent pointers and per-inlabel seed bits.
-        let mut ipar = vec![INVALID_NODE; n + 1];
-        let mut asc = vec![0u32; n + 1];
+        // Inlabel-tree parent pointers and per-inlabel seed bits: round
+        // buffers for the pointer jumping below, all from the device arena.
+        let mut ipar = device.alloc_filled(n + 1, INVALID_NODE);
+        let mut asc = device.alloc_filled(n + 1, 0u32);
         {
             let ipar_shared = SharedSlice::new(&mut ipar);
             let asc_shared = SharedSlice::new(&mut asc);
@@ -234,8 +235,8 @@ impl InlabelTables {
 
         // Pointer jumping over the (≤ 32-deep) inlabel tree.
         let mut ptr = ipar;
-        let mut asc_new = vec![0u32; n + 1];
-        let mut ptr_new = vec![0u32; n + 1];
+        let mut asc_new = device.alloc_pooled::<u32>(n + 1);
+        let mut ptr_new = device.alloc_pooled::<u32>(n + 1);
         for _ in 0..ASCENDANT_JUMP_ROUNDS {
             device.map(&mut asc_new, |l| {
                 let p = ptr[l];

@@ -20,6 +20,7 @@ fn device(threads: usize) -> Device {
         block_size: 1024,
         seq_threshold: 256,
         launch_overhead: None,
+        pooling: true,
     })
 }
 

@@ -300,8 +300,22 @@ fn emit_json(
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
+    // Derived throughput (per-second rates off the mean) so sweep records
+    // are comparable across input scales without post-processing.
     let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!(
+                ",\"elements\":{n},\"elems_per_sec\":{:.1}",
+                n as f64 / (mean_ns * 1e-9)
+            )
+        }
         Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!(
+                ",\"bytes\":{n},\"bytes_per_sec\":{:.1}",
+                n as f64 / (mean_ns * 1e-9)
+            )
+        }
         Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
         None => String::new(),
     };
@@ -451,6 +465,8 @@ mod tests {
         assert!(lines[0].contains("\"bench\":\"bench/1024\""));
         assert!(lines[0].contains("\"median_ns\":1234.5"));
         assert!(lines[0].contains("\"elements\":1024"));
+        // 1024 elements / 1300 ns mean = ~787.7M elements per second.
+        assert!(lines[0].contains("\"elems_per_sec\":787692307.7"));
         assert!(lines[1].contains("\"bench\":\"plain\""));
         assert!(!lines[1].contains("elements"));
         let _ = std::fs::remove_file(&path);
