@@ -1,0 +1,6 @@
+//! Sanitizer-plane sweep: per-mode overhead (off/memcheck/initcheck/
+//! racecheck/full) on bridges, tour+stats, and inlabel-LCA pipelines.
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::sanitize_sweep::run(&cfg);
+}

@@ -14,6 +14,7 @@ pub mod forest_sweep;
 pub mod io_sweep;
 pub mod mem_sweep;
 pub mod prelim_rmq;
+pub mod sanitize_sweep;
 pub mod table1;
 
 pub(crate) mod lca_common;

@@ -9,6 +9,7 @@
 //! evaluation completes on a laptop-class machine; pass `--scale 1` to run
 //! the original sizes given enough memory and patience.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -31,7 +31,6 @@ use crate::cc::connected_components;
 use crate::result::BridgesError;
 use crate::segment_tree::{SegOp, SegmentTree};
 use euler_tour::{EulerTour, TreeStats};
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::bitset::BitSet;
 use graph_core::ids::NodeId;
@@ -99,13 +98,14 @@ pub fn bcc_tv(device: &Device, graph: &EdgeList, csr: &Csr) -> Result<BccResult,
         return Err(BridgesError::Disconnected);
     }
     let tree_edge_ids = cc.tree_edges;
-    let mut is_tree = vec![false; m];
+    let mut is_tree = vec![0u8; m];
     {
-        let tree_shared = SharedSlice::new(&mut is_tree);
+        let _k = device.kernel_label("bcc_flag_tree_edges");
+        // Tree edge ids are distinct, so each slot has one writer.
+        let tree_shared = device.shared(&mut is_tree);
         let ids = &tree_edge_ids;
         device.for_each(ids.len(), |i| {
-            // SAFETY: tree edge ids are distinct.
-            unsafe { tree_shared.write(ids[i] as usize, true) };
+            tree_shared.write(ids[i] as usize, 1u8);
         });
     }
     phases.push(("spanning_tree".to_string(), t0.elapsed()));
@@ -135,7 +135,7 @@ pub fn bcc_tv(device: &Device, graph: &EdgeList, csr: &Csr) -> Result<BccResult,
             let e = edge_ids[s] as usize;
             let (x, y) = edges[e];
             // Self-loops never witness an escape; treat as identity.
-            if is_tree_ref[e] || x == y {
+            if is_tree_ref[e] == 1 || x == y {
                 None
             } else {
                 Some(pre[neighbors[s] as usize])
@@ -150,17 +150,16 @@ pub fn bcc_tv(device: &Device, graph: &EdgeList, csr: &Csr) -> Result<BccResult,
     let mut by_pre_min = vec![u32::MAX; n];
     let mut by_pre_max = vec![0u32; n];
     {
-        let min_shared = SharedSlice::new(&mut by_pre_min);
-        let max_shared = SharedSlice::new(&mut by_pre_max);
+        let _k = device.kernel_label("bcc_permute_by_preorder");
+        // Preorder is a permutation of 1..=n, so each slot has one writer.
+        let min_shared = device.shared(&mut by_pre_min);
+        let max_shared = device.shared(&mut by_pre_max);
         let node_min_ref = &node_min;
         let node_max_ref = &node_max;
         device.for_each(n, |v| {
             let slot = (pre[v] - 1) as usize;
-            // SAFETY: preorder is a permutation of 1..=n.
-            unsafe {
-                min_shared.write(slot, node_min_ref[v]);
-                max_shared.write(slot, node_max_ref[v]);
-            }
+            min_shared.write(slot, node_min_ref[v]);
+            max_shared.write(slot, node_max_ref[v]);
         });
     }
     let min_tree = SegmentTree::build(device, &by_pre_min, SegOp::Min);
@@ -185,7 +184,7 @@ pub fn bcc_tv(device: &Device, graph: &EdgeList, csr: &Csr) -> Result<BccResult,
 
     // Rule 1: unrelated non-tree edges join their parent tree edges.
     let rule1_ids = device.compact_indices(m, |e| {
-        if is_tree[e] {
+        if is_tree[e] == 1 {
             return false;
         }
         let (x, y) = edges[e];

@@ -7,7 +7,6 @@
 //! round expands the current frontier, claims unvisited neighbors with
 //! atomic CAS, and compacts the winners into the next frontier.
 
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::ids::{EdgeId, NodeId, INVALID_NODE};
 use graph_core::Csr;
@@ -111,12 +110,16 @@ pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
     if n == 0 {
         return empty_tree(root);
     }
-    let claims: Vec<std::sync::atomic::AtomicU64> = (0..n)
-        .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
-        .collect();
-    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
-    levels[root as usize].store(0, Ordering::Relaxed);
-    claims[root as usize].store(pack_claim(INVALID_NODE, u32::MAX), Ordering::Relaxed);
+    let mut claims_buf = device.alloc_filled(n, u64::MAX);
+    let claims = device
+        .atomic_u64(&mut claims_buf)
+        .benign("claim CAS: exactly one winner per node, losers observe the failure");
+    let mut levels_buf = device.alloc_filled(n, u32::MAX);
+    let levels = device
+        .atomic_u32(&mut levels_buf)
+        .benign("early-exit level probe: the claim CAS is authoritative, stale reads cost a retry");
+    levels.store(root as usize, 0);
+    claims.store(root as usize, pack_claim(INVALID_NODE, u32::MAX));
 
     let mut frontier = vec![root];
     let mut depth = 0u32;
@@ -127,7 +130,10 @@ pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
         let mut next = vec![0 as NodeId; degree_sum];
         let count = AtomicUsize::new(0);
         {
-            let next_shared = SharedSlice::new(&mut next);
+            let _k = device.kernel_label("bfs_expand");
+            // fetch_add hands out unique slots; the degree sum bounds the
+            // capacity.
+            let next_shared = device.shared(&mut next);
             let frontier_ref = &frontier;
             let claims_ref = &claims;
             let levels_ref = &levels;
@@ -135,23 +141,16 @@ pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
             device.for_each(frontier.len(), |i| {
                 let u = frontier_ref[i];
                 for (w, eid) in csr.incident(u) {
-                    if levels_ref[w as usize].load(Ordering::Relaxed) != u32::MAX {
+                    if levels_ref.load(w as usize) != u32::MAX {
                         continue;
                     }
-                    if claims_ref[w as usize]
-                        .compare_exchange(
-                            u64::MAX,
-                            pack_claim(u, eid),
-                            Ordering::Relaxed,
-                            Ordering::Relaxed,
-                        )
+                    if claims_ref
+                        .compare_exchange(w as usize, u64::MAX, pack_claim(u, eid))
                         .is_ok()
                     {
-                        levels_ref[w as usize].store(depth, Ordering::Relaxed);
+                        levels_ref.store(w as usize, depth);
                         let pos = count_ref.fetch_add(1, Ordering::Relaxed);
-                        // SAFETY: fetch_add hands out unique slots; capacity
-                        // bounds by the degree sum.
-                        unsafe { next_shared.write(pos, w) };
+                        next_shared.write(pos, w);
                     }
                 }
             });
@@ -163,20 +162,19 @@ pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
     let mut parent = vec![INVALID_NODE; n];
     let mut parent_edge = vec![u32::MAX; n];
     let mut level = vec![u32::MAX; n];
-    device.map(&mut level, |v| levels[v].load(Ordering::Relaxed));
+    device.map(&mut level, |v| levels.load(v));
     {
-        let parent_shared = SharedSlice::new(&mut parent);
-        let pe_shared = SharedSlice::new(&mut parent_edge);
+        let _k = device.kernel_label("bfs_assign_parents");
+        // One write per node.
+        let parent_shared = device.shared(&mut parent);
+        let pe_shared = device.shared(&mut parent_edge);
         let claims_ref = &claims;
         let level_ref = &level;
         device.for_each(n, |v| {
             if level_ref[v] != u32::MAX && v != root as usize {
-                let c = claims_ref[v].load(Ordering::Relaxed);
-                // SAFETY: one write per node.
-                unsafe {
-                    parent_shared.write(v, (c >> 32) as NodeId);
-                    pe_shared.write(v, c as EdgeId);
-                }
+                let c = claims_ref.load(v);
+                parent_shared.write(v, (c >> 32) as NodeId);
+                pe_shared.write(v, c as EdgeId);
             }
         });
     }

@@ -10,10 +10,9 @@
 //! corresponds to one edge that joined two components — those edges form
 //! the spanning forest.
 
-use gpu_sim::Device;
+use gpu_sim::{AtomicViewU32, Device};
 use graph_core::ids::{EdgeId, NodeId};
 use graph_core::EdgeList;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Output of [`connected_components`].
 #[derive(Debug, Clone)]
@@ -34,22 +33,21 @@ impl ConnectedComponents {
     }
 }
 
-/// Find with path halving over an atomic parent array. Shared with the
-/// edge-sampling builders in [`crate::forest`].
+/// Find with path halving over a tracked atomic parent view. Shared with
+/// the edge-sampling builders in [`crate::forest`].
 #[inline]
-pub(crate) fn find(parent: &[AtomicU32], mut v: u32) -> u32 {
+pub(crate) fn find(parent: &AtomicViewU32<'_>, mut v: u32) -> u32 {
     loop {
-        let p = parent[v as usize].load(Ordering::Relaxed);
+        let p = parent.load(v as usize);
         if p == v {
             return v;
         }
-        let gp = parent[p as usize].load(Ordering::Relaxed);
+        let gp = parent.load(p as usize);
         if gp == p {
             return p;
         }
         // Intermediate pointer jumping: shortcut v toward its grandparent.
-        let _ =
-            parent[v as usize].compare_exchange_weak(p, gp, Ordering::Relaxed, Ordering::Relaxed);
+        let _ = parent.compare_exchange_weak(v as usize, p, gp);
         v = gp;
     }
 }
@@ -59,7 +57,13 @@ pub(crate) fn find(parent: &[AtomicU32], mut v: u32) -> u32 {
 /// Shared with the Afforest-style builder in [`crate::forest`], which runs
 /// the same hook over sampled and filtered edge subsets.
 #[inline]
-pub(crate) fn hook_min(parent: &[AtomicU32], tree_flag: &[AtomicU32], e: usize, u: u32, v: u32) {
+pub(crate) fn hook_min(
+    parent: &AtomicViewU32<'_>,
+    tree_flag: &AtomicViewU32<'_>,
+    e: usize,
+    u: u32,
+    v: u32,
+) {
     if u == v {
         return;
     }
@@ -70,11 +74,8 @@ pub(crate) fn hook_min(parent: &[AtomicU32], tree_flag: &[AtomicU32], e: usize, 
             return;
         }
         let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
-        if parent[hi as usize]
-            .compare_exchange(hi, lo, Ordering::Relaxed, Ordering::Relaxed)
-            .is_ok()
-        {
-            tree_flag[e].store(1, Ordering::Relaxed);
+        if parent.compare_exchange(hi as usize, hi, lo).is_ok() {
+            tree_flag.store(e, 1);
             return;
         }
         // Lost the race; re-find and retry.
@@ -90,25 +91,31 @@ pub fn connected_components(device: &Device, graph: &EdgeList) -> ConnectedCompo
 
     let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
     let mut tree_flag_buf = device.alloc_filled(m, 0u32);
-    let parent = gpu_sim::as_atomic_u32(&mut parent_buf);
-    let tree_flag = gpu_sim::as_atomic_u32(&mut tree_flag_buf);
+    let parent = device
+        .atomic_u32(&mut parent_buf)
+        .benign("union-find hooking: any CAS winner yields a valid forest, losers re-find");
+    let tree_flag = device.atomic_u32(&mut tree_flag_buf);
 
     // Hooking phase: one virtual thread per edge.
     {
+        let _k = device.kernel_label("cc_hook");
         let edges = graph.edges();
         device.for_each(m, |e| {
             let (u, v) = edges[e];
-            hook_min(parent, tree_flag, e, u, v);
+            hook_min(&parent, &tree_flag, e, u, v);
         });
     }
 
     // Flatten: every node points at its root.
     let mut representative = vec![0 as NodeId; n];
-    device.map(&mut representative, |v| find(parent, v as u32));
+    {
+        let _k = device.kernel_label("cc_flatten");
+        device.map(&mut representative, |v| find(&parent, v as u32));
+    }
 
     // Collect spanning forest edges in id order.
-    let tree_edges: Vec<EdgeId> =
-        device.compact_indices(m, |e| tree_flag[e].load(Ordering::Relaxed) == 1);
+    let _k = device.kernel_label("cc_collect_tree");
+    let tree_edges: Vec<EdgeId> = device.compact_indices(m, |e| tree_flag.load(e) == 1);
 
     let num_components = n - tree_edges.len();
 

@@ -76,15 +76,16 @@ pub fn bridges_ck_device(
     phases.push(("bfs".to_string(), t0.elapsed()));
 
     let t1 = Instant::now();
-    let mut is_tree = vec![false; m];
+    let mut is_tree = device.alloc_filled(m, 0u8);
     {
-        let tree_shared = gpu_sim::device::SharedSlice::new(&mut is_tree);
+        let _k = device.kernel_label("ck_flag_tree_edges");
+        // Each node's parent edge is distinct, so each slot has one writer.
+        let tree_shared = device.shared(&mut is_tree);
         let pe = &tree.parent_edge;
         device.for_each(n, |v| {
             let e = pe[v];
             if e != u32::MAX {
-                // SAFETY: each node's parent edge is distinct.
-                unsafe { tree_shared.write(e as usize, true) };
+                tree_shared.write(e as usize, 1u8);
             }
         });
     }
@@ -95,7 +96,7 @@ pub fn bridges_ck_device(
         let marked_ref = &marked;
         let is_tree_ref = &is_tree;
         device.for_each(m, |e| {
-            if is_tree_ref[e] {
+            if is_tree_ref[e] == 1 {
                 return;
             }
             let (u, v) = edges[e];

@@ -31,11 +31,10 @@
 //! | `adaptive` | [`AdaptiveBuilder`]        | picks one of the above from a cheap [`GraphShape`] probe |
 
 use crate::cc::{self, find, hook_min};
-use gpu_sim::device::SharedSlice;
-use gpu_sim::Device;
+use gpu_sim::{AtomicViewU32, AtomicViewU64, Device};
 use graph_core::ids::{EdgeId, NodeId, INVALID_NODE};
 use graph_core::{Csr, EdgeList};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// An unrooted spanning forest: the tree-edge set plus component structure.
 /// This is the cheap stage — everything the bridge pipelines need.
@@ -260,27 +259,28 @@ fn expand_frontier<'d>(
     device: &'d Device,
     csr: &Csr,
     frontier: &[NodeId],
-    claims: &[AtomicU64],
+    claims: &AtomicViewU64<'_>,
     on_claim: impl Fn(NodeId) + Sync,
 ) -> gpu_sim::ArenaVec<'d, NodeId> {
     let degree_sum: usize = frontier.iter().map(|&u| csr.degree(u)).sum();
     let mut next = device.alloc_pooled::<NodeId>(degree_sum);
     let count = AtomicUsize::new(0);
     {
-        let next_shared = SharedSlice::new(&mut next);
+        let _k = device.kernel_label("expand_frontier");
+        // fetch_add hands out unique slots, so each element has exactly one
+        // writer; the degree sum bounds the capacity.
+        let next_shared = device.shared(&mut next);
         let count_ref = &count;
         device.for_each(frontier.len(), |i| {
             let u = frontier[i];
             for (w, eid) in csr.incident(u) {
-                if claims[w as usize]
-                    .compare_exchange(u64::MAX, pack(u, eid), Ordering::Relaxed, Ordering::Relaxed)
+                if claims
+                    .compare_exchange(w as usize, u64::MAX, pack(u, eid))
                     .is_ok()
                 {
                     on_claim(w);
                     let pos = count_ref.fetch_add(1, Ordering::Relaxed);
-                    // SAFETY: fetch_add hands out unique slots; the degree
-                    // sum bounds the capacity.
-                    unsafe { next_shared.write(pos, w) };
+                    next_shared.write(pos, w);
                 }
             }
         });
@@ -307,33 +307,34 @@ fn root_forest(
     let sub_csr = Csr::from_edge_list(&sub);
 
     let mut claims_buf = device.alloc_filled(n, u64::MAX);
-    let claims = gpu_sim::as_atomic_u64(&mut claims_buf);
+    let claims = device
+        .atomic_u64(&mut claims_buf)
+        .benign("claim CAS: exactly one winner per node, losers observe the failure");
     let mut frontier = device.compact_indices_pooled(n, |v| representative[v] == v as u32);
     for &r in frontier.iter() {
         // Any non-MAX value marks the roots claimed; their slots are never
         // read back (roots keep INVALID_NODE / u32::MAX markers).
-        claims[r as usize].store(pack(r, 0), Ordering::Relaxed);
+        claims.store(r as usize, pack(r, 0));
     }
     while !frontier.is_empty() {
-        frontier = expand_frontier(device, &sub_csr, &frontier, claims, |_| {});
+        frontier = expand_frontier(device, &sub_csr, &frontier, &claims, |_| {});
     }
 
     let mut parent = vec![INVALID_NODE; n];
     let mut parent_edge = vec![u32::MAX; n];
     {
-        let parent_shared = SharedSlice::new(&mut parent);
-        let pe_shared = SharedSlice::new(&mut parent_edge);
-        let claims_ref = claims;
+        let _k = device.kernel_label("root_forest_assign");
+        // One write per node; the low word is the sub-graph edge id, mapped
+        // back to the original id through `ids`.
+        let parent_shared = device.shared(&mut parent);
+        let pe_shared = device.shared(&mut parent_edge);
+        let claims_ref = &claims;
         let ids = tree_edge_ids;
         device.for_each(n, |v| {
             if representative[v] != v as u32 {
-                let c = claims_ref[v].load(Ordering::Relaxed);
-                // SAFETY: one write per node; the low word is the sub-graph
-                // edge id, mapped back to the original id through `ids`.
-                unsafe {
-                    parent_shared.write(v, (c >> 32) as NodeId);
-                    pe_shared.write(v, ids[c as u32 as usize]);
-                }
+                let c = claims_ref.load(v);
+                parent_shared.write(v, (c >> 32) as NodeId);
+                pe_shared.write(v, ids[c as u32 as usize]);
             }
         });
     }
@@ -344,11 +345,16 @@ fn root_forest(
 fn representatives_from_labels(device: &Device, labels: &[u32]) -> Vec<NodeId> {
     let n = labels.len();
     let mut min_buf = device.alloc_filled(n, u32::MAX);
-    let min = gpu_sim::as_atomic_u32(&mut min_buf);
-    device.for_each(n, |v| {
-        min[labels[v] as usize].fetch_min(v as u32, Ordering::Relaxed);
-    });
-    device.alloc_map(n, |v| min[labels[v] as usize].load(Ordering::Relaxed))
+    let min = device
+        .atomic_u32(&mut min_buf)
+        .benign("per-component minimum: fetch_min commutes, any arrival order converges");
+    {
+        let _k = device.kernel_label("representative_min");
+        device.for_each(n, |v| {
+            min.fetch_min(labels[v] as usize, v as u32);
+        });
+    }
+    device.alloc_map(n, |v| min.load(labels[v] as usize))
 }
 
 /// Finishes a hooking-style builder: compacts the tree-edge flags and
@@ -357,12 +363,11 @@ fn unrooted_from_labels(
     device: &Device,
     graph: &EdgeList,
     labels: &[u32],
-    tree_flag: &[AtomicU32],
+    tree_flag: &AtomicViewU32<'_>,
 ) -> UnrootedForest {
     let representative = representatives_from_labels(device, labels);
-    let tree_edges: Vec<EdgeId> = device.compact_indices(graph.num_edges(), |e| {
-        tree_flag[e].load(Ordering::Relaxed) == 1
-    });
+    let tree_edges: Vec<EdgeId> =
+        device.compact_indices(graph.num_edges(), |e| tree_flag.load(e) == 1);
     let num_components = graph.num_nodes() - tree_edges.len();
     UnrootedForest {
         tree_edges,
@@ -401,31 +406,33 @@ impl BfsBuilder {
     fn bfs_forest(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> SpanningForest {
         let n = graph.num_nodes();
         let mut claims_buf = device.alloc_filled(n, u64::MAX);
-        let claims = gpu_sim::as_atomic_u64(&mut claims_buf);
+        let claims = device
+            .atomic_u64(&mut claims_buf)
+            .benign("claim CAS: exactly one winner per node, losers observe the failure");
         let mut representative = vec![INVALID_NODE; n];
         let mut num_components = 0usize;
         {
-            let rep_shared = SharedSlice::new(&mut representative);
+            // Every node is claimed (and written) exactly once.
+            let rep_shared = device.shared(&mut representative);
             let rep_ref = &rep_shared;
             let mut cursor = 0usize;
             while cursor < n {
-                if claims[cursor].load(Ordering::Relaxed) != u64::MAX {
+                if claims.load(cursor) != u64::MAX {
                     cursor += 1;
                     continue;
                 }
                 // The scan pointer only moves forward, so each seed is the
                 // smallest unvisited node — the component's representative.
                 let root = cursor as u32;
-                claims[root as usize].store(pack(root, 0), Ordering::Relaxed);
-                // SAFETY: every node is claimed (and written) exactly once.
-                unsafe { rep_ref.write(root as usize, root) };
+                claims.store(root as usize, pack(root, 0));
+                rep_ref.write(root as usize, root);
                 num_components += 1;
                 let mut frontier = device.alloc_filled(1, root);
                 while !frontier.is_empty() {
-                    frontier = expand_frontier(device, csr, &frontier, claims, |w| {
-                        // SAFETY: the winning CAS claims w for exactly one
-                        // virtual thread.
-                        unsafe { rep_ref.write(w as usize, root) };
+                    frontier = expand_frontier(device, csr, &frontier, &claims, |w| {
+                        // The winning CAS claims w for exactly one virtual
+                        // thread.
+                        rep_ref.write(w as usize, root);
                     });
                 }
             }
@@ -433,31 +440,31 @@ impl BfsBuilder {
         let mut parent = vec![INVALID_NODE; n];
         let mut parent_edge = vec![u32::MAX; n];
         {
-            let parent_shared = SharedSlice::new(&mut parent);
-            let pe_shared = SharedSlice::new(&mut parent_edge);
-            let claims_ref = claims;
+            let _k = device.kernel_label("bfs_assign_parents");
+            // One write per node.
+            let parent_shared = device.shared(&mut parent);
+            let pe_shared = device.shared(&mut parent_edge);
+            let claims_ref = &claims;
             let rep_ref = &representative;
             device.for_each(n, |v| {
                 if rep_ref[v] != v as u32 {
-                    let c = claims_ref[v].load(Ordering::Relaxed);
-                    // SAFETY: one write per node.
-                    unsafe {
-                        parent_shared.write(v, (c >> 32) as NodeId);
-                        pe_shared.write(v, c as u32);
-                    }
+                    let c = claims_ref.load(v);
+                    parent_shared.write(v, (c >> 32) as NodeId);
+                    pe_shared.write(v, c as u32);
                 }
             });
         }
         let mut flag = device.alloc_filled(graph.num_edges(), 0u8);
         {
-            let flag_shared = SharedSlice::new(&mut flag);
+            let _k = device.kernel_label("bfs_flag_tree_edges");
+            // Each tree edge is the parent edge of exactly one node (its
+            // child endpoint).
+            let flag_shared = device.shared(&mut flag);
             let pe = &parent_edge;
             device.for_each(n, |v| {
                 let e = pe[v];
                 if e != u32::MAX {
-                    // SAFETY: each tree edge is the parent edge of exactly
-                    // one node (its child endpoint).
-                    unsafe { flag_shared.write(e as usize, 1u8) };
+                    flag_shared.write(e as usize, 1u8);
                 }
             });
         }
@@ -510,22 +517,25 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
         let m = graph.num_edges();
         let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
         let mut tree_flag_buf = device.alloc_filled(m, 0u32);
-        let parent = gpu_sim::as_atomic_u32(&mut parent_buf);
-        let tree_flag = gpu_sim::as_atomic_u32(&mut tree_flag_buf);
+        let parent = device
+            .atomic_u32(&mut parent_buf)
+            .benign("SV hooking/shortcutting: monotone CAS winners and converging jumps");
+        let tree_flag = device.atomic_u32(&mut tree_flag_buf);
         let edges = graph.edges();
 
         let mut round = 0usize;
         loop {
             // Shortcut until every tree is a star (pointer jumping).
             loop {
+                let _k = device.kernel_label("sv_shortcut");
                 let changed = AtomicBool::new(false);
-                let parent_ref = parent;
+                let parent_ref = &parent;
                 let changed_ref = &changed;
                 device.for_each(n, |v| {
-                    let p = parent_ref[v].load(Ordering::Relaxed);
-                    let gp = parent_ref[p as usize].load(Ordering::Relaxed);
+                    let p = parent_ref.load(v);
+                    let gp = parent_ref.load(p as usize);
                     if gp != p {
-                        parent_ref[v].store(gp, Ordering::Relaxed);
+                        parent_ref.store(v, gp);
                         changed_ref.store(true, Ordering::Relaxed);
                     }
                 });
@@ -536,8 +546,9 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
             // Hook across components, direction by round parity.
             let hooks = AtomicUsize::new(0);
             {
-                let parent_ref = parent;
-                let tree_ref = tree_flag;
+                let _k = device.kernel_label("sv_hook");
+                let parent_ref = &parent;
+                let tree_ref = &tree_flag;
                 let hooks_ref = &hooks;
                 let even = round.is_multiple_of(2);
                 device.for_each(m, |e| {
@@ -545,18 +556,15 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
                     if u == v {
                         return;
                     }
-                    let ru = parent_ref[u as usize].load(Ordering::Relaxed);
-                    let rv = parent_ref[v as usize].load(Ordering::Relaxed);
+                    let ru = parent_ref.load(u as usize);
+                    let rv = parent_ref.load(v as usize);
                     if ru == rv {
                         return;
                     }
                     let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
                     let (src, dst) = if even { (hi, lo) } else { (lo, hi) };
-                    if parent_ref[src as usize]
-                        .compare_exchange(src, dst, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                    {
-                        tree_ref[e].store(1, Ordering::Relaxed);
+                    if parent_ref.compare_exchange(src as usize, src, dst).is_ok() {
+                        tree_ref.store(e, 1);
                         hooks_ref.fetch_add(1, Ordering::Relaxed);
                     }
                 });
@@ -567,8 +575,8 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
             round += 1;
         }
 
-        let labels = device.alloc_pooled_map(n, |v| parent[v].load(Ordering::Relaxed));
-        unrooted_from_labels(device, graph, &labels, tree_flag)
+        let labels = device.alloc_pooled_map(n, |v| parent.load(v));
+        unrooted_from_labels(device, graph, &labels, &tree_flag)
     }
 }
 
@@ -598,23 +606,26 @@ impl SpanningForestBuilder for AfforestBuilder {
         let m = graph.num_edges();
         let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
         let mut tree_flag_buf = device.alloc_filled(m, 0u32);
-        let parent = gpu_sim::as_atomic_u32(&mut parent_buf);
-        let tree_flag = gpu_sim::as_atomic_u32(&mut tree_flag_buf);
+        let parent = device
+            .atomic_u32(&mut parent_buf)
+            .benign("union-find hooking: any CAS winner yields a valid forest, losers re-find");
+        let tree_flag = device.atomic_u32(&mut tree_flag_buf);
 
         // Sampling phase: one hook per vertex per round over its r-th slot.
         for r in 0..self.neighbor_rounds {
+            let _k = device.kernel_label("afforest_sample");
             device.for_each(n, |v| {
                 let nbs = csr.neighbors(v as u32);
                 if r < nbs.len() {
                     let w = nbs[r];
                     let e = csr.edge_ids(v as u32)[r];
-                    hook_min(parent, tree_flag, e as usize, v as u32, w);
+                    hook_min(&parent, &tree_flag, e as usize, v as u32, w);
                 }
             });
         }
 
         // Snapshot the partial components and find the most frequent one.
-        let snapshot = device.alloc_pooled_map(n, |v| find(parent, v as u32));
+        let snapshot = device.alloc_pooled_map(n, |v| find(&parent, v as u32));
         let skip = {
             let mut counts = device.alloc_filled(n, 0u32);
             for &c in snapshot.iter() {
@@ -631,6 +642,7 @@ impl SpanningForestBuilder for AfforestBuilder {
         // Full pass, skipping intra-edges of the largest partial component
         // (their endpoints are already connected).
         {
+            let _k = device.kernel_label("afforest_full_pass");
             let snap_ref = &snapshot;
             let edges = graph.edges();
             device.for_each(m, |e| {
@@ -641,12 +653,12 @@ impl SpanningForestBuilder for AfforestBuilder {
                 if snap_ref[u as usize] == skip && snap_ref[v as usize] == skip {
                     return;
                 }
-                hook_min(parent, tree_flag, e, u, v);
+                hook_min(&parent, &tree_flag, e, u, v);
             });
         }
 
-        let labels = device.alloc_pooled_map(n, |v| find(parent, v as u32));
-        unrooted_from_labels(device, graph, &labels, tree_flag)
+        let labels = device.alloc_pooled_map(n, |v| find(&parent, v as u32));
+        unrooted_from_labels(device, graph, &labels, &tree_flag)
     }
 }
 

@@ -11,7 +11,6 @@ use crate::ck;
 use crate::forest::{SpanningForestBuilder, UnionFindBuilder};
 use crate::result::{BridgesError, BridgesResult};
 use euler_tour::{EulerTour, TreeStats};
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::bitset::{AtomicBitSet, BitSet};
 use graph_core::{Csr, EdgeList};
@@ -63,11 +62,12 @@ pub fn bridges_hybrid_with(
     let tree_edge_ids = forest.tree_edges;
     let mut is_tree = device.alloc_filled(m, 0u8);
     {
-        let tree_shared = SharedSlice::new(&mut is_tree);
+        let _k = device.kernel_label("hybrid_flag_tree_edges");
+        // Tree edge ids are distinct, so each slot has one writer.
+        let tree_shared = device.shared(&mut is_tree);
         let ids = &tree_edge_ids;
         device.for_each(ids.len(), |i| {
-            // SAFETY: distinct edge ids.
-            unsafe { tree_shared.write(ids[i] as usize, 1u8) };
+            tree_shared.write(ids[i] as usize, 1u8);
         });
     }
     let is_tree = &is_tree;
@@ -122,7 +122,9 @@ pub fn bridges_hybrid_with(
     // never marked.
     let mut bridge_flags = device.alloc_filled(m, 0u8);
     {
-        let flags_shared = SharedSlice::new(&mut bridge_flags);
+        let _k = device.kernel_label("hybrid_collect_bridges");
+        // Tree edge ids are distinct, so each slot has one writer.
+        let flags_shared = device.shared(&mut bridge_flags);
         let ids = &tree_edge_ids;
         let parent = &stats.parent;
         let edges = graph.edges();
@@ -131,8 +133,7 @@ pub fn bridges_hybrid_with(
             let e = ids[i];
             let (x, y) = edges[e as usize];
             let c = if parent[x as usize] == y { x } else { y };
-            // SAFETY: distinct edge ids.
-            unsafe { flags_shared.write(e as usize, u8::from(!marked_ref.get(c as usize))) };
+            flags_shared.write(e as usize, u8::from(!marked_ref.get(c as usize)));
         });
     }
     let is_bridge: BitSet = bridge_flags.iter().map(|&b| b == 1).collect();

@@ -40,6 +40,7 @@
 //! assert_eq!(tv.bridge_ids(), vec![3]);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod articulation;

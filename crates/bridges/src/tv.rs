@@ -16,7 +16,6 @@ use crate::forest::{SpanningForestBuilder, UnionFindBuilder};
 use crate::result::{BridgesError, BridgesResult};
 use crate::segment_tree::{SegOp, SegmentTree};
 use euler_tour::{EulerTour, TreeStats};
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::bitset::BitSet;
 use graph_core::{Csr, EdgeList};
@@ -65,11 +64,12 @@ pub fn bridges_tv_with(
     let tree_edge_ids = forest.tree_edges;
     let mut is_tree = device.alloc_filled(m, 0u8);
     {
-        let tree_shared = SharedSlice::new(&mut is_tree);
+        let _k = device.kernel_label("tv_flag_tree_edges");
+        // Tree edge ids are distinct, so each slot has one writer.
+        let tree_shared = device.shared(&mut is_tree);
         let ids = &tree_edge_ids;
         device.for_each(ids.len(), |i| {
-            // SAFETY: tree edge ids are distinct.
-            unsafe { tree_shared.write(ids[i] as usize, 1u8) };
+            tree_shared.write(ids[i] as usize, 1u8);
         });
     }
     let is_tree = &is_tree;
@@ -126,17 +126,16 @@ pub fn bridges_tv_with(
     let mut by_pre_min = device.alloc_filled(n, u32::MAX);
     let mut by_pre_max = device.alloc_filled(n, 0u32);
     {
-        let min_shared = SharedSlice::new(&mut by_pre_min);
-        let max_shared = SharedSlice::new(&mut by_pre_max);
+        let _k = device.kernel_label("tv_permute_by_preorder");
+        // Preorder is a permutation of 1..=n, so each slot has one writer.
+        let min_shared = device.shared(&mut by_pre_min);
+        let max_shared = device.shared(&mut by_pre_max);
         let node_min_ref = &node_min;
         let node_max_ref = &node_max;
         device.for_each(n, |v| {
             let slot = (pre[v] - 1) as usize;
-            // SAFETY: preorder is a permutation of 1..=n.
-            unsafe {
-                min_shared.write(slot, node_min_ref[v]);
-                max_shared.write(slot, node_max_ref[v]);
-            }
+            min_shared.write(slot, node_min_ref[v]);
+            max_shared.write(slot, node_max_ref[v]);
         });
     }
     let min_tree = SegmentTree::build(device, &by_pre_min, SegOp::Min);
@@ -144,7 +143,9 @@ pub fn bridges_tv_with(
 
     let mut bridge_flags = device.alloc_filled(m, 0u8);
     {
-        let flags_shared = SharedSlice::new(&mut bridge_flags);
+        let _k = device.kernel_label("tv_detect_bridges");
+        // Tree edge ids are distinct, so each slot has one writer.
+        let flags_shared = device.shared(&mut bridge_flags);
         let ids = &tree_edge_ids;
         let parent = &stats.parent;
         let size = &stats.subtree_size;
@@ -165,8 +166,7 @@ pub fn bridges_tv_with(
             // (1-based), the interval in 1-based terms is [lo+1, hi+1].
             let inside_low = low == u32::MAX || low > lo as u32;
             let inside_high = high == 0 || high <= hi as u32 + 1;
-            // SAFETY: tree edge ids are distinct.
-            unsafe { flags_shared.write(e as usize, u8::from(inside_low && inside_high)) };
+            flags_shared.write(e as usize, u8::from(inside_low && inside_high));
         });
     }
     let is_bridge: BitSet = bridge_flags.iter().map(|&b| b == 1).collect();

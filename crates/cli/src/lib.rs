@@ -23,6 +23,7 @@
 //! The command implementations live in [`commands`] and return their
 //! reports as strings, so the test suite drives them directly.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

@@ -16,7 +16,6 @@
 
 use crate::stats::TreeStats;
 use crate::tour::EulerTour;
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::ids::NodeId;
 
@@ -44,8 +43,10 @@ impl SubtreeAggregator {
         let mut enter = vec![0u32; n];
         let mut exit = vec![h as u32; n];
         if h > 0 {
-            let enter_shared = SharedSlice::new(&mut enter);
-            let exit_shared = SharedSlice::new(&mut exit);
+            let _k = device.kernel_label("aggregates_enter_exit");
+            // One down-edge per node, so each slot has one writer.
+            let enter_shared = device.shared(&mut enter);
+            let exit_shared = device.shared(&mut exit);
             let dcel = tour.dcel();
             let order = tour.order();
             let rank = tour.rank();
@@ -54,11 +55,8 @@ impl SubtreeAggregator {
                 if tour.is_down(e) {
                     let v = dcel.heads[e as usize] as usize;
                     let q = rank[crate::dcel::twin(e) as usize];
-                    // SAFETY: one down-edge per node.
-                    unsafe {
-                        enter_shared.write(v, p as u32);
-                        exit_shared.write(v, q);
-                    }
+                    enter_shared.write(v, p as u32);
+                    exit_shared.write(v, q);
                 }
             });
         }
@@ -101,13 +99,14 @@ impl SubtreeAggregator {
         // Weight and prefix arrays are scratch — pooled.
         let mut weights = device.alloc_filled(self.tour_len, 0u64);
         {
+            let _k = device.kernel_label("subtree_sums_weights");
+            // Enter positions are distinct per node.
             let enter = &self.enter;
             let root = self.root;
-            let weights_shared = SharedSlice::new(&mut weights);
+            let weights_shared = device.shared(&mut weights);
             device.for_each(n, |v| {
                 if v as NodeId != root {
-                    // SAFETY: enter positions are distinct per node.
-                    unsafe { weights_shared.write(enter[v] as usize, values[v]) };
+                    weights_shared.write(enter[v] as usize, values[v]);
                 }
             });
         }
@@ -155,18 +154,17 @@ impl SubtreeAggregator {
         }
         let mut weights = device.alloc_filled(self.tour_len, 0i64);
         {
-            let weights_shared = SharedSlice::new(&mut weights);
+            let _k = device.kernel_label("root_path_sums_weights");
+            // Enter/exit positions are distinct across nodes (each position
+            // hosts exactly one half-edge).
+            let weights_shared = device.shared(&mut weights);
             let enter = &self.enter;
             let exit = &self.exit;
             let root = self.root;
             device.for_each(n, |v| {
                 if v as NodeId != root {
-                    // SAFETY: enter/exit positions are distinct across nodes
-                    // (each position hosts exactly one half-edge).
-                    unsafe {
-                        weights_shared.write(enter[v] as usize, values[v]);
-                        weights_shared.write(exit[v] as usize, -values[v]);
-                    }
+                    weights_shared.write(enter[v] as usize, values[v]);
+                    weights_shared.write(exit[v] as usize, -values[v]);
                 }
             });
         }

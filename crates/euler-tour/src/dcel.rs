@@ -8,7 +8,6 @@
 //! case `next` wraps to the group's first entry (array `first`). This is
 //! exactly Figure 2 of the paper.
 
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::ids::{pack_edge, NodeId, INVALID_NODE};
 
@@ -80,7 +79,9 @@ impl Dcel {
         // first[x] = half-edge at the first B position of x's group.
         let mut first = vec![INVALID_NODE; num_nodes];
         {
-            let first_shared = SharedSlice::new(&mut first);
+            let _k = device.kernel_label("dcel_group_first");
+            // One group-first position per node value.
+            let first_shared = device.shared(&mut first);
             let sorted_ref = &sorted_he;
             let tails_ref = &tails;
             device.for_each(h, |i| {
@@ -88,8 +89,7 @@ impl Dcel {
                 let x = tails_ref[he as usize];
                 let is_group_first = i == 0 || tails_ref[sorted_ref[i - 1] as usize] != x;
                 if is_group_first {
-                    // SAFETY: one group-first position per node value.
-                    unsafe { first_shared.write(x as usize, he) };
+                    first_shared.write(x as usize, he);
                 }
             });
         }
@@ -97,7 +97,10 @@ impl Dcel {
         // next[e]: successor of e in its tail's cyclic outgoing list.
         let mut next = vec![0u32; h];
         {
-            let next_shared = SharedSlice::new(&mut next);
+            let _k = device.kernel_label("dcel_next_links");
+            // Each B position i writes next[] at a distinct half-edge id
+            // (sorted_he is a permutation).
+            let next_shared = device.shared(&mut next);
             let sorted_ref = &sorted_he;
             let tails_ref = &tails;
             let first_ref = &first;
@@ -109,9 +112,7 @@ impl Dcel {
                 } else {
                     first_ref[x as usize]
                 };
-                // SAFETY: each B position i writes next[] at a distinct
-                // half-edge id (sorted_he is a permutation).
-                unsafe { next_shared.write(he as usize, nxt) };
+                next_shared.write(he as usize, nxt);
             });
         }
 

@@ -40,6 +40,7 @@
 //! assert_eq!(stats.level[2], 2);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregates;

@@ -5,7 +5,6 @@
 //! root by choosing the list head").
 
 use crate::dcel::{twin, Dcel};
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::ids::{NodeId, INVALID_NODE};
 
@@ -47,13 +46,14 @@ impl EulerList {
         let pred_of_head = {
             let mut found = device.alloc_filled(1, NIL);
             {
-                let found_shared = SharedSlice::new(&mut found);
+                let _k = device.kernel_label("tour_find_head_pred");
+                // succ is a permutation — exactly one predecessor of head
+                // exists, so slot 0 has one writer.
+                let found_shared = device.shared(&mut found);
                 let succ_ref = &succ;
                 device.for_each(h, |e| {
                     if succ_ref[e] == head {
-                        // SAFETY: succ is a permutation — exactly one
-                        // predecessor of head exists.
-                        unsafe { found_shared.write(0, e as u32) };
+                        found_shared.write(0, e as u32);
                     }
                 });
             }

@@ -17,7 +17,6 @@
 //! `benches/list_ranking.rs` reproduces the comparison.
 
 use crate::list::{EulerList, NIL};
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 
 /// Which list-ranking algorithm to run.
@@ -301,36 +300,31 @@ pub fn rank_wei_jaja_with_sublists_into(
     let mut sublist_next = device.alloc_filled(s, NIL); // following sublist's splitter
     let mut sublist_len = device.alloc_filled(s, 0u32);
     {
-        let local_shared = SharedSlice::new(&mut local_rank);
-        let sub_shared = SharedSlice::new(&mut sublist_of);
-        let next_shared = SharedSlice::new(&mut sublist_next);
-        let len_shared = SharedSlice::new(&mut sublist_len);
+        let _k = device.kernel_label("rank_sublist_walk");
+        // Sublists partition the list; each element belongs to exactly one
+        // walking thread, and slot k of next/len belongs to thread k.
+        let local_shared = device.shared(&mut local_rank);
+        let sub_shared = device.shared(&mut sublist_of);
+        let next_shared = device.shared(&mut sublist_next);
+        let len_shared = device.shared(&mut sublist_len);
         let splitters_ref = &splitters;
         let is_splitter_ref = &is_splitter;
         device.for_each(s, |k| {
             let mut e = splitters_ref[k];
             let mut r = 0u32;
             loop {
-                // SAFETY: sublists partition the list; each element belongs
-                // to exactly one walking thread.
-                unsafe {
-                    local_shared.write(e as usize, r);
-                    sub_shared.write(e as usize, k as u32);
-                }
+                local_shared.write(e as usize, r);
+                sub_shared.write(e as usize, k as u32);
                 r += 1;
                 let nx = list.succ[e as usize];
                 if nx == NIL {
-                    unsafe {
-                        next_shared.write(k, NIL);
-                        len_shared.write(k, r);
-                    }
+                    next_shared.write(k, NIL);
+                    len_shared.write(k, r);
                     return;
                 }
                 if is_splitter_ref[nx as usize] == 1 {
-                    unsafe {
-                        next_shared.write(k, nx);
-                        len_shared.write(k, r);
-                    }
+                    next_shared.write(k, nx);
+                    len_shared.write(k, r);
                     return;
                 }
                 e = nx;

@@ -14,7 +14,6 @@
 
 use crate::dcel::twin;
 use crate::tour::EulerTour;
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::ids::{NodeId, INVALID_NODE};
 
@@ -78,10 +77,13 @@ impl TreeStats {
         level[tour.root() as usize] = 0;
 
         {
-            let pre_shared = SharedSlice::new(&mut preorder);
-            let size_shared = SharedSlice::new(&mut subtree_size);
-            let level_shared = SharedSlice::new(&mut level);
-            let parent_shared = SharedSlice::new(&mut parent);
+            let _k = device.kernel_label("tree_stats_scatter");
+            // Each non-root node has exactly one down-edge, so targets are
+            // distinct across virtual threads.
+            let pre_shared = device.shared(&mut preorder);
+            let size_shared = device.shared(&mut subtree_size);
+            let level_shared = device.shared(&mut level);
+            let parent_shared = device.shared(&mut parent);
             let down_ref = &down;
             let pre_scan_ref = &pre_scan;
             let level_scan_ref = &level_scan;
@@ -90,14 +92,10 @@ impl TreeStats {
                     let e = order[p];
                     let v = dcel.heads[e as usize] as usize;
                     let q = rank[twin(e) as usize];
-                    // SAFETY: each non-root node has exactly one down-edge,
-                    // so targets are distinct across virtual threads.
-                    unsafe {
-                        pre_shared.write(v, pre_scan_ref[p] as u32 + 1);
-                        size_shared.write(v, (q - p as u32).div_ceil(2));
-                        level_shared.write(v, level_scan_ref[p] as u32);
-                        parent_shared.write(v, dcel.tails[e as usize]);
-                    }
+                    pre_shared.write(v, pre_scan_ref[p] as u32 + 1);
+                    size_shared.write(v, (q - p as u32).div_ceil(2));
+                    level_shared.write(v, level_scan_ref[p] as u32);
+                    parent_shared.write(v, dcel.tails[e as usize]);
                 }
             });
         }

@@ -7,7 +7,6 @@ use crate::ranking::{rank, Ranker};
 use gpu_sim::Device;
 use graph_core::ids::NodeId;
 use graph_core::Tree;
-use std::sync::atomic::Ordering;
 
 /// Errors from Euler tour construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,12 +146,15 @@ impl EulerTour {
         let h = rank_arr.len();
         let mut counts = device.alloc_filled(h, 0u32);
         {
-            let counts_view = gpu_sim::as_atomic_u32(&mut counts);
+            let _k = device.kernel_label("tour_permutation_check");
+            let counts_view = device.atomic_u32(&mut counts).benign(
+                "permutation check: colliding increments are the signal; fetch_add commutes",
+            );
             let rank_ref = &rank_arr;
             device.for_each(h, |e| {
                 let r = rank_ref[e] as usize;
                 if r < h {
-                    counts_view[r].fetch_add(1, Ordering::Relaxed);
+                    counts_view.fetch_add(r, 1);
                 }
             });
         }

@@ -214,6 +214,7 @@ impl DeviceArena {
                 ScratchGuard {
                     arena: self,
                     block: None,
+                    san: None,
                 },
                 false,
             );
@@ -237,6 +238,7 @@ impl DeviceArena {
             ScratchGuard {
                 arena: self,
                 block: Some(block),
+                san: None,
             },
             reused,
         )
@@ -284,6 +286,9 @@ impl Drop for DeviceArena {
 pub struct ScratchGuard<'a> {
     arena: &'a DeviceArena,
     block: Option<RawBlock>,
+    /// Set when the owning device runs initcheck: the block's shadow
+    /// bitmap is unregistered when the guard returns the block.
+    san: Option<&'a crate::sanitize::Sanitizer>,
 }
 
 // SAFETY: a guard exclusively owns its block; moving the guard moves that
@@ -333,6 +338,9 @@ impl<'a> ScratchGuard<'a> {
 impl Drop for ScratchGuard<'_> {
     fn drop(&mut self) {
         if let Some(block) = self.block.take() {
+            if let Some(san) = self.san {
+                san.unregister_shadow(block.ptr.as_ptr() as usize);
+            }
             self.arena.release(block);
         }
     }
@@ -415,9 +423,20 @@ impl Device {
     /// Acquires raw pooled scratch of at least `bytes`, recording the
     /// acquisition in the device metrics (`bytes_allocated` for fresh
     /// blocks, `bytes_reused` for pool hits).
+    ///
+    /// Under initcheck ([`crate::SanitizeMode`]) the block — fresh *or*
+    /// recycled — is registered with an all-uninitialized shadow bitmap:
+    /// reading stale contents of a reused block through a tracked view is
+    /// exactly as much a finding as reading a fresh allocation.
     pub fn scratch(&self, bytes: usize) -> ScratchGuard<'_> {
-        let (guard, reused) = self.arena_ref().acquire(bytes);
+        let (mut guard, reused) = self.arena_ref().acquire(bytes);
         self.metrics().record_arena(guard.capacity() as u64, reused);
+        if let Some(san) = self.sanitizer() {
+            if san.mode().initcheck() && guard.capacity() > 0 {
+                san.register_shadow(guard.base() as usize, guard.capacity());
+                guard.san = Some(san);
+            }
+        }
         guard
     }
 
@@ -455,6 +474,7 @@ impl Device {
     pub fn alloc_copied<T: ArenaPod>(&self, src: &[T]) -> ArenaVec<'_, T> {
         let mut v = self.alloc_pooled(src.len());
         v.copy_from_slice(src);
+        self.san_mark_written(&v);
         v
     }
 }

@@ -6,7 +6,20 @@
 //! access to a `&mut [u32]`, hand out a `&[AtomicU32]` alias that many
 //! threads may hammer concurrently. Exclusivity of the original borrow makes
 //! the cast sound (no non-atomic access can overlap the atomic ones).
+//!
+//! Two layers:
+//!
+//! * [`as_atomic_u32`] / [`as_atomic_u64`] — the raw reinterpreting casts.
+//! * [`AtomicViewU32`] / [`AtomicViewU64`] — **tracked** views obtained
+//!   from [`Device::atomic_u32`] / [`Device::atomic_u64`]: with the
+//!   [sanitizer](crate::sanitize) enabled every operation is
+//!   bounds-checked, recorded for racecheck, and initialization-checked;
+//!   [`AtomicViewU32::benign`] is the call-site whitelist for deliberate
+//!   hooking/last-writer races. With the sanitizer off the view is a
+//!   zero-shadow wrapper over the raw cast.
 
+use crate::device::Device;
+use crate::sanitize::{AccessKind, Track};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Reinterprets an exclusive `u32` slice as a shared slice of atomics.
@@ -64,6 +77,164 @@ pub fn atomic_max_u32(cell: &AtomicU32, value: u32) {
         }
     }
 }
+
+macro_rules! atomic_view {
+    ($name:ident, $cell:ty, $elem:ty, $ctor:ident, $cast:ident) => {
+        /// A tracked CUDA-style atomic view over an exclusive integer
+        /// slice, from the same-named [`Device`] constructor. All
+        /// operations use relaxed ordering (the CUDA global-memory
+        /// model this simulator targets).
+        pub struct $name<'a> {
+            cells: &'a [$cell],
+            track: Option<Track<'a>>,
+        }
+
+        impl<'a> $name<'a> {
+            pub(crate) fn new_tracked(cells: &'a [$cell], track: Option<Track<'a>>) -> Self {
+                Self { cells, track }
+            }
+
+            /// An untracked view (no sanitizer context), for host-side
+            /// code without a device at hand.
+            pub fn untracked(slice: &'a mut [$elem]) -> Self {
+                Self {
+                    cells: $ctor(slice),
+                    track: None,
+                }
+            }
+
+            /// Number of cells.
+            pub fn len(&self) -> usize {
+                self.cells.len()
+            }
+
+            /// Whether the view is empty.
+            pub fn is_empty(&self) -> bool {
+                self.cells.is_empty()
+            }
+
+            /// Annotates the view as a **benign race**: cross-block
+            /// conflicts through it (hooking CASes, last-writer stores,
+            /// slot-claiming fetch_adds) are intentional and the
+            /// racecheck must not flag them. The reason documents the
+            /// benignity argument at the call site.
+            pub fn benign(mut self, reason: &'static str) -> Self {
+                if let Some(t) = &mut self.track {
+                    t.benign = Some(reason);
+                }
+                self
+            }
+
+            /// Per-operation sanitizer hook; returns `false` when the
+            /// access is out of bounds and must be skipped (non-fatal
+            /// memcheck).
+            #[inline]
+            fn pre(&self, index: usize, kind: AccessKind) -> bool {
+                match &self.track {
+                    Some(t) => t.access(index, self.cells.len(), size_of::<$elem>(), kind),
+                    None => true,
+                }
+            }
+
+            /// Atomic load of cell `index`.
+            #[inline]
+            pub fn load(&self, index: usize) -> $elem {
+                if !self.pre(index, AccessKind::AtomicLoad) {
+                    return 0;
+                }
+                self.cells[index].load(Ordering::Relaxed)
+            }
+
+            /// Atomic store to cell `index`.
+            #[inline]
+            pub fn store(&self, index: usize, value: $elem) {
+                if !self.pre(index, AccessKind::AtomicStore) {
+                    return;
+                }
+                self.cells[index].store(value, Ordering::Relaxed);
+            }
+
+            /// Atomic fetch-add on cell `index`, returning the prior value.
+            #[inline]
+            pub fn fetch_add(&self, index: usize, value: $elem) -> $elem {
+                if !self.pre(index, AccessKind::AtomicRmw) {
+                    return 0;
+                }
+                self.cells[index].fetch_add(value, Ordering::Relaxed)
+            }
+
+            /// `atomicMin` on cell `index`, returning the prior value.
+            #[inline]
+            pub fn fetch_min(&self, index: usize, value: $elem) -> $elem {
+                if !self.pre(index, AccessKind::AtomicRmw) {
+                    return 0;
+                }
+                self.cells[index].fetch_min(value, Ordering::Relaxed)
+            }
+
+            /// `atomicMax` on cell `index`, returning the prior value.
+            #[inline]
+            pub fn fetch_max(&self, index: usize, value: $elem) -> $elem {
+                if !self.pre(index, AccessKind::AtomicRmw) {
+                    return 0;
+                }
+                self.cells[index].fetch_max(value, Ordering::Relaxed)
+            }
+
+            /// `atomicCAS` on cell `index`.
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                index: usize,
+                current: $elem,
+                new: $elem,
+            ) -> Result<$elem, $elem> {
+                if !self.pre(index, AccessKind::AtomicRmw) {
+                    return Err(0);
+                }
+                self.cells[index].compare_exchange(
+                    current,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+            }
+
+            /// Weak `atomicCAS` on cell `index` (may fail spuriously; for
+            /// retry loops).
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                index: usize,
+                current: $elem,
+                new: $elem,
+            ) -> Result<$elem, $elem> {
+                if !self.pre(index, AccessKind::AtomicRmw) {
+                    return Err(0);
+                }
+                self.cells[index].compare_exchange_weak(
+                    current,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+            }
+        }
+
+        impl Device {
+            /// Wraps an exclusive slice in a tracked atomic view (see
+            /// [`crate::sanitize`]); the CUDA-style replacement for
+            #[doc = concat!("[`", stringify!($ctor), "`] in kernel code.")]
+            pub fn $cast<'a>(&'a self, slice: &'a mut [$elem]) -> $name<'a> {
+                let track = self.san_track_for(&*slice);
+                $name::new_tracked($ctor(slice), track)
+            }
+        }
+    };
+}
+
+atomic_view!(AtomicViewU32, AtomicU32, u32, as_atomic_u32, atomic_u32);
+atomic_view!(AtomicViewU64, AtomicU64, u64, as_atomic_u64, atomic_u64);
 
 /// A shareable `f64` accumulator built on `AtomicU64` bit casts.
 ///

@@ -50,6 +50,7 @@ impl Device {
                 }
             }
             out.truncate(len);
+            self.san_mark_written(&out[..]);
             return out;
         }
         let (offsets, total, chunk, blocks) = self.compact_offsets(n, &pred);
@@ -111,12 +112,13 @@ impl Device {
                     if pred(i) {
                         // SAFETY: blocks own disjoint [offset, offset+count)
                         // output ranges by construction of the offsets.
-                        unsafe { shared.write(pos, i as u32) };
+                        unsafe { shared.write_unchecked(pos, i as u32) };
                         pos += 1;
                     }
                 }
             });
         });
+        self.san_mark_written(out);
     }
 
     /// Keeps the elements of `input` whose *value* satisfies `pred`,

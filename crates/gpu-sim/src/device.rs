@@ -15,11 +15,19 @@
 //! [`DeviceConfig::block_size`], never on the worker count, so kernel output
 //! is bit-identical across pool widths (which block a worker claims varies;
 //! what gets computed for each index does not).
+//!
+//! When [`DeviceConfig::sanitize`] is enabled the device additionally runs
+//! the checks of the [sanitizer plane](crate::sanitize): every launch
+//! records which virtual block touched which element through the tracked
+//! views ([`Device::shared`], [`Device::atomic_u32`]), and the launch
+//! barrier analyzes the log for out-of-bounds accesses, uninitialized
+//! reads, and unannotated cross-block races.
 
-use crate::arena::DeviceArena;
+use crate::arena::{ArenaPod, DeviceArena};
 use crate::metrics::Metrics;
+use crate::sanitize::{AccessKind, Finding, SanitizeMode, Sanitizer, Track};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// Tuning knobs for a [`Device`].
 #[derive(Debug, Clone)]
@@ -44,6 +52,14 @@ pub struct DeviceConfig {
     /// malloc/free pair — the A/B baseline the `mem_sweep` experiment
     /// compares against.
     pub pooling: bool,
+    /// Which sanitizer checks run (defaults to the `EMG_SANITIZE`
+    /// environment variable, [`SanitizeMode::Off`] when unset). See
+    /// [`crate::sanitize`].
+    pub sanitize: SanitizeMode,
+    /// Whether a sanitizer finding aborts with a panic (the default) or is
+    /// recorded for [`Device::take_findings`] — the latter is what the
+    /// seeded-violation tests use to assert detection.
+    pub sanitize_fatal: bool,
 }
 
 impl Default for DeviceConfig {
@@ -54,6 +70,8 @@ impl Default for DeviceConfig {
             seq_threshold: 2048,
             launch_overhead: None,
             pooling: true,
+            sanitize: SanitizeMode::from_env(),
+            sanitize_fatal: true,
         }
     }
 }
@@ -68,6 +86,7 @@ pub struct Device {
     cfg: DeviceConfig,
     metrics: Metrics,
     arena: DeviceArena,
+    san: Option<Box<Sanitizer>>,
 }
 
 impl Default for Device {
@@ -105,17 +124,25 @@ impl Device {
                 .expect("failed to build device thread pool")
         });
         let arena = DeviceArena::new(cfg.pooling);
+        let san = (cfg.sanitize != SanitizeMode::Off)
+            .then(|| Box::new(Sanitizer::new(cfg.sanitize, cfg.sanitize_fatal)));
         Self {
             pool,
             cfg,
             metrics: Metrics::new(),
             arena,
+            san,
         }
     }
 
     /// Internal arena access for the wrappers in [`crate::arena`].
     pub(crate) fn arena_ref(&self) -> &DeviceArena {
         &self.arena
+    }
+
+    /// Internal sanitizer access for the sibling modules.
+    pub(crate) fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.san.as_deref()
     }
 
     /// The device configuration.
@@ -126,6 +153,39 @@ impl Device {
     /// Instrumentation counters for this device.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The active sanitize mode ([`SanitizeMode::Off`] unless configured).
+    pub fn sanitize_mode(&self) -> SanitizeMode {
+        self.cfg.sanitize
+    }
+
+    /// Drains the findings a non-fatal sanitizer retained (empty when the
+    /// sanitizer is off, fatal, or found nothing).
+    pub fn take_findings(&self) -> Vec<Finding> {
+        self.san
+            .as_deref()
+            .map(Sanitizer::take_findings)
+            .unwrap_or_default()
+    }
+
+    /// Pushes a kernel label for subsequent launches; the label is attached
+    /// to sanitizer findings so a violation names the algorithm phase, not
+    /// just a launch sequence number. Pops on drop; no-op with the
+    /// sanitizer off.
+    ///
+    /// ```
+    /// # let device = gpu_sim::Device::new();
+    /// let _k = device.kernel_label("cc.hook");
+    /// device.for_each(10, |_| {});
+    /// ```
+    pub fn kernel_label(&self, label: &str) -> KernelLabel<'_> {
+        if let Some(san) = &self.san {
+            san.push_label(label);
+        }
+        KernelLabel {
+            san: self.san.as_deref(),
+        }
     }
 
     /// Number of physical worker threads backing the device.
@@ -232,7 +292,7 @@ impl Device {
     /// `f(i)` is invoked exactly once for every `i in 0..n`, potentially in
     /// parallel; the call returns only after every virtual thread finished
     /// (bulk-synchronous semantics). Shared mutable state must go through
-    /// atomics (see [`crate::atomic`]).
+    /// atomics (see [`crate::atomic`]) or [`Device::shared`] views.
     pub fn for_each<F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Sync,
@@ -242,21 +302,44 @@ impl Device {
         if n == 0 {
             return;
         }
+        let bs = self.cfg.block_size;
+        let launch = self.san.as_deref().map(|s| (s, s.begin_launch()));
         if n <= self.cfg.seq_threshold {
-            for i in 0..n {
-                f(i);
+            match launch {
+                None => {
+                    for i in 0..n {
+                        f(i);
+                    }
+                }
+                Some((san, id)) => {
+                    // Attribution uses the *virtual* block even on the
+                    // inline path, so racecheck findings are identical to
+                    // a parallel run of the same grid.
+                    for i in 0..n {
+                        if i % bs == 0 {
+                            san.set_block(id, (i / bs) as u32);
+                        }
+                        f(i);
+                    }
+                    san.end_launch(id, &self.metrics);
+                }
             }
             return;
         }
-        let bs = self.cfg.block_size;
         let blocks = n.div_ceil(bs);
         self.schedule_blocks(blocks, |b| {
+            if let Some((san, id)) = launch {
+                san.set_block(id, b as u32);
+            }
             let start = b * bs;
             let end = usize::min(start + bs, n);
             for i in start..end {
                 f(i);
             }
         });
+        if let Some((san, id)) = launch {
+            san.end_launch(id, &self.metrics);
+        }
     }
 
     /// Launches a map kernel: `out[i] = f(i)` for every element of `out`.
@@ -271,16 +354,34 @@ impl Device {
         if n == 0 {
             return;
         }
+        let bs = self.cfg.block_size;
+        let launch = self.san.as_deref().map(|s| (s, s.begin_launch()));
         if n <= self.cfg.seq_threshold {
-            for (i, slot) in out.iter_mut().enumerate() {
-                *slot = f(i);
+            match launch {
+                None => {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        *slot = f(i);
+                    }
+                }
+                Some((san, id)) => {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        if i % bs == 0 {
+                            san.set_block(id, (i / bs) as u32);
+                        }
+                        *slot = f(i);
+                    }
+                    san.end_launch(id, &self.metrics);
+                    self.san_mark_written(out);
+                }
             }
             return;
         }
-        let bs = self.cfg.block_size;
         let blocks = n.div_ceil(bs);
         let shared = SharedSlice::new(out);
         self.schedule_blocks(blocks, |b| {
+            if let Some((san, id)) = launch {
+                san.set_block(id, b as u32);
+            }
             let start = b * bs;
             let end = usize::min(start + bs, n);
             // SAFETY: blocks own disjoint index ranges, so carving one
@@ -293,6 +394,10 @@ impl Device {
                 *slot = f(start + j);
             }
         });
+        if let Some((san, id)) = launch {
+            san.end_launch(id, &self.metrics);
+        }
+        self.san_mark_written(out);
     }
 
     /// Allocates a fresh buffer of length `n` filled by a map kernel.
@@ -315,16 +420,74 @@ impl Device {
         self.map(out, move |_| v.clone());
     }
 
+    /// Marks a buffer the device just fully (re)wrote as initialized in
+    /// the initcheck shadow, if it lives in a registered arena block.
+    /// Called by the whole-buffer producers: `map` (hence `fill`,
+    /// `gather`, `alloc_filled`, `alloc_pooled_map`), `alloc_copied`, and
+    /// the `_into` primitives.
+    #[inline]
+    pub(crate) fn san_mark_written<T>(&self, out: &[T]) {
+        if let Some(san) = &self.san {
+            san.mark_initialized(out.as_ptr() as usize, std::mem::size_of_val(out));
+        }
+    }
+
+    /// Builds the tracking context for a view over `slice`, when the
+    /// sanitizer is on.
+    pub(crate) fn san_track_for<T>(&self, slice: &[T]) -> Option<Track<'_>> {
+        let san = self.san.as_deref()?;
+        let bytes = std::mem::size_of_val(slice);
+        let desc = format!(
+            "{}[{}]",
+            std::any::type_name::<T>()
+                .rsplit("::")
+                .next()
+                .unwrap_or("?"),
+            slice.len()
+        );
+        let region = san.register_region(desc);
+        let shadow = san.find_shadow(slice.as_ptr() as usize, bytes);
+        Some(Track {
+            san,
+            metrics: &self.metrics,
+            region,
+            shadow,
+            benign: None,
+        })
+    }
+
+    /// Wraps an exclusive slice in a **tracked** [`SharedSlice`]: with the
+    /// sanitizer on, every [`SharedSlice::read`]/[`SharedSlice::write`]
+    /// through the view is bounds-checked, race-recorded, and
+    /// initialization-checked. With the sanitizer off this is
+    /// [`SharedSlice::new`] (a branch per access and nothing else).
+    pub fn shared<'a, T: ArenaPod>(&'a self, slice: &'a mut [T]) -> SharedSlice<'a, T> {
+        let track = self.san_track_for(slice);
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            track,
+            _marker: PhantomData,
+        }
+    }
+
     /// Gather kernel: `out[i] = src[idx[i]]`.
     ///
     /// # Panics
-    /// Panics (in debug) if an index is out of bounds; release builds panic
-    /// through the slice index.
+    /// Panics if an index is out of bounds (a memcheck [`Finding`] with
+    /// kernel label and element index when the sanitizer is on).
     pub fn gather<T>(&self, out: &mut [T], idx: &[u32], src: &[T])
     where
         T: Send + Sync + Copy,
     {
         assert_eq!(out.len(), idx.len(), "gather: out/idx length mismatch");
+        if self.san_check_gather(idx, src.len()) {
+            // Non-fatal memcheck found at least one bad index: clamp so
+            // the launch can complete and further findings accumulate.
+            let last = src.len() - 1;
+            self.map(out, |i| src[usize::min(idx[i] as usize, last)]);
+            return;
+        }
         self.map(out, |i| src[idx[i] as usize]);
     }
 
@@ -340,6 +503,11 @@ impl Device {
         F: Fn(T) -> U + Sync,
     {
         assert_eq!(out.len(), idx.len(), "gather_map: out/idx length mismatch");
+        if self.san_check_gather(idx, src.len()) {
+            let last = src.len() - 1;
+            self.map(out, |i| f(src[usize::min(idx[i] as usize, last)]));
+            return;
+        }
         self.map(out, |i| f(src[idx[i] as usize]));
     }
 
@@ -349,34 +517,95 @@ impl Device {
     where
         T: crate::arena::ArenaPod,
     {
+        if self.san_check_gather(idx, src.len()) {
+            let last = src.len() - 1;
+            return self.alloc_pooled_map(idx.len(), |i| src[usize::min(idx[i] as usize, last)]);
+        }
         self.alloc_pooled_map(idx.len(), |i| src[idx[i] as usize])
+    }
+
+    /// Memcheck pre-pass over gather indices. Returns `true` when a
+    /// non-fatal sanitizer found violations and the caller should clamp
+    /// (fatal sanitizers panic inside; without memcheck the plain slice
+    /// panic stays the backstop).
+    fn san_check_gather(&self, idx: &[u32], src_len: usize) -> bool {
+        let Some(san) = self.san.as_deref() else {
+            return false;
+        };
+        if !san.mode().memcheck() {
+            return false;
+        }
+        let mut bad = false;
+        for &ix in idx {
+            if ix as usize >= src_len {
+                if !bad {
+                    // Register the source region lazily, on first offense.
+                    if let Some(t) = self.san_track_for(idx) {
+                        t.san.report_oob(
+                            t.metrics,
+                            t.region,
+                            ix as usize,
+                            src_len,
+                            AccessKind::Read,
+                        );
+                    }
+                }
+                bad = true;
+            }
+        }
+        bad && src_len > 0
+    }
+}
+
+/// RAII guard for a kernel label pushed via [`Device::kernel_label`].
+pub struct KernelLabel<'a> {
+    san: Option<&'a Sanitizer>,
+}
+
+impl Drop for KernelLabel<'_> {
+    fn drop(&mut self) {
+        if let Some(san) = self.san {
+            san.pop_label();
+        }
     }
 }
 
 /// An unsynchronized shared view over a mutable slice, for permutation
-/// scatters (`out[perm[i]] = v_i` with all `perm[i]` distinct).
+/// scatters (`out[perm[i]] = v_i` with all `perm[i]` distinct) and the
+/// deliberate last-writer-wins stores of the paper's algorithms.
 ///
-/// CUDA programs do this with plain global-memory writes; in Rust it needs a
-/// raw-pointer escape hatch. The safety contract is the classic one: no two
-/// virtual threads may write the same index during one launch, and reads of
-/// written cells only happen after the launch returns.
+/// CUDA programs do this with plain global-memory writes. Here the safe
+/// [`SharedSlice::read`]/[`SharedSlice::write`] accessors are implemented
+/// as relaxed per-chunk atomics, which makes the view a *sound* safe API
+/// for [`ArenaPod`] element types: concurrent conflicting writes are not
+/// undefined behavior, they merely leave an unspecified (but valid) value
+/// — and the [sanitizer](crate::sanitize) flags exactly those conflicts
+/// unless the view is [`SharedSlice::benign`]-annotated. The raw
+/// `_unchecked` accessors remain for the crate-internal primitives that
+/// guarantee disjointness structurally.
 pub struct SharedSlice<'a, T> {
     ptr: *mut T,
     len: usize,
+    track: Option<Track<'a>>,
     _marker: PhantomData<&'a mut [T]>,
 }
 
-// SAFETY: the whole point — many threads hold &SharedSlice and write disjoint
-// cells. T: Send suffices because each cell is only touched by one thread.
+// SAFETY: the whole point — many threads hold &SharedSlice and write
+// disjoint (or atomically-accessed) cells. T: Send suffices because each
+// cell value is only produced/consumed by one thread at a time; the Track
+// context is internally synchronized.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+// SAFETY: as above; moving the view moves no data.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
-    /// Wraps an exclusive slice for disjoint parallel writes.
+    /// Wraps an exclusive slice for disjoint parallel writes, without
+    /// sanitizer tracking (use [`Device::shared`] for a tracked view).
     pub fn new(slice: &'a mut [T]) -> Self {
         Self {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            track: None,
             _marker: PhantomData,
         }
     }
@@ -401,29 +630,214 @@ impl<'a, T> SharedSlice<'a, T> {
         self.len == 0
     }
 
-    /// Writes `value` at `index`.
+    /// Annotates the view as a **benign race**: cross-block conflicts
+    /// through it are intentional (last-writer-wins hooking, any-winner
+    /// elections) and the racecheck must not flag them. The reason string
+    /// documents the argument at the call site.
+    pub fn benign(mut self, reason: &'static str) -> Self {
+        if let Some(t) = &mut self.track {
+            t.benign = Some(reason);
+        }
+        self
+    }
+
+    /// Writes `value` at `index` without bounds or sanitizer checks.
     ///
     /// # Safety
     /// Within one kernel launch every index may be written by at most one
-    /// virtual thread, and `index < self.len()`.
+    /// virtual thread, no concurrent read of `index` may occur in the same
+    /// launch, and `index < self.len()`.
     #[inline]
-    pub unsafe fn write(&self, index: usize, value: T) {
+    pub unsafe fn write_unchecked(&self, index: usize, value: T) {
         debug_assert!(index < self.len, "SharedSlice write out of bounds");
+        // SAFETY: caller guarantees `index < len` and exclusivity.
         unsafe { self.ptr.add(index).write(value) };
     }
 
-    /// Reads the value at `index` (plain, unsynchronized read).
+    /// Reads the value at `index` without bounds or sanitizer checks.
     ///
     /// # Safety
     /// No concurrent write to `index` may happen during this launch, and
     /// `index < self.len()`.
     #[inline]
-    pub unsafe fn read(&self, index: usize) -> T
+    pub unsafe fn read_unchecked(&self, index: usize) -> T
     where
         T: Copy,
     {
         debug_assert!(index < self.len, "SharedSlice read out of bounds");
+        // SAFETY: caller guarantees `index < len` and no concurrent write.
         unsafe { self.ptr.add(index).read() }
+    }
+}
+
+impl<T: ArenaPod> SharedSlice<'_, T> {
+    /// Writes `value` at `index` (always bounds-checked; relaxed per-chunk
+    /// atomic store).
+    ///
+    /// Safe for unpadded [`ArenaPod`] types: a conflicting concurrent
+    /// write leaves some interleaving of valid chunk values — an
+    /// unspecified but *valid* `T`, never undefined behavior. The
+    /// sanitizer's racecheck reports any such conflict that is not
+    /// [`SharedSlice::benign`]-annotated.
+    ///
+    /// # Panics
+    /// Panics on out of bounds (or records a memcheck finding under a
+    /// non-fatal sanitizer, skipping the write).
+    #[inline]
+    pub fn write(&self, index: usize, value: T) {
+        const {
+            assert!(
+                !T::MAY_PAD,
+                "SharedSlice::write requires an unpadded element type"
+            );
+        }
+        if let Some(t) = &self.track {
+            if !t.access(index, self.len, size_of::<T>(), AccessKind::Write) {
+                return;
+            }
+        } else {
+            assert!(
+                index < self.len,
+                "SharedSlice write out of bounds: index {index}, len {}",
+                self.len
+            );
+        }
+        // SAFETY: `index < len` was checked above.
+        unsafe { chunk_store(self.ptr.add(index), value) };
+    }
+
+    /// Reads the value at `index` (always bounds-checked; relaxed
+    /// per-chunk atomic load). See [`SharedSlice::write`] for the
+    /// soundness argument; a read concurrent with a conflicting write
+    /// yields an unspecified valid `T` and is reported by the racecheck.
+    ///
+    /// # Panics
+    /// Panics on out of bounds (or records a memcheck finding under a
+    /// non-fatal sanitizer, returning a zeroed value).
+    #[inline]
+    pub fn read(&self, index: usize) -> T {
+        const {
+            assert!(
+                !T::MAY_PAD,
+                "SharedSlice::read requires an unpadded element type"
+            );
+        }
+        if let Some(t) = &self.track {
+            if !t.access(index, self.len, size_of::<T>(), AccessKind::Read) {
+                // SAFETY: ArenaPod admits every initialized bit pattern,
+                // including all-zeroes.
+                return unsafe { std::mem::zeroed() };
+            }
+        } else {
+            assert!(
+                index < self.len,
+                "SharedSlice read out of bounds: index {index}, len {}",
+                self.len
+            );
+        }
+        // SAFETY: `index < len` was checked above.
+        unsafe { chunk_load(self.ptr.add(index)) }
+    }
+}
+
+/// Stores `value` through `dst` as a sequence of relaxed atomic chunks
+/// (the widest of 1/2/4/8 bytes that divides `T`'s size and alignment).
+///
+/// # Safety
+/// `dst` must be valid for writes of `T` and aligned; `T` must be an
+/// unpadded [`ArenaPod`] (every byte of `value` is initialized).
+#[inline]
+unsafe fn chunk_store<T: ArenaPod>(dst: *mut T, value: T) {
+    let size = size_of::<T>();
+    let src = (&raw const value).cast::<u8>();
+    let d = dst.cast::<u8>();
+    // SAFETY (throughout): src holds `size` initialized bytes (unpadded
+    // pod), dst is valid for `size` bytes; chunk width divides both the
+    // size and the alignment of T, so every chunk access is aligned; the
+    // &mut provenance of the SharedSlice covers the whole range, and
+    // atomic stores cannot data-race.
+    unsafe {
+        if align_of::<T>().is_multiple_of(8) && size.is_multiple_of(8) {
+            let mut i = 0;
+            while i < size {
+                (*d.add(i).cast::<AtomicU64>())
+                    .store(src.add(i).cast::<u64>().read(), Ordering::Relaxed);
+                i += 8;
+            }
+        } else if align_of::<T>().is_multiple_of(4) && size.is_multiple_of(4) {
+            let mut i = 0;
+            while i < size {
+                (*d.add(i).cast::<AtomicU32>())
+                    .store(src.add(i).cast::<u32>().read(), Ordering::Relaxed);
+                i += 4;
+            }
+        } else if align_of::<T>().is_multiple_of(2) && size.is_multiple_of(2) {
+            let mut i = 0;
+            while i < size {
+                (*d.add(i).cast::<AtomicU16>())
+                    .store(src.add(i).cast::<u16>().read(), Ordering::Relaxed);
+                i += 2;
+            }
+        } else {
+            let mut i = 0;
+            while i < size {
+                (*d.add(i).cast::<AtomicU8>()).store(src.add(i).read(), Ordering::Relaxed);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Loads a `T` from `src` as a sequence of relaxed atomic chunks; the
+/// counterpart of [`chunk_store`].
+///
+/// # Safety
+/// `src` must be valid for reads of `T` and aligned; every byte must be
+/// initialized (the arena invariant for [`ArenaPod`] storage).
+#[inline]
+unsafe fn chunk_load<T: ArenaPod>(src: *const T) -> T {
+    let size = size_of::<T>();
+    let mut out = std::mem::MaybeUninit::<T>::uninit();
+    let d = out.as_mut_ptr().cast::<u8>();
+    let s = src.cast::<u8>();
+    // SAFETY (throughout): mirror of `chunk_store` — aligned chunk
+    // accesses covering exactly `size` bytes; atomic loads cannot
+    // data-race; every byte of the destination is written before
+    // `assume_init`.
+    unsafe {
+        if align_of::<T>().is_multiple_of(8) && size.is_multiple_of(8) {
+            let mut i = 0;
+            while i < size {
+                d.add(i)
+                    .cast::<u64>()
+                    .write((*s.add(i).cast::<AtomicU64>()).load(Ordering::Relaxed));
+                i += 8;
+            }
+        } else if align_of::<T>().is_multiple_of(4) && size.is_multiple_of(4) {
+            let mut i = 0;
+            while i < size {
+                d.add(i)
+                    .cast::<u32>()
+                    .write((*s.add(i).cast::<AtomicU32>()).load(Ordering::Relaxed));
+                i += 4;
+            }
+        } else if align_of::<T>().is_multiple_of(2) && size.is_multiple_of(2) {
+            let mut i = 0;
+            while i < size {
+                d.add(i)
+                    .cast::<u16>()
+                    .write((*s.add(i).cast::<AtomicU16>()).load(Ordering::Relaxed));
+                i += 2;
+            }
+        } else {
+            let mut i = 0;
+            while i < size {
+                d.add(i)
+                    .write((*s.add(i).cast::<AtomicU8>()).load(Ordering::Relaxed));
+                i += 1;
+            }
+        }
+        out.assume_init()
     }
 }
 
@@ -436,7 +850,8 @@ impl Device {
     /// written positions (each target written at most once) — violating this
     /// is a logic error that results in an unspecified (but not undefined,
     /// values are `Copy`) final value... it *is* a data race in the abstract
-    /// machine, so the method checks distinctness in debug builds.
+    /// machine, so the method checks distinctness in debug builds and the
+    /// sanitizer's racecheck reports it as a cross-block conflict.
     pub fn scatter<T>(&self, out: &mut [T], perm: &[u32], src: &[T])
     where
         T: Send + Sync + Copy,
@@ -452,13 +867,21 @@ impl Device {
                 seen[p as usize] = true;
             }
         }
+        let track = self.san_track_for(&*out);
         let shared = SharedSlice::new(out);
         self.for_each(src.len(), |i| {
             let p = perm[i] as usize;
-            assert!(p < out_len, "scatter: index out of bounds");
-            // SAFETY: caller contract — perm has distinct entries, checked
-            // exhaustively in debug builds.
-            unsafe { shared.write(p, src[i]) };
+            if let Some(t) = &track {
+                if !t.access(p, out_len, size_of::<T>(), AccessKind::Write) {
+                    return; // non-fatal memcheck: skip the bad write
+                }
+            } else {
+                assert!(p < out_len, "scatter: index out of bounds");
+            }
+            // SAFETY: caller contract — perm has distinct in-bounds
+            // entries, checked exhaustively in debug builds and bounds-
+            // checked just above.
+            unsafe { shared.write_unchecked(p, src[i]) };
         });
     }
 }
@@ -580,5 +1003,68 @@ mod tests {
             block_size: 0,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn safe_shared_write_and_read_roundtrip() {
+        let device = Device::new();
+        let mut data = vec![0u32; 10_000];
+        {
+            let shared = device.shared(&mut data);
+            device.for_each(10_000, |i| shared.write(i, i as u32 * 3));
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 * 3));
+        let shared = SharedSlice::new(&mut data);
+        assert_eq!(shared.read(7), 21);
+    }
+
+    #[test]
+    fn safe_shared_handles_wide_and_narrow_elements() {
+        let mut bytes = vec![0u8; 17];
+        let s = SharedSlice::new(&mut bytes);
+        s.write(16, 9);
+        assert_eq!(s.read(16), 9);
+        drop(s);
+        let mut pairs = vec![(0u32, 0u32); 5];
+        let s = SharedSlice::new(&mut pairs);
+        s.write(4, (1, 2));
+        assert_eq!(s.read(4), (1, 2));
+        drop(s);
+        let mut wide = vec![0u128; 3];
+        let s = SharedSlice::new(&mut wide);
+        s.write(2, u128::MAX - 1);
+        assert_eq!(s.read(2), u128::MAX - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn safe_shared_write_bounds_checked() {
+        let mut data = vec![0u32; 4];
+        let s = SharedSlice::new(&mut data);
+        s.write(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn safe_shared_read_bounds_checked() {
+        let mut data = vec![0u64; 4];
+        let s = SharedSlice::new(&mut data);
+        let _ = s.read(9);
+    }
+
+    #[test]
+    fn sanitize_off_counts_no_accesses() {
+        let device = Device::with_config(DeviceConfig {
+            sanitize: SanitizeMode::Off,
+            ..Default::default()
+        });
+        let mut data = vec![0u32; 5000];
+        let shared = device.shared(&mut data);
+        device.for_each(5000, |i| shared.write(i, 1));
+        drop(shared);
+        let mut out = vec![0u32; 5000];
+        device.scatter(&mut out, &(0..5000u32).collect::<Vec<_>>(), &data);
+        assert_eq!(device.metrics().snapshot().san_accesses, 0);
+        assert_eq!(device.metrics().snapshot().san_findings, 0);
     }
 }

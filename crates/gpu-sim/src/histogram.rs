@@ -74,6 +74,7 @@ impl Device {
         assert_eq!(out.len(), num_bins, "histogram: output length mismatch");
         if n == 0 || num_bins == 0 {
             out.fill(0);
+            self.san_mark_written(out);
             return;
         }
         let bs = self.config().block_size.max(1);
@@ -91,7 +92,9 @@ impl Device {
                     assert!(b < num_bins, "histogram: bin {b} out of range");
                     // SAFETY: block blk exclusively owns row
                     // [base, base + num_bins).
-                    unsafe { shared.write(base + b, shared.read(base + b) + 1) };
+                    unsafe {
+                        shared.write_unchecked(base + b, shared.read_unchecked(base + b) + 1)
+                    };
                 }
             });
         }

@@ -65,7 +65,7 @@ impl Device {
                     debug_assert!(seg < num_segments);
                 }
                 // SAFETY: tiles write disjoint ranges [lo, hi).
-                unsafe { shared.write(i, seg as u32) };
+                unsafe { shared.write_unchecked(i, seg as u32) };
             }
         });
         out
@@ -136,7 +136,7 @@ impl Device {
                     j += 1;
                 }
                 // SAFETY: disjoint tile ranges.
-                unsafe { shared.write(i, j as u32) };
+                unsafe { shared.write_unchecked(i, j as u32) };
             }
         });
         out

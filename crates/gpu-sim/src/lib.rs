@@ -40,9 +40,19 @@
 //! allocate nothing, plus `_into` and fused variants of the allocating
 //! primitives (`scan_*_into`, `map_scan_*`, `gather_map_into`, ...).
 //!
+//! An opt-in sanitizer plane ([`sanitize`], `EMG_SANITIZE` or
+//! [`DeviceConfig::sanitize`]) is the `compute-sanitizer` analogue:
+//! memcheck / initcheck / racecheck over the tracked access layer
+//! ([`Device::shared`] views and the checked atomic views), with
+//! pool-width-independent virtual-block attribution and a
+//! [`SharedSlice::benign`] whitelist for the algorithms' deliberate
+//! commuting races.
+//!
 //! [moderngpu]: https://github.com/moderngpu/moderngpu
+//! [`SharedSlice::benign`]: device::SharedSlice::benign
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod arena;
 pub mod atomic;
@@ -54,12 +64,14 @@ pub mod merge;
 pub mod metrics;
 pub mod rbk;
 pub mod reduce;
+pub mod sanitize;
 pub mod scan;
 pub mod segreduce;
 pub mod sort;
 
 pub use arena::{ArenaPod, ArenaVec, DeviceArena, ScratchGuard};
-pub use atomic::{as_atomic_u32, as_atomic_u64, AtomicF64Cell};
-pub use device::{Device, DeviceConfig};
+pub use atomic::{as_atomic_u32, as_atomic_u64, AtomicF64Cell, AtomicViewU32, AtomicViewU64};
+pub use device::{Device, DeviceConfig, KernelLabel, SharedSlice};
 pub use metrics::{Metrics, MetricsSnapshot, PhaseTimer};
 pub use rbk::ReducedRuns;
+pub use sanitize::{AccessKind, Finding, FindingKind, SanitizeMode};

@@ -116,7 +116,7 @@ impl Device {
             merge_serial(&a[i0..i1], &b[j0..j1], &mut buf);
             for (off, v) in buf.into_iter().enumerate() {
                 // SAFETY: tiles cover disjoint output ranges [d0, d1).
-                unsafe { shared.write(d0 + off, v) };
+                unsafe { shared.write_unchecked(d0 + off, v) };
             }
         });
         out
@@ -168,8 +168,8 @@ impl Device {
             for off in 0..(d1 - d0) {
                 // SAFETY: tiles cover disjoint output ranges.
                 unsafe {
-                    sk.write(d0 + off, bk[off]);
-                    sv.write(d0 + off, bv[off]);
+                    sk.write_unchecked(d0 + off, bk[off]);
+                    sv.write_unchecked(d0 + off, bv[off]);
                 }
             }
         });
@@ -224,7 +224,7 @@ impl Device {
                 merge_serial(&src[lo..mid], &src[mid..hi], &mut buf);
                 for (off, v) in buf.into_iter().enumerate() {
                     // SAFETY: pair p exclusively owns next[lo..hi].
-                    unsafe { shared.write(lo + off, v) };
+                    unsafe { shared.write_unchecked(lo + off, v) };
                 }
             });
             *data = next;
@@ -297,8 +297,8 @@ impl Device {
                 for off in 0..(hi - lo) {
                     // SAFETY: pair p exclusively owns [lo, hi).
                     unsafe {
-                        sk.write(lo + off, bk[off]);
-                        sv.write(lo + off, bv[off]);
+                        sk.write_unchecked(lo + off, bk[off]);
+                        sv.write_unchecked(lo + off, bv[off]);
                     }
                 }
             });

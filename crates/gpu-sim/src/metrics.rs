@@ -28,6 +28,14 @@ pub struct Metrics {
     /// Scratch bytes served from the device arena's free lists instead of
     /// the system allocator — the observable reuse.
     pub bytes_reused: AtomicU64,
+    /// Accesses instrumented by the sanitizer plane (see
+    /// [`crate::SanitizeMode`]). Exactly zero when sanitizing is off —
+    /// the benchmark gate's proof that the disabled sanitizer costs
+    /// nothing on hot paths.
+    pub san_accesses: AtomicU64,
+    /// Violations the sanitizer reported (out-of-bounds, uninitialized
+    /// reads, unannotated cross-block races).
+    pub san_findings: AtomicU64,
     /// Named phase durations, in insertion order.
     phases: Mutex<Vec<(String, Duration)>>,
 }
@@ -58,6 +66,15 @@ impl Metrics {
         }
     }
 
+    #[inline]
+    pub(crate) fn record_san_access(&self) {
+        self.san_accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_san_finding(&self) {
+        self.san_findings.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a named phase duration (appended; names may repeat).
     pub fn record_phase(&self, name: &str, elapsed: Duration) {
         self.phases.lock().push((name.to_string(), elapsed));
@@ -71,6 +88,8 @@ impl Metrics {
             primitive_calls: self.primitive_calls.load(Ordering::Relaxed),
             bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
             bytes_reused: self.bytes_reused.load(Ordering::Relaxed),
+            san_accesses: self.san_accesses.load(Ordering::Relaxed),
+            san_findings: self.san_findings.load(Ordering::Relaxed),
         }
     }
 
@@ -93,6 +112,10 @@ pub struct MetricsSnapshot {
     pub bytes_allocated: u64,
     /// Scratch bytes served from the arena pool so far.
     pub bytes_reused: u64,
+    /// Sanitizer-instrumented accesses so far (zero with sanitizing off).
+    pub san_accesses: u64,
+    /// Sanitizer findings so far.
+    pub san_findings: u64,
 }
 
 impl MetricsSnapshot {
@@ -104,6 +127,8 @@ impl MetricsSnapshot {
             primitive_calls: self.primitive_calls.saturating_sub(earlier.primitive_calls),
             bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
             bytes_reused: self.bytes_reused.saturating_sub(earlier.bytes_reused),
+            san_accesses: self.san_accesses.saturating_sub(earlier.san_accesses),
+            san_findings: self.san_findings.saturating_sub(earlier.san_findings),
         }
     }
 }
@@ -215,6 +240,8 @@ mod tests {
             primitive_calls: 1,
             bytes_allocated: 1,
             bytes_reused: 1,
+            san_accesses: 1,
+            san_findings: 1,
         };
         let b = MetricsSnapshot::default();
         let d = b.since(&a);

@@ -235,6 +235,7 @@ impl Device {
                     acc = op(acc, gen(i));
                 }
             }
+            self.san_mark_written(out);
             return acc;
         }
 
@@ -292,6 +293,7 @@ impl Device {
                     }
                 });
         });
+        self.san_mark_written(out);
         total
     }
 

@@ -79,6 +79,7 @@ impl Device {
             if keys.len() > 1 {
                 self.metrics().record_launch(keys.len() as u64);
                 keys.sort_unstable();
+                self.san_mark_written(keys);
             }
             return;
         }
@@ -121,9 +122,11 @@ impl Device {
                         keys[i] = k;
                         vals[i] = v;
                     }
+                    self.san_mark_written(vals);
                 }
                 None => keys.sort_unstable(),
             }
+            self.san_mark_written(keys);
             return;
         }
         self.radix_passes(keys, vals);
@@ -212,9 +215,9 @@ impl Device {
                             // disjoint (digit, chunk) regions; each position
                             // is written exactly once per pass.
                             unsafe {
-                                dst_k_shared.write(pos, k);
+                                dst_k_shared.write_unchecked(pos, k);
                                 if has_vals {
-                                    dst_v_shared.write(pos, src_v[i]);
+                                    dst_v_shared.write_unchecked(pos, src_v[i]);
                                 }
                             }
                         }
@@ -227,9 +230,13 @@ impl Device {
 
         if !in_keys {
             keys.copy_from_slice(&scratch_k);
-            if let Some(v) = vals {
+            if let Some(v) = &mut vals {
                 v.copy_from_slice(&scratch_v);
             }
+        }
+        self.san_mark_written(keys);
+        if let Some(v) = &vals {
+            self.san_mark_written(v);
         }
     }
 }

@@ -20,6 +20,7 @@ fn device(threads: usize) -> Device {
         seq_threshold: 512,
         launch_overhead: None,
         pooling: true,
+        ..Default::default()
     })
 }
 

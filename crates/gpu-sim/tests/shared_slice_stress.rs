@@ -18,6 +18,7 @@ fn stress_device(threads: usize) -> Device {
         seq_threshold: 0,
         launch_overhead: None,
         pooling: true,
+        ..Default::default()
     })
 }
 
@@ -29,8 +30,8 @@ fn many_blocks_disjoint_writes_lose_nothing() {
     for round in 1..=8u64 {
         let shared = SharedSlice::new(&mut out);
         device.for_each(n, |i| {
-            // SAFETY: index i is written by exactly one virtual thread.
-            unsafe { shared.write(i, i as u64 * round) };
+            // Index i is written by exactly one virtual thread.
+            shared.write(i, i as u64 * round);
         });
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i as u64 * round, "lost write at {i} in round {round}");
@@ -89,6 +90,7 @@ fn four_workers_run_blocks_concurrently() {
         seq_threshold: 0,
         launch_overhead: None,
         pooling: true,
+        ..Default::default()
     });
     assert_eq!(device.worker_threads(), 4);
     let barrier = Barrier::new(4);

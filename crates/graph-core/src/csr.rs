@@ -7,6 +7,7 @@
 
 use crate::edge_list::EdgeList;
 use crate::ids::{EdgeId, NodeId};
+use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -47,8 +48,10 @@ impl Csr {
         let mut edge_ids = vec![0 as EdgeId; 2 * m];
         {
             let cursors: Vec<AtomicU32> = offsets[..n].iter().map(|&o| AtomicU32::new(o)).collect();
-            let nb_ptr = SharedVec(neighbors.as_mut_ptr());
-            let ei_ptr = SharedVec(edge_ids.as_mut_ptr());
+            // fetch_add hands out unique slots within each node's
+            // [offsets[v], offsets[v+1]) range, so each slot has one writer.
+            let nb_shared = SharedSlice::new(&mut neighbors);
+            let ei_shared = SharedSlice::new(&mut edge_ids);
             edges
                 .edges()
                 .par_iter()
@@ -56,14 +59,10 @@ impl Csr {
                 .for_each(|(e, &(u, v))| {
                     let pu = cursors[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
                     let pv = cursors[v as usize].fetch_add(1, Ordering::Relaxed) as usize;
-                    // SAFETY: fetch_add hands out unique slots within each
-                    // node's [offsets[v], offsets[v+1]) range.
-                    unsafe {
-                        nb_ptr.write(pu, v);
-                        ei_ptr.write(pu, e as EdgeId);
-                        nb_ptr.write(pv, u);
-                        ei_ptr.write(pv, e as EdgeId);
-                    }
+                    nb_shared.write(pu, v);
+                    ei_shared.write(pu, e as EdgeId);
+                    nb_shared.write(pv, u);
+                    ei_shared.write(pv, e as EdgeId);
                 });
         }
         let mut csr = Self {
@@ -112,21 +111,20 @@ impl Csr {
         let mut neighbors = vec![0 as NodeId; 2 * m];
         let mut edge_ids = vec![0 as EdgeId; 2 * m];
         {
+            let _k = device.kernel_label("csr_place_arcs");
             let cursors: Vec<AtomicU32> = offsets[..n].iter().map(|&o| AtomicU32::new(o)).collect();
-            let nb_ptr = SharedVec(neighbors.as_mut_ptr());
-            let ei_ptr = SharedVec(edge_ids.as_mut_ptr());
+            // fetch_add hands out unique slots within each node's
+            // [offsets[v], offsets[v+1]) range, so each slot has one writer.
+            let nb_shared = device.shared(&mut neighbors);
+            let ei_shared = device.shared(&mut edge_ids);
             device.for_each(m, |e| {
                 let (u, v) = pairs[e];
                 let pu = cursors[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
                 let pv = cursors[v as usize].fetch_add(1, Ordering::Relaxed) as usize;
-                // SAFETY: fetch_add hands out unique slots within each
-                // node's [offsets[v], offsets[v+1]) range.
-                unsafe {
-                    nb_ptr.write(pu, v);
-                    ei_ptr.write(pu, e as EdgeId);
-                    nb_ptr.write(pv, u);
-                    ei_ptr.write(pv, e as EdgeId);
-                }
+                nb_shared.write(pu, v);
+                ei_shared.write(pu, e as EdgeId);
+                nb_shared.write(pv, u);
+                ei_shared.write(pv, e as EdgeId);
             });
         }
         let mut csr = Self {
@@ -206,14 +204,20 @@ impl Csr {
             .copied()
             .zip(self.edge_ids.iter().copied())
             .collect();
-        let ptr = SharedVec(zipped.as_mut_ptr());
-        let ptr_ref = &ptr;
-        (0..n).into_par_iter().for_each(move |v| {
-            let s = offsets[v] as usize;
+        // Carve the zipped array into per-node runs (offsets are monotone,
+        // so successive split_at_mut calls partition it disjointly), then
+        // sort every run in parallel.
+        let mut runs: Vec<&mut [(NodeId, EdgeId)]> = Vec::with_capacity(n);
+        let mut rest: &mut [(NodeId, EdgeId)] = &mut zipped;
+        let mut prev = 0usize;
+        for v in 0..n {
             let e = offsets[v + 1] as usize;
-            // SAFETY: node ranges [s, e) are disjoint.
-            unsafe { ptr_ref.slice_mut(s, e - s).sort_unstable() };
-        });
+            let (run, tail) = rest.split_at_mut(e - prev);
+            runs.push(run);
+            rest = tail;
+            prev = e;
+        }
+        runs.into_par_iter().for_each(|run| run.sort_unstable());
         for (i, (nb, ei)) in zipped.into_iter().enumerate() {
             self.neighbors[i] = nb;
             self.edge_ids[i] = ei;
@@ -290,26 +294,6 @@ impl Csr {
     /// The raw edge-id array, parallel to [`Csr::raw_neighbors`].
     pub fn raw_edge_ids(&self) -> &[EdgeId] {
         &self.edge_ids
-    }
-}
-
-/// Raw shared pointer wrapper for disjoint parallel writes during CSR fill.
-struct SharedVec<T>(*mut T);
-unsafe impl<T: Send> Sync for SharedVec<T> {}
-unsafe impl<T: Send> Send for SharedVec<T> {}
-impl<T> SharedVec<T> {
-    /// # Safety
-    /// `i` must be in bounds and written by exactly one thread.
-    unsafe fn write(&self, i: usize, v: T) {
-        unsafe { self.0.add(i).write(v) };
-    }
-
-    /// # Safety
-    /// `[start, start + len)` must be in bounds and disjoint from every
-    /// other concurrently accessed range.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
-        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
     }
 }
 

@@ -12,6 +12,7 @@
 //! * [`AtomicBitSet`] / [`BitSet`] — concurrent and plain bitmaps used for
 //!   visited marking and bridge flags.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;

@@ -34,6 +34,7 @@
 //! assert_eq!(parsed.graph.num_edges(), 3);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;

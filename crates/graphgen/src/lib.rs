@@ -16,6 +16,7 @@
 //!
 //! All generators are deterministic functions of their seed.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ba;

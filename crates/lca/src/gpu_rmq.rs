@@ -18,7 +18,6 @@
 
 use crate::LcaAlgorithm;
 use euler_tour::{twin, EulerTour, TourError, TreeStats};
-use gpu_sim::device::SharedSlice;
 use gpu_sim::Device;
 use graph_core::ids::NodeId;
 use graph_core::Tree;
@@ -66,13 +65,14 @@ impl<'d> GpuRmqLca<'d> {
         // first entered through its unique down edge, one write per node.
         let mut first = vec![0u32; n];
         {
-            let shared = SharedSlice::new(&mut first);
+            let _k = device.kernel_label("rmq_first_occurrence");
+            // Each non-root node has exactly one down edge.
+            let shared = device.shared(&mut first);
             let rank = tour.rank();
             device.for_each(tour.len(), |e| {
                 let e = e as u32;
                 if rank[e as usize] < rank[twin(e) as usize] {
-                    // SAFETY: each non-root node has exactly one down edge.
-                    unsafe { shared.write(heads[e as usize] as usize, rank[e as usize] + 1) };
+                    shared.write(heads[e as usize] as usize, rank[e as usize] + 1);
                 }
             });
         }

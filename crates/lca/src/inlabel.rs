@@ -113,15 +113,15 @@ impl InlabelTables {
 
         let mut head = vec![INVALID_NODE; n + 1];
         {
-            let head_ptr = SyncPtr(head.as_mut_ptr());
+            // One head per inlabel value, so each slot has one writer.
+            let head_shared = SharedSlice::new(&mut head);
             (0..n).into_par_iter().for_each(|v| {
                 let is_head = match stats.parent[v] {
                     INVALID_NODE => true,
                     p => inlabel[p as usize] != inlabel[v],
                 };
                 if is_head {
-                    // SAFETY: one head per inlabel value.
-                    unsafe { head_ptr.write(inlabel[v] as usize, v as NodeId) };
+                    head_shared.write(inlabel[v] as usize, v as NodeId);
                 }
             });
         }
@@ -195,7 +195,9 @@ impl InlabelTables {
 
         let mut head = vec![INVALID_NODE; n + 1];
         {
-            let head_shared = SharedSlice::new(&mut head);
+            let _k = device.kernel_label("inlabel_heads");
+            // One head per inlabel value, so each slot has one writer.
+            let head_shared = device.shared(&mut head);
             let inlabel_ref = &inlabel;
             device.for_each(n, |v| {
                 let is_head = match stats.parent[v] {
@@ -203,8 +205,7 @@ impl InlabelTables {
                     p => inlabel_ref[p as usize] != inlabel_ref[v],
                 };
                 if is_head {
-                    // SAFETY: one head per inlabel value.
-                    unsafe { head_shared.write(inlabel_ref[v] as usize, v as NodeId) };
+                    head_shared.write(inlabel_ref[v] as usize, v as NodeId);
                 }
             });
         }
@@ -214,20 +215,19 @@ impl InlabelTables {
         let mut ipar = device.alloc_filled(n + 1, INVALID_NODE);
         let mut asc = device.alloc_filled(n + 1, 0u32);
         {
-            let ipar_shared = SharedSlice::new(&mut ipar);
-            let asc_shared = SharedSlice::new(&mut asc);
+            let _k = device.kernel_label("inlabel_tree_seed");
+            // Each l is written once by its own virtual thread.
+            let ipar_shared = device.shared(&mut ipar);
+            let asc_shared = device.shared(&mut asc);
             let inlabel_ref = &inlabel;
             let head_ref = &head;
             device.for_each(n + 1, |l| {
                 let h = head_ref[l];
                 if h != INVALID_NODE {
-                    // SAFETY: each l written once by its own virtual thread.
-                    unsafe {
-                        asc_shared.write(l, 1u32 << (l as u32).trailing_zeros());
-                        match stats.parent[h as usize] {
-                            INVALID_NODE => {}
-                            p => ipar_shared.write(l, inlabel_ref[p as usize]),
-                        }
+                    asc_shared.write(l, 1u32 << (l as u32).trailing_zeros());
+                    match stats.parent[h as usize] {
+                        INVALID_NODE => {}
+                        p => ipar_shared.write(l, inlabel_ref[p as usize]),
                     }
                 }
             });
@@ -362,18 +362,6 @@ impl InlabelTables {
             }
         }
         Ok(())
-    }
-}
-
-/// Raw pointer wrapper for disjoint writes from rayon loops.
-struct SyncPtr<T>(*mut T);
-unsafe impl<T: Send> Sync for SyncPtr<T> {}
-unsafe impl<T: Send> Send for SyncPtr<T> {}
-impl<T> SyncPtr<T> {
-    /// # Safety
-    /// Each index written by at most one thread; index in bounds.
-    unsafe fn write(&self, i: usize, v: T) {
-        unsafe { self.0.add(i).write(v) };
     }
 }
 

@@ -28,6 +28,7 @@
 //! assert_eq!(lca.query(3, 5), 0);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;

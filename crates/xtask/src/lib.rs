@@ -1,0 +1,301 @@
+//! # xtask — workspace hygiene tasks
+//!
+//! `cargo run -p xtask -- lint` runs the **unsafe-usage gate**: a
+//! text-level pass over the workspace sources (no parser, no external
+//! dependencies) that pins down where `unsafe` is allowed to live and what
+//! paperwork it requires. The rules, mirroring DESIGN.md §9:
+//!
+//! 1. every non-`gpu-sim` crate root carries `#![deny(unsafe_code)]`;
+//! 2. `gpu-sim`'s root carries `#![deny(unsafe_op_in_unsafe_fn)]`;
+//! 3. the `unsafe` keyword appears **only** inside `gpu-sim` (the device
+//!    access layer) — algorithm crates must use the safe tracked views;
+//! 4. every `unsafe` inside `gpu-sim` carries a `SAFETY:` (or doc
+//!    `# Safety`) justification in the contiguous comment run above it;
+//! 5. `allow(unsafe_code)` never appears — the denies cannot be waived;
+//! 6. raw-pointer idioms (`slice::from_raw_parts`, `from_raw_parts_mut`,
+//!    `as *mut`, `as *const`, `.offset(`) stay inside `gpu-sim` too, so a
+//!    crate cannot smuggle pointer arithmetic past rule 3 behind a macro.
+//!
+//! `vendor/` (offline stand-ins), `target/`, and any path containing
+//! `fixtures` are exempt. The `xtask` crate itself is exempt from the
+//! content rules (its source must name the patterns it hunts) but not from
+//! rule 1 — the compiler still enforces `#![deny(unsafe_code)]` here.
+
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug)]
+pub struct Finding {
+    /// File the violation is in, relative to the linted root when possible.
+    pub path: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Short rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Raw-pointer idioms that must not appear outside the access layer.
+const RAW_PTR_PATTERNS: &[&str] = &[
+    "slice::from_raw_parts",
+    "from_raw_parts_mut",
+    "as *mut",
+    "as *const",
+    ".offset(",
+];
+
+/// Runs the full unsafe-usage gate over a workspace rooted at `root`.
+/// Returns every violation found (empty = clean).
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            findings.push(Finding {
+                path: crates_dir.clone(),
+                line: 0,
+                rule: "structure",
+                message: format!("cannot read crates directory: {e}"),
+            });
+            return findings;
+        }
+    };
+    crate_dirs.sort();
+
+    for dir in &crate_dirs {
+        let name = dir.file_name().unwrap_or_default().to_string_lossy();
+        let is_gpu_sim = name == "gpu-sim";
+        let is_xtask = name == "xtask";
+
+        // Rule 1 / 2: the crate-root attributes.
+        let lib = dir.join("src/lib.rs");
+        if let Ok(text) = fs::read_to_string(&lib) {
+            if is_gpu_sim {
+                if !text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+                    findings.push(finding_at(
+                        root,
+                        &lib,
+                        0,
+                        "root-attr",
+                        "gpu-sim must carry #![deny(unsafe_op_in_unsafe_fn)] at the crate root"
+                            .into(),
+                    ));
+                }
+            } else if !text.contains("#![deny(unsafe_code)]") {
+                findings.push(finding_at(
+                    root,
+                    &lib,
+                    0,
+                    "root-attr",
+                    format!("crate `{name}` must carry #![deny(unsafe_code)] at the crate root"),
+                ));
+            }
+        }
+
+        if is_xtask {
+            continue; // content rules: see module docs.
+        }
+        for file in rust_files(dir) {
+            lint_file(root, &file, is_gpu_sim, &mut findings);
+        }
+    }
+
+    // The facade package's own sources and integration tests.
+    for top in ["src", "tests", "benches", "examples"] {
+        let d = root.join(top);
+        if d.is_dir() {
+            for file in rust_files(&d) {
+                lint_file(root, &file, false, &mut findings);
+            }
+        }
+    }
+
+    findings
+}
+
+fn finding_at(
+    root: &Path,
+    file: &Path,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) -> Finding {
+    Finding {
+        path: file.strip_prefix(root).unwrap_or(file).to_path_buf(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// Recursively collects `.rs` files, skipping exempt directories.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(rd) = fs::read_dir(&d) else { continue };
+        for entry in rd.filter_map(|e| e.ok()) {
+            let p = entry.path();
+            let fname = p
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            if p.is_dir() {
+                if fname == "target" || fname == "vendor" || fname.contains("fixtures") {
+                    continue;
+                }
+                stack.push(p);
+            } else if fname.ends_with(".rs") && !p.to_string_lossy().contains("fixtures") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Whether `line` contains `unsafe` as a standalone keyword (not as part of
+/// a longer identifier like `unsafe_op_in_unsafe_fn`).
+fn has_unsafe_keyword(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("unsafe") {
+        let start = from + pos;
+        let end = start + "unsafe".len();
+        let before_ok = start == 0 || !is_word_byte(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_word_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_comment_line(trimmed: &str) -> bool {
+    trimmed.starts_with("//")
+}
+
+fn is_attr_line(trimmed: &str) -> bool {
+    trimmed.starts_with("#[") || trimmed.starts_with("#![")
+}
+
+/// Whether the contiguous run of comment/attribute lines directly above
+/// `idx` (or the line itself) contains a safety justification.
+fn has_safety_comment(lines: &[&str], idx: usize) -> bool {
+    let mentions = |s: &str| s.contains("SAFETY") || s.contains("# Safety");
+    if mentions(lines[idx]) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if is_comment_line(t) {
+            if mentions(t) {
+                return true;
+            }
+        } else if !is_attr_line(t) && !is_continuation_line(t) {
+            break;
+        }
+    }
+    false
+}
+
+/// Whether a rustfmt-wrapped statement continues past this line — the
+/// `unsafe` of `let x =\n    unsafe { … }` sits below its SAFETY comment,
+/// so the upward walk must pass through the `let x =` line.
+fn is_continuation_line(trimmed: &str) -> bool {
+    let code = code_part(trimmed).trim_end();
+    code.ends_with('=') || code.ends_with('(') || code.ends_with(',') || code.ends_with("=>")
+}
+
+/// Strips a trailing `//` line comment. Naive about `//` inside string
+/// literals — acceptable for a text-level gate (the compiler-enforced
+/// `#![deny(unsafe_code)]` is the ground truth; this pass is the early,
+/// readable report).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn lint_file(root: &Path, file: &Path, is_gpu_sim: bool, findings: &mut Vec<Finding>) {
+    let Ok(text) = fs::read_to_string(file) else {
+        return;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        let lineno = i + 1;
+        if is_comment_line(trimmed) {
+            continue;
+        }
+        let code = code_part(raw);
+
+        // Rule 5: an attribute is never a comment, so the code part
+        // suffices (a commented-out allow is harmless).
+        if code.contains("allow(unsafe_code)") {
+            findings.push(finding_at(
+                root,
+                file,
+                lineno,
+                "allow-unsafe",
+                "allow(unsafe_code) waives the workspace deny and is forbidden".into(),
+            ));
+        }
+
+        if has_unsafe_keyword(code) {
+            if !is_gpu_sim {
+                findings.push(finding_at(root, file, lineno, "unsafe-outside-gpu-sim",
+                    "`unsafe` is only permitted inside the gpu-sim access layer; use the safe tracked views".into()));
+            } else if !has_safety_comment(&lines, i) {
+                findings.push(finding_at(root, file, lineno, "missing-safety-comment",
+                    "`unsafe` in gpu-sim requires a SAFETY: (or doc `# Safety`) justification in the comment run above".into()));
+            }
+        }
+
+        if !is_gpu_sim {
+            for pat in RAW_PTR_PATTERNS {
+                if code.contains(pat) {
+                    findings.push(finding_at(
+                        root,
+                        file,
+                        lineno,
+                        "raw-ptr-outside-gpu-sim",
+                        format!("raw-pointer idiom `{pat}` is only permitted inside gpu-sim"),
+                    ));
+                }
+            }
+        }
+    }
+}

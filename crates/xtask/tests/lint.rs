@@ -1,0 +1,177 @@
+//! The lint gate's own tests: seeded violations in synthetic workspace
+//! trees must be caught, and the real workspace must be clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::lint_workspace;
+
+/// Builds a throwaway workspace tree under the system temp directory.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("xtask-lint-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates")).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let p = self.root.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(p, content).unwrap();
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn rules(findings: &[xtask::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn clean_synthetic_workspace_passes() {
+    let ws = TempWorkspace::new("clean");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f() -> u32 { 1 }\n",
+    );
+    ws.write(
+        "crates/gpu-sim/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\n// SAFETY: test fixture, trivially disjoint.\npub fn g() { unsafe { std::ptr::null::<u8>().read_volatile(); } }\n",
+    );
+    assert!(
+        lint_workspace(&ws.root).is_empty(),
+        "{:?}",
+        lint_workspace(&ws.root)
+    );
+}
+
+#[test]
+fn unsafe_outside_gpu_sim_is_flagged() {
+    let ws = TempWorkspace::new("outside");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+    let f = lint_workspace(&ws.root);
+    assert!(rules(&f).contains(&"unsafe-outside-gpu-sim"), "{f:?}");
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn missing_root_attrs_are_flagged() {
+    let ws = TempWorkspace::new("attrs");
+    ws.write("crates/algo/src/lib.rs", "pub fn f() {}\n");
+    ws.write("crates/gpu-sim/src/lib.rs", "pub fn g() {}\n");
+    let f = lint_workspace(&ws.root);
+    let r = rules(&f);
+    assert_eq!(r.iter().filter(|&&x| x == "root-attr").count(), 2, "{f:?}");
+}
+
+#[test]
+fn unsafe_without_safety_comment_in_gpu_sim_is_flagged() {
+    let ws = TempWorkspace::new("nosafety");
+    ws.write(
+        "crates/gpu-sim/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\npub fn g(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+    let f = lint_workspace(&ws.root);
+    assert!(rules(&f).contains(&"missing-safety-comment"), "{f:?}");
+}
+
+#[test]
+fn safety_comment_through_attributes_is_accepted() {
+    let ws = TempWorkspace::new("attrcomment");
+    ws.write(
+        "crates/gpu-sim/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\n// SAFETY: fixture invariant.\n#[inline]\npub fn g(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+    assert!(
+        lint_workspace(&ws.root).is_empty(),
+        "{:?}",
+        lint_workspace(&ws.root)
+    );
+}
+
+#[test]
+fn allow_unsafe_code_is_flagged_everywhere() {
+    let ws = TempWorkspace::new("allow");
+    ws.write(
+        "crates/gpu-sim/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\n#[allow(unsafe_code)]\npub fn g() {}\n",
+    );
+    let f = lint_workspace(&ws.root);
+    assert!(rules(&f).contains(&"allow-unsafe"), "{f:?}");
+}
+
+#[test]
+fn raw_pointer_idioms_outside_gpu_sim_are_flagged() {
+    let ws = TempWorkspace::new("rawptr");
+    // No `unsafe` keyword — e.g. hidden behind a macro — but the idiom
+    // itself is still caught.
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f(x: &u32) -> usize { (x as *const u32) as usize }\n",
+    );
+    let f = lint_workspace(&ws.root);
+    assert!(rules(&f).contains(&"raw-ptr-outside-gpu-sim"), "{f:?}");
+}
+
+#[test]
+fn unsafe_in_comments_and_identifiers_is_ignored() {
+    let ws = TempWorkspace::new("comments");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\n// this comment says unsafe and that is fine\npub fn unsafe_free() {}\npub const UNSAFE_LOOKING: u32 = 0; // mentions unsafe\n",
+    );
+    let f = lint_workspace(&ws.root);
+    // `unsafe_free` / comment mentions must not trip the keyword rule; the
+    // trailing comment on the const line does contain the bare word, which
+    // a text-level lint conservatively flags — so the fixture avoids it in
+    // code position. Expect fully clean.
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn fixture_directories_are_exempt() {
+    let ws = TempWorkspace::new("exempt");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f() {}\n",
+    );
+    ws.write(
+        "crates/algo/tests/fixtures/bad.rs",
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+    assert!(
+        lint_workspace(&ws.root).is_empty(),
+        "{:?}",
+        lint_workspace(&ws.root)
+    );
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let findings = lint_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "workspace lint violations:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

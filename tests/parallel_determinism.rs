@@ -21,6 +21,7 @@ fn device(threads: usize) -> Device {
         seq_threshold: 256,
         launch_overhead: None,
         pooling: true,
+        ..Default::default()
     })
 }
 

@@ -1,0 +1,105 @@
+//! Full-pipeline sanitizer gate: every production algorithm, run end to
+//! end under `SanitizeMode::Full`, must produce **zero** findings. This is
+//! the flip side of the seeded-violation suite in
+//! `crates/gpu-sim/tests/sanitizer.rs`: there we prove the sanitizer sees
+//! planted bugs; here we prove the shipped kernels are clean (every
+//! intentional race carries its `benign` annotation, every pooled buffer
+//! is initialized before it is read, no index ever leaves its region).
+
+use bridges::{bridges_hybrid_with, bridges_tv_with};
+use euler_meets_gpu::gpu_sim::SanitizeMode;
+use euler_meets_gpu::prelude::*;
+use euler_tour::ranking::Ranker;
+
+/// A sanitizing device with small blocks so even these small inputs fan
+/// out across many virtual blocks (racecheck needs cross-block traffic)
+/// and a low inline threshold so the parallel paths actually run.
+fn sanitizing_device() -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(4),
+        block_size: 256,
+        seq_threshold: 64,
+        sanitize: SanitizeMode::Full,
+        sanitize_fatal: false,
+        ..DeviceConfig::default()
+    })
+}
+
+/// Asserts the device accumulated no findings, printing them all if it did.
+fn assert_clean(device: &Device, stage: &str) {
+    let findings = device.take_findings();
+    assert!(
+        findings.is_empty(),
+        "sanitizer findings in `{stage}`:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f:?}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn bridges_all_backends_are_sanitizer_clean() {
+    let device = sanitizing_device();
+    let graph = graphgen::ba_graph(600, 3, 11);
+    let csr = Csr::from_edge_list(&graph);
+    assert_clean(&device, "csr construction");
+
+    for builder in bridges::forest::all_builders() {
+        let tv = bridges_tv_with(&device, &graph, &csr, builder.as_ref()).expect("tv");
+        assert_clean(&device, &format!("bridges_tv[{}]", builder.name()));
+        let hy = bridges_hybrid_with(&device, &graph, &csr, builder.as_ref()).expect("hybrid");
+        assert_clean(&device, &format!("bridges_hybrid[{}]", builder.name()));
+        assert_eq!(tv.is_bridge, hy.is_bridge, "backend {}", builder.name());
+    }
+
+    bridges_ck_device(&device, &graph, &csr).expect("ck");
+    assert_clean(&device, "bridges_ck_device");
+
+    bcc_tv(&device, &graph, &csr).expect("bcc");
+    assert_clean(&device, "bcc_tv");
+
+    let snap = device.metrics().snapshot();
+    assert_eq!(snap.san_findings, 0);
+    assert!(snap.san_accesses > 0, "Full mode must actually track");
+}
+
+#[test]
+fn euler_tour_and_stats_are_sanitizer_clean_for_every_ranker() {
+    let device = sanitizing_device();
+    let tree = random_tree(800, None, 21);
+    for ranker in [Ranker::Sequential, Ranker::Wyllie, Ranker::WeiJaJa] {
+        let tour = EulerTour::build_with_ranker(&device, &tree, ranker).expect("tour");
+        assert_clean(&device, &format!("euler_tour[{ranker:?}]"));
+        let stats = TreeStats::compute(&device, &tour);
+        assert_clean(&device, &format!("tree_stats[{ranker:?}]"));
+        assert_eq!(
+            stats.subtree_size[tree.root() as usize] as usize,
+            tree.num_nodes()
+        );
+    }
+    assert_eq!(device.metrics().snapshot().san_findings, 0);
+}
+
+#[test]
+fn lca_algorithms_are_sanitizer_clean() {
+    let device = sanitizing_device();
+    let tree = random_tree(700, Some(8), 31);
+    let queries = random_queries(700, 1_000, 32);
+    let mut out = vec![0u32; queries.len()];
+
+    let inlabel = GpuInlabelLca::preprocess(&device, &tree).expect("inlabel");
+    inlabel.query_batch(&queries, &mut out);
+    assert_clean(&device, "gpu_inlabel_lca");
+
+    let rmq = GpuRmqLca::preprocess(&device, &tree).expect("rmq");
+    rmq.query_batch(&queries, &mut out);
+    assert_clean(&device, "gpu_rmq_lca");
+
+    let naive = NaiveGpuLca::preprocess(&device, &tree);
+    naive.query_batch(&queries, &mut out);
+    assert_clean(&device, "naive_gpu_lca");
+
+    assert_eq!(device.metrics().snapshot().san_findings, 0);
+}
