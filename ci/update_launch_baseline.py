@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate ci/launch_baseline.json from a scan_war JSONL run.
+
+The baseline pins the kernel-launch count and modeled byte traffic of
+every scan_war pipeline at the CI smoke configuration. Launches and
+bytes are host-independent (the experiment pins the simulated grid to
+4 workers), so any drift is a real change in algorithm structure and
+must be acknowledged by regenerating this file:
+
+    cargo build --release -p euler-bench --bin scan_war
+    EMG_BENCH_JSON=scan_war.jsonl ./target/release/scan_war --scale 64 --repeats 2
+    python3 ci/update_launch_baseline.py scan_war.jsonl
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    src = pathlib.Path(sys.argv[1])
+    out = pathlib.Path(__file__).resolve().parent / "launch_baseline.json"
+
+    baseline = {}
+    for line in src.read_text().splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        if rec.get("group") != "scan_war":
+            continue
+        baseline[rec["bench"]] = {
+            "kernel_launches": int(rec["kernel_launches"]),
+            "bytes_read": int(rec["bytes_read"]),
+            "bytes_written": int(rec["bytes_written"]),
+        }
+    if not baseline:
+        print(f"error: no scan_war records in {src}", file=sys.stderr)
+        return 1
+
+    doc = {
+        "_comment": "Pinned launch/traffic counts for scan_war --scale 64 "
+        "(4-worker simulated grid; host-independent). Regenerate with "
+        "ci/update_launch_baseline.py after intentional changes.",
+        "scale": 64,
+        "benches": dict(sorted(baseline.items())),
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out} ({len(baseline)} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

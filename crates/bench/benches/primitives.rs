@@ -112,30 +112,62 @@ fn bench_merge(c: &mut Criterion) {
     group.finish();
 }
 
+/// The key distributions the sort war runs on. Merge-path sort is
+/// comparison-based, so pre-sorted and reverse-sorted inputs change its
+/// merge work; LSD radix is oblivious to key order but sensitive to key
+/// magnitude (`skewed` keeps all keys under 2^16, letting the max-key
+/// probe skip the high passes).
+fn sort_distributions(n: usize) -> Vec<(&'static str, Vec<u64>)> {
+    let uniform = pseudo_random(n, 6);
+    let mut presorted = uniform.clone();
+    presorted.sort_unstable();
+    let mut reversed = presorted.clone();
+    reversed.reverse();
+    let skewed: Vec<u64> = uniform.iter().map(|&k| k % (1 << 16)).collect();
+    vec![
+        ("uniform", uniform),
+        ("presorted", presorted),
+        ("reversed", reversed),
+        ("skewed", skewed),
+    ]
+}
+
 fn bench_mergesort_vs_radix(c: &mut Criterion) {
-    // Ablation: comparison mergesort vs LSD radix on the same u64 keys.
-    // Radix should win by a wide margin — the reason DCEL construction
-    // packs endpoints into radix-sortable u64 keys.
+    // Ablation: comparison mergesort vs LSD radix on the same u64 keys
+    // across input distributions. Radix should win by a wide margin on
+    // uniform keys — the reason DCEL construction packs endpoints into
+    // radix-sortable u64 keys — while the distribution sweep shows where
+    // the gap narrows (low-magnitude keys drop radix passes; sorted
+    // inputs do not rescue merge sort, its pass count is fixed).
     let device = Device::new();
     let mut group = c.benchmark_group("mergesort_vs_radix");
     group.sample_size(10);
     let n = 1usize << 19;
-    let data = pseudo_random(n, 6);
     group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("merge_sort", |b| {
-        b.iter(|| {
-            let mut d = data.clone();
-            device.merge_sort(&mut d);
-            d
-        });
-    });
-    group.bench_function("radix_sort", |b| {
-        b.iter(|| {
-            let mut d = data.clone();
-            device.sort_u64(&mut d);
-            d
-        });
-    });
+    for (dist, data) in sort_distributions(n) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        type SortFn = fn(&Device, &mut Vec<u64>);
+        let algos: [(&str, SortFn); 2] = [
+            ("merge_sort", |d, keys| d.merge_sort(keys)),
+            ("radix_sort", |d, keys| d.sort_u64(keys)),
+        ];
+        for (algo, sort) in algos {
+            let mut check = data.clone();
+            sort(&device, &mut check);
+            assert_eq!(check, expected, "{algo}/{dist}: wrong sort output");
+            // One JSONL line per contender lands in $EMG_BENCH_JSON via
+            // the harness, so the sort war can be compared next to the
+            // scan_war rows across machines.
+            group.bench_function(BenchmarkId::new(algo, dist), |b| {
+                b.iter(|| {
+                    let mut d = data.clone();
+                    sort(&device, &mut d);
+                    d
+                });
+            });
+        }
+    }
     group.finish();
 }
 

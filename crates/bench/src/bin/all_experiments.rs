@@ -21,6 +21,7 @@ fn main() {
     euler_bench::experiments::io_sweep::run(&cfg);
     euler_bench::experiments::mem_sweep::run(&cfg);
     euler_bench::experiments::sanitize_sweep::run(&cfg);
+    euler_bench::experiments::scan_war::run(&cfg);
     println!(
         "=== evaluation complete; CSVs in {} ===",
         cfg.out_dir.display()

@@ -1,0 +1,6 @@
+//! Scan war: decoupled-lookback vs two-pass scan cores — bit-identity,
+//! launch counts, and modeled memory traffic (host-independent).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::scan_war::run(&cfg);
+}

@@ -15,6 +15,7 @@ pub mod io_sweep;
 pub mod mem_sweep;
 pub mod prelim_rmq;
 pub mod sanitize_sweep;
+pub mod scan_war;
 pub mod table1;
 
 pub(crate) mod lca_common;

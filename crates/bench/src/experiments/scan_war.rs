@@ -1,0 +1,315 @@
+//! Scan war: single-pass decoupled lookback vs the two-pass baseline.
+//!
+//! Every prefix-sum-shaped primitive dispatches on
+//! [`gpu_sim::DeviceConfig::scan_engine`]; this experiment races the two
+//! cores and pins the traffic claim the lookback design exists for:
+//!
+//! * **bit-identical outputs** — every shape runs on both engines (and on
+//!   a single-worker device) and the results are asserted equal;
+//! * **memory traffic** — the lookback scan reads each element exactly
+//!   once and writes it once (`reads_per_elem = 1`), where the two-pass
+//!   core reads twice (reduce pass + downsweep); asserted exactly, then
+//!   recorded so CI's perf gate can fail a regression host-independently;
+//! * **launch counts** — lookback scans and compactions are one launch,
+//!   the baseline two; whole pipelines (CSR build, TV/hybrid bridges,
+//!   connected components, inlabel LCA) are measured and emitted so CI
+//!   can diff them against the checked-in `ci/launch_baseline.json`.
+//!
+//! Launches and modeled bytes are **host-independent**: the devices pin
+//! `threads = Some(4)` so the simulated grid geometry (and hence every
+//! count this experiment emits) is the same on a laptop and in CI.
+
+use crate::config::Config;
+use crate::harness::{emit_bench_json_fields, fmt_secs, mean_std, time, Table};
+use bridges::cc::connected_components;
+use bridges::{bridges_hybrid, bridges_tv};
+use gpu_sim::{Device, DeviceConfig, MetricsSnapshot, SanitizeMode, ScanEngine};
+use graph_core::Csr;
+use graphgen::{ba_graph, random_tree};
+use lca::{GpuInlabelLca, LcaAlgorithm};
+use std::time::Duration;
+
+/// A contender device: grid geometry pinned so launch/byte counts are
+/// host-independent.
+fn dev(engine: ScanEngine) -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(4),
+        scan_engine: engine,
+        ..Default::default()
+    })
+}
+
+/// Single-worker variant — the degenerate grid where the lookback spin
+/// must never trigger.
+fn dev_width1(engine: ScanEngine) -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(1),
+        scan_engine: engine,
+        ..Default::default()
+    })
+}
+
+const ENGINES: [(ScanEngine, &str); 2] = [
+    (ScanEngine::Lookback, "lookback"),
+    (ScanEngine::TwoPass, "two_pass"),
+];
+
+/// Times `iter` on `device` and measures the metrics delta of one
+/// steady-state iteration.
+fn drive<O>(
+    device: &Device,
+    repeats: usize,
+    mut iter: impl FnMut(&Device) -> O,
+) -> (O, Vec<Duration>, MetricsSnapshot) {
+    let output = iter(device); // warmup: populates the arena pool
+    let mut samples = Vec::with_capacity(repeats);
+    let mut delta = MetricsSnapshot::default();
+    for rep in 0..repeats.max(1) {
+        let before = device.metrics().snapshot();
+        let (_, d) = time(|| iter(device));
+        samples.push(d);
+        if rep + 1 == repeats.max(1) {
+            delta = device.metrics().snapshot().since(&before);
+        }
+    }
+    (output, samples, delta)
+}
+
+/// Emits one contender row: table, JSONL (with the launch/traffic fields
+/// the CI gate reads), and the per-element ratios.
+#[allow(clippy::too_many_arguments)]
+fn report(
+    table: &mut Table,
+    section: &str,
+    name: &str,
+    engine: &str,
+    elements: u64,
+    samples: &[Duration],
+    delta: &MetricsSnapshot,
+) {
+    let (mean, std) = mean_std(samples);
+    let reads_per_elem = delta.bytes_read as f64 / elements.max(1) as f64;
+    let writes_per_elem = delta.bytes_written as f64 / elements.max(1) as f64;
+    table.row(vec![
+        section.to_string(),
+        name.to_string(),
+        engine.to_string(),
+        elements.to_string(),
+        fmt_secs(mean),
+        delta.kernel_launches.to_string(),
+        format!("{reads_per_elem:.2}"),
+        format!("{writes_per_elem:.2}"),
+    ]);
+    emit_bench_json_fields(
+        "scan_war",
+        &format!("{section}/{name}/{engine}"),
+        mean,
+        std,
+        samples.len() as u64,
+        Some(elements),
+        &[
+            ("kernel_launches", delta.kernel_launches as f64),
+            ("bytes_read", delta.bytes_read as f64),
+            ("bytes_written", delta.bytes_written as f64),
+            ("reads_per_elem", reads_per_elem),
+            ("writes_per_elem", writes_per_elem),
+        ],
+    );
+}
+
+/// One primitive shape × both engines × both pool widths: assert
+/// bit-identical outputs everywhere, record the pinned-width rows.
+fn race_shape<O: PartialEq + std::fmt::Debug>(
+    table: &mut Table,
+    name: &str,
+    elements: u64,
+    repeats: usize,
+    mut iter: impl FnMut(&Device) -> O,
+) -> [MetricsSnapshot; 2] {
+    let mut reference: Option<O> = None;
+    let mut deltas = [MetricsSnapshot::default(); 2];
+    for (slot, (engine, engine_name)) in ENGINES.into_iter().enumerate() {
+        let (out, samples, delta) = drive(&dev(engine), repeats, &mut iter);
+        let (out_w1, _, _) = drive(&dev_width1(engine), 1, &mut iter);
+        assert_eq!(out, out_w1, "{name}/{engine_name}: width-1 output diverged");
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(
+                r, &out,
+                "{name}: engines must produce bit-identical outputs"
+            ),
+        }
+        report(
+            table,
+            "primitive",
+            name,
+            engine_name,
+            elements,
+            &samples,
+            &delta,
+        );
+        deltas[slot] = delta;
+    }
+    deltas
+}
+
+/// One pipeline × both engines: assert identical outputs, emit the
+/// launch accounting CI diffs against `ci/launch_baseline.json`.
+fn race_pipeline<O: PartialEq + std::fmt::Debug>(
+    table: &mut Table,
+    name: &str,
+    elements: u64,
+    repeats: usize,
+    mut iter: impl FnMut(&Device) -> O,
+) {
+    let mut reference: Option<O> = None;
+    for (engine, engine_name) in ENGINES {
+        let (out, samples, delta) = drive(&dev(engine), repeats, &mut iter);
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(r, &out, "{name}: engine outputs diverged"),
+        }
+        report(
+            table,
+            "pipeline",
+            name,
+            engine_name,
+            elements,
+            &samples,
+            &delta,
+        );
+    }
+}
+
+/// Runs the war. Scale 64 is the CI smoke configuration the checked-in
+/// launch baseline was generated at.
+pub fn run(cfg: &Config) {
+    let n = cfg.nodes(16_000_000);
+    let repeats = cfg.repeats.max(2);
+    let mut table = Table::new(
+        "Scan war: decoupled lookback vs two-pass (pinned 4-worker grid)",
+        &[
+            "section", "shape", "engine", "elements", "mean", "launches", "rd/elem", "wr/elem",
+        ],
+    );
+
+    // ---- primitive shapes ----------------------------------------------
+    let input: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) % 1_000)
+        .collect();
+    let deltas = race_shape(
+        &mut table,
+        "add_scan_inclusive_u64",
+        n as u64,
+        repeats,
+        |d| d.scan_inclusive(&input, 0u64, |a, b| a.wrapping_add(b)),
+    );
+    // The tentpole claim, asserted exactly: 1 launch and 1 read + 1 write
+    // per element for lookback, 2 launches and 2 reads for the baseline.
+    let bytes = 8 * n as u64;
+    assert_eq!(deltas[0].kernel_launches, 1, "lookback scan launches");
+    assert_eq!(deltas[0].bytes_read, bytes, "lookback scan reads");
+    assert_eq!(deltas[0].bytes_written, bytes, "lookback scan writes");
+    assert_eq!(deltas[1].kernel_launches, 2, "two-pass scan launches");
+    assert_eq!(deltas[1].bytes_read, 2 * bytes, "two-pass scan reads");
+    assert_eq!(deltas[1].bytes_written, bytes, "two-pass scan writes");
+
+    race_shape(&mut table, "exclusive_scan_u32", n as u64, repeats, |d| {
+        d.scan_exclusive_with_total(&input, 0u64, |a, b| a.wrapping_add(b))
+    });
+    race_shape(&mut table, "compact_half", n as u64, repeats, |d| {
+        d.compact_indices(n, |i| i % 2 == 0)
+    });
+    let seg_offsets: Vec<u32> = (0..=(n / 8) as u32)
+        .map(|s| s * 8)
+        .chain(if n.is_multiple_of(8) {
+            None
+        } else {
+            Some(n as u32)
+        })
+        .collect();
+    race_shape(&mut table, "segscan_add_u64", n as u64, repeats, |d| {
+        d.segmented_add_scan_u64(&input, &seg_offsets)
+    });
+
+    // Full-sanitizer spot check: the descriptor protocol must be clean
+    // under memcheck + initcheck + racecheck.
+    {
+        let device = Device::with_config(DeviceConfig {
+            threads: Some(4),
+            sanitize: SanitizeMode::Full,
+            sanitize_fatal: false,
+            scan_engine: ScanEngine::Lookback,
+            ..Default::default()
+        });
+        let _ = device.scan_inclusive(&input, 0u64, |a, b| a.wrapping_add(b));
+        let _ = device.compact_indices(n, |i| i % 2 == 0);
+        assert!(
+            device.take_findings().is_empty(),
+            "lookback engine reported sanitizer findings"
+        );
+    }
+
+    // ---- pipeline launch accounting ------------------------------------
+    let graph = ba_graph(n / 4, 8, 0x5CA7);
+    let csr = Csr::from_edge_list(&graph);
+    race_pipeline(
+        &mut table,
+        "csr_build",
+        graph.num_edges() as u64,
+        repeats,
+        |d| Csr::from_edge_list_on(d, &graph),
+    );
+    race_pipeline(
+        &mut table,
+        "cc_hooking",
+        graph.num_edges() as u64,
+        repeats,
+        |d| {
+            // Compare only the deterministic outputs: which edges win the
+            // benign hooking CAS races varies run to run, but the forest
+            // size and the representatives do not.
+            let c = connected_components(d, &graph);
+            (c.representative, c.tree_edges.len(), c.num_components)
+        },
+    );
+    race_pipeline(
+        &mut table,
+        "tv_bridges",
+        graph.num_edges() as u64,
+        repeats,
+        |d| bridges_tv(d, &graph, &csr).unwrap().bridge_ids(),
+    );
+    race_pipeline(
+        &mut table,
+        "hybrid_bridges",
+        graph.num_edges() as u64,
+        repeats,
+        |d| bridges_hybrid(d, &graph, &csr).unwrap().bridge_ids(),
+    );
+    let tree = random_tree(n / 4, Some(8), 0x5CA8);
+    let queries = graphgen::random_queries(tree.num_nodes(), 1024, 0x5CA9);
+    race_pipeline(
+        &mut table,
+        "lca_inlabel",
+        tree.num_nodes() as u64,
+        repeats,
+        |d| {
+            let alg = GpuInlabelLca::preprocess(d, &tree).unwrap();
+            let mut out = vec![0u32; queries.len()];
+            alg.query_batch(&queries, &mut out);
+            out
+        },
+    );
+
+    table.print();
+    let _ = table.write_csv(&cfg.out_dir, "scan_war");
+    println!(
+        "expected shape: lookback rows show half the reads and half the\n\
+         launches of two_pass on pure scan shapes, identical outputs\n\
+         everywhere. The pipeline launch counts are deterministic for the\n\
+         pinned 4-worker grid; CI diffs them against ci/launch_baseline.json\n\
+         (regenerate with: EMG_BENCH_JSON=... scan_war --scale 64 and\n\
+         ci/update_launch_baseline.py).\n"
+    );
+}

@@ -1,0 +1,49 @@
+//! The bridge set is intrinsic to the graph, so the TV and hybrid
+//! pipelines must report bit-identical bridges whichever scan engine
+//! backs their compactions and prefix sums.
+
+use bridges::{bridges_dfs, bridges_hybrid, bridges_tv};
+use gpu_sim::{Device, DeviceConfig, ScanEngine};
+use graph_core::{Csr, EdgeList};
+
+fn dev(engine: ScanEngine) -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(4),
+        block_size: 64,
+        seq_threshold: 16,
+        scan_engine: engine,
+        ..Default::default()
+    })
+}
+
+/// Connected graph with bridges at known cut points: chained cliques.
+fn chained_cliques(cliques: u32, size: u32) -> EdgeList {
+    let mut edges = Vec::new();
+    for c in 0..cliques {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                edges.push((base + i, base + j));
+            }
+        }
+        if c > 0 {
+            edges.push((base - 1, base)); // the bridge between cliques
+        }
+    }
+    EdgeList::new((cliques * size) as usize, edges)
+}
+
+#[test]
+fn tv_and_hybrid_bridges_are_engine_independent() {
+    let graph = chained_cliques(12, 7);
+    let csr = Csr::from_edge_list(&graph);
+    let oracle = bridges_dfs(&graph, &csr);
+
+    for run in [bridges_tv, bridges_hybrid] {
+        let lb = run(&dev(ScanEngine::Lookback), &graph, &csr).unwrap();
+        let tp = run(&dev(ScanEngine::TwoPass), &graph, &csr).unwrap();
+        assert_eq!(lb.bridge_ids(), tp.bridge_ids());
+        assert_eq!(lb.bridge_ids(), oracle.bridge_ids());
+        assert_eq!(lb.num_bridges(), 11);
+    }
+}

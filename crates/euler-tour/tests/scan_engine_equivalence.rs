@@ -1,0 +1,51 @@
+//! Euler tours and tree statistics must be bit-identical across scan
+//! engines: ranking, order inversion, and the preorder/size/level scans
+//! all route through engine-dispatched prefix sums.
+
+use euler_tour::{EulerTour, TreeStats};
+use gpu_sim::{Device, DeviceConfig, ScanEngine};
+use graph_core::ids::INVALID_NODE;
+use graph_core::Tree;
+
+fn dev(engine: ScanEngine) -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(4),
+        block_size: 64,
+        seq_threshold: 16,
+        scan_engine: engine,
+        ..Default::default()
+    })
+}
+
+/// Deterministic scraggly tree: node v hangs off a pseudo-random
+/// predecessor, mixing deep chains with broad fans.
+fn scraggly_tree(n: usize) -> Tree {
+    let mut parent = vec![INVALID_NODE; n];
+    let mut state = 0x243F6A8885A308D3u64;
+    for (v, p) in parent.iter_mut().enumerate().skip(1) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *p = ((state >> 33) as usize % v) as u32;
+    }
+    Tree::from_parent_array(parent, 0).unwrap()
+}
+
+#[test]
+fn tour_and_stats_are_engine_independent() {
+    for n in [2usize, 65, 300, 1500] {
+        let tree = scraggly_tree(n);
+        let d_lb = dev(ScanEngine::Lookback);
+        let d_tp = dev(ScanEngine::TwoPass);
+        let lb = EulerTour::build(&d_lb, &tree).unwrap();
+        let tp = EulerTour::build(&d_tp, &tree).unwrap();
+        assert_eq!(lb.rank(), tp.rank(), "n={n}");
+        assert_eq!(lb.order(), tp.order(), "n={n}");
+
+        let s_lb = TreeStats::compute(&d_lb, &lb);
+        let s_tp = TreeStats::compute(&d_tp, &tp);
+        assert_eq!(s_lb.preorder, s_tp.preorder, "n={n}");
+        assert_eq!(s_lb.subtree_size, s_tp.subtree_size, "n={n}");
+        assert_eq!(s_lb.level, s_tp.level, "n={n}");
+        assert_eq!(s_lb.parent, s_tp.parent, "n={n}");
+        s_lb.validate().unwrap();
+    }
+}

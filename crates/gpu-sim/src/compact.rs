@@ -4,29 +4,30 @@
 //! Block counts/offsets come from the device arena;
 //! [`Device::compact_indices_pooled`] also pools the output so a hot loop
 //! compacts with zero allocation at steady state.
+//!
+//! Like the scans, compaction dispatches on
+//! [`DeviceConfig::scan_engine`](crate::DeviceConfig::scan_engine): the
+//! lookback engine fuses count → offset-resolve → write into **one**
+//! launch via the [`crate::lookback`] descriptor protocol (the survivor
+//! counts are the scanned values), where the two-pass baseline keeps the
+//! classic count launch + write launch. Predicate evaluations are modeled
+//! as one 4-byte read each in the traffic plane.
 
 use crate::arena::ArenaVec;
 use crate::device::{Device, SharedSlice};
+use crate::lookback::{Descriptors, ScanEngine};
 use rayon::prelude::*;
 
 impl Device {
     /// Returns, in ascending order, every index `i in 0..n` with `pred(i)`.
+    ///
+    /// Runs [`Device::compact_indices_pooled`] and copies the survivors out
+    /// (the copy is a host-side transfer, not device traffic).
     pub fn compact_indices<F>(&self, n: usize, pred: F) -> Vec<u32>
     where
         F: Fn(usize) -> bool + Sync,
     {
-        self.metrics().record_primitive();
-        if n == 0 {
-            return Vec::new();
-        }
-        if n <= self.config().seq_threshold {
-            self.metrics().record_launch(n as u64);
-            return (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
-        }
-        let (offsets, total, chunk, blocks) = self.compact_offsets(n, &pred);
-        let mut out = vec![0u32; total];
-        self.compact_write(n, &pred, &offsets, chunk, blocks, &mut out);
-        out
+        self.compact_indices_pooled(n, pred).to_vec()
     }
 
     /// [`Device::compact_indices`] with the output drawn from the device
@@ -50,12 +51,78 @@ impl Device {
                 }
             }
             out.truncate(len);
+            self.metrics().record_traffic(4 * n as u64, 4 * len as u64);
             self.san_mark_written(&out[..]);
             return out;
+        }
+        if self.config().scan_engine == ScanEngine::Lookback {
+            return self.compact_lookback(n, &pred);
         }
         let (offsets, total, chunk, blocks) = self.compact_offsets(n, &pred);
         let mut out = self.alloc_pooled::<u32>(total);
         self.compact_write(n, &pred, &offsets, chunk, blocks, &mut out);
+        out
+    }
+
+    /// Single-launch compaction: each block stages its survivors in the
+    /// tile plane while counting them, resolves its output offset through
+    /// the lookback descriptors (an additive scan of the survivor counts),
+    /// and writes its run — one predicate evaluation per element and one
+    /// launch total. The output is carved at full `n` capacity and
+    /// truncated to the survivor total the last descriptor publishes.
+    fn compact_lookback<F>(&self, n: usize, pred: &F) -> ArenaVec<'_, u32>
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        let chunk = self.grid_chunk_len(n);
+        let blocks = n.div_ceil(chunk);
+        let mut status_buf = self.alloc_pooled::<u32>(blocks);
+        let mut value_buf = self.alloc_pooled::<u32>(2 * blocks);
+        let (agg_buf, pfx_buf) = value_buf.split_at_mut(blocks);
+        let mut stage = self.alloc_pooled::<u32>(n);
+        let mut out = self.alloc_pooled::<u32>(n);
+
+        self.metrics().record_launch(n as u64);
+        self.metrics().record_traffic(4 * n as u64, 0);
+        let total = {
+            let desc = Descriptors::new(&mut status_buf, agg_buf, pfx_buf);
+            let stage_shared = SharedSlice::new(&mut stage);
+            let out_shared = SharedSlice::new(&mut out);
+            self.schedule_blocks(blocks, |b| {
+                let start = b * chunk;
+                let end = usize::min(start + chunk, n);
+                // SAFETY: each block owns the disjoint staging range
+                // [start, end).
+                let tile = unsafe {
+                    std::slice::from_raw_parts_mut(stage_shared.as_ptr().add(start), end - start)
+                };
+                let mut count = 0usize;
+                for i in start..end {
+                    if pred(i) {
+                        tile[count] = i as u32;
+                        count += 1;
+                    }
+                }
+                let exclusive = if b == 0 {
+                    0
+                } else {
+                    desc.publish_aggregate(b, count as u32);
+                    desc.lookback(b, &|a, b| a + b)
+                };
+                desc.publish_prefix(b, exclusive + count as u32);
+                let dst = exclusive as usize;
+                for (j, &v) in tile[..count].iter().enumerate() {
+                    // SAFETY: blocks own disjoint output runs
+                    // [exclusive, exclusive + count) by construction of
+                    // the scanned offsets.
+                    unsafe { out_shared.write_unchecked(dst + j, v) };
+                }
+            });
+            desc.prefix_value(blocks - 1) as usize
+        };
+        out.truncate(total);
+        self.metrics().record_traffic(0, 4 * total as u64);
+        self.san_mark_written(&out[..]);
         out
     }
 
@@ -70,6 +137,7 @@ impl Device {
 
         // Phase 1: count survivors per block.
         self.metrics().record_launch(n as u64);
+        self.metrics().record_traffic(4 * n as u64, 0);
         let mut counts = self.alloc_pooled::<u32>(blocks);
         self.run(|| {
             counts.par_iter_mut().enumerate().for_each(|(b, count)| {
@@ -102,6 +170,8 @@ impl Device {
         F: Fn(usize) -> bool + Sync,
     {
         self.metrics().record_launch(n as u64);
+        self.metrics()
+            .record_traffic(4 * n as u64, 4 * out.len() as u64);
         let shared = SharedSlice::new(out);
         self.run(|| {
             (0..blocks).into_par_iter().for_each(|b| {

@@ -24,6 +24,7 @@
 //! reads, and unannotated cross-block races.
 
 use crate::arena::{ArenaPod, DeviceArena};
+use crate::lookback::ScanEngine;
 use crate::metrics::Metrics;
 use crate::sanitize::{AccessKind, Finding, SanitizeMode, Sanitizer, Track};
 use std::marker::PhantomData;
@@ -60,6 +61,12 @@ pub struct DeviceConfig {
     /// recorded for [`Device::take_findings`] — the latter is what the
     /// seeded-violation tests use to assert detection.
     pub sanitize_fatal: bool,
+    /// Which scan core backs every prefix-sum primitive (defaults to the
+    /// `EMG_SCAN_ENGINE` environment variable,
+    /// [`ScanEngine::Lookback`] when unset). [`ScanEngine::TwoPass`] keeps
+    /// the classic three-phase core as the A/B baseline and oracle; outputs
+    /// are bit-identical between the two.
+    pub scan_engine: ScanEngine,
 }
 
 impl Default for DeviceConfig {
@@ -72,6 +79,7 @@ impl Default for DeviceConfig {
             pooling: true,
             sanitize: SanitizeMode::from_env(),
             sanitize_fatal: true,
+            scan_engine: ScanEngine::from_env(),
         }
     }
 }
@@ -248,7 +256,7 @@ impl Device {
     /// Returns only when every block ran (the launch barrier). Inline on
     /// the calling thread when the pool has one worker or the grid one
     /// block.
-    fn schedule_blocks<F>(&self, blocks: usize, run_block: F)
+    pub(crate) fn schedule_blocks<F>(&self, blocks: usize, run_block: F)
     where
         F: Fn(usize) + Sync,
     {
@@ -481,6 +489,12 @@ impl Device {
         T: Send + Sync + Copy,
     {
         assert_eq!(out.len(), idx.len(), "gather: out/idx length mismatch");
+        self.metrics.record_primitive();
+        let n = idx.len() as u64;
+        self.metrics.record_traffic(
+            n * (size_of::<u32>() as u64 + size_of::<T>() as u64),
+            n * size_of::<T>() as u64,
+        );
         if self.san_check_gather(idx, src.len()) {
             // Non-fatal memcheck found at least one bad index: clamp so
             // the launch can complete and further findings accumulate.
@@ -503,6 +517,12 @@ impl Device {
         F: Fn(T) -> U + Sync,
     {
         assert_eq!(out.len(), idx.len(), "gather_map: out/idx length mismatch");
+        self.metrics.record_primitive();
+        let n = idx.len() as u64;
+        self.metrics.record_traffic(
+            n * (size_of::<u32>() as u64 + size_of::<T>() as u64),
+            n * size_of::<U>() as u64,
+        );
         if self.san_check_gather(idx, src.len()) {
             let last = src.len() - 1;
             self.map(out, |i| f(src[usize::min(idx[i] as usize, last)]));
@@ -517,6 +537,12 @@ impl Device {
     where
         T: crate::arena::ArenaPod,
     {
+        self.metrics.record_primitive();
+        let n = idx.len() as u64;
+        self.metrics.record_traffic(
+            n * (size_of::<u32>() as u64 + size_of::<T>() as u64),
+            n * size_of::<T>() as u64,
+        );
         if self.san_check_gather(idx, src.len()) {
             let last = src.len() - 1;
             return self.alloc_pooled_map(idx.len(), |i| src[usize::min(idx[i] as usize, last)]);
@@ -857,6 +883,12 @@ impl Device {
         T: Send + Sync + Copy,
     {
         assert_eq!(perm.len(), src.len(), "scatter: perm/src length mismatch");
+        self.metrics.record_primitive();
+        let n = src.len() as u64;
+        self.metrics.record_traffic(
+            n * (size_of::<u32>() as u64 + size_of::<T>() as u64),
+            n * size_of::<T>() as u64,
+        );
         let out_len = out.len();
         #[cfg(debug_assertions)]
         {

@@ -30,6 +30,11 @@ impl Device {
     where
         F: Fn(usize) -> usize + Sync,
     {
+        self.metrics().record_primitive();
+        // One 4-byte bin evaluation per element; the bin array is written
+        // once (the atomic RMW contention is a latency effect, not traffic).
+        self.metrics()
+            .record_traffic(4 * n as u64, 8 * num_bins as u64);
         let mut counts = vec![0u64; num_bins];
         let cells = as_atomic_u64(&mut counts);
         self.for_each(n, |i| {
@@ -72,11 +77,18 @@ impl Device {
         F: Fn(usize) -> usize + Sync,
     {
         assert_eq!(out.len(), num_bins, "histogram: output length mismatch");
+        self.metrics().record_primitive();
         if n == 0 || num_bins == 0 {
-            out.fill(0);
-            self.san_mark_written(out);
+            // Degenerate shape: clearing the bins is still a device fill
+            // launch so the metric taxonomy matches the parallel path.
+            self.fill(out, 0);
             return;
         }
+        // One 4-byte bin evaluation per element, one write per output bin;
+        // the per-block private rows are the shared-memory privatization of
+        // a GPU histogram and are excluded from the traffic plane.
+        self.metrics()
+            .record_traffic(4 * n as u64, 8 * num_bins as u64);
         let bs = self.config().block_size.max(1);
         let blocks = n.div_ceil(bs);
         // Phase 1: per-block private histograms (one launch, disjoint rows).

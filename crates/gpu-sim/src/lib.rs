@@ -60,6 +60,7 @@ pub mod compact;
 pub mod device;
 pub mod histogram;
 pub mod lbs;
+pub mod lookback;
 pub mod merge;
 pub mod metrics;
 pub mod rbk;
@@ -72,6 +73,7 @@ pub mod sort;
 pub use arena::{ArenaPod, ArenaVec, DeviceArena, ScratchGuard};
 pub use atomic::{as_atomic_u32, as_atomic_u64, AtomicF64Cell, AtomicViewU32, AtomicViewU64};
 pub use device::{Device, DeviceConfig, KernelLabel, SharedSlice};
+pub use lookback::ScanEngine;
 pub use metrics::{Metrics, MetricsSnapshot, PhaseTimer};
 pub use rbk::ReducedRuns;
 pub use sanitize::{AccessKind, Finding, FindingKind, SanitizeMode};

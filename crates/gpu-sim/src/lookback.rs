@@ -1,0 +1,286 @@
+//! Single-pass decoupled-lookback scan (the Merrill/Garland CUB design).
+//!
+//! The classic three-phase blocked scan ([`crate::scan`]'s two-pass core)
+//! reads the input twice: once in the block-reduce pass and once in the
+//! downsweep. On bandwidth-bound hardware that doubles the dominant cost of
+//! every prefix sum. The decoupled-lookback formulation does the whole scan
+//! in **one** launch and ~1 read + 1 write per element: each block publishes
+//! a descriptor and resolves its running prefix by *looking back* over its
+//! predecessors' descriptors instead of waiting for a separate global pass.
+//!
+//! Per-block descriptor state machine:
+//!
+//! ```text
+//! INVALID ──(aggregate published)──▶ AGGREGATE ──(prefix resolved)──▶ PREFIX
+//!    └────────────(block 0 / no predecessors)─────────────────────────▶ PREFIX
+//! ```
+//!
+//! Block `b` scans its tile into a per-block staging buffer (the simulated
+//! shared memory), publishes its tile aggregate with `Release` ordering,
+//! then walks descriptors `b-1, b-2, …` — spinning while a predecessor is
+//! still `INVALID`, accumulating `AGGREGATE` values, and stopping at the
+//! first `PREFIX`, which already folds in everything to its left. The block
+//! then publishes its own inclusive `PREFIX` (unblocking successors early)
+//! and writes its output tile, all inside the same launch.
+//!
+//! **Deadlock freedom** under the simulated grid: [`crate::Device`]
+//! schedules blocks through an atomic claim counter, so block indices are
+//! claimed in ascending order and every claimed block publishes its
+//! aggregate *before* it first waits on anyone. A block spinning on
+//! predecessor `j` therefore waits on a block that is either already
+//! finished or currently running its (wait-free) tile phase; block 0 never
+//! waits at all. On a single-worker pool the grid degenerates to an in-order
+//! sequential loop and the spin never triggers. See DESIGN.md §10.
+//!
+//! Descriptor values use the classic message-passing pattern: the value
+//! slot is plainly written *before* the `Release` status store, and only
+//! read *after* an `Acquire` status load observes the flip — the
+//! release/acquire pair carries the happens-before edge, so the plain
+//! value accesses are data-race-free (this also admits padded pair types,
+//! which [`SharedSlice`]'s chunk-atomic accessors reject).
+
+use crate::arena::ArenaPod;
+use crate::atomic::as_atomic_u32;
+use crate::device::{Device, SharedSlice};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Selects the scan core backing every prefix-sum primitive (scans, fused
+/// map-scans, segmented scans, `compact_indices`, radix-sort offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanEngine {
+    /// Single-pass decoupled lookback: 1 launch, ~1 read + 1 write per
+    /// element (the default).
+    #[default]
+    Lookback,
+    /// The classic three-phase blocked core: 2 launches, ~2 reads + 1
+    /// write per element. Kept as the A/B baseline and bit-identical
+    /// oracle.
+    TwoPass,
+}
+
+impl ScanEngine {
+    /// Reads the engine from `EMG_SCAN_ENGINE` (`lookback` or `twopass` /
+    /// `two_pass`, case-insensitive); [`ScanEngine::Lookback`] when unset.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a typo must not silently change
+    /// which engine a benchmark measures.
+    pub fn from_env() -> Self {
+        match std::env::var("EMG_SCAN_ENGINE") {
+            Err(_) => Self::Lookback,
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|e: String| panic!("EMG_SCAN_ENGINE: {e}")),
+        }
+    }
+}
+
+impl std::str::FromStr for ScanEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "" | "lookback" => Ok(Self::Lookback),
+            "twopass" | "two_pass" | "two-pass" => Ok(Self::TwoPass),
+            other => Err(format!("unknown scan engine {other:?}")),
+        }
+    }
+}
+
+const INVALID: u32 = 0;
+const AGGREGATE: u32 = 1;
+const PREFIX: u32 = 2;
+
+/// The per-block descriptor array of one decoupled-lookback launch:
+/// a status word per block plus the two published values (tile aggregate,
+/// inclusive prefix). Values are published *before* the status word flips,
+/// with `Release`/`Acquire` ordering carrying the happens-before edge.
+pub(crate) struct Descriptors<'a, T> {
+    status: &'a [AtomicU32],
+    aggregate: SharedSlice<'a, T>,
+    prefix: SharedSlice<'a, T>,
+}
+
+impl<'a, T: ArenaPod> Descriptors<'a, T> {
+    /// Builds the descriptor array over caller scratch (one slot per
+    /// block in each slice), resetting every status to `INVALID`.
+    pub(crate) fn new(status: &'a mut [u32], aggregate: &'a mut [T], prefix: &'a mut [T]) -> Self {
+        status.fill(INVALID);
+        Self {
+            status: as_atomic_u32(status),
+            aggregate: SharedSlice::new(aggregate),
+            prefix: SharedSlice::new(prefix),
+        }
+    }
+
+    /// Publishes block `b`'s tile aggregate (`INVALID → AGGREGATE`).
+    /// Blocks without predecessors skip straight to
+    /// [`Descriptors::publish_prefix`].
+    pub(crate) fn publish_aggregate(&self, b: usize, aggregate: T) {
+        // SAFETY: slot b is written exactly once, by block b, before the
+        // Release store below; readers access it only after an Acquire
+        // load observes status[b] != INVALID, so the accesses are ordered
+        // by happens-before and never concurrent. b < blocks by
+        // construction of the grid.
+        unsafe { self.aggregate.write_unchecked(b, aggregate) };
+        self.status[b].store(AGGREGATE, Ordering::Release);
+    }
+
+    /// Publishes block `b`'s resolved inclusive prefix (`→ PREFIX`),
+    /// letting successors stop their lookback here.
+    pub(crate) fn publish_prefix(&self, b: usize, inclusive_prefix: T) {
+        // SAFETY: as in `publish_aggregate` — single ordered writer,
+        // readers gated on the Release store below via Acquire loads.
+        unsafe { self.prefix.write_unchecked(b, inclusive_prefix) };
+        self.status[b].store(PREFIX, Ordering::Release);
+    }
+
+    /// Resolves block `b`'s exclusive prefix by walking predecessor
+    /// descriptors right-to-left: spin while `INVALID`, fold `AGGREGATE`
+    /// values, stop at the first `PREFIX`. Termination: block 0 only ever
+    /// publishes `PREFIX`, and the grid's ascending block-claim order
+    /// guarantees every predecessor is (or will be) running.
+    ///
+    /// # Panics
+    /// Panics if `b == 0` (no predecessors to look back over).
+    pub(crate) fn lookback<F>(&self, b: usize, op: &F) -> T
+    where
+        F: Fn(T, T) -> T,
+    {
+        assert!(b > 0, "lookback: block 0 has no predecessors");
+        let mut running: Option<T> = None;
+        for j in (0..b).rev() {
+            let mut st = self.status[j].load(Ordering::Acquire);
+            while st == INVALID {
+                std::hint::spin_loop();
+                st = self.status[j].load(Ordering::Acquire);
+            }
+            // Predecessors sit to the *left* of everything accumulated so
+            // far, so they fold in on the left (ops need not commute).
+            let slot = if st == PREFIX {
+                &self.prefix
+            } else {
+                &self.aggregate
+            };
+            // SAFETY: the Acquire load above observed the Release store
+            // that block j issued *after* writing this slot, so the write
+            // happens-before this read and the slot is never written
+            // again under the status the loop matched on (AGGREGATE gates
+            // the aggregate slot, PREFIX the prefix slot). j < b ≤ blocks.
+            let value = unsafe { slot.read_unchecked(j) };
+            running = Some(match running {
+                None => value,
+                Some(r) => op(value, r),
+            });
+            if st == PREFIX {
+                break;
+            }
+        }
+        running.expect("lookback: b > 0 visits at least one predecessor")
+    }
+
+    /// Reads block `b`'s published inclusive prefix (host side, after the
+    /// launch barrier — every status is `PREFIX` by then).
+    pub(crate) fn prefix_value(&self, b: usize) -> T {
+        debug_assert_eq!(self.status[b].load(Ordering::Acquire), PREFIX);
+        // SAFETY: called after the launch barrier joined every block, so
+        // all descriptor writes happened-before this read; b < blocks.
+        unsafe { self.prefix.read_unchecked(b) }
+    }
+}
+
+impl Device {
+    /// The single-pass decoupled-lookback scan core over a generated
+    /// source. One kernel launch; each element is read once (the `gen`
+    /// evaluation) and written once. Callers handle `n == 0` and the
+    /// sequential small-`n` path; outputs are bit-identical to the
+    /// two-pass core for associative `op` (both cores fold strictly left
+    /// to right).
+    pub(crate) fn scan_lookback<T, G, F>(
+        &self,
+        n: usize,
+        gen: &G,
+        out: &mut [T],
+        identity: T,
+        op: &F,
+        inclusive: bool,
+    ) -> T
+    where
+        T: ArenaPod,
+        G: Fn(usize) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        debug_assert!(n > 0);
+        debug_assert_eq!(out.len(), n);
+        let chunk = self.grid_chunk_len(n);
+        let blocks = n.div_ceil(chunk);
+
+        // O(blocks) descriptor scratch plus an n-sized tile staging plane —
+        // the simulated shared memory. Neither is data-plane traffic: the
+        // descriptors are grid bookkeeping (pool-width-dependent size) and
+        // the tiles model on-chip storage.
+        let mut status_buf = self.alloc_pooled::<u32>(blocks);
+        let mut value_buf = self.alloc_pooled::<T>(2 * blocks);
+        let (agg_buf, pfx_buf) = value_buf.split_at_mut(blocks);
+        let mut tiles = self.alloc_pooled::<T>(n);
+
+        let bytes = (n * size_of::<T>()) as u64;
+        self.metrics().record_launch(n as u64);
+        self.metrics().record_traffic(bytes, bytes);
+
+        let desc = Descriptors::new(&mut status_buf, agg_buf, pfx_buf);
+        let out_shared = SharedSlice::new(out);
+        let tiles_shared = SharedSlice::new(&mut tiles);
+        self.schedule_blocks(blocks, |b| {
+            let start = b * chunk;
+            let end = usize::min(start + chunk, n);
+            let len = end - start;
+            // SAFETY: each block owns the disjoint index range
+            // [start, end) of both the tile staging plane and the output,
+            // so carving one exclusive sub-slice per block upholds the
+            // SharedSlice contract.
+            let (tile, out_tile) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(tiles_shared.as_ptr().add(start), len),
+                    std::slice::from_raw_parts_mut(out_shared.as_ptr().add(start), len),
+                )
+            };
+
+            // Tile phase: the single input read — an unseeded local
+            // inclusive scan, whose last element is the tile aggregate.
+            let mut acc = gen(start);
+            tile[0] = acc;
+            for (j, slot) in tile.iter_mut().enumerate().skip(1) {
+                acc = op(acc, gen(start + j));
+                *slot = acc;
+            }
+            let aggregate = acc;
+
+            // Descriptor phase: publish, then look back. Block 0's
+            // exclusive prefix is the identity; it publishes PREFIX
+            // directly and never waits.
+            let exclusive = if b == 0 {
+                identity
+            } else {
+                desc.publish_aggregate(b, aggregate);
+                desc.lookback(b, op)
+            };
+            desc.publish_prefix(b, op(exclusive, aggregate));
+
+            // Output phase: the single write per element.
+            if inclusive {
+                for (j, slot) in out_tile.iter_mut().enumerate() {
+                    *slot = op(exclusive, tile[j]);
+                }
+            } else {
+                out_tile[0] = exclusive;
+                for (j, slot) in out_tile.iter_mut().enumerate().skip(1) {
+                    *slot = op(exclusive, tile[j - 1]);
+                }
+            }
+        });
+        let total = desc.prefix_value(blocks - 1);
+        self.san_mark_written(out);
+        total
+    }
+}

@@ -92,11 +92,17 @@ impl Device {
     {
         debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "merge: a not sorted");
         debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "merge: b not sorted");
+        self.metrics().record_primitive();
         let n = a.len() + b.len();
         let mut out = vec![T::default(); n];
         if n == 0 {
             return out;
         }
+        // Every input element is read once by its tile merge and every
+        // output slot written once; the O(tiles · log n) diagonal-search
+        // probes are grid bookkeeping, not data-plane traffic.
+        let bytes = (n * size_of::<T>()) as u64;
+        self.metrics().record_traffic(bytes, bytes);
         let tile = self.config().block_size.max(1);
         let tiles = n.div_ceil(tile);
         // One diagonal search per tile boundary. The searches are
@@ -136,12 +142,15 @@ impl Device {
     {
         assert_eq!(ka.len(), va.len(), "merge_pairs: a key/value mismatch");
         assert_eq!(kb.len(), vb.len(), "merge_pairs: b key/value mismatch");
+        self.metrics().record_primitive();
         let n = ka.len() + kb.len();
         let mut out_k = vec![K::default(); n];
         let mut out_v = vec![V::default(); n];
         if n == 0 {
             return (out_k, out_v);
         }
+        let bytes = (n * (size_of::<K>() + size_of::<V>())) as u64;
+        self.metrics().record_traffic(bytes, bytes);
         let tile = self.config().block_size.max(1);
         let tiles = n.div_ceil(tile);
         let splits = self.alloc_map(tiles + 1, |t| {
@@ -188,12 +197,15 @@ impl Device {
     where
         T: Ord + Copy + Send + Sync + Default,
     {
+        self.metrics().record_primitive();
         let n = data.len();
         if n <= 1 {
             return;
         }
         let run = self.config().block_size.max(1);
-        // Phase 1: independent run sorts (one launch).
+        let bytes = (n * size_of::<T>()) as u64;
+        // Phase 1: independent run sorts (one launch, in-place read+write).
+        self.metrics().record_traffic(bytes, bytes);
         {
             let runs = n.div_ceil(run);
             let shared = crate::device::SharedSlice::new(data.as_mut_slice());
@@ -210,6 +222,8 @@ impl Device {
         // Phase 2: log(n/run) rounds of pairwise run merges.
         let mut width = run;
         while width < n {
+            // Each round streams the whole array out of place.
+            self.metrics().record_traffic(bytes, bytes);
             let mut next = vec![T::default(); n];
             let pairs = n.div_ceil(2 * width);
             // Copy-through for a trailing lone run happens naturally: its
@@ -242,11 +256,14 @@ impl Device {
         V: Copy + Send + Sync + Default,
     {
         assert_eq!(keys.len(), vals.len(), "merge_sort_pairs: length mismatch");
+        self.metrics().record_primitive();
         let n = keys.len();
         if n <= 1 {
             return;
         }
         let run = self.config().block_size.max(1);
+        let bytes = (n * (size_of::<K>() + size_of::<V>())) as u64;
+        self.metrics().record_traffic(bytes, bytes);
         {
             let runs = n.div_ceil(run);
             let sk = crate::device::SharedSlice::new(keys.as_mut_slice());
@@ -274,6 +291,7 @@ impl Device {
         }
         let mut width = run;
         while width < n {
+            self.metrics().record_traffic(bytes, bytes);
             let mut next_k = vec![K::default(); n];
             let mut next_v = vec![V::default(); n];
             let pairs = n.div_ceil(2 * width);

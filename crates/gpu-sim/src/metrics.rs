@@ -28,6 +28,18 @@ pub struct Metrics {
     /// Scratch bytes served from the device arena's free lists instead of
     /// the system allocator — the observable reuse.
     pub bytes_reused: AtomicU64,
+    /// Modeled global-memory bytes read by device primitives (the traffic
+    /// plane). Only the *data plane* counts: each named primitive (scan,
+    /// sort, reduce, segreduce, compact, histogram, gather/scatter) records
+    /// the O(n) arrays it streams, while O(blocks) descriptor/bookkeeping
+    /// arrays and per-block "shared memory" staging are excluded so the
+    /// number is pool-width-independent and CI can gate it. Fused
+    /// generators/predicates are modeled as one element-sized read per
+    /// evaluation.
+    pub bytes_read: AtomicU64,
+    /// Modeled global-memory bytes written by device primitives (same
+    /// accounting rules as [`Metrics::bytes_read`]).
+    pub bytes_written: AtomicU64,
     /// Accesses instrumented by the sanitizer plane (see
     /// [`crate::SanitizeMode`]). Exactly zero when sanitizing is off —
     /// the benchmark gate's proof that the disabled sanitizer costs
@@ -66,6 +78,15 @@ impl Metrics {
         }
     }
 
+    pub(crate) fn record_traffic(&self, read: u64, written: u64) {
+        if read > 0 {
+            self.bytes_read.fetch_add(read, Ordering::Relaxed);
+        }
+        if written > 0 {
+            self.bytes_written.fetch_add(written, Ordering::Relaxed);
+        }
+    }
+
     #[inline]
     pub(crate) fn record_san_access(&self) {
         self.san_accesses.fetch_add(1, Ordering::Relaxed);
@@ -88,6 +109,8 @@ impl Metrics {
             primitive_calls: self.primitive_calls.load(Ordering::Relaxed),
             bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
             bytes_reused: self.bytes_reused.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
             san_accesses: self.san_accesses.load(Ordering::Relaxed),
             san_findings: self.san_findings.load(Ordering::Relaxed),
         }
@@ -112,6 +135,10 @@ pub struct MetricsSnapshot {
     pub bytes_allocated: u64,
     /// Scratch bytes served from the arena pool so far.
     pub bytes_reused: u64,
+    /// Modeled data-plane bytes read by primitives so far.
+    pub bytes_read: u64,
+    /// Modeled data-plane bytes written by primitives so far.
+    pub bytes_written: u64,
     /// Sanitizer-instrumented accesses so far (zero with sanitizing off).
     pub san_accesses: u64,
     /// Sanitizer findings so far.
@@ -127,6 +154,8 @@ impl MetricsSnapshot {
             primitive_calls: self.primitive_calls.saturating_sub(earlier.primitive_calls),
             bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
             bytes_reused: self.bytes_reused.saturating_sub(earlier.bytes_reused),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             san_accesses: self.san_accesses.saturating_sub(earlier.san_accesses),
             san_findings: self.san_findings.saturating_sub(earlier.san_findings),
         }
@@ -240,6 +269,8 @@ mod tests {
             primitive_calls: 1,
             bytes_allocated: 1,
             bytes_reused: 1,
+            bytes_read: 1,
+            bytes_written: 1,
             san_accesses: 1,
             san_findings: 1,
         };

@@ -23,6 +23,8 @@ impl Device {
     {
         self.metrics().record_primitive();
         self.metrics().record_launch(n as u64);
+        self.metrics()
+            .record_traffic((n * size_of::<T>()) as u64, 0);
         if n <= self.config().seq_threshold {
             let mut acc = identity;
             for i in 0..n {

@@ -3,50 +3,59 @@
 //! The paper's §2.2 optimization rests on the observation that on a GPU the
 //! array scan primitive is much faster than list ranking (7–8× per \[64\]), so
 //! an Euler tour should be list-ranked *once* and every subsequent statistic
-//! computed by scans over the resulting array. This module provides the scan:
-//! a classic three-phase blocked algorithm (per-block reduce, exclusive scan
-//! of block sums, per-block downsweep) — the same structure as the
-//! moderngpu/CUB scans the paper uses.
+//! computed by scans over the resulting array. Two interchangeable cores
+//! back every entry point, selected by [`DeviceConfig::scan_engine`]:
+//!
+//! * [`ScanEngine::Lookback`] (default) — the single-pass decoupled-lookback
+//!   scan of [`crate::lookback`]: 1 launch, ~1 read + 1 write per element;
+//! * [`ScanEngine::TwoPass`] — the classic three-phase blocked algorithm
+//!   (per-block reduce, exclusive scan of block sums, per-block downsweep —
+//!   the moderngpu/CUB structure the paper uses): 2 launches, ~2 reads + 1
+//!   write per element. Kept as the A/B baseline and bit-identical oracle.
 //!
 //! All operators must be associative; they need not be commutative.
 //!
 //! Two families of entry points:
 //!
 //! * allocating (`scan_inclusive`, `scan_exclusive`, ...) — return a fresh
-//!   `Vec`; generic over any `Copy` element;
+//!   `Vec`;
 //! * zero-allocation (`scan_inclusive_into`, `scan_exclusive_into`,
 //!   [`Device::map_scan_inclusive_into`], ...) — write into a caller
 //!   buffer and draw the per-block scratch from the device arena, so
 //!   repeated launches allocate nothing at steady state. The `map_scan`
 //!   variants additionally **fuse** an elementwise transform into the scan
-//!   (the generator runs inside the two block passes instead of
-//!   materializing an intermediate array — one launch and one n-sized
-//!   buffer saved).
+//!   (the generator runs inside the block passes instead of materializing
+//!   an intermediate array — a launch and an n-sized buffer saved).
+//!
+//! [`DeviceConfig::scan_engine`]: crate::DeviceConfig::scan_engine
+//! [`ScanEngine::Lookback`]: crate::ScanEngine::Lookback
+//! [`ScanEngine::TwoPass`]: crate::ScanEngine::TwoPass
 
 use crate::arena::ArenaPod;
 use crate::device::Device;
+use crate::lookback::ScanEngine;
 use rayon::prelude::*;
 
 impl Device {
     /// Inclusive scan: `out[i] = input[0] ⊕ … ⊕ input[i]`.
     pub fn scan_inclusive<T, F>(&self, input: &[T], identity: T, op: F) -> Vec<T>
     where
-        T: Copy + Send + Sync,
+        T: ArenaPod,
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
-        self.scan_slice(input, &mut out, identity, &op, true);
+        self.map_scan_into(input.len(), |i| input[i], &mut out, identity, &op, true);
         out
     }
 
     /// Exclusive scan: `out[i] = identity ⊕ input[0] ⊕ … ⊕ input[i-1]`.
     pub fn scan_exclusive<T, F>(&self, input: &[T], identity: T, op: F) -> Vec<T>
     where
-        T: Copy + Send + Sync,
+        T: ArenaPod,
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
-        self.scan_slice(input, &mut out, identity, &op, false);
+        self.map_scan_into(input.len(), |i| input[i], &mut out, identity, &op, false);
         out
     }
 
@@ -54,11 +63,11 @@ impl Device {
     /// the shape needed by stream compaction.
     pub fn scan_exclusive_with_total<T, F>(&self, input: &[T], identity: T, op: F) -> (Vec<T>, T)
     where
-        T: Copy + Send + Sync,
+        T: ArenaPod,
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
-        let total = self.scan_slice(input, &mut out, identity, &op, false);
+        let total = self.map_scan_into(input.len(), |i| input[i], &mut out, identity, &op, false);
         (out, total)
     }
 
@@ -137,7 +146,9 @@ impl Device {
         self.map_scan_into(n, gen, out, identity, &op, false)
     }
 
-    /// Pooled-scratch scan core: block sums/offsets come from the arena.
+    /// Engine dispatch for every scan entry point: handles the empty and
+    /// sequential small-`n` cases, then hands the parallel grid to the
+    /// configured [`ScanEngine`]. Per-block scratch comes from the arena.
     fn map_scan_into<T, G, F>(
         &self,
         n: usize,
@@ -152,79 +163,17 @@ impl Device {
         G: Fn(usize) -> T + Sync,
         F: Fn(T, T) -> T + Sync,
     {
-        let chunk = self.grid_chunk_len(n);
-        let blocks = if n == 0 { 0 } else { n.div_ceil(chunk) };
-        let mut block_scratch = self.alloc_pooled::<T>(2 * blocks);
-        let (block_sums, block_offsets) = block_scratch.split_at_mut(blocks);
-        self.scan_core(
-            n,
-            &gen,
-            out,
-            identity,
-            op,
-            inclusive,
-            block_sums,
-            block_offsets,
-        )
-    }
-
-    /// Vec-scratch scan used by the generic (non-pod) allocating wrappers.
-    fn scan_slice<T, F>(
-        &self,
-        input: &[T],
-        out: &mut [T],
-        identity: T,
-        op: &F,
-        inclusive: bool,
-    ) -> T
-    where
-        T: Copy + Send + Sync,
-        F: Fn(T, T) -> T + Sync,
-    {
-        assert_eq!(input.len(), out.len(), "scan: input/output length mismatch");
-        let n = input.len();
-        let chunk = self.grid_chunk_len(n);
-        let blocks = if n == 0 { 0 } else { n.div_ceil(chunk) };
-        let mut block_sums = vec![identity; blocks];
-        let mut block_offsets = vec![identity; blocks];
-        self.scan_core(
-            n,
-            &|i| input[i],
-            out,
-            identity,
-            op,
-            inclusive,
-            &mut block_sums,
-            &mut block_offsets,
-        )
-    }
-
-    /// The three-phase blocked scan over a generated source. Caller
-    /// supplies per-block scratch (`blocks` entries each).
-    #[allow(clippy::too_many_arguments)]
-    fn scan_core<T, G, F>(
-        &self,
-        n: usize,
-        gen: &G,
-        out: &mut [T],
-        identity: T,
-        op: &F,
-        inclusive: bool,
-        block_sums: &mut [T],
-        block_offsets: &mut [T],
-    ) -> T
-    where
-        T: Copy + Send + Sync,
-        G: Fn(usize) -> T + Sync,
-        F: Fn(T, T) -> T + Sync,
-    {
         assert_eq!(out.len(), n, "scan: output length mismatch");
         self.metrics().record_primitive();
         if n == 0 {
             return identity;
         }
         if n <= self.config().seq_threshold {
+            // Same metric taxonomy as the parallel engines: one launch,
+            // one read + one write per element.
+            let bytes = (n * size_of::<T>()) as u64;
             self.metrics().record_launch(n as u64);
+            self.metrics().record_traffic(bytes, bytes);
             let mut acc = identity;
             for (i, slot) in out.iter_mut().enumerate() {
                 if inclusive {
@@ -238,16 +187,45 @@ impl Device {
             self.san_mark_written(out);
             return acc;
         }
+        match self.config().scan_engine {
+            ScanEngine::Lookback => self.scan_lookback(n, &gen, out, identity, op, inclusive),
+            ScanEngine::TwoPass => self.scan_two_pass(n, &gen, out, identity, op, inclusive),
+        }
+    }
 
+    /// The classic three-phase blocked scan over a generated source: block
+    /// reduce, (host-side) exclusive scan of block sums, downsweep. Two
+    /// kernel launches; the input is generated twice, so ~2 reads + 1
+    /// write per element. The phase-2 scan runs over O(blocks) grid
+    /// bookkeeping on the host between the launches — like a launch's
+    /// parameter setup, it counts as neither a launch nor traffic.
+    fn scan_two_pass<T, G, F>(
+        &self,
+        n: usize,
+        gen: &G,
+        out: &mut [T],
+        identity: T,
+        op: &F,
+        inclusive: bool,
+    ) -> T
+    where
+        T: ArenaPod,
+        G: Fn(usize) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        debug_assert!(n > 0);
         // Shared grid sizing caps blocks at a few per pool worker, so the
         // sequential phase-2 scan of block sums stays negligible while the
         // real worker count stays saturated.
         let chunk = self.grid_chunk_len(n);
         let blocks = n.div_ceil(chunk);
-        assert!(block_sums.len() >= blocks && block_offsets.len() >= blocks);
+        let mut block_scratch = self.alloc_pooled::<T>(2 * blocks);
+        let (block_sums, block_offsets) = block_scratch.split_at_mut(blocks);
+        let bytes = (n * size_of::<T>()) as u64;
 
-        // Phase 1 (parallel): reduce each block.
+        // Phase 1 (parallel): reduce each block — the first input read.
         self.metrics().record_launch(n as u64);
+        self.metrics().record_traffic(bytes, 0);
         self.run(|| {
             block_sums[..blocks]
                 .par_iter_mut()
@@ -263,8 +241,7 @@ impl Device {
                 });
         });
 
-        // Phase 2 (sequential, tiny): exclusive scan of block sums.
-        self.metrics().record_launch(blocks as u64);
+        // Phase 2 (host, tiny): exclusive scan of the block sums.
         let mut acc = identity;
         for b in 0..blocks {
             block_offsets[b] = acc;
@@ -272,8 +249,10 @@ impl Device {
         }
         let total = acc;
 
-        // Phase 3 (parallel): downsweep each block from its offset.
+        // Phase 3 (parallel): downsweep each block from its offset — the
+        // second input read and the output write.
         self.metrics().record_launch(n as u64);
+        self.metrics().record_traffic(bytes, bytes);
         let block_offsets = &block_offsets[..blocks];
         self.run(|| {
             out.par_chunks_mut(chunk)

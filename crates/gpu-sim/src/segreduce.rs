@@ -97,6 +97,11 @@ impl Device {
         let segments = offsets.len() - 1;
         assert_eq!(out.len(), segments, "segreduce: output length mismatch");
         self.metrics().record_primitive();
+        let slots = *offsets.last().unwrap() as u64;
+        self.metrics().record_traffic(
+            slots * size_of::<T>() as u64 + (offsets.len() as u64) * 4,
+            (segments * size_of::<T>()) as u64,
+        );
         self.map(out, |s| {
             let start = offsets[s] as usize;
             let end = offsets[s + 1] as usize;
@@ -156,6 +161,10 @@ impl Device {
             return Vec::new();
         }
         // Head flags (1 at the first slot of every non-empty segment).
+        // Traffic: the flag array is written once and each boundary is read
+        // once; the flagged pair scan below accounts for itself.
+        self.metrics()
+            .record_traffic((offsets.len() as u64) * 4, 4 * n as u64);
         let mut head = self.alloc_filled(n, 0u32);
         for w in offsets.windows(2) {
             if w[0] < w[1] {
@@ -179,6 +188,11 @@ impl Device {
             },
         );
         let scanned = &scanned;
+        // Unzip: one pair read and one value write per slot.
+        self.metrics().record_traffic(
+            (n * size_of::<(u32, T)>()) as u64,
+            std::mem::size_of_val(values) as u64,
+        );
         let mut out = vec![T::default(); n];
         self.map(&mut out, |i| scanned[i].1);
         out

@@ -75,12 +75,18 @@ impl Device {
     /// memory traffic per pass is halved.
     pub fn sort_u32(&self, keys: &mut [u32]) {
         self.metrics().record_primitive();
-        if keys.len() <= self.config().seq_threshold {
-            if keys.len() > 1 {
-                self.metrics().record_launch(keys.len() as u64);
-                keys.sort_unstable();
-                self.san_mark_written(keys);
+        let n = keys.len();
+        if n <= self.config().seq_threshold {
+            if n == 0 {
+                return;
             }
+            // Same taxonomy as the parallel path: a launch that reads and
+            // rewrites every key, even when n is too small to permute.
+            let bytes = 4 * n as u64;
+            self.metrics().record_launch(n as u64);
+            self.metrics().record_traffic(bytes, bytes);
+            keys.sort_unstable();
+            self.san_mark_written(keys);
             return;
         }
         self.radix_passes(keys, None);
@@ -109,11 +115,21 @@ impl Device {
     fn radix_sort(&self, keys: &mut [u64], vals: Option<&mut [u32]>) {
         let n = keys.len();
         self.metrics().record_primitive();
-        if n <= 1 {
+        if n == 0 {
             return;
         }
         if n <= self.config().seq_threshold {
+            let elem = 8 + if vals.is_some() { 4 } else { 0 };
+            let bytes = (elem * n) as u64;
             self.metrics().record_launch(n as u64);
+            self.metrics().record_traffic(bytes, bytes);
+            if n == 1 {
+                self.san_mark_written(keys);
+                if let Some(v) = vals {
+                    self.san_mark_written(v);
+                }
+                return;
+            }
             match vals {
                 Some(vals) => {
                     let mut zipped = self.alloc_pooled_map(n, |i| (keys[i], vals[i]));
@@ -146,6 +162,8 @@ impl Device {
 
         let chunk = self.grid_chunk_len(n);
         let nchunks = n.div_ceil(chunk);
+        let key_bytes = std::mem::size_of_val(keys) as u64;
+        let val_bytes = if vals.is_some() { 4 * n as u64 } else { 0 };
 
         let mut scratch_k = self.alloc_pooled::<K>(n);
         let mut scratch_v = self.alloc_pooled::<u32>(if vals.is_some() { n } else { 0 });
@@ -167,8 +185,10 @@ impl Device {
             };
             let has_vals = !src_v.is_empty();
 
-            // Per-chunk digit histograms.
+            // Per-chunk digit histograms (the histograms themselves are
+            // per-block privatized state — not data-plane traffic).
             self.metrics().record_launch(n as u64);
+            self.metrics().record_traffic(key_bytes, 0);
             self.run(|| {
                 hist.par_chunks_mut(BUCKETS).enumerate().for_each(|(c, h)| {
                     h.fill(0);
@@ -180,30 +200,35 @@ impl Device {
                 });
             });
 
-            // Column-major exclusive scan: running offset for (digit, chunk).
-            // Tiny (nchunks * 256 entries) — done sequentially, fully
-            // rewritten each pass so the pooled buffer needs no reset.
-            self.metrics().record_launch((nchunks * BUCKETS) as u64);
-            let mut acc = 0u32;
-            for d in 0..BUCKETS {
-                for c in 0..nchunks {
-                    offsets[c * BUCKETS + d] = acc;
-                    acc += hist[c * BUCKETS + d];
-                }
-            }
+            // Exclusive offset scan for (digit, chunk) pairs, through the
+            // configured scan engine; the fused generator walks the
+            // row-major histogram in column-major (digit-major) order, so
+            // `offsets[d * nchunks + c]` is where chunk `c` starts writing
+            // digit `d` — the transpose costs nothing extra.
+            let hist_ref = &hist;
+            self.map_scan_exclusive_into(
+                nchunks * BUCKETS,
+                |i| hist_ref[(i % nchunks) * BUCKETS + i / nchunks],
+                &mut offsets,
+                0u32,
+                |a, b| a + b,
+            );
 
             // Stable scatter: chunks write their elements in order, each
             // digit region partitioned among chunks by the offset matrix.
             self.metrics().record_launch(n as u64);
+            self.metrics()
+                .record_traffic(key_bytes + val_bytes, key_bytes + val_bytes);
             {
                 let dst_k_shared = SharedSlice::new(dst_k);
                 let dst_v_shared = SharedSlice::new(dst_v);
                 let offsets_ref = &offsets;
                 self.run(|| {
                     (0..nchunks).into_par_iter().for_each(|c| {
-                        let mut local: [u32; BUCKETS] = offsets_ref[c * BUCKETS..(c + 1) * BUCKETS]
-                            .try_into()
-                            .unwrap();
+                        let mut local = [0u32; BUCKETS];
+                        for (d, slot) in local.iter_mut().enumerate() {
+                            *slot = offsets_ref[d * nchunks + c];
+                        }
                         let start = c * chunk;
                         let end = usize::min(start + chunk, n);
                         for i in start..end {
@@ -229,6 +254,11 @@ impl Device {
         }
 
         if !in_keys {
+            // Odd pass count: one copy-back launch returns the data to the
+            // caller's buffers.
+            self.metrics().record_launch(n as u64);
+            self.metrics()
+                .record_traffic(key_bytes + val_bytes, key_bytes + val_bytes);
             keys.copy_from_slice(&scratch_k);
             if let Some(v) = &mut vals {
                 v.copy_from_slice(&scratch_v);

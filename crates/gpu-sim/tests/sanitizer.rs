@@ -16,6 +16,7 @@ fn dev(mode: SanitizeMode) -> Device {
         pooling: true,
         sanitize: mode,
         sanitize_fatal: false,
+        scan_engine: gpu_sim::ScanEngine::default(),
     })
 }
 
@@ -274,6 +275,7 @@ fn sanitize_off_has_zero_tracking() {
         pooling: true,
         sanitize: SanitizeMode::Off,
         sanitize_fatal: false,
+        scan_engine: gpu_sim::ScanEngine::default(),
     });
     let mut buf = vec![0u32; 64];
     let shared = device.shared(&mut buf);
@@ -297,6 +299,7 @@ fn fatal_sanitizer_panics_with_the_finding() {
         pooling: true,
         sanitize: SanitizeMode::Memcheck,
         sanitize_fatal: true,
+        scan_engine: gpu_sim::ScanEngine::default(),
     });
     let mut buf = vec![0u32; 4];
     let shared = device.shared(&mut buf);

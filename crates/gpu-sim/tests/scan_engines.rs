@@ -1,0 +1,242 @@
+//! Lookback ≡ two-pass: the decoupled-lookback scan core must be
+//! **bit-identical** to the classic two-pass core on every primitive that
+//! dispatches on [`ScanEngine`] — across operators, element types,
+//! adversarial lengths (block/chunk boundaries), pool widths, pooling
+//! modes, and under the full sanitizer with zero findings. The two-pass
+//! core is the oracle; any divergence is a lookback bug.
+
+use gpu_sim::{Device, DeviceConfig, SanitizeMode, ScanEngine};
+use proptest::prelude::*;
+
+/// Small blocks + a low sequential threshold so the parallel cores (and
+/// hence the descriptor protocol) engage on test-sized inputs.
+fn dev(engine: ScanEngine, threads: usize, pooling: bool) -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(threads),
+        block_size: 64,
+        seq_threshold: 16,
+        pooling,
+        scan_engine: engine,
+        ..Default::default()
+    })
+}
+
+/// Runs `f` on a lookback device and a two-pass device (same geometry)
+/// and asserts the results match bitwise, for every pool width × pooling
+/// combination.
+fn assert_engines_agree<R, F>(f: F)
+where
+    R: PartialEq + std::fmt::Debug,
+    F: Fn(&Device) -> R,
+{
+    for threads in [1usize, 4] {
+        for pooling in [true, false] {
+            let lb = f(&dev(ScanEngine::Lookback, threads, pooling));
+            let tp = f(&dev(ScanEngine::TwoPass, threads, pooling));
+            assert_eq!(
+                lb, tp,
+                "engines diverge at threads={threads} pooling={pooling}"
+            );
+        }
+    }
+}
+
+/// Lengths straddling every boundary of the simulated grid: empty, one
+/// element, the sequential threshold (16) ± 1, the block/chunk size (64)
+/// ± 1, a few blocks, and enough elements for a long lookback chain.
+const ADVERSARIAL_LENGTHS: &[usize] = &[0, 1, 2, 15, 16, 17, 63, 64, 65, 127, 128, 129, 257, 4096];
+
+fn input_u64(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect()
+}
+
+fn input_u32(n: usize) -> Vec<u32> {
+    (0..n as u64)
+        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as u32)
+        .collect()
+}
+
+#[test]
+fn add_scans_bit_identical_u64() {
+    for &n in ADVERSARIAL_LENGTHS {
+        let input = input_u64(n);
+        assert_engines_agree(|d| {
+            (
+                d.scan_inclusive(&input, 0u64, |a, b| a.wrapping_add(b)),
+                d.scan_exclusive(&input, 0u64, |a, b| a.wrapping_add(b)),
+            )
+        });
+    }
+}
+
+#[test]
+fn min_max_scans_bit_identical_u32() {
+    for &n in ADVERSARIAL_LENGTHS {
+        let input = input_u32(n);
+        assert_engines_agree(|d| {
+            (
+                d.scan_inclusive(&input, u32::MAX, |a, b| a.min(b)),
+                d.scan_inclusive(&input, 0u32, |a, b| a.max(b)),
+            )
+        });
+    }
+}
+
+#[test]
+fn pair_scans_bit_identical() {
+    // The segscan's flagged-pair shape: a non-commutative operator over a
+    // padded (u32, u64) pair, exercising the plain-value descriptor path.
+    for &n in ADVERSARIAL_LENGTHS {
+        let pairs: Vec<(u32, u64)> = input_u64(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| ((i % 5 == 0) as u32, v % 1000))
+            .collect();
+        assert_engines_agree(|d| {
+            d.scan_inclusive(&pairs, (0u32, 0u64), |a, b| {
+                if b.0 == 1 {
+                    b
+                } else {
+                    (a.0, a.1.wrapping_add(b.1))
+                }
+            })
+        });
+    }
+}
+
+#[test]
+fn exclusive_with_total_bit_identical() {
+    for &n in ADVERSARIAL_LENGTHS {
+        let input = input_u32(n);
+        assert_engines_agree(|d| {
+            d.scan_exclusive_with_total(&input, 0u32, |a, b| a.wrapping_add(b))
+        });
+    }
+}
+
+#[test]
+fn segscan_bit_identical() {
+    for &n in ADVERSARIAL_LENGTHS {
+        let values = input_u64(n).iter().map(|v| v % 1_000).collect::<Vec<_>>();
+        // Irregular segment boundaries, including empties.
+        let mut offsets = vec![0u32];
+        let mut at = 0usize;
+        let mut step = 1usize;
+        while at < n {
+            at = usize::min(at + step % 7, n);
+            step = step.wrapping_mul(3).wrapping_add(1);
+            offsets.push(at as u32);
+        }
+        if *offsets.last().unwrap() as usize != n {
+            offsets.push(n as u32);
+        }
+        assert_engines_agree(|d| d.segmented_add_scan_u64(&values, &offsets));
+    }
+}
+
+#[test]
+fn compact_bit_identical() {
+    for &n in ADVERSARIAL_LENGTHS {
+        assert_engines_agree(|d| {
+            (
+                d.compact_indices(n, |i| i % 3 == 1),
+                d.compact_indices(n, |_| true),
+                d.compact_indices(n, |_| false),
+            )
+        });
+    }
+}
+
+#[test]
+fn radix_sort_bit_identical() {
+    // The radix offsets scan rides the engine; sorted output and payload
+    // permutation must not depend on it.
+    for &n in ADVERSARIAL_LENGTHS {
+        let keys = input_u64(n);
+        let vals: Vec<u32> = (0..n as u32).collect();
+        assert_engines_agree(|d| {
+            let mut k = keys.clone();
+            let mut v = vals.clone();
+            d.sort_pairs_u64_u32(&mut k, &mut v);
+            (k, v)
+        });
+    }
+}
+
+#[test]
+fn csr_offsets_bit_identical() {
+    // The degree-histogram → exclusive-scan shape of CSR construction.
+    for &n in ADVERSARIAL_LENGTHS {
+        let counts = input_u32(n).iter().map(|v| v % 9).collect::<Vec<_>>();
+        assert_engines_agree(|d| d.scan_exclusive_with_total(&counts, 0u32, |a, b| a + b));
+    }
+}
+
+#[test]
+fn lookback_is_clean_under_full_sanitizer() {
+    let device = Device::with_config(DeviceConfig {
+        threads: Some(4),
+        block_size: 64,
+        seq_threshold: 16,
+        sanitize: SanitizeMode::Full,
+        sanitize_fatal: false,
+        scan_engine: ScanEngine::Lookback,
+        ..Default::default()
+    });
+    let input = input_u64(5000);
+    let _ = device.scan_inclusive(&input, 0u64, |a, b| a.wrapping_add(b));
+    let _ = device.scan_exclusive(&input, 0u64, |a, b| a.wrapping_add(b));
+    let _ = device.compact_indices(5000, |i| i % 7 != 0);
+    let mut keys = input_u64(5000);
+    device.sort_u64(&mut keys);
+    let offsets: Vec<u32> = (0..=1000u32).map(|s| s * 5).collect();
+    let vals = input_u64(5000).iter().map(|v| v % 100).collect::<Vec<_>>();
+    let _ = device.segmented_add_scan_u64(&vals, &offsets);
+    assert!(
+        device.take_findings().is_empty(),
+        "lookback engine must be sanitizer-clean"
+    );
+}
+
+#[test]
+fn engine_names_parse_and_typos_are_rejected() {
+    // A typo in EMG_SCAN_ENGINE must fail loudly rather than silently
+    // benchmarking the wrong engine.
+    assert_eq!("lookback".parse::<ScanEngine>(), Ok(ScanEngine::Lookback));
+    assert_eq!("TwoPass".parse::<ScanEngine>(), Ok(ScanEngine::TwoPass));
+    assert_eq!("two-pass".parse::<ScanEngine>(), Ok(ScanEngine::TwoPass));
+    assert!("lokback".parse::<ScanEngine>().is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_add_scan_engines_agree(input in proptest::collection::vec(any::<u64>(), 0..3000)) {
+        for threads in [1usize, 4] {
+            let lb = dev(ScanEngine::Lookback, threads, true)
+                .scan_inclusive(&input, 0u64, |a, b| a.wrapping_add(b));
+            let tp = dev(ScanEngine::TwoPass, threads, true)
+                .scan_inclusive(&input, 0u64, |a, b| a.wrapping_add(b));
+            prop_assert_eq!(lb, tp);
+        }
+    }
+
+    #[test]
+    fn prop_min_scan_engines_agree(input in proptest::collection::vec(any::<u32>(), 0..3000)) {
+        let lb = dev(ScanEngine::Lookback, 4, true)
+            .scan_inclusive(&input, u32::MAX, |a, b| a.min(b));
+        let tp = dev(ScanEngine::TwoPass, 4, true)
+            .scan_inclusive(&input, u32::MAX, |a, b| a.min(b));
+        prop_assert_eq!(lb, tp);
+    }
+
+    #[test]
+    fn prop_compact_engines_agree(n in 0usize..5000, modulus in 1usize..10) {
+        let lb = dev(ScanEngine::Lookback, 4, true).compact_indices(n, |i| i % modulus == 0);
+        let tp = dev(ScanEngine::TwoPass, 4, true).compact_indices(n, |i| i % modulus == 0);
+        prop_assert_eq!(lb, tp);
+    }
+}

@@ -1,0 +1,210 @@
+//! Pins the traffic plane: every primitive records `bytes_read` /
+//! `bytes_written` (and launches) by the *same* taxonomy on its
+//! sequential small-`n` fallback as on its parallel path, and the counts
+//! are pool-width-independent so CI can gate them host-independently.
+//!
+//! The modeled numbers follow the accounting rules in DESIGN.md §10:
+//! only O(n) data-plane arrays count; descriptor/bookkeeping arrays and
+//! per-block "shared memory" staging do not; fused generators and
+//! predicates are one element-sized (predicates: 4-byte) read per
+//! evaluation.
+
+use gpu_sim::{Device, DeviceConfig, MetricsSnapshot, ScanEngine};
+
+fn dev(engine: ScanEngine, threads: usize) -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(threads),
+        block_size: 64,
+        seq_threshold: 16,
+        scan_engine: engine,
+        ..Default::default()
+    })
+}
+
+/// Runs `f` and returns the metrics delta it produced.
+fn measure<F: FnOnce(&Device)>(device: &Device, f: F) -> MetricsSnapshot {
+    let before = device.metrics().snapshot();
+    f(device);
+    device.metrics().snapshot().since(&before)
+}
+
+#[test]
+fn scan_seq_path_matches_parallel_taxonomy() {
+    // n = 10 (sequential) and n = 2000 (parallel) must both report one
+    // launch and n elements read + written under the lookback engine.
+    let device = dev(ScanEngine::Lookback, 4);
+    for n in [10usize, 2000] {
+        let input: Vec<u64> = (0..n as u64).collect();
+        let d = measure(&device, |d| {
+            let _ = d.scan_inclusive(&input, 0u64, |a, b| a + b);
+        });
+        assert_eq!(d.kernel_launches, 1, "n={n}");
+        assert_eq!(d.bytes_read, 8 * n as u64, "n={n}");
+        assert_eq!(d.bytes_written, 8 * n as u64, "n={n}");
+    }
+}
+
+#[test]
+fn two_pass_scan_reads_twice_and_launches_twice() {
+    let device = dev(ScanEngine::TwoPass, 4);
+    let n = 2000usize;
+    let input: Vec<u64> = (0..n as u64).collect();
+    let d = measure(&device, |d| {
+        let _ = d.scan_inclusive(&input, 0u64, |a, b| a + b);
+    });
+    assert_eq!(d.kernel_launches, 2);
+    assert_eq!(d.bytes_read, 16 * n as u64);
+    assert_eq!(d.bytes_written, 8 * n as u64);
+}
+
+#[test]
+fn reduce_reads_once_writes_nothing() {
+    let device = dev(ScanEngine::Lookback, 4);
+    for n in [10usize, 2000] {
+        let input: Vec<u32> = (0..n as u32).collect();
+        let d = measure(&device, |d| {
+            let _ = d.reduce_max_u32(&input);
+        });
+        assert_eq!(d.kernel_launches, 1, "n={n}");
+        assert_eq!(d.bytes_read, 4 * n as u64, "n={n}");
+        assert_eq!(d.bytes_written, 0, "n={n}");
+    }
+}
+
+#[test]
+fn compact_taxonomy_per_engine() {
+    // Half the elements survive; a predicate evaluation is a 4-byte read.
+    for n in [10usize, 2000] {
+        let d = measure(&dev(ScanEngine::Lookback, 4), |d| {
+            let _ = d.compact_indices(n, |i| i % 2 == 0);
+        });
+        assert_eq!(d.kernel_launches, 1, "lookback n={n}");
+        assert_eq!(d.bytes_read, 4 * n as u64, "lookback n={n}");
+        assert_eq!(d.bytes_written, 4 * n.div_ceil(2) as u64, "lookback n={n}");
+    }
+    // The two-pass baseline evaluates the predicate twice (count + write).
+    let n = 2000usize;
+    let d = measure(&dev(ScanEngine::TwoPass, 4), |d| {
+        let _ = d.compact_indices(n, |i| i % 2 == 0);
+    });
+    assert_eq!(d.kernel_launches, 2);
+    assert_eq!(d.bytes_read, 8 * n as u64);
+    assert_eq!(d.bytes_written, 4 * (n / 2) as u64);
+}
+
+#[test]
+fn gather_scatter_count_index_and_element() {
+    let device = dev(ScanEngine::Lookback, 4);
+    let n = 500usize;
+    let src: Vec<u64> = (0..n as u64).collect();
+    let idx: Vec<u32> = (0..n as u32).rev().collect();
+    let mut out = vec![0u64; n];
+    let d = measure(&device, |d| d.gather(&mut out, &idx, &src));
+    assert_eq!(d.kernel_launches, 1);
+    assert_eq!(d.bytes_read, (n * (4 + 8)) as u64);
+    assert_eq!(d.bytes_written, (n * 8) as u64);
+
+    let d = measure(&device, |d| d.scatter(&mut out, &idx, &src));
+    assert_eq!(d.kernel_launches, 1);
+    assert_eq!(d.bytes_read, (n * (4 + 8)) as u64);
+    assert_eq!(d.bytes_written, (n * 8) as u64);
+}
+
+#[test]
+fn sort_seq_paths_record_full_taxonomy() {
+    let device = dev(ScanEngine::Lookback, 4);
+    // u32 path, below the sequential threshold.
+    let d = measure(&device, |d| {
+        let mut keys = vec![5u32, 3, 1, 4, 2];
+        d.sort_u32(&mut keys);
+    });
+    assert_eq!(d.kernel_launches, 1);
+    assert_eq!(d.bytes_read, 20);
+    assert_eq!(d.bytes_written, 20);
+    // u64 path, including the n = 1 degenerate sort.
+    for n in [1usize, 10] {
+        let d = measure(&device, |d| {
+            let mut keys: Vec<u64> = (0..n as u64).rev().collect();
+            d.sort_u64(&mut keys);
+        });
+        assert_eq!(d.kernel_launches, 1, "n={n}");
+        assert_eq!(d.bytes_read, 8 * n as u64, "n={n}");
+        assert_eq!(d.bytes_written, 8 * n as u64, "n={n}");
+    }
+}
+
+#[test]
+fn histogram_counts_bin_evaluations_and_output_bins() {
+    let device = dev(ScanEngine::Lookback, 4);
+    let n = 2000usize;
+    let bins = 16usize;
+    let d = measure(&device, |d| {
+        let _ = d.histogram_privatized(n, bins, |i| i % bins);
+    });
+    // Launches: private-row clear, accumulate, column-sum.
+    assert_eq!(d.kernel_launches, 3);
+    assert_eq!(d.bytes_read, 4 * n as u64);
+    assert_eq!(d.bytes_written, 8 * bins as u64);
+    // The degenerate shape still launches (a device-side clear) so the
+    // taxonomy does not silently change at n = 0.
+    let d = measure(&device, |d| {
+        let _ = d.histogram_privatized(0, bins, |i| i);
+    });
+    assert_eq!(d.kernel_launches, 1);
+    assert_eq!(d.bytes_read, 0);
+    assert_eq!(d.bytes_written, 0);
+}
+
+#[test]
+fn segreduce_counts_slots_offsets_and_segments() {
+    let device = dev(ScanEngine::Lookback, 4);
+    let values: Vec<u32> = (0..40).collect();
+    let offsets: Vec<u32> = (0..=8u32).map(|s| s * 5).collect();
+    let d = measure(&device, |d| {
+        let _ = d.segmented_min_u32(&values, &offsets);
+    });
+    assert_eq!(d.kernel_launches, 1);
+    assert_eq!(d.bytes_read, 40 * 4 + 9 * 4);
+    assert_eq!(d.bytes_written, 8 * 4);
+}
+
+#[test]
+fn merge_streams_each_element_once() {
+    let device = dev(ScanEngine::Lookback, 4);
+    let a: Vec<u32> = (0..300).map(|i| 2 * i).collect();
+    let b: Vec<u32> = (0..300).map(|i| 2 * i + 1).collect();
+    let d = measure(&device, |d| {
+        let _ = d.merge(&a, &b);
+    });
+    assert_eq!(d.bytes_read, 600 * 4);
+    assert_eq!(d.bytes_written, 600 * 4);
+}
+
+#[test]
+fn traffic_is_pool_width_independent() {
+    // The CI gate compares launch/byte counts across hosts; they must not
+    // depend on how many workers the pool happens to have.
+    let n = 3000usize;
+    let input: Vec<u64> = (0..n as u64).collect();
+    let mut reference: Option<(MetricsSnapshot, MetricsSnapshot)> = None;
+    for threads in [1usize, 2, 8] {
+        let device = dev(ScanEngine::Lookback, threads);
+        let scan = measure(&device, |d| {
+            let _ = d.scan_exclusive(&input, 0u64, |a, b| a + b);
+        });
+        let compact = measure(&device, |d| {
+            let _ = d.compact_indices(n, |i| i % 3 == 0);
+        });
+        match &reference {
+            None => reference = Some((scan, compact)),
+            Some((s, c)) => {
+                assert_eq!(scan.kernel_launches, s.kernel_launches);
+                assert_eq!(scan.bytes_read, s.bytes_read);
+                assert_eq!(scan.bytes_written, s.bytes_written);
+                assert_eq!(compact.kernel_launches, c.kernel_launches);
+                assert_eq!(compact.bytes_read, c.bytes_read);
+                assert_eq!(compact.bytes_written, c.bytes_written);
+            }
+        }
+    }
+}

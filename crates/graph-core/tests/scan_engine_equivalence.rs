@@ -1,0 +1,39 @@
+//! CSR construction must be bit-identical across scan engines: the
+//! device build routes its offsets through `scan_exclusive_with_total`,
+//! which dispatches on [`ScanEngine`].
+
+use gpu_sim::{Device, DeviceConfig, ScanEngine};
+use graph_core::{Csr, EdgeList};
+
+fn dev(engine: ScanEngine) -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(4),
+        block_size: 64,
+        seq_threshold: 16,
+        scan_engine: engine,
+        ..Default::default()
+    })
+}
+
+fn ladder(n: u32) -> EdgeList {
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((v - 1, v));
+        if v >= 2 {
+            edges.push((v - 2, v));
+        }
+    }
+    EdgeList::new(n as usize, edges)
+}
+
+#[test]
+fn device_csr_is_engine_independent() {
+    for n in [2u32, 65, 300, 2000] {
+        let graph = ladder(n);
+        let host = Csr::from_edge_list(&graph);
+        let lb = Csr::from_edge_list_on(&dev(ScanEngine::Lookback), &graph);
+        let tp = Csr::from_edge_list_on(&dev(ScanEngine::TwoPass), &graph);
+        assert_eq!(lb, tp, "n={n}");
+        assert_eq!(lb, host, "n={n}");
+    }
+}

@@ -1,0 +1,52 @@
+//! GPU Inlabel LCA answers must not depend on the scan engine backing
+//! its Euler-tour preprocessing.
+
+use gpu_sim::{Device, DeviceConfig, ScanEngine};
+use graph_core::ids::INVALID_NODE;
+use graph_core::Tree;
+use lca::{GpuInlabelLca, LcaAlgorithm, SequentialInlabelLca};
+
+fn dev(engine: ScanEngine) -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(4),
+        block_size: 64,
+        seq_threshold: 16,
+        scan_engine: engine,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn inlabel_queries_are_engine_independent() {
+    let n = 800usize;
+    let mut parent = vec![INVALID_NODE; n];
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for (v, p) in parent.iter_mut().enumerate().skip(1) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *p = ((state >> 33) as usize % v) as u32;
+    }
+    let tree = Tree::from_parent_array(parent, 0).unwrap();
+
+    let queries: Vec<(u32, u32)> = (0..500u64)
+        .map(|q| {
+            let a = (q.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u32 % n as u32;
+            let b = (q.wrapping_mul(0xD1B54A32D192ED03) >> 33) as u32 % n as u32;
+            (a, b)
+        })
+        .collect();
+
+    let d_lb = dev(ScanEngine::Lookback);
+    let d_tp = dev(ScanEngine::TwoPass);
+    let lb = GpuInlabelLca::preprocess(&d_lb, &tree).unwrap();
+    let tp = GpuInlabelLca::preprocess(&d_tp, &tree).unwrap();
+    let seq = SequentialInlabelLca::preprocess(&tree);
+
+    let mut out_lb = vec![0u32; queries.len()];
+    let mut out_tp = vec![0u32; queries.len()];
+    let mut out_seq = vec![0u32; queries.len()];
+    lb.query_batch(&queries, &mut out_lb);
+    tp.query_batch(&queries, &mut out_tp);
+    seq.query_batch(&queries, &mut out_seq);
+    assert_eq!(out_lb, out_tp);
+    assert_eq!(out_lb, out_seq);
+}
