@@ -1,0 +1,6 @@
+//! Graph audit: launch-capture overhead on-vs-off plus the static
+//! analyzer's per-pipeline counts (host-independent, pinned 4-worker grid).
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::graph_audit::run(&cfg);
+}

@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7_8;
 pub mod fig9;
 pub mod forest_sweep;
+pub mod graph_audit;
 pub mod io_sweep;
 pub mod mem_sweep;
 pub mod prelim_rmq;

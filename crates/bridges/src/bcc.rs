@@ -406,7 +406,12 @@ pub fn articulation_points_device(
     let n = graph.num_nodes();
     let edges = graph.edges();
     let component = &bcc.component;
-    let flags = device.alloc_map(n, |v| vertex_is_cut(v as u32, edges, csr, component));
+    let flags = {
+        let _k = device.kernel_label("bcc_articulation_flags");
+        device.capture_read(edges);
+        device.capture_read(component);
+        device.alloc_map(n, |v| vertex_is_cut(v as u32, edges, csr, component))
+    };
     flags.into_iter().collect()
 }
 

@@ -162,6 +162,9 @@ pub fn bfs_device(device: &Device, csr: &Csr, root: NodeId) -> BfsTree {
     let mut parent = vec![INVALID_NODE; n];
     let mut parent_edge = vec![u32::MAX; n];
     let mut level = vec![u32::MAX; n];
+    device.capture_fresh(&parent[..]);
+    device.capture_fresh(&parent_edge[..]);
+    device.capture_fresh(&level[..]);
     device.map(&mut level, |v| levels.load(v));
     {
         let _k = device.kernel_label("bfs_assign_parents");

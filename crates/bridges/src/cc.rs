@@ -89,7 +89,10 @@ pub fn connected_components(device: &Device, graph: &EdgeList) -> ConnectedCompo
     let n = graph.num_nodes();
     let m = graph.num_edges();
 
-    let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
+    let mut parent_buf = {
+        let _k = device.kernel_label("cc_init_parent");
+        device.alloc_pooled_map(n, |v| v as u32)
+    };
     let mut tree_flag_buf = device.alloc_filled(m, 0u32);
     let parent = device
         .atomic_u32(&mut parent_buf)
@@ -100,6 +103,8 @@ pub fn connected_components(device: &Device, graph: &EdgeList) -> ConnectedCompo
     {
         let _k = device.kernel_label("cc_hook");
         let edges = graph.edges();
+        // The edge list feeds the closure, invisible to the tracked views.
+        device.capture_read(edges);
         device.for_each(m, |e| {
             let (u, v) = edges[e];
             hook_min(&parent, &tree_flag, e, u, v);

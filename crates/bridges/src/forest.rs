@@ -267,6 +267,12 @@ fn expand_frontier<'d>(
     let count = AtomicUsize::new(0);
     {
         let _k = device.kernel_label("expand_frontier");
+        // The frontier and the CSR adjacency feed the closure, invisible
+        // to the tracked views.
+        device.capture_read(frontier);
+        device.capture_read(csr.offsets());
+        device.capture_read(csr.raw_neighbors());
+        device.capture_read(csr.raw_edge_ids());
         // fetch_add hands out unique slots, so each element has exactly one
         // writer; the degree sum bounds the capacity.
         let next_shared = device.shared(&mut next);
@@ -285,6 +291,9 @@ fn expand_frontier<'d>(
             }
         });
     }
+    // The host consumes the wave's output to size it (and, on the final
+    // wave, to terminate the loop).
+    device.capture_host_read(&next[..]);
     next.truncate(count.load(Ordering::Relaxed));
     next
 }
@@ -311,6 +320,8 @@ fn root_forest(
         .atomic_u64(&mut claims_buf)
         .benign("claim CAS: exactly one winner per node, losers observe the failure");
     let mut frontier = device.compact_indices_pooled(n, |v| representative[v] == v as u32);
+    // The host walks the seed frontier to stamp the root claims.
+    device.capture_host_read(&frontier[..]);
     for &r in frontier.iter() {
         // Any non-MAX value marks the roots claimed; their slots are never
         // read back (roots keep INVALID_NODE / u32::MAX markers).
@@ -350,10 +361,14 @@ fn representatives_from_labels(device: &Device, labels: &[u32]) -> Vec<NodeId> {
         .benign("per-component minimum: fetch_min commutes, any arrival order converges");
     {
         let _k = device.kernel_label("representative_min");
+        // The label array feeds the closure, invisible to the tracked view.
+        device.capture_read(labels);
         device.for_each(n, |v| {
             min.fetch_min(labels[v] as usize, v as u32);
         });
     }
+    let _k = device.kernel_label("representative_collect");
+    device.capture_read(labels);
     device.alloc_map(n, |v| min.load(labels[v] as usize))
 }
 
@@ -439,6 +454,8 @@ impl BfsBuilder {
         }
         let mut parent = vec![INVALID_NODE; n];
         let mut parent_edge = vec![u32::MAX; n];
+        device.capture_fresh(&parent[..]);
+        device.capture_fresh(&parent_edge[..]);
         {
             let _k = device.kernel_label("bfs_assign_parents");
             // One write per node.
@@ -468,6 +485,9 @@ impl BfsBuilder {
                 }
             });
         }
+        // The compaction predicate reads the flags, invisible to the
+        // tracked views.
+        device.capture_read(&flag[..]);
         let tree_edges = device.compact_indices(graph.num_edges(), |e| flag[e] == 1);
         SpanningForest {
             parent,
@@ -499,12 +519,18 @@ impl SpanningForestBuilder for BfsBuilder {
     }
 }
 
-/// Shiloach–Vishkin-style stochastic hooking: rounds of (shortcut to
-/// stars, hook across components) with the hook direction alternating by
-/// round parity — even rounds hook the larger root under the smaller, odd
-/// rounds the smaller under the larger. Each round's hooks are strictly
-/// monotone in node id, so the parent graph stays acyclic, and every
-/// winning CAS contributes exactly one forest edge.
+/// Shiloach–Vishkin-style hooking: rounds of (shortcut to stars, hook
+/// across components) with the hook direction alternating by round parity
+/// — even rounds hook the larger root under the smaller, odd rounds the
+/// smaller under the larger. Each round's hooks are strictly monotone in
+/// node id, so the parent graph stays acyclic.
+///
+/// Both phases are **schedule-deterministic**: shortcutting is synchronous
+/// pointer jumping (read last round's parents, write the next round's), and
+/// hooking resolves contended roots with an `atomicMin` over packed
+/// `(target root, edge id)` claims instead of first-CAS-wins. The forest,
+/// the tree-edge set, and the *launch count* are therefore functions of
+/// the input alone — pool width never changes the captured launch graph.
 pub struct ShiloachVishkinBuilder;
 
 impl SpanningForestBuilder for ShiloachVishkinBuilder {
@@ -515,56 +541,88 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
     fn build_unrooted(&self, device: &Device, graph: &EdgeList, _csr: &Csr) -> UnrootedForest {
         let n = graph.num_nodes();
         let m = graph.num_edges();
-        let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
+        let mut parent_buf = {
+            let _k = device.kernel_label("sv_init_parent");
+            device.alloc_pooled_map(n, |v| v as u32)
+        };
+        let mut jump_buf = device.alloc_filled(n, 0u32);
+        let mut claim_buf = device.alloc_filled(n, u64::MAX);
         let mut tree_flag_buf = device.alloc_filled(m, 0u32);
-        let parent = device
-            .atomic_u32(&mut parent_buf)
-            .benign("SV hooking/shortcutting: monotone CAS winners and converging jumps");
-        let tree_flag = device.atomic_u32(&mut tree_flag_buf);
         let edges = graph.edges();
 
         let mut round = 0usize;
         loop {
-            // Shortcut until every tree is a star (pointer jumping).
+            // Shortcut until every tree is a star. Synchronous jumping:
+            // every thread reads the previous round's parents, so the trip
+            // count depends only on the forest depth, not on the schedule.
             loop {
-                let _k = device.kernel_label("sv_shortcut");
                 let changed = AtomicBool::new(false);
-                let parent_ref = &parent;
-                let changed_ref = &changed;
-                device.for_each(n, |v| {
-                    let p = parent_ref.load(v);
-                    let gp = parent_ref.load(p as usize);
-                    if gp != p {
-                        parent_ref.store(v, gp);
-                        changed_ref.store(true, Ordering::Relaxed);
-                    }
-                });
+                {
+                    let _k = device.kernel_label("sv_shortcut");
+                    device.capture_read(&parent_buf[..]);
+                    let parent_ref = &parent_buf;
+                    let changed_ref = &changed;
+                    device.map(&mut jump_buf, |v| {
+                        let p = parent_ref[v] as usize;
+                        let gp = parent_ref[p];
+                        if gp != p as u32 {
+                            changed_ref.store(true, Ordering::Relaxed);
+                        }
+                        gp
+                    });
+                }
+                std::mem::swap(&mut parent_buf, &mut jump_buf);
                 if !changed.load(Ordering::Relaxed) {
                     break;
                 }
             }
-            // Hook across components, direction by round parity.
-            let hooks = AtomicUsize::new(0);
+            // Hook across components, direction by round parity. Claim
+            // pass: every cross-component edge bids for its source root
+            // with a packed (target root, edge id) key; atomicMin picks a
+            // schedule-independent winner. The parents are frozen here, so
+            // the bids are, too.
+            device.fill(&mut claim_buf, u64::MAX);
             {
-                let _k = device.kernel_label("sv_hook");
-                let parent_ref = &parent;
-                let tree_ref = &tree_flag;
-                let hooks_ref = &hooks;
+                let _k = device.kernel_label("sv_hook_claim");
+                device.capture_read(edges);
+                device.capture_read(&parent_buf[..]);
+                let claim = device.atomic_u64(&mut claim_buf).benign(
+                    "min-claim hooking: fetch_min commutes, ties impossible (edge id in the key)",
+                );
+                let parent_ref = &parent_buf;
                 let even = round.is_multiple_of(2);
                 device.for_each(m, |e| {
                     let (u, v) = edges[e];
                     if u == v {
                         return;
                     }
-                    let ru = parent_ref.load(u as usize);
-                    let rv = parent_ref.load(v as usize);
+                    let ru = parent_ref[u as usize];
+                    let rv = parent_ref[v as usize];
                     if ru == rv {
                         return;
                     }
                     let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
                     let (src, dst) = if even { (hi, lo) } else { (lo, hi) };
-                    if parent_ref.compare_exchange(src as usize, src, dst).is_ok() {
-                        tree_ref.store(e, 1);
+                    claim.fetch_min(src as usize, ((dst as u64) << 32) | e as u64);
+                });
+            }
+            // Commit pass: one write per claimed root, one tree edge per
+            // winning claim.
+            let hooks = AtomicUsize::new(0);
+            {
+                let _k = device.kernel_label("sv_hook_commit");
+                device.capture_read(&claim_buf[..]);
+                let claim_ref = &claim_buf;
+                // Each claimed root is written once; winning edge ids are
+                // distinct across roots.
+                let parent_sh = device.shared(&mut parent_buf);
+                let tree_sh = device.shared(&mut tree_flag_buf);
+                let hooks_ref = &hooks;
+                device.for_each(n, |v| {
+                    let c = claim_ref[v];
+                    if c != u64::MAX {
+                        parent_sh.write(v, (c >> 32) as u32);
+                        tree_sh.write((c & u64::from(u32::MAX)) as usize, 1);
                         hooks_ref.fetch_add(1, Ordering::Relaxed);
                     }
                 });
@@ -575,7 +633,12 @@ impl SpanningForestBuilder for ShiloachVishkinBuilder {
             round += 1;
         }
 
-        let labels = device.alloc_pooled_map(n, |v| parent.load(v));
+        let labels = {
+            let _k = device.kernel_label("sv_labels");
+            device.capture_read(&parent_buf[..]);
+            device.alloc_pooled_map(n, |v| parent_buf[v])
+        };
+        let tree_flag = device.atomic_u32(&mut tree_flag_buf);
         unrooted_from_labels(device, graph, &labels, &tree_flag)
     }
 }
@@ -604,7 +667,10 @@ impl SpanningForestBuilder for AfforestBuilder {
     fn build_unrooted(&self, device: &Device, graph: &EdgeList, csr: &Csr) -> UnrootedForest {
         let n = graph.num_nodes();
         let m = graph.num_edges();
-        let mut parent_buf = device.alloc_pooled_map(n, |v| v as u32);
+        let mut parent_buf = {
+            let _k = device.kernel_label("afforest_init_parent");
+            device.alloc_pooled_map(n, |v| v as u32)
+        };
         let mut tree_flag_buf = device.alloc_filled(m, 0u32);
         let parent = device
             .atomic_u32(&mut parent_buf)
@@ -614,6 +680,11 @@ impl SpanningForestBuilder for AfforestBuilder {
         // Sampling phase: one hook per vertex per round over its r-th slot.
         for r in 0..self.neighbor_rounds {
             let _k = device.kernel_label("afforest_sample");
+            // The CSR adjacency feeds the closure, invisible to the
+            // tracked views.
+            device.capture_read(csr.offsets());
+            device.capture_read(csr.raw_neighbors());
+            device.capture_read(csr.raw_edge_ids());
             device.for_each(n, |v| {
                 let nbs = csr.neighbors(v as u32);
                 if r < nbs.len() {
@@ -625,9 +696,16 @@ impl SpanningForestBuilder for AfforestBuilder {
         }
 
         // Snapshot the partial components and find the most frequent one.
-        let snapshot = device.alloc_pooled_map(n, |v| find(&parent, v as u32));
+        let snapshot = {
+            let _k = device.kernel_label("afforest_snapshot");
+            device.alloc_pooled_map(n, |v| find(&parent, v as u32))
+        };
         let skip = {
             let mut counts = device.alloc_filled(n, 0u32);
+            // The histogram runs on the host: it reads the snapshot and
+            // both reads and bumps the fill-initialized counts.
+            device.capture_host_read(&snapshot[..]);
+            device.capture_host_read(&counts[..]);
             for &c in snapshot.iter() {
                 counts[c as usize] += 1;
             }
@@ -645,6 +723,9 @@ impl SpanningForestBuilder for AfforestBuilder {
             let _k = device.kernel_label("afforest_full_pass");
             let snap_ref = &snapshot;
             let edges = graph.edges();
+            // Snapshot and edge list feed the closure.
+            device.capture_read(&snapshot[..]);
+            device.capture_read(edges);
             device.for_each(m, |e| {
                 let (u, v) = edges[e];
                 if u == v {
@@ -657,7 +738,10 @@ impl SpanningForestBuilder for AfforestBuilder {
             });
         }
 
-        let labels = device.alloc_pooled_map(n, |v| find(&parent, v as u32));
+        let labels = {
+            let _k = device.kernel_label("afforest_labels");
+            device.alloc_pooled_map(n, |v| find(&parent, v as u32))
+        };
         unrooted_from_labels(device, graph, &labels, &tree_flag)
     }
 }

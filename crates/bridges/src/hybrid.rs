@@ -64,6 +64,7 @@ pub fn bridges_hybrid_with(
     {
         let _k = device.kernel_label("hybrid_flag_tree_edges");
         // Tree edge ids are distinct, so each slot has one writer.
+        device.capture_read(&tree_edge_ids);
         let tree_shared = device.shared(&mut is_tree);
         let ids = &tree_edge_ids;
         device.for_each(ids.len(), |i| {
@@ -76,7 +77,13 @@ pub fn bridges_hybrid_with(
     // Phase 2: Euler tour of the spanning tree (pooled edge-pair scratch).
     let t1 = Instant::now();
     let ids = &tree_edge_ids;
-    let tree_pairs = device.alloc_pooled_map(ids.len(), |i| graph.edges()[ids[i] as usize]);
+    let tree_pairs = {
+        let _k = device.kernel_label("hybrid_gather_tree_edges");
+        // The id list and the edge list feed the closure.
+        device.capture_read(ids);
+        device.capture_read(graph.edges());
+        device.alloc_pooled_map(ids.len(), |i| graph.edges()[ids[i] as usize])
+    };
     let tour = EulerTour::build_from_edges(device, n, &tree_pairs, 0)
         .map_err(|_| BridgesError::Disconnected)?;
     drop(tree_pairs);
@@ -104,6 +111,14 @@ pub fn bridges_hybrid_with(
     };
     let marked = AtomicBitSet::new(n);
     {
+        let _k = device.kernel_label("ck_mark_walk");
+        // Tree flags, edge list and the walk tree feed the closure; the
+        // mark bitset is internally atomic (first-marker-wins races are
+        // the algorithm's early-exit, not a hazard).
+        device.capture_read(&is_tree[..]);
+        device.capture_read(graph.edges());
+        device.capture_read(&walk_tree.parent);
+        device.capture_read(&walk_tree.level);
         let edges = graph.edges();
         let walk_ref = &walk_tree;
         let marked_ref = &marked;
@@ -124,6 +139,9 @@ pub fn bridges_hybrid_with(
     {
         let _k = device.kernel_label("hybrid_collect_bridges");
         // Tree edge ids are distinct, so each slot has one writer.
+        device.capture_read(&tree_edge_ids);
+        device.capture_read(&stats.parent);
+        device.capture_read(graph.edges());
         let flags_shared = device.shared(&mut bridge_flags);
         let ids = &tree_edge_ids;
         let parent = &stats.parent;
@@ -136,6 +154,8 @@ pub fn bridges_hybrid_with(
             flags_shared.write(e as usize, u8::from(!marked_ref.get(c as usize)));
         });
     }
+    // The host folds the flags into the result bitset.
+    device.capture_host_read(&bridge_flags[..]);
     let is_bridge: BitSet = bridge_flags.iter().map(|&b| b == 1).collect();
     phases.push(("mark".to_string(), t3.elapsed()));
 

@@ -55,12 +55,21 @@ impl SegmentTree {
             };
         }
         let mut data = vec![op.identity(); 2 * len];
+        // The leaf copy is a host-side read of `values` (often an arena
+        // buffer upstream) — note it for the capture plane.
+        device.capture_host_read(values);
         data[len..].copy_from_slice(values);
         // Internal nodes level by level: node i covers children 2i, 2i+1.
         // Process ranges [len/2, len), [len/4, len/2) ... each as a kernel.
         let mut hi = len; // exclusive
         while hi > 1 {
             let lo = hi.div_ceil(2);
+            let _k = device.kernel_label("segtree_level");
+            // Levels chain through the flat tree array: declare the
+            // whole-array dataflow (the per-level target sub-slice is
+            // declared by the map itself).
+            device.capture_read(&data[..]);
+            device.capture_write(&data[..]);
             // Compute nodes [lo, hi) — but only those with children below
             // 2*len; in the iterative layout all of [1, len) are internal.
             let (upper, lower) = data.split_at_mut(hi);
@@ -97,6 +106,13 @@ impl SegmentTree {
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Declares the tree's backing array as a capture-plane read attached
+    /// to the **next** launch — call before a kernel whose closure runs
+    /// [`SegmentTree::query`]. No-op with capture off.
+    pub fn declare_query_reads(&self, device: &Device) {
+        device.capture_read(&self.data);
     }
 
     /// Query over the inclusive range `[l, r]`. Returns the identity for

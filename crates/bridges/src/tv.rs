@@ -65,6 +65,7 @@ pub fn bridges_tv_with(
     let mut is_tree = device.alloc_filled(m, 0u8);
     {
         let _k = device.kernel_label("tv_flag_tree_edges");
+        device.capture_read(&tree_edge_ids);
         // Tree edge ids are distinct, so each slot has one writer.
         let tree_shared = device.shared(&mut is_tree);
         let ids = &tree_edge_ids;
@@ -78,7 +79,12 @@ pub fn bridges_tv_with(
     // Phase 2: Euler tour statistics + per-node non-tree neighbor extremes.
     let t1 = Instant::now();
     let ids = &tree_edge_ids;
-    let tree_pairs = device.alloc_pooled_map(ids.len(), |i| graph.edges()[ids[i] as usize]);
+    let tree_pairs = {
+        let _k = device.kernel_label("tv_gather_tree_edges");
+        device.capture_read(ids);
+        device.capture_read(graph.edges());
+        device.alloc_pooled_map(ids.len(), |i| graph.edges()[ids[i] as usize])
+    };
     let tour = EulerTour::build_from_edges(device, n, &tree_pairs, 0)
         .map_err(|_| BridgesError::Disconnected)?;
     drop(tree_pairs);
@@ -91,6 +97,12 @@ pub fn bridges_tv_with(
     let neighbors = csr.raw_neighbors();
     let edge_ids = csr.raw_edge_ids();
     let mut node_min = device.alloc_pooled::<u32>(n);
+    // The per-slot contributions read the CSR arrays, tree flags, and
+    // preorders through the fused generator closure — declare them.
+    device.capture_read(&is_tree[..]);
+    device.capture_read(edge_ids);
+    device.capture_read(neighbors);
+    device.capture_read(pre);
     device.map_segmented_reduce_into(
         csr.offsets(),
         u32::MAX,
@@ -105,6 +117,10 @@ pub fn bridges_tv_with(
         &mut node_min,
     );
     let mut node_max = device.alloc_pooled::<u32>(n);
+    device.capture_read(&is_tree[..]);
+    device.capture_read(edge_ids);
+    device.capture_read(neighbors);
+    device.capture_read(pre);
     device.map_segmented_reduce_into(
         csr.offsets(),
         0u32,
@@ -127,6 +143,9 @@ pub fn bridges_tv_with(
     let mut by_pre_max = device.alloc_filled(n, 0u32);
     {
         let _k = device.kernel_label("tv_permute_by_preorder");
+        device.capture_read(pre);
+        device.capture_read(&node_min[..]);
+        device.capture_read(&node_max[..]);
         // Preorder is a permutation of 1..=n, so each slot has one writer.
         let min_shared = device.shared(&mut by_pre_min);
         let max_shared = device.shared(&mut by_pre_max);
@@ -144,6 +163,15 @@ pub fn bridges_tv_with(
     let mut bridge_flags = device.alloc_filled(m, 0u8);
     {
         let _k = device.kernel_label("tv_detect_bridges");
+        // Closure-side inputs: tree edge ids, tour statistics, the edge
+        // endpoints, and both segment trees' backing arrays.
+        device.capture_read(&tree_edge_ids);
+        device.capture_read(pre);
+        device.capture_read(&stats.parent);
+        device.capture_read(&stats.subtree_size);
+        device.capture_read(graph.edges());
+        min_tree.declare_query_reads(device);
+        max_tree.declare_query_reads(device);
         // Tree edge ids are distinct, so each slot has one writer.
         let flags_shared = device.shared(&mut bridge_flags);
         let ids = &tree_edge_ids;
@@ -169,6 +197,7 @@ pub fn bridges_tv_with(
             flags_shared.write(e as usize, u8::from(inside_low && inside_high));
         });
     }
+    device.capture_host_read(&bridge_flags[..]);
     let is_bridge: BitSet = bridge_flags.iter().map(|&b| b == 1).collect();
     phases.push(("detect_bridges".to_string(), t2.elapsed()));
 

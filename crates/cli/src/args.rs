@@ -14,7 +14,7 @@ pub struct Args {
 
 /// Option names that take no value (everything else consumes the next
 /// token as its value).
-const BOOL_FLAGS: &[&str] = &["lcc", "list", "help", "csr"];
+const BOOL_FLAGS: &[&str] = &["lcc", "list", "help", "csr", "all", "json"];
 
 impl Args {
     /// Parses raw tokens (without the program/subcommand names).

@@ -15,6 +15,7 @@
 //! emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis|emgbin] [params]
 //! emg convert <in> <out> [--to <format>] [--csr]
 //! emg detect  <file>
+//! emg analyze <pipeline>|--all [--threads N] [--json] [--write-golden <dir>]
 //! ```
 //!
 //! Every `<file>` may instead be given as `--input <file>`, and may be a
@@ -26,6 +27,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod args;
 pub mod commands;
 
@@ -46,6 +48,7 @@ USAGE:
   emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis|emgbin] [--seed S] [params]
   emg convert <in> <out> [--to snap|dimacs|metis|emgbin] [--csr]
   emg detect  <file>
+  emg analyze <pipeline>|--all [--threads N] [--json] [--write-golden <dir>]
 
 Graph files are auto-detected DIMACS (.gr / p edge), SNAP edge lists,
 METIS adjacency, or the emgbin binary cache (write one with `emg convert
@@ -75,6 +78,7 @@ pub fn dispatch(mut argv: Vec<String>) -> Result<String, String> {
         "gen" => commands::cmd_gen(&args),
         "convert" => commands::cmd_convert(&args),
         "detect" => commands::cmd_detect(&args),
+        "analyze" => analyze::cmd_analyze(&args),
         other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     }
 }

@@ -1,0 +1,40 @@
+//! Launch-graph gate over every shipped pipeline: the captured graph must
+//! be bit-identical across pool widths (the capture plane records logical
+//! dataflow, not scheduling), and the analyzer must report zero
+//! unwhitelisted hazards and zero dead-write bytes on each.
+
+use emg_cli::analyze::{capture_pipeline, PIPELINES};
+
+#[test]
+fn all_pipelines_clean_and_width_invariant() {
+    for &pipeline in PIPELINES {
+        let narrow = capture_pipeline(pipeline, 1).unwrap_or_else(|e| panic!("{pipeline}: {e}"));
+        let wide = capture_pipeline(pipeline, 4).unwrap_or_else(|e| panic!("{pipeline}: {e}"));
+        assert_eq!(
+            narrow.to_json(pipeline),
+            wide.to_json(pipeline),
+            "{pipeline}: captured graph differs between pool widths 1 and 4"
+        );
+
+        let analysis = wide.analyze();
+        assert!(
+            analysis.hazards.is_empty(),
+            "{pipeline}: unwhitelisted hazards: {:?}",
+            analysis.hazards
+        );
+        assert_eq!(
+            analysis.dead_bytes, 0,
+            "{pipeline}: dead writes: {:?}",
+            analysis.dead_writes
+        );
+        assert!(
+            wide.nodes.iter().all(|n| !n.label.starts_with("kernel#")),
+            "{pipeline}: anonymous launches: {:?}",
+            wide.nodes
+                .iter()
+                .filter(|n| n.label.starts_with("kernel#"))
+                .map(|n| &n.label)
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -139,7 +139,10 @@ impl SubtreeAggregator {
     ) -> Vec<u64> {
         let n = self.num_nodes();
         let mut values = vec![0u64; n];
-        device.map(&mut values, |v| u64::from(pred(v as NodeId)));
+        {
+            let _k = device.kernel_label("aggregates_pred_flags");
+            device.map(&mut values, |v| u64::from(pred(v as NodeId)));
+        }
         self.subtree_sums(device, &values)
     }
 

@@ -53,41 +53,63 @@ impl Dcel {
         // Array A: half-edge endpoints.
         let mut tails = vec![0 as NodeId; h];
         let mut heads = vec![0 as NodeId; h];
-        device.map(&mut tails, |e| {
-            let (u, v) = edges[e / 2];
-            if e % 2 == 0 {
-                u
-            } else {
-                v
-            }
-        });
-        device.map(&mut heads, |e| {
-            let (u, v) = edges[e / 2];
-            if e % 2 == 0 {
-                v
-            } else {
-                u
-            }
-        });
+        {
+            let _k = device.kernel_label("dcel_tails");
+            device.capture_read(edges);
+            device.map(&mut tails, |e| {
+                let (u, v) = edges[e / 2];
+                if e % 2 == 0 {
+                    u
+                } else {
+                    v
+                }
+            });
+        }
+        {
+            let _k = device.kernel_label("dcel_heads");
+            device.capture_read(edges);
+            device.map(&mut heads, |e| {
+                let (u, v) = edges[e / 2];
+                if e % 2 == 0 {
+                    v
+                } else {
+                    u
+                }
+            });
+        }
 
         // Array B: lexicographically sorted copy, carrying half-edge ids as
         // the cross-pointers back into A. Both arrays are scratch — pooled.
-        let mut keys = device.alloc_pooled_map(h, |e| pack_edge(tails[e], heads[e]));
-        let mut sorted_he = device.alloc_pooled_map(h, |i| i as u32);
+        let mut keys = {
+            let _k = device.kernel_label("dcel_pack_keys");
+            device.capture_read(&tails);
+            device.capture_read(&heads);
+            device.alloc_pooled_map(h, |e| pack_edge(tails[e], heads[e]))
+        };
+        let mut sorted_he = {
+            let _k = device.kernel_label("dcel_iota");
+            device.alloc_pooled_map(h, |i| i as u32)
+        };
         device.sort_pairs_u64_u32(&mut keys, &mut sorted_he);
 
-        // first[x] = half-edge at the first B position of x's group.
+        // first[x] = half-edge at the first B position of x's group. Group
+        // boundaries come from the sorted keys themselves (consecutive B
+        // entries share a tail iff their keys share high words) — no
+        // indirection back into A.
         let mut first = vec![INVALID_NODE; num_nodes];
+        device.capture_fresh(&first[..]);
         {
             let _k = device.kernel_label("dcel_group_first");
+            device.capture_read(&keys[..]);
+            device.capture_read(&sorted_he[..]);
             // One group-first position per node value.
             let first_shared = device.shared(&mut first);
             let sorted_ref = &sorted_he;
-            let tails_ref = &tails;
+            let keys_ref = &keys;
             device.for_each(h, |i| {
                 let he = sorted_ref[i];
-                let x = tails_ref[he as usize];
-                let is_group_first = i == 0 || tails_ref[sorted_ref[i - 1] as usize] != x;
+                let x = (keys_ref[i] >> 32) as NodeId;
+                let is_group_first = i == 0 || (keys_ref[i - 1] >> 32) as NodeId != x;
                 if is_group_first {
                     first_shared.write(x as usize, he);
                 }
@@ -96,18 +118,22 @@ impl Dcel {
 
         // next[e]: successor of e in its tail's cyclic outgoing list.
         let mut next = vec![0u32; h];
+        device.capture_fresh(&next[..]);
         {
             let _k = device.kernel_label("dcel_next_links");
+            device.capture_read(&keys[..]);
+            device.capture_read(&sorted_he[..]);
+            device.capture_read(&first);
             // Each B position i writes next[] at a distinct half-edge id
             // (sorted_he is a permutation).
             let next_shared = device.shared(&mut next);
             let sorted_ref = &sorted_he;
-            let tails_ref = &tails;
+            let keys_ref = &keys;
             let first_ref = &first;
             device.for_each(h, |i| {
                 let he = sorted_ref[i];
-                let x = tails_ref[he as usize];
-                let nxt = if i + 1 < h && tails_ref[sorted_ref[i + 1] as usize] == x {
+                let x = (keys_ref[i] >> 32) as NodeId;
+                let nxt = if i + 1 < h && (keys_ref[i + 1] >> 32) as NodeId == x {
                     sorted_ref[i + 1]
                 } else {
                     first_ref[x as usize]

@@ -40,7 +40,11 @@ impl EulerList {
         // succ(e) = next(twin(e)), computed in one kernel; the predecessor
         // of the head is found on the fly and its succ set to NIL afterwards.
         let mut succ = vec![0u32; h];
-        device.map(&mut succ, |e| dcel.next[twin(e as u32) as usize]);
+        {
+            let _k = device.kernel_label("tour_succ");
+            device.capture_read(&dcel.next);
+            device.map(&mut succ, |e| dcel.next[twin(e as u32) as usize]);
+        }
 
         // Locate the tour's last edge: the unique e with succ[e] == head.
         let pred_of_head = {
@@ -51,12 +55,14 @@ impl EulerList {
                 // exists, so slot 0 has one writer.
                 let found_shared = device.shared(&mut found);
                 let succ_ref = &succ;
+                device.capture_read(&succ[..]);
                 device.for_each(h, |e| {
                     if succ_ref[e] == head {
                         found_shared.write(0, e as u32);
                     }
                 });
             }
+            device.capture_host_read(&found[..]);
             found[0]
         };
         debug_assert_ne!(pred_of_head, NIL, "cyclic tour must contain the head");

@@ -81,31 +81,46 @@ pub fn list_prefix_sum(device: &Device, list: &EulerList, weights: &[i64]) -> Ve
     let mut next_new = device.alloc_pooled::<u32>(n);
     let max_rounds = (usize::BITS - (n - 1).leading_zeros()) as usize + 1;
     for _ in 0..max_rounds {
-        device.map(&mut sum_new, |e| {
-            let nx = next[e];
-            if nx == NIL {
-                sum[e]
-            } else {
-                sum[e] + sum[nx as usize]
-            }
-        });
-        device.map(&mut next_new, |e| {
-            let nx = next[e];
-            if nx == NIL {
-                NIL
-            } else {
-                next[nx as usize]
-            }
-        });
+        {
+            let _k = device.kernel_label("list_prefix_jump_sum");
+            device.capture_read(&next[..]);
+            device.capture_read(&sum[..]);
+            device.map(&mut sum_new, |e| {
+                let nx = next[e];
+                if nx == NIL {
+                    sum[e]
+                } else {
+                    sum[e] + sum[nx as usize]
+                }
+            });
+        }
+        {
+            let _k = device.kernel_label("list_prefix_jump_next");
+            device.capture_read(&next[..]);
+            device.map(&mut next_new, |e| {
+                let nx = next[e];
+                if nx == NIL {
+                    NIL
+                } else {
+                    next[nx as usize]
+                }
+            });
+        }
         std::mem::swap(&mut sum, &mut sum_new);
         std::mem::swap(&mut next, &mut next_new);
         if device.reduce_min_u32(&next) == NIL {
             break;
         }
     }
+    device.capture_host_read(&sum[..]);
     let total = sum[list.head as usize];
     let mut prefix = vec![0i64; n];
-    device.map(&mut prefix, |e| total - sum[e] + weights[e]);
+    {
+        let _k = device.kernel_label("list_prefix_combine");
+        device.capture_read(&sum[..]);
+        device.capture_read(weights);
+        device.map(&mut prefix, |e| total - sum[e] + weights[e]);
+    }
     prefix
 }
 
@@ -155,7 +170,11 @@ pub fn rank_wyllie_into(device: &Device, list: &EulerList, out: &mut [u32]) {
         return;
     }
     // dist[e] = number of hops from e to the end of the list (tail = 0).
-    let mut dist = device.alloc_pooled_map(n, |e| u32::from(list.succ[e] != NIL));
+    let mut dist = {
+        let _k = device.kernel_label("wyllie_init_dist");
+        device.capture_read(&list.succ);
+        device.alloc_pooled_map(n, |e| u32::from(list.succ[e] != NIL))
+    };
     let mut next = device.alloc_copied(&list.succ);
 
     let mut dist_new = device.alloc_pooled::<u32>(n);
@@ -166,22 +185,31 @@ pub fn rank_wyllie_into(device: &Device, list: &EulerList, out: &mut [u32]) {
     let max_rounds = (usize::BITS - (n - 1).leading_zeros()) as usize + 1;
     for _round in 0..max_rounds {
         // One jump round: rank/next double-buffered to keep the kernel pure.
-        device.map(&mut dist_new, |e| {
-            let nx = next[e];
-            if nx == NIL {
-                dist[e]
-            } else {
-                dist[e] + dist[nx as usize]
-            }
-        });
-        device.map(&mut next_new, |e| {
-            let nx = next[e];
-            if nx == NIL {
-                NIL
-            } else {
-                next[nx as usize]
-            }
-        });
+        {
+            let _k = device.kernel_label("wyllie_jump_dist");
+            device.capture_read(&next[..]);
+            device.capture_read(&dist[..]);
+            device.map(&mut dist_new, |e| {
+                let nx = next[e];
+                if nx == NIL {
+                    dist[e]
+                } else {
+                    dist[e] + dist[nx as usize]
+                }
+            });
+        }
+        {
+            let _k = device.kernel_label("wyllie_jump_next");
+            device.capture_read(&next[..]);
+            device.map(&mut next_new, |e| {
+                let nx = next[e];
+                if nx == NIL {
+                    NIL
+                } else {
+                    next[nx as usize]
+                }
+            });
+        }
         std::mem::swap(&mut dist, &mut dist_new);
         std::mem::swap(&mut next, &mut next_new);
         // Converged when every pointer reached the end; NIL == u32::MAX, so
@@ -192,7 +220,11 @@ pub fn rank_wyllie_into(device: &Device, list: &EulerList, out: &mut [u32]) {
     }
     // rank from head = (n - 1) - dist_to_tail.
     let dist = &dist;
-    device.map(out, |e| (n as u32 - 1) - dist[e]);
+    {
+        let _k = device.kernel_label("wyllie_final_rank");
+        device.capture_read(&dist[..]);
+        device.map(out, |e| (n as u32 - 1) - dist[e]);
+    }
 }
 
 /// Default Wei–JáJá sublist-count target for a list of `n` elements.
@@ -301,6 +333,10 @@ pub fn rank_wei_jaja_with_sublists_into(
     let mut sublist_len = device.alloc_filled(s, 0u32);
     {
         let _k = device.kernel_label("rank_sublist_walk");
+        // Closure-side inputs: splitter ids/flags and the successor list.
+        device.capture_read(&splitters[..]);
+        device.capture_read(&is_splitter[..]);
+        device.capture_read(&list.succ);
         // Sublists partition the list; each element belongs to exactly one
         // walking thread, and slot k of next/len belongs to thread k.
         let local_shared = device.shared(&mut local_rank);
@@ -336,6 +372,8 @@ pub fn rank_wei_jaja_with_sublists_into(
     // order by hopping from the head's sublist through `sublist_next`.
     // Only splitter slots are ever read, and the loop below writes all of
     // them — the pooled buffer needs no initialization pass.
+    device.capture_host_read(&sublist_next[..]);
+    device.capture_host_read(&sublist_len[..]);
     let mut splitter_to_sublist = device.alloc_pooled::<u32>(n);
     for (k, &sp) in splitters.iter().enumerate() {
         splitter_to_sublist[sp as usize] = k as u32;
@@ -378,7 +416,13 @@ pub fn rank_wei_jaja_with_sublists_into(
     let offset = &offset;
     let sublist_of = &sublist_of;
     let local_rank = &local_rank;
-    device.map(out, |e| offset[sublist_of[e] as usize] + local_rank[e]);
+    {
+        let _k = device.kernel_label("rank_combine");
+        device.capture_read(&offset[..]);
+        device.capture_read(&sublist_of[..]);
+        device.capture_read(&local_rank[..]);
+        device.map(out, |e| offset[sublist_of[e] as usize] + local_rank[e]);
+    }
 }
 
 #[cfg(test)]

@@ -50,16 +50,24 @@ impl TreeStats {
         let dcel = tour.dcel();
 
         // Down flags by tour position (pooled).
-        let down = device.alloc_pooled_map(h, |p| u8::from(tour.is_down(order[p])));
+        let down = {
+            let _k = device.kernel_label("stats_down_flags");
+            device.capture_read(order);
+            device.capture_read(rank);
+            device.alloc_pooled_map(h, |p| u8::from(tour.is_down(order[p])))
+        };
         let down = &down;
 
         // Preorder: fused transform + inclusive scan of down flags — no
-        // materialized weight array, scratch from the arena.
+        // materialized weight array, scratch from the arena. The flags feed
+        // the generator closure, so each scan declares the read.
         let mut pre_scan = device.alloc_pooled::<u64>(h);
+        device.capture_read(&down[..]);
         device.map_scan_inclusive_into(h, |p| down[p] as u64, &mut pre_scan, 0u64, |a, b| a + b);
 
         // Level: fused transform + inclusive scan of ±1.
         let mut level_scan = device.alloc_pooled::<i64>(h);
+        device.capture_read(&down[..]);
         device.map_scan_inclusive_into(
             h,
             |p| if down[p] == 1 { 1i64 } else { -1i64 },
@@ -72,12 +80,22 @@ impl TreeStats {
         let mut subtree_size = vec![0u32; n];
         let mut level = vec![0u32; n];
         let mut parent = vec![INVALID_NODE; n];
+        device.capture_fresh(&preorder[..]);
+        device.capture_fresh(&subtree_size[..]);
+        device.capture_fresh(&level[..]);
+        device.capture_fresh(&parent[..]);
         preorder[tour.root() as usize] = 1;
         subtree_size[tour.root() as usize] = n as u32;
         level[tour.root() as usize] = 0;
 
         {
             let _k = device.kernel_label("tree_stats_scatter");
+            // Closure-side inputs: flags, both scans, and the tour arrays.
+            device.capture_read(&down[..]);
+            device.capture_read(&pre_scan[..]);
+            device.capture_read(&level_scan[..]);
+            device.capture_read(order);
+            device.capture_read(rank);
             // Each non-root node has exactly one down-edge, so targets are
             // distinct across virtual threads.
             let pre_shared = device.shared(&mut preorder);

@@ -159,6 +159,8 @@ impl EulerTour {
             });
         }
         let counts = &counts;
+        // The reduce's generator closure reads the count buffer.
+        device.capture_read(&counts[..]);
         let (min, max) = device.map_reduce(
             h,
             |i| (counts[i], counts[i]),
@@ -170,7 +172,10 @@ impl EulerTour {
         }
 
         // Invert the ranking into the tour array (a permutation scatter).
-        let src = device.alloc_pooled_map(h, |i| i as u32);
+        let src = {
+            let _k = device.kernel_label("tour_iota");
+            device.alloc_pooled_map(h, |i| i as u32)
+        };
         let mut order = vec![0u32; h];
         device.scatter(&mut order, &rank_arr, &src);
 

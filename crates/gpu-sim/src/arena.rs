@@ -215,6 +215,7 @@ impl DeviceArena {
                     arena: self,
                     block: None,
                     san: None,
+                    rec: None,
                 },
                 false,
             );
@@ -239,6 +240,7 @@ impl DeviceArena {
                 arena: self,
                 block: Some(block),
                 san: None,
+                rec: None,
             },
             reused,
         )
@@ -289,6 +291,10 @@ pub struct ScratchGuard<'a> {
     /// Set when the owning device runs initcheck: the block's shadow
     /// bitmap is unregistered when the guard returns the block.
     san: Option<&'a crate::sanitize::Sanitizer>,
+    /// Set when the owning device captures its launch graph: regions
+    /// backed by the block are retired when the guard returns it, so a
+    /// recycled block gets fresh region ids (pooling never aliases).
+    rec: Option<&'a crate::launch_graph::Recorder>,
 }
 
 // SAFETY: a guard exclusively owns its block; moving the guard moves that
@@ -340,6 +346,9 @@ impl Drop for ScratchGuard<'_> {
         if let Some(block) = self.block.take() {
             if let Some(san) = self.san {
                 san.unregister_shadow(block.ptr.as_ptr() as usize);
+            }
+            if let Some(rec) = self.rec {
+                rec.arena_release(block.ptr.as_ptr() as usize);
             }
             self.arena.release(block);
         }
@@ -435,6 +444,12 @@ impl Device {
             if san.mode().initcheck() && guard.capacity() > 0 {
                 san.register_shadow(guard.base() as usize, guard.capacity());
                 guard.san = Some(san);
+            }
+        }
+        if let Some(rec) = self.recorder() {
+            if guard.capacity() > 0 {
+                rec.arena_acquire(guard.base() as usize, guard.capacity());
+                guard.rec = Some(rec);
             }
         }
         guard

@@ -19,6 +19,7 @@
 //!   zero-shadow wrapper over the raw cast.
 
 use crate::device::Device;
+use crate::launch_graph::Cap;
 use crate::sanitize::{AccessKind, Track};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -87,11 +88,16 @@ macro_rules! atomic_view {
         pub struct $name<'a> {
             cells: &'a [$cell],
             track: Option<Track<'a>>,
+            cap: Option<Cap<'a>>,
         }
 
         impl<'a> $name<'a> {
-            pub(crate) fn new_tracked(cells: &'a [$cell], track: Option<Track<'a>>) -> Self {
-                Self { cells, track }
+            pub(crate) fn new_tracked(
+                cells: &'a [$cell],
+                track: Option<Track<'a>>,
+                cap: Option<Cap<'a>>,
+            ) -> Self {
+                Self { cells, track, cap }
             }
 
             /// An untracked view (no sanitizer context), for host-side
@@ -100,6 +106,7 @@ macro_rules! atomic_view {
                 Self {
                     cells: $ctor(slice),
                     track: None,
+                    cap: None,
                 }
             }
 
@@ -122,6 +129,9 @@ macro_rules! atomic_view {
                 if let Some(t) = &mut self.track {
                     t.benign = Some(reason);
                 }
+                if let Some(c) = &mut self.cap {
+                    c.benign = true;
+                }
                 self
             }
 
@@ -130,6 +140,9 @@ macro_rules! atomic_view {
             /// memcheck).
             #[inline]
             fn pre(&self, index: usize, kind: AccessKind) -> bool {
+                if let Some(c) = &self.cap {
+                    c.note(kind);
+                }
                 match &self.track {
                     Some(t) => t.access(index, self.cells.len(), size_of::<$elem>(), kind),
                     None => true,
@@ -227,7 +240,8 @@ macro_rules! atomic_view {
             #[doc = concat!("[`", stringify!($ctor), "`] in kernel code.")]
             pub fn $cast<'a>(&'a self, slice: &'a mut [$elem]) -> $name<'a> {
                 let track = self.san_track_for(&*slice);
-                $name::new_tracked($ctor(slice), track)
+                let cap = self.cap_ctx_for(&*slice);
+                $name::new_tracked($ctor(slice), track, cap)
             }
         }
     };

@@ -27,7 +27,9 @@ impl Device {
     where
         F: Fn(usize) -> bool + Sync,
     {
-        self.compact_indices_pooled(n, pred).to_vec()
+        let out = self.compact_indices_pooled(n, pred);
+        self.capture_host_read(&out[..]);
+        out.to_vec()
     }
 
     /// [`Device::compact_indices`] with the output drawn from the device
@@ -40,27 +42,35 @@ impl Device {
         if n == 0 {
             return self.alloc_pooled(0);
         }
-        if n <= self.config().seq_threshold {
-            self.metrics().record_launch(n as u64);
-            let mut out = self.alloc_pooled::<u32>(n);
-            let mut len = 0usize;
-            for i in 0..n {
-                if pred(i) {
-                    out[len] = i as u32;
-                    len += 1;
+        let out = {
+            let _cap = self.cap_scope("compact");
+            if n <= self.config().seq_threshold {
+                self.metrics().record_launch(n as u64);
+                self.cap_instant_launch(n as u64);
+                let mut out = self.alloc_pooled::<u32>(n);
+                let mut len = 0usize;
+                for i in 0..n {
+                    if pred(i) {
+                        out[len] = i as u32;
+                        len += 1;
+                    }
                 }
+                out.truncate(len);
+                self.metrics().record_traffic(4 * n as u64, 4 * len as u64);
+                self.san_mark_written(&out[..]);
+                out
+            } else if self.config().scan_engine == ScanEngine::Lookback {
+                self.compact_lookback(n, &pred)
+            } else {
+                let (offsets, total, chunk, blocks) = self.compact_offsets(n, &pred);
+                let mut out = self.alloc_pooled::<u32>(total);
+                self.compact_write(n, &pred, &offsets, chunk, blocks, &mut out);
+                out
             }
-            out.truncate(len);
-            self.metrics().record_traffic(4 * n as u64, 4 * len as u64);
-            self.san_mark_written(&out[..]);
-            return out;
-        }
-        if self.config().scan_engine == ScanEngine::Lookback {
-            return self.compact_lookback(n, &pred);
-        }
-        let (offsets, total, chunk, blocks) = self.compact_offsets(n, &pred);
-        let mut out = self.alloc_pooled::<u32>(total);
-        self.compact_write(n, &pred, &offsets, chunk, blocks, &mut out);
+        };
+        // The survivor region only exists (at its final truncated length)
+        // after the launches ran, so the write is attributed afterwards.
+        self.cap_note_output(&out[..]);
         out
     }
 
@@ -83,6 +93,7 @@ impl Device {
         let mut out = self.alloc_pooled::<u32>(n);
 
         self.metrics().record_launch(n as u64);
+        self.cap_instant_launch(n as u64);
         self.metrics().record_traffic(4 * n as u64, 0);
         let total = {
             let desc = Descriptors::new(&mut status_buf, agg_buf, pfx_buf);
@@ -137,6 +148,7 @@ impl Device {
 
         // Phase 1: count survivors per block.
         self.metrics().record_launch(n as u64);
+        self.cap_instant_launch(n as u64);
         self.metrics().record_traffic(4 * n as u64, 0);
         let mut counts = self.alloc_pooled::<u32>(blocks);
         self.run(|| {
@@ -170,6 +182,7 @@ impl Device {
         F: Fn(usize) -> bool + Sync,
     {
         self.metrics().record_launch(n as u64);
+        self.cap_instant_launch(n as u64);
         self.metrics()
             .record_traffic(4 * n as u64, 4 * out.len() as u64);
         let shared = SharedSlice::new(out);

@@ -24,6 +24,7 @@
 //! reads, and unannotated cross-block races.
 
 use crate::arena::{ArenaPod, DeviceArena};
+use crate::launch_graph::{Cap, CaptureMode, LaunchGraph, Recorder, ACC_READ, ACC_WRITE};
 use crate::lookback::ScanEngine;
 use crate::metrics::Metrics;
 use crate::sanitize::{AccessKind, Finding, SanitizeMode, Sanitizer, Track};
@@ -67,6 +68,10 @@ pub struct DeviceConfig {
     /// the classic three-phase core as the A/B baseline and oracle; outputs
     /// are bit-identical between the two.
     pub scan_engine: ScanEngine,
+    /// Whether the device records its launch graph (defaults to the
+    /// `EMG_CAPTURE` environment variable, [`CaptureMode::Off`] when
+    /// unset). See [`crate::launch_graph`].
+    pub capture: CaptureMode,
 }
 
 impl Default for DeviceConfig {
@@ -80,6 +85,7 @@ impl Default for DeviceConfig {
             sanitize: SanitizeMode::from_env(),
             sanitize_fatal: true,
             scan_engine: ScanEngine::from_env(),
+            capture: CaptureMode::from_env(),
         }
     }
 }
@@ -95,6 +101,7 @@ pub struct Device {
     metrics: Metrics,
     arena: DeviceArena,
     san: Option<Box<Sanitizer>>,
+    rec: Option<Box<Recorder>>,
 }
 
 impl Default for Device {
@@ -134,12 +141,14 @@ impl Device {
         let arena = DeviceArena::new(cfg.pooling);
         let san = (cfg.sanitize != SanitizeMode::Off)
             .then(|| Box::new(Sanitizer::new(cfg.sanitize, cfg.sanitize_fatal)));
+        let rec = (cfg.capture == CaptureMode::On).then(|| Box::new(Recorder::new()));
         Self {
             pool,
             cfg,
             metrics: Metrics::new(),
             arena,
             san,
+            rec,
         }
     }
 
@@ -151,6 +160,11 @@ impl Device {
     /// Internal sanitizer access for the sibling modules.
     pub(crate) fn sanitizer(&self) -> Option<&Sanitizer> {
         self.san.as_deref()
+    }
+
+    /// Internal recorder access for the sibling modules.
+    pub(crate) fn recorder(&self) -> Option<&Recorder> {
+        self.rec.as_deref()
     }
 
     /// The device configuration.
@@ -177,10 +191,187 @@ impl Device {
             .unwrap_or_default()
     }
 
+    /// The active capture mode ([`CaptureMode::Off`] unless configured).
+    pub fn capture_mode(&self) -> CaptureMode {
+        self.cfg.capture
+    }
+
+    /// The launch graph captured so far (`None` with capture off). A
+    /// snapshot: the device keeps recording, so call this after the
+    /// pipeline of interest ran on a fresh device.
+    pub fn launch_graph(&self) -> Option<LaunchGraph> {
+        self.rec.as_deref().map(Recorder::graph)
+    }
+
+    /// Annotates a read the capture cannot see (a closure-captured input
+    /// of a fused primitive, a host-side consumption of a device result).
+    /// The access attaches to the **next** launch, or to a trailing host
+    /// node if none follows. No-op with capture off.
+    pub fn capture_read<T>(&self, slice: &[T]) {
+        if let Some(rec) = &self.rec {
+            rec.annotate(
+                slice.as_ptr() as usize,
+                slice.len(),
+                size_of::<T>(),
+                std::any::type_name::<T>(),
+                ACC_READ,
+            );
+        }
+    }
+
+    /// Records a host-side read of `slice` happening **now** (a result
+    /// copied out or inspected between launches) as part of a host node —
+    /// unlike [`Device::capture_read`], which defers to the next launch.
+    /// Host reads keep live-out results from looking like dead writes.
+    /// No-op with capture off.
+    pub fn capture_host_read<T>(&self, slice: &[T]) {
+        if let Some(c) = self.cap_ctx_for(slice) {
+            c.note(AccessKind::Read);
+        }
+    }
+
+    /// Annotates a write the capture cannot see; attaches like
+    /// [`Device::capture_read`]. No-op with capture off.
+    pub fn capture_write<T>(&self, slice: &[T]) {
+        if let Some(rec) = &self.rec {
+            rec.annotate(
+                slice.as_ptr() as usize,
+                slice.len(),
+                size_of::<T>(),
+                std::any::type_name::<T>(),
+                ACC_WRITE,
+            );
+        }
+    }
+
+    /// Declares `slice` as a **freshly allocated** buffer. The capture
+    /// plane identifies plain heap buffers by base pointer, so when the
+    /// allocator hands a new `Vec` the base of a freed one with the same
+    /// shape, the old region would silently continue — and *which* freed
+    /// base gets recycled depends on pool width and allocator state.
+    /// Calling this right after allocating an output buffer retires any
+    /// stale region at that base and opens a new one at a deterministic
+    /// program point, keeping captured graphs byte-identical across pool
+    /// widths. Arena buffers do this automatically. No-op with capture
+    /// off.
+    pub fn capture_fresh<T>(&self, slice: &[T]) {
+        if let Some(rec) = &self.rec {
+            rec.mark_fresh(
+                slice.as_ptr() as usize,
+                slice.len(),
+                size_of::<T>(),
+                std::any::type_name::<T>(),
+            );
+        }
+    }
+
+    /// Names the region backing `slice` so captured graphs read
+    /// `tour_next` instead of `r7:u32[4998]`. No-op with capture off.
+    pub fn capture_name<T>(&self, slice: &[T], name: &str) {
+        if let Some(rec) = &self.rec {
+            rec.name_region(
+                slice.as_ptr() as usize,
+                slice.len(),
+                size_of::<T>(),
+                std::any::type_name::<T>(),
+                name,
+            );
+        }
+    }
+
+    /// Opens a scope whose launches are recorded **without** their launch
+    /// barrier — modeling stream-ordered (async) launches. The simulated
+    /// device still synchronizes; only the captured graph changes, which
+    /// is how the seeded-violation tests make the hazard pass fire. Ends
+    /// when the guard drops.
+    pub fn capture_unordered(&self) -> CaptureScope<'_> {
+        let scope = self.cap_scope("");
+        if let Some(rec) = &self.rec {
+            rec.scope_no_barrier();
+        }
+        scope
+    }
+
+    /// Opens a primitive capture scope: launches issued while it is open
+    /// inherit `label` and the declared accesses.
+    pub(crate) fn cap_scope(&self, label: &str) -> CaptureScope<'_> {
+        let rec = self.rec.as_deref();
+        if let Some(r) = rec {
+            r.push_scope(label);
+        }
+        CaptureScope { rec }
+    }
+
+    /// Records a launch that has no per-element capture phase (the manual
+    /// `record_launch` sites inside primitives).
+    pub(crate) fn cap_instant_launch(&self, work: u64) {
+        if let Some(rec) = &self.rec {
+            rec.instant_launch(work);
+        }
+    }
+
+    /// Opens a launch node around a hand-scheduled kernel (lookback scan,
+    /// two-pass phases) so tracked-view accesses inside it attribute to
+    /// the launch; close with [`Device::cap_end_launch`].
+    pub(crate) fn cap_begin_launch(&self, work: u64) -> Option<usize> {
+        self.rec.as_deref().map(|r| r.begin_launch(work))
+    }
+
+    pub(crate) fn cap_end_launch(&self, launch: Option<usize>) {
+        if let (Some(rec), Some(id)) = (self.rec.as_deref(), launch) {
+            rec.end_launch(id);
+        }
+    }
+
+    /// Declares an access for the next launch unless a primitive scope is
+    /// already open (see [`crate::launch_graph::Recorder::declare_unscoped`]).
+    pub(crate) fn cap_auto_declare<T>(&self, slice: &[T], mask: u8) {
+        if let Some(rec) = &self.rec {
+            rec.declare_unscoped(
+                slice.as_ptr() as usize,
+                slice.len(),
+                size_of::<T>(),
+                std::any::type_name::<T>(),
+                mask,
+            );
+        }
+    }
+
+    /// Attributes a write of `slice` to the launch that just ran — for
+    /// primitives whose output buffer is allocated internally.
+    pub(crate) fn cap_note_output<T>(&self, slice: &[T]) {
+        if let Some(rec) = &self.rec {
+            rec.attribute_last(
+                slice.as_ptr() as usize,
+                slice.len(),
+                size_of::<T>(),
+                std::any::type_name::<T>(),
+                ACC_WRITE,
+            );
+        }
+    }
+
+    /// Builds the capture context for a view over `slice`, when capture
+    /// is on.
+    pub(crate) fn cap_ctx_for<T>(&self, slice: &[T]) -> Option<Cap<'_>> {
+        let rec = self.rec.as_deref()?;
+        let region = rec.region_for(
+            slice.as_ptr() as usize,
+            slice.len(),
+            size_of::<T>(),
+            std::any::type_name::<T>(),
+        );
+        Some(Cap {
+            rec,
+            region,
+            benign: false,
+        })
+    }
+
     /// Pushes a kernel label for subsequent launches; the label is attached
-    /// to sanitizer findings so a violation names the algorithm phase, not
-    /// just a launch sequence number. Pops on drop; no-op with the
-    /// sanitizer off.
+    /// to sanitizer findings (so a violation names the algorithm phase, not
+    /// just a launch sequence number) and to captured launch-graph nodes.
+    /// Pops on drop; no-op with both the sanitizer and capture off.
     ///
     /// ```
     /// # let device = gpu_sim::Device::new();
@@ -191,8 +382,12 @@ impl Device {
         if let Some(san) = &self.san {
             san.push_label(label);
         }
+        if let Some(rec) = &self.rec {
+            rec.push_label(label);
+        }
         KernelLabel {
             san: self.san.as_deref(),
+            rec: self.rec.as_deref(),
         }
     }
 
@@ -307,7 +502,9 @@ impl Device {
     {
         self.metrics.record_launch(n as u64);
         self.pay_launch_overhead();
+        let cap = self.cap_begin_launch(n as u64);
         if n == 0 {
+            self.cap_end_launch(cap);
             return;
         }
         let bs = self.cfg.block_size;
@@ -332,6 +529,7 @@ impl Device {
                     san.end_launch(id, &self.metrics);
                 }
             }
+            self.cap_end_launch(cap);
             return;
         }
         let blocks = n.div_ceil(bs);
@@ -348,6 +546,7 @@ impl Device {
         if let Some((san, id)) = launch {
             san.end_launch(id, &self.metrics);
         }
+        self.cap_end_launch(cap);
     }
 
     /// Launches a map kernel: `out[i] = f(i)` for every element of `out`.
@@ -359,7 +558,13 @@ impl Device {
         let n = out.len();
         self.metrics.record_launch(n as u64);
         self.pay_launch_overhead();
+        // A bare map is a data-plane write to `out`; a map issued inside
+        // an open primitive scope inherits the primitive's declarations
+        // instead (its intermediates stay out of the graph).
+        self.cap_auto_declare(&*out, ACC_WRITE);
+        let cap = self.cap_begin_launch(n as u64);
         if n == 0 {
+            self.cap_end_launch(cap);
             return;
         }
         let bs = self.cfg.block_size;
@@ -382,6 +587,7 @@ impl Device {
                     self.san_mark_written(out);
                 }
             }
+            self.cap_end_launch(cap);
             return;
         }
         let blocks = n.div_ceil(bs);
@@ -405,6 +611,7 @@ impl Device {
         if let Some((san, id)) = launch {
             san.end_launch(id, &self.metrics);
         }
+        self.cap_end_launch(cap);
         self.san_mark_written(out);
     }
 
@@ -415,6 +622,8 @@ impl Device {
         F: Fn(usize) -> T + Sync,
     {
         let mut out = vec![T::default(); n];
+        // The buffer is new even if its base recycles a freed Vec's.
+        self.capture_fresh(&out[..]);
         self.map(&mut out, f);
         out
     }
@@ -424,6 +633,10 @@ impl Device {
     where
         T: Send + Sync + Clone,
     {
+        // Default label so bare fills (alloc_filled and friends) never show
+        // up as anonymous `kernel#N` nodes in captured graphs; a caller's
+        // kernel-label scope still prefixes it.
+        let _cap = self.cap_scope("fill").write(&*out);
         let v = &value;
         self.map(out, move |_| v.clone());
     }
@@ -471,10 +684,12 @@ impl Device {
     /// [`SharedSlice::new`] (a branch per access and nothing else).
     pub fn shared<'a, T: ArenaPod>(&'a self, slice: &'a mut [T]) -> SharedSlice<'a, T> {
         let track = self.san_track_for(slice);
+        let cap = self.cap_ctx_for(slice);
         SharedSlice {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
             track,
+            cap,
             _marker: PhantomData,
         }
     }
@@ -495,6 +710,7 @@ impl Device {
             n * (size_of::<u32>() as u64 + size_of::<T>() as u64),
             n * size_of::<T>() as u64,
         );
+        let _cap = self.cap_scope("gather").read(idx).read(src).write(&*out);
         if self.san_check_gather(idx, src.len()) {
             // Non-fatal memcheck found at least one bad index: clamp so
             // the launch can complete and further findings accumulate.
@@ -523,6 +739,12 @@ impl Device {
             n * (size_of::<u32>() as u64 + size_of::<T>() as u64),
             n * size_of::<U>() as u64,
         );
+        let _cap = self
+            .cap_scope("gather_map")
+            .fused()
+            .read(idx)
+            .read(src)
+            .write(&*out);
         if self.san_check_gather(idx, src.len()) {
             let last = src.len() - 1;
             self.map(out, |i| f(src[usize::min(idx[i] as usize, last)]));
@@ -543,11 +765,19 @@ impl Device {
             n * (size_of::<u32>() as u64 + size_of::<T>() as u64),
             n * size_of::<T>() as u64,
         );
-        if self.san_check_gather(idx, src.len()) {
-            let last = src.len() - 1;
-            return self.alloc_pooled_map(idx.len(), |i| src[usize::min(idx[i] as usize, last)]);
-        }
-        self.alloc_pooled_map(idx.len(), |i| src[idx[i] as usize])
+        let out = {
+            // The output block is only known after allocation, so the scope
+            // declares the reads and the write is attributed afterwards.
+            let _cap = self.cap_scope("gather").read(idx).read(src);
+            if self.san_check_gather(idx, src.len()) {
+                let last = src.len() - 1;
+                self.alloc_pooled_map(idx.len(), |i| src[usize::min(idx[i] as usize, last)])
+            } else {
+                self.alloc_pooled_map(idx.len(), |i| src[idx[i] as usize])
+            }
+        };
+        self.cap_note_output(&out[..]);
+        out
     }
 
     /// Memcheck pre-pass over gather indices. Returns `true` when a
@@ -583,15 +813,68 @@ impl Device {
     }
 }
 
+/// RAII guard over a capture scope: launches issued while it is open
+/// inherit its label and declared accesses. Public only as the return
+/// type of [`Device::capture_unordered`]; the declaration builders are
+/// crate-internal (primitives declare their own I/O).
+pub struct CaptureScope<'a> {
+    rec: Option<&'a Recorder>,
+}
+
+impl CaptureScope<'_> {
+    /// Declares a read of `slice` on the scope.
+    pub(crate) fn read<T>(self, slice: &[T]) -> Self {
+        self.acc(slice, ACC_READ)
+    }
+
+    /// Declares a write of `slice` on the scope.
+    pub(crate) fn write<T>(self, slice: &[T]) -> Self {
+        self.acc(slice, ACC_WRITE)
+    }
+
+    /// Marks the scope's launches as produced by a fused primitive.
+    pub(crate) fn fused(self) -> Self {
+        if let Some(rec) = self.rec {
+            rec.scope_fused();
+        }
+        self
+    }
+
+    fn acc<T>(self, slice: &[T], mask: u8) -> Self {
+        if let Some(rec) = self.rec {
+            rec.scope_access(
+                slice.as_ptr() as usize,
+                slice.len(),
+                size_of::<T>(),
+                std::any::type_name::<T>(),
+                mask,
+            );
+        }
+        self
+    }
+}
+
+impl Drop for CaptureScope<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            rec.pop_scope();
+        }
+    }
+}
+
 /// RAII guard for a kernel label pushed via [`Device::kernel_label`].
 pub struct KernelLabel<'a> {
     san: Option<&'a Sanitizer>,
+    rec: Option<&'a Recorder>,
 }
 
 impl Drop for KernelLabel<'_> {
     fn drop(&mut self) {
         if let Some(san) = self.san {
             san.pop_label();
+        }
+        if let Some(rec) = self.rec {
+            rec.pop_label();
         }
     }
 }
@@ -613,6 +896,7 @@ pub struct SharedSlice<'a, T> {
     ptr: *mut T,
     len: usize,
     track: Option<Track<'a>>,
+    cap: Option<Cap<'a>>,
     _marker: PhantomData<&'a mut [T]>,
 }
 
@@ -632,6 +916,7 @@ impl<'a, T> SharedSlice<'a, T> {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
             track: None,
+            cap: None,
             _marker: PhantomData,
         }
     }
@@ -663,6 +948,9 @@ impl<'a, T> SharedSlice<'a, T> {
     pub fn benign(mut self, reason: &'static str) -> Self {
         if let Some(t) = &mut self.track {
             t.benign = Some(reason);
+        }
+        if let Some(c) = &mut self.cap {
+            c.benign = true;
         }
         self
     }
@@ -717,6 +1005,9 @@ impl<T: ArenaPod> SharedSlice<'_, T> {
                 "SharedSlice::write requires an unpadded element type"
             );
         }
+        if let Some(c) = &self.cap {
+            c.note(AccessKind::Write);
+        }
         if let Some(t) = &self.track {
             if !t.access(index, self.len, size_of::<T>(), AccessKind::Write) {
                 return;
@@ -747,6 +1038,9 @@ impl<T: ArenaPod> SharedSlice<'_, T> {
                 !T::MAY_PAD,
                 "SharedSlice::read requires an unpadded element type"
             );
+        }
+        if let Some(c) = &self.cap {
+            c.note(AccessKind::Read);
         }
         if let Some(t) = &self.track {
             if !t.access(index, self.len, size_of::<T>(), AccessKind::Read) {
@@ -889,6 +1183,7 @@ impl Device {
             n * (size_of::<u32>() as u64 + size_of::<T>() as u64),
             n * size_of::<T>() as u64,
         );
+        let _cap = self.cap_scope("scatter").read(perm).read(src).write(&*out);
         let out_len = out.len();
         #[cfg(debug_assertions)]
         {

@@ -1,0 +1,144 @@
+//! Central registry for the `EMG_*` environment knobs.
+//!
+//! Every opt-in plane of the simulated device is switched by one
+//! environment variable; this module is the single place that knows which
+//! variables exist and how their values parse. The shared contract:
+//!
+//! * **unset ⇒ default** — an absent variable always selects the knob's
+//!   documented default (off / lookback / no recording);
+//! * **panic on typo** — a *present but unparsable* value panics instead
+//!   of silently selecting a default. A misspelled mode in a CI matrix or
+//!   benchmark wrapper must never quietly disable the checks it meant to
+//!   enable.
+//!
+//! New planes must register here (name in [`KNOBS`], parse behavior in
+//! [`parse_knob`]) — the `knob_registry_is_closed` unit test enumerates
+//! the registry so a knob added elsewhere fails the build's test run.
+
+use crate::launch_graph::CaptureMode;
+use crate::lookback::ScanEngine;
+use crate::sanitize::SanitizeMode;
+use std::str::FromStr;
+
+/// Sanitizer plane selector; see [`crate::sanitize`].
+pub const EMG_SANITIZE: &str = "EMG_SANITIZE";
+/// Prefix-sum core selector; see [`crate::lookback`].
+pub const EMG_SCAN_ENGINE: &str = "EMG_SCAN_ENGINE";
+/// Bench JSONL sink path; read by the benchmark harness (a free-form
+/// path, so any non-empty value "parses").
+pub const EMG_BENCH_JSON: &str = "EMG_BENCH_JSON";
+/// Launch-graph capture plane selector; see [`crate::launch_graph`].
+pub const EMG_CAPTURE: &str = "EMG_CAPTURE";
+
+/// Every `EMG_*` knob the device stack reads, with a one-line summary.
+/// Keep in sync with [`parse_knob`] (enforced by the unit test below).
+pub const KNOBS: &[(&str, &str)] = &[
+    (
+        EMG_SANITIZE,
+        "sanitizer checks: off|memcheck|initcheck|racecheck|full",
+    ),
+    (EMG_SCAN_ENGINE, "prefix-sum core: lookback|two_pass"),
+    (EMG_BENCH_JSON, "path receiving benchmark JSONL records"),
+    (EMG_CAPTURE, "launch-graph capture: off|on"),
+];
+
+/// Reads knob `var` as a `T`, applying the shared contract: unset (or,
+/// for the enum knobs, empty) yields `T::default()`, an unparsable value
+/// panics naming the variable.
+///
+/// # Panics
+/// Panics when the variable is set to a value `T::from_str` rejects.
+pub(crate) fn parse_env<T>(var: &str) -> T
+where
+    T: FromStr<Err = String> + Default,
+{
+    match std::env::var(var) {
+        Err(_) => T::default(),
+        Ok(v) => v.parse().unwrap_or_else(|e: String| panic!("{var}: {e}")),
+    }
+}
+
+/// Validates `value` as a setting for knob `var` (the panic-on-typo core,
+/// exposed without touching the process environment so tests can probe
+/// every knob without races on `std::env`). Returns a normalized
+/// description of what the value selects.
+pub fn parse_knob(var: &str, value: &str) -> Result<String, String> {
+    match var {
+        EMG_SANITIZE => SanitizeMode::from_str(value).map(|m| format!("{m:?}")),
+        EMG_SCAN_ENGINE => ScanEngine::from_str(value).map(|m| format!("{m:?}")),
+        EMG_CAPTURE => CaptureMode::from_str(value).map(|m| format!("{m:?}")),
+        EMG_BENCH_JSON => {
+            if value.is_empty() {
+                Err("empty path".to_string())
+            } else {
+                Ok(format!("jsonl sink {value:?}"))
+            }
+        }
+        other => Err(format!("unknown EMG knob {other:?}")),
+    }
+}
+
+/// The benchmark JSONL sink path (`EMG_BENCH_JSON`), if recording is
+/// enabled. Centralized here so the bench harness shares the registry.
+pub fn bench_json_path() -> Option<std::path::PathBuf> {
+    std::env::var_os(EMG_BENCH_JSON)
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is closed: every knob in [`KNOBS`] parses through
+    /// [`parse_knob`], accepts its documented defaults, and rejects typos.
+    #[test]
+    fn knob_registry_is_closed() {
+        assert_eq!(KNOBS.len(), 4, "new knob? register it in env.rs");
+        for (var, _help) in KNOBS {
+            // A typo must be a hard error for every enum knob; the one
+            // free-form knob (a path) instead rejects the empty string.
+            let probe = if *var == EMG_BENCH_JSON {
+                ""
+            } else {
+                "definitely-a-typo{}"
+            };
+            assert!(
+                parse_knob(var, probe).is_err(),
+                "{var}: bad values must not parse"
+            );
+        }
+        // And an unregistered knob name is itself rejected.
+        assert!(parse_knob("EMG_NOT_A_KNOB", "on").is_err());
+    }
+
+    #[test]
+    fn documented_values_parse() {
+        for v in [
+            "off",
+            "memcheck",
+            "initcheck",
+            "racecheck",
+            "full",
+            "1",
+            "0",
+        ] {
+            parse_knob(EMG_SANITIZE, v).unwrap();
+        }
+        for v in ["lookback", "two_pass", "twopass", "two-pass", ""] {
+            parse_knob(EMG_SCAN_ENGINE, v).unwrap();
+        }
+        for v in ["off", "on", "capture", "0", "1", ""] {
+            parse_knob(EMG_CAPTURE, v).unwrap();
+        }
+        parse_knob(EMG_BENCH_JSON, "/tmp/bench.jsonl").unwrap();
+        assert!(parse_knob(EMG_BENCH_JSON, "").is_err());
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive_enums() {
+        parse_knob(EMG_SANITIZE, " Full ").unwrap();
+        parse_knob(EMG_CAPTURE, "ON").unwrap();
+        parse_knob(EMG_SCAN_ENGINE, "LookBack").unwrap();
+    }
+}

@@ -94,6 +94,7 @@ impl Device {
         // Phase 1: per-block private histograms (one launch, disjoint rows).
         let mut private = self.alloc_filled(blocks * num_bins, 0u64);
         {
+            let _cap = self.cap_scope("histogram").write(&private[..]);
             let shared = crate::device::SharedSlice::new(&mut private);
             self.for_each(blocks, |blk| {
                 let lo = blk * bs;
@@ -110,7 +111,9 @@ impl Device {
                 }
             });
         }
-        // Phase 2: bin-parallel column sums (second launch).
+        // Phase 2: bin-parallel column sums (second launch). The column
+        // reads go through the generator closure, so they are declared.
+        self.capture_read(&private[..]);
         let private = &private;
         self.map(out, |b| {
             (0..blocks).map(|blk| private[blk * num_bins + b]).sum()
@@ -120,6 +123,7 @@ impl Device {
     /// Counts occurrences of each value in `values`, all of which must be
     /// `< num_bins`. Dispatches to the privatized variant.
     pub fn bincount_u32(&self, values: &[u32], num_bins: usize) -> Vec<u64> {
+        self.capture_read(values);
         self.histogram_privatized(values.len(), num_bins, |i| values[i] as usize)
     }
 }

@@ -53,6 +53,7 @@ impl Device {
         }
         let tile = self.config().block_size.max(1);
         let tiles = total.div_ceil(tile);
+        let _cap = self.cap_scope("lbs").read(offsets).write(&out[..]);
         let shared = SharedSlice::new(&mut out);
         self.for_each(tiles, |t| {
             let lo = t * tile;
@@ -90,6 +91,7 @@ impl Device {
             "interval_expand: values/offsets mismatch"
         );
         let seg_of = self.load_balanced_search(offsets);
+        self.capture_read(values);
         self.alloc_map(seg_of.len(), |i| values[seg_of[i] as usize])
     }
 
@@ -122,6 +124,11 @@ impl Device {
         }
         let tile = self.config().block_size.max(1);
         let tiles = n.div_ceil(tile);
+        let _cap = self
+            .cap_scope("sorted_search")
+            .read(needles)
+            .read(haystack)
+            .write(&out[..]);
         let shared = SharedSlice::new(&mut out);
         self.for_each(tiles, |t| {
             let lo = t * tile;

@@ -48,6 +48,13 @@
 //! [`SharedSlice::benign`] whitelist for the algorithms' deliberate
 //! commuting races.
 //!
+//! An opt-in launch-graph plane ([`launch_graph`], `EMG_CAPTURE` or
+//! [`DeviceConfig::capture`]) records every launch's kernel label and
+//! per-region access set through the same tracked views, and statically
+//! analyzes the captured pipeline for inter-launch hazards, dead writes,
+//! and fusion candidates. All `EMG_*` knobs share one parsing contract,
+//! registered in [`mod@env`].
+//!
 //! [moderngpu]: https://github.com/moderngpu/moderngpu
 //! [`SharedSlice::benign`]: device::SharedSlice::benign
 
@@ -58,7 +65,9 @@ pub mod arena;
 pub mod atomic;
 pub mod compact;
 pub mod device;
+pub mod env;
 pub mod histogram;
+pub mod launch_graph;
 pub mod lbs;
 pub mod lookback;
 pub mod merge;
@@ -72,7 +81,11 @@ pub mod sort;
 
 pub use arena::{ArenaPod, ArenaVec, DeviceArena, ScratchGuard};
 pub use atomic::{as_atomic_u32, as_atomic_u64, AtomicF64Cell, AtomicViewU32, AtomicViewU64};
-pub use device::{Device, DeviceConfig, KernelLabel, SharedSlice};
+pub use device::{CaptureScope, Device, DeviceConfig, KernelLabel, SharedSlice};
+pub use launch_graph::{
+    Analysis, CaptureMode, DeadWrite, DepCounts, FusionCandidate, Hazard, HazardKind, LaunchGraph,
+    Node, Region,
+};
 pub use lookback::ScanEngine;
 pub use metrics::{Metrics, MetricsSnapshot, PhaseTimer};
 pub use rbk::ReducedRuns;

@@ -66,12 +66,7 @@ impl ScanEngine {
     /// Panics on an unrecognized value — a typo must not silently change
     /// which engine a benchmark measures.
     pub fn from_env() -> Self {
-        match std::env::var("EMG_SCAN_ENGINE") {
-            Err(_) => Self::Lookback,
-            Ok(v) => v
-                .parse()
-                .unwrap_or_else(|e: String| panic!("EMG_SCAN_ENGINE: {e}")),
-        }
+        crate::env::parse_env(crate::env::EMG_SCAN_ENGINE)
     }
 }
 
@@ -79,7 +74,7 @@ impl std::str::FromStr for ScanEngine {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        match s.trim().to_ascii_lowercase().as_str() {
             "" | "lookback" => Ok(Self::Lookback),
             "twopass" | "two_pass" | "two-pass" => Ok(Self::TwoPass),
             other => Err(format!("unknown scan engine {other:?}")),
@@ -226,6 +221,7 @@ impl Device {
 
         let bytes = (n * size_of::<T>()) as u64;
         self.metrics().record_launch(n as u64);
+        let cap = self.cap_begin_launch(n as u64);
         self.metrics().record_traffic(bytes, bytes);
 
         let desc = Descriptors::new(&mut status_buf, agg_buf, pfx_buf);
@@ -280,6 +276,7 @@ impl Device {
             }
         });
         let total = desc.prefix_value(blocks - 1);
+        self.cap_end_launch(cap);
         self.san_mark_written(out);
         total
     }

@@ -108,10 +108,18 @@ impl Device {
         // One diagonal search per tile boundary. The searches are
         // independent, so they form a single kernel launch; the tile merges
         // form a second one. out is written by disjoint tiles.
+        self.capture_read(a);
+        self.capture_read(b);
         let splits = self.alloc_map(tiles + 1, |t| {
             let d = usize::min(t * tile, n);
             merge_path(a, b, d) as u32
         });
+        let _cap = self
+            .cap_scope("merge")
+            .read(a)
+            .read(b)
+            .read(&splits[..])
+            .write(&out[..]);
         let shared = crate::device::SharedSlice::new(&mut out);
         self.for_each(tiles, |t| {
             let d0 = t * tile;
@@ -153,10 +161,21 @@ impl Device {
         self.metrics().record_traffic(bytes, bytes);
         let tile = self.config().block_size.max(1);
         let tiles = n.div_ceil(tile);
+        self.capture_read(ka);
+        self.capture_read(kb);
         let splits = self.alloc_map(tiles + 1, |t| {
             let d = usize::min(t * tile, n);
             merge_path(ka, kb, d) as u32
         });
+        let _cap = self
+            .cap_scope("merge")
+            .read(ka)
+            .read(va)
+            .read(kb)
+            .read(vb)
+            .read(&splits[..])
+            .write(&out_k[..])
+            .write(&out_v[..]);
         let sk = crate::device::SharedSlice::new(&mut out_k);
         let sv = crate::device::SharedSlice::new(&mut out_v);
         self.for_each(tiles, |t| {
@@ -208,6 +227,10 @@ impl Device {
         self.metrics().record_traffic(bytes, bytes);
         {
             let runs = n.div_ceil(run);
+            let _cap = self
+                .cap_scope("mergesort.runs")
+                .read(&data[..])
+                .write(&data[..]);
             let shared = crate::device::SharedSlice::new(data.as_mut_slice());
             self.for_each(runs, |r| {
                 let lo = r * run;
@@ -229,6 +252,10 @@ impl Device {
             // Copy-through for a trailing lone run happens naturally: its
             // "b" side is empty.
             let src = &*data;
+            let _cap = self
+                .cap_scope("mergesort.merge")
+                .read(&src[..])
+                .write(&next[..]);
             let shared = crate::device::SharedSlice::new(&mut next);
             self.for_each(pairs, |p| {
                 let lo = p * 2 * width;
@@ -266,6 +293,12 @@ impl Device {
         self.metrics().record_traffic(bytes, bytes);
         {
             let runs = n.div_ceil(run);
+            let _cap = self
+                .cap_scope("mergesort.runs")
+                .read(&keys[..])
+                .write(&keys[..])
+                .read(&vals[..])
+                .write(&vals[..]);
             let sk = crate::device::SharedSlice::new(keys.as_mut_slice());
             let sv = crate::device::SharedSlice::new(vals.as_mut_slice());
             self.for_each(runs, |r| {
@@ -296,6 +329,12 @@ impl Device {
             let mut next_v = vec![V::default(); n];
             let pairs = n.div_ceil(2 * width);
             let (ks, vs) = (&*keys, &*vals);
+            let _cap = self
+                .cap_scope("mergesort.merge")
+                .read(&ks[..])
+                .read(&vs[..])
+                .write(&next_k[..])
+                .write(&next_v[..]);
             let sk = crate::device::SharedSlice::new(&mut next_k);
             let sv = crate::device::SharedSlice::new(&mut next_v);
             self.for_each(pairs, |p| {

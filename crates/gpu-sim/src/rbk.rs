@@ -72,11 +72,14 @@ impl Device {
             };
         }
         // Head flags → run start indices (one compaction), then the runs
-        // form segments for a segmented reduce.
+        // form segments for a segmented reduce. The key reads go through
+        // predicate / generator closures, so each launch gets them declared.
+        self.capture_read(keys);
         let mut heads = self.compact_indices(n, |i| i == 0 || keys[i] != keys[i - 1]);
         heads.push(n as u32);
         let offsets = heads;
         let out_values = self.segmented_reduce(values, &offsets, identity, op);
+        self.capture_read(keys);
         let out_keys = self.alloc_map_nondefault(offsets.len() - 1, |r| keys[offsets[r] as usize]);
         ReducedRuns {
             keys: out_keys,

@@ -10,6 +10,7 @@ impl Device {
         T: Copy + Send + Sync,
         F: Fn(T, T) -> T + Sync,
     {
+        self.capture_read(input);
         self.map_reduce(input.len(), |i| input[i], identity, op)
     }
 
@@ -23,6 +24,10 @@ impl Device {
     {
         self.metrics().record_primitive();
         self.metrics().record_launch(n as u64);
+        {
+            let _cap = self.cap_scope("reduce");
+            self.cap_instant_launch(n as u64);
+        }
         self.metrics()
             .record_traffic((n * size_of::<T>()) as u64, 0);
         if n <= self.config().seq_threshold {

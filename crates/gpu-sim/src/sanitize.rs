@@ -85,17 +85,7 @@ impl SanitizeMode {
     /// Panics on an unrecognized value — a typo in a CI matrix must not
     /// silently disable the checks.
     pub fn from_env() -> Self {
-        match std::env::var("EMG_SANITIZE") {
-            Err(_) => Self::Off,
-            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-                "" | "off" | "0" => Self::Off,
-                "memcheck" => Self::Memcheck,
-                "initcheck" => Self::Initcheck,
-                "racecheck" => Self::Racecheck,
-                "full" | "on" | "1" => Self::Full,
-                other => panic!("EMG_SANITIZE: unknown mode {other:?}"),
-            },
-        }
+        crate::env::parse_env(crate::env::EMG_SANITIZE)
     }
 
     pub(crate) fn memcheck(self) -> bool {
@@ -108,6 +98,21 @@ impl SanitizeMode {
 
     pub(crate) fn racecheck(self) -> bool {
         matches!(self, Self::Racecheck | Self::Full)
+    }
+}
+
+impl std::str::FromStr for SanitizeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "off" | "0" => Ok(Self::Off),
+            "memcheck" => Ok(Self::Memcheck),
+            "initcheck" => Ok(Self::Initcheck),
+            "racecheck" => Ok(Self::Racecheck),
+            "full" | "on" | "1" => Ok(Self::Full),
+            other => Err(format!("unknown sanitize mode {other:?}")),
+        }
     }
 }
 

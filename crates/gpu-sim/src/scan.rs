@@ -44,6 +44,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
+        self.capture_read(input);
         self.map_scan_into(input.len(), |i| input[i], &mut out, identity, &op, true);
         out
     }
@@ -55,6 +56,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
+        self.capture_read(input);
         self.map_scan_into(input.len(), |i| input[i], &mut out, identity, &op, false);
         out
     }
@@ -67,6 +69,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         let mut out = vec![identity; input.len()];
+        self.capture_read(input);
         let total = self.map_scan_into(input.len(), |i| input[i], &mut out, identity, &op, false);
         (out, total)
     }
@@ -82,6 +85,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         assert_eq!(input.len(), out.len(), "scan: input/output length mismatch");
+        self.capture_read(input);
         self.map_scan_into(input.len(), |i| input[i], out, identity, &op, true)
     }
 
@@ -96,6 +100,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         assert_eq!(input.len(), out.len(), "scan: input/output length mismatch");
+        self.capture_read(input);
         self.map_scan_into(input.len(), |i| input[i], out, identity, &op, false)
     }
 
@@ -121,6 +126,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         assert_eq!(out.len(), n, "map_scan: output length mismatch");
+        let _fused = self.cap_scope("").fused();
         self.map_scan_into(n, gen, out, identity, &op, true)
     }
 
@@ -143,6 +149,7 @@ impl Device {
         F: Fn(T, T) -> T + Sync,
     {
         assert_eq!(out.len(), n, "map_scan: output length mismatch");
+        let _fused = self.cap_scope("").fused();
         self.map_scan_into(n, gen, out, identity, &op, false)
     }
 
@@ -168,11 +175,13 @@ impl Device {
         if n == 0 {
             return identity;
         }
+        let _cap = self.cap_scope("scan").write(&*out);
         if n <= self.config().seq_threshold {
             // Same metric taxonomy as the parallel engines: one launch,
             // one read + one write per element.
             let bytes = (n * size_of::<T>()) as u64;
             self.metrics().record_launch(n as u64);
+            self.cap_instant_launch(n as u64);
             self.metrics().record_traffic(bytes, bytes);
             let mut acc = identity;
             for (i, slot) in out.iter_mut().enumerate() {
@@ -225,6 +234,7 @@ impl Device {
 
         // Phase 1 (parallel): reduce each block — the first input read.
         self.metrics().record_launch(n as u64);
+        let cap1 = self.cap_begin_launch(n as u64);
         self.metrics().record_traffic(bytes, 0);
         self.run(|| {
             block_sums[..blocks]
@@ -240,6 +250,7 @@ impl Device {
                     *sum = acc;
                 });
         });
+        self.cap_end_launch(cap1);
 
         // Phase 2 (host, tiny): exclusive scan of the block sums.
         let mut acc = identity;
@@ -252,6 +263,7 @@ impl Device {
         // Phase 3 (parallel): downsweep each block from its offset — the
         // second input read and the output write.
         self.metrics().record_launch(n as u64);
+        let cap3 = self.cap_begin_launch(n as u64);
         self.metrics().record_traffic(bytes, bytes);
         let block_offsets = &block_offsets[..blocks];
         self.run(|| {
@@ -272,6 +284,7 @@ impl Device {
                     }
                 });
         });
+        self.cap_end_launch(cap3);
         self.san_mark_written(out);
         total
     }

@@ -65,6 +65,7 @@ impl Device {
             values.len(),
             "segreduce: last offset must equal values.len()"
         );
+        self.capture_read(values);
         self.map_segmented_reduce_into(offsets, identity, |slot| values[slot], op, out);
     }
 
@@ -102,6 +103,11 @@ impl Device {
             slots * size_of::<T>() as u64 + (offsets.len() as u64) * 4,
             (segments * size_of::<T>()) as u64,
         );
+        let _cap = self
+            .cap_scope("segreduce")
+            .fused()
+            .read(offsets)
+            .write(&*out);
         self.map(out, |s| {
             let start = offsets[s] as usize;
             let end = offsets[s + 1] as usize;
@@ -174,6 +180,10 @@ impl Device {
         debug_assert_eq!(head[0], 1, "first non-empty segment must start at 0");
         let head = &head;
         let mut scanned = self.alloc_pooled::<(u32, T)>(n);
+        // The flagged pair scan reads the head flags and values through its
+        // generator closure — invisible to the tracked layer, so declared.
+        self.capture_read(&head[..]);
+        self.capture_read(values);
         self.map_scan_inclusive_into(
             n,
             |i| (head[i], values[i]),
@@ -188,6 +198,7 @@ impl Device {
             },
         );
         let scanned = &scanned;
+        self.capture_read(&scanned[..]);
         // Unzip: one pair read and one value write per slot.
         self.metrics().record_traffic(
             (n * size_of::<(u32, T)>()) as u64,

@@ -84,6 +84,10 @@ impl Device {
             // rewrites every key, even when n is too small to permute.
             let bytes = 4 * n as u64;
             self.metrics().record_launch(n as u64);
+            {
+                let _cap = self.cap_scope("sort").read(keys).write(keys);
+                self.cap_instant_launch(n as u64);
+            }
             self.metrics().record_traffic(bytes, bytes);
             keys.sort_unstable();
             self.san_mark_written(keys);
@@ -122,6 +126,14 @@ impl Device {
             let elem = 8 + if vals.is_some() { 4 } else { 0 };
             let bytes = (elem * n) as u64;
             self.metrics().record_launch(n as u64);
+            {
+                let cap = self.cap_scope("sort").read(keys).write(keys);
+                let _cap = match &vals {
+                    Some(v) => cap.read(v).write(v),
+                    None => cap,
+                };
+                self.cap_instant_launch(n as u64);
+            }
             self.metrics().record_traffic(bytes, bytes);
             if n == 1 {
                 self.san_mark_written(keys);
@@ -188,6 +200,10 @@ impl Device {
             // Per-chunk digit histograms (the histograms themselves are
             // per-block privatized state — not data-plane traffic).
             self.metrics().record_launch(n as u64);
+            {
+                let _cap = self.cap_scope("sort.hist").read(src_k);
+                self.cap_instant_launch(n as u64);
+            }
             self.metrics().record_traffic(key_bytes, 0);
             self.run(|| {
                 hist.par_chunks_mut(BUCKETS).enumerate().for_each(|(c, h)| {
@@ -217,6 +233,19 @@ impl Device {
             // Stable scatter: chunks write their elements in order, each
             // digit region partitioned among chunks by the offset matrix.
             self.metrics().record_launch(n as u64);
+            {
+                let cap = self
+                    .cap_scope("sort.scatter")
+                    .read(src_k)
+                    .read(&offsets[..])
+                    .write(&*dst_k);
+                let _cap = if has_vals {
+                    cap.read(src_v).write(&*dst_v)
+                } else {
+                    cap
+                };
+                self.cap_instant_launch(n as u64);
+            }
             self.metrics()
                 .record_traffic(key_bytes + val_bytes, key_bytes + val_bytes);
             {
@@ -257,6 +286,17 @@ impl Device {
             // Odd pass count: one copy-back launch returns the data to the
             // caller's buffers.
             self.metrics().record_launch(n as u64);
+            {
+                let cap = self
+                    .cap_scope("sort.copyback")
+                    .read(&scratch_k[..])
+                    .write(&*keys);
+                let _cap = match &vals {
+                    Some(v) => cap.read(&scratch_v[..]).write(v),
+                    None => cap,
+                };
+                self.cap_instant_launch(n as u64);
+            }
             self.metrics()
                 .record_traffic(key_bytes + val_bytes, key_bytes + val_bytes);
             keys.copy_from_slice(&scratch_k);

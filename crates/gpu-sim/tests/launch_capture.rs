@@ -1,0 +1,179 @@
+//! Seeded-violation tests for the launch-graph analyzer: each detector —
+//! hazard, dead-write, fusion-candidate — is fed a pipeline constructed to
+//! trip it, and must report the exact offending kernel labels. The inverse
+//! (all shipped pipelines analyze clean) lives in the CLI integration
+//! suite, which drives the real pipelines at several pool widths.
+
+use gpu_sim::{CaptureMode, Device, DeviceConfig, HazardKind};
+
+fn capture_device() -> Device {
+    Device::with_config(DeviceConfig {
+        threads: Some(2),
+        capture: CaptureMode::On,
+        ..DeviceConfig::default()
+    })
+}
+
+#[test]
+fn seeded_unsynchronized_raw_is_detected() {
+    let device = capture_device();
+    let mut a = vec![0u32; 1000];
+    {
+        // Record the producer without its launch barrier, as a
+        // stream-ordered (async) launch would be.
+        let _s = device.capture_unordered();
+        let _k = device.kernel_label("seed_produce");
+        device.capture_write(&a[..]);
+        device.map(&mut a, |i| i as u32);
+    }
+    let mut b = vec![0u32; 1000];
+    {
+        let _k = device.kernel_label("seed_consume");
+        device.capture_read(&a[..]);
+        let a_ref = &a;
+        device.map(&mut b, |i| a_ref[i] + 1);
+    }
+
+    let analysis = device.launch_graph().expect("capture is on").analyze();
+    let raw: Vec<_> = analysis
+        .hazards
+        .iter()
+        .filter(|h| h.kind == HazardKind::Raw)
+        .collect();
+    assert_eq!(raw.len(), 1, "hazards: {:?}", analysis.hazards);
+    assert_eq!(raw[0].from_label, "seed_produce");
+    assert_eq!(raw[0].to_label, "seed_consume");
+}
+
+#[test]
+fn ordered_version_of_the_same_pipeline_is_clean() {
+    let device = capture_device();
+    let mut a = vec![0u32; 1000];
+    {
+        let _k = device.kernel_label("seed_produce");
+        device.capture_write(&a[..]);
+        device.map(&mut a, |i| i as u32);
+    }
+    let mut b = vec![0u32; 1000];
+    {
+        let _k = device.kernel_label("seed_consume");
+        device.capture_read(&a[..]);
+        let a_ref = &a;
+        device.map(&mut b, |i| a_ref[i] + 1);
+    }
+
+    let analysis = device.launch_graph().expect("capture is on").analyze();
+    assert!(analysis.hazards.is_empty(), "{:?}", analysis.hazards);
+    assert_eq!(analysis.deps.raw, 1);
+}
+
+#[test]
+fn seeded_dead_write_is_detected() {
+    let device = capture_device();
+    let scratch = {
+        let _k = device.kernel_label("seed_dead_write");
+        device.alloc_pooled_map(1000, |i| i as u32)
+    };
+    // Released without any launch or host read ever touching it.
+    drop(scratch);
+
+    let analysis = device.launch_graph().expect("capture is on").analyze();
+    assert_eq!(analysis.dead_writes.len(), 1, "{:?}", analysis.dead_writes);
+    assert_eq!(analysis.dead_writes[0].label, "seed_dead_write");
+    assert_eq!(analysis.dead_bytes, 4000);
+}
+
+#[test]
+fn host_read_clears_seeded_dead_write() {
+    let device = capture_device();
+    let scratch = {
+        let _k = device.kernel_label("seed_dead_write");
+        device.alloc_pooled_map(1000, |i| i as u32)
+    };
+    device.capture_host_read(&scratch[..]);
+    assert_eq!(scratch[7], 7);
+    drop(scratch);
+
+    let analysis = device.launch_graph().expect("capture is on").analyze();
+    assert!(
+        analysis.dead_writes.is_empty(),
+        "{:?}",
+        analysis.dead_writes
+    );
+    assert_eq!(analysis.dead_bytes, 0);
+}
+
+#[test]
+fn seeded_missed_fusion_is_detected() {
+    let device = capture_device();
+    let n = 1000usize;
+    let mid = {
+        let _k = device.kernel_label("seed_fuse_producer");
+        device.alloc_pooled_map(n, |i| i as u32 * 2)
+    };
+    let mut out = vec![0u32; n];
+    {
+        let _k = device.kernel_label("seed_fuse_consumer");
+        device.capture_read(&mid[..]);
+        let mid_ref = &mid;
+        device.map(&mut out, |i| mid_ref[i] + 1);
+    }
+    device.capture_host_read(&out[..]);
+
+    let analysis = device.launch_graph().expect("capture is on").analyze();
+    let pair = analysis
+        .fusion_candidates
+        .iter()
+        .find(|c| c.producer_label == "seed_fuse_producer")
+        .unwrap_or_else(|| panic!("no candidate: {:?}", analysis.fusion_candidates));
+    assert_eq!(pair.consumer_label, "seed_fuse_consumer");
+    assert_eq!(pair.consumer, pair.producer + 1);
+}
+
+#[test]
+fn second_reader_disqualifies_fusion() {
+    let device = capture_device();
+    let n = 1000usize;
+    let mid = {
+        let _k = device.kernel_label("seed_fuse_producer");
+        device.alloc_pooled_map(n, |i| i as u32 * 2)
+    };
+    let mut out = vec![0u32; n];
+    {
+        let _k = device.kernel_label("seed_fuse_consumer");
+        device.capture_read(&mid[..]);
+        let mid_ref = &mid;
+        device.map(&mut out, |i| mid_ref[i] + 1);
+    }
+    let mut out2 = vec![0u32; n];
+    {
+        let _k = device.kernel_label("seed_second_reader");
+        device.capture_read(&mid[..]);
+        let mid_ref = &mid;
+        device.map(&mut out2, |i| mid_ref[i] + 2);
+    }
+    device.capture_host_read(&out[..]);
+    device.capture_host_read(&out2[..]);
+
+    let analysis = device.launch_graph().expect("capture is on").analyze();
+    assert!(
+        !analysis
+            .fusion_candidates
+            .iter()
+            .any(|c| c.producer_label == "seed_fuse_producer"),
+        "{:?}",
+        analysis.fusion_candidates
+    );
+}
+
+#[test]
+fn capture_off_records_nothing() {
+    let device = Device::with_config(DeviceConfig {
+        threads: Some(2),
+        capture: CaptureMode::Off,
+        ..DeviceConfig::default()
+    });
+    let mut a = vec![0u32; 100];
+    device.map(&mut a, |i| i as u32);
+    assert!(device.launch_graph().is_none());
+}

@@ -17,6 +17,7 @@ fn dev(mode: SanitizeMode) -> Device {
         sanitize: mode,
         sanitize_fatal: false,
         scan_engine: gpu_sim::ScanEngine::default(),
+        capture: gpu_sim::CaptureMode::Off,
     })
 }
 
@@ -276,6 +277,7 @@ fn sanitize_off_has_zero_tracking() {
         sanitize: SanitizeMode::Off,
         sanitize_fatal: false,
         scan_engine: gpu_sim::ScanEngine::default(),
+        capture: gpu_sim::CaptureMode::Off,
     });
     let mut buf = vec![0u32; 64];
     let shared = device.shared(&mut buf);
@@ -300,6 +302,7 @@ fn fatal_sanitizer_panics_with_the_finding() {
         sanitize: SanitizeMode::Memcheck,
         sanitize_fatal: true,
         scan_engine: gpu_sim::ScanEngine::default(),
+        capture: gpu_sim::CaptureMode::Off,
     });
     let mut buf = vec![0u32; 4];
     let shared = device.shared(&mut buf);

@@ -91,19 +91,39 @@ impl Csr {
         assert!(m <= (u32::MAX / 2) as usize, "graph too large for u32 CSR");
 
         // Phase 1: per-source directed-arc counts (each undirected edge is
-        // two arcs).
-        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        // two arcs). Arena-backed so the scratch has a deterministic
+        // lifetime in the captured launch graph.
+        let mut counts = device.alloc_filled(n, 0u32);
         let pairs = edges.edges();
-        device.for_each(m, |e| {
-            let (u, v) = pairs[e];
-            counts[u as usize].fetch_add(1, Ordering::Relaxed);
-            counts[v as usize].fetch_add(1, Ordering::Relaxed);
-        });
-        let counts: Vec<u32> = counts.into_iter().map(AtomicU32::into_inner).collect();
+        {
+            let _k = device.kernel_label("csr_count_arcs");
+            device.capture_read(pairs);
+            let cells = device
+                .atomic_u32(&mut counts)
+                .benign("degree histogram: colliding fetch_add increments commute");
+            device.for_each(m, |e| {
+                let (u, v) = pairs[e];
+                cells.fetch_add(u as usize, 1);
+                cells.fetch_add(v as usize, 1);
+            });
+        }
 
-        // Phase 2: offsets = exclusive scan of the counts.
-        let (mut offsets, total) = device.scan_exclusive_with_total(&counts, 0u32, |a, b| a + b);
-        offsets.push(total);
+        // Phase 2: offsets = exclusive scan of the counts, padded by one
+        // zero so the scan writes all n + 1 slots (offsets[n] = total) in
+        // place — no append, no realloc.
+        let mut offsets = vec![0u32; n + 1];
+        let total = {
+            let counts_ref = &counts[..];
+            device.capture_read(counts_ref);
+            device.map_scan_exclusive_into(
+                n + 1,
+                |v| if v < n { counts_ref[v] } else { 0 },
+                &mut offsets,
+                0u32,
+                |a, b| a + b,
+            )
+        };
+        drop(counts);
         debug_assert_eq!(total as usize, 2 * m);
 
         // Phase 3: scatter each arc to its slot (counting-sort placement
@@ -112,6 +132,10 @@ impl Csr {
         let mut edge_ids = vec![0 as EdgeId; 2 * m];
         {
             let _k = device.kernel_label("csr_place_arcs");
+            // The arc pairs and offsets feed the closure, invisible to the
+            // tracked views — declare the reads for the capture plane.
+            device.capture_read(pairs);
+            device.capture_read(&offsets[..]);
             let cursors: Vec<AtomicU32> = offsets[..n].iter().map(|&o| AtomicU32::new(o)).collect();
             // fetch_add hands out unique slots within each node's
             // [offsets[v], offsets[v+1]) range, so each slot has one writer.

@@ -132,6 +132,8 @@ impl LcaAlgorithm for GpuRmqLca<'_> {
 
     fn query_batch(&self, queries: &[(u32, u32)], out: &mut [u32]) {
         assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        let _k = self.device.kernel_label("rmq_query_batch");
+        self.device.capture_read(queries);
         self.device.map(out, |i| {
             let (x, y) = queries[i];
             self.resolve(x, y)

@@ -189,14 +189,22 @@ impl InlabelTables {
     pub fn from_stats_device(device: &Device, stats: &TreeStats) -> Self {
         let n = stats.num_nodes();
         let mut inlabel = vec![0u32; n];
-        device.map(&mut inlabel, |v| {
-            inlabel_of(stats.preorder[v], stats.subtree_size[v])
-        });
+        {
+            let _k = device.kernel_label("inlabel_compute");
+            // Preorder and subtree sizes feed the closure.
+            device.capture_read(&stats.preorder);
+            device.capture_read(&stats.subtree_size);
+            device.map(&mut inlabel, |v| {
+                inlabel_of(stats.preorder[v], stats.subtree_size[v])
+            });
+        }
 
         let mut head = vec![INVALID_NODE; n + 1];
         {
             let _k = device.kernel_label("inlabel_heads");
             // One head per inlabel value, so each slot has one writer.
+            device.capture_read(&inlabel);
+            device.capture_read(&stats.parent);
             let head_shared = device.shared(&mut head);
             let inlabel_ref = &inlabel;
             device.for_each(n, |v| {
@@ -217,6 +225,9 @@ impl InlabelTables {
         {
             let _k = device.kernel_label("inlabel_tree_seed");
             // Each l is written once by its own virtual thread.
+            device.capture_read(&head);
+            device.capture_read(&inlabel);
+            device.capture_read(&stats.parent);
             let ipar_shared = device.shared(&mut ipar);
             let asc_shared = device.shared(&mut asc);
             let inlabel_ref = &inlabel;
@@ -237,29 +248,45 @@ impl InlabelTables {
         let mut ptr = ipar;
         let mut asc_new = device.alloc_pooled::<u32>(n + 1);
         let mut ptr_new = device.alloc_pooled::<u32>(n + 1);
-        for _ in 0..ASCENDANT_JUMP_ROUNDS {
-            device.map(&mut asc_new, |l| {
-                let p = ptr[l];
-                if p == INVALID_NODE {
-                    asc[l]
-                } else {
-                    asc[l] | asc[p as usize]
-                }
-            });
-            device.map(&mut ptr_new, |l| {
-                let p = ptr[l];
-                if p == INVALID_NODE {
-                    INVALID_NODE
-                } else {
-                    ptr[p as usize]
-                }
-            });
+        for round in 0..ASCENDANT_JUMP_ROUNDS {
+            {
+                let _k = device.kernel_label("inlabel_jump_asc");
+                device.capture_read(&ptr[..]);
+                device.capture_read(&asc[..]);
+                device.map(&mut asc_new, |l| {
+                    let p = ptr[l];
+                    if p == INVALID_NODE {
+                        asc[l]
+                    } else {
+                        asc[l] | asc[p as usize]
+                    }
+                });
+            }
             std::mem::swap(&mut asc, &mut asc_new);
-            std::mem::swap(&mut ptr, &mut ptr_new);
+            // The last round's pointer jump would never be read — skip it
+            // (found by the launch-graph dead-write pass).
+            if round + 1 < ASCENDANT_JUMP_ROUNDS {
+                let _k = device.kernel_label("inlabel_jump_ptr");
+                device.capture_read(&ptr[..]);
+                device.map(&mut ptr_new, |l| {
+                    let p = ptr[l];
+                    if p == INVALID_NODE {
+                        INVALID_NODE
+                    } else {
+                        ptr[p as usize]
+                    }
+                });
+                std::mem::swap(&mut ptr, &mut ptr_new);
+            }
         }
 
         let mut ascendant = vec![0u32; n];
-        device.map(&mut ascendant, |v| asc[inlabel[v] as usize]);
+        {
+            let _k = device.kernel_label("inlabel_ascendant");
+            device.capture_read(&asc[..]);
+            device.capture_read(&inlabel);
+            device.map(&mut ascendant, |v| asc[inlabel[v] as usize]);
+        }
 
         Self {
             inlabel,

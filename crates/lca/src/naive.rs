@@ -65,6 +65,7 @@ impl<'d> NaiveGpuLca<'d> {
         // upper bound for any jumps ≥ 1; the `done` flag exits far earlier.
         let rounds_bound = (usize::BITS - n.leading_zeros()) as usize + 2;
         for _ in 0..rounds_bound {
+            let _k = device.kernel_label("naive_jump_round");
             let done = AtomicU64::new(1);
             let cells_ref = &cells;
             let done_ref = &done;
@@ -140,6 +141,8 @@ impl LcaAlgorithm for NaiveGpuLca<'_> {
 
     fn query_batch(&self, queries: &[(u32, u32)], out: &mut [u32]) {
         assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        let _k = self.device.kernel_label("naive_query_batch");
+        self.device.capture_read(queries);
         self.device.map(out, |q| {
             let (x, y) = queries[q];
             self.walk(x, y)

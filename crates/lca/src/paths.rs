@@ -45,7 +45,9 @@ impl<'d> TreePaths<'d> {
         let mut up: Vec<Vec<NodeId>> = Vec::with_capacity(levels);
         up.push(stats.parent.clone());
         for k in 1..levels {
+            let _k = device.kernel_label("paths_up_table_level");
             let prev = &up[k - 1];
+            device.capture_read(&prev[..]);
             let row = device.alloc_map(n, |v| {
                 let half = prev[v];
                 if half == INVALID_NODE {
@@ -134,6 +136,8 @@ impl<'d> TreePaths<'d> {
         assert_eq!(queries.len(), out.len(), "query/output length mismatch");
         let tables = &self.tables;
         let level = &self.level;
+        let _k = self.device.kernel_label("paths_distance_batch");
+        self.device.capture_read(queries);
         self.device.map(out, |i| {
             let (x, y) = queries[i];
             let l = tables.query(x, y);

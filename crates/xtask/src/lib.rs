@@ -16,10 +16,27 @@
 //!    `as *mut`, `as *const`, `.offset(`) stay inside `gpu-sim` too, so a
 //!    crate cannot smuggle pointer arithmetic past rule 3 behind a macro.
 //!
+//! Two further rules keep the **launch-graph capture plane** honest
+//! (DESIGN.md §11):
+//!
+//! 7. in algorithm crates (`src/` only, not `gpu-sim`), any function that
+//!    launches through a bare `Device` entry point (`device.for_each(`,
+//!    `device.map(`, `device.alloc_map(` — the launchers with no built-in
+//!    scope label) must open a `kernel_label(` somewhere in that function,
+//!    so captured graphs never degrade to anonymous `kernel#N` nodes;
+//! 8. empty justification literals — `kernel_label("")` and `.benign("")`
+//!    — are rejected everywhere: a whitelist entry or label that says
+//!    nothing documents nothing.
+//!
 //! `vendor/` (offline stand-ins), `target/`, and any path containing
 //! `fixtures` are exempt. The `xtask` crate itself is exempt from the
 //! content rules (its source must name the patterns it hunts) but not from
 //! rule 1 — the compiler still enforces `#![deny(unsafe_code)]` here.
+//!
+//! `cargo run -p xtask -- analyze` runs the **launch-graph golden gate**:
+//! every shipped pipeline is captured at pool widths 1 and 4 and both
+//! serializations must match `ci/golden_graphs/<pipeline>.json` byte for
+//! byte (see [`check_golden_graphs`]).
 
 #![deny(unsafe_code)]
 
@@ -61,6 +78,15 @@ const RAW_PTR_PATTERNS: &[&str] = &[
     "as *const",
     ".offset(",
 ];
+
+/// Bare `Device` launch entry points — the launchers with no built-in
+/// scope label, whose launches show up as anonymous `kernel#N` nodes in
+/// captured graphs unless the enclosing function opens a `kernel_label`.
+const LAUNCH_PATTERNS: &[&str] = &["device.for_each(", "device.map(", "device.alloc_map("];
+
+/// Empty justification literals: a label or whitelist reason that says
+/// nothing documents nothing.
+const EMPTY_JUSTIFICATION_PATTERNS: &[&str] = &["kernel_label(\"\")", ".benign(\"\")"];
 
 /// Runs the full unsafe-usage gate over a workspace rooted at `root`.
 /// Returns every violation found (empty = clean).
@@ -249,11 +275,61 @@ fn code_part(line: &str) -> &str {
     }
 }
 
+/// Whether a line opens a function item (the chunk boundary for the
+/// unlabeled-launch rule).
+fn is_fn_line(raw: &str) -> bool {
+    let t = code_part(raw).trim_start();
+    t.starts_with("fn ")
+        || t.starts_with("async fn ")
+        || t.starts_with("const fn ")
+        || (t.starts_with("pub") && t.contains("fn "))
+}
+
+/// Rule 7: in algorithm-crate `src/` files, a function that launches via a
+/// bare entry point must open a `kernel_label` somewhere in its body.
+fn lint_launch_labels(root: &Path, file: &Path, lines: &[&str], findings: &mut Vec<Finding>) {
+    let fn_starts: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| is_fn_line(l))
+        .map(|(i, _)| i)
+        .collect();
+    for (k, &start) in fn_starts.iter().enumerate() {
+        let end = fn_starts.get(k + 1).copied().unwrap_or(lines.len());
+        let chunk = &lines[start..end];
+        if chunk.iter().any(|l| code_part(l).contains("kernel_label(")) {
+            continue;
+        }
+        for (j, l) in chunk.iter().enumerate() {
+            let code = code_part(l);
+            if let Some(pat) = LAUNCH_PATTERNS.iter().find(|p| code.contains(*p)) {
+                findings.push(finding_at(
+                    root,
+                    file,
+                    start + j + 1,
+                    "unlabeled-launch",
+                    format!(
+                        "`{pat}` launches without a `kernel_label` in the enclosing \
+                         function; the captured graph would show an anonymous kernel#N node"
+                    ),
+                ));
+                break; // one finding per function is enough to act on
+            }
+        }
+    }
+}
+
 fn lint_file(root: &Path, file: &Path, is_gpu_sim: bool, findings: &mut Vec<Finding>) {
     let Ok(text) = fs::read_to_string(file) else {
         return;
     };
     let lines: Vec<&str> = text.lines().collect();
+    // Rule 7 covers shipped pipeline code only: `src/` of the algorithm
+    // crates. gpu-sim's own primitives label themselves, and test/bench
+    // code never feeds the golden graphs.
+    if !is_gpu_sim && file.components().any(|c| c.as_os_str() == "src") {
+        lint_launch_labels(root, file, &lines, findings);
+    }
     for (i, raw) in lines.iter().enumerate() {
         let trimmed = raw.trim_start();
         let lineno = i + 1;
@@ -261,6 +337,19 @@ fn lint_file(root: &Path, file: &Path, is_gpu_sim: bool, findings: &mut Vec<Find
             continue;
         }
         let code = code_part(raw);
+
+        // Rule 8: empty justifications, everywhere (including gpu-sim).
+        for pat in EMPTY_JUSTIFICATION_PATTERNS {
+            if code.contains(pat) {
+                findings.push(finding_at(
+                    root,
+                    file,
+                    lineno,
+                    "empty-justification",
+                    format!("`{pat}` carries an empty justification; say why or remove it"),
+                ));
+            }
+        }
 
         // Rule 5: an attribute is never a comment, so the code part
         // suffices (a commented-out allow is harmless).
@@ -298,4 +387,61 @@ fn lint_file(root: &Path, file: &Path, is_gpu_sim: bool, findings: &mut Vec<Find
             }
         }
     }
+}
+
+/// Runs the launch-graph golden gate: captures every shipped pipeline at
+/// pool widths 1 and 4, checks the analyzer is clean (no unwhitelisted
+/// hazards, no dead-write bytes), and compares both serializations byte
+/// for byte against `ci/golden_graphs/<pipeline>.json`. Returns one error
+/// string per failure (empty = gate passed).
+pub fn check_golden_graphs(root: &Path) -> Vec<String> {
+    use emg_cli::analyze::{capture_pipeline, PIPELINES};
+    let dir = root.join("ci/golden_graphs");
+    let mut errors = Vec::new();
+    for &pipeline in PIPELINES {
+        let golden_path = dir.join(format!("{pipeline}.json"));
+        let golden = match fs::read_to_string(&golden_path) {
+            Ok(s) => s,
+            Err(e) => {
+                errors.push(format!(
+                    "{}: {e} (regenerate with ci/update_golden_graphs.py)",
+                    golden_path.display()
+                ));
+                continue;
+            }
+        };
+        for threads in [1usize, 4] {
+            let graph = match capture_pipeline(pipeline, threads) {
+                Ok(g) => g,
+                Err(e) => {
+                    errors.push(format!(
+                        "{pipeline} (pool width {threads}): capture failed: {e}"
+                    ));
+                    continue;
+                }
+            };
+            let analysis = graph.analyze();
+            if !analysis.hazards.is_empty() {
+                errors.push(format!(
+                    "{pipeline} (pool width {threads}): {} unwhitelisted hazard(s), first: {:?}",
+                    analysis.hazards.len(),
+                    analysis.hazards[0]
+                ));
+            }
+            if analysis.dead_bytes != 0 {
+                errors.push(format!(
+                    "{pipeline} (pool width {threads}): {} dead-write byte(s), first: {:?}",
+                    analysis.dead_bytes, analysis.dead_writes[0]
+                ));
+            }
+            if graph.to_json(pipeline) != golden {
+                errors.push(format!(
+                    "{pipeline} (pool width {threads}): captured launch graph differs from {} \
+                     (regenerate with ci/update_golden_graphs.py if the change is intentional)",
+                    golden_path.display()
+                ));
+            }
+        }
+    }
+    errors
 }

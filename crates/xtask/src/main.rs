@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo run -p xtask -- lint`.
+//! CLI entry point: `cargo run -p xtask -- lint | analyze`.
 
 #![deny(unsafe_code)]
 
@@ -9,9 +9,10 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("analyze") => analyze(),
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint\n       (got: {:?})",
+                "usage: cargo run -p xtask -- lint|analyze\n       (got: {:?})",
                 other
             );
             ExitCode::from(2)
@@ -19,22 +20,41 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint() -> ExitCode {
-    // crates/xtask/ -> workspace root.
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+/// crates/xtask/ -> workspace root.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())
         .expect("xtask lives two levels below the workspace root")
-        .to_path_buf();
-    let findings = xtask::lint_workspace(&root);
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let findings = xtask::lint_workspace(&workspace_root());
     if findings.is_empty() {
-        println!("xtask lint: clean ({} rules)", 6);
+        println!("xtask lint: clean ({} rules)", 8);
         ExitCode::SUCCESS
     } else {
         for f in &findings {
             eprintln!("{f}");
         }
         eprintln!("xtask lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn analyze() -> ExitCode {
+    let errors = xtask::check_golden_graphs(&workspace_root());
+    if errors.is_empty() {
+        println!(
+            "xtask analyze: all pipeline launch graphs match ci/golden_graphs (widths 1 and 4)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{e}");
+        }
+        eprintln!("xtask analyze: {} failure(s)", errors.len());
         ExitCode::FAILURE
     }
 }

@@ -175,3 +175,64 @@ fn the_real_workspace_is_clean() {
             .join("\n")
     );
 }
+
+#[test]
+fn unlabeled_launch_in_src_is_flagged() {
+    let ws = TempWorkspace::new("unlabeled");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f(device: &Device, out: &mut [u32]) {\n    device.map(out, |i| i as u32);\n}\n",
+    );
+    let f = lint_workspace(&ws.root);
+    assert!(rules(&f).contains(&"unlabeled-launch"), "{f:?}");
+    assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn labeled_launch_in_src_passes() {
+    let ws = TempWorkspace::new("labeled");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f(device: &Device, out: &mut [u32]) {\n    let _k = device.kernel_label(\"algo_fill\");\n    device.map(out, |i| i as u32);\n}\n",
+    );
+    assert!(
+        lint_workspace(&ws.root).is_empty(),
+        "{:?}",
+        lint_workspace(&ws.root)
+    );
+}
+
+#[test]
+fn unlabeled_launch_outside_src_is_exempt() {
+    // Test and bench code never feeds the golden graphs.
+    let ws = TempWorkspace::new("testexempt");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f() {}\n",
+    );
+    ws.write(
+        "crates/algo/tests/smoke.rs",
+        "fn check(device: &Device, out: &mut [u32]) {\n    device.map(out, |i| i as u32);\n}\n",
+    );
+    assert!(
+        lint_workspace(&ws.root).is_empty(),
+        "{:?}",
+        lint_workspace(&ws.root)
+    );
+}
+
+#[test]
+fn empty_justifications_are_flagged() {
+    let ws = TempWorkspace::new("emptyjust");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f(device: &Device) {\n    let _k = device.kernel_label(\"\");\n    let v = device.atomic_u32(&mut buf).benign(\"\");\n}\n",
+    );
+    let f = lint_workspace(&ws.root);
+    let r = rules(&f);
+    assert_eq!(
+        r.iter().filter(|&&x| x == "empty-justification").count(),
+        2,
+        "{f:?}"
+    );
+}
