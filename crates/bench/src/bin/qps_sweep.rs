@@ -1,0 +1,6 @@
+//! Serving-plane sweep: open-loop load through the `emg serve` wire
+//! protocol against an in-process server, per query kind and offered qps.
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::qps_sweep::run(&cfg);
+}

@@ -15,6 +15,7 @@ pub mod graph_audit;
 pub mod io_sweep;
 pub mod mem_sweep;
 pub mod prelim_rmq;
+pub mod qps_sweep;
 pub mod sanitize_sweep;
 pub mod scan_war;
 pub mod table1;

@@ -49,10 +49,46 @@ pub struct UnrootedForest {
     pub num_components: usize,
 }
 
+/// Answers a batch of connectivity queries in one device launch:
+/// `out[i] = 1` iff the two nodes of `queries[i]` share a component
+/// representative. The batch entry point behind
+/// [`UnrootedForest::connected_batch_on`] and
+/// [`SpanningForest::connected_batch_on`].
+///
+/// # Panics
+/// Panics if `out.len() != queries.len()` or a node id is out of range.
+fn connected_batch(
+    device: &Device,
+    representative: &[NodeId],
+    queries: &[(u32, u32)],
+    out: &mut [u8],
+) {
+    assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+    let _k = device.kernel_label("forest_connected_batch");
+    // The pairs and the representative array feed the closure.
+    device.capture_read(queries);
+    device.capture_read(representative);
+    device.map(out, |q| {
+        let (u, v) = queries[q];
+        u8::from(representative[u as usize] == representative[v as usize])
+    });
+}
+
 impl UnrootedForest {
     /// Whether the whole graph is one component (isolated nodes count).
     pub fn is_connected(&self) -> bool {
         self.num_components <= 1
+    }
+
+    /// Batched connectivity queries: one device launch over the pairs,
+    /// `out[i] = 1` iff both nodes share a component. This is what the
+    /// `emg serve` daemon's request coalescer dispatches.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len()` or a node id is out of
+    /// range.
+    pub fn connected_batch_on(&self, device: &Device, queries: &[(u32, u32)], out: &mut [u8]) {
+        connected_batch(device, &self.representative, queries, out);
     }
 
     /// Roots every component at its representative via one multi-source
@@ -106,6 +142,17 @@ impl SpanningForest {
     /// Number of tree edges (`n - num_components`).
     pub fn num_tree_edges(&self) -> usize {
         self.num_nodes() - self.num_components
+    }
+
+    /// Batched connectivity queries: one device launch over the pairs,
+    /// `out[i] = 1` iff both nodes share a component — see
+    /// [`UnrootedForest::connected_batch_on`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len()` or a node id is out of
+    /// range.
+    pub fn connected_batch_on(&self, device: &Device, queries: &[(u32, u32)], out: &mut [u8]) {
+        connected_batch(device, &self.representative, queries, out);
     }
 
     /// Structural validation against the source graph: every non-root hangs

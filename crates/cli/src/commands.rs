@@ -7,6 +7,7 @@ use bridges::{
     articulation_points_from_bcc, bcc_tv, bridges_ck_device, bridges_ck_rayon, bridges_dfs,
     bridges_hybrid, bridges_hybrid_with, bridges_tv, bridges_tv_with, BridgesResult, BACKEND_NAMES,
 };
+use emg_server::{BatchConfig, Client, GraphInfo, QueryKind, Server};
 use gpu_sim::Device;
 use graph_core::{Csr, EdgeList, Tree};
 use graph_io::{binary, detect_format, Format, ParsedGraph};
@@ -19,7 +20,7 @@ use lca::{
     SequentialInlabelLca, SparseRmqLca,
 };
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The input file of a subcommand: the first positional argument or
 /// `--input <file>` (but not both).
@@ -379,11 +380,13 @@ fn format_from_extension(path: &str) -> Option<&'static str> {
     }
 }
 
-/// `emg gen <family> --out <file> [--format snap|dimacs|metis] [params]`
+/// `emg gen <family> --out <file> [--format snap|dimacs|metis|emgbin]
+/// [--seed S] [--csr] [params]`
 ///
 /// Families: `kron` (`--scale`, `--edge-factor`), `road` (`--width`,
 /// `--height`, `--keep`), `web` (`--nodes`, `--edges`, `--leaf-prob`),
-/// `ba` (`--nodes`, `--degree`), `tree` (`--nodes`, `--grasp`).
+/// `ba` (`--nodes`, `--degree`), `tree` (`--nodes`, `--grasp`). `--csr`
+/// embeds the CSR adjacency in an `emgbin` output.
 pub fn cmd_gen(args: &Args) -> Result<String, String> {
     let family = args.require_pos(0, "family")?;
     let out_path = args
@@ -473,6 +476,201 @@ pub fn cmd_convert(args: &Args) -> Result<String, String> {
         parsed.graph.num_nodes(),
         parsed.graph.num_edges()
     ))
+}
+
+/// `emg serve <catalog-dir> [--addr host:port|unix:/path] [--batch N]
+/// [--deadline-us U]`
+///
+/// Loads every graph file in `<catalog-dir>` into an epoch-1 snapshot and
+/// serves the DESIGN.md §12 protocol until a client sends `Shutdown`. The
+/// coalescing knobs default to `EMG_SERVE_BATCH` / `EMG_SERVE_DEADLINE_US`
+/// from the environment; the flags override them for this run.
+///
+/// The bound address is announced on stderr *before* the accept loop
+/// starts (stdout is the post-shutdown report), so scripts using an
+/// ephemeral port (`--addr 127.0.0.1:0`) can scrape it.
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let dir = match (args.pos(0), args.opt("catalog")) {
+        (Some(p), None) => p,
+        (None, Some(p)) => p,
+        (Some(_), Some(_)) => {
+            return Err("give either a positional <catalog-dir> or --catalog, not both".into())
+        }
+        (None, None) => return Err("missing <catalog-dir> (or --catalog <dir>)".into()),
+    };
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:7461");
+    let mut config = BatchConfig::from_env();
+    config.max_batch = args.opt_parse("batch", config.max_batch)?;
+    if config.max_batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+    let deadline_us: u64 = args.opt_parse("deadline-us", config.max_delay.as_micros() as u64)?;
+    config.max_delay = Duration::from_micros(deadline_us);
+    let server = Server::bind(addr, std::path::Path::new(dir), config)
+        .map_err(|(code, msg)| format!("{code:?}: {msg}"))?;
+    let graphs = server.catalog().list();
+    let bound = server.local_addr();
+    eprintln!(
+        "emg serve: {} graphs from {dir} on {bound} (batch {}, deadline {:?})",
+        graphs.len(),
+        config.max_batch,
+        config.max_delay
+    );
+    for g in &graphs {
+        eprintln!(
+            "  {}: {} nodes, {} edges{}",
+            g.name,
+            g.nodes,
+            g.edges,
+            if g.is_tree { " (tree)" } else { "" }
+        );
+    }
+    server
+        .run()
+        .map_err(|e| format!("accept loop failed: {e}"))?;
+    Ok(format!(
+        "served {} graphs on {bound}; shut down by client request\n",
+        graphs.len()
+    ))
+}
+
+fn info_line(out: &mut String, info: &GraphInfo) {
+    writeln!(
+        out,
+        "{}: epoch {}, {} nodes, {} edges, {} components, {} bridges{}",
+        info.name,
+        info.epoch,
+        info.nodes,
+        info.edges,
+        info.num_components,
+        info.num_bridges,
+        if info.is_tree { ", tree" } else { "" }
+    )
+    .unwrap();
+}
+
+/// Parses an explicit `--pairs u:v,u:v,...` list.
+fn parse_pairs(spec: &str) -> Result<Vec<(u32, u32)>, String> {
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (u, v) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad pair {part:?} (expected u:v)"))?;
+            let u: u32 = u.parse().map_err(|_| format!("bad node id {u:?}"))?;
+            let v: u32 = v.parse().map_err(|_| format!("bad node id {v:?}"))?;
+            Ok((u, v))
+        })
+        .collect()
+}
+
+/// `emg client <list|info|stats|reload|shutdown|query> [--addr A] ...`
+///
+/// The query action sends one batch: `--graph G --kind
+/// lca|conn|bridge|subtree`, with the pairs either explicit (`--pairs
+/// 0:5,3:4` — each answer is printed) or random (`--queries N --seed S` —
+/// only the order-independent checksum is printed, in the same XOR-fold
+/// digest `emg lca` uses, so a served batch can be diffed against the
+/// one-shot path). `--epoch E` pins a snapshot version; 0 (the default)
+/// accepts whatever the server currently holds.
+pub fn cmd_client(args: &Args) -> Result<String, String> {
+    let action = args.require_pos(0, "action")?;
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:7461");
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let graph_arg = |args: &Args| -> Result<String, String> {
+        args.opt("graph")
+            .map(str::to_string)
+            .ok_or_else(|| "missing --graph <name>".into())
+    };
+    let mut out = String::new();
+    match action {
+        "list" => {
+            for info in client.list().map_err(|e| e.to_string())? {
+                info_line(&mut out, &info);
+            }
+        }
+        "info" => {
+            let info = client.info(&graph_arg(args)?).map_err(|e| e.to_string())?;
+            info_line(&mut out, &info);
+        }
+        "stats" => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "queries: {}, batches: {}, max batch: {}",
+                s.queries, s.batches, s.max_batch
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "flushes: {} size-capped, {} deadline",
+                s.size_flushes, s.deadline_flushes
+            )
+            .unwrap();
+            for (bucket, &count) in s.batch_hist.iter().enumerate() {
+                if count > 0 {
+                    writeln!(out, "  batch size 2^{bucket}: {count}").unwrap();
+                }
+            }
+        }
+        "reload" => {
+            let graph = graph_arg(args)?;
+            let epoch = client.reload(&graph).map_err(|e| e.to_string())?;
+            writeln!(out, "{graph}: now epoch {epoch}").unwrap();
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            writeln!(out, "server at {addr} acknowledged shutdown").unwrap();
+        }
+        "query" => {
+            let graph = graph_arg(args)?;
+            let kind_name = args.opt("kind").unwrap_or("lca");
+            let kind = QueryKind::from_name(kind_name).ok_or_else(|| {
+                format!("unknown query kind {kind_name:?} (expected lca|conn|bridge|subtree)")
+            })?;
+            let pinned: u64 = args.opt_parse("epoch", 0u64)?;
+            let explicit = args.opt("pairs").map(parse_pairs).transpose()?;
+            let pairs = match &explicit {
+                Some(pairs) => pairs.clone(),
+                None => {
+                    let q: usize = args.opt_parse("queries", 1000usize)?;
+                    let seed: u64 = args.opt_parse("seed", 42u64)?;
+                    let info = client.info(&graph).map_err(|e| e.to_string())?;
+                    random_queries(info.nodes as usize, q, seed)
+                }
+            };
+            let t = Instant::now();
+            let (epoch, answers) = client
+                .query(&graph, pinned, kind, &pairs)
+                .map_err(|e| e.to_string())?;
+            let elapsed = t.elapsed();
+            writeln!(out, "graph: {graph} (epoch {epoch}), kind: {}", kind.name()).unwrap();
+            if let Some(pairs) = &explicit {
+                for (&(u, v), &a) in pairs.iter().zip(&answers) {
+                    writeln!(out, "  {}({u}, {v}) = {a}", kind.name()).unwrap();
+                }
+            }
+            // Same order-independent digest as `emg lca`, so a served
+            // batch can be checked against the one-shot path bit for bit.
+            let checksum = answers.iter().fold(0u64, |acc, &a| {
+                acc ^ (a as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            });
+            writeln!(
+                out,
+                "queries: {} in {elapsed:.1?} ({:.0} q/s)",
+                answers.len(),
+                answers.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+            )
+            .unwrap();
+            writeln!(out, "checksum: {checksum:016x}").unwrap();
+        }
+        other => {
+            return Err(format!(
+                "unknown client action {other:?} (expected list|info|stats|reload|shutdown|query)"
+            ))
+        }
+    }
+    Ok(out)
 }
 
 /// Detects the format of a file (`emg detect <file>`): `emgbin` by magic,

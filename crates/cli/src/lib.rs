@@ -12,10 +12,15 @@
 //! emg lca     <tree-file> [--alg seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq]
 //!                         [--queries N] [--seed S] [--root R]
 //! emg stats   <file> [--lcc]
-//! emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis|emgbin] [params]
-//! emg convert <in> <out> [--to <format>] [--csr]
+//! emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis|emgbin]
+//!                                     [--seed S] [--csr] [params]
+//! emg convert <in> <out> [--to snap|dimacs|metis|emgbin] [--csr]
 //! emg detect  <file>
 //! emg analyze <pipeline>|--all [--threads N] [--json] [--write-golden <dir>]
+//! emg serve   <catalog-dir> [--addr host:port|unix:/path] [--batch N] [--deadline-us U]
+//! emg client  <list|info|stats|reload|shutdown|query> [--addr host:port|unix:/path]
+//!             [--graph G] [--kind lca|conn|bridge|subtree] [--epoch E]
+//!             [--pairs u:v,...] [--queries N] [--seed S]
 //! ```
 //!
 //! Every `<file>` may instead be given as `--input <file>`, and may be a
@@ -45,16 +50,23 @@ USAGE:
   emg lca     <tree-file> [--alg seq|par|gpu|naive|rmq|sparse-rmq|block-rmq|gpu-rmq]
                           [--queries N] [--seed S] [--root R]
   emg stats   <file> [--lcc]
-  emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis|emgbin] [--seed S] [params]
+  emg gen     <kron|road|web|ba|tree> --out <file> [--format snap|dimacs|metis|emgbin]
+                                      [--seed S] [--csr] [params]
   emg convert <in> <out> [--to snap|dimacs|metis|emgbin] [--csr]
   emg detect  <file>
   emg analyze <pipeline>|--all [--threads N] [--json] [--write-golden <dir>]
+  emg serve   <catalog-dir> [--addr host:port|unix:/path] [--batch N] [--deadline-us U]
+  emg client  <list|info|stats|reload|shutdown|query> [--addr host:port|unix:/path]
+              [--graph G] [--kind lca|conn|bridge|subtree] [--epoch E]
+              [--pairs u:v,...] [--queries N] [--seed S]
 
 Graph files are auto-detected DIMACS (.gr / p edge), SNAP edge lists,
 METIS adjacency, or the emgbin binary cache (write one with `emg convert
 graph.txt graph.emgbin`; add --csr to embed the CSR adjacency). <file>
 may also be passed as --input <file>. --lcc restricts to the largest
-connected component (the paper's preprocessing).";
+connected component (the paper's preprocessing). `emg serve` answers
+batched lca/conn/bridge/subtree queries over a catalog of emgbin files
+(protocol in DESIGN.md §12); `emg client` is its command-line peer.";
 
 /// Dispatches a full command line (without the program name).
 ///
@@ -79,6 +91,8 @@ pub fn dispatch(mut argv: Vec<String>) -> Result<String, String> {
         "convert" => commands::cmd_convert(&args),
         "detect" => commands::cmd_detect(&args),
         "analyze" => analyze::cmd_analyze(&args),
+        "serve" => commands::cmd_serve(&args),
+        "client" => commands::cmd_client(&args),
         other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     }
 }

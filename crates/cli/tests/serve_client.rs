@@ -1,0 +1,105 @@
+//! End-to-end test of `emg serve` / `emg client` through `dispatch`: the
+//! served answers must equal the one-shot `emg lca` path bit for bit —
+//! both print the same order-independent checksum over the same
+//! `random_queries` stream, so string equality of the digest lines is the
+//! whole assertion.
+
+#![cfg(unix)]
+
+use emg_cli::dispatch;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn run(line: &str) -> Result<String, String> {
+    dispatch(line.split_whitespace().map(String::from).collect())
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("emg_cli_serve_tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn checksum_line(report: &str) -> &str {
+    report
+        .lines()
+        .find(|l| l.starts_with("checksum:"))
+        .unwrap_or_else(|| panic!("no checksum line in:\n{report}"))
+}
+
+#[test]
+fn served_checksum_matches_one_shot_lca() {
+    let catalog = tmp_dir("catalog");
+    let tree_path = catalog.join("t.emgbin");
+    run(&format!(
+        "gen tree --nodes 300 --seed 9 --format emgbin --csr --out {}",
+        tree_path.display()
+    ))
+    .unwrap();
+
+    // The one-shot path: checksum over random_queries(300, 500, seed 13).
+    let one_shot = run(&format!(
+        "lca {} --alg seq --queries 500 --seed 13",
+        tree_path.display()
+    ))
+    .unwrap();
+
+    let sock = tmp_dir("sock").join("emg.sock");
+    // A previous run's socket file would satisfy the readiness poll below
+    // before the new listener binds; the server unlinks stale files at
+    // bind time, but the poll must only ever see the fresh one.
+    let _ = std::fs::remove_file(&sock);
+    let addr = format!("unix:{}", sock.display());
+    let serve_line = format!("serve {} --addr {addr} --batch 64", catalog.display());
+    let server = std::thread::spawn(move || run(&serve_line));
+
+    // The socket file appears once the listener is bound.
+    let mut client_ready = false;
+    for _ in 0..500 {
+        if sock.exists() {
+            client_ready = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(client_ready, "server never bound {}", sock.display());
+
+    let listed = run(&format!("client list --addr {addr}")).unwrap();
+    assert!(
+        listed.contains("t: epoch 1, 300 nodes, 299 edges") && listed.contains("tree"),
+        "unexpected list output:\n{listed}"
+    );
+
+    // Same graph, same query stream, through the batched server.
+    let served = run(&format!(
+        "client query --addr {addr} --graph t --kind lca --queries 500 --seed 13"
+    ))
+    .unwrap();
+    assert_eq!(
+        checksum_line(&served),
+        checksum_line(&one_shot),
+        "served batch diverged from the one-shot CLI path:\n{served}\n{one_shot}"
+    );
+
+    // Explicit pairs print per-answer lines; the root is its own ancestor.
+    let pairs = run(&format!(
+        "client query --addr {addr} --graph t --kind subtree --pairs 0:0,5:5"
+    ))
+    .unwrap();
+    assert!(pairs.contains("subtree(0, 0) = 1"), "got:\n{pairs}");
+    assert!(pairs.contains("subtree(5, 5) = 1"), "got:\n{pairs}");
+
+    let stats = run(&format!("client stats --addr {addr}")).unwrap();
+    assert!(stats.contains("queries: "), "got:\n{stats}");
+
+    let reloaded = run(&format!("client reload --addr {addr} --graph t")).unwrap();
+    assert!(reloaded.contains("now epoch 2"), "got:\n{reloaded}");
+
+    let bye = run(&format!("client shutdown --addr {addr}")).unwrap();
+    assert!(bye.contains("acknowledged shutdown"));
+    let report = server.join().unwrap().unwrap();
+    assert!(
+        report.contains("shut down by client request"),
+        "got:\n{report}"
+    );
+}

@@ -1,0 +1,407 @@
+//! The request coalescer: queued queries become single device launches.
+//!
+//! Every client session submits its validated query jobs here instead of
+//! launching directly. A single worker thread drains the queue in
+//! **flushes**: it sleeps until the first job arrives, then keeps
+//! admitting jobs until either the pending pair count reaches
+//! [`BatchConfig::max_batch`] (a *size flush*) or
+//! [`BatchConfig::max_delay`] has elapsed since the flush opened (a
+//! *deadline flush*), whichever comes first — the classic
+//! latency-vs-throughput coalescing window. Each flush groups its jobs by
+//! (snapshot, kind) and answers every group with **one** batched device
+//! launch ([`Snapshot::answer_batch`]), then splits the answer array back
+//! per request. The flush discipline and its two knobs (`EMG_SERVE_BATCH`,
+//! `EMG_SERVE_DEADLINE_US`) are specified in DESIGN.md §12.4.
+//!
+//! Jobs hold an `Arc<Snapshot>` pinned at submit time, so a catalog reload
+//! mid-flush never tears a batch: the batch answers against the epoch the
+//! session validated, and the response carries that epoch.
+
+use crate::catalog::{ServeError, Snapshot};
+use crate::protocol::{ErrorCode, QueryKind, ServerStats};
+use gpu_sim::env::{parse_positive_knob, EMG_SERVE_BATCH, EMG_SERVE_DEADLINE_US};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default pending-pair cap per flush.
+pub const DEFAULT_MAX_BATCH: u64 = 1024;
+/// Default coalescing deadline in microseconds.
+pub const DEFAULT_DEADLINE_US: u64 = 500;
+
+/// The coalescing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Flush as soon as this many query pairs are pending.
+    pub max_batch: usize,
+    /// Flush this long after the first pending job, even if the batch is
+    /// not full.
+    pub max_delay: Duration,
+}
+
+impl BatchConfig {
+    /// Reads `EMG_SERVE_BATCH` and `EMG_SERVE_DEADLINE_US` from the
+    /// environment (registry-validated; a typo panics, unset means the
+    /// defaults).
+    pub fn from_env() -> Self {
+        BatchConfig {
+            max_batch: parse_positive_knob(EMG_SERVE_BATCH, DEFAULT_MAX_BATCH) as usize,
+            max_delay: Duration::from_micros(parse_positive_knob(
+                EMG_SERVE_DEADLINE_US,
+                DEFAULT_DEADLINE_US,
+            )),
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: DEFAULT_MAX_BATCH as usize,
+            max_delay: Duration::from_micros(DEFAULT_DEADLINE_US),
+        }
+    }
+}
+
+/// What a flushed query resolves to: the answering epoch plus one word per
+/// pair.
+pub type BatchAnswer = Result<(u64, Vec<u32>), ServeError>;
+
+struct Job {
+    snapshot: Arc<Snapshot>,
+    kind: QueryKind,
+    pairs: Vec<(u32, u32)>,
+    reply: mpsc::Sender<BatchAnswer>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    pending_pairs: usize,
+    stopped: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: u64,
+    batches: u64,
+    max_batch: u64,
+    size_flushes: u64,
+    deadline_flushes: u64,
+    batch_hist: Vec<u64>,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    wakeup: Condvar,
+    stats: Mutex<Counters>,
+    config: BatchConfig,
+}
+
+/// The coalescing queue plus its worker thread. Dropping the batcher (or
+/// calling [`Batcher::stop`]) flushes everything still queued, so no
+/// client is left waiting on a reply channel.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Starts the worker thread with the given knobs.
+    pub fn new(config: BatchConfig) -> Batcher {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            wakeup: Condvar::new(),
+            stats: Mutex::new(Counters::default()),
+            config,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("emg-serve-batcher".into())
+            .spawn(move || worker_loop(&worker_shared))
+            .expect("spawning the batcher worker");
+        Batcher {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits one validated query job; the returned channel yields the
+    /// answering epoch and one answer word per pair once its flush runs.
+    /// Empty pair lists are answered immediately without touching the
+    /// queue.
+    pub fn submit(
+        &self,
+        snapshot: Arc<Snapshot>,
+        kind: QueryKind,
+        pairs: Vec<(u32, u32)>,
+    ) -> mpsc::Receiver<BatchAnswer> {
+        let (reply, rx) = mpsc::channel();
+        if pairs.is_empty() {
+            let _ = reply.send(Ok((snapshot.epoch, Vec::new())));
+            return rx;
+        }
+        let mut queue = self.shared.queue.lock().expect("batcher lock poisoned");
+        if queue.stopped {
+            let _ = reply.send(Err((
+                ErrorCode::Internal,
+                "server is shutting down".to_string(),
+            )));
+            return rx;
+        }
+        queue.pending_pairs += pairs.len();
+        queue.jobs.push_back(Job {
+            snapshot,
+            kind,
+            pairs,
+            reply,
+        });
+        drop(queue);
+        self.shared.wakeup.notify_all();
+        rx
+    }
+
+    /// A point-in-time copy of the aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = self.shared.stats.lock().expect("stats lock poisoned");
+        ServerStats {
+            queries: c.queries,
+            batches: c.batches,
+            max_batch: c.max_batch,
+            size_flushes: c.size_flushes,
+            deadline_flushes: c.deadline_flushes,
+            batch_hist: c.batch_hist.clone(),
+        }
+    }
+
+    /// Stops the worker after it drains everything still queued.
+    pub fn stop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher lock poisoned");
+            queue.stopped = true;
+        }
+        self.shared.wakeup.notify_all();
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("batcher worker panicked");
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (jobs, size_flush) = match collect_flush(shared) {
+            Some(f) => f,
+            None => return,
+        };
+        run_flush(shared, jobs, size_flush);
+    }
+}
+
+/// Blocks until a flush is due, then drains it. Returns the drained jobs
+/// and whether the size cap (vs the deadline) triggered the flush; `None`
+/// when the batcher is stopped and drained.
+fn collect_flush(shared: &Shared) -> Option<(Vec<Job>, bool)> {
+    let mut queue = shared.queue.lock().expect("batcher lock poisoned");
+    // Phase 1: sleep until the first job (or shutdown).
+    while queue.jobs.is_empty() {
+        if queue.stopped {
+            return None;
+        }
+        queue = shared.wakeup.wait(queue).expect("batcher lock poisoned");
+    }
+    // Phase 2: the coalescing window — admit more jobs until the size cap
+    // or the deadline.
+    let deadline = Instant::now() + shared.config.max_delay;
+    while queue.pending_pairs < shared.config.max_batch && !queue.stopped {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (q, _timeout) = shared
+            .wakeup
+            .wait_timeout(queue, deadline - now)
+            .expect("batcher lock poisoned");
+        queue = q;
+    }
+    let size_flush = queue.pending_pairs >= shared.config.max_batch;
+    let jobs: Vec<Job> = queue.jobs.drain(..).collect();
+    queue.pending_pairs = 0;
+    Some((jobs, size_flush))
+}
+
+/// Answers one flush: group by (snapshot, kind), one launch per group,
+/// split the answers back per job.
+fn run_flush(shared: &Shared, jobs: Vec<Job>, size_flush: bool) {
+    // Group jobs by snapshot identity and kind. Arc pointer identity is
+    // the right key: two epochs of the same graph are distinct snapshots
+    // and must not share a launch.
+    let mut groups: HashMap<(usize, u8), Vec<Job>> = HashMap::new();
+    let mut order: Vec<(usize, u8)> = Vec::new();
+    for job in jobs {
+        let key = (Arc::as_ptr(&job.snapshot) as usize, job.kind.as_u8());
+        let bucket = groups.entry(key).or_insert_with(|| {
+            order.push(key);
+            Vec::new()
+        });
+        bucket.push(job);
+    }
+
+    // Record the flush reason before any reply goes out, so a client that
+    // reads its answer and immediately asks for stats sees this flush.
+    if !order.is_empty() {
+        let mut c = shared.stats.lock().expect("stats lock poisoned");
+        if size_flush {
+            c.size_flushes += 1;
+        } else {
+            c.deadline_flushes += 1;
+        }
+    }
+
+    for key in order {
+        let group = groups.remove(&key).expect("group just inserted");
+        let snapshot = Arc::clone(&group[0].snapshot);
+        let kind = group[0].kind;
+        let total: usize = group.iter().map(|j| j.pairs.len()).sum();
+        let mut pairs = Vec::with_capacity(total);
+        for job in &group {
+            pairs.extend_from_slice(&job.pairs);
+        }
+        let mut answers = vec![0u32; total];
+        snapshot.answer_batch(kind, &pairs, &mut answers);
+
+        {
+            let mut c = shared.stats.lock().expect("stats lock poisoned");
+            c.queries += total as u64;
+            c.batches += 1;
+            c.max_batch = c.max_batch.max(total as u64);
+            let bucket = (total as u64).ilog2() as usize;
+            if c.batch_hist.len() <= bucket {
+                c.batch_hist.resize(bucket + 1, 0);
+            }
+            c.batch_hist[bucket] += 1;
+        }
+
+        let mut offset = 0;
+        for job in group {
+            let take = job.pairs.len();
+            let slice = answers[offset..offset + take].to_vec();
+            offset += take;
+            // A vanished receiver just means the client hung up mid-query.
+            let _ = job.reply.send(Ok((snapshot.epoch, slice)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use std::path::PathBuf;
+
+    fn tree_catalog(tag: &str) -> (Catalog, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("emg-batcher-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("tree6.txt"), "0\t1\n0\t2\n0\t3\n1\t4\n1\t5\n").unwrap();
+        (Catalog::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn coalesces_concurrent_submissions_into_fewer_launches() {
+        let (catalog, dir) = tree_catalog("coalesce");
+        let snap = catalog.get("tree6").unwrap();
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 1024,
+            max_delay: Duration::from_millis(20),
+        });
+        // Many tiny submissions inside one coalescing window.
+        let receivers: Vec<_> = (0..16)
+            .map(|_| batcher.submit(Arc::clone(&snap), QueryKind::Lca, vec![(4, 5), (2, 3)]))
+            .collect();
+        for rx in receivers {
+            let (epoch, answers) = rx.recv().unwrap().unwrap();
+            assert_eq!(epoch, 1);
+            assert_eq!(answers, vec![1, 0]);
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.queries, 32);
+        // All 16 jobs were submitted before the 20ms window closed, so
+        // they coalesced into far fewer launches than jobs.
+        assert!(stats.batches < 16, "batches = {}", stats.batches);
+        assert!(stats.max_batch >= 4);
+        assert_eq!(
+            stats.batch_hist.iter().sum::<u64>(),
+            stats.batches,
+            "histogram covers every batch"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_cap_flushes_without_waiting_for_the_deadline() {
+        let (catalog, dir) = tree_catalog("sizecap");
+        let snap = catalog.get("tree6").unwrap();
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 4,
+            // A deadline long enough that only the size cap can explain a
+            // prompt flush.
+            max_delay: Duration::from_secs(5),
+        });
+        let start = Instant::now();
+        let rx = batcher.submit(
+            Arc::clone(&snap),
+            QueryKind::Connectivity,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+        );
+        let (_, answers) = rx.recv().unwrap().unwrap();
+        assert_eq!(answers, vec![1, 1, 1, 1]);
+        assert!(start.elapsed() < Duration::from_secs(2), "deadline flush?");
+        assert!(batcher.stats().size_flushes >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_pairs_answer_immediately() {
+        let (catalog, dir) = tree_catalog("empty");
+        let snap = catalog.get("tree6").unwrap();
+        let batcher = Batcher::new(BatchConfig::default());
+        let rx = batcher.submit(snap, QueryKind::Lca, Vec::new());
+        let (epoch, answers) = rx.recv().unwrap().unwrap();
+        assert_eq!(epoch, 1);
+        assert!(answers.is_empty());
+        assert_eq!(batcher.stats().queries, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stop_drains_queued_jobs() {
+        let (catalog, dir) = tree_catalog("stop");
+        let snap = catalog.get("tree6").unwrap();
+        let mut batcher = Batcher::new(BatchConfig {
+            max_batch: 1 << 20,
+            max_delay: Duration::from_secs(5),
+        });
+        let rx = batcher.submit(Arc::clone(&snap), QueryKind::Lca, vec![(4, 5)]);
+        batcher.stop();
+        let (_, answers) = rx.recv().unwrap().unwrap();
+        assert_eq!(answers, vec![1]);
+        // Submissions after stop are refused, not dropped.
+        let rx = batcher.submit(snap, QueryKind::Lca, vec![(4, 5)]);
+        assert_eq!(rx.recv().unwrap().unwrap_err().0, ErrorCode::Internal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_from_env_defaults() {
+        let cfg = BatchConfig::from_env();
+        assert_eq!(cfg.max_batch, DEFAULT_MAX_BATCH as usize);
+        assert_eq!(cfg.max_delay, Duration::from_micros(DEFAULT_DEADLINE_US));
+    }
+}

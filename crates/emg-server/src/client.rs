@@ -1,0 +1,221 @@
+//! A blocking client for the `emg serve` protocol.
+//!
+//! [`Client::connect`] dials the server, performs the `Hello` handshake,
+//! and then exposes one typed method per request. The transport is
+//! strictly request/response in order, so a `Client` is `!Sync` by
+//! construction — open one client per thread for concurrent load (the qps
+//! sweep and the concurrency tests do exactly that).
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, GraphInfo, QueryKind, Request, Response,
+    ServerStats, PROTOCOL_VERSION,
+};
+use crate::server::{Conn, UNIX_ADDR_PREFIX};
+use std::net::TcpStream;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write, EOF mid-exchange).
+    Io(std::io::Error),
+    /// The server spoke bytes this client cannot parse, or answered a
+    /// request with the wrong response type.
+    Protocol(String),
+    /// The server answered with an error frame.
+    Server(ErrorCode, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(code, m) => write!(f, "server error {code:?}: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A connected, handshaken protocol client.
+pub struct Client {
+    conn: Conn,
+    version: u16,
+}
+
+impl Client {
+    /// Dials `addr` (`host:port` or `unix:/path`) and performs the
+    /// handshake.
+    ///
+    /// # Errors
+    /// Connect/transport failures, or a server that refuses the
+    /// handshake.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let conn = if let Some(path) = addr.strip_prefix(UNIX_ADDR_PREFIX) {
+            #[cfg(unix)]
+            {
+                Conn::Unix(std::os::unix::net::UnixStream::connect(path)?)
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(ClientError::Protocol(format!(
+                    "unix sockets unavailable on this platform: {path}"
+                )));
+            }
+        } else {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Conn::Tcp(stream)
+        };
+        let mut client = Client { conn, version: 0 };
+        match client.exchange(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk { version } => {
+                client.version = version;
+                Ok(client)
+            }
+            other => Err(unexpected("HelloOk", &other)),
+        }
+    }
+
+    /// The protocol version negotiated at connect time.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// One request frame out, one response frame in. Error frames are
+    /// returned as [`Response::Error`], not lifted — the typed wrappers
+    /// below do the lifting.
+    ///
+    /// # Errors
+    /// Transport and framing failures only.
+    pub fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, &request.encode())?;
+        let payload = read_frame(&mut self.conn)?;
+        Response::decode(&payload)
+            .map_err(|(code, msg)| ClientError::Protocol(format!("{code:?}: {msg}")))
+    }
+
+    /// Lists every graph in the catalog.
+    ///
+    /// # Errors
+    /// Transport failures or a server error frame.
+    pub fn list(&mut self) -> Result<Vec<GraphInfo>, ClientError> {
+        match self.exchange(&Request::ListGraphs)? {
+            Response::GraphList { graphs } => Ok(graphs),
+            other => Err(lift(other, "GraphList")),
+        }
+    }
+
+    /// Answers `pairs` under `kind` against `graph`, returning the
+    /// answering epoch and one answer word per pair. `epoch` pins a
+    /// snapshot version (`0` accepts whatever is current).
+    ///
+    /// # Errors
+    /// Transport failures or a server error frame (`NotATree`,
+    /// `NodeOutOfRange`, `WrongEpoch`, ...).
+    pub fn query(
+        &mut self,
+        graph: &str,
+        epoch: u64,
+        kind: QueryKind,
+        pairs: &[(u32, u32)],
+    ) -> Result<(u64, Vec<u32>), ClientError> {
+        let request = Request::Query {
+            graph: graph.to_string(),
+            epoch,
+            kind,
+            pairs: pairs.to_vec(),
+        };
+        match self.exchange(&request)? {
+            Response::Answers {
+                kind: got,
+                epoch,
+                answers,
+            } => {
+                if got != kind {
+                    return Err(ClientError::Protocol(format!(
+                        "asked {kind:?}, answered {got:?}"
+                    )));
+                }
+                Ok((epoch, answers))
+            }
+            other => Err(lift(other, "Answers")),
+        }
+    }
+
+    /// Metadata for one graph.
+    ///
+    /// # Errors
+    /// Transport failures or a server error frame.
+    pub fn info(&mut self, graph: &str) -> Result<GraphInfo, ClientError> {
+        match self.exchange(&Request::Info {
+            graph: graph.to_string(),
+        })? {
+            Response::InfoOk { info } => Ok(info),
+            other => Err(lift(other, "InfoOk")),
+        }
+    }
+
+    /// Aggregate server counters.
+    ///
+    /// # Errors
+    /// Transport failures or a server error frame.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.exchange(&Request::Stats)? {
+            Response::StatsOk { stats } => Ok(stats),
+            other => Err(lift(other, "StatsOk")),
+        }
+    }
+
+    /// Reloads one graph from disk; returns the fresh epoch.
+    ///
+    /// # Errors
+    /// Transport failures or a server error frame.
+    pub fn reload(&mut self, graph: &str) -> Result<u64, ClientError> {
+        match self.exchange(&Request::Reload {
+            graph: graph.to_string(),
+        })? {
+            Response::ReloadOk { epoch } => Ok(epoch),
+            other => Err(lift(other, "ReloadOk")),
+        }
+    }
+
+    /// Asks the server to exit.
+    ///
+    /// # Errors
+    /// Transport failures or a server error frame.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.exchange(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(lift(other, "ShutdownOk")),
+        }
+    }
+}
+
+fn lift(resp: Response, expected: &str) -> ClientError {
+    match resp {
+        Response::Error { code, message } => ClientError::Server(code, message),
+        other => unexpected(expected, &other),
+    }
+}
+
+fn unexpected(expected: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {expected}, got {got:?}"))
+}

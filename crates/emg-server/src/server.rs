@@ -1,0 +1,381 @@
+//! The daemon: socket listener, per-connection sessions, lifecycle.
+//!
+//! `emg serve` binds one listener — TCP (`host:port`) or, on Unix, a
+//! local socket (`unix:/path`) — loads the catalog, starts the
+//! [`Batcher`], and then accepts connections until a client sends
+//! `Shutdown`. Each connection gets its own session thread: it enforces
+//! the handshake (first frame must be a well-formed `Hello`, DESIGN.md
+//! §12.2), validates every request against the current snapshot *before*
+//! it joins a batch, and writes exactly one response frame per request
+//! frame, in order. All query work funnels through the shared batcher, so
+//! concurrency across sessions is what creates coalescing opportunities.
+
+use crate::batcher::{BatchConfig, Batcher};
+use crate::catalog::{Catalog, ServeError};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Prefix selecting a Unix-domain socket address (`unix:/path/to.sock`).
+pub const UNIX_ADDR_PREFIX: &str = "unix:";
+
+/// One accepted connection, transport-erased.
+pub enum Conn {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn bind(addr: &str) -> std::io::Result<Listener> {
+        if let Some(path) = addr.strip_prefix(UNIX_ADDR_PREFIX) {
+            #[cfg(unix)]
+            {
+                // A stale socket file from a previous run would make bind
+                // fail with AddrInUse even though nobody is listening.
+                let _ = std::fs::remove_file(path);
+                return UnixListener::bind(path).map(Listener::Unix);
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    format!("unix sockets unavailable on this platform: {path}"),
+                ));
+            }
+        }
+        TcpListener::bind(addr).map(Listener::Tcp)
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+/// The `emg serve` daemon: catalog + batcher + listener.
+pub struct Server {
+    listener: Listener,
+    catalog: Arc<Catalog>,
+    batcher: Arc<Batcher>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (`host:port`, `127.0.0.1:0` for an ephemeral test
+    /// port, or `unix:/path`), loads every graph in `catalog_dir` into
+    /// epoch-1 snapshots, and starts the batcher worker.
+    ///
+    /// # Errors
+    /// Bind failures surface as `Internal` alongside catalog load errors.
+    pub fn bind(addr: &str, catalog_dir: &Path, config: BatchConfig) -> Result<Server, ServeError> {
+        let catalog = Arc::new(Catalog::open(catalog_dir)?);
+        let listener = Listener::bind(addr)
+            .map_err(|e| (ErrorCode::Internal, format!("binding {addr}: {e}")))?;
+        Ok(Server {
+            listener,
+            catalog,
+            batcher: Arc::new(Batcher::new(config)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address, in the same syntax [`Server::bind`] accepts —
+    /// how tests recover an ephemeral port.
+    pub fn local_addr(&self) -> String {
+        match &self.listener {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unbound>".to_string()),
+            #[cfg(unix)]
+            Listener::Unix(l) => l
+                .local_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| format!("unix:{}", p.display())))
+                .unwrap_or_else(|| "<unbound>".to_string()),
+        }
+    }
+
+    /// A flag that stops the accept loop when set (the `Shutdown` request
+    /// sets it; embedders may, too).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The shared catalog (tests reload through it directly).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// Accepts and serves connections until shutdown. Session threads are
+    /// detached; they exit when their client hangs up, and the batcher
+    /// drains its queue before the final drop.
+    ///
+    /// # Errors
+    /// Only setup-level I/O errors (making the listener pollable); accept
+    /// errors on individual connections are not fatal.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok(conn) => {
+                    let session = SessionCtx {
+                        catalog: Arc::clone(&self.catalog),
+                        batcher: Arc::clone(&self.batcher),
+                        shutdown: Arc::clone(&self.shutdown),
+                    };
+                    std::thread::Builder::new()
+                        .name("emg-serve-session".into())
+                        .spawn(move || run_session(conn, &session))
+                        .expect("spawning a session thread");
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        Ok(())
+    }
+}
+
+struct SessionCtx {
+    catalog: Arc<Catalog>,
+    batcher: Arc<Batcher>,
+    shutdown: Arc<AtomicBool>,
+}
+
+fn send(conn: &mut Conn, resp: &Response) -> bool {
+    write_frame(conn, &resp.encode()).is_ok()
+}
+
+fn send_error(conn: &mut Conn, err: ServeError) -> bool {
+    send(
+        conn,
+        &Response::Error {
+            code: err.0,
+            message: err.1,
+        },
+    )
+}
+
+/// One connection: handshake, then the request/response loop.
+fn run_session(mut conn: Conn, ctx: &SessionCtx) {
+    // Handshake: the first frame must be a well-formed Hello.
+    match read_frame(&mut conn) {
+        Ok(payload) => match Request::decode(&payload) {
+            Ok(Request::Hello { version }) => {
+                if version == 0 {
+                    send_error(
+                        &mut conn,
+                        (
+                            ErrorCode::UnsupportedVersion,
+                            "client offered protocol version 0".to_string(),
+                        ),
+                    );
+                    return;
+                }
+                let negotiated = version.min(PROTOCOL_VERSION);
+                if !send(
+                    &mut conn,
+                    &Response::HelloOk {
+                        version: negotiated,
+                    },
+                ) {
+                    return;
+                }
+            }
+            Ok(_) => {
+                send_error(
+                    &mut conn,
+                    (
+                        ErrorCode::ExpectedHello,
+                        "the first frame must be Hello".to_string(),
+                    ),
+                );
+                return;
+            }
+            Err(err) => {
+                send_error(&mut conn, err);
+                return;
+            }
+        },
+        Err(FrameError::TooLarge(n)) => {
+            send_error(
+                &mut conn,
+                (
+                    ErrorCode::FrameTooLarge,
+                    format!("frame length {n} exceeds the {MAX_FRAME_LEN} cap"),
+                ),
+            );
+            return;
+        }
+        Err(_) => return,
+    }
+
+    // Request loop: one response per request, in order.
+    loop {
+        let payload = match read_frame(&mut conn) {
+            Ok(p) => p,
+            Err(FrameError::TooLarge(n)) => {
+                // The stream position is unrecoverable past a bad length
+                // prefix; report and close.
+                send_error(
+                    &mut conn,
+                    (
+                        ErrorCode::FrameTooLarge,
+                        format!("frame length {n} exceeds the {MAX_FRAME_LEN} cap"),
+                    ),
+                );
+                return;
+            }
+            Err(_) => return,
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(err) => {
+                if !send_error(&mut conn, err) {
+                    return;
+                }
+                continue;
+            }
+        };
+        match handle_request(request, ctx) {
+            Flow::Reply(resp) => {
+                if !send(&mut conn, &resp) {
+                    return;
+                }
+            }
+            Flow::Quit(resp) => {
+                send(&mut conn, &resp);
+                ctx.shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+enum Flow {
+    Reply(Response),
+    Quit(Response),
+}
+
+fn handle_request(request: Request, ctx: &SessionCtx) -> Flow {
+    let result: Result<Flow, ServeError> = (|| {
+        Ok(match request {
+            Request::Hello { .. } => Flow::Reply(Response::HelloOk {
+                version: PROTOCOL_VERSION,
+            }),
+            Request::ListGraphs => Flow::Reply(Response::GraphList {
+                graphs: ctx.catalog.list(),
+            }),
+            Request::Info { graph } => Flow::Reply(Response::InfoOk {
+                info: ctx.catalog.get(&graph)?.info(),
+            }),
+            Request::Stats => Flow::Reply(Response::StatsOk {
+                stats: ctx.batcher.stats(),
+            }),
+            Request::Reload { graph } => Flow::Reply(Response::ReloadOk {
+                epoch: ctx.catalog.reload(&graph)?.epoch,
+            }),
+            Request::Shutdown => Flow::Quit(Response::ShutdownOk),
+            Request::Query {
+                graph,
+                epoch,
+                kind,
+                pairs,
+            } => {
+                let snapshot = ctx.catalog.get(&graph)?;
+                if epoch != 0 && epoch != snapshot.epoch {
+                    return Err((
+                        ErrorCode::WrongEpoch,
+                        format!(
+                            "requested epoch {epoch}, graph {graph:?} serves epoch {}",
+                            snapshot.epoch
+                        ),
+                    ));
+                }
+                snapshot.validate_request(kind, &pairs)?;
+                let rx = ctx.batcher.submit(snapshot, kind, pairs);
+                let (answered_epoch, answers) = rx
+                    .recv()
+                    .map_err(|_| (ErrorCode::Internal, "batcher worker went away".to_string()))??;
+                Flow::Reply(Response::Answers {
+                    kind,
+                    epoch: answered_epoch,
+                    answers,
+                })
+            }
+        })
+    })();
+    match result {
+        Ok(flow) => flow,
+        Err((code, message)) => Flow::Reply(Response::Error { code, message }),
+    }
+}

@@ -131,6 +131,43 @@ impl TreeStats {
         self.preorder.len()
     }
 
+    /// Whether `u` lies in the subtree rooted at `v` (every node lies in
+    /// its own subtree). O(1): preorder-interval containment —
+    /// `pre(v) ≤ pre(u) < pre(v) + size(v)`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn in_subtree(&self, u: NodeId, v: NodeId) -> bool {
+        let pu = self.preorder[u as usize];
+        let pv = self.preorder[v as usize];
+        pu >= pv && pu - pv < self.subtree_size[v as usize]
+    }
+
+    /// Answers a batch of subtree-membership queries in one device
+    /// launch: `out[i] = 1` iff `queries[i].0` lies in the subtree rooted
+    /// at `queries[i].1`. One virtual thread per pair, each running the
+    /// O(1) [`in_subtree`] kernel — the batch entry point the `emg serve`
+    /// daemon's request coalescer dispatches.
+    ///
+    /// [`in_subtree`]: TreeStats::in_subtree
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len()` or a node id is out of
+    /// range.
+    pub fn in_subtree_batch_on(&self, device: &Device, queries: &[(u32, u32)], out: &mut [u8]) {
+        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        let _k = device.kernel_label("stats_subtree_batch");
+        // The pairs and both stats arrays feed the closure.
+        device.capture_read(queries);
+        device.capture_read(&self.preorder);
+        device.capture_read(&self.subtree_size);
+        device.map(out, |q| {
+            let (u, v) = queries[q];
+            u8::from(self.in_subtree(u, v))
+        });
+    }
+
     /// Validates internal consistency (preorder is a permutation of `1..=n`,
     /// subtree intervals nest, levels agree with parents). O(n).
     pub fn validate(&self) -> Result<(), String> {

@@ -104,6 +104,26 @@ pub struct Device {
     rec: Option<Box<Recorder>>,
 }
 
+/// A shareable, snapshot-scoped handle to a pooled [`Device`].
+///
+/// Long-lived services (the `emg serve` daemon) pin one device — and with
+/// it one scratch arena, one metrics block, and one sanitizer/capture
+/// state — to each immutable data snapshot, and share that device across
+/// the snapshot's worker and bookkeeping threads. `Device` is `Send +
+/// Sync` (asserted at compile time below): all kernel entry points take
+/// `&self` and every piece of interior state is atomic or lock-guarded,
+/// so an `Arc<Device>` is all a snapshot needs. Dropping the last handle
+/// releases the arena's cached capacity with it.
+pub type DeviceHandle = std::sync::Arc<Device>;
+
+// The handle contract: a device can be owned by a snapshot and used from
+// any of its threads. A field change that breaks `Send`/`Sync` must fail
+// loudly here, not at a distant `Arc` call site in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Device>();
+};
+
 impl Default for Device {
     fn default() -> Self {
         Self::new()
@@ -123,6 +143,12 @@ impl Device {
     /// Creates a device using the default configuration and the global pool.
     pub fn new() -> Self {
         Self::with_config(DeviceConfig::default())
+    }
+
+    /// Moves the device into a snapshot-scoped shared handle
+    /// ([`DeviceHandle`]); see the type's docs for the sharing contract.
+    pub fn into_handle(self) -> DeviceHandle {
+        std::sync::Arc::new(self)
     }
 
     /// Creates a device with an explicit configuration.

@@ -1,8 +1,12 @@
 //! Central registry for the `EMG_*` environment knobs.
 //!
-//! Every opt-in plane of the simulated device is switched by one
-//! environment variable; this module is the single place that knows which
-//! variables exist and how their values parse. The shared contract:
+//! Every opt-in plane of the simulated device — and every other `EMG_*`
+//! knob the workspace reads, such as the query server's batching knobs —
+//! is switched by one environment variable; this module is the single
+//! place that knows which variables exist and how their values parse.
+//! The README's consolidated env-var table is generated from [`KNOBS`]
+//! and `xtask lint` rule 9 fails if the two drift apart. The shared
+//! contract:
 //!
 //! * **unset ⇒ default** — an absent variable always selects the knob's
 //!   documented default (off / lookback / no recording);
@@ -29,6 +33,16 @@ pub const EMG_SCAN_ENGINE: &str = "EMG_SCAN_ENGINE";
 pub const EMG_BENCH_JSON: &str = "EMG_BENCH_JSON";
 /// Launch-graph capture plane selector; see [`crate::launch_graph`].
 pub const EMG_CAPTURE: &str = "EMG_CAPTURE";
+/// Query-server batch-size cap: the coalescing queue flushes a batch to
+/// the device once this many queries are pending (a positive integer;
+/// read by the `emg-server` crate, registered here so every `EMG_*` knob
+/// shares one contract and one documentation table).
+pub const EMG_SERVE_BATCH: &str = "EMG_SERVE_BATCH";
+/// Query-server flush deadline in microseconds: a queued query waits at
+/// most this long for co-batched company before the batch is flushed to
+/// the device anyway (a positive integer; read by the `emg-server`
+/// crate).
+pub const EMG_SERVE_DEADLINE_US: &str = "EMG_SERVE_DEADLINE_US";
 
 /// Every `EMG_*` knob the device stack reads, with a one-line summary.
 /// Keep in sync with [`parse_knob`] (enforced by the unit test below).
@@ -40,6 +54,14 @@ pub const KNOBS: &[(&str, &str)] = &[
     (EMG_SCAN_ENGINE, "prefix-sum core: lookback|two_pass"),
     (EMG_BENCH_JSON, "path receiving benchmark JSONL records"),
     (EMG_CAPTURE, "launch-graph capture: off|on"),
+    (
+        EMG_SERVE_BATCH,
+        "emg serve: flush a query batch at this many pending queries",
+    ),
+    (
+        EMG_SERVE_DEADLINE_US,
+        "emg serve: flush a query batch after this many microseconds",
+    ),
 ];
 
 /// Reads knob `var` as a `T`, applying the shared contract: unset (or,
@@ -74,7 +96,29 @@ pub fn parse_knob(var: &str, value: &str) -> Result<String, String> {
                 Ok(format!("jsonl sink {value:?}"))
             }
         }
+        EMG_SERVE_BATCH | EMG_SERVE_DEADLINE_US => match value.trim().parse::<u64>() {
+            Ok(v) if v > 0 => Ok(format!("{var}={v}")),
+            _ => Err(format!("expected a positive integer, got {value:?}")),
+        },
         other => Err(format!("unknown EMG knob {other:?}")),
+    }
+}
+
+/// Reads a positive-integer knob (the `EMG_SERVE_*` family): unset or
+/// empty yields `default`, anything else must parse as a positive
+/// integer.
+///
+/// # Panics
+/// Panics when the variable is set to anything but a positive integer —
+/// the registry's panic-on-typo contract.
+pub fn parse_positive_knob(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(v) if v.is_empty() => default,
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(parsed) if parsed > 0 => parsed,
+            _ => panic!("{var}: expected a positive integer, got {v:?}"),
+        },
     }
 }
 
@@ -94,7 +138,7 @@ mod tests {
     /// [`parse_knob`], accepts its documented defaults, and rejects typos.
     #[test]
     fn knob_registry_is_closed() {
-        assert_eq!(KNOBS.len(), 4, "new knob? register it in env.rs");
+        assert_eq!(KNOBS.len(), 6, "new knob? register it in env.rs");
         for (var, _help) in KNOBS {
             // A typo must be a hard error for every enum knob; the one
             // free-form knob (a path) instead rejects the empty string.
@@ -133,6 +177,14 @@ mod tests {
         }
         parse_knob(EMG_BENCH_JSON, "/tmp/bench.jsonl").unwrap();
         assert!(parse_knob(EMG_BENCH_JSON, "").is_err());
+        for v in ["1", "64", "4096"] {
+            parse_knob(EMG_SERVE_BATCH, v).unwrap();
+            parse_knob(EMG_SERVE_DEADLINE_US, v).unwrap();
+        }
+        for v in ["0", "-3", "lots", "1.5"] {
+            assert!(parse_knob(EMG_SERVE_BATCH, v).is_err(), "{v:?}");
+            assert!(parse_knob(EMG_SERVE_DEADLINE_US, v).is_err(), "{v:?}");
+        }
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub mod sort;
 
 pub use arena::{ArenaPod, ArenaVec, DeviceArena, ScratchGuard};
 pub use atomic::{as_atomic_u32, as_atomic_u64, AtomicF64Cell, AtomicViewU32, AtomicViewU64};
-pub use device::{CaptureScope, Device, DeviceConfig, KernelLabel, SharedSlice};
+pub use device::{CaptureScope, Device, DeviceConfig, DeviceHandle, KernelLabel, SharedSlice};
 pub use launch_graph::{
     Analysis, CaptureMode, DeadWrite, DepCounts, FusionCandidate, Hazard, HazardKind, LaunchGraph,
     Node, Region,

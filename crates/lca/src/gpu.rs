@@ -49,20 +49,7 @@ impl LcaAlgorithm for GpuInlabelLca<'_> {
     }
 
     fn query_batch(&self, queries: &[(u32, u32)], out: &mut [u32]) {
-        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
-        let tables = &self.tables;
-        let _k = self.device.kernel_label("lca_query_batch");
-        // Queries and every Schieber–Vishkin table feed the closure.
-        self.device.capture_read(queries);
-        self.device.capture_read(&tables.inlabel);
-        self.device.capture_read(&tables.ascendant);
-        self.device.capture_read(&tables.level);
-        self.device.capture_read(&tables.parent);
-        self.device.capture_read(&tables.head);
-        self.device.map(out, |q| {
-            let (x, y) = queries[q];
-            tables.query(x, y)
-        });
+        self.tables.query_batch_on(self.device, queries, out);
     }
 }
 

@@ -327,6 +327,35 @@ impl InlabelTables {
         }
     }
 
+    /// Answers a batch of LCA queries in one device launch: one virtual
+    /// thread per `(x, y)` pair, each running the O(1) [`query`] kernel.
+    ///
+    /// This is the batch entry point shared by [`crate::GpuInlabelLca`]
+    /// and the `emg serve` daemon's request coalescer — both dispatch a
+    /// whole queue of queries as a single `lca_query_batch` launch, which
+    /// is what makes the inlabel scheme embarrassingly batchable.
+    ///
+    /// [`query`]: InlabelTables::query
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len()` or a node id is out of
+    /// range.
+    pub fn query_batch_on(&self, device: &Device, queries: &[(u32, u32)], out: &mut [u32]) {
+        assert_eq!(queries.len(), out.len(), "query/output length mismatch");
+        let _k = device.kernel_label("lca_query_batch");
+        // Queries and every Schieber–Vishkin table feed the closure.
+        device.capture_read(queries);
+        device.capture_read(&self.inlabel);
+        device.capture_read(&self.ascendant);
+        device.capture_read(&self.level);
+        device.capture_read(&self.parent);
+        device.capture_read(&self.head);
+        device.map(out, |q| {
+            let (x, y) = queries[q];
+            self.query(x, y)
+        });
+    }
+
     /// Lowest ancestor of `x` lying on the inlabel path `inlabel_z`
     /// (whose trailing-zero count is `j`).
     #[inline]

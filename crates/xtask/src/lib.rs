@@ -28,6 +28,16 @@
 //!    — are rejected everywhere: a whitelist entry or label that says
 //!    nothing documents nothing.
 //!
+//! One rule keeps the **documentation plane** honest:
+//!
+//! 9. every `EMG_*` knob registered in `gpu-sim/src/env.rs` (a
+//!    `pub const NAME: &str = "EMG_...";` item) must appear, backticked,
+//!    in the README's consolidated env-var table (the region between the
+//!    `<!-- env-table:begin -->` / `<!-- env-table:end -->` markers), and
+//!    every `DESIGN.md §N` reference in workspace `.rs` files must point
+//!    at an existing `## N.` section of `DESIGN.md` — docs that name a
+//!    knob or section that does not exist are worse than no docs.
+//!
 //! `vendor/` (offline stand-ins), `target/`, and any path containing
 //! `fixtures` are exempt. The `xtask` crate itself is exempt from the
 //! content rules (its source must name the patterns it hunts) but not from
@@ -88,10 +98,19 @@ const LAUNCH_PATTERNS: &[&str] = &["device.for_each(", "device.map(", "device.al
 /// nothing documents nothing.
 const EMPTY_JUSTIFICATION_PATTERNS: &[&str] = &["kernel_label(\"\")", ".benign(\"\")"];
 
+/// Start marker of the README's consolidated env-var table (rule 9).
+pub const ENV_TABLE_BEGIN: &str = "<!-- env-table:begin -->";
+/// End marker of the README's consolidated env-var table (rule 9).
+pub const ENV_TABLE_END: &str = "<!-- env-table:end -->";
+
+/// The `DESIGN.md §N` reference pattern rule 9 resolves.
+const DESIGN_REF: &str = "DESIGN.md \u{a7}";
+
 /// Runs the full unsafe-usage gate over a workspace rooted at `root`.
 /// Returns every violation found (empty = clean).
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let sections = design_sections(root);
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
         Ok(rd) => rd
@@ -145,7 +164,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
             continue; // content rules: see module docs.
         }
         for file in rust_files(dir) {
-            lint_file(root, &file, is_gpu_sim, &mut findings);
+            lint_file(root, &file, is_gpu_sim, &sections, &mut findings);
         }
     }
 
@@ -154,12 +173,142 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
         let d = root.join(top);
         if d.is_dir() {
             for file in rust_files(&d) {
-                lint_file(root, &file, false, &mut findings);
+                lint_file(root, &file, false, &sections, &mut findings);
             }
         }
     }
 
+    // Rule 9a: the env-knob registry vs the README table.
+    lint_env_table(root, &mut findings);
+
     findings
+}
+
+/// The set of `## N.` section numbers DESIGN.md actually has, or `None`
+/// when there is no DESIGN.md (synthetic test workspaces).
+fn design_sections(root: &Path) -> Option<std::collections::BTreeSet<u32>> {
+    let text = fs::read_to_string(root.join("DESIGN.md")).ok()?;
+    let mut sections = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("## ") {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            if !digits.is_empty() && rest[digits.len()..].starts_with('.') {
+                if let Ok(n) = digits.parse() {
+                    sections.insert(n);
+                }
+            }
+        }
+    }
+    Some(sections)
+}
+
+/// Rule 9b: every `DESIGN.md §N` reference must resolve to an existing
+/// `## N.` section. Sub-section references (`§12.4`) resolve by their
+/// major number — sub-headings are `### N.M` and move too often to pin.
+fn lint_design_refs(
+    root: &Path,
+    file: &Path,
+    lines: &[&str],
+    sections: &Option<std::collections::BTreeSet<u32>>,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, raw) in lines.iter().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = raw[from..].find(DESIGN_REF) {
+            let start = from + pos + DESIGN_REF.len();
+            let digits: String = raw[start..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            // `start` and the ASCII digits keep this a char boundary even
+            // when no digits follow the section sign.
+            from = start + digits.len();
+            let Ok(n) = digits.parse::<u32>() else {
+                continue;
+            };
+            let resolves = match sections {
+                Some(s) => s.contains(&n),
+                None => false,
+            };
+            if !resolves {
+                findings.push(finding_at(
+                    root,
+                    file,
+                    i + 1,
+                    "dangling-design-ref",
+                    format!(
+                        "reference to DESIGN.md \u{a7}{n} but DESIGN.md has no `## {n}.` section"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 9a: every `pub const NAME: &str = "EMG_...";` knob in the gpu-sim
+/// env registry must appear (backticked) in the README's env-var table,
+/// delimited by [`ENV_TABLE_BEGIN`] / [`ENV_TABLE_END`].
+fn lint_env_table(root: &Path, findings: &mut Vec<Finding>) {
+    let env_rs = root.join("crates/gpu-sim/src/env.rs");
+    let Ok(text) = fs::read_to_string(&env_rs) else {
+        return; // synthetic workspaces without an env registry
+    };
+    let mut knobs: Vec<(usize, String)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let code = code_part(line).trim_start();
+        let Some(rest) = code.strip_prefix("pub const ") else {
+            continue;
+        };
+        if !rest.contains(": &str") {
+            continue;
+        }
+        let Some(open) = rest.find('"') else { continue };
+        let Some(len) = rest[open + 1..].find('"') else {
+            continue;
+        };
+        let name = &rest[open + 1..open + 1 + len];
+        if name.starts_with("EMG_") {
+            knobs.push((i + 1, name.to_string()));
+        }
+    }
+    if knobs.is_empty() {
+        return;
+    }
+    let readme = root.join("README.md");
+    let readme_text = fs::read_to_string(&readme).unwrap_or_default();
+    let table = match (
+        readme_text.find(ENV_TABLE_BEGIN),
+        readme_text.find(ENV_TABLE_END),
+    ) {
+        (Some(b), Some(e)) if b < e => &readme_text[b..e],
+        _ => {
+            findings.push(finding_at(
+                root,
+                &readme,
+                0,
+                "env-table",
+                format!(
+                    "README.md must carry a `{ENV_TABLE_BEGIN}` .. `{ENV_TABLE_END}` region \
+                     documenting every EMG_* knob in gpu-sim's env registry"
+                ),
+            ));
+            return;
+        }
+    };
+    for (line, knob) in knobs {
+        if !table.contains(&format!("`{knob}`")) {
+            findings.push(finding_at(
+                root,
+                &env_rs,
+                line,
+                "env-table",
+                format!(
+                    "`{knob}` is registered in gpu-sim::env but missing from the README \
+                     env-var table (between the env-table markers)"
+                ),
+            ));
+        }
+    }
 }
 
 fn finding_at(
@@ -319,7 +468,13 @@ fn lint_launch_labels(root: &Path, file: &Path, lines: &[&str], findings: &mut V
     }
 }
 
-fn lint_file(root: &Path, file: &Path, is_gpu_sim: bool, findings: &mut Vec<Finding>) {
+fn lint_file(
+    root: &Path,
+    file: &Path,
+    is_gpu_sim: bool,
+    sections: &Option<std::collections::BTreeSet<u32>>,
+    findings: &mut Vec<Finding>,
+) {
     let Ok(text) = fs::read_to_string(file) else {
         return;
     };
@@ -330,6 +485,9 @@ fn lint_file(root: &Path, file: &Path, is_gpu_sim: bool, findings: &mut Vec<Find
     if !is_gpu_sim && file.components().any(|c| c.as_os_str() == "src") {
         lint_launch_labels(root, file, &lines, findings);
     }
+    // Rule 9b applies everywhere a section can be cited, comments and
+    // test strings included.
+    lint_design_refs(root, file, &lines, sections, findings);
     for (i, raw) in lines.iter().enumerate() {
         let trimmed = raw.trim_start();
         let lineno = i + 1;

@@ -222,6 +222,110 @@ fn unlabeled_launch_outside_src_is_exempt() {
 }
 
 #[test]
+fn unregistered_env_knob_in_readme_is_flagged() {
+    let ws = TempWorkspace::new("envtable");
+    ws.write(
+        "crates/gpu-sim/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\npub mod env;\n",
+    );
+    ws.write(
+        "crates/gpu-sim/src/env.rs",
+        "/// Documented knob.\npub const EMG_DOCUMENTED: &str = \"EMG_DOCUMENTED\";\n\
+         /// Forgotten knob.\npub const EMG_FORGOTTEN: &str = \"EMG_FORGOTTEN\";\n",
+    );
+    ws.write(
+        "README.md",
+        "# demo\n<!-- env-table:begin -->\n| `EMG_DOCUMENTED` | a knob |\n<!-- env-table:end -->\n",
+    );
+    let f = lint_workspace(&ws.root);
+    let env_findings: Vec<_> = f.iter().filter(|x| x.rule == "env-table").collect();
+    assert_eq!(env_findings.len(), 1, "{f:?}");
+    assert!(env_findings[0].message.contains("EMG_FORGOTTEN"), "{f:?}");
+    assert_eq!(env_findings[0].line, 4, "should point at the const line");
+}
+
+#[test]
+fn missing_env_table_markers_are_flagged() {
+    let ws = TempWorkspace::new("envmarkers");
+    ws.write(
+        "crates/gpu-sim/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\npub mod env;\n",
+    );
+    ws.write(
+        "crates/gpu-sim/src/env.rs",
+        "pub const EMG_KNOB: &str = \"EMG_KNOB\";\n",
+    );
+    ws.write("README.md", "# demo, no table markers\n");
+    let f = lint_workspace(&ws.root);
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "env-table" && x.message.contains("env-table:begin")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn workspaces_without_an_env_registry_skip_the_table_rule() {
+    let ws = TempWorkspace::new("noenvreg");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f() {}\n",
+    );
+    assert!(
+        lint_workspace(&ws.root).is_empty(),
+        "{:?}",
+        lint_workspace(&ws.root)
+    );
+}
+
+#[test]
+fn dangling_design_section_reference_is_flagged() {
+    let ws = TempWorkspace::new("designref");
+    ws.write("DESIGN.md", "# design\n## 1. The model\n## 2. The rest\n");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\n//! Spec in DESIGN.md \u{a7}2; details in DESIGN.md \u{a7}7.\npub fn f() {}\n",
+    );
+    let f = lint_workspace(&ws.root);
+    let refs: Vec<_> = f
+        .iter()
+        .filter(|x| x.rule == "dangling-design-ref")
+        .collect();
+    assert_eq!(refs.len(), 1, "only \u{a7}7 dangles: {f:?}");
+    assert!(refs[0].message.contains("## 7."), "{f:?}");
+    assert_eq!(refs[0].line, 2);
+}
+
+#[test]
+fn subsection_references_resolve_by_major_number() {
+    let ws = TempWorkspace::new("designsub");
+    ws.write(
+        "DESIGN.md",
+        "# design\n## 12. The server\n### 12.4 Flushes\n",
+    );
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\n// Flush discipline: DESIGN.md \u{a7}12.4.\npub fn f() {}\n",
+    );
+    assert!(
+        lint_workspace(&ws.root).is_empty(),
+        "{:?}",
+        lint_workspace(&ws.root)
+    );
+}
+
+#[test]
+fn design_refs_without_a_design_doc_are_flagged() {
+    let ws = TempWorkspace::new("nodesign");
+    ws.write(
+        "crates/algo/src/lib.rs",
+        "#![deny(unsafe_code)]\n// See DESIGN.md \u{a7}3.\npub fn f() {}\n",
+    );
+    let f = lint_workspace(&ws.root);
+    assert!(f.iter().any(|x| x.rule == "dangling-design-ref"), "{f:?}");
+}
+
+#[test]
 fn empty_justifications_are_flagged() {
     let ws = TempWorkspace::new("emptyjust");
     ws.write(
