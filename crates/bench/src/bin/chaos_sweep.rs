@@ -1,0 +1,7 @@
+//! Serving-plane robustness sweep: open-loop load through the `emg serve`
+//! wire protocol against a fault-injected in-process server, with the
+//! retrying client doing the recovering.
+fn main() {
+    let cfg = euler_bench::Config::from_args();
+    euler_bench::experiments::chaos_sweep::run(&cfg);
+}

@@ -142,6 +142,7 @@ pub fn run(cfg: &Config) {
     let config = BatchConfig {
         max_batch: 256,
         max_delay: Duration::from_micros(200),
+        ..BatchConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", &catalog, config).expect("binding the sweep server");
     let addr = server.local_addr();

@@ -7,7 +7,7 @@ use bridges::{
     articulation_points_from_bcc, bcc_tv, bridges_ck_device, bridges_ck_rayon, bridges_dfs,
     bridges_hybrid, bridges_hybrid_with, bridges_tv, bridges_tv_with, BridgesResult, BACKEND_NAMES,
 };
-use emg_server::{BatchConfig, Client, GraphInfo, QueryKind, Server};
+use emg_server::{BatchConfig, GraphInfo, QueryKind, RetryPolicy, RetryingClient, Server};
 use gpu_sim::Device;
 use graph_core::{Csr, EdgeList, Tree};
 use graph_io::{binary, detect_format, Format, ParsedGraph};
@@ -506,8 +506,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     }
     let deadline_us: u64 = args.opt_parse("deadline-us", config.max_delay.as_micros() as u64)?;
     config.max_delay = Duration::from_micros(deadline_us);
+    // Startup failures (unreadable dir, empty catalog, bad graph file,
+    // bind refusal) are configuration errors: a clean one-line diagnostic
+    // and a nonzero exit, never a panic or a half-started daemon.
     let server = Server::bind(addr, std::path::Path::new(dir), config)
-        .map_err(|(code, msg)| format!("{code:?}: {msg}"))?;
+        .map_err(|(_, msg)| format!("serve startup failed: {msg}"))?;
     let graphs = server.catalog().list();
     let bound = server.local_addr();
     eprintln!(
@@ -573,10 +576,17 @@ fn parse_pairs(spec: &str) -> Result<Vec<(u32, u32)>, String> {
 /// digest `emg lca` uses, so a served batch can be diffed against the
 /// one-shot path). `--epoch E` pins a snapshot version; 0 (the default)
 /// accepts whatever the server currently holds.
+///
+/// `--retries N` retries transient failures (`Overloaded`, `Internal`,
+/// connection resets) with decorrelated-jitter backoff; `--timeout-ms T`
+/// puts a deadline on every socket read and write. Both default off.
 pub fn cmd_client(args: &Args) -> Result<String, String> {
     let action = args.require_pos(0, "action")?;
     let addr = args.opt("addr").unwrap_or("127.0.0.1:7461");
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let retries: u32 = args.opt_parse("retries", 0u32)?;
+    let timeout_ms: u64 = args.opt_parse("timeout-ms", 0u64)?;
+    let timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+    let mut client = RetryingClient::new(addr, RetryPolicy::new(retries), timeout);
     let graph_arg = |args: &Args| -> Result<String, String> {
         args.opt("graph")
             .map(str::to_string)
@@ -605,6 +615,12 @@ pub fn cmd_client(args: &Args) -> Result<String, String> {
                 out,
                 "flushes: {} size-capped, {} deadline",
                 s.size_flushes, s.deadline_flushes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "robustness: {} timeouts, {} overloads, {} panics isolated",
+                s.timeouts, s.overloads, s.panics_isolated
             )
             .unwrap();
             for (bucket, &count) in s.batch_hist.iter().enumerate() {

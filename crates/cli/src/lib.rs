@@ -21,6 +21,7 @@
 //! emg client  <list|info|stats|reload|shutdown|query> [--addr host:port|unix:/path]
 //!             [--graph G] [--kind lca|conn|bridge|subtree] [--epoch E]
 //!             [--pairs u:v,...] [--queries N] [--seed S]
+//!             [--retries N] [--timeout-ms T]
 //! ```
 //!
 //! Every `<file>` may instead be given as `--input <file>`, and may be a
@@ -59,6 +60,7 @@ USAGE:
   emg client  <list|info|stats|reload|shutdown|query> [--addr host:port|unix:/path]
               [--graph G] [--kind lca|conn|bridge|subtree] [--epoch E]
               [--pairs u:v,...] [--queries N] [--seed S]
+              [--retries N] [--timeout-ms T]
 
 Graph files are auto-detected DIMACS (.gr / p edge), SNAP edge lists,
 METIS adjacency, or the emgbin binary cache (write one with `emg convert

@@ -30,6 +30,7 @@ USAGE:
   emg client  <list|info|stats|reload|shutdown|query> [--addr host:port|unix:/path]
               [--graph G] [--kind lca|conn|bridge|subtree] [--epoch E]
               [--pairs u:v,...] [--queries N] [--seed S]
+              [--retries N] [--timeout-ms T]
 
 Graph files are auto-detected DIMACS (.gr / p edge), SNAP edge lists,
 METIS adjacency, or the emgbin binary cache (write one with `emg convert
@@ -81,6 +82,8 @@ const FLAG_SPEC: &[(&str, &[&str])] = &[
             "--pairs",
             "--queries",
             "--seed",
+            "--retries",
+            "--timeout-ms",
         ],
     ),
 ];

@@ -103,3 +103,74 @@ fn served_checksum_matches_one_shot_lca() {
         "got:\n{report}"
     );
 }
+
+#[test]
+fn serve_startup_failures_are_clean_diagnostics() {
+    // An empty catalog dir: a server with nothing to serve is a
+    // configuration error, reported as one line, never a panic.
+    let empty = tmp_dir("empty-catalog");
+    let err = run(&format!("serve {} --addr 127.0.0.1:0", empty.display())).unwrap_err();
+    assert!(
+        err.starts_with("serve startup failed:") && err.contains("holds no graph files"),
+        "got:\n{err}"
+    );
+
+    // An unreadable (nonexistent) catalog dir: same discipline, with the
+    // OS error in the message.
+    let missing = empty.join("does-not-exist");
+    let err = run(&format!("serve {} --addr 127.0.0.1:0", missing.display())).unwrap_err();
+    assert!(
+        err.starts_with("serve startup failed:") && err.contains("catalog dir"),
+        "got:\n{err}"
+    );
+
+    // A catalog with a corrupt graph file: the bad file is named.
+    let corrupt = tmp_dir("corrupt-catalog");
+    std::fs::write(corrupt.join("bad.txt"), "zero\tone\nnot numbers\n").unwrap();
+    let err = run(&format!("serve {} --addr 127.0.0.1:0", corrupt.display())).unwrap_err();
+    assert!(
+        err.starts_with("serve startup failed:") && err.contains("bad"),
+        "got:\n{err}"
+    );
+}
+
+#[test]
+fn client_retry_flags_are_accepted_and_surface_in_stats() {
+    let catalog = tmp_dir("retry-catalog");
+    run(&format!(
+        "gen tree --nodes 50 --seed 3 --format emgbin --out {}",
+        catalog.join("t.emgbin").display()
+    ))
+    .unwrap();
+    let sock = tmp_dir("retry-sock").join("emg.sock");
+    let _ = std::fs::remove_file(&sock);
+    let addr = format!("unix:{}", sock.display());
+    let serve_line = format!("serve {} --addr {addr}", catalog.display());
+    let server = std::thread::spawn(move || run(&serve_line));
+    for _ in 0..500 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The retry/timeout knobs parse and the query still round-trips.
+    let out = run(&format!(
+        "client query --addr {addr} --graph t --kind lca --queries 50 --seed 1 \
+         --retries 3 --timeout-ms 5000"
+    ))
+    .unwrap();
+    assert!(out.contains("checksum:"), "got:\n{out}");
+
+    // The stats report includes the robustness counters.
+    let stats = run(&format!("client stats --addr {addr}")).unwrap();
+    assert!(
+        stats.contains("robustness: ")
+            && stats.contains("timeouts")
+            && stats.contains("panics isolated"),
+        "got:\n{stats}"
+    );
+
+    run(&format!("client shutdown --addr {addr}")).unwrap();
+    server.join().unwrap().unwrap();
+}

@@ -16,10 +16,18 @@
 //! Jobs hold an `Arc<Snapshot>` pinned at submit time, so a catalog reload
 //! mid-flush never tears a batch: the batch answers against the epoch the
 //! session validated, and the response carries that epoch.
+//!
+//! Two robustness layers guard the queue (DESIGN.md §13): **admission
+//! control** — past [`BatchConfig::max_pending`] pending pairs a new
+//! submission is refused with [`ErrorCode::Overloaded`] and a
+//! `retry_after_ms` hint instead of growing the queue without bound — and
+//! **panic isolation** — each per-(snapshot, kind) launch runs under
+//! `catch_unwind`, so a poisoned batch answers its own requesters with
+//! `Internal` while the worker (and the daemon) keep serving.
 
 use crate::catalog::{ServeError, Snapshot};
-use crate::protocol::{ErrorCode, QueryKind, ServerStats};
-use gpu_sim::env::{parse_positive_knob, EMG_SERVE_BATCH, EMG_SERVE_DEADLINE_US};
+use crate::protocol::{overloaded_message, ErrorCode, QueryKind, ServerStats};
+use gpu_sim::env::{parse_positive_knob, EMG_SERVE_BATCH, EMG_SERVE_DEADLINE_US, EMG_SERVE_QUEUE};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -29,6 +37,10 @@ use std::time::{Duration, Instant};
 pub const DEFAULT_MAX_BATCH: u64 = 1024;
 /// Default coalescing deadline in microseconds.
 pub const DEFAULT_DEADLINE_US: u64 = 500;
+/// Default admission-control bound on pending pairs across the whole
+/// queue (64 windows of the default batch size — deep enough for bursts,
+/// bounded enough that a stalled device cannot buffer unbounded memory).
+pub const DEFAULT_MAX_PENDING: u64 = 65_536;
 
 /// The coalescing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -38,12 +50,16 @@ pub struct BatchConfig {
     /// Flush this long after the first pending job, even if the batch is
     /// not full.
     pub max_delay: Duration,
+    /// Admission control: refuse new submissions with
+    /// [`ErrorCode::Overloaded`] once this many pairs are pending
+    /// (DESIGN.md §13.3).
+    pub max_pending: usize,
 }
 
 impl BatchConfig {
-    /// Reads `EMG_SERVE_BATCH` and `EMG_SERVE_DEADLINE_US` from the
-    /// environment (registry-validated; a typo panics, unset means the
-    /// defaults).
+    /// Reads `EMG_SERVE_BATCH`, `EMG_SERVE_DEADLINE_US`, and
+    /// `EMG_SERVE_QUEUE` from the environment (registry-validated; a typo
+    /// panics, unset means the defaults).
     pub fn from_env() -> Self {
         BatchConfig {
             max_batch: parse_positive_knob(EMG_SERVE_BATCH, DEFAULT_MAX_BATCH) as usize,
@@ -51,7 +67,15 @@ impl BatchConfig {
                 EMG_SERVE_DEADLINE_US,
                 DEFAULT_DEADLINE_US,
             )),
+            max_pending: parse_positive_knob(EMG_SERVE_QUEUE, DEFAULT_MAX_PENDING) as usize,
         }
+    }
+
+    /// The backoff hint an `Overloaded` refusal carries: two coalescing
+    /// windows, at least one millisecond — by then the flush that was
+    /// pending at refusal time has drained.
+    fn retry_after_ms(&self) -> u64 {
+        (self.max_delay.as_millis() as u64 * 2).max(1)
     }
 }
 
@@ -60,6 +84,7 @@ impl Default for BatchConfig {
         BatchConfig {
             max_batch: DEFAULT_MAX_BATCH as usize,
             max_delay: Duration::from_micros(DEFAULT_DEADLINE_US),
+            max_pending: DEFAULT_MAX_PENDING as usize,
         }
     }
 }
@@ -90,6 +115,9 @@ struct Counters {
     size_flushes: u64,
     deadline_flushes: u64,
     batch_hist: Vec<u64>,
+    timeouts: u64,
+    overloads: u64,
+    panics_isolated: u64,
 }
 
 struct Shared {
@@ -104,7 +132,7 @@ struct Shared {
 /// client is left waiting on a reply channel.
 pub struct Batcher {
     shared: Arc<Shared>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Batcher {
@@ -123,7 +151,7 @@ impl Batcher {
             .expect("spawning the batcher worker");
         Batcher {
             shared,
-            worker: Some(worker),
+            worker: Mutex::new(Some(worker)),
         }
     }
 
@@ -150,6 +178,26 @@ impl Batcher {
             )));
             return rx;
         }
+        // Admission control: past the pending-pair bound the request is
+        // refused — never enqueued — with a hint for when to come back.
+        // Refusing at the door bounds queue memory and keeps latency for
+        // admitted requests within a few coalescing windows.
+        let config = &self.shared.config;
+        if queue.pending_pairs + pairs.len() > config.max_pending {
+            let message = overloaded_message(
+                queue.pending_pairs,
+                config.max_pending,
+                config.retry_after_ms(),
+            );
+            drop(queue);
+            self.shared
+                .stats
+                .lock()
+                .expect("stats lock poisoned")
+                .overloads += 1;
+            let _ = reply.send(Err((ErrorCode::Overloaded, message)));
+            return rx;
+        }
         queue.pending_pairs += pairs.len();
         queue.jobs.push_back(Job {
             snapshot,
@@ -172,17 +220,39 @@ impl Batcher {
             size_flushes: c.size_flushes,
             deadline_flushes: c.deadline_flushes,
             batch_hist: c.batch_hist.clone(),
+            timeouts: c.timeouts,
+            overloads: c.overloads,
+            panics_isolated: c.panics_isolated,
         }
     }
 
-    /// Stops the worker after it drains everything still queued.
-    pub fn stop(&mut self) {
+    /// Records a session closed by a read/write deadline. Sessions own
+    /// their sockets, but the batcher owns the stats block every counter
+    /// reports through, so the server's session loops feed this one here.
+    pub(crate) fn note_timeout(&self) {
+        self.shared
+            .stats
+            .lock()
+            .expect("stats lock poisoned")
+            .timeouts += 1;
+    }
+
+    /// Stops the worker after it drains everything still queued — the
+    /// graceful-shutdown drain. Idempotent; safe through a shared
+    /// reference (the server calls this from its accept loop while
+    /// sessions still hold clones).
+    pub fn stop(&self) {
         {
             let mut queue = self.shared.queue.lock().expect("batcher lock poisoned");
             queue.stopped = true;
         }
         self.shared.wakeup.notify_all();
-        if let Some(worker) = self.worker.take() {
+        let worker = self
+            .worker
+            .lock()
+            .expect("worker handle lock poisoned")
+            .take();
+        if let Some(worker) = worker {
             worker.join().expect("batcher worker panicked");
         }
     }
@@ -273,8 +343,35 @@ fn run_flush(shared: &Shared, jobs: Vec<Job>, size_flush: bool) {
         for job in &group {
             pairs.extend_from_slice(&job.pairs);
         }
-        let mut answers = vec![0u32; total];
-        snapshot.answer_batch(kind, &pairs, &mut answers);
+        // Panic isolation: a poisoned batch — an injected fault, a bug in
+        // one kind's kernel, a refused allocation — answers its own
+        // requesters with `Internal` and must not kill this worker (a dead
+        // worker turns every future query into an error and `stop` into a
+        // hang). The launch takes `&Snapshot` and a fresh answers buffer,
+        // so no observable state is left half-written on unwind.
+        let launched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut answers = vec![0u32; total];
+            snapshot.answer_batch(kind, &pairs, &mut answers);
+            answers
+        }));
+        let answers = match launched {
+            Ok(answers) => answers,
+            Err(panic) => {
+                shared
+                    .stats
+                    .lock()
+                    .expect("stats lock poisoned")
+                    .panics_isolated += 1;
+                let reason = panic_message(panic.as_ref());
+                for job in group {
+                    let _ = job.reply.send(Err((
+                        ErrorCode::Internal,
+                        format!("batch launch panicked (isolated): {reason}"),
+                    )));
+                }
+                continue;
+            }
+        };
 
         {
             let mut c = shared.stats.lock().expect("stats lock poisoned");
@@ -299,6 +396,18 @@ fn run_flush(shared: &Shared, jobs: Vec<Job>, size_flush: bool) {
     }
 }
 
+/// Best-effort text of a caught panic payload (panics carry `&str` or
+/// `String` in practice).
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +429,7 @@ mod tests {
         let batcher = Batcher::new(BatchConfig {
             max_batch: 1024,
             max_delay: Duration::from_millis(20),
+            ..BatchConfig::default()
         });
         // Many tiny submissions inside one coalescing window.
         let receivers: Vec<_> = (0..16)
@@ -353,6 +463,7 @@ mod tests {
             // A deadline long enough that only the size cap can explain a
             // prompt flush.
             max_delay: Duration::from_secs(5),
+            ..BatchConfig::default()
         });
         let start = Instant::now();
         let rx = batcher.submit(
@@ -384,9 +495,10 @@ mod tests {
     fn stop_drains_queued_jobs() {
         let (catalog, dir) = tree_catalog("stop");
         let snap = catalog.get("tree6").unwrap();
-        let mut batcher = Batcher::new(BatchConfig {
+        let batcher = Batcher::new(BatchConfig {
             max_batch: 1 << 20,
             max_delay: Duration::from_secs(5),
+            ..BatchConfig::default()
         });
         let rx = batcher.submit(Arc::clone(&snap), QueryKind::Lca, vec![(4, 5)]);
         batcher.stop();
@@ -403,5 +515,45 @@ mod tests {
         let cfg = BatchConfig::from_env();
         assert_eq!(cfg.max_batch, DEFAULT_MAX_BATCH as usize);
         assert_eq!(cfg.max_delay, Duration::from_micros(DEFAULT_DEADLINE_US));
+        assert_eq!(cfg.max_pending, DEFAULT_MAX_PENDING as usize);
+    }
+
+    #[test]
+    fn admission_control_refuses_past_the_pending_bound() {
+        let (catalog, dir) = tree_catalog("overload");
+        let snap = catalog.get("tree6").unwrap();
+        // A long deadline holds the first submission in the coalescing
+        // window, so the queue is demonstrably occupied when the second
+        // arrives and trips the 4-pair bound.
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 1 << 20,
+            max_delay: Duration::from_secs(5),
+            max_pending: 4,
+        });
+        let admitted = batcher.submit(
+            Arc::clone(&snap),
+            QueryKind::Connectivity,
+            vec![(0, 1), (1, 2), (2, 3)],
+        );
+        let refused = batcher.submit(
+            Arc::clone(&snap),
+            QueryKind::Connectivity,
+            vec![(0, 1), (1, 2)],
+        );
+        let (code, message) = refused.recv().unwrap().unwrap_err();
+        assert_eq!(code, ErrorCode::Overloaded);
+        let hint = crate::protocol::retry_after_ms(&message);
+        assert!(
+            hint.is_some_and(|ms| ms >= 1),
+            "hint missing in {message:?}"
+        );
+        assert_eq!(batcher.stats().overloads, 1);
+        // The refused request was never enqueued; the admitted one drains
+        // normally on stop.
+        batcher.stop();
+        let (_, answers) = admitted.recv().unwrap().unwrap();
+        assert_eq!(answers, vec![1, 1, 1]);
+        assert_eq!(batcher.stats().queries, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

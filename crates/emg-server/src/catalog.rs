@@ -13,7 +13,7 @@
 use crate::protocol::{ErrorCode, GraphInfo, QueryKind, BRIDGE_NO_SUCH_EDGE};
 use bridges::{bridges_dfs, bridges_tv, SpanningForestBuilder, UnionFindBuilder, UnrootedForest};
 use euler_tour::{EulerTour, TreeStats};
-use gpu_sim::{Device, DeviceHandle};
+use gpu_sim::{Device, DeviceConfig, DeviceHandle};
 use graph_core::{Csr, EdgeList, Tree};
 use lca::InlabelTables;
 use std::collections::BTreeMap;
@@ -64,56 +64,80 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Loads `path` and precomputes every serving table on a fresh pooled
-    /// device.
+    /// device configured from the environment
+    /// ([`Snapshot::load_with`] with [`DeviceConfig::default`]).
     ///
     /// # Errors
     /// `Internal` on I/O or parse failures.
     pub fn load(name: &str, path: &Path, epoch: u64) -> Result<Snapshot, ServeError> {
+        Self::load_with(name, path, epoch, &DeviceConfig::default())
+    }
+
+    /// Loads `path` and precomputes every serving table on a fresh pooled
+    /// device built from `device_cfg`. The whole build runs with fault
+    /// injection **paused** ([`Device::pause_faults`]): a fault plane on
+    /// the serving device is meant to poison individual query batches, not
+    /// to make every catalog load a coin flip — and skipping the build
+    /// keeps the serving-path fault schedule independent of build length
+    /// (DESIGN.md §13.2).
+    ///
+    /// # Errors
+    /// `Internal` on I/O or parse failures.
+    pub fn load_with(
+        name: &str,
+        path: &Path,
+        epoch: u64,
+        device_cfg: &DeviceConfig,
+    ) -> Result<Snapshot, ServeError> {
         let (parsed, maybe_csr) = graph_io::read_edge_list_with_csr(path)
             .map_err(|e| (ErrorCode::Internal, format!("loading {name}: {e}")))?;
         let graph = parsed.graph;
-        let device = Device::new().into_handle();
-        let csr = maybe_csr.unwrap_or_else(|| Csr::from_edge_list_on(&device, &graph));
-        let forest = UnionFindBuilder.build_unrooted(&device, &graph, &csr);
+        let device = Device::with_config(device_cfg.clone()).into_handle();
+        let (csr, forest, bridge_flag, num_bridges, tree) = {
+            let _build_quietly = device.pause_faults();
+            let csr = maybe_csr.unwrap_or_else(|| Csr::from_edge_list_on(&device, &graph));
+            let forest = UnionFindBuilder.build_unrooted(&device, &graph, &csr);
 
-        // Bridges: the TV pipeline on the device when connected, the DFS
-        // oracle otherwise (TV requires a connected input).
-        let m = graph.num_edges();
-        let mut bridge_flag = vec![0u8; m];
-        let mut num_bridges = 0u32;
-        if graph.num_nodes() > 0 {
-            let result = if forest.is_connected() {
-                bridges_tv(&device, &graph, &csr)
-                    .map_err(|e| (ErrorCode::Internal, format!("bridges on {name}: {e:?}")))?
+            // Bridges: the TV pipeline on the device when connected, the
+            // DFS oracle otherwise (TV requires a connected input).
+            let m = graph.num_edges();
+            let mut bridge_flag = vec![0u8; m];
+            let mut num_bridges = 0u32;
+            if graph.num_nodes() > 0 {
+                let result = if forest.is_connected() {
+                    bridges_tv(&device, &graph, &csr)
+                        .map_err(|e| (ErrorCode::Internal, format!("bridges on {name}: {e:?}")))?
+                } else {
+                    bridges_dfs(&graph, &csr)
+                };
+                for (e, flag) in bridge_flag.iter_mut().enumerate() {
+                    if result.is_bridge.get(e) {
+                        *flag = 1;
+                        num_bridges += 1;
+                    }
+                }
+            }
+
+            // Tree tables iff the graph is a rooted tree (root 0) — the
+            // same construction the one-shot `emg lca` path runs, so
+            // server answers are bit-identical to the CLI oracle.
+            let n = graph.num_nodes();
+            let tree = if n >= 1 && m == n - 1 && forest.is_connected() {
+                match Tree::from_edges(n, graph.edges(), 0) {
+                    Ok(tree) => {
+                        let tour = EulerTour::build(&device, &tree).map_err(|e| {
+                            (ErrorCode::Internal, format!("euler tour on {name}: {e:?}"))
+                        })?;
+                        let stats = TreeStats::compute(&device, &tour);
+                        let tables = InlabelTables::from_stats_device(&device, &stats);
+                        Some(TreeData { stats, tables })
+                    }
+                    Err(_) => None,
+                }
             } else {
-                bridges_dfs(&graph, &csr)
+                None
             };
-            for (e, flag) in bridge_flag.iter_mut().enumerate() {
-                if result.is_bridge.get(e) {
-                    *flag = 1;
-                    num_bridges += 1;
-                }
-            }
-        }
-
-        // Tree tables iff the graph is a rooted tree (root 0) — the same
-        // construction the one-shot `emg lca` path runs, so server answers
-        // are bit-identical to the CLI oracle.
-        let n = graph.num_nodes();
-        let tree = if n >= 1 && m == n - 1 && forest.is_connected() {
-            match Tree::from_edges(n, graph.edges(), 0) {
-                Ok(tree) => {
-                    let tour = EulerTour::build(&device, &tree).map_err(|e| {
-                        (ErrorCode::Internal, format!("euler tour on {name}: {e:?}"))
-                    })?;
-                    let stats = TreeStats::compute(&device, &tour);
-                    let tables = InlabelTables::from_stats_device(&device, &stats);
-                    Some(TreeData { stats, tables })
-                }
-                Err(_) => None,
-            }
-        } else {
-            None
+            (csr, forest, bridge_flag, num_bridges, tree)
         };
 
         Ok(Snapshot {
@@ -258,17 +282,32 @@ struct Entry {
 /// readers never block a reload for longer than the pointer swap.
 pub struct Catalog {
     entries: RwLock<BTreeMap<String, Entry>>,
+    /// Template used for every snapshot device this catalog builds —
+    /// initial loads and reloads alike, so a reload can never silently
+    /// drop a fault plane or pooling mode the server was started with.
+    device_cfg: DeviceConfig,
 }
 
 impl Catalog {
     /// Loads every regular file in `dir` as a graph (catalog name = file
-    /// stem), building each initial snapshot at epoch 1.
+    /// stem), building each initial snapshot at epoch 1 on a device
+    /// configured from the environment.
     ///
     /// # Errors
     /// `Internal` when the directory is unreadable, empty, or a graph
     /// fails to load — a server with nothing to serve is a configuration
     /// error.
     pub fn open(dir: &Path) -> Result<Catalog, ServeError> {
+        Self::open_with(dir, DeviceConfig::default())
+    }
+
+    /// [`Catalog::open`] with an explicit device template for every
+    /// snapshot this catalog will ever build.
+    ///
+    /// # Errors
+    /// `Internal` when the directory is unreadable, empty, or a graph
+    /// fails to load.
+    pub fn open_with(dir: &Path, device_cfg: DeviceConfig) -> Result<Catalog, ServeError> {
         let mut entries = BTreeMap::new();
         let listing = std::fs::read_dir(dir)
             .map_err(|e| (ErrorCode::Internal, format!("catalog dir {dir:?}: {e}")))?;
@@ -283,7 +322,7 @@ impl Catalog {
                 .and_then(|s| s.to_str())
                 .ok_or_else(|| (ErrorCode::Internal, format!("unusable file name {path:?}")))?
                 .to_string();
-            let snapshot = Arc::new(Snapshot::load(&name, &path, 1)?);
+            let snapshot = Arc::new(Snapshot::load_with(&name, &path, 1, &device_cfg)?);
             entries.insert(
                 name,
                 Entry {
@@ -300,6 +339,7 @@ impl Catalog {
         }
         Ok(Catalog {
             entries: RwLock::new(entries),
+            device_cfg,
         })
     }
 
@@ -337,7 +377,10 @@ impl Catalog {
     ///
     /// # Errors
     /// `UnknownGraph` for an unknown name, `Internal` when the reload
-    /// itself fails (the old snapshot stays current in that case).
+    /// itself fails — including a *panic* mid-build, which is caught and
+    /// isolated. In every failure case the old snapshot stays current and
+    /// its epoch is unchanged, so a bad file on disk can never take a
+    /// graph out of service (DESIGN.md §13.4).
     pub fn reload(&self, graph: &str) -> Result<Arc<Snapshot>, ServeError> {
         // Build outside the lock: snapshot construction is the expensive
         // part and readers should keep answering from the old epoch.
@@ -351,7 +394,17 @@ impl Catalog {
             })?;
             (entry.path.clone(), entry.current.epoch + 1)
         };
-        let fresh = Arc::new(Snapshot::load(graph, &path, next_epoch)?);
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Snapshot::load_with(graph, &path, next_epoch, &self.device_cfg)
+        }))
+        .unwrap_or_else(|panic| {
+            let reason = crate::batcher::panic_message(panic.as_ref());
+            Err((
+                ErrorCode::Internal,
+                format!("reload of {graph} panicked (isolated): {reason}"),
+            ))
+        });
+        let fresh = Arc::new(built?);
         let mut entries = self.entries.write().expect("catalog lock poisoned");
         let entry = entries.get_mut(graph).ok_or_else(|| {
             (
@@ -481,6 +534,62 @@ mod tests {
         let dir = temp_dir("empty");
         let err = Catalog::open(&dir).map(|_| ()).unwrap_err();
         assert_eq!(err.0, ErrorCode::Internal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_reload_keeps_the_old_snapshot_serving() {
+        let dir = temp_dir("reload-fail");
+        let path = write_graph(&dir, "g", &[(0, 1), (1, 2)]);
+        let catalog = Catalog::open(&dir).unwrap();
+        assert_eq!(catalog.get("g").unwrap().epoch, 1);
+
+        // Corrupt the file on disk: reload must fail with Internal and the
+        // old snapshot must keep serving at its old epoch.
+        std::fs::write(&path, "this is not\tan edge list\n\u{0}\u{0}").unwrap();
+        let err = catalog.reload("g").map(|_| ()).unwrap_err();
+        assert_eq!(err.0, ErrorCode::Internal);
+        let snap = catalog.get("g").unwrap();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.graph.num_nodes(), 3);
+
+        // Repair the file: the next reload succeeds and lands on epoch 2,
+        // not 3 — the failed attempt consumed no epoch.
+        std::fs::write(&path, "0\t1\n1\t2\n2\t3\n").unwrap();
+        assert_eq!(catalog.reload("g").unwrap().epoch, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_builds_are_immune_to_fault_injection() {
+        let dir = temp_dir("faulted");
+        write_graph(&dir, "tree", &[(0, 1), (0, 2), (1, 3)]);
+        // p=1.0: every unpaused launch panics. The catalog must still open
+        // (builds run under pause_faults) and the fault plane must still be
+        // armed on the serving device afterwards.
+        let cfg = DeviceConfig {
+            faults: "launch_panic:p=1.0:seed=7".parse().unwrap(),
+            ..DeviceConfig::default()
+        };
+        let catalog = Catalog::open_with(&dir, cfg).unwrap();
+        let snap = catalog.get("tree").unwrap();
+        assert_eq!(snap.epoch, 1);
+
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = vec![0u32; 1];
+            snap.answer_batch(QueryKind::Connectivity, &[(0, 3)], &mut out);
+        }))
+        .unwrap_err();
+        let reason = crate::batcher::panic_message(panic.as_ref());
+        assert!(
+            reason.contains(gpu_sim::fault::INJECTED_PANIC),
+            "expected an injected panic, got: {reason}"
+        );
+
+        // Reload inherits the template; its build pauses faults too, so it
+        // succeeds even at p=1.0.
+        let after = catalog.reload("tree").unwrap();
+        assert_eq!(after.epoch, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -5,13 +5,20 @@
 //! strictly request/response in order, so a `Client` is `!Sync` by
 //! construction — open one client per thread for concurrent load (the qps
 //! sweep and the concurrency tests do exactly that).
+//!
+//! [`RetryingClient`] wraps a `Client` with the failure-mode discipline
+//! DESIGN.md §13.6 specifies: reconnect on transport errors, retry
+//! transient failures (`Overloaded`, `Internal`, connection resets) under
+//! a bounded budget with decorrelated-jitter backoff, and honor the
+//! `retry_after_ms` hint an `Overloaded` refusal carries.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, GraphInfo, QueryKind, Request, Response,
-    ServerStats, PROTOCOL_VERSION,
+    read_frame, retry_after_ms, write_frame, ErrorCode, FrameError, GraphInfo, QueryKind, Request,
+    Response, ServerStats, PROTOCOL_VERSION,
 };
 use crate::server::{Conn, UNIX_ADDR_PREFIX};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -66,6 +73,18 @@ impl Client {
     /// Connect/transport failures, or a server that refuses the
     /// handshake.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Self::connect_with(addr, None)
+    }
+
+    /// [`Client::connect`] with an optional socket deadline: every read
+    /// and write on the connection (the handshake included) fails with a
+    /// `TimedOut`/`WouldBlock` I/O error after `timeout` instead of
+    /// blocking forever on a wedged server.
+    ///
+    /// # Errors
+    /// Connect/transport failures, or a server that refuses the
+    /// handshake.
+    pub fn connect_with(addr: &str, timeout: Option<Duration>) -> Result<Client, ClientError> {
         let conn = if let Some(path) = addr.strip_prefix(UNIX_ADDR_PREFIX) {
             #[cfg(unix)]
             {
@@ -82,6 +101,10 @@ impl Client {
             stream.set_nodelay(true)?;
             Conn::Tcp(stream)
         };
+        if timeout.is_some() {
+            conn.set_read_timeout(timeout)?;
+            conn.set_write_timeout(timeout)?;
+        }
         let mut client = Client { conn, version: 0 };
         match client.exchange(&Request::Hello {
             version: PROTOCOL_VERSION,
@@ -218,4 +241,316 @@ fn lift(resp: Response, expected: &str) -> ClientError {
 
 fn unexpected(expected: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("expected {expected}, got {got:?}"))
+}
+
+/// Retry discipline for [`RetryingClient`]: how many times to retry a
+/// transient failure and how to pace the attempts. Backoff uses
+/// *decorrelated jitter* — `sleep = clamp(base, rand(base, 3·prev), cap)`
+/// — which spreads a thundering herd of refused clients instead of
+/// re-synchronizing them the way plain exponential backoff does.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = fail fast, no retry).
+    pub retries: u32,
+    /// Smallest sleep between attempts.
+    pub base: Duration,
+    /// Largest sleep between attempts (the `retry_after_ms` server hint
+    /// may still push an individual sleep past this).
+    pub cap: Duration,
+    /// Seed for the jitter stream — fixed seed, reproducible pacing.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// `retries` attempts with the default pacing (2 ms base, 500 ms cap).
+    pub fn new(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 0,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(500),
+            seed: 0x243F_6A88_85A3_08D3, // pi, for want of a better nothing-up-my-sleeve
+        }
+    }
+}
+
+/// Whether an error is worth retrying. Transport errors (connection
+/// reset, timeout) and `Overloaded` are plainly transient. `Internal` is
+/// retryable *for this protocol* because every request is an idempotent
+/// read and a panic-poisoned batch does not outlive its flush — the next
+/// attempt lands in a fresh batch (DESIGN.md §13.6).
+fn retryable(err: &ClientError) -> bool {
+    matches!(err, ClientError::Io(_))
+        || matches!(
+            err,
+            ClientError::Server(ErrorCode::Overloaded | ErrorCode::Internal, _)
+        )
+}
+
+/// A [`Client`] that survives a flaky server: transport failures drop the
+/// connection and redial, transient server errors back off and retry
+/// under the [`RetryPolicy`] budget. Counters record what happened so a
+/// load harness can tell *recovered* failures from *unrecovered* ones.
+pub struct RetryingClient {
+    addr: String,
+    timeout: Option<Duration>,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    prev_sleep: Duration,
+    rng: u64,
+    attempts: u64,
+    recovered: u64,
+    gave_up: u64,
+}
+
+impl RetryingClient {
+    /// A lazy client for `addr`: the first operation dials (and every
+    /// operation after a transport error redials) with `timeout` applied
+    /// to the socket, [`Client::connect_with`]-style.
+    pub fn new(addr: &str, policy: RetryPolicy, timeout: Option<Duration>) -> Self {
+        RetryingClient {
+            addr: addr.to_string(),
+            timeout,
+            policy,
+            client: None,
+            prev_sleep: policy.base,
+            rng: policy.seed,
+            attempts: 0,
+            recovered: 0,
+            gave_up: 0,
+        }
+    }
+
+    /// Operations attempted, including retries — one per wire exchange.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Operations that failed at least once and then succeeded.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Operations that exhausted the retry budget on a transient error.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // splitmix64 — the same generator the fault plane uses, so the
+        // whole chaos pipeline is deterministic end to end.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Decorrelated jitter, floored by the server's `retry_after_ms` hint
+    /// when one came back with the refusal.
+    fn next_backoff(&mut self, floor: Option<Duration>) -> Duration {
+        let base = self.policy.base;
+        let hi = (self.prev_sleep * 3).clamp(base, self.policy.cap);
+        let span_us = hi.saturating_sub(base).as_micros() as u64;
+        let jittered = if span_us == 0 {
+            base
+        } else {
+            base + Duration::from_micros(self.next_rand() % (span_us + 1))
+        };
+        let sleep = jittered.max(floor.unwrap_or(Duration::ZERO));
+        self.prev_sleep = sleep.min(self.policy.cap);
+        sleep
+    }
+
+    fn with_retry<T>(
+        &mut self,
+        op: impl Fn(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut failures = 0u32;
+        loop {
+            self.attempts += 1;
+            let result = match self.client {
+                Some(ref mut c) => op(c),
+                None => match Client::connect_with(&self.addr, self.timeout) {
+                    Ok(mut c) => {
+                        let r = op(&mut c);
+                        self.client = Some(c);
+                        r
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            match result {
+                Ok(v) => {
+                    if failures > 0 {
+                        self.recovered += 1;
+                        self.prev_sleep = self.policy.base;
+                    }
+                    return Ok(v);
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Io(_)) {
+                        // The stream position is unknowable after a
+                        // transport error; redial on the next attempt.
+                        self.client = None;
+                    }
+                    if !retryable(&e) {
+                        return Err(e);
+                    }
+                    if failures >= self.policy.retries {
+                        self.gave_up += 1;
+                        return Err(e);
+                    }
+                    failures += 1;
+                    let floor = match &e {
+                        ClientError::Server(_, message) => {
+                            retry_after_ms(message).map(Duration::from_millis)
+                        }
+                        _ => None,
+                    };
+                    std::thread::sleep(self.next_backoff(floor));
+                }
+            }
+        }
+    }
+
+    /// [`Client::query`] with retries.
+    ///
+    /// # Errors
+    /// A non-transient error, or a transient one that outlived the budget.
+    pub fn query(
+        &mut self,
+        graph: &str,
+        epoch: u64,
+        kind: QueryKind,
+        pairs: &[(u32, u32)],
+    ) -> Result<(u64, Vec<u32>), ClientError> {
+        self.with_retry(|c| c.query(graph, epoch, kind, pairs))
+    }
+
+    /// [`Client::list`] with retries.
+    ///
+    /// # Errors
+    /// A non-transient error, or a transient one that outlived the budget.
+    pub fn list(&mut self) -> Result<Vec<GraphInfo>, ClientError> {
+        self.with_retry(Client::list)
+    }
+
+    /// [`Client::info`] with retries.
+    ///
+    /// # Errors
+    /// A non-transient error, or a transient one that outlived the budget.
+    pub fn info(&mut self, graph: &str) -> Result<GraphInfo, ClientError> {
+        self.with_retry(|c| c.info(graph))
+    }
+
+    /// [`Client::stats`] with retries.
+    ///
+    /// # Errors
+    /// A non-transient error, or a transient one that outlived the budget.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        self.with_retry(Client::stats)
+    }
+
+    /// [`Client::reload`] with retries. Reload is idempotent in effect
+    /// (each attempt rebuilds from the same file), so retrying is safe;
+    /// a duplicated attempt costs an extra epoch bump, nothing more.
+    ///
+    /// # Errors
+    /// A non-transient error, or a transient one that outlived the budget.
+    pub fn reload(&mut self, graph: &str) -> Result<u64, ClientError> {
+        self.with_retry(|c| c.reload(graph))
+    }
+
+    /// [`Client::shutdown`] with retries.
+    ///
+    /// # Errors
+    /// A non-transient error, or a transient one that outlived the budget.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.with_retry(Client::shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_decorrelated_bounded_and_seeded() {
+        let policy = RetryPolicy {
+            retries: 8,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(50),
+            seed: 42,
+        };
+        let mut a = RetryingClient::new("127.0.0.1:1", policy, None);
+        let mut b = RetryingClient::new("127.0.0.1:1", policy, None);
+        let mut prev = policy.base;
+        for _ in 0..32 {
+            let sa = a.next_backoff(None);
+            let sb = b.next_backoff(None);
+            assert_eq!(sa, sb, "same seed, same pacing");
+            assert!(sa >= policy.base && sa <= policy.cap);
+            assert!(sa <= (prev * 3).clamp(policy.base, policy.cap));
+            prev = sa;
+        }
+        // The server hint floors the sleep, even past the cap.
+        let hinted = a.next_backoff(Some(Duration::from_millis(200)));
+        assert!(hinted >= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn transient_errors_are_retryable_and_client_bugs_are_not() {
+        assert!(retryable(&ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "reset"
+        ))));
+        assert!(retryable(&ClientError::Server(
+            ErrorCode::Overloaded,
+            "retry_after_ms=1".to_string()
+        )));
+        assert!(retryable(&ClientError::Server(
+            ErrorCode::Internal,
+            "batch launch panicked (isolated): injected".to_string()
+        )));
+        assert!(!retryable(&ClientError::Server(
+            ErrorCode::NodeOutOfRange,
+            "node 9 out of range".to_string()
+        )));
+        assert!(!retryable(&ClientError::Protocol("garbage".to_string())));
+    }
+
+    #[test]
+    fn retry_budget_zero_fails_fast_and_counts_the_give_up() {
+        // Nothing listens on a reserved port; every dial fails with Io.
+        let mut c = RetryingClient::new("127.0.0.1:1", RetryPolicy::new(0), None);
+        let err = c.list().unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)));
+        assert_eq!(c.attempts(), 1);
+        assert_eq!(c.gave_up(), 1);
+        assert_eq!(c.recovered(), 0);
+
+        let mut c = RetryingClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                retries: 2,
+                base: Duration::from_micros(100),
+                cap: Duration::from_micros(200),
+                seed: 1,
+            },
+            None,
+        );
+        let err = c.list().unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)));
+        assert_eq!(c.attempts(), 3, "initial try + two retries");
+        assert_eq!(c.gave_up(), 1);
+    }
 }

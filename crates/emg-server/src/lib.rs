@@ -21,7 +21,13 @@
 //!   deadline;
 //! * [`server`] — the listener and per-connection sessions;
 //! * [`client`] — the blocking client the CLI's `emg client` and the
-//!   qps sweep drive.
+//!   qps sweep drive, plus the retrying wrapper the chaos sweep drives.
+//!
+//! Robustness (DESIGN.md §13): sessions run under read/write deadlines,
+//! the batcher bounds its queue (`Overloaded` + retry hint) and isolates
+//! per-batch panics, reload failures never unseat a serving snapshot,
+//! shutdown drains admitted work, and the whole plane is exercised by
+//! deterministic fault injection (`EMG_FAULT`) from the gpu-sim device.
 //!
 //! The correctness contract throughout: a batched answer is
 //! **bit-identical** to what the one-shot CLI path computes for the same
@@ -37,8 +43,10 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use batcher::{BatchConfig, Batcher};
+pub use batcher::{BatchConfig, Batcher, DEFAULT_MAX_PENDING};
 pub use catalog::{Catalog, Snapshot};
-pub use client::{Client, ClientError};
-pub use protocol::{ErrorCode, GraphInfo, QueryKind, Request, Response, ServerStats};
-pub use server::Server;
+pub use client::{Client, ClientError, RetryPolicy, RetryingClient};
+pub use protocol::{
+    retry_after_ms, ErrorCode, GraphInfo, QueryKind, Request, Response, ServerStats,
+};
+pub use server::{Server, SessionLimits};

@@ -65,8 +65,14 @@ pub enum ErrorCode {
     UnknownKind = 9,
     /// The first frame of a connection was not a `Hello`.
     ExpectedHello = 10,
-    /// The server failed internally (worker gone, reload I/O error, ...).
+    /// The server failed internally (worker gone, reload I/O error, a
+    /// batch launch that panicked and was isolated, ...).
     Internal = 11,
+    /// The batcher's admission control refused the request: the pending
+    /// queue is at capacity. The message carries a
+    /// `retry_after_ms=<n>` hint (see [`retry_after_ms`]); the request
+    /// was **not** enqueued and is safe to retry after backing off.
+    Overloaded = 12,
 }
 
 impl ErrorCode {
@@ -89,9 +95,35 @@ impl ErrorCode {
             9 => Self::UnknownKind,
             10 => Self::ExpectedHello,
             11 => Self::Internal,
+            12 => Self::Overloaded,
             _ => return None,
         })
     }
+}
+
+/// The key an [`ErrorCode::Overloaded`] message uses to carry its backoff
+/// hint, e.g. `server overloaded (4096 pairs pending); retry_after_ms=2`.
+/// Carried inside the message string so the error frame layout stays
+/// byte-identical for every code (append-only wire discipline).
+pub const RETRY_AFTER_KEY: &str = "retry_after_ms=";
+
+/// Formats the canonical `Overloaded` message with its retry hint.
+pub fn overloaded_message(pending_pairs: usize, cap: usize, retry_after_ms: u64) -> String {
+    format!(
+        "server overloaded ({pending_pairs} pairs pending, cap {cap}); \
+         {RETRY_AFTER_KEY}{retry_after_ms}"
+    )
+}
+
+/// Extracts the `retry_after_ms=<n>` hint from an error message, if
+/// present. Retrying clients use it as the floor of their next backoff.
+pub fn retry_after_ms(message: &str) -> Option<u64> {
+    let start = message.find(RETRY_AFTER_KEY)? + RETRY_AFTER_KEY.len();
+    let rest = &message[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// The query families a snapshot can answer. Each answer is one `u32`
@@ -207,6 +239,15 @@ pub struct ServerStats {
     /// Power-of-two batch-size histogram (`hist[i]` counts batches of
     /// size in `[2^i, 2^(i+1))`).
     pub batch_hist: Vec<u64>,
+    /// Sessions closed because a read or write deadline expired (idle
+    /// reaping and slow-loris/stalled-peer defense).
+    pub timeouts: u64,
+    /// Requests refused with [`ErrorCode::Overloaded`] by the batcher's
+    /// admission control.
+    pub overloads: u64,
+    /// Batch launches that panicked and were isolated: their requesters
+    /// got [`ErrorCode::Internal`], the daemon kept serving.
+    pub panics_isolated: u64,
 }
 
 /// A client-to-server message.
@@ -559,6 +600,11 @@ impl Response {
                 for b in &stats.batch_hist {
                     buf.extend_from_slice(&b.to_le_bytes());
                 }
+                // Robustness counters, appended after the histogram (the
+                // variable-length field keeps its prefix position).
+                buf.extend_from_slice(&stats.timeouts.to_le_bytes());
+                buf.extend_from_slice(&stats.overloads.to_le_bytes());
+                buf.extend_from_slice(&stats.panics_isolated.to_le_bytes());
             }
             Response::ReloadOk { epoch } => {
                 buf.push(0x86);
@@ -623,6 +669,9 @@ impl Response {
                         size_flushes,
                         deadline_flushes,
                         batch_hist,
+                        timeouts: r.u64()?,
+                        overloads: r.u64()?,
+                        panics_isolated: r.u64()?,
                     },
                 }
             }
@@ -782,6 +831,9 @@ mod tests {
                     size_flushes: 1,
                     deadline_flushes: 1,
                     batch_hist: vec![0, 1, 1],
+                    timeouts: 3,
+                    overloads: 4,
+                    panics_isolated: 5,
                 },
             },
             Response::ReloadOk { epoch: 4 },
@@ -850,11 +902,21 @@ mod tests {
 
     #[test]
     fn error_codes_round_trip() {
-        for raw in 1..=11u16 {
+        for raw in 1..=12u16 {
             let code = ErrorCode::from_u16(raw).unwrap();
             assert_eq!(code.as_u16(), raw);
         }
         assert_eq!(ErrorCode::from_u16(0), None);
         assert_eq!(ErrorCode::from_u16(999), None);
+    }
+
+    #[test]
+    fn retry_after_hint_round_trips_through_the_message() {
+        let msg = overloaded_message(4096, 4000, 7);
+        assert_eq!(retry_after_ms(&msg), Some(7));
+        assert_eq!(retry_after_ms("no hint here"), None);
+        assert_eq!(retry_after_ms("retry_after_ms="), None);
+        // The hint parses even with trailing prose after the digits.
+        assert_eq!(retry_after_ms("busy; retry_after_ms=12, sorry"), Some(12));
     }
 }

@@ -9,6 +9,15 @@
 //! it joins a batch, and writes exactly one response frame per request
 //! frame, in order. All query work funnels through the shared batcher, so
 //! concurrency across sessions is what creates coalescing opportunities.
+//!
+//! Sessions read under two deadlines (DESIGN.md §13.3): an *idle* window
+//! for the first byte of each frame (`EMG_SERVE_IDLE_MS`) and a *frame*
+//! window for the rest of it (`EMG_SERVE_IO_TIMEOUT_MS`), so a client
+//! that trickles one byte per minute — the slow-loris shape — is reaped
+//! instead of pinning a session thread forever. Writes run under the
+//! frame deadline, too. When the accept loop exits, [`Server::run`]
+//! drains the batcher before returning: every admitted query is answered
+//! before shutdown completes.
 
 use crate::batcher::{BatchConfig, Batcher};
 use crate::catalog::{Catalog, ServeError};
@@ -16,6 +25,8 @@ use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN,
     PROTOCOL_VERSION,
 };
+use gpu_sim::env::{parse_positive_knob, EMG_SERVE_IDLE_MS, EMG_SERVE_IO_TIMEOUT_MS};
+use gpu_sim::DeviceConfig;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -23,7 +34,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Prefix selecting a Unix-domain socket address (`unix:/path/to.sock`).
 pub const UNIX_ADDR_PREFIX: &str = "unix:";
@@ -61,6 +72,131 @@ impl Write for Conn {
             Conn::Tcp(s) => s.flush(),
             #[cfg(unix)]
             Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
+}
+
+/// Default idle window before a silent session is reaped, milliseconds.
+pub const DEFAULT_IDLE_MS: u64 = 30_000;
+/// Default per-frame read/write deadline, milliseconds.
+pub const DEFAULT_IO_TIMEOUT_MS: u64 = 5_000;
+
+/// Per-session read/write deadlines (DESIGN.md §13.3).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLimits {
+    /// How long a session may sit between frames before it is closed.
+    pub idle: Duration,
+    /// Once a frame's first byte arrives, the whole frame — and every
+    /// response write — must complete within this window.
+    pub io: Duration,
+}
+
+impl SessionLimits {
+    /// Reads `EMG_SERVE_IDLE_MS` and `EMG_SERVE_IO_TIMEOUT_MS` from the
+    /// environment (registry-validated; a typo panics, unset means the
+    /// defaults).
+    pub fn from_env() -> Self {
+        SessionLimits {
+            idle: Duration::from_millis(parse_positive_knob(EMG_SERVE_IDLE_MS, DEFAULT_IDLE_MS)),
+            io: Duration::from_millis(parse_positive_knob(
+                EMG_SERVE_IO_TIMEOUT_MS,
+                DEFAULT_IO_TIMEOUT_MS,
+            )),
+        }
+    }
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            idle: Duration::from_millis(DEFAULT_IDLE_MS),
+            io: Duration::from_millis(DEFAULT_IO_TIMEOUT_MS),
+        }
+    }
+}
+
+/// A one-frame [`Read`] adapter enforcing the two-deadline discipline:
+/// the *idle* budget governs the wait for the frame's first byte; from
+/// that byte on, the remainder of the frame must land before a fixed
+/// *frame* deadline. The per-syscall socket timeout is re-armed to the
+/// remaining budget before every read, so no single `read(2)` can
+/// outlive the deadline no matter how slowly bytes trickle in.
+struct DeadlineReader<'a> {
+    conn: &'a mut Conn,
+    limits: SessionLimits,
+    /// Set once the first byte arrives; the whole frame must beat it.
+    frame_deadline: Option<Instant>,
+    /// True when the session died by deadline rather than by I/O error.
+    timed_out: bool,
+}
+
+impl<'a> DeadlineReader<'a> {
+    fn new(conn: &'a mut Conn, limits: SessionLimits) -> Self {
+        DeadlineReader {
+            conn,
+            limits,
+            frame_deadline: None,
+            timed_out: false,
+        }
+    }
+
+    fn deadline_error(&mut self) -> std::io::Error {
+        self.timed_out = true;
+        std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            if self.frame_deadline.is_some() {
+                "frame read deadline elapsed"
+            } else {
+                "session idle deadline elapsed"
+            },
+        )
+    }
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let budget = match self.frame_deadline {
+            None => self.limits.idle,
+            Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+        };
+        if budget.is_zero() {
+            return Err(self.deadline_error());
+        }
+        self.conn.set_read_timeout(Some(budget))?;
+        match self.conn.read(buf) {
+            Ok(n) => {
+                if n > 0 && self.frame_deadline.is_none() {
+                    self.frame_deadline = Some(Instant::now() + self.limits.io);
+                }
+                Ok(n)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(self.deadline_error())
+            }
+            Err(e) => Err(e),
         }
     }
 }
@@ -124,17 +260,42 @@ pub struct Server {
     catalog: Arc<Catalog>,
     batcher: Arc<Batcher>,
     shutdown: Arc<AtomicBool>,
+    limits: SessionLimits,
 }
 
 impl Server {
     /// Binds `addr` (`host:port`, `127.0.0.1:0` for an ephemeral test
     /// port, or `unix:/path`), loads every graph in `catalog_dir` into
-    /// epoch-1 snapshots, and starts the batcher worker.
+    /// epoch-1 snapshots, and starts the batcher worker. Device
+    /// configuration and session limits come from the environment.
     ///
     /// # Errors
     /// Bind failures surface as `Internal` alongside catalog load errors.
     pub fn bind(addr: &str, catalog_dir: &Path, config: BatchConfig) -> Result<Server, ServeError> {
-        let catalog = Arc::new(Catalog::open(catalog_dir)?);
+        Self::bind_with(
+            addr,
+            catalog_dir,
+            config,
+            DeviceConfig::default(),
+            SessionLimits::from_env(),
+        )
+    }
+
+    /// [`Server::bind`] with an explicit device template (applied to every
+    /// snapshot the catalog builds — this is how the chaos harness arms a
+    /// fault plane without touching the process environment) and explicit
+    /// session limits.
+    ///
+    /// # Errors
+    /// Bind failures surface as `Internal` alongside catalog load errors.
+    pub fn bind_with(
+        addr: &str,
+        catalog_dir: &Path,
+        config: BatchConfig,
+        device_cfg: DeviceConfig,
+        limits: SessionLimits,
+    ) -> Result<Server, ServeError> {
+        let catalog = Arc::new(Catalog::open_with(catalog_dir, device_cfg)?);
         let listener = Listener::bind(addr)
             .map_err(|e| (ErrorCode::Internal, format!("binding {addr}: {e}")))?;
         Ok(Server {
@@ -142,6 +303,7 @@ impl Server {
             catalog,
             batcher: Arc::new(Batcher::new(config)),
             shutdown: Arc::new(AtomicBool::new(false)),
+            limits,
         })
     }
 
@@ -173,9 +335,11 @@ impl Server {
         Arc::clone(&self.catalog)
     }
 
-    /// Accepts and serves connections until shutdown. Session threads are
-    /// detached; they exit when their client hangs up, and the batcher
-    /// drains its queue before the final drop.
+    /// Accepts and serves connections until shutdown, then drains the
+    /// batcher: every query admitted before the shutdown flag flipped is
+    /// answered before this returns (DESIGN.md §13.5). Session threads
+    /// are detached; they exit when their client hangs up or a deadline
+    /// reaps them.
     ///
     /// # Errors
     /// Only setup-level I/O errors (making the listener pollable); accept
@@ -189,6 +353,7 @@ impl Server {
                         catalog: Arc::clone(&self.catalog),
                         batcher: Arc::clone(&self.batcher),
                         shutdown: Arc::clone(&self.shutdown),
+                        limits: self.limits,
                     };
                     std::thread::Builder::new()
                         .name("emg-serve-session".into())
@@ -201,6 +366,11 @@ impl Server {
                 Err(_) => std::thread::sleep(Duration::from_millis(2)),
             }
         }
+        // Graceful drain: stop the batcher's worker after it has flushed
+        // everything already admitted. Sessions still blocked in
+        // `submit`'s receiver get their answers; anything arriving after
+        // this point is refused with `shutting down`.
+        self.batcher.stop();
         Ok(())
     }
 }
@@ -209,15 +379,28 @@ struct SessionCtx {
     catalog: Arc<Catalog>,
     batcher: Arc<Batcher>,
     shutdown: Arc<AtomicBool>,
+    limits: SessionLimits,
 }
 
-fn send(conn: &mut Conn, resp: &Response) -> bool {
-    write_frame(conn, &resp.encode()).is_ok()
+fn send(conn: &mut Conn, ctx: &SessionCtx, resp: &Response) -> bool {
+    match write_frame(conn, &resp.encode()) {
+        Ok(()) => true,
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                ctx.batcher.note_timeout();
+            }
+            false
+        }
+    }
 }
 
-fn send_error(conn: &mut Conn, err: ServeError) -> bool {
+fn send_error(conn: &mut Conn, ctx: &SessionCtx, err: ServeError) -> bool {
     send(
         conn,
+        ctx,
         &Response::Error {
             code: err.0,
             message: err.1,
@@ -225,15 +408,32 @@ fn send_error(conn: &mut Conn, err: ServeError) -> bool {
     )
 }
 
+/// Reads one frame under the session deadlines; a deadline miss is
+/// counted in the server stats and surfaces as `FrameError::Io` with
+/// kind `TimedOut`, which closes the session.
+fn read_frame_deadlined(conn: &mut Conn, ctx: &SessionCtx) -> Result<Vec<u8>, FrameError> {
+    let mut reader = DeadlineReader::new(conn, ctx.limits);
+    let result = read_frame(&mut reader);
+    if reader.timed_out {
+        ctx.batcher.note_timeout();
+    }
+    result
+}
+
 /// One connection: handshake, then the request/response loop.
 fn run_session(mut conn: Conn, ctx: &SessionCtx) {
+    // Response writes run under the frame deadline from the first byte.
+    if conn.set_write_timeout(Some(ctx.limits.io)).is_err() {
+        return;
+    }
     // Handshake: the first frame must be a well-formed Hello.
-    match read_frame(&mut conn) {
+    match read_frame_deadlined(&mut conn, ctx) {
         Ok(payload) => match Request::decode(&payload) {
             Ok(Request::Hello { version }) => {
                 if version == 0 {
                     send_error(
                         &mut conn,
+                        ctx,
                         (
                             ErrorCode::UnsupportedVersion,
                             "client offered protocol version 0".to_string(),
@@ -244,6 +444,7 @@ fn run_session(mut conn: Conn, ctx: &SessionCtx) {
                 let negotiated = version.min(PROTOCOL_VERSION);
                 if !send(
                     &mut conn,
+                    ctx,
                     &Response::HelloOk {
                         version: negotiated,
                     },
@@ -254,6 +455,7 @@ fn run_session(mut conn: Conn, ctx: &SessionCtx) {
             Ok(_) => {
                 send_error(
                     &mut conn,
+                    ctx,
                     (
                         ErrorCode::ExpectedHello,
                         "the first frame must be Hello".to_string(),
@@ -262,13 +464,14 @@ fn run_session(mut conn: Conn, ctx: &SessionCtx) {
                 return;
             }
             Err(err) => {
-                send_error(&mut conn, err);
+                send_error(&mut conn, ctx, err);
                 return;
             }
         },
         Err(FrameError::TooLarge(n)) => {
             send_error(
                 &mut conn,
+                ctx,
                 (
                     ErrorCode::FrameTooLarge,
                     format!("frame length {n} exceeds the {MAX_FRAME_LEN} cap"),
@@ -281,13 +484,14 @@ fn run_session(mut conn: Conn, ctx: &SessionCtx) {
 
     // Request loop: one response per request, in order.
     loop {
-        let payload = match read_frame(&mut conn) {
+        let payload = match read_frame_deadlined(&mut conn, ctx) {
             Ok(p) => p,
             Err(FrameError::TooLarge(n)) => {
                 // The stream position is unrecoverable past a bad length
                 // prefix; report and close.
                 send_error(
                     &mut conn,
+                    ctx,
                     (
                         ErrorCode::FrameTooLarge,
                         format!("frame length {n} exceeds the {MAX_FRAME_LEN} cap"),
@@ -300,7 +504,7 @@ fn run_session(mut conn: Conn, ctx: &SessionCtx) {
         let request = match Request::decode(&payload) {
             Ok(r) => r,
             Err(err) => {
-                if !send_error(&mut conn, err) {
+                if !send_error(&mut conn, ctx, err) {
                     return;
                 }
                 continue;
@@ -308,12 +512,12 @@ fn run_session(mut conn: Conn, ctx: &SessionCtx) {
         };
         match handle_request(request, ctx) {
             Flow::Reply(resp) => {
-                if !send(&mut conn, &resp) {
+                if !send(&mut conn, ctx, &resp) {
                     return;
                 }
             }
             Flow::Quit(resp) => {
-                send(&mut conn, &resp);
+                send(&mut conn, ctx, &resp);
                 ctx.shutdown.store(true, Ordering::SeqCst);
                 return;
             }

@@ -1,0 +1,380 @@
+//! Chaos suite: the server under deterministic fault injection.
+//!
+//! Every test arms an explicit [`FaultConfig`] on the serving device (or
+//! inherits one from `EMG_FAULT` — the CI chaos job runs this binary under
+//! two specs at pool widths 1 and 4), then checks the DESIGN.md §13
+//! contract: the daemon never dies, affected requests surface as clean
+//! `Internal`/`Overloaded` error frames, a retrying client converges to
+//! zero unrecovered errors, and the fault schedule replays bit-identically
+//! from its seed regardless of pool width.
+
+use emg_server::batcher::BatchConfig;
+use emg_server::protocol::{ErrorCode, QueryKind};
+use emg_server::server::SessionLimits;
+use emg_server::{Client, ClientError, RetryPolicy, RetryingClient, Server};
+use gpu_sim::fault::INJECTED_PANIC;
+use gpu_sim::{DeviceConfig, FaultConfig};
+use graph_core::EdgeList;
+use graph_io::ParsedGraph;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The fault spec under test: whatever `EMG_FAULT` says (so the CI chaos
+/// job steers this suite), falling back to a seeded launch-panic spec so
+/// a plain `cargo test` exercises the fault path too.
+fn chaos_spec() -> FaultConfig {
+    let env = FaultConfig::from_env();
+    if env.is_empty() {
+        "launch_panic:p=0.05:seed=42"
+            .parse()
+            .expect("fallback spec")
+    } else {
+        env
+    }
+}
+
+fn write_catalog(tag: &str, graphs: &[(&str, &EdgeList)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("emg-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, graph) in graphs {
+        graph_io::binary::write_file(
+            dir.join(format!("{name}.emgbin")),
+            &ParsedGraph::dense((*graph).clone()),
+            None,
+        )
+        .unwrap();
+    }
+    dir
+}
+
+fn tree_graph(nodes: usize, seed: u64) -> EdgeList {
+    let tree = graphgen::random_tree(nodes, None, seed);
+    EdgeList::new(tree.num_nodes(), tree.edges())
+}
+
+struct TestServer {
+    addr: String,
+    handle: std::thread::JoinHandle<()>,
+    dir: PathBuf,
+}
+
+impl TestServer {
+    fn spawn(tag: &str, faults: FaultConfig, threads: Option<usize>) -> TestServer {
+        let graph = tree_graph(120, 5);
+        let dir = write_catalog(tag, &[("t", &graph)]);
+        let device_cfg = DeviceConfig {
+            threads,
+            faults,
+            ..DeviceConfig::default()
+        };
+        // A short coalescing window keeps one sequential client's queries
+        // in one-launch batches (launch index == query index).
+        let batch = BatchConfig {
+            max_delay: Duration::from_micros(200),
+            ..BatchConfig::default()
+        };
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            &dir,
+            batch,
+            device_cfg,
+            SessionLimits::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        TestServer { addr, handle, dir }
+    }
+
+    fn finish(self) {
+        let mut client = Client::connect(&self.addr).unwrap();
+        client.shutdown().unwrap();
+        self.handle.join().unwrap();
+        std::fs::remove_dir_all(&self.dir).unwrap();
+    }
+}
+
+#[test]
+fn daemon_survives_faults_and_the_retrying_client_converges() {
+    let spec = chaos_spec();
+    let has_panics = spec.launch_panic.is_some();
+    let server = TestServer::spawn("converge", spec, None);
+
+    // Phase 1 — no retries: a fault-poisoned batch must answer with a
+    // clean Internal error frame carrying the injected marker, and the
+    // session (and daemon) must survive it.
+    let mut raw = Client::connect(&server.addr).unwrap();
+    let mut failed = 0u64;
+    for i in 0..150u32 {
+        let pairs = [(i % 120, (i * 7 + 3) % 120)];
+        match raw.query("t", 0, QueryKind::Lca, &pairs) {
+            Ok((epoch, answers)) => {
+                assert_eq!(epoch, 1);
+                assert_eq!(answers.len(), 1);
+            }
+            Err(ClientError::Server(ErrorCode::Internal, message)) => {
+                assert!(
+                    message.contains("injected fault"),
+                    "fault errors must carry the injected marker, got: {message}"
+                );
+                failed += 1;
+            }
+            Err(other) => panic!("query {i}: unexpected error {other}"),
+        }
+    }
+    if has_panics {
+        assert!(failed > 0, "a launch_panic spec must poison some batches");
+    }
+
+    // Phase 2 — with retries: the acceptance criterion. Every query
+    // converges; zero unrecovered errors.
+    let mut retrying = RetryingClient::new(&server.addr, RetryPolicy::new(16), None);
+    for i in 0..150u32 {
+        let pairs = [(i % 120, (i * 7 + 3) % 120)];
+        let (epoch, answers) = retrying
+            .query("t", 0, QueryKind::Lca, &pairs)
+            .unwrap_or_else(|e| panic!("query {i} did not converge: {e}"));
+        assert_eq!(epoch, 1);
+        assert_eq!(answers.len(), 1);
+    }
+    assert_eq!(retrying.gave_up(), 0, "zero unrecovered errors");
+    if failed > 0 {
+        assert!(
+            retrying.attempts() >= 150,
+            "retries should show up as extra attempts"
+        );
+    }
+
+    // The isolation counter saw every poisoned batch, and the daemon is
+    // still fully in business.
+    let stats = raw.stats().unwrap();
+    assert!(stats.panics_isolated >= failed);
+    assert_eq!(raw.list().unwrap().len(), 1);
+    drop(raw);
+    server.finish();
+}
+
+/// Runs one sequential client against a fresh server and records, per
+/// query index, the answer or `None` for a fault-poisoned batch.
+fn fault_outcome_trace(tag: &str, threads: Option<usize>) -> Vec<Option<u32>> {
+    let spec: FaultConfig = "launch_panic:p=0.08:seed=1234".parse().unwrap();
+    let server = TestServer::spawn(tag, spec, threads);
+    let mut client = Client::connect(&server.addr).unwrap();
+    let mut trace = Vec::new();
+    for i in 0..80u32 {
+        let pairs = [(i % 120, (i * 11 + 1) % 120)];
+        match client.query("t", 0, QueryKind::Lca, &pairs) {
+            Ok((_, answers)) => trace.push(Some(answers[0])),
+            Err(ClientError::Server(ErrorCode::Internal, message)) => {
+                assert!(message.contains(INJECTED_PANIC), "{message}");
+                trace.push(None);
+            }
+            Err(other) => panic!("query {i}: unexpected error {other}"),
+        }
+    }
+    drop(client);
+    server.finish();
+    trace
+}
+
+#[test]
+fn fault_schedule_replays_bit_identically_across_runs_and_pool_widths() {
+    // One sequential client means launch index == query index, so the
+    // whole run — which queries fail, which answers come back — is a pure
+    // function of the seed. Two runs at width 1 and one at width 4 must
+    // produce identical traces.
+    let first = fault_outcome_trace("replay-a", Some(1));
+    let second = fault_outcome_trace("replay-b", Some(1));
+    let wide = fault_outcome_trace("replay-c", Some(4));
+    assert_eq!(first, second, "same seed, same pool width, same trace");
+    assert_eq!(first, wide, "pool width must not shift the fault schedule");
+    let poisoned = first.iter().filter(|o| o.is_none()).count();
+    assert!(
+        poisoned > 0,
+        "p=0.08 over 80 launches must fire at least once"
+    );
+    assert!(poisoned < 80, "and must not fire every time");
+}
+
+#[test]
+fn slow_loris_sessions_are_reaped_and_counted() {
+    use std::io::{Read, Write};
+    let graph = tree_graph(60, 9);
+    let dir = write_catalog("loris", &[("t", &graph)]);
+    let limits = SessionLimits {
+        idle: Duration::from_millis(200),
+        io: Duration::from_millis(200),
+    };
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        &dir,
+        BatchConfig::default(),
+        DeviceConfig::default(),
+        limits,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    // Session 1: handshake, then trickle 2 bytes of a length prefix and
+    // stall. The frame deadline must close the connection.
+    let mut stalled = std::net::TcpStream::connect(&addr).unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    emg_server::protocol::write_frame(
+        &mut stalled,
+        &emg_server::protocol::Request::Hello { version: 1 }.encode(),
+    )
+    .unwrap();
+    emg_server::protocol::read_frame(&mut stalled).unwrap();
+    stalled.write_all(&[0x08, 0x00]).unwrap();
+    let mut buf = [0u8; 16];
+    let closed = matches!(stalled.read(&mut buf), Ok(0) | Err(_));
+    assert!(closed, "the stalled session must be reaped, not served");
+
+    // Session 2: handshake, then go silent. The idle deadline reaps it.
+    let mut idle = std::net::TcpStream::connect(&addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    emg_server::protocol::write_frame(
+        &mut idle,
+        &emg_server::protocol::Request::Hello { version: 1 }.encode(),
+    )
+    .unwrap();
+    emg_server::protocol::read_frame(&mut idle).unwrap();
+    let closed = matches!(idle.read(&mut buf), Ok(0) | Err(_));
+    assert!(closed, "the idle session must be reaped");
+
+    // Both reaps are visible in the stats, and the daemon still serves.
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.timeouts >= 2,
+        "expected >= 2 timeouts, got {}",
+        stats.timeouts
+    );
+    assert_eq!(client.list().unwrap().len(), 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_reload_leaves_the_old_snapshot_serving() {
+    let graph = tree_graph(100, 13);
+    let dir = write_catalog("corrupt-reload", &[("t", &graph)]);
+    let path = dir.join("t.emgbin");
+    let good_bytes = std::fs::read(&path).unwrap();
+    // Faults from the environment (the CI chaos job) ride along; queries
+    // go through the retrying client so they converge regardless.
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        &dir,
+        BatchConfig::default(),
+        DeviceConfig::default(),
+        SessionLimits::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let mut raw = Client::connect(&addr).unwrap();
+    let mut retrying = RetryingClient::new(&addr, RetryPolicy::new(16), None);
+    assert_eq!(raw.info("t").unwrap().epoch, 1);
+    let (_, before) = retrying.query("t", 1, QueryKind::Lca, &[(5, 9)]).unwrap();
+
+    // Corrupt the file mid-way: keep a valid-looking prefix, trash the
+    // rest, truncate. Reload must fail cleanly — panic or parse error
+    // alike — and the old snapshot must keep serving at epoch 1.
+    let mut bad = good_bytes.clone();
+    let half = bad.len() / 2;
+    for b in &mut bad[half..] {
+        *b ^= 0xA5;
+    }
+    bad.truncate(half + (bad.len() - half) / 2);
+    std::fs::write(&path, &bad).unwrap();
+    match raw.reload("t") {
+        Err(ClientError::Server(ErrorCode::Internal, _)) => {}
+        other => panic!("reload of a corrupt file must fail with Internal, got {other:?}"),
+    }
+    assert_eq!(raw.info("t").unwrap().epoch, 1, "epoch unchanged");
+    let (epoch, after) = retrying.query("t", 1, QueryKind::Lca, &[(5, 9)]).unwrap();
+    assert_eq!(epoch, 1, "old snapshot still answers pinned queries");
+    assert_eq!(before, after);
+
+    // Restore the file: the next reload succeeds at epoch 2 — the failed
+    // attempt consumed nothing.
+    std::fs::write(&path, &good_bytes).unwrap();
+    assert_eq!(raw.reload("t").unwrap(), 2);
+    assert_eq!(
+        retrying.query("t", 2, QueryKind::Lca, &[(5, 9)]).unwrap().1,
+        after
+    );
+
+    raw.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reload_shutdown_and_queries_under_fire_dont_wedge() {
+    let spec: FaultConfig = {
+        let env = FaultConfig::from_env();
+        if env.is_empty() {
+            "launch_panic:p=0.02:seed=7".parse().unwrap()
+        } else {
+            env
+        }
+    };
+    let server = TestServer::spawn("under-fire", spec, None);
+    let addr = server.addr.clone();
+
+    // Three query threads and a reload thread hammer the server while the
+    // main thread pulls the plug. Nothing may panic or wedge; operations
+    // racing the shutdown may fail, and that is fine — the invariant is a
+    // clean drain.
+    let mut workers = Vec::new();
+    for w in 0..3u32 {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = RetryingClient::new(
+                &addr,
+                RetryPolicy {
+                    retries: 4,
+                    base: Duration::from_micros(200),
+                    cap: Duration::from_millis(5),
+                    seed: u64::from(w),
+                },
+                Some(Duration::from_secs(5)),
+            );
+            for i in 0..40u32 {
+                let pairs = [((w * 40 + i) % 120, (i * 3 + 1) % 120)];
+                // Racing the shutdown: both outcomes are legitimate.
+                let _ = client.query("t", 0, QueryKind::Lca, &pairs);
+            }
+        }));
+    }
+    {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            for _ in 0..10 {
+                if let Ok(mut c) = Client::connect(&addr) {
+                    let _ = c.reload("t");
+                }
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    if let Ok(mut c) = Client::connect(&addr) {
+        let _ = c.shutdown();
+    }
+    for worker in workers {
+        worker.join().expect("no worker may panic");
+    }
+    // finish() would need a live server; the shutdown already happened, so
+    // just join the run loop (it drains the batcher on the way out).
+    server.handle.join().unwrap();
+    std::fs::remove_dir_all(&server.dir).unwrap();
+}

@@ -75,7 +75,7 @@ fn arb_info() -> impl Strategy<Value = GraphInfo> {
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
-    (1u16..=11).prop_map(|raw| ErrorCode::from_u16(raw).expect("codes 1..=11 are assigned"))
+    (1u16..=12).prop_map(|raw| ErrorCode::from_u16(raw).expect("codes 1..=12 are assigned"))
 }
 
 fn arb_stats() -> impl Strategy<Value = ServerStats> {
@@ -86,9 +86,14 @@ fn arb_stats() -> impl Strategy<Value = ServerStats> {
             any::<u64>(),
             proptest::collection::vec(any::<u64>(), 0..24),
         ),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |((queries, batches, max_batch), (size_flushes, deadline_flushes, batch_hist))| {
+            |(
+                (queries, batches, max_batch),
+                (size_flushes, deadline_flushes, batch_hist),
+                (timeouts, overloads, panics_isolated),
+            )| {
                 ServerStats {
                     queries,
                     batches,
@@ -96,6 +101,9 @@ fn arb_stats() -> impl Strategy<Value = ServerStats> {
                     size_flushes,
                     deadline_flushes,
                     batch_hist,
+                    timeouts,
+                    overloads,
+                    panics_isolated,
                 }
             },
         )
@@ -204,6 +212,118 @@ proptest! {
         let pos = pos % payload.len();
         payload[pos] ^= flip;
         let _ = Request::decode(&payload);
+    }
+}
+
+/// Satellite hardening: the property suite above checks `decode` in
+/// isolation; this one drives the same malformed inputs into a *live*
+/// session over TCP. The invariant is the DESIGN.md §13 contract — the
+/// server never panics on hostile bytes; it answers an error frame
+/// (tag 0xFF) or closes the connection cleanly, and it keeps serving
+/// well-behaved clients afterwards.
+mod live_session {
+    use super::*;
+    use emg_server::{BatchConfig, Client, Server};
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    /// One shared server for every fuzz case, listening over a one-tree
+    /// catalog. Leaked at process exit, like any detached test server.
+    fn fuzz_server_addr() -> &'static str {
+        static ADDR: OnceLock<String> = OnceLock::new();
+        ADDR.get_or_init(|| {
+            let dir = std::env::temp_dir().join(format!("emg-fuzz-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("t.txt"), "0\t1\n0\t2\n1\t3\n").unwrap();
+            let server = Server::bind("127.0.0.1:0", &dir, BatchConfig::default()).unwrap();
+            let addr = server.local_addr();
+            std::thread::spawn(move || {
+                let _ = server.run();
+            });
+            addr
+        })
+    }
+
+    /// A fresh well-behaved client can still handshake and list — the
+    /// whole point of session isolation.
+    fn server_still_alive(addr: &str) -> bool {
+        Client::connect(addr).and_then(|mut c| c.list()).is_ok()
+    }
+
+    fn handshake(addr: &str) -> TcpStream {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write_frame(&mut stream, &Request::Hello { version: 1 }.encode()).unwrap();
+        let hello = read_frame(&mut stream).unwrap();
+        assert!(Response::decode(&hello).is_ok());
+        stream
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn hostile_frames_never_kill_the_server(
+            request in arb_request(),
+            mode in 0usize..4,
+            pos in any::<usize>(),
+            flip in 1u8..=255,
+            cut in any::<usize>(),
+        ) {
+            use emg_server::protocol::MAX_FRAME_LEN;
+            let addr = fuzz_server_addr();
+            let mut stream = handshake(addr);
+            let payload = request.encode();
+            let mut disconnected_mid_frame = false;
+            match mode {
+                0 => {
+                    // A bit-flipped payload inside a well-formed frame.
+                    let mut p = payload.clone();
+                    let i = pos % p.len();
+                    p[i] ^= flip;
+                    write_frame(&mut stream, &p).unwrap();
+                }
+                1 => {
+                    // A truncated payload inside a well-formed frame.
+                    let c = cut % payload.len();
+                    write_frame(&mut stream, &payload[..c]).unwrap();
+                }
+                2 => {
+                    // Mid-frame disconnect: promise more than we deliver,
+                    // then hang up.
+                    let promised = (payload.len() as u32).max(4);
+                    stream.write_all(&promised.to_le_bytes()).unwrap();
+                    let c = cut % payload.len();
+                    stream.write_all(&payload[..c]).unwrap();
+                    stream.shutdown(std::net::Shutdown::Both).unwrap();
+                    disconnected_mid_frame = true;
+                }
+                _ => {
+                    // A length prefix past the frame cap.
+                    let huge = MAX_FRAME_LEN + 1 + (pos as u32 % 1024);
+                    stream.write_all(&huge.to_le_bytes()).unwrap();
+                }
+            }
+            if !disconnected_mid_frame {
+                // The server answers a decodable frame — an error (0xFF)
+                // for hostile bytes, or a valid response when the flip
+                // landed on a don't-care byte — or closes cleanly. Never
+                // garbage, never an oversized frame.
+                match read_frame(&mut stream) {
+                    Ok(frame) => prop_assert!(Response::decode(&frame).is_ok()),
+                    Err(FrameError::Eof) | Err(FrameError::Io(_)) => {}
+                    Err(FrameError::TooLarge(n)) => {
+                        prop_assert!(false, "server sent an oversized frame ({n})")
+                    }
+                }
+            }
+            prop_assert!(server_still_alive(addr), "server died after mode {}", mode);
+        }
     }
 }
 

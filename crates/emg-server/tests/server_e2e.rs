@@ -230,6 +230,7 @@ fn concurrent_clients_coalesce_and_stay_exact() {
         BatchConfig {
             max_batch: 4096,
             max_delay: std::time::Duration::from_millis(2),
+            ..BatchConfig::default()
         },
     );
 

@@ -44,7 +44,7 @@
 
 use crate::device::Device;
 use parking_lot::Mutex;
-use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::marker::PhantomData;
 use std::ptr::NonNull;
 
@@ -127,20 +127,18 @@ impl RawBlock {
         Layout::from_size_align(bytes, ARENA_ALIGN).expect("arena block layout")
     }
 
-    /// Allocates a zeroed block of exactly `bytes` (a class size).
-    fn alloc(bytes: usize) -> Self {
+    /// Allocates a zeroed block of exactly `bytes` (a class size), or
+    /// `None` when the system allocator refuses.
+    fn try_alloc(bytes: usize) -> Option<Self> {
         debug_assert!(bytes.is_power_of_two() && bytes >= (1 << MIN_CLASS_SHIFT));
         let layout = Self::layout(bytes);
         // SAFETY: layout has non-zero size.
         let ptr = unsafe { alloc_zeroed(layout) };
-        let Some(ptr) = NonNull::new(ptr) else {
-            handle_alloc_error(layout);
-        };
-        Self {
-            ptr,
+        Some(Self {
+            ptr: NonNull::new(ptr)?,
             bytes,
             tainted: false,
-        }
+        })
     }
 
     /// Restores the fully-initialized invariant after a padded element
@@ -157,8 +155,45 @@ impl RawBlock {
     }
 }
 
+/// Why a fallible arena acquisition did not produce a block: either the
+/// device's fault plane refused it (see [`crate::fault`]) or the system
+/// allocator did. Surfaced by [`Device::try_scratch`]; the infallible
+/// wrappers turn it into a panic that carries the same message, so a
+/// `catch_unwind` isolation layer (the `emg serve` batcher) can contain
+/// either cause without the process dying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaError {
+    /// The fault plane's seeded schedule refused this acquisition.
+    Injected {
+        /// The refused request size.
+        bytes: usize,
+    },
+    /// The system allocator returned null for the block.
+    Exhausted {
+        /// The size class that could not be allocated.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArenaError::Injected { bytes } => write!(
+                f,
+                "{} refusing {bytes} bytes",
+                crate::fault::INJECTED_ALLOC_FAIL
+            ),
+            ArenaError::Exhausted { bytes } => {
+                write!(f, "device arena exhausted: {bytes}-byte class unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
+
 /// Rounds a byte request up to its size class. Zero-byte requests share the
-/// smallest class index but never allocate (see [`DeviceArena::acquire`]).
+/// smallest class index but never allocate (see [`DeviceArena::try_acquire`]).
 fn class_of(bytes: usize) -> (usize, usize) {
     let rounded = bytes.next_power_of_two().max(1 << MIN_CLASS_SHIFT);
     let idx = (rounded.trailing_zeros() - MIN_CLASS_SHIFT) as usize;
@@ -207,10 +242,14 @@ impl DeviceArena {
     }
 
     /// Acquires a block of at least `bytes`; returns the guard and whether
-    /// the block was served from the pool (`true`) or freshly allocated.
-    fn acquire(&self, bytes: usize) -> (ScratchGuard<'_>, bool) {
+    /// the block was served from the pool (`true`) or freshly allocated. A
+    /// refused system allocation surfaces as [`ArenaError::Exhausted`]
+    /// rather than aborting; the primitives thread this path through
+    /// [`Device::try_scratch`], where the fault plane can also inject
+    /// failures.
+    fn try_acquire(&self, bytes: usize) -> Result<(ScratchGuard<'_>, bool), ArenaError> {
         if bytes == 0 {
-            return (
+            return Ok((
                 ScratchGuard {
                     arena: self,
                     block: None,
@@ -218,7 +257,7 @@ impl DeviceArena {
                     rec: None,
                 },
                 false,
-            );
+            ));
         }
         let (idx, rounded) = class_of(bytes);
         let recycled = if self.pooling {
@@ -227,7 +266,10 @@ impl DeviceArena {
             None
         };
         let reused = recycled.is_some();
-        let mut block = recycled.unwrap_or_else(|| RawBlock::alloc(rounded));
+        let mut block = match recycled {
+            Some(b) => b,
+            None => RawBlock::try_alloc(rounded).ok_or(ArenaError::Exhausted { bytes: rounded })?,
+        };
         if block.tainted {
             // A padded element type wrote through this block: its padding
             // bytes may be uninitialized. Re-zero so every byte handed out
@@ -235,7 +277,7 @@ impl DeviceArena {
             block.rezero();
         }
         debug_assert_eq!(block.bytes, rounded);
-        (
+        Ok((
             ScratchGuard {
                 arena: self,
                 block: Some(block),
@@ -243,7 +285,7 @@ impl DeviceArena {
                 rec: None,
             },
             reused,
-        )
+        ))
     }
 
     /// Returns a block to its free list (or frees it when pooling is off).
@@ -438,7 +480,28 @@ impl Device {
     /// reading stale contents of a reused block through a tracked view is
     /// exactly as much a finding as reading a fresh allocation.
     pub fn scratch(&self, bytes: usize) -> ScratchGuard<'_> {
-        let (mut guard, reused) = self.arena_ref().acquire(bytes);
+        // An injected or genuine failure surfaces as a panic carrying the
+        // ArenaError message, so an isolation layer (`catch_unwind` in the
+        // serve batcher) can contain it; before the fallible path existed
+        // a refused system allocation aborted the process instead.
+        self.try_scratch(bytes)
+            .unwrap_or_else(|e| panic!("device scratch of {bytes} bytes failed: {e}"))
+    }
+
+    /// The fallible twin of [`Device::scratch`]: every allocating
+    /// primitive routes through here, so both injected allocation faults
+    /// ([`crate::fault`], [`ArenaError::Injected`]) and a refusing system
+    /// allocator ([`ArenaError::Exhausted`]) surface as values on this
+    /// path — and as marked panics on the infallible wrappers above it.
+    ///
+    /// # Errors
+    /// `ArenaError::Injected` when the device's fault plane refuses this
+    /// acquisition, `ArenaError::Exhausted` when the allocator does.
+    pub fn try_scratch(&self, bytes: usize) -> Result<ScratchGuard<'_>, ArenaError> {
+        if bytes > 0 && self.fault_alloc() {
+            return Err(ArenaError::Injected { bytes });
+        }
+        let (mut guard, reused) = self.arena_ref().try_acquire(bytes)?;
         self.metrics().record_arena(guard.capacity() as u64, reused);
         if let Some(san) = self.sanitizer() {
             if san.mode().initcheck() && guard.capacity() > 0 {
@@ -452,7 +515,7 @@ impl Device {
                 guard.rec = Some(rec);
             }
         }
-        guard
+        Ok(guard)
     }
 
     /// Allocates a pooled buffer of `len` elements with valid but
@@ -498,6 +561,34 @@ impl Device {
 mod tests {
     use super::*;
     use crate::DeviceConfig;
+
+    #[test]
+    fn injected_alloc_failures_surface_on_the_fallible_path() {
+        let device = Device::with_config(DeviceConfig {
+            faults: "alloc_fail:after=0".parse().unwrap(),
+            ..Default::default()
+        });
+        // Every acquisition is refused: the fallible path returns the
+        // injected error...
+        assert!(matches!(
+            device.try_scratch(64),
+            Err(ArenaError::Injected { bytes: 64 })
+        ));
+        // ...and the infallible wrapper panics carrying the marker, so an
+        // isolation layer can contain it.
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = device.scratch(64);
+        }))
+        .unwrap_err();
+        let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(crate::fault::INJECTED_ALLOC_FAIL), "{msg:?}");
+        // Zero-byte acquisitions never allocate, so they never fault.
+        assert!(device.try_scratch(0).is_ok());
+        // Paused, the same device allocates normally.
+        let _quiet = device.pause_faults();
+        assert!(device.try_scratch(64).is_ok());
+        assert!(device.metrics().snapshot().faults_injected >= 2);
+    }
 
     #[test]
     fn class_rounding() {

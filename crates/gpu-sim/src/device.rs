@@ -24,6 +24,7 @@
 //! reads, and unannotated cross-block races.
 
 use crate::arena::{ArenaPod, DeviceArena};
+use crate::fault::{FaultConfig, FaultPause, FaultPlane};
 use crate::launch_graph::{Cap, CaptureMode, LaunchGraph, Recorder, ACC_READ, ACC_WRITE};
 use crate::lookback::ScanEngine;
 use crate::metrics::Metrics;
@@ -72,6 +73,9 @@ pub struct DeviceConfig {
     /// `EMG_CAPTURE` environment variable, [`CaptureMode::Off`] when
     /// unset). See [`crate::launch_graph`].
     pub capture: CaptureMode,
+    /// Deterministic fault-injection spec (defaults to the `EMG_FAULT`
+    /// environment variable, no faults when unset). See [`crate::fault`].
+    pub faults: FaultConfig,
 }
 
 impl Default for DeviceConfig {
@@ -86,6 +90,7 @@ impl Default for DeviceConfig {
             sanitize_fatal: true,
             scan_engine: ScanEngine::from_env(),
             capture: CaptureMode::from_env(),
+            faults: FaultConfig::from_env(),
         }
     }
 }
@@ -102,6 +107,7 @@ pub struct Device {
     arena: DeviceArena,
     san: Option<Box<Sanitizer>>,
     rec: Option<Box<Recorder>>,
+    flt: Option<Box<FaultPlane>>,
 }
 
 /// A shareable, snapshot-scoped handle to a pooled [`Device`].
@@ -168,6 +174,7 @@ impl Device {
         let san = (cfg.sanitize != SanitizeMode::Off)
             .then(|| Box::new(Sanitizer::new(cfg.sanitize, cfg.sanitize_fatal)));
         let rec = (cfg.capture == CaptureMode::On).then(|| Box::new(Recorder::new()));
+        let flt = (!cfg.faults.is_empty()).then(|| Box::new(FaultPlane::new(cfg.faults.clone())));
         Self {
             pool,
             cfg,
@@ -175,6 +182,7 @@ impl Device {
             arena,
             san,
             rec,
+            flt,
         }
     }
 
@@ -461,6 +469,50 @@ impl Device {
         }
     }
 
+    /// The fault plane's launch hook ([`crate::fault`]): spends any
+    /// injected delay and panics if the seeded schedule faults this
+    /// launch. Runs on the calling thread *before* any sanitizer/capture
+    /// launch state opens, so an injected panic unwinds without leaving
+    /// those planes unbalanced and a `catch_unwind` upstream observes a
+    /// clean device.
+    #[inline]
+    fn fault_launch(&self) {
+        if let Some(flt) = &self.flt {
+            flt.on_launch(&self.metrics);
+        }
+    }
+
+    /// The fault plane's allocation hook: `true` when the seeded schedule
+    /// refuses this arena acquisition.
+    pub(crate) fn fault_alloc(&self) -> bool {
+        self.flt
+            .as_deref()
+            .is_some_and(|flt| flt.on_alloc(&self.metrics))
+    }
+
+    /// Suspends fault injection until the returned guard drops (no-op
+    /// without a fault plane). Phases that must not fail — snapshot
+    /// preprocessing in the query server, test fixtures — run under this
+    /// guard; paused launches and allocations do not advance the fault
+    /// counters, so the post-pause schedule is independent of how much
+    /// work the pause covered.
+    pub fn pause_faults(&self) -> FaultPause<'_> {
+        if let Some(flt) = self.flt.as_deref() {
+            flt.pause();
+            FaultPause { plane: Some(flt) }
+        } else {
+            FaultPause { plane: None }
+        }
+    }
+
+    /// The active fault config (the default empty config unless set).
+    pub fn fault_config(&self) -> FaultConfig {
+        self.flt
+            .as_deref()
+            .map(|flt| flt.config().clone())
+            .unwrap_or_default()
+    }
+
     /// Runs `op` with the device's worker pool pinned as the current pool
     /// (parallel iterators inside `op` execute on it); with no dedicated
     /// pool, `op` runs directly and parallel iterators use the global pool.
@@ -528,6 +580,7 @@ impl Device {
     {
         self.metrics.record_launch(n as u64);
         self.pay_launch_overhead();
+        self.fault_launch();
         let cap = self.cap_begin_launch(n as u64);
         if n == 0 {
             self.cap_end_launch(cap);
@@ -584,6 +637,7 @@ impl Device {
         let n = out.len();
         self.metrics.record_launch(n as u64);
         self.pay_launch_overhead();
+        self.fault_launch();
         // A bare map is a data-plane write to `out`; a map issued inside
         // an open primitive scope inherits the primitive's declarations
         // instead (its intermediates stay out of the graph).

@@ -43,6 +43,26 @@ pub const EMG_SERVE_BATCH: &str = "EMG_SERVE_BATCH";
 /// the device anyway (a positive integer; read by the `emg-server`
 /// crate).
 pub const EMG_SERVE_DEADLINE_US: &str = "EMG_SERVE_DEADLINE_US";
+/// Deterministic fault-injection spec; see [`crate::fault`]. A
+/// comma-separated clause list such as
+/// `launch_panic:p=0.01:seed=42,alloc_fail:after=100:every=37,delay:us=500`;
+/// unset, empty, or `off` injects nothing.
+pub const EMG_FAULT: &str = "EMG_FAULT";
+/// Query-server idle-session reaper: a connected session that sends no
+/// frame for this many milliseconds is closed (a positive integer; read
+/// by the `emg-server` crate — the slow-loris / abandoned-connection
+/// defense).
+pub const EMG_SERVE_IDLE_MS: &str = "EMG_SERVE_IDLE_MS";
+/// Query-server per-frame I/O deadline in milliseconds: once a frame has
+/// started arriving, the whole frame (and every response write) must
+/// complete within this budget or the session is closed (a positive
+/// integer; read by the `emg-server` crate).
+pub const EMG_SERVE_IO_TIMEOUT_MS: &str = "EMG_SERVE_IO_TIMEOUT_MS";
+/// Query-server admission-control bound: the batcher accepts at most this
+/// many pending query pairs; past it, new requests are refused with
+/// `Overloaded` and a retry hint instead of growing the queue without
+/// bound (a positive integer; read by the `emg-server` crate).
+pub const EMG_SERVE_QUEUE: &str = "EMG_SERVE_QUEUE";
 
 /// Every `EMG_*` knob the device stack reads, with a one-line summary.
 /// Keep in sync with [`parse_knob`] (enforced by the unit test below).
@@ -61,6 +81,22 @@ pub const KNOBS: &[(&str, &str)] = &[
     (
         EMG_SERVE_DEADLINE_US,
         "emg serve: flush a query batch after this many microseconds",
+    ),
+    (
+        EMG_FAULT,
+        "fault injection: launch_panic:p=..:seed=..,alloc_fail:after=..:every=..,delay:us=..",
+    ),
+    (
+        EMG_SERVE_IDLE_MS,
+        "emg serve: close a session idle for this many milliseconds",
+    ),
+    (
+        EMG_SERVE_IO_TIMEOUT_MS,
+        "emg serve: per-frame read/write deadline in milliseconds",
+    ),
+    (
+        EMG_SERVE_QUEUE,
+        "emg serve: refuse (Overloaded) past this many pending query pairs",
     ),
 ];
 
@@ -96,10 +132,15 @@ pub fn parse_knob(var: &str, value: &str) -> Result<String, String> {
                 Ok(format!("jsonl sink {value:?}"))
             }
         }
-        EMG_SERVE_BATCH | EMG_SERVE_DEADLINE_US => match value.trim().parse::<u64>() {
+        EMG_SERVE_BATCH
+        | EMG_SERVE_DEADLINE_US
+        | EMG_SERVE_IDLE_MS
+        | EMG_SERVE_IO_TIMEOUT_MS
+        | EMG_SERVE_QUEUE => match value.trim().parse::<u64>() {
             Ok(v) if v > 0 => Ok(format!("{var}={v}")),
             _ => Err(format!("expected a positive integer, got {value:?}")),
         },
+        EMG_FAULT => crate::fault::FaultConfig::from_str(value).map(|c| format!("faults {c}")),
         other => Err(format!("unknown EMG knob {other:?}")),
     }
 }
@@ -138,7 +179,7 @@ mod tests {
     /// [`parse_knob`], accepts its documented defaults, and rejects typos.
     #[test]
     fn knob_registry_is_closed() {
-        assert_eq!(KNOBS.len(), 6, "new knob? register it in env.rs");
+        assert_eq!(KNOBS.len(), 10, "new knob? register it in env.rs");
         for (var, _help) in KNOBS {
             // A typo must be a hard error for every enum knob; the one
             // free-form knob (a path) instead rejects the empty string.
@@ -180,11 +221,23 @@ mod tests {
         for v in ["1", "64", "4096"] {
             parse_knob(EMG_SERVE_BATCH, v).unwrap();
             parse_knob(EMG_SERVE_DEADLINE_US, v).unwrap();
+            parse_knob(EMG_SERVE_IDLE_MS, v).unwrap();
+            parse_knob(EMG_SERVE_IO_TIMEOUT_MS, v).unwrap();
+            parse_knob(EMG_SERVE_QUEUE, v).unwrap();
         }
         for v in ["0", "-3", "lots", "1.5"] {
             assert!(parse_knob(EMG_SERVE_BATCH, v).is_err(), "{v:?}");
             assert!(parse_knob(EMG_SERVE_DEADLINE_US, v).is_err(), "{v:?}");
+            assert!(parse_knob(EMG_SERVE_QUEUE, v).is_err(), "{v:?}");
         }
+        for v in [
+            "",
+            "off",
+            "launch_panic:p=0.01:seed=42,alloc_fail:after=100,delay:us=500",
+        ] {
+            parse_knob(EMG_FAULT, v).unwrap();
+        }
+        assert!(parse_knob(EMG_FAULT, "definitely-a-typo{}").is_err());
     }
 
     #[test]

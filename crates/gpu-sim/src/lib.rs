@@ -52,8 +52,12 @@
 //! [`DeviceConfig::capture`]) records every launch's kernel label and
 //! per-region access set through the same tracked views, and statically
 //! analyzes the captured pipeline for inter-launch hazards, dead writes,
-//! and fusion candidates. All `EMG_*` knobs share one parsing contract,
-//! registered in [`mod@env`].
+//! and fusion candidates. An opt-in fault plane ([`mod@fault`],
+//! `EMG_FAULT` or [`DeviceConfig::faults`]) injects seeded,
+//! schedule-independent failures — launch panics, refused allocations,
+//! artificial latency — so the serving stack's failure handling is
+//! testable and every chaos run replays from its seed. All `EMG_*` knobs
+//! share one parsing contract, registered in [`mod@env`].
 //!
 //! [moderngpu]: https://github.com/moderngpu/moderngpu
 //! [`SharedSlice::benign`]: device::SharedSlice::benign
@@ -66,6 +70,7 @@ pub mod atomic;
 pub mod compact;
 pub mod device;
 pub mod env;
+pub mod fault;
 pub mod histogram;
 pub mod launch_graph;
 pub mod lbs;
@@ -79,9 +84,11 @@ pub mod scan;
 pub mod segreduce;
 pub mod sort;
 
+pub use arena::ArenaError;
 pub use arena::{ArenaPod, ArenaVec, DeviceArena, ScratchGuard};
 pub use atomic::{as_atomic_u32, as_atomic_u64, AtomicF64Cell, AtomicViewU32, AtomicViewU64};
 pub use device::{CaptureScope, Device, DeviceConfig, DeviceHandle, KernelLabel, SharedSlice};
+pub use fault::{FaultConfig, FaultPause, FaultPlane};
 pub use launch_graph::{
     Analysis, CaptureMode, DeadWrite, DepCounts, FusionCandidate, Hazard, HazardKind, LaunchGraph,
     Node, Region,

@@ -48,6 +48,10 @@ pub struct Metrics {
     /// Violations the sanitizer reported (out-of-bounds, uninitialized
     /// reads, unannotated cross-block races).
     pub san_findings: AtomicU64,
+    /// Faults injected by the fault plane (see [`crate::fault`]): launch
+    /// panics, refused allocations, and delayed launches all count one
+    /// each. Exactly zero when no fault spec is configured.
+    pub faults_injected: AtomicU64,
     /// Named phase durations, in insertion order.
     phases: Mutex<Vec<(String, Duration)>>,
 }
@@ -96,6 +100,10 @@ impl Metrics {
         self.san_findings.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_fault(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a named phase duration (appended; names may repeat).
     pub fn record_phase(&self, name: &str, elapsed: Duration) {
         self.phases.lock().push((name.to_string(), elapsed));
@@ -113,6 +121,7 @@ impl Metrics {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             san_accesses: self.san_accesses.load(Ordering::Relaxed),
             san_findings: self.san_findings.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 
@@ -143,6 +152,8 @@ pub struct MetricsSnapshot {
     pub san_accesses: u64,
     /// Sanitizer findings so far.
     pub san_findings: u64,
+    /// Faults injected by the fault plane so far (zero with faults off).
+    pub faults_injected: u64,
 }
 
 impl MetricsSnapshot {
@@ -158,6 +169,7 @@ impl MetricsSnapshot {
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             san_accesses: self.san_accesses.saturating_sub(earlier.san_accesses),
             san_findings: self.san_findings.saturating_sub(earlier.san_findings),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
         }
     }
 }
@@ -273,6 +285,7 @@ mod tests {
             bytes_written: 1,
             san_accesses: 1,
             san_findings: 1,
+            faults_injected: 1,
         };
         let b = MetricsSnapshot::default();
         let d = b.since(&a);

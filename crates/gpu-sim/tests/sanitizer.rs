@@ -18,6 +18,7 @@ fn dev(mode: SanitizeMode) -> Device {
         sanitize_fatal: false,
         scan_engine: gpu_sim::ScanEngine::default(),
         capture: gpu_sim::CaptureMode::Off,
+        faults: gpu_sim::FaultConfig::default(),
     })
 }
 
@@ -278,6 +279,7 @@ fn sanitize_off_has_zero_tracking() {
         sanitize_fatal: false,
         scan_engine: gpu_sim::ScanEngine::default(),
         capture: gpu_sim::CaptureMode::Off,
+        faults: gpu_sim::FaultConfig::default(),
     });
     let mut buf = vec![0u32; 64];
     let shared = device.shared(&mut buf);
@@ -303,6 +305,7 @@ fn fatal_sanitizer_panics_with_the_finding() {
         sanitize_fatal: true,
         scan_engine: gpu_sim::ScanEngine::default(),
         capture: gpu_sim::CaptureMode::Off,
+        faults: gpu_sim::FaultConfig::default(),
     });
     let mut buf = vec![0u32; 4];
     let shared = device.shared(&mut buf);
